@@ -1,0 +1,88 @@
+// E6 — Table II analogue: in-memory compression makes otherwise-intractable
+// SFAs tractable.
+//
+// The paper's Table II rows: DFA states | SFA states | size & time without
+// compression | size & time with compression | compression ratio, where
+// "n/a" marks benchmarks whose uncompressed representation exceeds the
+// machine's 512 GB (their sizes are computed theoretically, since SFA
+// states have constant size).
+//
+// At laptop scale we simulate the memory wall with a configurable budget
+// (default 24 MiB): workloads whose uncompressed mapping store would exceed
+// it are treated as intractable-without-compression (n/a), exactly like the
+// paper's four large rows; tractable rows run both ways to show the
+// compression overhead.
+//
+// Usage: bench_table2_compression [memory_budget_mib] [num_patterns]
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/format.hpp"
+#include "sfa/support/timer.hpp"
+
+using namespace sfa;
+
+int main(int argc, char** argv) {
+  const std::uint64_t budget_bytes =
+      static_cast<std::uint64_t>(bench::arg_or(argc, argv, 1, 24)) << 20;
+  const unsigned num_patterns = bench::arg_or(argc, argv, 2, 6);
+
+  std::printf("== E6 / Table II: three-phase in-memory compression ==\n");
+  std::printf("simulated memory budget: %s (paper: 512 GB w/ 200 GB forced "
+              "threshold)\n\n",
+              human_bytes(budget_bytes).c_str());
+
+  // Prefer larger workloads so at least some rows cross the budget.
+  auto workloads = bench::tractable_workloads(num_patterns, 4000, 400000);
+  std::sort(workloads.begin(), workloads.end(),
+            [](const auto& a, const auto& b) {
+              return a.sfa_states > b.sfa_states;
+            });
+
+  std::vector<std::vector<std::string>> table;
+  table.push_back({"pattern", "DFA", "SFA states", "size w/o", "time w/o(s)",
+                   "size with", "time with(s)", "ratio"});
+
+  for (const auto& w : workloads) {
+    const std::uint64_t uncompressed_bytes =
+        static_cast<std::uint64_t>(w.sfa_states) * w.dfa.size() *
+        (w.dfa.size() <= 0xFFFEu ? 2 : 4);
+    const bool tractable = uncompressed_bytes <= budget_bytes;
+
+    std::string size_wo = human_bytes(uncompressed_bytes);
+    std::string time_wo = "n/a";
+    if (tractable) {
+      BuildOptions plain;
+      plain.num_threads = hardware_threads();
+      const WallTimer t;
+      build_sfa_parallel(w.dfa, plain);
+      time_wo = fixed(t.seconds(), 3);
+    } else {
+      size_wo += " (theoretical)";
+    }
+
+    // With compression: force the threshold low enough to trigger early
+    // (paper methodology for the tractable rows; required for the rest).
+    BuildOptions comp;
+    comp.num_threads = hardware_threads();
+    comp.memory_threshold_bytes =
+        std::min<std::size_t>(budget_bytes / 4, 1u << 20);
+    BuildStats stats;
+    const WallTimer t;
+    build_sfa_parallel(w.dfa, comp, &stats);
+    const double time_with = t.seconds();
+
+    table.push_back(
+        {w.id, std::to_string(w.dfa.size()), with_commas(w.sfa_states),
+         size_wo, time_wo, human_bytes(stats.mapping_bytes_stored),
+         fixed(time_with, 3),
+         fixed(stats.compression_ratio(), 1) + "x"});
+  }
+  std::printf("%s\n", render_table(table).c_str());
+  std::printf(
+      "(paper, Table II: ratios 17x-30x; compression costs time but turns\n"
+      " n/a rows into finishable builds — same structure as above)\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa::bench {
+
+/// A compiled benchmark workload.
+struct Workload {
+  std::string id;
+  std::string pattern;
+  Dfa dfa;
+  std::uint32_t sfa_states = 0;  // filled after a sizing pass
+};
+
+/// Compile the benchmark pattern set, keeping only workloads whose SFA has
+/// between `min_states` and `max_states` states (sized with the fast
+/// transposed builder).  Mirrors the paper's "exclude patterns that take
+/// more than several hours" methodology at laptop scale.
+inline std::vector<Workload> tractable_workloads(std::size_t want,
+                                                 std::uint32_t min_states,
+                                                 std::uint32_t max_states,
+                                                 std::uint64_t seed = 2017) {
+  std::vector<Workload> out;
+  const auto patterns = benchmark_patterns(want * 6, seed);
+  for (const auto& p : patterns) {
+    if (out.size() >= want) break;
+    Dfa dfa = [&]() -> Dfa {
+      try {
+        return compile_prosite(p.pattern);
+      } catch (const std::exception&) {
+        return Dfa(1);
+      }
+    }();
+    if (dfa.size() < 2 || dfa.size() > 4000) continue;
+    BuildOptions sizing;
+    sizing.keep_mappings = false;
+    sizing.max_states = max_states;
+    try {
+      BuildStats stats;
+      build_sfa_transposed(dfa, sizing, &stats);
+      if (stats.sfa_states < min_states) continue;
+      out.push_back({p.id, p.pattern, std::move(dfa),
+                     static_cast<std::uint32_t>(stats.sfa_states)});
+    } catch (const std::exception&) {
+      continue;  // state explosion beyond budget: excluded
+    }
+  }
+  return out;
+}
+
+/// Random symbol text over a k-symbol alphabet.
+inline std::vector<Symbol> random_text(std::size_t len, unsigned k,
+                                       std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Symbol> v(len);
+  for (auto& s : v) s = static_cast<Symbol>(rng.below(k));
+  return v;
+}
+
+inline unsigned arg_or(int argc, char** argv, int index, unsigned fallback) {
+  return argc > index
+             ? static_cast<unsigned>(std::strtoul(argv[index], nullptr, 10))
+             : fallback;
+}
+
+}  // namespace sfa::bench

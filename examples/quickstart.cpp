@@ -1,0 +1,47 @@
+// Quickstart: pattern -> DFA -> SFA -> parallel matching in ~30 lines.
+//
+//   $ ./quickstart
+//
+// Compiles the PROSITE RGD cell-attachment motif (PS00016), builds its SFA
+// with the parallel builder, and scans a synthetic protein sequence with
+// several threads.
+#include <cstdio>
+#include <string>
+
+#include "sfa/core/api.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/rng.hpp"
+
+int main() {
+  // 1. Compile a pattern into an Engine.  PROSITE motifs and plain regexes
+  //    both work; match-anywhere catenation is applied automatically.
+  sfa::BuildOptions options;
+  options.num_threads = sfa::hardware_threads();
+  const sfa::Engine engine = sfa::Engine::from_prosite(
+      "R-G-D.", sfa::BuildMethod::kParallel, options);
+
+  std::printf("pattern  : R-G-D. (PROSITE PS00016)\n");
+  std::printf("DFA      : %u states over %u symbols\n", engine.dfa().size(),
+              engine.dfa().num_symbols());
+  std::printf("SFA      : %s\n", engine.sfa().summary().c_str());
+
+  // 2. Make a 1 MB synthetic protein with one planted motif occurrence.
+  sfa::Xoshiro256 rng(42);
+  std::string protein;
+  protein.reserve(1 << 20);
+  for (int i = 0; i < (1 << 20); ++i)
+    protein.push_back("ACDEFGHIKLMNPQRSTVWY"[rng.below(20)]);
+  protein.replace(700000, 3, "RGD");
+
+  // 3. Parallel SFA matching: each thread scans one chunk, the chunk
+  //    mappings compose in O(threads).
+  const unsigned threads = sfa::hardware_threads();
+  const bool found = engine.contains(protein, threads);
+  std::printf("match    : %s (with %u threads)\n", found ? "YES" : "no",
+              threads);
+
+  // 4. Count match end-positions (two-pass parallel count).
+  std::printf("count    : %zu accepting positions\n",
+              engine.count(protein, threads));
+  return found ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "sfa/automata/alphabet.hpp"
+
+#include <stdexcept>
+
+namespace sfa {
+
+Alphabet::Alphabet(std::string_view chars) {
+  to_symbol_.fill(kNoSymbol);
+  for (char c : chars) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (to_symbol_[uc] != kNoSymbol) continue;  // ignore duplicates
+    if (chars_.size() >= 255)
+      throw std::invalid_argument("alphabet larger than 255 symbols");
+    to_symbol_[uc] = static_cast<Symbol>(chars_.size());
+    chars_.push_back(c);
+  }
+  if (chars_.empty()) throw std::invalid_argument("empty alphabet");
+}
+
+const Alphabet& Alphabet::amino() {
+  static const Alphabet a("ACDEFGHIKLMNPQRSTVWY");
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a("ACGT");
+  return a;
+}
+
+const Alphabet& Alphabet::ascii_printable() {
+  static const Alphabet a = [] {
+    std::string s;
+    for (char c = ' '; c <= '~'; ++c) s.push_back(c);
+    return Alphabet(s);
+  }();
+  return a;
+}
+
+std::vector<Symbol> Alphabet::encode(std::string_view text) const {
+  std::vector<Symbol> out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const Symbol s = symbol_of(c);
+    if (s == kNoSymbol)
+      throw std::invalid_argument(std::string("character '") + c +
+                                  "' not in alphabet");
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::string Alphabet::decode(const std::vector<Symbol>& symbols) const {
+  std::string out;
+  out.reserve(symbols.size());
+  for (Symbol s : symbols) out.push_back(char_of(s));
+  return out;
+}
+
+}  // namespace sfa

@@ -1,0 +1,58 @@
+// Alphabets map external characters onto dense symbol ids [0, size).
+//
+// Everything downstream (regex compilation, DFA tables, SFA construction,
+// matching) operates on symbol ids, so transition tables stay dense and the
+// parameterized-transposition kernels see contiguous rows of |Sigma| cells.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfa {
+
+using Symbol = std::uint8_t;
+inline constexpr Symbol kNoSymbol = 0xFF;
+
+class Alphabet {
+ public:
+  /// Builds an alphabet from the distinct characters of `chars`, in order.
+  explicit Alphabet(std::string_view chars);
+
+  /// The 20 one-letter amino-acid codes (the PROSITE alphabet; Fig. 1).
+  static const Alphabet& amino();
+
+  /// A, C, G, T.
+  static const Alphabet& dna();
+
+  /// Printable ASCII (space..~), for text/signature examples.
+  static const Alphabet& ascii_printable();
+
+  unsigned size() const { return static_cast<unsigned>(chars_.size()); }
+
+  /// Symbol id for a character, or kNoSymbol when not in the alphabet.
+  Symbol symbol_of(char c) const {
+    return to_symbol_[static_cast<unsigned char>(c)];
+  }
+
+  bool contains(char c) const { return symbol_of(c) != kNoSymbol; }
+
+  char char_of(Symbol s) const { return chars_[s]; }
+
+  const std::string& chars() const { return chars_; }
+
+  /// Encode a text into symbol ids; throws std::invalid_argument on a
+  /// character outside the alphabet.
+  std::vector<Symbol> encode(std::string_view text) const;
+
+  /// Decode symbol ids back to text.
+  std::string decode(const std::vector<Symbol>& symbols) const;
+
+ private:
+  std::string chars_;
+  std::array<Symbol, 256> to_symbol_;
+};
+
+}  // namespace sfa

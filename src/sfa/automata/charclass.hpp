@@ -1,0 +1,71 @@
+// Fixed 256-bit set of symbol ids — the label type on NFA transitions.
+#pragma once
+
+#include <cstdint>
+
+#include "sfa/automata/alphabet.hpp"
+
+namespace sfa {
+
+class CharClass {
+ public:
+  constexpr CharClass() : bits_{0, 0, 0, 0} {}
+
+  static CharClass single(Symbol s) {
+    CharClass c;
+    c.add(s);
+    return c;
+  }
+
+  /// All symbols of a k-symbol alphabet.
+  static CharClass all(unsigned k) {
+    CharClass c;
+    for (unsigned s = 0; s < k; ++s) c.add(static_cast<Symbol>(s));
+    return c;
+  }
+
+  void add(Symbol s) { bits_[s >> 6] |= 1ull << (s & 63); }
+  void remove(Symbol s) { bits_[s >> 6] &= ~(1ull << (s & 63)); }
+
+  bool test(Symbol s) const { return (bits_[s >> 6] >> (s & 63)) & 1u; }
+
+  /// Complement within a k-symbol alphabet (PROSITE's {..} exclusion).
+  CharClass negated(unsigned k) const {
+    CharClass c = all(k);
+    for (int i = 0; i < 4; ++i) c.bits_[i] &= ~bits_[i];
+    return c;
+  }
+
+  CharClass operator|(const CharClass& o) const {
+    CharClass c;
+    for (int i = 0; i < 4; ++i) c.bits_[i] = bits_[i] | o.bits_[i];
+    return c;
+  }
+
+  CharClass operator&(const CharClass& o) const {
+    CharClass c;
+    for (int i = 0; i < 4; ++i) c.bits_[i] = bits_[i] & o.bits_[i];
+    return c;
+  }
+
+  bool operator==(const CharClass& o) const {
+    for (int i = 0; i < 4; ++i)
+      if (bits_[i] != o.bits_[i]) return false;
+    return true;
+  }
+
+  bool empty() const {
+    return (bits_[0] | bits_[1] | bits_[2] | bits_[3]) == 0;
+  }
+
+  unsigned count() const {
+    unsigned n = 0;
+    for (std::uint64_t w : bits_) n += static_cast<unsigned>(__builtin_popcountll(w));
+    return n;
+  }
+
+ private:
+  std::uint64_t bits_[4];
+};
+
+}  // namespace sfa

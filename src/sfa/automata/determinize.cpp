@@ -1,0 +1,61 @@
+#include "sfa/automata/determinize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+#include "sfa/hash/city64.hpp"
+
+namespace sfa {
+
+namespace {
+
+struct SubsetHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& v) const {
+    return static_cast<std::size_t>(
+        city_hash64(v.data(), v.size() * sizeof(std::uint32_t)));
+  }
+};
+
+}  // namespace
+
+Dfa determinize(const Nfa& nfa) {
+  const unsigned k = nfa.alphabet_size();
+  Dfa dfa(k);
+
+  std::unordered_map<std::vector<std::uint32_t>, Dfa::StateId, SubsetHash>
+      ids;
+  std::deque<std::vector<std::uint32_t>> worklist;
+
+  const auto accepts = [&](const std::vector<std::uint32_t>& set) {
+    return std::binary_search(set.begin(), set.end(), nfa.accept());
+  };
+
+  const auto intern = [&](std::vector<std::uint32_t> set) {
+    const auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    const Dfa::StateId id = dfa.add_state(accepts(set));
+    ids.emplace(set, id);
+    worklist.push_back(std::move(set));
+    return id;
+  };
+
+  const Dfa::StateId start = intern(nfa.eps_closure({nfa.start()}));
+  dfa.set_start(start);
+
+  while (!worklist.empty()) {
+    std::vector<std::uint32_t> set = std::move(worklist.front());
+    worklist.pop_front();
+    const Dfa::StateId from = ids.at(set);
+    for (unsigned s = 0; s < k; ++s) {
+      const Symbol sym = static_cast<Symbol>(s);
+      // The empty subset interns as a regular state; its successors are all
+      // empty again, so it naturally becomes the complete DFA's sink.
+      const Dfa::StateId to = intern(nfa.eps_closure(nfa.move(set, sym)));
+      dfa.set_transition(from, sym, to);
+    }
+  }
+  return dfa;
+}
+
+}  // namespace sfa

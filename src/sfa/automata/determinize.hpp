@@ -1,0 +1,14 @@
+// Subset construction: NFA -> complete DFA.
+#pragma once
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/automata/nfa.hpp"
+
+namespace sfa {
+
+/// Determinize `nfa` into a complete DFA.  The empty subset becomes an
+/// explicit non-accepting sink, so every DFA this produces is total — a
+/// precondition of SFA construction (every SFA cell must have a successor).
+Dfa determinize(const Nfa& nfa);
+
+}  // namespace sfa

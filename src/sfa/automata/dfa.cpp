@@ -1,0 +1,127 @@
+#include "sfa/automata/dfa.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace sfa {
+
+Dfa::StateId Dfa::add_state(bool accepting) {
+  const StateId id = static_cast<StateId>(accepting_.size());
+  accepting_.push_back(accepting ? 1 : 0);
+  table_.resize(table_.size() + num_symbols_, kUnassigned);
+  return id;
+}
+
+std::size_t Dfa::accepting_count() const {
+  return static_cast<std::size_t>(
+      std::count(accepting_.begin(), accepting_.end(), std::uint8_t{1}));
+}
+
+Dfa::StateId Dfa::run(StateId from, const Symbol* input,
+                      std::size_t len) const {
+  StateId q = from;
+  for (std::size_t i = 0; i < len; ++i)
+    q = table_[static_cast<std::size_t>(q) * num_symbols_ + input[i]];
+  return q;
+}
+
+std::size_t Dfa::count_accepting_prefixes(const Symbol* input,
+                                          std::size_t len) const {
+  std::size_t count = 0;
+  StateId q = start_;
+  for (std::size_t i = 0; i < len; ++i) {
+    q = table_[static_cast<std::size_t>(q) * num_symbols_ + input[i]];
+    count += accepting_[q];
+  }
+  return count;
+}
+
+bool Dfa::complete() const {
+  return std::find(table_.begin(), table_.end(), kUnassigned) == table_.end();
+}
+
+Dfa::StateId Dfa::find_sink() const {
+  for (StateId q = 0; q < size(); ++q) {
+    if (accepting_[q]) continue;
+    bool all_self = true;
+    const StateId* r = row(q);
+    for (unsigned s = 0; s < num_symbols_; ++s) {
+      if (r[s] != q) {
+        all_self = false;
+        break;
+      }
+    }
+    if (all_self) return q;
+  }
+  return size();
+}
+
+std::string Dfa::to_grail(const Alphabet& alphabet) const {
+  std::ostringstream os;
+  os << "(START) |- " << start_ << '\n';
+  for (StateId q = 0; q < size(); ++q)
+    for (unsigned s = 0; s < num_symbols_; ++s)
+      os << q << ' ' << alphabet.char_of(static_cast<Symbol>(s)) << ' '
+         << transition(q, static_cast<Symbol>(s)) << '\n';
+  for (StateId q = 0; q < size(); ++q)
+    if (accepting_[q]) os << q << " -| (FINAL)\n";
+  return os.str();
+}
+
+Dfa Dfa::from_grail(std::istream& in, const Alphabet& alphabet) {
+  struct Edge {
+    std::uint64_t from, to;
+    char symbol;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::uint64_t> finals;
+  std::uint64_t start_state = 0;
+  bool saw_start = false;
+  std::uint64_t max_state = 0;
+
+  std::string a, b, c;
+  while (in >> a >> b >> c) {
+    if (a == "(START)") {
+      if (b != "|-") throw std::runtime_error("grail: malformed start line");
+      start_state = std::stoull(c);
+      max_state = std::max(max_state, start_state);
+      saw_start = true;
+    } else if (b == "-|") {
+      if (c != "(FINAL)") throw std::runtime_error("grail: malformed final line");
+      finals.push_back(std::stoull(a));
+      max_state = std::max(max_state, finals.back());
+    } else {
+      if (b.size() != 1)
+        throw std::runtime_error("grail: multi-character symbol '" + b + "'");
+      Edge e{std::stoull(a), std::stoull(c), b[0]};
+      if (!alphabet.contains(e.symbol))
+        throw std::runtime_error("grail: symbol outside alphabet");
+      max_state = std::max({max_state, e.from, e.to});
+      edges.push_back(e);
+    }
+  }
+  if (!saw_start) throw std::runtime_error("grail: missing start line");
+
+  Dfa dfa(alphabet.size());
+  for (std::uint64_t q = 0; q <= max_state; ++q) dfa.add_state(false);
+  dfa.set_start(static_cast<StateId>(start_state));
+  for (auto f : finals) dfa.set_accepting(static_cast<StateId>(f), true);
+  for (const auto& e : edges) {
+    const Symbol s = alphabet.symbol_of(e.symbol);
+    const StateId from = static_cast<StateId>(e.from);
+    if (dfa.transition(from, s) != kUnassigned &&
+        dfa.transition(from, s) != static_cast<StateId>(e.to))
+      throw std::runtime_error("grail: nondeterministic transition");
+    dfa.set_transition(from, s, static_cast<StateId>(e.to));
+  }
+  return dfa;
+}
+
+Dfa Dfa::from_grail(const std::string& text, const Alphabet& alphabet) {
+  std::istringstream is(text);
+  return from_grail(is, alphabet);
+}
+
+}  // namespace sfa

@@ -1,0 +1,89 @@
+// Dense-table deterministic finite automaton.
+//
+// This is the input artifact of SFA construction: a *complete* DFA (every
+// state has a transition on every symbol) whose transition function is one
+// contiguous row-major table — row q holds delta(q, sigma) for all sigma,
+// which is exactly the layout the parameterized-transposition kernels gather
+// from (paper §III-A, Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+
+namespace sfa {
+
+class Dfa {
+ public:
+  using StateId = std::uint32_t;
+
+  explicit Dfa(unsigned num_symbols) : num_symbols_(num_symbols) {}
+
+  StateId add_state(bool accepting = false);
+
+  void set_transition(StateId from, Symbol symbol, StateId to) {
+    table_[static_cast<std::size_t>(from) * num_symbols_ + symbol] = to;
+  }
+
+  StateId transition(StateId from, Symbol symbol) const {
+    return table_[static_cast<std::size_t>(from) * num_symbols_ + symbol];
+  }
+
+  /// Row q of the transition table (|Sigma| entries, contiguous).
+  const StateId* row(StateId q) const {
+    return table_.data() + static_cast<std::size_t>(q) * num_symbols_;
+  }
+
+  void set_start(StateId s) { start_ = s; }
+  StateId start() const { return start_; }
+
+  void set_accepting(StateId s, bool accepting) { accepting_[s] = accepting; }
+  bool accepting(StateId s) const { return accepting_[s]; }
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(accepting_.size()); }
+  unsigned num_symbols() const { return num_symbols_; }
+  std::size_t accepting_count() const;
+
+  /// Runs the DFA from `from` over `input`, returning the final state
+  /// (the sequential matcher of Fig. 1c).
+  StateId run(StateId from, const Symbol* input, std::size_t len) const;
+
+  bool accepts(const std::vector<Symbol>& input) const {
+    return accepting_[run(start_, input.data(), input.size())];
+  }
+
+  /// Count of positions i where the prefix input[0..i] is accepted; with a
+  /// match-anywhere DFA this counts match end-positions.
+  std::size_t count_accepting_prefixes(const Symbol* input,
+                                       std::size_t len) const;
+
+  /// True when every table entry was assigned (no kUnassigned left).
+  bool complete() const;
+
+  /// A non-accepting state whose transitions all self-loop, if any
+  /// (the "error"/sink state that dominates r500 SFA states); size() if none.
+  StateId find_sink() const;
+
+  // --- Grail+-style text serialization ---------------------------------
+  // The paper's framework reads DFAs in Grail+ format:
+  //   (START) |- q0
+  //   q_from symbol q_to          (one line per transition)
+  //   q -| (FINAL)
+  // Symbols are written as alphabet characters.
+  std::string to_grail(const Alphabet& alphabet) const;
+  static Dfa from_grail(std::istream& in, const Alphabet& alphabet);
+  static Dfa from_grail(const std::string& text, const Alphabet& alphabet);
+
+  static constexpr StateId kUnassigned = 0xFFFFFFFFu;
+
+ private:
+  unsigned num_symbols_;
+  StateId start_ = 0;
+  std::vector<StateId> table_;      // size() * num_symbols_, row-major
+  std::vector<std::uint8_t> accepting_;
+};
+
+}  // namespace sfa

@@ -1,0 +1,182 @@
+#include "sfa/automata/minimize.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace sfa {
+
+Dfa trim_unreachable(const Dfa& dfa) {
+  const unsigned k = dfa.num_symbols();
+  std::vector<Dfa::StateId> remap(dfa.size(), Dfa::kUnassigned);
+  std::vector<Dfa::StateId> order;
+  std::deque<Dfa::StateId> queue;
+
+  remap[dfa.start()] = 0;
+  order.push_back(dfa.start());
+  queue.push_back(dfa.start());
+  while (!queue.empty()) {
+    const Dfa::StateId q = queue.front();
+    queue.pop_front();
+    for (unsigned s = 0; s < k; ++s) {
+      const Dfa::StateId t = dfa.transition(q, static_cast<Symbol>(s));
+      if (remap[t] == Dfa::kUnassigned) {
+        remap[t] = static_cast<Dfa::StateId>(order.size());
+        order.push_back(t);
+        queue.push_back(t);
+      }
+    }
+  }
+
+  Dfa out(k);
+  for (Dfa::StateId old : order) out.add_state(dfa.accepting(old));
+  out.set_start(0);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    for (unsigned s = 0; s < k; ++s)
+      out.set_transition(static_cast<Dfa::StateId>(i), static_cast<Symbol>(s),
+                         remap[dfa.transition(order[i], static_cast<Symbol>(s))]);
+  return out;
+}
+
+Dfa minimize(const Dfa& input) {
+  if (!input.complete())
+    throw std::invalid_argument("minimize() requires a complete DFA");
+  const Dfa dfa = trim_unreachable(input);
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+
+  // Inverse transition lists: for each (state, symbol), who maps into it.
+  std::vector<std::vector<std::uint32_t>> inverse(
+      static_cast<std::size_t>(n) * k);
+  for (std::uint32_t q = 0; q < n; ++q)
+    for (unsigned s = 0; s < k; ++s)
+      inverse[static_cast<std::size_t>(dfa.transition(q, static_cast<Symbol>(s))) * k + s]
+          .push_back(q);
+
+  // Partition as: block id per state + member list per block.
+  std::vector<std::uint32_t> block_of(n);
+  std::vector<std::vector<std::uint32_t>> blocks;
+  {
+    std::vector<std::uint32_t> accepting, rejecting;
+    for (std::uint32_t q = 0; q < n; ++q)
+      (dfa.accepting(q) ? accepting : rejecting).push_back(q);
+    if (!accepting.empty()) blocks.push_back(std::move(accepting));
+    if (!rejecting.empty()) blocks.push_back(std::move(rejecting));
+    for (std::uint32_t b = 0; b < blocks.size(); ++b)
+      for (auto q : blocks[b]) block_of[q] = b;
+  }
+
+  // Hopcroft worklist of (block, symbol) splitters.
+  std::set<std::pair<std::uint32_t, unsigned>> worklist;
+  {
+    // Seed with the smaller of the two initial blocks on every symbol.
+    const std::uint32_t seed =
+        blocks.size() == 2 && blocks[1].size() < blocks[0].size() ? 1 : 0;
+    for (unsigned s = 0; s < k; ++s) worklist.insert({seed, s});
+  }
+
+  std::vector<std::uint32_t> involved_blocks;
+  std::vector<std::uint32_t> hit_count(blocks.size() + n, 0);
+  std::vector<std::vector<std::uint32_t>> movers(blocks.size() + n);
+
+  while (!worklist.empty()) {
+    const auto [splitter, s] = *worklist.begin();
+    worklist.erase(worklist.begin());
+
+    // X = all states with a transition on s into the splitter block.
+    involved_blocks.clear();
+    for (std::uint32_t target : blocks[splitter]) {
+      for (std::uint32_t q :
+           inverse[static_cast<std::size_t>(target) * k + s]) {
+        const std::uint32_t b = block_of[q];
+        if (hit_count[b] == 0) involved_blocks.push_back(b);
+        if (hit_count[b] == 1 && movers[b].empty())
+          movers[b].reserve(4);
+        ++hit_count[b];
+        movers[b].push_back(q);
+      }
+    }
+
+    for (std::uint32_t b : involved_blocks) {
+      if (hit_count[b] == blocks[b].size()) {
+        // Entire block maps into the splitter: no split.
+        hit_count[b] = 0;
+        movers[b].clear();
+        continue;
+      }
+      // Split block b into (movers) and (rest).
+      const std::uint32_t nb = static_cast<std::uint32_t>(blocks.size());
+      blocks.emplace_back();
+      hit_count.push_back(0);
+      movers.emplace_back();
+      auto& moved = blocks.back();
+      moved = std::move(movers[b]);
+      movers[b].clear();
+      hit_count[b] = 0;
+
+      std::vector<std::uint32_t> rest;
+      rest.reserve(blocks[b].size() - moved.size());
+      for (std::uint32_t q : moved) block_of[q] = nb;
+      for (std::uint32_t q : blocks[b])
+        if (block_of[q] == b) rest.push_back(q);
+      blocks[b] = std::move(rest);
+
+      // Update the worklist per Hopcroft: if (b, sym) pending, add (nb, sym)
+      // too; otherwise add the smaller half.
+      for (unsigned sym = 0; sym < k; ++sym) {
+        if (worklist.count({b, sym})) {
+          worklist.insert({nb, sym});
+        } else {
+          worklist.insert(blocks[b].size() <= blocks[nb].size()
+                              ? std::make_pair(b, sym)
+                              : std::make_pair(nb, sym));
+        }
+      }
+    }
+    for (std::uint32_t b : involved_blocks) {
+      hit_count[b] = 0;
+      movers[b].clear();
+    }
+  }
+
+  // Build the quotient automaton, renumbered BFS from the start block.
+  const std::uint32_t nblocks = static_cast<std::uint32_t>(blocks.size());
+  Dfa quotient(k);
+  std::vector<Dfa::StateId> block_id(nblocks, Dfa::kUnassigned);
+  std::vector<std::uint32_t> bfs;
+  std::deque<std::uint32_t> queue;
+  const std::uint32_t start_block = block_of[dfa.start()];
+  block_id[start_block] = 0;
+  bfs.push_back(start_block);
+  queue.push_back(start_block);
+  while (!queue.empty()) {
+    const std::uint32_t b = queue.front();
+    queue.pop_front();
+    const std::uint32_t repr = blocks[b].front();
+    for (unsigned s = 0; s < k; ++s) {
+      const std::uint32_t tb =
+          block_of[dfa.transition(repr, static_cast<Symbol>(s))];
+      if (block_id[tb] == Dfa::kUnassigned) {
+        block_id[tb] = static_cast<Dfa::StateId>(bfs.size());
+        bfs.push_back(tb);
+        queue.push_back(tb);
+      }
+    }
+  }
+  for (std::uint32_t b : bfs)
+    quotient.add_state(dfa.accepting(blocks[b].front()));
+  quotient.set_start(0);
+  for (std::size_t i = 0; i < bfs.size(); ++i) {
+    const std::uint32_t repr = blocks[bfs[i]].front();
+    for (unsigned s = 0; s < k; ++s)
+      quotient.set_transition(
+          static_cast<Dfa::StateId>(i), static_cast<Symbol>(s),
+          block_id[block_of[dfa.transition(repr, static_cast<Symbol>(s))]]);
+  }
+  return quotient;
+}
+
+}  // namespace sfa

@@ -1,0 +1,19 @@
+// DFA minimization (Hopcroft's partition-refinement algorithm).
+#pragma once
+
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+
+/// Returns the minimal complete DFA recognizing the same language as `dfa`
+/// (which must be complete).  Unreachable states are removed first, and the
+/// result is renumbered in BFS order from the start state, which makes the
+/// output canonical: two equivalent inputs minimize to identical tables.
+Dfa minimize(const Dfa& dfa);
+
+/// Removes states unreachable from the start state (renumbering the rest in
+/// BFS discovery order).  Exposed separately because the synthetic workload
+/// generators use it without full minimization.
+Dfa trim_unreachable(const Dfa& dfa);
+
+}  // namespace sfa

@@ -1,0 +1,160 @@
+#include "sfa/automata/nfa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfa {
+
+std::uint32_t Nfa::add_state() {
+  states_.emplace_back();
+  return static_cast<std::uint32_t>(states_.size() - 1);
+}
+
+Nfa::Frag Nfa::build(const Regex& r) {
+  switch (r.kind) {
+    case RegexKind::kEpsilon: {
+      const auto s = add_state();
+      const auto a = add_state();
+      states_[s].eps.push_back(a);
+      return {s, a};
+    }
+    case RegexKind::kClass: {
+      if (r.cls.empty()) throw std::invalid_argument("empty character class");
+      const auto s = add_state();
+      const auto a = add_state();
+      states_[s].edges.push_back({r.cls, a});
+      return {s, a};
+    }
+    case RegexKind::kConcat: {
+      Frag acc = build(r.children.front());
+      for (std::size_t i = 1; i < r.children.size(); ++i) {
+        const Frag next = build(r.children[i]);
+        states_[acc.accept].eps.push_back(next.start);
+        acc.accept = next.accept;
+      }
+      return acc;
+    }
+    case RegexKind::kAlt: {
+      const auto s = add_state();
+      const auto a = add_state();
+      for (const auto& child : r.children) {
+        const Frag f = build(child);
+        states_[s].eps.push_back(f.start);
+        states_[f.accept].eps.push_back(a);
+      }
+      return {s, a};
+    }
+    case RegexKind::kStar: {
+      const Frag inner = build(r.children.front());
+      const auto s = add_state();
+      const auto a = add_state();
+      states_[s].eps.push_back(inner.start);
+      states_[s].eps.push_back(a);
+      states_[inner.accept].eps.push_back(inner.start);
+      states_[inner.accept].eps.push_back(a);
+      return {s, a};
+    }
+    case RegexKind::kRepeat: {
+      const Regex& child = r.children.front();
+      if (r.min_rep < 0) throw std::invalid_argument("negative repeat bound");
+      // n mandatory copies ...
+      Frag acc;
+      bool have = false;
+      for (int i = 0; i < r.min_rep; ++i) {
+        const Frag f = build(child);
+        if (!have) {
+          acc = f;
+          have = true;
+        } else {
+          states_[acc.accept].eps.push_back(f.start);
+          acc.accept = f.accept;
+        }
+      }
+      if (r.max_rep == kUnbounded) {
+        // ... then child*.
+        Regex star;
+        star.kind = RegexKind::kStar;
+        star.children.push_back(child);
+        const Frag f = build(star);
+        if (!have) return f;
+        states_[acc.accept].eps.push_back(f.start);
+        acc.accept = f.accept;
+        return acc;
+      }
+      // ... then (m-n) optional copies; each may be skipped to the end.
+      const auto end = add_state();
+      if (!have) {
+        const auto s = add_state();
+        acc = {s, s};
+        have = true;
+      }
+      for (int i = r.min_rep; i < r.max_rep; ++i) {
+        states_[acc.accept].eps.push_back(end);
+        const Frag f = build(child);
+        states_[acc.accept].eps.push_back(f.start);
+        acc.accept = f.accept;
+      }
+      states_[acc.accept].eps.push_back(end);
+      acc.accept = end;
+      return acc;
+    }
+  }
+  throw std::logic_error("unreachable regex kind");
+}
+
+Nfa Nfa::from_regex(const Regex& regex, unsigned alphabet_size) {
+  Nfa nfa;
+  nfa.alphabet_size_ = alphabet_size;
+  const Frag f = nfa.build(regex);
+  nfa.start_ = f.start;
+  nfa.accept_ = f.accept;
+  return nfa;
+}
+
+std::vector<std::uint32_t> Nfa::eps_closure(
+    std::vector<std::uint32_t> set) const {
+  std::vector<bool> seen(states_.size(), false);
+  std::vector<std::uint32_t> stack;
+  for (auto s : set) {
+    if (!seen[s]) {
+      seen[s] = true;
+      stack.push_back(s);
+    }
+  }
+  set.clear();
+  while (!stack.empty()) {
+    const auto s = stack.back();
+    stack.pop_back();
+    set.push_back(s);
+    for (auto t : states_[s].eps) {
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+std::vector<std::uint32_t> Nfa::move(const std::vector<std::uint32_t>& from,
+                                     Symbol symbol) const {
+  std::vector<std::uint32_t> out;
+  for (auto s : from)
+    for (const auto& e : states_[s].edges)
+      if (e.on.test(symbol)) out.push_back(e.to);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Nfa::accepts(const std::vector<Symbol>& input) const {
+  std::vector<std::uint32_t> cur = eps_closure({start_});
+  for (Symbol sym : input) {
+    if (cur.empty()) return false;
+    cur = eps_closure(move(cur, sym));
+  }
+  return std::binary_search(cur.begin(), cur.end(), accept_);
+}
+
+}  // namespace sfa

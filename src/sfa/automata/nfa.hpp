@@ -1,0 +1,58 @@
+// Thompson NFA construction from a Regex tree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfa/automata/regex.hpp"
+
+namespace sfa {
+
+/// Nondeterministic finite automaton with epsilon transitions and
+/// character-class edge labels (one Thompson accept state).
+class Nfa {
+ public:
+  struct Edge {
+    CharClass on;
+    std::uint32_t to;
+  };
+  struct State {
+    std::vector<Edge> edges;
+    std::vector<std::uint32_t> eps;
+  };
+
+  /// Thompson construction.  Bounded repeats are expanded structurally:
+  /// r{n,m} -> n copies of r followed by (m-n) optional copies;
+  /// r{n,}  -> n copies followed by r*.
+  static Nfa from_regex(const Regex& regex, unsigned alphabet_size);
+
+  std::uint32_t size() const { return static_cast<std::uint32_t>(states_.size()); }
+  std::uint32_t start() const { return start_; }
+  std::uint32_t accept() const { return accept_; }
+  unsigned alphabet_size() const { return alphabet_size_; }
+  const State& state(std::uint32_t i) const { return states_[i]; }
+
+  /// Epsilon closure of a sorted state set, returned sorted and unique
+  /// (workhorse of the subset construction).
+  std::vector<std::uint32_t> eps_closure(std::vector<std::uint32_t> set) const;
+
+  /// All states reachable from sorted set `from` on `symbol` (not closed).
+  std::vector<std::uint32_t> move(const std::vector<std::uint32_t>& from,
+                                  Symbol symbol) const;
+
+  /// Direct NFA simulation — the oracle for equivalence tests.
+  bool accepts(const std::vector<Symbol>& input) const;
+
+ private:
+  struct Frag {
+    std::uint32_t start, accept;
+  };
+  std::uint32_t add_state();
+  Frag build(const Regex& r);
+
+  std::vector<State> states_;
+  std::uint32_t start_ = 0, accept_ = 0;
+  unsigned alphabet_size_ = 0;
+};
+
+}  // namespace sfa

@@ -1,0 +1,158 @@
+#include "sfa/automata/ops.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sfa/automata/determinize.hpp"
+#include "sfa/automata/minimize.hpp"
+#include "sfa/automata/nfa.hpp"
+#include "sfa/automata/regex_parser.hpp"
+
+namespace sfa {
+
+Regex match_anywhere(Regex r, unsigned alphabet_size) {
+  std::vector<Regex> parts;
+  parts.push_back(rx::star(rx::any(alphabet_size)));
+  parts.push_back(std::move(r));
+  parts.push_back(rx::star(rx::any(alphabet_size)));
+  return rx::cat(std::move(parts));
+}
+
+Dfa compile_to_dfa(const Regex& r, unsigned alphabet_size,
+                   const CompileOptions& options) {
+  const Regex* effective = &r;
+  Regex wrapped;
+  if (options.anywhere) {
+    wrapped = match_anywhere(r, alphabet_size);
+    effective = &wrapped;
+  }
+  const Nfa nfa = Nfa::from_regex(*effective, alphabet_size);
+  Dfa dfa = determinize(nfa);
+  if (options.minimize) dfa = minimize(dfa);
+  return dfa;
+}
+
+Dfa compile_pattern(std::string_view pattern, const Alphabet& alphabet,
+                    const CompileOptions& options) {
+  return compile_to_dfa(parse_regex(pattern, alphabet), alphabet.size(),
+                        options);
+}
+
+bool dfa_equivalent(const Dfa& a, const Dfa& b) {
+  if (a.num_symbols() != b.num_symbols())
+    throw std::invalid_argument("alphabet size mismatch");
+  if (!a.complete() || !b.complete())
+    throw std::invalid_argument("dfa_equivalent() requires complete DFAs");
+  const unsigned k = a.num_symbols();
+
+  const auto key = [&](Dfa::StateId qa, Dfa::StateId qb) {
+    return (static_cast<std::uint64_t>(qa) << 32) | qb;
+  };
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::pair<Dfa::StateId, Dfa::StateId>> queue;
+  queue.emplace_back(a.start(), b.start());
+  visited.insert(key(a.start(), b.start()));
+
+  while (!queue.empty()) {
+    const auto [qa, qb] = queue.front();
+    queue.pop_front();
+    if (a.accepting(qa) != b.accepting(qb)) return false;
+    for (unsigned s = 0; s < k; ++s) {
+      const auto ta = a.transition(qa, static_cast<Symbol>(s));
+      const auto tb = b.transition(qb, static_cast<Symbol>(s));
+      if (visited.insert(key(ta, tb)).second) queue.emplace_back(ta, tb);
+    }
+  }
+  return true;
+}
+
+Dfa dfa_from_grail_nfa(std::istream& in, const Alphabet& alphabet) {
+  struct Edge {
+    std::uint32_t from, to;
+    Symbol symbol;
+  };
+  std::vector<Edge> edges;
+  std::vector<std::uint32_t> starts, finals;
+  std::uint32_t max_state = 0;
+  bool any_start = false;
+
+  std::string a, b, c;
+  while (in >> a >> b >> c) {
+    if (a == "(START)") {
+      if (b != "|-") throw std::runtime_error("grail: malformed start line");
+      starts.push_back(static_cast<std::uint32_t>(std::stoul(c)));
+      max_state = std::max(max_state, starts.back());
+      any_start = true;
+    } else if (b == "-|") {
+      if (c != "(FINAL)")
+        throw std::runtime_error("grail: malformed final line");
+      finals.push_back(static_cast<std::uint32_t>(std::stoul(a)));
+      max_state = std::max(max_state, finals.back());
+    } else {
+      if (b.size() != 1 || !alphabet.contains(b[0]))
+        throw std::runtime_error("grail: bad symbol '" + b + "'");
+      const Edge e{static_cast<std::uint32_t>(std::stoul(a)),
+                   static_cast<std::uint32_t>(std::stoul(c)),
+                   alphabet.symbol_of(b[0])};
+      max_state = std::max({max_state, e.from, e.to});
+      edges.push_back(e);
+    }
+  }
+  if (!any_start) throw std::runtime_error("grail: missing start line");
+
+  // Subset construction directly over the edge list (no epsilon edges in
+  // Grail text, so no closures are needed).
+  const unsigned k = alphabet.size();
+  const std::uint32_t n = max_state + 1;
+  std::vector<std::vector<std::pair<Symbol, std::uint32_t>>> adj(n);
+  for (const Edge& e : edges) adj[e.from].emplace_back(e.symbol, e.to);
+  std::vector<bool> is_final(n, false);
+  for (auto f : finals) is_final[f] = true;
+
+  const auto accepts = [&](const std::vector<std::uint32_t>& set) {
+    for (auto q : set)
+      if (is_final[q]) return true;
+    return false;
+  };
+
+  Dfa dfa(k);
+  std::map<std::vector<std::uint32_t>, Dfa::StateId> ids;
+  std::deque<std::vector<std::uint32_t>> worklist;
+  const auto intern = [&](std::vector<std::uint32_t> set) {
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    const auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    const Dfa::StateId id = dfa.add_state(accepts(set));
+    ids.emplace(set, id);
+    worklist.push_back(std::move(set));
+    return id;
+  };
+
+  dfa.set_start(intern({starts.begin(), starts.end()}));
+  while (!worklist.empty()) {
+    const std::vector<std::uint32_t> set = std::move(worklist.front());
+    worklist.pop_front();
+    const Dfa::StateId from = ids.at(set);
+    for (unsigned s = 0; s < k; ++s) {
+      std::vector<std::uint32_t> next;
+      for (auto q : set)
+        for (const auto& [sym, to] : adj[q])
+          if (sym == static_cast<Symbol>(s)) next.push_back(to);
+      dfa.set_transition(from, static_cast<Symbol>(s), intern(std::move(next)));
+    }
+  }
+  return minimize(dfa);
+}
+
+Dfa dfa_from_grail_nfa(const std::string& text, const Alphabet& alphabet) {
+  std::istringstream is(text);
+  return dfa_from_grail_nfa(is, alphabet);
+}
+
+}  // namespace sfa

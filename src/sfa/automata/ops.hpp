@@ -1,0 +1,45 @@
+// Automata-level operations: the match-anywhere closure, the full
+// regex -> minimal-DFA compilation pipeline, and equivalence checking.
+#pragma once
+
+#include <string_view>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/automata/regex.hpp"
+
+namespace sfa {
+
+/// Wraps a pattern so it matches at any position: Sigma* r Sigma*.
+/// This is the catenation the paper applies to all PROSITE FAs (§I); it is
+/// the step with exponential state complexity that makes the resulting DFAs
+/// (and their SFAs) large.
+Regex match_anywhere(Regex r, unsigned alphabet_size);
+
+/// Options for compile_to_dfa.
+struct CompileOptions {
+  bool anywhere = true;   // apply the Sigma* r Sigma* catenation
+  bool minimize = true;   // Hopcroft-minimize the determinized DFA
+};
+
+/// Full pipeline: Regex -> Thompson NFA -> subset construction -> (minimal)
+/// complete DFA.  This replaces the Grail+ toolchain the paper used.
+Dfa compile_to_dfa(const Regex& r, unsigned alphabet_size,
+                   const CompileOptions& options = {});
+
+/// Convenience: parse a textual regex and compile it.
+Dfa compile_pattern(std::string_view pattern, const Alphabet& alphabet,
+                    const CompileOptions& options = {});
+
+/// Language equivalence of two complete DFAs over the same alphabet
+/// (BFS over the product automaton, comparing acceptance).
+bool dfa_equivalent(const Dfa& a, const Dfa& b);
+
+/// Parse a (possibly nondeterministic) automaton in Grail+ text format —
+/// multiple start lines, multiple transitions per (state, symbol) — and
+/// determinize + minimize it into a complete DFA.  This covers the full
+/// Grail toolchain interchange the paper's framework reads, not just the
+/// deterministic subset Dfa::from_grail accepts.
+Dfa dfa_from_grail_nfa(std::istream& in, const Alphabet& alphabet);
+Dfa dfa_from_grail_nfa(const std::string& text, const Alphabet& alphabet);
+
+}  // namespace sfa

@@ -1,0 +1,108 @@
+#include "sfa/automata/product.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sfa/automata/minimize.hpp"
+
+namespace sfa {
+
+Dfa product(const Dfa& a, const Dfa& b, BoolOp op) {
+  if (a.num_symbols() != b.num_symbols())
+    throw std::invalid_argument("product: alphabet size mismatch");
+  if (!a.complete() || !b.complete())
+    throw std::invalid_argument("product: requires complete DFAs");
+  const unsigned k = a.num_symbols();
+
+  const auto accept = [op](bool in_a, bool in_b) {
+    switch (op) {
+      case BoolOp::kUnion:
+        return in_a || in_b;
+      case BoolOp::kIntersection:
+        return in_a && in_b;
+      case BoolOp::kDifference:
+        return in_a && !in_b;
+    }
+    return false;
+  };
+  const auto key = [](Dfa::StateId qa, Dfa::StateId qb) {
+    return (static_cast<std::uint64_t>(qa) << 32) | qb;
+  };
+
+  Dfa out(k);
+  std::unordered_map<std::uint64_t, Dfa::StateId> ids;
+  std::deque<std::pair<Dfa::StateId, Dfa::StateId>> worklist;
+
+  const auto intern = [&](Dfa::StateId qa, Dfa::StateId qb) {
+    const auto [it, inserted] = ids.emplace(key(qa, qb), 0);
+    if (inserted) {
+      it->second = out.add_state(accept(a.accepting(qa), b.accepting(qb)));
+      worklist.emplace_back(qa, qb);
+    }
+    return it->second;
+  };
+
+  out.set_start(intern(a.start(), b.start()));
+  while (!worklist.empty()) {
+    const auto [qa, qb] = worklist.front();
+    worklist.pop_front();
+    const Dfa::StateId from = ids.at(key(qa, qb));
+    for (unsigned s = 0; s < k; ++s) {
+      const Symbol sym = static_cast<Symbol>(s);
+      out.set_transition(from, sym,
+                         intern(a.transition(qa, sym), b.transition(qb, sym)));
+    }
+  }
+  return out;
+}
+
+Dfa dfa_complement(const Dfa& a) {
+  if (!a.complete())
+    throw std::invalid_argument("complement: requires a complete DFA");
+  Dfa out(a.num_symbols());
+  for (Dfa::StateId q = 0; q < a.size(); ++q) out.add_state(!a.accepting(q));
+  out.set_start(a.start());
+  for (Dfa::StateId q = 0; q < a.size(); ++q)
+    for (unsigned s = 0; s < a.num_symbols(); ++s)
+      out.set_transition(q, static_cast<Symbol>(s),
+                         a.transition(q, static_cast<Symbol>(s)));
+  return out;
+}
+
+Dfa dfa_union_all(std::vector<Dfa> dfas) {
+  if (dfas.empty()) throw std::invalid_argument("dfa_union_all: empty input");
+  // Balanced pairwise reduction; minimize per level to bound growth.
+  while (dfas.size() > 1) {
+    std::vector<Dfa> next;
+    next.reserve(dfas.size() / 2 + 1);
+    for (std::size_t i = 0; i + 1 < dfas.size(); i += 2)
+      next.push_back(minimize(dfa_union(dfas[i], dfas[i + 1])));
+    if (dfas.size() % 2 != 0) next.push_back(std::move(dfas.back()));
+    dfas = std::move(next);
+  }
+  return std::move(dfas.front());
+}
+
+bool dfa_empty(const Dfa& a) {
+  if (!a.complete())
+    throw std::invalid_argument("dfa_empty: requires a complete DFA");
+  std::vector<bool> seen(a.size(), false);
+  std::deque<Dfa::StateId> queue{a.start()};
+  seen[a.start()] = true;
+  while (!queue.empty()) {
+    const Dfa::StateId q = queue.front();
+    queue.pop_front();
+    if (a.accepting(q)) return false;
+    for (unsigned s = 0; s < a.num_symbols(); ++s) {
+      const Dfa::StateId t = a.transition(q, static_cast<Symbol>(s));
+      if (!seen[t]) {
+        seen[t] = true;
+        queue.push_back(t);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace sfa

@@ -1,0 +1,42 @@
+// Product constructions on complete DFAs: union, intersection, difference,
+// complement.
+//
+// These make multi-pattern scanning practical with ONE SFA: the union DFA of
+// a signature set accepts when any signature matches, so a single SFA
+// construction + one parallel matching pass replaces per-signature scans —
+// the IDS use-case from the paper's introduction (virus-signature sets).
+#pragma once
+
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+
+enum class BoolOp { kUnion, kIntersection, kDifference };
+
+/// Lazy product automaton of two complete DFAs over the same alphabet,
+/// exploring only reachable pairs; acceptance combined per `op`.  The result
+/// is complete but not minimized (callers minimize() when they care).
+Dfa product(const Dfa& a, const Dfa& b, BoolOp op);
+
+inline Dfa dfa_union(const Dfa& a, const Dfa& b) {
+  return product(a, b, BoolOp::kUnion);
+}
+inline Dfa dfa_intersection(const Dfa& a, const Dfa& b) {
+  return product(a, b, BoolOp::kIntersection);
+}
+inline Dfa dfa_difference(const Dfa& a, const Dfa& b) {
+  return product(a, b, BoolOp::kDifference);
+}
+
+/// Complement of a complete DFA (flips acceptance).
+Dfa dfa_complement(const Dfa& a);
+
+/// Union of many DFAs (balanced tree of pairwise products, minimizing at
+/// each level to keep intermediate sizes down).
+Dfa dfa_union_all(std::vector<Dfa> dfas);
+
+/// True when the complete DFA accepts no string (all reachable states
+/// non-accepting).
+bool dfa_empty(const Dfa& a);
+
+}  // namespace sfa

@@ -1,0 +1,61 @@
+#include "sfa/automata/random_dfa.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+
+Dfa random_dfa(const RandomDfaOptions& opt) {
+  if (opt.num_states == 0 || opt.num_symbols == 0)
+    throw std::invalid_argument("random_dfa: degenerate dimensions");
+  Xoshiro256 rng(opt.seed);
+  Dfa dfa(opt.num_symbols);
+
+  bool any_accepting = false;
+  for (std::uint32_t q = 0; q < opt.num_states; ++q) {
+    const bool accepting = rng.chance(opt.accept_fraction);
+    any_accepting |= accepting;
+    dfa.add_state(accepting);
+  }
+  if (!any_accepting)
+    dfa.set_accepting(
+        static_cast<Dfa::StateId>(rng.below(opt.num_states)), true);
+  dfa.set_start(0);
+
+  // Fill every transition uniformly...
+  for (std::uint32_t q = 0; q < opt.num_states; ++q)
+    for (unsigned s = 0; s < opt.num_symbols; ++s)
+      dfa.set_transition(q, static_cast<Symbol>(s),
+                         static_cast<Dfa::StateId>(rng.below(opt.num_states)));
+  // ...then guarantee reachability with one spanning edge into each q > 0.
+  // Spanning slots must not clobber each other, so each (from, symbol) pair
+  // is used at most once; the fallback slot (q-1, *) is always free because
+  // earlier rounds only ever picked sources < q-1.
+  std::vector<bool> used(static_cast<std::size_t>(opt.num_states) *
+                             opt.num_symbols,
+                         false);
+  for (std::uint32_t q = 1; q < opt.num_states; ++q) {
+    Dfa::StateId from = static_cast<Dfa::StateId>(rng.below(q));
+    Symbol sym = static_cast<Symbol>(rng.below(opt.num_symbols));
+    for (int tries = 0;
+         used[static_cast<std::size_t>(from) * opt.num_symbols + sym] &&
+         tries < 8;
+         ++tries) {
+      from = static_cast<Dfa::StateId>(rng.below(q));
+      sym = static_cast<Symbol>(rng.below(opt.num_symbols));
+    }
+    if (used[static_cast<std::size_t>(from) * opt.num_symbols + sym]) {
+      from = q - 1;
+      sym = 0;
+      while (used[static_cast<std::size_t>(from) * opt.num_symbols + sym])
+        ++sym;  // cannot run off: (q-1, *) has a free slot by construction
+    }
+    used[static_cast<std::size_t>(from) * opt.num_symbols + sym] = true;
+    dfa.set_transition(from, sym, q);
+  }
+  return dfa;
+}
+
+}  // namespace sfa

@@ -1,0 +1,25 @@
+// Seeded random complete DFAs — property-test workloads that are not
+// pattern-shaped (arbitrary transition structure, arbitrary acceptance),
+// complementing the PROSITE and r-benchmark generators.
+#pragma once
+
+#include <cstdint>
+
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+
+struct RandomDfaOptions {
+  std::uint32_t num_states = 16;
+  unsigned num_symbols = 4;
+  double accept_fraction = 0.25;  // expected fraction of accepting states
+  std::uint64_t seed = 1;
+};
+
+/// Uniform-ish random complete DFA in which every state is reachable from
+/// the start state (state q > 0 receives one incoming "spanning" edge from
+/// a random state < q before the remaining transitions are filled
+/// uniformly).  At least one state accepts.
+Dfa random_dfa(const RandomDfaOptions& options);
+
+}  // namespace sfa

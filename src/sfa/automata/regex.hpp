@@ -1,0 +1,108 @@
+// Value-semantic regular-expression syntax tree.
+//
+// Patterns (textual regexes, PROSITE motifs) compile to this AST, which the
+// Thompson construction (nfa.hpp) turns into an NFA.  Bounded repetition
+// {n,m} is kept symbolic in the tree and expanded during NFA construction so
+// PROSITE's x(2,4)-style counts stay readable when printing a pattern back.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sfa/automata/charclass.hpp"
+
+namespace sfa {
+
+enum class RegexKind {
+  kEpsilon,  // empty string
+  kClass,    // one symbol from a CharClass
+  kConcat,   // children in sequence
+  kAlt,      // any one child
+  kStar,     // child*, zero or more
+  kRepeat,   // child{min,max}; max = kUnbounded means {min,}
+};
+
+inline constexpr int kUnbounded = -1;
+
+struct Regex {
+  RegexKind kind = RegexKind::kEpsilon;
+  CharClass cls;                 // kClass only
+  std::vector<Regex> children;   // kConcat/kAlt: >=1; kStar/kRepeat: ==1
+  int min_rep = 0, max_rep = 0;  // kRepeat only
+
+  /// Number of AST nodes (used by tests and pattern-size reporting).
+  std::size_t node_count() const {
+    std::size_t n = 1;
+    for (const auto& c : children) n += c.node_count();
+    return n;
+  }
+};
+
+// ---- Builders (compose patterns programmatically) ---------------------------
+
+namespace rx {
+
+inline Regex epsilon() { return {}; }
+
+inline Regex cls(CharClass c) {
+  Regex r;
+  r.kind = RegexKind::kClass;
+  r.cls = c;
+  return r;
+}
+
+inline Regex sym(Symbol s) { return cls(CharClass::single(s)); }
+
+/// '.' over a k-symbol alphabet.
+inline Regex any(unsigned k) { return cls(CharClass::all(k)); }
+
+inline Regex cat(std::vector<Regex> parts) {
+  if (parts.empty()) return epsilon();
+  if (parts.size() == 1) return std::move(parts.front());
+  Regex r;
+  r.kind = RegexKind::kConcat;
+  r.children = std::move(parts);
+  return r;
+}
+
+inline Regex alt(std::vector<Regex> parts) {
+  if (parts.size() == 1) return std::move(parts.front());
+  Regex r;
+  r.kind = RegexKind::kAlt;
+  r.children = std::move(parts);
+  return r;
+}
+
+inline Regex star(Regex inner) {
+  Regex r;
+  r.kind = RegexKind::kStar;
+  r.children.push_back(std::move(inner));
+  return r;
+}
+
+inline Regex repeat(Regex inner, int min, int max) {
+  Regex r;
+  r.kind = RegexKind::kRepeat;
+  r.children.push_back(std::move(inner));
+  r.min_rep = min;
+  r.max_rep = max;
+  return r;
+}
+
+inline Regex plus(Regex inner) { return repeat(std::move(inner), 1, kUnbounded); }
+inline Regex opt(Regex inner) { return repeat(std::move(inner), 0, 1); }
+
+/// Literal symbol sequence.
+inline Regex literal(const std::vector<Symbol>& symbols) {
+  std::vector<Regex> parts;
+  parts.reserve(symbols.size());
+  for (Symbol s : symbols) parts.push_back(sym(s));
+  return cat(std::move(parts));
+}
+
+}  // namespace rx
+
+/// Render a regex using an alphabet's characters (for diagnostics/examples).
+std::string regex_to_string(const Regex& r, const Alphabet& alphabet);
+
+}  // namespace sfa

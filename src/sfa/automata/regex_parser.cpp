@@ -1,0 +1,248 @@
+#include "sfa/automata/regex_parser.hpp"
+
+#include <cctype>
+
+namespace sfa {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, const Alphabet& alphabet)
+      : src_(pattern), alphabet_(alphabet) {}
+
+  Regex parse() {
+    Regex r = parse_alt();
+    if (!at_end()) fail("unexpected trailing input");
+    return r;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+  char take() { return src_[pos_++]; }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw RegexParseError(msg, pos_);
+  }
+
+  Symbol symbol_for(char c) const {
+    const Symbol s = alphabet_.symbol_of(c);
+    if (s == kNoSymbol)
+      throw RegexParseError(std::string("character '") + c +
+                                "' not in alphabet",
+                            pos_);
+    return s;
+  }
+
+  Regex parse_alt() {
+    std::vector<Regex> branches;
+    branches.push_back(parse_concat());
+    while (!at_end() && peek() == '|') {
+      take();
+      branches.push_back(parse_concat());
+    }
+    return rx::alt(std::move(branches));
+  }
+
+  Regex parse_concat() {
+    std::vector<Regex> parts;
+    while (!at_end() && peek() != '|' && peek() != ')')
+      parts.push_back(parse_repeat());
+    return rx::cat(std::move(parts));
+  }
+
+  Regex parse_repeat() {
+    Regex r = parse_atom();
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '*') {
+        take();
+        r = rx::star(std::move(r));
+      } else if (c == '+') {
+        take();
+        r = rx::plus(std::move(r));
+      } else if (c == '?') {
+        take();
+        r = rx::opt(std::move(r));
+      } else if (c == '{') {
+        take();
+        const int lo = parse_int();
+        int hi = lo;
+        if (!at_end() && peek() == ',') {
+          take();
+          hi = (!at_end() && peek() == '}') ? kUnbounded : parse_int();
+        }
+        if (at_end() || take() != '}') fail("expected '}'");
+        if (hi != kUnbounded && hi < lo) fail("repeat bounds reversed");
+        r = rx::repeat(std::move(r), lo, hi);
+      } else {
+        break;
+      }
+    }
+    return r;
+  }
+
+  int parse_int() {
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+      fail("expected number");
+    long v = 0;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (take() - '0');
+      if (v > 100000) fail("repeat count too large");
+    }
+    return static_cast<int>(v);
+  }
+
+  Regex parse_atom() {
+    if (at_end()) fail("expected atom");
+    const char c = take();
+    switch (c) {
+      case '(': {
+        Regex inner = parse_alt();
+        if (at_end() || take() != ')') fail("expected ')'");
+        return inner;
+      }
+      case '[':
+        return rx::cls(parse_class());
+      case '.':
+        return rx::any(alphabet_.size());
+      case '\\': {
+        if (at_end()) fail("dangling escape");
+        return rx::sym(symbol_for(take()));
+      }
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+      case '}':
+      case ')':
+      case '|':
+        --pos_;
+        fail(std::string("unexpected metacharacter '") + c + "'");
+      default:
+        return rx::sym(symbol_for(c));
+    }
+  }
+
+  CharClass parse_class() {
+    bool negate = false;
+    if (!at_end() && peek() == '^') {
+      take();
+      negate = true;
+    }
+    CharClass cls;
+    bool any_member = false;
+    while (!at_end() && peek() != ']') {
+      char lo = take();
+      if (lo == '\\') {
+        if (at_end()) fail("dangling escape in class");
+        lo = take();
+      }
+      char hi = lo;
+      if (!at_end() && peek() == '-' && pos_ + 1 < src_.size() &&
+          src_[pos_ + 1] != ']') {
+        take();  // '-'
+        hi = take();
+        if (hi == '\\') {
+          if (at_end()) fail("dangling escape in class");
+          hi = take();
+        }
+      }
+      if (hi < lo) fail("character range reversed");
+      if (lo == hi) {
+        cls.add(symbol_for(lo));  // single char must be in the alphabet
+      } else {
+        // Range semantics over sparse alphabets: all alphabet characters
+        // within [lo, hi] (e.g. [A-G] over amino acids skips B).
+        bool any_in_range = false;
+        for (char ch = lo;; ++ch) {
+          if (alphabet_.contains(ch)) {
+            cls.add(alphabet_.symbol_of(ch));
+            any_in_range = true;
+          }
+          if (ch == hi) break;
+        }
+        if (!any_in_range) fail("character range outside alphabet");
+      }
+      any_member = true;
+    }
+    if (at_end() || take() != ']') fail("expected ']'");
+    if (!any_member) fail("empty character class");
+    return negate ? cls.negated(alphabet_.size()) : cls;
+  }
+
+  std::string_view src_;
+  const Alphabet& alphabet_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Regex parse_regex(std::string_view pattern, const Alphabet& alphabet) {
+  return Parser(pattern, alphabet).parse();
+}
+
+std::string regex_to_string(const Regex& r, const Alphabet& alphabet) {
+  switch (r.kind) {
+    case RegexKind::kEpsilon:
+      return "()";
+    case RegexKind::kClass: {
+      if (r.cls.count() == 1) {
+        for (unsigned s = 0; s < alphabet.size(); ++s)
+          if (r.cls.test(static_cast<Symbol>(s)))
+            return std::string(1, alphabet.char_of(static_cast<Symbol>(s)));
+      }
+      if (r.cls.count() == alphabet.size()) return ".";
+      std::string out = "[";
+      for (unsigned s = 0; s < alphabet.size(); ++s)
+        if (r.cls.test(static_cast<Symbol>(s)))
+          out.push_back(alphabet.char_of(static_cast<Symbol>(s)));
+      out.push_back(']');
+      return out;
+    }
+    case RegexKind::kConcat: {
+      std::string out;
+      for (const auto& c : r.children) {
+        const bool paren = c.kind == RegexKind::kAlt;
+        if (paren) out.push_back('(');
+        out += regex_to_string(c, alphabet);
+        if (paren) out.push_back(')');
+      }
+      return out;
+    }
+    case RegexKind::kAlt: {
+      std::string out;
+      for (std::size_t i = 0; i < r.children.size(); ++i) {
+        if (i) out.push_back('|');
+        out += regex_to_string(r.children[i], alphabet);
+      }
+      return out;
+    }
+    case RegexKind::kStar: {
+      const auto& c = r.children.front();
+      const bool paren = c.kind == RegexKind::kConcat || c.kind == RegexKind::kAlt;
+      return (paren ? "(" + regex_to_string(c, alphabet) + ")"
+                    : regex_to_string(c, alphabet)) +
+             "*";
+    }
+    case RegexKind::kRepeat: {
+      const auto& c = r.children.front();
+      const bool paren = c.kind == RegexKind::kConcat || c.kind == RegexKind::kAlt;
+      std::string base = paren ? "(" + regex_to_string(c, alphabet) + ")"
+                               : regex_to_string(c, alphabet);
+      if (r.min_rep == 0 && r.max_rep == 1) return base + "?";
+      if (r.min_rep == 1 && r.max_rep == kUnbounded) return base + "+";
+      std::string suffix = "{" + std::to_string(r.min_rep);
+      if (r.max_rep == kUnbounded)
+        suffix += ",}";
+      else if (r.max_rep != r.min_rep)
+        suffix += "," + std::to_string(r.max_rep) + "}";
+      else
+        suffix += "}";
+      return base + suffix;
+    }
+  }
+  return {};
+}
+
+}  // namespace sfa

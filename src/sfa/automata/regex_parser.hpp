@@ -1,0 +1,34 @@
+// Textual regular-expression parser.
+//
+// Grammar (POSIX-flavoured subset, sufficient for the paper's workloads):
+//
+//   alt    := concat ('|' concat)*
+//   concat := repeat+
+//   repeat := atom ('*' | '+' | '?' | '{' n (',' m?)? '}')*
+//   atom   := literal-char | '.' | '(' alt ')' | class
+//   class  := '[' '^'? (char | char '-' char)+ ']'
+//
+// Literal characters must belong to the alphabet; '\' escapes any
+// metacharacter.  Parse errors throw RegexParseError with a position.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sfa/automata/regex.hpp"
+
+namespace sfa {
+
+class RegexParseError : public std::runtime_error {
+ public:
+  RegexParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        position(pos) {}
+  std::size_t position;
+};
+
+/// Parse `pattern` over `alphabet` into a Regex tree.
+Regex parse_regex(std::string_view pattern, const Alphabet& alphabet);
+
+}  // namespace sfa

@@ -1,0 +1,143 @@
+#include "sfa/classic/aho_corasick.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace sfa {
+
+AhoCorasick::AhoCorasick(std::vector<std::vector<Symbol>> patterns,
+                         unsigned num_symbols)
+    : num_symbols_(num_symbols) {
+  if (num_symbols_ == 0) throw std::invalid_argument("aho-corasick: k == 0");
+
+  // 1. Trie construction with explicit nodes.
+  struct TrieNode {
+    std::vector<std::uint32_t> child;  // k entries, 0 = absent (root is 0)
+    std::vector<std::uint32_t> outputs;
+  };
+  std::vector<TrieNode> trie(1);
+  trie[0].child.assign(num_symbols_, 0);
+  for (std::uint32_t p = 0; p < patterns.size(); ++p) {
+    if (patterns[p].empty())
+      throw std::invalid_argument("aho-corasick: empty pattern");
+    std::uint32_t node = 0;
+    for (Symbol s : patterns[p]) {
+      if (s >= num_symbols_)
+        throw std::invalid_argument("aho-corasick: symbol out of range");
+      if (trie[node].child[s] == 0) {
+        trie[node].child[s] = static_cast<std::uint32_t>(trie.size());
+        trie.emplace_back();
+        trie.back().child.assign(num_symbols_, 0);
+        node = static_cast<std::uint32_t>(trie.size() - 1);
+      } else {
+        node = trie[node].child[s];
+      }
+    }
+    trie[node].outputs.push_back(p);
+  }
+
+  // 2. BFS failure links, flattened directly into the dense goto table:
+  //    next[node][s] = child if present, else next[fail(node)][s].
+  const std::uint32_t n = static_cast<std::uint32_t>(trie.size());
+  next_.assign(static_cast<std::size_t>(n) * num_symbols_, 0);
+  outputs_.resize(n);
+  any_output_.assign(n, 0);
+  std::vector<std::uint32_t> fail(n, 0);
+
+  std::deque<std::uint32_t> queue;
+  for (unsigned s = 0; s < num_symbols_; ++s) {
+    const std::uint32_t c = trie[0].child[s];
+    next_[s] = c;  // root row: missing edges self-loop to root (0)
+    if (c != 0) {
+      fail[c] = 0;
+      queue.push_back(c);
+    }
+  }
+  while (!queue.empty()) {
+    const std::uint32_t node = queue.front();
+    queue.pop_front();
+    // Inherit outputs along the failure chain (suffix matches).
+    outputs_[node] = trie[node].outputs;
+    const auto& suffix_outputs = outputs_[fail[node]];
+    outputs_[node].insert(outputs_[node].end(), suffix_outputs.begin(),
+                          suffix_outputs.end());
+    any_output_[node] = !outputs_[node].empty();
+
+    for (unsigned s = 0; s < num_symbols_; ++s) {
+      const std::uint32_t c = trie[node].child[s];
+      const std::size_t row = static_cast<std::size_t>(node) * num_symbols_;
+      if (c != 0) {
+        fail[c] = next_[static_cast<std::size_t>(fail[node]) * num_symbols_ + s];
+        next_[row + s] = c;
+        queue.push_back(c);
+      } else {
+        next_[row + s] =
+            next_[static_cast<std::size_t>(fail[node]) * num_symbols_ + s];
+      }
+    }
+  }
+}
+
+AhoCorasick AhoCorasick::from_strings(const std::vector<std::string>& patterns,
+                                      const Alphabet& alphabet) {
+  std::vector<std::vector<Symbol>> encoded;
+  encoded.reserve(patterns.size());
+  for (const auto& p : patterns) encoded.push_back(alphabet.encode(p));
+  return AhoCorasick(std::move(encoded), alphabet.size());
+}
+
+std::vector<AcMatch> AhoCorasick::find_all(const Symbol* input,
+                                           std::size_t len) const {
+  std::vector<AcMatch> out;
+  std::uint32_t node = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    node = next_[static_cast<std::size_t>(node) * num_symbols_ + input[i]];
+    if (any_output_[node])
+      for (std::uint32_t p : outputs_[node]) out.push_back({i + 1, p});
+  }
+  return out;
+}
+
+bool AhoCorasick::contains_any(const Symbol* input, std::size_t len) const {
+  std::uint32_t node = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    node = next_[static_cast<std::size_t>(node) * num_symbols_ + input[i]];
+    if (any_output_[node]) return true;
+  }
+  return false;
+}
+
+std::size_t AhoCorasick::count_matches(const Symbol* input,
+                                       std::size_t len) const {
+  std::size_t count = 0;
+  std::uint32_t node = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    node = next_[static_cast<std::size_t>(node) * num_symbols_ + input[i]];
+    if (any_output_[node]) count += outputs_[node].size();
+  }
+  return count;
+}
+
+Dfa AhoCorasick::to_dfa() const {
+  Dfa dfa(num_symbols_);
+  const std::uint32_t n = num_nodes();
+  // Match-anywhere absorbing semantics: add one absorbing accept state so
+  // acceptance is "a match occurred somewhere", matching compile_prosite's
+  // catenation convention.
+  for (std::uint32_t q = 0; q < n; ++q) dfa.add_state(false);
+  const Dfa::StateId absorb = dfa.add_state(true);
+  for (unsigned s = 0; s < num_symbols_; ++s)
+    dfa.set_transition(absorb, static_cast<Symbol>(s), absorb);
+  for (std::uint32_t q = 0; q < n; ++q) {
+    for (unsigned s = 0; s < num_symbols_; ++s) {
+      const std::uint32_t t =
+          next_[static_cast<std::size_t>(q) * num_symbols_ + s];
+      dfa.set_transition(q, static_cast<Symbol>(s),
+                         any_output_[t] ? absorb : t);
+    }
+  }
+  dfa.set_start(0);
+  return dfa;
+}
+
+}  // namespace sfa

@@ -1,0 +1,59 @@
+// Aho–Corasick multi-string matching automaton (related work, paper §V).
+//
+// The classic comparator for multi-literal workloads: a trie over the
+// pattern set with failure links, flattened here into a dense complete DFA
+// table (goto + failure precomputed), so matching is the same
+// one-transition-per-symbol loop as the library's DFA matcher — an
+// apples-to-apples baseline for the classic-matchers benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+
+struct AcMatch {
+  std::size_t end_position;  // index one past the match's last symbol
+  std::uint32_t pattern;     // index into the pattern set
+};
+
+class AhoCorasick {
+ public:
+  /// Build from symbol-encoded patterns (each non-empty) over a k-symbol
+  /// alphabet.
+  AhoCorasick(std::vector<std::vector<Symbol>> patterns, unsigned num_symbols);
+
+  /// Convenience: encode `patterns` with `alphabet` first.
+  static AhoCorasick from_strings(const std::vector<std::string>& patterns,
+                                  const Alphabet& alphabet);
+
+  /// All matches (end position + pattern id), in scan order.
+  std::vector<AcMatch> find_all(const Symbol* input, std::size_t len) const;
+
+  /// First match test only (early exit).
+  bool contains_any(const Symbol* input, std::size_t len) const;
+
+  /// Count all matches without materializing them.
+  std::size_t count_matches(const Symbol* input, std::size_t len) const;
+
+  std::uint32_t num_nodes() const {
+    return static_cast<std::uint32_t>(outputs_.size());
+  }
+  unsigned num_symbols() const { return num_symbols_; }
+
+  /// Export as a complete match-anywhere DFA (accepting = any pattern ends
+  /// here or at a suffix) — lets the SFA machinery run on an AC automaton.
+  Dfa to_dfa() const;
+
+ private:
+  unsigned num_symbols_;
+  std::vector<std::uint32_t> next_;              // nodes x k, dense goto
+  std::vector<std::vector<std::uint32_t>> outputs_;  // pattern ids per node
+  std::vector<std::uint8_t> any_output_;         // fast acceptance flag
+};
+
+}  // namespace sfa

@@ -1,0 +1,103 @@
+#include "sfa/classic/boyer_moore.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sfa {
+
+namespace {
+
+/// suff[i] = length of the longest substring ending at i that is also a
+/// suffix of the whole pattern (the classic suffixes() preprocessing).
+std::vector<std::ptrdiff_t> compute_suffixes(const std::vector<Symbol>& p) {
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(p.size());
+  std::vector<std::ptrdiff_t> suff(p.size());
+  suff[m - 1] = m;
+  std::ptrdiff_t g = m - 1, f = m - 1;
+  for (std::ptrdiff_t i = m - 2; i >= 0; --i) {
+    if (i > g && suff[i + m - 1 - f] < i - g) {
+      suff[i] = suff[i + m - 1 - f];
+    } else {
+      if (i < g) g = i;
+      f = i;
+      while (g >= 0 && p[g] == p[g + m - 1 - f]) --g;
+      suff[i] = f - g;
+    }
+  }
+  return suff;
+}
+
+}  // namespace
+
+BoyerMoore::BoyerMoore(std::vector<Symbol> pattern, unsigned num_symbols)
+    : pattern_(std::move(pattern)) {
+  if (pattern_.empty())
+    throw std::invalid_argument("boyer-moore: empty pattern");
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(pattern_.size());
+
+  // Bad character: rightmost index of each symbol (-1 if absent).
+  bad_char_.assign(num_symbols, -1);
+  for (std::ptrdiff_t i = 0; i < m; ++i) {
+    if (pattern_[i] >= num_symbols)
+      throw std::invalid_argument("boyer-moore: symbol out of range");
+    bad_char_[pattern_[i]] = i;
+  }
+
+  // Good suffix.
+  const auto suff = compute_suffixes(pattern_);
+  good_suffix_.assign(pattern_.size(), static_cast<std::size_t>(m));
+  std::ptrdiff_t j = 0;
+  for (std::ptrdiff_t i = m - 1; i >= 0; --i) {
+    if (suff[i] == i + 1) {
+      for (; j < m - 1 - i; ++j) {
+        if (good_suffix_[j] == static_cast<std::size_t>(m))
+          good_suffix_[j] = static_cast<std::size_t>(m - 1 - i);
+      }
+    }
+  }
+  for (std::ptrdiff_t i = 0; i <= m - 2; ++i)
+    good_suffix_[m - 1 - suff[i]] = static_cast<std::size_t>(m - 1 - i);
+}
+
+BoyerMoore BoyerMoore::from_string(const std::string& pattern,
+                                   const Alphabet& alphabet) {
+  return BoyerMoore(alphabet.encode(pattern), alphabet.size());
+}
+
+std::size_t BoyerMoore::find(const Symbol* input, std::size_t len) const {
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(pattern_.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(len);
+  std::ptrdiff_t j = 0;
+  while (j <= n - m) {
+    std::ptrdiff_t i = m - 1;
+    while (i >= 0 && pattern_[i] == input[i + j]) --i;
+    if (i < 0) return static_cast<std::size_t>(j);
+    j += std::max<std::ptrdiff_t>(
+        static_cast<std::ptrdiff_t>(good_suffix_[i]),
+        i - bad_char_[input[i + j]]);
+  }
+  return npos;
+}
+
+std::vector<std::size_t> BoyerMoore::find_all(const Symbol* input,
+                                              std::size_t len) const {
+  std::vector<std::size_t> out;
+  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(pattern_.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(len);
+  std::ptrdiff_t j = 0;
+  while (j <= n - m) {
+    std::ptrdiff_t i = m - 1;
+    while (i >= 0 && pattern_[i] == input[i + j]) --i;
+    if (i < 0) {
+      out.push_back(static_cast<std::size_t>(j));
+      j += static_cast<std::ptrdiff_t>(good_suffix_[0]);
+    } else {
+      j += std::max<std::ptrdiff_t>(
+          static_cast<std::ptrdiff_t>(good_suffix_[i]),
+          i - bad_char_[input[i + j]]);
+    }
+  }
+  return out;
+}
+
+}  // namespace sfa

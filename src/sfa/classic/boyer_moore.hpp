@@ -1,0 +1,40 @@
+// Boyer–Moore single-string search (related work, paper §V).
+//
+// Bad-character + good-suffix heuristics over symbol-encoded text: the
+// classic sublinear-on-average baseline for single-literal workloads in the
+// classic-matchers benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+
+namespace sfa {
+
+class BoyerMoore {
+ public:
+  BoyerMoore(std::vector<Symbol> pattern, unsigned num_symbols);
+
+  static BoyerMoore from_string(const std::string& pattern,
+                                const Alphabet& alphabet);
+
+  /// Position of the first occurrence, or npos.
+  std::size_t find(const Symbol* input, std::size_t len) const;
+
+  /// Start positions of all (possibly overlapping) occurrences.
+  std::vector<std::size_t> find_all(const Symbol* input,
+                                    std::size_t len) const;
+
+  std::size_t pattern_length() const { return pattern_.size(); }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::vector<Symbol> pattern_;
+  std::vector<std::ptrdiff_t> bad_char_;     // k entries: last index of symbol
+  std::vector<std::size_t> good_suffix_;     // m+1 shift table
+};
+
+}  // namespace sfa

@@ -1,0 +1,114 @@
+#include "sfa/classic/rabin_karp.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace sfa {
+
+namespace {
+
+// Mersenne prime 2^61 - 1: fast modular reduction without division.
+constexpr std::uint64_t kMod = (1ull << 61) - 1;
+constexpr std::uint64_t kBase = 257;
+
+inline std::uint64_t mod_reduce(unsigned __int128 x) {
+  std::uint64_t lo = static_cast<std::uint64_t>(x & kMod);
+  std::uint64_t hi = static_cast<std::uint64_t>(x >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kMod) r -= kMod;
+  return r;
+}
+
+inline std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) {
+  return mod_reduce(static_cast<unsigned __int128>(a) * b);
+}
+
+inline std::uint64_t add_mod(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t r = a + b;
+  if (r >= kMod) r -= kMod;
+  return r;
+}
+
+inline std::uint64_t sub_mod(std::uint64_t a, std::uint64_t b) {
+  return a >= b ? a - b : a + kMod - b;
+}
+
+}  // namespace
+
+RabinKarp::RabinKarp(std::vector<std::vector<Symbol>> patterns,
+                     unsigned num_symbols)
+    : patterns_(std::move(patterns)) {
+  if (patterns_.empty())
+    throw std::invalid_argument("rabin-karp: no patterns");
+  m_ = patterns_.front().size();
+  if (m_ == 0) throw std::invalid_argument("rabin-karp: empty pattern");
+  for (const auto& p : patterns_) {
+    if (p.size() != m_)
+      throw std::invalid_argument(
+          "rabin-karp: all patterns must share one length");
+    for (Symbol s : p)
+      if (s >= num_symbols)
+        throw std::invalid_argument("rabin-karp: symbol out of range");
+  }
+  for (std::size_t i = 1; i < m_; ++i) pow_m_ = mul_mod(pow_m_, kBase);
+  for (std::uint32_t i = 0; i < patterns_.size(); ++i)
+    by_hash_[hash_window(patterns_[i].data())].push_back(i);
+}
+
+RabinKarp RabinKarp::from_strings(const std::vector<std::string>& patterns,
+                                  const Alphabet& alphabet) {
+  std::vector<std::vector<Symbol>> encoded;
+  encoded.reserve(patterns.size());
+  for (const auto& p : patterns) encoded.push_back(alphabet.encode(p));
+  return RabinKarp(std::move(encoded), alphabet.size());
+}
+
+std::uint64_t RabinKarp::hash_window(const Symbol* s) const {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < m_; ++i)
+    h = add_mod(mul_mod(h, kBase), s[i] + 1u);  // +1: avoid the 0 fixpoint
+  return h;
+}
+
+std::vector<RabinKarp::Match> RabinKarp::find_all(const Symbol* input,
+                                                  std::size_t len) const {
+  std::vector<Match> out;
+  if (len < m_) return out;
+  std::uint64_t h = hash_window(input);
+  for (std::size_t pos = 0;; ++pos) {
+    const auto it = by_hash_.find(h);
+    if (it != by_hash_.end()) {
+      for (std::uint32_t p : it->second) {
+        // Exact verification: the hash is only a filter.
+        if (std::memcmp(patterns_[p].data(), input + pos,
+                        m_ * sizeof(Symbol)) == 0)
+          out.push_back({pos, p});
+      }
+    }
+    if (pos + m_ >= len) break;
+    // Roll: drop input[pos], append input[pos + m].
+    h = sub_mod(h, mul_mod(input[pos] + 1u, pow_m_));
+    h = add_mod(mul_mod(h, kBase), input[pos + m_] + 1u);
+  }
+  return out;
+}
+
+bool RabinKarp::contains_any(const Symbol* input, std::size_t len) const {
+  if (len < m_) return false;
+  std::uint64_t h = hash_window(input);
+  for (std::size_t pos = 0;; ++pos) {
+    const auto it = by_hash_.find(h);
+    if (it != by_hash_.end()) {
+      for (std::uint32_t p : it->second)
+        if (std::memcmp(patterns_[p].data(), input + pos,
+                        m_ * sizeof(Symbol)) == 0)
+          return true;
+    }
+    if (pos + m_ >= len) break;
+    h = sub_mod(h, mul_mod(input[pos] + 1u, pow_m_));
+    h = add_mod(mul_mod(h, kBase), input[pos + m_] + 1u);
+  }
+  return false;
+}
+
+}  // namespace sfa

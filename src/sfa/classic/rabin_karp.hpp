@@ -1,0 +1,46 @@
+// Rabin–Karp rolling-hash search (related work, paper §V).
+//
+// Single- and multi-literal variants over symbol-encoded text, using a
+// rolling polynomial hash modulo 2^61-1.  Candidate windows are verified
+// exactly, so results are never probabilistic — the hash only filters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+
+namespace sfa {
+
+class RabinKarp {
+ public:
+  /// All patterns must share one length `m` (the classic multi-pattern
+  /// Rabin–Karp restriction); for mixed lengths build one matcher per
+  /// length.
+  RabinKarp(std::vector<std::vector<Symbol>> patterns, unsigned num_symbols);
+
+  static RabinKarp from_strings(const std::vector<std::string>& patterns,
+                                const Alphabet& alphabet);
+
+  struct Match {
+    std::size_t position;   // start index
+    std::uint32_t pattern;  // index into the pattern set
+  };
+
+  std::vector<Match> find_all(const Symbol* input, std::size_t len) const;
+  bool contains_any(const Symbol* input, std::size_t len) const;
+
+  std::size_t pattern_length() const { return m_; }
+
+ private:
+  std::uint64_t hash_window(const Symbol* s) const;
+
+  std::size_t m_ = 0;
+  std::vector<std::vector<Symbol>> patterns_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_hash_;
+  std::uint64_t pow_m_ = 1;  // base^(m-1) mod p, for rolling removal
+};
+
+}  // namespace sfa

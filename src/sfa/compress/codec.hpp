@@ -1,0 +1,30 @@
+// Codec interface for in-memory compression of SFA states (paper §III-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace sfa {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// A lossless byte codec.  Implementations must be thread-safe for
+/// concurrent calls (workers compress states in parallel).
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual Bytes compress(ByteView input) const = 0;
+
+  /// `expected_size` is the exact decompressed size (SFA states have a
+  /// known, constant size, so the paper's scheme never needs to store it).
+  /// Throws std::runtime_error on corrupt input or size mismatch.
+  virtual Bytes decompress(ByteView input, std::size_t expected_size) const = 0;
+};
+
+}  // namespace sfa

@@ -1,0 +1,78 @@
+#include "sfa/compress/deflate_like.hpp"
+
+#include <stdexcept>
+
+#include "sfa/compress/huffman.hpp"
+#include "sfa/compress/lz77.hpp"
+
+namespace sfa {
+
+namespace {
+constexpr std::uint8_t kStored = 0x00;
+constexpr std::uint8_t kLzHuff = 0x01;
+constexpr std::uint8_t kLzOnly = 0x02;  // entropy stage skipped (tiny input)
+
+const Lz77Codec& lz77() {
+  static const Lz77Codec codec;
+  return codec;
+}
+const HuffmanCodec& huffman() {
+  static const HuffmanCodec codec;
+  return codec;
+}
+}  // namespace
+
+Bytes DeflateLikeCodec::compress(ByteView input) const {
+  const Bytes tokens = lz77().compress(input);
+  const Bytes entropy = huffman().compress(tokens);
+
+  // Pick the smallest of {LZ77+Huffman, LZ77-only, stored}.  On SFA-state-
+  // sized inputs the Huffman table header sometimes outweighs its savings;
+  // real deflate solves this with per-block stored/fixed modes, we solve it
+  // with whole-message mode selection.
+  Bytes packed;
+  packed.push_back(kLzHuff);
+  detail::put_varint(packed, tokens.size());
+  packed.insert(packed.end(), entropy.begin(), entropy.end());
+
+  if (tokens.size() + 1 < packed.size()) {
+    packed.clear();
+    packed.push_back(kLzOnly);
+    packed.insert(packed.end(), tokens.begin(), tokens.end());
+  }
+  if (packed.size() >= input.size() + 1) {
+    Bytes stored;
+    stored.reserve(input.size() + 1);
+    stored.push_back(kStored);
+    stored.insert(stored.end(), input.begin(), input.end());
+    return stored;
+  }
+  return packed;
+}
+
+Bytes DeflateLikeCodec::decompress(ByteView input,
+                                   std::size_t expected_size) const {
+  if (input.empty()) {
+    if (expected_size == 0) return {};
+    throw std::runtime_error("deflate-like: empty stream");
+  }
+  const std::uint8_t mode = input[0];
+  if (mode == kStored) {
+    if (input.size() - 1 != expected_size)
+      throw std::runtime_error("deflate-like: stored size mismatch");
+    return Bytes(input.begin() + 1, input.end());
+  }
+  if (mode == kLzOnly) {
+    return lz77().decompress(ByteView(input.data() + 1, input.size() - 1),
+                             expected_size);
+  }
+  if (mode != kLzHuff) throw std::runtime_error("deflate-like: bad header");
+  std::size_t pos = 1;
+  const std::uint64_t token_bytes = detail::get_varint(input, pos);
+  const Bytes tokens = huffman().decompress(
+      ByteView(input.data() + pos, input.size() - pos), token_bytes);
+  return lz77().decompress(ByteView(tokens.data(), tokens.size()),
+                           expected_size);
+}
+
+}  // namespace sfa

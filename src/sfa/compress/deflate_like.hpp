@@ -1,0 +1,22 @@
+// Deflate-class codec: LZ77 dictionary stage + canonical-Huffman entropy
+// stage.  This is the codec class the paper's Squash survey found best for
+// SFA states (17x–30x on PROSITE, 95x on r500) and the one its three-phase
+// construction uses for in-memory compression (§III-C).
+#pragma once
+
+#include "sfa/compress/codec.hpp"
+
+namespace sfa {
+
+class DeflateLikeCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "deflate-like"; }
+
+  /// LZ77-tokenize, then Huffman-code the token stream.  A one-byte header
+  /// selects between the huffman-wrapped form and a stored fallback for
+  /// inputs the pipeline cannot shrink.
+  Bytes compress(ByteView input) const override;
+  Bytes decompress(ByteView input, std::size_t expected_size) const override;
+};
+
+}  // namespace sfa

@@ -1,0 +1,307 @@
+#include "sfa/compress/huffman.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "sfa/compress/lz77.hpp"  // varint helpers
+
+namespace sfa {
+
+namespace detail {
+
+void huffman_code_lengths(const std::uint64_t freq[256],
+                          std::uint8_t lengths[256], unsigned max_length) {
+  std::fill(lengths, lengths + 256, 0);
+
+  // Leaves present, sorted by ascending frequency (ties by symbol).
+  std::vector<int> leaves;
+  for (int s = 0; s < 256; ++s)
+    if (freq[s] != 0) leaves.push_back(s);
+  if (leaves.empty()) return;
+  if (leaves.size() == 1) {
+    lengths[leaves[0]] = 1;
+    return;
+  }
+  std::sort(leaves.begin(), leaves.end(), [&](int a, int b) {
+    return freq[a] != freq[b] ? freq[a] < freq[b] : a < b;
+  });
+
+  // Two-queue Huffman tree construction.
+  struct Node {
+    std::uint64_t weight;
+    int left, right;  // -1/-1 for leaves
+    int symbol;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(leaves.size() * 2);
+  for (int s : leaves) nodes.push_back({freq[s], -1, -1, s});
+
+  std::size_t leaf_next = 0;                 // next unconsumed leaf
+  std::vector<int> internal;                 // queue of internal node ids
+  std::size_t internal_next = 0;
+  const auto take_min = [&]() -> int {
+    const bool have_leaf = leaf_next < leaves.size();
+    const bool have_internal = internal_next < internal.size();
+    if (have_leaf && (!have_internal ||
+                      nodes[leaf_next].weight <=
+                          nodes[internal[internal_next]].weight))
+      return static_cast<int>(leaf_next++);
+    return internal[internal_next++];
+  };
+  while ((leaves.size() - leaf_next) + (internal.size() - internal_next) > 1) {
+    const int a = take_min();
+    const int b = take_min();
+    nodes.push_back({nodes[a].weight + nodes[b].weight, a, b, -1});
+    internal.push_back(static_cast<int>(nodes.size() - 1));
+  }
+  const int root = internal.back();
+
+  // Depth-first traversal assigns raw depths.
+  std::vector<std::pair<int, unsigned>> stack{{root, 0}};
+  std::vector<unsigned> raw(256, 0);
+  unsigned deepest = 0;
+  while (!stack.empty()) {
+    const auto [id, depth] = stack.back();
+    stack.pop_back();
+    if (nodes[id].left < 0) {
+      raw[nodes[id].symbol] = std::max(1u, depth);
+      deepest = std::max(deepest, std::max(1u, depth));
+    } else {
+      stack.push_back({nodes[id].left, depth + 1});
+      stack.push_back({nodes[id].right, depth + 1});
+    }
+  }
+
+  if (deepest <= max_length) {
+    for (int s : leaves) lengths[s] = static_cast<std::uint8_t>(raw[s]);
+    return;
+  }
+
+  // Length-limit: clamp, then restore the Kraft inequality by demoting
+  // leaves (zlib-style), then hand lengths back out by frequency rank.
+  std::vector<unsigned> bl_count(max_length + 2, 0);
+  for (int s : leaves) ++bl_count[std::min(raw[s], max_length)];
+  std::uint64_t kraft = 0;
+  for (unsigned l = 1; l <= max_length; ++l)
+    kraft += static_cast<std::uint64_t>(bl_count[l]) << (max_length - l);
+  const std::uint64_t limit = 1ull << max_length;
+  while (kraft > limit) {
+    for (unsigned l = max_length - 1; l >= 1; --l) {
+      if (bl_count[l] > 0) {
+        --bl_count[l];
+        ++bl_count[l + 1];
+        kraft -= 1ull << (max_length - l - 1);
+        break;
+      }
+    }
+  }
+  // Most frequent symbols get the shortest lengths.
+  std::vector<int> by_freq = leaves;
+  std::sort(by_freq.begin(), by_freq.end(), [&](int a, int b) {
+    return freq[a] != freq[b] ? freq[a] > freq[b] : a < b;
+  });
+  std::size_t idx = 0;
+  for (unsigned l = 1; l <= max_length; ++l)
+    for (unsigned c = 0; c < bl_count[l]; ++c)
+      lengths[by_freq[idx++]] = static_cast<std::uint8_t>(l);
+}
+
+void canonical_codes(const std::uint8_t lengths[256], std::uint16_t codes[256]) {
+  unsigned bl_count[HuffmanCodec::kMaxCodeLength + 1] = {};
+  for (int s = 0; s < 256; ++s) ++bl_count[lengths[s]];
+  bl_count[0] = 0;
+  std::uint16_t next_code[HuffmanCodec::kMaxCodeLength + 2] = {};
+  std::uint16_t code = 0;
+  for (unsigned l = 1; l <= HuffmanCodec::kMaxCodeLength; ++l) {
+    code = static_cast<std::uint16_t>((code + bl_count[l - 1]) << 1);
+    next_code[l] = code;
+  }
+  for (int s = 0; s < 256; ++s)
+    codes[s] = lengths[s] ? next_code[lengths[s]]++ : 0;
+}
+
+namespace {
+
+/// MSB-first bit writer (canonical codes append naturally).
+class BitWriter {
+ public:
+  explicit BitWriter(Bytes& out) : out_(out) {}
+  void write(std::uint32_t code, unsigned len) {
+    acc_ = (acc_ << len) | code;
+    bits_ += len;
+    while (bits_ >= 8) {
+      bits_ -= 8;
+      out_.push_back(static_cast<std::uint8_t>(acc_ >> bits_));
+    }
+    total_ += len;
+  }
+  void flush() {
+    if (bits_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - bits_)));
+      bits_ = 0;
+      acc_ = 0;
+    }
+  }
+  std::uint64_t total_bits() const { return total_; }
+
+ private:
+  Bytes& out_;
+  std::uint64_t acc_ = 0;
+  unsigned bits_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class BitReader {
+ public:
+  BitReader(ByteView in, std::size_t start, std::uint64_t nbits)
+      : in_(in), pos_(start), remaining_(nbits) {}
+  int next() {
+    if (remaining_ == 0) return -1;
+    if (bits_ == 0) {
+      if (pos_ >= in_.size())
+        throw std::runtime_error("huffman: truncated payload");
+      acc_ = in_[pos_++];
+      bits_ = 8;
+    }
+    --remaining_;
+    --bits_;
+    return (acc_ >> bits_) & 1;
+  }
+
+ private:
+  ByteView in_;
+  std::size_t pos_;
+  std::uint64_t remaining_;
+  std::uint8_t acc_ = 0;
+  unsigned bits_ = 0;
+};
+
+}  // namespace
+}  // namespace detail
+
+Bytes HuffmanCodec::compress(ByteView input) const {
+  std::uint64_t freq[256] = {};
+  for (std::uint8_t b : input) ++freq[b];
+  std::uint8_t lengths[256];
+  std::uint16_t codes[256];
+  detail::huffman_code_lengths(freq, lengths, kMaxCodeLength);
+  detail::canonical_codes(lengths, codes);
+
+  Bytes out;
+  out.reserve(input.size() / 2 + 160);
+  // Header: the 256 code lengths, either as raw nibbles (128 B) or
+  // run-length coded (value, run) byte pairs — SFA states use few distinct
+  // byte values, so the RLE form is typically a few dozen bytes and matters
+  // for the paper's small-state compression ratios.
+  Bytes rle_header;
+  for (int s = 0; s < 256;) {
+    const std::uint8_t v = lengths[s];
+    int run = 1;
+    while (s + run < 256 && run < 255 && lengths[s + run] == v) ++run;
+    rle_header.push_back(v);
+    rle_header.push_back(static_cast<std::uint8_t>(run));
+    s += run;
+  }
+  if (rle_header.size() < 128) {
+    out.push_back(1);  // RLE header marker
+    detail::put_varint(out, rle_header.size());
+    out.insert(out.end(), rle_header.begin(), rle_header.end());
+  } else {
+    out.push_back(0);  // raw nibble header
+    for (int s = 0; s < 256; s += 2)
+      out.push_back(
+          static_cast<std::uint8_t>(lengths[s] | (lengths[s + 1] << 4)));
+  }
+
+  // Count payload bits, then emit.
+  std::uint64_t payload_bits = 0;
+  for (std::uint8_t b : input) payload_bits += lengths[b];
+  detail::put_varint(out, payload_bits);
+
+  detail::BitWriter writer(out);
+  for (std::uint8_t b : input) writer.write(codes[b], lengths[b]);
+  writer.flush();
+  return out;
+}
+
+Bytes HuffmanCodec::decompress(ByteView input, std::size_t expected_size) const {
+  if (input.empty()) throw std::runtime_error("huffman: empty stream");
+  std::uint8_t lengths[256];
+  std::size_t pos = 1;
+  if (input[0] == 1) {
+    const std::uint64_t rle_bytes = detail::get_varint(input, pos);
+    if (rle_bytes % 2 != 0 || pos + rle_bytes > input.size())
+      throw std::runtime_error("huffman: bad RLE header");
+    int s = 0;
+    for (std::uint64_t i = 0; i < rle_bytes; i += 2) {
+      const std::uint8_t v = input[pos + i];
+      const int run = input[pos + i + 1];
+      if (v > kMaxCodeLength || run == 0 || s + run > 256)
+        throw std::runtime_error("huffman: bad RLE header entry");
+      for (int j = 0; j < run; ++j) lengths[s++] = v;
+    }
+    if (s != 256) throw std::runtime_error("huffman: short RLE header");
+    pos += rle_bytes;
+  } else if (input[0] == 0) {
+    if (input.size() < 129)
+      throw std::runtime_error("huffman: truncated header");
+    for (int s = 0; s < 256; s += 2) {
+      lengths[s] = input[1 + s / 2] & 0x0F;
+      lengths[s + 1] = input[1 + s / 2] >> 4;
+    }
+    pos = 129;
+  } else {
+    throw std::runtime_error("huffman: bad header marker");
+  }
+  const std::uint64_t payload_bits = detail::get_varint(input, pos);
+
+  // Canonical per-length decode tables.
+  unsigned bl_count[kMaxCodeLength + 1] = {};
+  for (int s = 0; s < 256; ++s) ++bl_count[lengths[s]];
+  bl_count[0] = 0;
+  std::uint16_t first_code[kMaxCodeLength + 1] = {};
+  std::uint16_t base_index[kMaxCodeLength + 1] = {};
+  {
+    std::uint16_t code = 0, index = 0;
+    for (unsigned l = 1; l <= kMaxCodeLength; ++l) {
+      code = static_cast<std::uint16_t>((code + bl_count[l - 1]) << 1);
+      first_code[l] = code;
+      base_index[l] = index;
+      index = static_cast<std::uint16_t>(index + bl_count[l]);
+    }
+  }
+  // Symbols in canonical order: sorted by (length, symbol).
+  std::vector<std::uint8_t> canonical_symbols;
+  canonical_symbols.reserve(256);
+  for (unsigned l = 1; l <= kMaxCodeLength; ++l)
+    for (int s = 0; s < 256; ++s)
+      if (lengths[s] == l)
+        canonical_symbols.push_back(static_cast<std::uint8_t>(s));
+
+  detail::BitReader reader(input, pos, payload_bits);
+  Bytes out;
+  out.reserve(expected_size);
+  std::uint32_t code = 0;
+  unsigned len = 0;
+  for (;;) {
+    const int bit = reader.next();
+    if (bit < 0) break;
+    code = (code << 1) | static_cast<std::uint32_t>(bit);
+    ++len;
+    if (len > kMaxCodeLength) throw std::runtime_error("huffman: bad code");
+    const std::uint32_t offset = code - first_code[len];
+    if (bl_count[len] != 0 && code >= first_code[len] &&
+        offset < bl_count[len]) {
+      out.push_back(canonical_symbols[base_index[len] + offset]);
+      code = 0;
+      len = 0;
+    }
+  }
+  if (len != 0) throw std::runtime_error("huffman: dangling bits");
+  if (out.size() != expected_size)
+    throw std::runtime_error("huffman: size mismatch");
+  return out;
+}
+
+}  // namespace sfa

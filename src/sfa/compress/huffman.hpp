@@ -1,0 +1,37 @@
+// Canonical Huffman coding over bytes.
+//
+// The entropy stage of the deflate-class pipeline.  The container format is
+// self-describing:
+//   [256 code lengths, 4-bit nibbles, 128 bytes]
+//   [payload bit count : varint]
+//   [payload bits, LSB-first]
+// Code lengths are capped at 15 bits (zlib's limit), enforced with a
+// Kraft-sum fix-up after tree construction.
+#pragma once
+
+#include "sfa/compress/codec.hpp"
+
+namespace sfa {
+
+class HuffmanCodec final : public Codec {
+ public:
+  static constexpr unsigned kMaxCodeLength = 15;
+
+  std::string_view name() const override { return "huffman"; }
+  Bytes compress(ByteView input) const override;
+  Bytes decompress(ByteView input, std::size_t expected_size) const override;
+};
+
+namespace detail {
+
+/// Compute length-capped canonical code lengths for the given frequency
+/// table (exposed for tests).  Symbols with zero frequency get length 0.
+void huffman_code_lengths(const std::uint64_t freq[256],
+                          std::uint8_t lengths[256], unsigned max_length);
+
+/// Assign canonical codes (LSB-first convention handled by the bit writer).
+void canonical_codes(const std::uint8_t lengths[256], std::uint16_t codes[256]);
+
+}  // namespace detail
+
+}  // namespace sfa

@@ -1,0 +1,164 @@
+#include "sfa/compress/lz77.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace sfa {
+
+namespace detail {
+
+void put_varint(Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint64_t get_varint(ByteView in, std::size_t& pos) {
+  std::uint64_t v = 0;
+  unsigned shift = 0;
+  for (;;) {
+    if (pos >= in.size()) throw std::runtime_error("varint: truncated");
+    const std::uint8_t b = in[pos++];
+    v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if (!(b & 0x80)) return v;
+    shift += 7;
+    if (shift > 63) throw std::runtime_error("varint: overflow");
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash4(const std::uint8_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline std::size_t match_length(const std::uint8_t* a, const std::uint8_t* b,
+                                std::size_t limit) {
+  std::size_t n = 0;
+  while (n + 8 <= limit) {
+    std::uint64_t wa, wb;
+    std::memcpy(&wa, a + n, 8);
+    std::memcpy(&wb, b + n, 8);
+    const std::uint64_t diff = wa ^ wb;
+    if (diff != 0)
+      return n + static_cast<std::size_t>(__builtin_ctzll(diff) >> 3);
+    n += 8;
+  }
+  while (n < limit && a[n] == b[n]) ++n;
+  return n;
+}
+
+}  // namespace
+
+Bytes Lz77Codec::compress(ByteView input) const {
+  Bytes out;
+  out.reserve(input.size() / 2 + 16);
+  const std::size_t n = input.size();
+  const std::uint8_t* data = input.data();
+
+  // Hash chains: head[h] = most recent position with hash h; prev[i] = the
+  // position before i in its chain.  kNoPos terminates chains.
+  constexpr std::uint32_t kNoPos = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> head(kHashSize, kNoPos);
+  std::vector<std::uint32_t> prev(n >= kMinMatch ? n : 0);
+
+  std::size_t lit_start = 0;  // start of the pending literal run
+  const auto flush_literals = [&](std::size_t end) {
+    if (end == lit_start) return;
+    out.push_back(0x00);
+    detail::put_varint(out, end - lit_start);
+    out.insert(out.end(), data + lit_start, data + end);
+  };
+
+  std::size_t i = 0;
+  while (i + kMinMatch <= n) {
+    const std::uint32_t h = hash4(data + i);
+    std::uint32_t cand = head[h];
+
+    std::size_t best_len = 0, best_dist = 0;
+    const std::size_t limit = std::min(n - i, kMaxMatch);
+    unsigned chain = kMaxChainLength;
+    while (cand != kNoPos && chain-- != 0) {
+      const std::size_t dist = i - cand;
+      if (dist > kWindow) break;  // chain only gets older
+      const std::size_t len = match_length(data + cand, data + i, limit);
+      if (len > best_len) {
+        best_len = len;
+        best_dist = dist;
+        if (len == limit) break;
+      }
+      cand = prev[cand];
+    }
+
+    if (best_len >= kMinMatch) {
+      flush_literals(i);
+      out.push_back(0x01);
+      detail::put_varint(out, best_len);
+      detail::put_varint(out, best_dist);
+      // Insert the matched positions into the chains so later matches can
+      // reference the inside of this match; positions too close to the end
+      // to form a 4-byte hash are skipped.
+      const std::size_t match_end = i + best_len;
+      const std::size_t hashable_end = std::min(match_end, n - kMinMatch + 1);
+      while (i < hashable_end) {
+        const std::uint32_t hh = hash4(data + i);
+        prev[i] = head[hh];
+        head[hh] = static_cast<std::uint32_t>(i);
+        ++i;
+      }
+      i = match_end;
+      lit_start = i;
+      continue;
+    }
+
+    prev[i] = head[h];
+    head[h] = static_cast<std::uint32_t>(i);
+    ++i;
+  }
+  flush_literals(n);
+  return out;
+}
+
+Bytes Lz77Codec::decompress(ByteView input, std::size_t expected_size) const {
+  Bytes out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  while (pos < input.size()) {
+    const std::uint8_t tag = input[pos++];
+    if (tag == 0x00) {
+      const std::uint64_t len = detail::get_varint(input, pos);
+      if (pos + len > input.size())
+        throw std::runtime_error("lz77: literal run past end");
+      out.insert(out.end(), input.begin() + static_cast<std::ptrdiff_t>(pos),
+                 input.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      pos += len;
+    } else if (tag == 0x01) {
+      const std::uint64_t len = detail::get_varint(input, pos);
+      const std::uint64_t dist = detail::get_varint(input, pos);
+      if (dist == 0 || dist > out.size())
+        throw std::runtime_error("lz77: invalid match distance");
+      // Byte-by-byte copy: overlapping matches (dist < len) are the RLE
+      // case and must self-extend.
+      std::size_t src = out.size() - dist;
+      for (std::uint64_t j = 0; j < len; ++j) out.push_back(out[src + j]);
+    } else {
+      throw std::runtime_error("lz77: bad token tag");
+    }
+  }
+  if (out.size() != expected_size)
+    throw std::runtime_error("lz77: size mismatch");
+  return out;
+}
+
+}  // namespace sfa

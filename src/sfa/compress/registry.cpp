@@ -1,0 +1,89 @@
+#include "sfa/compress/registry.hpp"
+
+#include "sfa/compress/deflate_like.hpp"
+#include "sfa/compress/huffman.hpp"
+#include "sfa/compress/lz77.hpp"
+#include "sfa/compress/rle.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+namespace {
+
+/// Identity codec: the plain-memory-copy baseline.
+class StoreCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "store"; }
+  Bytes compress(ByteView input) const override {
+    return Bytes(input.begin(), input.end());
+  }
+  Bytes decompress(ByteView input, std::size_t expected_size) const override {
+    if (input.size() != expected_size)
+      throw std::runtime_error("store: size mismatch");
+    return Bytes(input.begin(), input.end());
+  }
+};
+
+}  // namespace
+
+const std::vector<const Codec*>& all_codecs() {
+  static const StoreCodec store;
+  static const RleCodec rle;
+  static const Rle16Codec rle16;
+  static const Lz77Codec lz77;
+  static const HuffmanCodec huffman;
+  static const DeflateLikeCodec deflate_like;
+  static const std::vector<const Codec*> codecs = {
+      &store, &rle, &rle16, &lz77, &huffman, &deflate_like};
+  return codecs;
+}
+
+const Codec* find_codec(std::string_view name) {
+  for (const Codec* c : all_codecs())
+    if (c->name() == name) return c;
+  return nullptr;
+}
+
+CodecEvaluation evaluate_codec(const Codec& codec,
+                               const std::vector<Bytes>& samples) {
+  CodecEvaluation ev;
+  ev.name = std::string(codec.name());
+  ev.roundtrip_ok = true;
+
+  std::vector<Bytes> compressed;
+  compressed.reserve(samples.size());
+
+  WallTimer timer;
+  for (const Bytes& s : samples) {
+    ev.input_bytes += s.size();
+    compressed.push_back(codec.compress(ByteView(s.data(), s.size())));
+    ev.output_bytes += compressed.back().size();
+  }
+  const double comp_secs = timer.seconds();
+
+  timer.reset();
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Bytes round = codec.decompress(
+        ByteView(compressed[i].data(), compressed[i].size()),
+        samples[i].size());
+    if (round != samples[i]) ev.roundtrip_ok = false;
+  }
+  const double decomp_secs = timer.seconds();
+
+  ev.ratio = ev.output_bytes
+                 ? static_cast<double>(ev.input_bytes) /
+                       static_cast<double>(ev.output_bytes)
+                 : 0.0;
+  const double mib = static_cast<double>(ev.input_bytes) / (1024.0 * 1024.0);
+  ev.compress_mb_s = comp_secs > 0 ? mib / comp_secs : 0;
+  ev.decompress_mb_s = decomp_secs > 0 ? mib / decomp_secs : 0;
+  return ev;
+}
+
+std::vector<CodecEvaluation> evaluate_all(const std::vector<Bytes>& samples) {
+  std::vector<CodecEvaluation> out;
+  for (const Codec* c : all_codecs()) out.push_back(evaluate_codec(*c, samples));
+  return out;
+}
+
+}  // namespace sfa

@@ -1,0 +1,40 @@
+// Codec registry + Squash-style evaluation harness (paper §III-C, E7).
+//
+// The paper ran the Squash benchmark's 43 codecs over sampled SFA states to
+// pick a compressor.  This registry plays the same role for the from-scratch
+// codecs in this library: it evaluates ratio and throughput per codec on a
+// sample set and reports the paper-style table.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sfa/compress/codec.hpp"
+
+namespace sfa {
+
+/// All registered codecs, including the "store" baseline (plain copy — the
+/// yardstick the paper compares deflate's cost against).
+const std::vector<const Codec*>& all_codecs();
+
+/// Find a codec by name (nullptr if unknown).
+const Codec* find_codec(std::string_view name);
+
+struct CodecEvaluation {
+  std::string name;
+  double ratio = 0;            // uncompressed / compressed
+  double compress_mb_s = 0;    // MiB/s over all samples
+  double decompress_mb_s = 0;
+  std::size_t input_bytes = 0;
+  std::size_t output_bytes = 0;
+  bool roundtrip_ok = false;
+};
+
+/// Compress + decompress every sample with `codec`, verifying the roundtrip.
+CodecEvaluation evaluate_codec(const Codec& codec,
+                               const std::vector<Bytes>& samples);
+
+std::vector<CodecEvaluation> evaluate_all(const std::vector<Bytes>& samples);
+
+}  // namespace sfa

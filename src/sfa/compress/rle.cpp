@@ -1,0 +1,82 @@
+#include "sfa/compress/rle.hpp"
+
+#include <stdexcept>
+
+namespace sfa {
+
+Bytes RleCodec::compress(ByteView input) const {
+  Bytes out;
+  out.reserve(input.size() / 4 + 16);
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const std::uint8_t b = input[i];
+    std::size_t run = 1;
+    while (run < 255 && i + run < input.size() && input[i + run] == b) ++run;
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(b);
+    i += run;
+  }
+  return out;
+}
+
+Bytes RleCodec::decompress(ByteView input, std::size_t expected_size) const {
+  if (input.size() % 2 != 0)
+    throw std::runtime_error("rle: truncated stream");
+  Bytes out;
+  out.reserve(expected_size);
+  for (std::size_t i = 0; i < input.size(); i += 2) {
+    const std::size_t run = input[i];
+    if (run == 0) throw std::runtime_error("rle: zero-length run");
+    out.insert(out.end(), run, input[i + 1]);
+  }
+  if (out.size() != expected_size)
+    throw std::runtime_error("rle: size mismatch");
+  return out;
+}
+
+Bytes Rle16Codec::compress(ByteView input) const {
+  Bytes out;
+  out.reserve(input.size() / 8 + 16);
+  const std::size_t words = input.size() / 2;
+  std::size_t w = 0;
+  while (w < words) {
+    const std::uint8_t lo = input[w * 2], hi = input[w * 2 + 1];
+    std::size_t run = 1;
+    while (run < 255 && w + run < words && input[(w + run) * 2] == lo &&
+           input[(w + run) * 2 + 1] == hi)
+      ++run;
+    out.push_back(static_cast<std::uint8_t>(run));
+    out.push_back(lo);
+    out.push_back(hi);
+    w += run;
+  }
+  if (input.size() % 2 != 0) out.push_back(input.back());
+  return out;
+}
+
+Bytes Rle16Codec::decompress(ByteView input, std::size_t expected_size) const {
+  Bytes out;
+  out.reserve(expected_size);
+  const bool has_tail = expected_size % 2 != 0;
+  if (has_tail && input.empty())
+    throw std::runtime_error("rle16: missing tail byte");
+  const std::size_t triples_end = has_tail ? input.size() - 1 : input.size();
+  if (triples_end % 3 != 0) throw std::runtime_error("rle16: truncated");
+  for (std::size_t i = 0; i < triples_end; i += 3) {
+    const std::size_t run = input[i];
+    if (run == 0) throw std::runtime_error("rle16: zero-length run");
+    for (std::size_t j = 0; j < run; ++j) {
+      out.push_back(input[i + 1]);
+      out.push_back(input[i + 2]);
+    }
+  }
+  if (has_tail) {
+    if (input.empty()) throw std::runtime_error("rle16: missing tail byte");
+    out.push_back(input.back());
+  }
+  if (out.size() != expected_size)
+    throw std::runtime_error("rle16: size mismatch");
+  return out;
+}
+
+}  // namespace sfa

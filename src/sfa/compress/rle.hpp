@@ -1,0 +1,33 @@
+// Byte-level run-length encoding.
+//
+// The paper observes that r500-style SFA states (dominated by the error
+// sink) would compress well under plain RLE (§III-C); this codec exists to
+// demonstrate exactly that in experiment E7.
+#pragma once
+
+#include "sfa/compress/codec.hpp"
+
+namespace sfa {
+
+/// Output is a sequence of (count, byte) pairs, count in 1..255.
+class RleCodec final : public Codec {
+ public:
+  std::string_view name() const override { return "rle"; }
+  Bytes compress(ByteView input) const override;
+  Bytes decompress(ByteView input, std::size_t expected_size) const override;
+};
+
+/// 16-bit-word run-length encoding: (count:u8, word:u16le) triples, with a
+/// trailing odd byte passed through verbatim.  SFA state cells are 16-bit
+/// DFA-state ids, so sink-dominated states (the r500 case) are runs of one
+/// *word*, invisible to byte-RLE but trivial here — this codec demonstrates
+/// the paper's remark that RLE "will be able to produce similar results"
+/// on r-pattern states.
+class Rle16Codec final : public Codec {
+ public:
+  std::string_view name() const override { return "rle16"; }
+  Bytes compress(ByteView input) const override;
+  Bytes decompress(ByteView input, std::size_t expected_size) const override;
+};
+
+}  // namespace sfa

@@ -1,0 +1,36 @@
+#include "sfa/concurrent/arena.hpp"
+
+namespace sfa {
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  // Align the cursor.
+  const auto addr = reinterpret_cast<std::uintptr_t>(cursor_);
+  const std::size_t pad = (align - (addr & (align - 1))) & (align - 1);
+
+  if (pad + bytes > remaining_) {
+    const std::size_t chunk =
+        bytes + align <= chunk_bytes_ ? chunk_bytes_ : bytes + align;
+    chunks_.push_back(std::make_unique<std::byte[]>(chunk));
+    cursor_ = chunks_.back().get();
+    remaining_ = chunk;
+    reserved_ += chunk;
+    if (accounting_) accounting_->add(chunk);
+    return allocate(bytes, align);  // recurses exactly once
+  }
+  cursor_ += pad;
+  remaining_ -= pad;
+  void* out = cursor_;
+  cursor_ += bytes;
+  remaining_ -= bytes;
+  return out;
+}
+
+void Arena::release_all() {
+  if (accounting_ && reserved_ != 0) accounting_->sub(reserved_);
+  chunks_.clear();
+  cursor_ = nullptr;
+  remaining_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace sfa

@@ -1,0 +1,73 @@
+// Per-thread bump arenas with global byte accounting.
+//
+// SFA states are allocated append-only during construction, so each worker
+// gets a private chunked bump allocator: no allocator locks on the hot path,
+// and a whole generation of states (the uncompressed representation) can be
+// reclaimed at once after the compression phase — the paper's "uncompressed
+// SFA states can only be reclaimed by the memory manager once all threads
+// confirmed to be in the compression phase" (§III-C).
+//
+// Every chunk allocation reports to a shared MemoryAccounting, which the
+// MemoryManager polls to decide when construction must switch to the
+// compression phase.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sfa {
+
+/// Process-visible allocation tally shared by a set of arenas.
+class MemoryAccounting {
+ public:
+  void add(std::size_t bytes) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+  void sub(std::size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+  std::size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::size_t> used_{0};
+};
+
+/// Single-owner chunked bump allocator.  Not thread-safe by design — one
+/// arena per worker thread.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultChunkBytes = 1u << 20;  // 1 MiB
+
+  explicit Arena(MemoryAccounting* accounting = nullptr,
+                 std::size_t chunk_bytes = kDefaultChunkBytes)
+      : accounting_(accounting), chunk_bytes_(chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  ~Arena() { release_all(); }
+
+  /// Allocate `bytes` aligned to `align` (power of two, <= 64).
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Bytes requested from the OS (chunk granularity).
+  std::size_t reserved_bytes() const { return reserved_; }
+
+  /// Drop every chunk (states allocated here become invalid).
+  void release_all();
+
+ private:
+  MemoryAccounting* accounting_;
+  std::size_t chunk_bytes_;
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::byte* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace sfa

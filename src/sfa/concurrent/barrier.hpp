@@ -1,0 +1,44 @@
+// Generation-counting spin barrier.
+//
+// Used only for the compression-phase rendezvous (twice per phase change),
+// so a simple spinning barrier is the right tool: no futex syscalls, and the
+// wait is always short because every worker checks the phase flag between
+// work items.
+#pragma once
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace sfa {
+
+/// Polite busy-wait hint.
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#endif
+}
+
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(unsigned participants) : n_(participants) {}
+
+  void wait() {
+    const unsigned gen = generation_.load(std::memory_order_acquire);
+    if (count_.fetch_add(1, std::memory_order_acq_rel) + 1 == n_) {
+      count_.store(0, std::memory_order_relaxed);
+      generation_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (generation_.load(std::memory_order_acquire) == gen) cpu_pause();
+    }
+  }
+
+ private:
+  const unsigned n_;
+  alignas(64) std::atomic<unsigned> count_{0};
+  alignas(64) std::atomic<unsigned> generation_{0};
+};
+
+}  // namespace sfa

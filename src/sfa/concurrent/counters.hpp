@@ -1,0 +1,38 @@
+// Contention instrumentation (software stand-in for the paper's perf-c2c
+// HITM measurements, experiment E5).
+//
+// Every CAS retry on a shared cache line corresponds to a coherence
+// transfer, so counting failed CAS attempts and steal conflicts gives a
+// machine-independent proxy for the HITM loads the paper measured.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sfa {
+
+struct QueueCounters {
+  std::atomic<std::uint64_t> pushes{0};
+  std::atomic<std::uint64_t> pops{0};
+  std::atomic<std::uint64_t> steals{0};          // successful steals
+  std::atomic<std::uint64_t> steal_failures{0};  // CAS lost or empty race
+  std::atomic<std::uint64_t> cas_failures{0};    // any failed CAS retry
+
+  void reset() {
+    pushes = pops = steals = steal_failures = cas_failures = 0;
+  }
+};
+
+struct HashSetCounters {
+  std::atomic<std::uint64_t> inserts{0};
+  std::atomic<std::uint64_t> duplicates{0};       // state already present
+  std::atomic<std::uint64_t> fp_collisions{0};    // equal fp, different state
+  std::atomic<std::uint64_t> cas_failures{0};
+  std::atomic<std::uint64_t> chain_traversals{0}; // nodes compared
+
+  void reset() {
+    inserts = duplicates = fp_collisions = cas_failures = chain_traversals = 0;
+  }
+};
+
+}  // namespace sfa

@@ -1,0 +1,101 @@
+// Global start-phase queue (paper §III-B2).
+//
+// At the start of SFA construction only the single start state exists, so
+// thread-local queues would degenerate into all-thieves contention.  The
+// paper therefore begins with ONE global queue: enqueues synchronize on the
+// back position with a CAS, while dequeues are statically partitioned —
+// thread t owns slots t, t+T, t+2T, ... and consumes them without any
+// synchronization against other consumers.  Once a threshold number of SFA
+// states exists, the builder switches to thread-local queues with stealing.
+//
+// Items are non-zero 64-bit values (pointers); slot value 0 means
+// "not yet published".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "sfa/concurrent/counters.hpp"
+
+namespace sfa {
+
+class GlobalQueue {
+ public:
+  explicit GlobalQueue(std::size_t capacity)
+      : capacity_(capacity),
+        slots_(std::make_unique<std::atomic<std::uint64_t>[]>(capacity)) {
+    for (std::size_t i = 0; i < capacity_; ++i)
+      slots_[i].store(0, std::memory_order_relaxed);
+  }
+
+  /// Reserve a slot with a CAS on the back position and publish the item.
+  /// Returns false when the queue is full (the builder then switches phase).
+  bool try_enqueue(std::uint64_t item) {
+    std::size_t b = back_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (b >= capacity_) return false;
+      if (back_.compare_exchange_weak(b, b + 1, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        slots_[b].store(item, std::memory_order_release);
+        counters.pushes.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Per-thread cursor for the static dequeue partition.
+  class Cursor {
+   public:
+    Cursor(unsigned thread_id, unsigned num_threads)
+        : next_(thread_id), stride_(num_threads) {}
+
+    /// Next statically-owned item, or nullopt when none is available *yet*.
+    /// `exhausted` is set when no further item can ever appear for this
+    /// thread (the queue is closed and the cursor passed the back).
+    std::optional<std::uint64_t> take(GlobalQueue& q, bool& exhausted) {
+      exhausted = false;
+      const std::size_t back = q.back_.load(std::memory_order_acquire);
+      if (next_ >= back) {
+        exhausted = q.closed_.load(std::memory_order_acquire) &&
+                    next_ >= q.back_.load(std::memory_order_acquire);
+        return std::nullopt;
+      }
+      // The producer CASed back_ past this slot, so the publish store is
+      // coming; spin until it lands (yield if the producer got descheduled).
+      std::uint64_t v;
+      unsigned spins = 0;
+      while ((v = q.slots_[next_].load(std::memory_order_acquire)) == 0) {
+        if (++spins >= 64) std::this_thread::yield();
+      }
+      next_ += stride_;
+      q.counters.pops.fetch_add(1, std::memory_order_relaxed);
+      return v;
+    }
+
+   private:
+    std::size_t next_;
+    const std::size_t stride_;
+  };
+
+  /// Producers call this when they stop enqueuing here (phase switch);
+  /// consumers then drain their remaining static share and move on.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  std::size_t size() const { return back_.load(std::memory_order_acquire); }
+  std::size_t capacity() const { return capacity_; }
+
+  mutable QueueCounters counters;
+
+ private:
+  const std::size_t capacity_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
+  alignas(64) std::atomic<std::size_t> back_{0};
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace sfa

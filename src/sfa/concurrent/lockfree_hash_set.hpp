@@ -1,0 +1,117 @@
+// Lock-free chained hash table of SFA states (paper §III-A, §III-B).
+//
+// Keys are 64-bit fingerprints reduced modulo a power-of-two bucket count.
+// Buckets chain nodes through an intrusive atomic next pointer; insertion
+// CASes the bucket head, and the table supports duplicate *keys* (hash and
+// fingerprint collisions) but never duplicate *states*: insert_if_absent
+// compares fingerprints first and falls back to the exhaustive byte-by-byte
+// comparison only on fingerprint equality — the paper's central trick for
+// O(1) set-membership in the common case.
+//
+// Nodes are never unlinked (SFA construction only ever adds states), which
+// makes the structure ABA-free without hazard pointers.  The compression
+// phase empties and re-populates the table via clear()/insert_unchecked()
+// while all workers are at a barrier.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "sfa/concurrent/counters.hpp"
+
+namespace sfa {
+
+/// Node contract: `Traits` provides
+///   static std::atomic<Node*>& next(Node&);
+///   static std::uint64_t fingerprint(const Node&);
+///   static bool same_state(const Node&, const Node&);   // exhaustive compare
+template <typename Node, typename Traits>
+class LockFreeHashSet {
+ public:
+  explicit LockFreeHashSet(std::size_t min_buckets) {
+    std::size_t n = 64;
+    while (n < min_buckets) n <<= 1;
+    mask_ = n - 1;
+    buckets_ = std::make_unique<std::atomic<Node*>[]>(n);
+    for (std::size_t i = 0; i <= mask_; ++i)
+      buckets_[i].store(nullptr, std::memory_order_relaxed);
+  }
+
+  struct InsertResult {
+    Node* winner;    // the canonical node for this state
+    bool inserted;   // false: an equal state was already present
+  };
+
+  /// Insert `node` unless an equal state is already present.
+  InsertResult insert_if_absent(Node* node) {
+    const std::uint64_t fp = Traits::fingerprint(*node);
+    std::atomic<Node*>& bucket = buckets_[fp & mask_];
+
+    Node* head = bucket.load(std::memory_order_acquire);
+    for (;;) {
+      // Scan the current chain for an equal state.
+      for (Node* cur = head; cur != nullptr;
+           cur = Traits::next(*cur).load(std::memory_order_acquire)) {
+        counters.chain_traversals.fetch_add(1, std::memory_order_relaxed);
+        if (Traits::fingerprint(*cur) != fp) continue;  // hash collision
+        if (Traits::same_state(*cur, *node)) {
+          counters.duplicates.fetch_add(1, std::memory_order_relaxed);
+          return {cur, false};
+        }
+        counters.fp_collisions.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Not found: try to become the new head.
+      Traits::next(*node).store(head, std::memory_order_relaxed);
+      if (bucket.compare_exchange_weak(head, node, std::memory_order_release,
+                                       std::memory_order_acquire)) {
+        counters.inserts.fetch_add(1, std::memory_order_relaxed);
+        return {node, true};
+      }
+      counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      // head now holds the new chain head; rescan (an equal state may have
+      // been inserted concurrently).
+    }
+  }
+
+  /// Lookup only (used by tests and the matcher).
+  Node* find(std::uint64_t fp, const Node& probe) const {
+    for (Node* cur = buckets_[fp & mask_].load(std::memory_order_acquire);
+         cur != nullptr;
+         cur = Traits::next(*cur).load(std::memory_order_acquire)) {
+      if (Traits::fingerprint(*cur) == fp && Traits::same_state(*cur, probe))
+        return cur;
+    }
+    return nullptr;
+  }
+
+  /// Quiescent-only: drop all chains (nodes are owned by the arenas).
+  void clear() {
+    for (std::size_t i = 0; i <= mask_; ++i)
+      buckets_[i].store(nullptr, std::memory_order_relaxed);
+  }
+
+  /// Quiescent-or-racing re-insertion WITHOUT the duplicate check — used
+  /// when re-populating after compression, where every state is known
+  /// unique (the efficiency win the paper notes in §III-C).
+  void insert_unchecked(Node* node) {
+    const std::uint64_t fp = Traits::fingerprint(*node);
+    std::atomic<Node*>& bucket = buckets_[fp & mask_];
+    Node* head = bucket.load(std::memory_order_acquire);
+    do {
+      Traits::next(*node).store(head, std::memory_order_relaxed);
+    } while (!bucket.compare_exchange_weak(head, node,
+                                           std::memory_order_release,
+                                           std::memory_order_acquire));
+  }
+
+  std::size_t bucket_count() const { return mask_ + 1; }
+
+  mutable HashSetCounters counters;
+
+ private:
+  std::size_t mask_;
+  std::unique_ptr<std::atomic<Node*>[]> buckets_;
+};
+
+}  // namespace sfa

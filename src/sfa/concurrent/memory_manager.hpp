@@ -1,0 +1,83 @@
+// Memory manager driving the three-phase construction (paper §III-C).
+//
+// Phase 1 (Normal):      states stored uncompressed; the manager watches the
+//                        accounting tally against a threshold.
+// Phase 2 (Compressing): the manager has raised the compression flag; each
+//                        worker acknowledges, re-compresses the existing
+//                        states and helps rebuild the hash table.  The old
+//                        (uncompressed) arenas may be reclaimed only after
+//                        EVERY worker has acknowledged.
+// Phase 3 (Compressed):  construction resumes, compressing each new state.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+#include "sfa/concurrent/arena.hpp"
+
+namespace sfa {
+
+enum class MemoryPhase : int { kNormal = 0, kCompressing = 1, kCompressed = 2 };
+
+class MemoryManager {
+ public:
+  /// threshold_bytes == 0 disables compression entirely.
+  explicit MemoryManager(std::size_t threshold_bytes, unsigned num_workers)
+      : threshold_(threshold_bytes), num_workers_(num_workers),
+        acks_(std::make_unique<std::atomic<bool>[]>(num_workers)) {
+    for (unsigned i = 0; i < num_workers_; ++i)
+      acks_[i].store(false, std::memory_order_relaxed);
+  }
+
+  MemoryAccounting& accounting() { return accounting_; }
+
+  /// Called by workers on their allocation path.  Transitions
+  /// kNormal -> kCompressing exactly once when usage crosses the threshold.
+  /// Returns the phase the caller should operate in.
+  MemoryPhase observe() {
+    MemoryPhase p =
+        static_cast<MemoryPhase>(phase_.load(std::memory_order_acquire));
+    if (p == MemoryPhase::kNormal && threshold_ != 0 &&
+        accounting_.used() >= threshold_) {
+      int expected = static_cast<int>(MemoryPhase::kNormal);
+      phase_.compare_exchange_strong(
+          expected, static_cast<int>(MemoryPhase::kCompressing),
+          std::memory_order_acq_rel);
+      p = static_cast<MemoryPhase>(phase_.load(std::memory_order_acquire));
+    }
+    return p;
+  }
+
+  MemoryPhase phase() const {
+    return static_cast<MemoryPhase>(phase_.load(std::memory_order_acquire));
+  }
+
+  /// Worker `tid` confirms it has entered the compression phase.
+  void acknowledge(unsigned tid) {
+    acks_[tid].store(true, std::memory_order_release);
+  }
+
+  bool all_acknowledged() const {
+    for (unsigned i = 0; i < num_workers_; ++i)
+      if (!acks_[i].load(std::memory_order_acquire)) return false;
+    return true;
+  }
+
+  /// Marks the stop-the-world re-compression as finished (kCompressed).
+  void finish_compression() {
+    phase_.store(static_cast<int>(MemoryPhase::kCompressed),
+                 std::memory_order_release);
+  }
+
+  std::size_t threshold() const { return threshold_; }
+
+ private:
+  const std::size_t threshold_;
+  const unsigned num_workers_;
+  MemoryAccounting accounting_;
+  std::atomic<int> phase_{static_cast<int>(MemoryPhase::kNormal)};
+  std::unique_ptr<std::atomic<bool>[]> acks_;
+};
+
+}  // namespace sfa

@@ -1,0 +1,110 @@
+// Michael–Scott multi-producer/multi-consumer queue.
+//
+// Stand-in for the Intel TBB concurrent_queue the paper compares against in
+// §IV-B: every producer AND every consumer synchronizes on the shared
+// head/tail pointers, so its coherence-traffic profile (true sharing on the
+// queue's internal state) matches what the paper's perf-c2c analysis found
+// for the TBB queue.  Experiment E5 contrasts it with the thread-local
+// work-stealing queues.
+//
+// Reclamation: dequeued nodes are retired, not freed, until the queue is
+// destroyed — this keeps the algorithm simple and safe (no hazard pointers)
+// at the cost of memory proportional to total traffic, which is fine for a
+// benchmark comparison structure.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "sfa/concurrent/counters.hpp"
+
+namespace sfa {
+
+class MpmcQueue {
+ public:
+  MpmcQueue() {
+    Node* dummy = allocate(0);
+    head_.store(dummy, std::memory_order_relaxed);
+    tail_.store(dummy, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue&) = delete;
+  MpmcQueue& operator=(const MpmcQueue&) = delete;
+
+  ~MpmcQueue() {
+    for (Node* n : all_nodes_) delete n;
+  }
+
+  void enqueue(std::uint64_t item) {
+    Node* node = allocate(item);
+    for (;;) {
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = tail->next.load(std::memory_order_acquire);
+      if (tail != tail_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) {
+        if (tail->next.compare_exchange_weak(next, node,
+                                             std::memory_order_release,
+                                             std::memory_order_acquire)) {
+          tail_.compare_exchange_strong(tail, node, std::memory_order_release,
+                                        std::memory_order_relaxed);
+          counters.pushes.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // Help a lagging enqueuer swing the tail.
+        tail_.compare_exchange_strong(tail, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+      }
+    }
+  }
+
+  std::optional<std::uint64_t> dequeue() {
+    for (;;) {
+      Node* head = head_.load(std::memory_order_acquire);
+      Node* tail = tail_.load(std::memory_order_acquire);
+      Node* next = head->next.load(std::memory_order_acquire);
+      if (head != head_.load(std::memory_order_acquire)) continue;
+      if (next == nullptr) return std::nullopt;  // empty
+      if (head == tail) {
+        // Tail lagging behind; help.
+        tail_.compare_exchange_strong(tail, next, std::memory_order_release,
+                                      std::memory_order_relaxed);
+        continue;
+      }
+      const std::uint64_t value = next->value;
+      if (head_.compare_exchange_weak(head, next, std::memory_order_release,
+                                      std::memory_order_acquire)) {
+        counters.pops.fetch_add(1, std::memory_order_relaxed);
+        return value;
+      }
+      counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  mutable QueueCounters counters;
+
+ private:
+  struct Node {
+    explicit Node(std::uint64_t v) : value(v) {}
+    std::uint64_t value;
+    std::atomic<Node*> next{nullptr};
+  };
+
+  Node* allocate(std::uint64_t v) {
+    Node* n = new Node(v);
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    all_nodes_.push_back(n);
+    return n;
+  }
+
+  alignas(64) std::atomic<Node*> head_;
+  alignas(64) std::atomic<Node*> tail_;
+  std::mutex alloc_mutex_;
+  std::vector<Node*> all_nodes_;
+};
+
+}  // namespace sfa

@@ -1,0 +1,39 @@
+#include "sfa/core/api.hpp"
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa {
+
+Engine::Engine(Dfa dfa, const Alphabet& alphabet, BuildMethod method,
+               const BuildOptions& options)
+    : dfa_(std::move(dfa)), alphabet_(&alphabet) {
+  sfa_ = build_sfa(dfa_, method, options, &stats_);
+}
+
+Engine Engine::from_regex(std::string_view pattern, const Alphabet& alphabet,
+                          BuildMethod method, const BuildOptions& options) {
+  return Engine(compile_pattern(pattern, alphabet), alphabet, method, options);
+}
+
+Engine Engine::from_prosite(std::string_view pattern, BuildMethod method,
+                            const BuildOptions& options) {
+  return Engine(compile_prosite(pattern), Alphabet::amino(), method, options);
+}
+
+Engine Engine::from_dfa(Dfa dfa, const Alphabet& alphabet, BuildMethod method,
+                        const BuildOptions& options) {
+  return Engine(std::move(dfa), alphabet, method, options);
+}
+
+bool Engine::contains(std::string_view text, unsigned num_threads) const {
+  const std::vector<Symbol> input = alphabet_->encode(text);
+  return match_sfa_parallel(sfa_, input, num_threads).accepted;
+}
+
+std::size_t Engine::count(std::string_view text, unsigned num_threads) const {
+  const std::vector<Symbol> input = alphabet_->encode(text);
+  return count_matches_parallel(sfa_, dfa_, input, num_threads);
+}
+
+}  // namespace sfa

@@ -1,0 +1,58 @@
+// High-level convenience API — the ten-line path from a pattern to parallel
+// matching (see examples/quickstart.cpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "sfa/automata/alphabet.hpp"
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+
+/// Owns the compiled DFA and its SFA; answers membership and count queries.
+class Engine {
+ public:
+  /// Compile a textual regex over `alphabet`, wrap it for match-anywhere
+  /// semantics, minimize, and build the SFA with `method`.
+  static Engine from_regex(std::string_view pattern, const Alphabet& alphabet,
+                           BuildMethod method = BuildMethod::kParallel,
+                           const BuildOptions& options = {});
+
+  /// Compile a PROSITE motif (amino-acid alphabet implied).
+  static Engine from_prosite(std::string_view pattern,
+                             BuildMethod method = BuildMethod::kParallel,
+                             const BuildOptions& options = {});
+
+  /// Wrap an existing complete DFA.
+  static Engine from_dfa(Dfa dfa, const Alphabet& alphabet,
+                         BuildMethod method = BuildMethod::kParallel,
+                         const BuildOptions& options = {});
+
+  /// Does the pattern occur anywhere in `text`?  Parallel SFA matching with
+  /// `num_threads` chunks (1 = sequential SFA run).
+  bool contains(std::string_view text, unsigned num_threads = 1) const;
+
+  /// Number of match end-positions in `text` (two-pass parallel count).
+  std::size_t count(std::string_view text, unsigned num_threads = 1) const;
+
+  const Dfa& dfa() const { return dfa_; }
+  const Sfa& sfa() const { return sfa_; }
+  const Alphabet& alphabet() const { return *alphabet_; }
+  const BuildStats& build_stats() const { return stats_; }
+
+ private:
+  Engine(Dfa dfa, const Alphabet& alphabet, BuildMethod method,
+         const BuildOptions& options);
+
+  Dfa dfa_;
+  Sfa sfa_;
+  const Alphabet* alphabet_;
+  BuildStats stats_;
+};
+
+}  // namespace sfa

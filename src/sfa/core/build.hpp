@@ -1,0 +1,88 @@
+// SFA construction — the paper's contribution, in four builder variants:
+//
+//   kBaseline    Algorithm 1 with a red-black tree (std::map) over the
+//                exhaustive state vectors — the paper's sequential baseline.
+//   kHashed      + fingerprints & a chained hash table (§III-A): O(1)
+//                membership tests, exhaustive compare only on fp equality.
+//   kTransposed  + parameterized transposition of the transition table with
+//                SIMD kernels (§III-A, Fig. 3) — the fastest sequential
+//                method and the baseline for parallel speedups.
+//   kParallel    + multicore construction (§III-B): global start-phase
+//                queue, thread-local work-stealing queues, lock-free hash
+//                table, and the three-phase in-memory compression (§III-C).
+//   kProbabilistic  the fingerprint-only variant the paper sketches in
+//                §III-A but leaves uninvestigated: membership decided by a
+//                64-bit Rabin fingerprint alone, payloads freed right after
+//                expansion (states may merge with probability ~|Q_s|²/2⁶⁴).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/compress/codec.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/simd/transpose.hpp"
+
+namespace sfa {
+
+enum class BuildMethod {
+  kBaseline,
+  kHashed,
+  kTransposed,
+  kParallel,
+  kProbabilistic,
+};
+
+struct BuildOptions {
+  /// Worker threads (kParallel only; others are sequential by definition).
+  unsigned num_threads = 1;
+
+  /// Keep per-state mappings in the result (needed for parallel matching
+  /// and Table II size reporting; disable to save memory when only the
+  /// state count / transition structure matters).
+  bool keep_mappings = true;
+
+  /// Memory threshold in bytes that triggers the compression phase
+  /// (kParallel only).  0 disables compression — the paper's default for
+  /// problem sizes that fit in memory.
+  std::size_t memory_threshold_bytes = 0;
+
+  /// Codec for the compression phase (nullptr = deflate-like).
+  const Codec* codec = nullptr;
+
+  /// Successor generation for kTransposed/kParallel.
+  TransposeMethod transpose = TransposeMethod::kAuto;
+
+  /// Number of SFA states processed from the single global queue before
+  /// workers switch to their thread-local queues (§III-B2).
+  std::size_t global_queue_capacity = 1024;
+
+  /// Initial hash-table bucket count (rounded up to a power of two).
+  std::size_t hash_buckets = 1u << 16;
+
+  /// Safety valve: abort construction (std::runtime_error) if the SFA
+  /// exceeds this many states.  The state-explosion problem is real.
+  std::uint64_t max_states = 8u << 20;
+};
+
+/// Construct S(A).  `dfa` must be complete.  Statistics are written to
+/// `stats` when non-null.
+Sfa build_sfa(const Dfa& dfa, BuildMethod method, const BuildOptions& options = {},
+              BuildStats* stats = nullptr);
+
+// Individual entry points (same semantics, explicit method):
+Sfa build_sfa_baseline(const Dfa& dfa, const BuildOptions& options = {},
+                       BuildStats* stats = nullptr);
+Sfa build_sfa_hashed(const Dfa& dfa, const BuildOptions& options = {},
+                     BuildStats* stats = nullptr);
+Sfa build_sfa_transposed(const Dfa& dfa, const BuildOptions& options = {},
+                         BuildStats* stats = nullptr);
+Sfa build_sfa_parallel(const Dfa& dfa, const BuildOptions& options = {},
+                       BuildStats* stats = nullptr);
+Sfa build_sfa_probabilistic(const Dfa& dfa, const BuildOptions& options = {},
+                            BuildStats* stats = nullptr);
+
+const char* build_method_name(BuildMethod m);
+
+}  // namespace sfa

@@ -1,0 +1,100 @@
+// Sequential baseline builder: Algorithm 1 with a std::map (red-black tree)
+// over exhaustive state vectors, successors computed one delta-lookup at a
+// time.  This mirrors the non-optimized implementation the paper measures
+// its sequential speedups against (§IV-A).
+#include <deque>
+#include <map>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+namespace {
+
+template <typename Cell>
+Sfa build_baseline_impl(const Dfa& dfa, const BuildOptions& opt,
+                        BuildStats* stats) {
+  const WallTimer timer;
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+
+  Sfa result;
+  detail::init_result<Cell>(result, dfa);
+
+  // The red-black tree keyed by the full state vector: every membership
+  // test costs O(log |Q_s|) vector comparisons.
+  std::map<std::vector<Cell>, Sfa::StateId> known;
+  std::vector<std::vector<Cell>> states;   // by id
+  std::deque<Sfa::StateId> worklist;       // Q_tmp
+  std::vector<Sfa::StateId> delta;
+  std::vector<std::uint8_t> accepting;
+
+  const auto intern = [&](std::vector<Cell> mapping) {
+    const auto it = known.find(mapping);
+    if (it != known.end()) return it->second;
+    const Sfa::StateId id = static_cast<Sfa::StateId>(states.size());
+    detail::guard_state_count(id + 1ull, opt);
+    known.emplace(mapping, id);
+    accepting.push_back(dfa.accepting(
+        static_cast<Dfa::StateId>(mapping[dfa.start()])));
+    states.push_back(std::move(mapping));
+    delta.resize(states.size() * k);
+    worklist.push_back(id);
+    return id;
+  };
+
+  const Sfa::StateId start = intern(detail::identity_mapping<Cell>(n));
+  result.set_start(start);
+
+  std::vector<Cell> succ(n);
+  while (!worklist.empty()) {
+    const Sfa::StateId id = worklist.front();
+    worklist.pop_front();
+    for (unsigned s = 0; s < k; ++s) {
+      // f_next(q) = delta(f(q), sigma), one lookup per cell (line 6 of
+      // Algorithm 1; no transposition in the baseline).
+      const std::vector<Cell>& src = states[id];
+      for (std::uint32_t q = 0; q < n; ++q)
+        succ[q] = static_cast<Cell>(
+            dfa.transition(static_cast<Dfa::StateId>(src[q]),
+                           static_cast<Symbol>(s)));
+      const Sfa::StateId to = intern(succ);
+      delta[static_cast<std::size_t>(id) * k + s] = to;
+    }
+  }
+
+  if (opt.keep_mappings) {
+    std::vector<std::uint8_t> raw(states.size() * static_cast<std::size_t>(n) *
+                                  sizeof(Cell));
+    for (std::size_t i = 0; i < states.size(); ++i)
+      std::memcpy(raw.data() + i * n * sizeof(Cell), states[i].data(),
+                  n * sizeof(Cell));
+    result.set_mappings_raw(std::move(raw));
+  }
+  result.set_table(std::move(delta), std::move(accepting));
+
+  if (stats) {
+    *stats = BuildStats{};
+    stats->sfa_states = result.num_states();
+    stats->dfa_states = n;
+    stats->seconds = timer.seconds();
+    stats->mapping_bytes_uncompressed =
+        static_cast<std::uint64_t>(result.num_states()) * n * sizeof(Cell);
+    stats->mapping_bytes_stored = stats->mapping_bytes_uncompressed;
+    stats->threads = 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+Sfa build_sfa_baseline(const Dfa& dfa, const BuildOptions& options,
+                       BuildStats* stats) {
+  return detail::use_16bit_cells(dfa)
+             ? build_baseline_impl<std::uint16_t>(dfa, options, stats)
+             : build_baseline_impl<std::uint32_t>(dfa, options, stats);
+}
+
+}  // namespace sfa

@@ -1,0 +1,62 @@
+// Internals shared by the builder variants (not part of the public API).
+#pragma once
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa::detail {
+
+/// Cell width rule: 16-bit cells whenever the DFA fits (paper's kernels
+/// exist for both widths; 16-bit halves the working set).
+inline bool use_16bit_cells(const Dfa& dfa) { return dfa.size() <= 0xFFFEu; }
+
+/// Copy the DFA's transition table into Cell-typed row-major storage
+/// (the layout the transposition kernels gather from).
+template <typename Cell>
+std::vector<Cell> cell_delta_table(const Dfa& dfa) {
+  if (!dfa.complete())
+    throw std::invalid_argument("SFA construction requires a complete DFA");
+  const unsigned k = dfa.num_symbols();
+  std::vector<Cell> table(static_cast<std::size_t>(dfa.size()) * k);
+  for (Dfa::StateId q = 0; q < dfa.size(); ++q)
+    for (unsigned s = 0; s < k; ++s)
+      table[static_cast<std::size_t>(q) * k + s] =
+          static_cast<Cell>(dfa.transition(q, static_cast<Symbol>(s)));
+  return table;
+}
+
+/// The SFA start state: the identity mapping <q_0, ..., q_{n-1}>.
+template <typename Cell>
+std::vector<Cell> identity_mapping(std::uint32_t n) {
+  std::vector<Cell> v(n);
+  for (std::uint32_t q = 0; q < n; ++q) v[q] = static_cast<Cell>(q);
+  return v;
+}
+
+inline std::vector<std::uint8_t> dfa_accepting_bitmap(const Dfa& dfa) {
+  std::vector<std::uint8_t> out(dfa.size());
+  for (Dfa::StateId q = 0; q < dfa.size(); ++q) out[q] = dfa.accepting(q);
+  return out;
+}
+
+/// Initialize the result shell shared by every builder.
+template <typename Cell>
+void init_result(Sfa& sfa, const Dfa& dfa) {
+  sfa.init(dfa.size(), dfa.num_symbols(), sizeof(Cell),
+           dfa.start(), dfa_accepting_bitmap(dfa));
+}
+
+inline void guard_state_count(std::uint64_t count, const BuildOptions& opt) {
+  if (count > opt.max_states)
+    throw std::runtime_error(
+        "SFA state explosion: exceeded max_states=" +
+        std::to_string(opt.max_states) +
+        " (raise BuildOptions::max_states or enable compression)");
+}
+
+}  // namespace sfa::detail

@@ -1,0 +1,526 @@
+// Parallel SFA construction (paper §III-B) with three-phase in-memory
+// compression (§III-C).
+//
+// Work distribution: construction starts on a single global queue with
+// CAS-synchronized enqueues and statically partitioned dequeues; once the
+// global queue fills (the threshold), it is closed and workers move to
+// thread-local work-stealing queues (owner LIFO pop, thieves CAS-steal from
+// the opposite end, nearest victim first).
+//
+// Deduplication: a lock-free chained hash table keyed by CityHash-class
+// fingerprints; losers of an insertion race adopt the winner's node.  State
+// ids are published after the winning insertion; concurrent readers spin on
+// the unset sentinel, which keeps ids dense.
+//
+// Compression: when the accounted arena usage crosses the threshold, the
+// memory manager flags the compression phase.  Every worker acknowledges
+// between work items, the world stops at a barrier, the hash table is
+// emptied and rebuilt from re-compressed states (no duplicate checks
+// needed), uncompressed payload arenas are reclaimed, and construction
+// resumes with each new state compressed on creation.
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sfa/compress/deflate_like.hpp"
+#include "sfa/concurrent/barrier.hpp"
+#include "sfa/concurrent/global_queue.hpp"
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/concurrent/memory_manager.hpp"
+#include "sfa/concurrent/ws_queue.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/hash/city64.hpp"
+#include "sfa/simd/transpose.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+namespace {
+
+template <typename Cell>
+class ParallelBuilder {
+ public:
+  using Node = StateNode<Cell>;
+  using Table = LockFreeHashSet<Node, StateNodeTraits<Cell>>;
+
+  ParallelBuilder(const Dfa& dfa, const BuildOptions& opt)
+      : dfa_(dfa),
+        opt_(opt),
+        k_(dfa.num_symbols()),
+        n_(dfa.size()),
+        threads_(opt.num_threads == 0 ? 1 : opt.num_threads),
+        delta_table_(detail::cell_delta_table<Cell>(dfa)),
+        table_(opt.hash_buckets),
+        global_(opt.global_queue_capacity),
+        manager_(opt.memory_threshold_bytes, threads_),
+        barrier_(threads_),
+        codec_(opt.codec ? opt.codec : default_codec()) {
+    workers_.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+      workers_.push_back(std::make_unique<WorkerState>(
+          &manager_.accounting()));
+    delta_segments_ =
+        std::make_unique<std::atomic<Sfa::StateId*>[]>(kMaxSegments);
+    for (std::size_t i = 0; i < kMaxSegments; ++i)
+      delta_segments_[i].store(nullptr, std::memory_order_relaxed);
+  }
+
+  Sfa build(BuildStats* stats) {
+    const WallTimer timer;
+    seed_start_state();
+
+    std::vector<std::thread> team;
+    team.reserve(threads_);
+    for (unsigned t = 0; t < threads_; ++t)
+      team.emplace_back([this, t] { worker_main(t); });
+    for (auto& th : team) th.join();
+
+    if (aborted_.load()) throw std::runtime_error(abort_message_);
+    Sfa result = finalize();
+    if (stats) fill_stats(*stats, result, timer.seconds());
+    return result;
+  }
+
+ private:
+  static const Codec* default_codec() {
+    static const DeflateLikeCodec codec;
+    return &codec;
+  }
+
+  struct WorkerState {
+    explicit WorkerState(MemoryAccounting* accounting)
+        : headers(accounting), payloads(accounting), compressed(accounting),
+          queue(std::make_unique<WorkStealingQueue>()) {}
+    Arena headers;     // node headers — live for the whole construction
+    Arena payloads;    // uncompressed payload generation (reclaimable)
+    Arena compressed;  // compressed payload generation
+    std::unique_ptr<WorkStealingQueue> queue;
+    std::vector<Node*> owned;           // nodes this worker inserted
+    std::vector<Cell> succ_buffer;      // k x n successor scratch
+    std::vector<std::uint8_t> scratch;  // decompression scratch
+    Bytes comp_scratch;                 // compression scratch
+    bool acked = false;
+    bool compressed_mode = false;
+    std::uint64_t from_global = 0;
+  };
+
+  // ---- seeding ---------------------------------------------------------
+
+  void seed_start_state() {
+    WorkerState& w = *workers_[0];
+    const std::vector<Cell> identity = detail::identity_mapping<Cell>(n_);
+    const std::uint64_t fp =
+        city_hash64(identity.data(), sizeof(Cell) * n_);
+    Node* node = make_state_node<Cell>(w.headers, w.payloads, identity.data(),
+                                       n_, fp);
+    node->accepting = dfa_.accepting(
+        static_cast<Dfa::StateId>(identity[dfa_.start()]));
+    table_.insert_if_absent(node);
+    const std::uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    ensure_delta_segment(id);
+    node->id.store(id, std::memory_order_release);
+    w.owned.push_back(node);
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    global_.try_enqueue(reinterpret_cast<std::uint64_t>(node));
+  }
+
+  // ---- worker loop ------------------------------------------------------
+
+  void worker_main(unsigned tid) {
+    WorkerState& w = *workers_[tid];
+    w.succ_buffer.resize(static_cast<std::size_t>(k_) * n_);
+    w.scratch.resize(static_cast<std::size_t>(n_) * sizeof(Cell));
+    // Mixed compressed/uncompressed equality needs the codec on this thread.
+    StateNodeTraits<Cell>::set_compare_context(
+        codec_, static_cast<std::size_t>(n_) * sizeof(Cell));
+    GlobalQueue::Cursor cursor(tid, threads_);
+    bool global_done = false;
+    unsigned idle_spins = 0;
+
+    for (;;) {
+      // Compression rendezvous has priority over everything, including
+      // termination and abort: every worker must reach the barrier.
+      if (manager_.phase() == MemoryPhase::kCompressing && !w.acked) {
+        compression_rendezvous(tid, w);
+        continue;
+      }
+      if (aborted_.load(std::memory_order_acquire)) break;
+
+      Node* node = get_work(tid, w, cursor, global_done);
+      if (node != nullptr) {
+        idle_spins = 0;
+        process(tid, w, node);
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
+      }
+      if (pending_.load(std::memory_order_acquire) == 0) {
+        if (manager_.phase() == MemoryPhase::kCompressing && !w.acked)
+          continue;  // join the rendezvous first
+        break;
+      }
+      // Backoff: brief pause-spin, then yield the core so an oversubscribed
+      // host (threads > cores) lets the worker that holds the work run.
+      if (++idle_spins < 64)
+        cpu_pause();
+      else
+        std::this_thread::yield();
+    }
+  }
+
+  Node* get_work(unsigned tid, WorkerState& w, GlobalQueue::Cursor& cursor,
+                 bool& global_done) {
+    if (!global_done) {
+      bool exhausted = false;
+      if (auto v = cursor.take(global_, exhausted)) {
+        ++w.from_global;
+        return reinterpret_cast<Node*>(*v);
+      }
+      if (exhausted) global_done = true;
+    }
+    if (auto v = w.queue->pop()) return reinterpret_cast<Node*>(*v);
+    // Steal, nearest victim first (§III-B2: start from the closest queue).
+    for (unsigned i = 1; i < threads_; ++i) {
+      const unsigned victim = (tid + i) % threads_;
+      if (auto v = workers_[victim]->queue->steal())
+        return reinterpret_cast<Node*>(*v);
+    }
+    return nullptr;
+  }
+
+  void process(unsigned tid, WorkerState& w, Node* node) {
+    // Source cells: decompress when the node was stored compressed.
+    const Cell* src;
+    if (node->compressed()) {
+      const Bytes raw = codec_->decompress(
+          ByteView(node->bytes(), node->payload_size),
+          static_cast<std::size_t>(n_) * sizeof(Cell));
+      std::memcpy(w.scratch.data(), raw.data(), raw.size());
+      src = reinterpret_cast<const Cell*>(w.scratch.data());
+    } else {
+      src = node->cells();
+    }
+
+    // All |Sigma| successors in one parameterized transposition.
+    successors_transposed<Cell>(delta_table_.data(), k_, src, n_,
+                                w.succ_buffer.data(), opt_.transpose);
+
+    const std::uint32_t src_id = node->id.load(std::memory_order_acquire);
+    Sfa::StateId* row = delta_row(src_id);
+    for (unsigned s = 0; s < k_; ++s) {
+      const Cell* cells = w.succ_buffer.data() + static_cast<std::size_t>(s) * n_;
+      row[s] = intern(tid, w, cells);
+      if (aborted_.load(std::memory_order_relaxed)) return;
+    }
+  }
+
+  /// Find-or-insert a successor state; returns its id.
+  Sfa::StateId intern(unsigned tid, WorkerState& w, const Cell* cells) {
+    const std::uint64_t fp = city_hash64(cells, sizeof(Cell) * n_);
+
+    // Probe with the UNCOMPRESSED candidate even in compressed mode: the
+    // traits decompress a resident node only on fingerprint equality, which
+    // is far cheaper than compressing every candidate before lookup
+    // (duplicates — the common case — then cost one decompression).
+    Node probe;
+    probe.fingerprint = fp;
+    probe.payload = reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
+    probe.payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n_);
+    if (Node* hit = table_.find(fp, probe)) return wait_id(hit);
+
+    // Allocate and race for insertion; only new states pay for compression.
+    Node* node;
+    if (w.compressed_mode) {
+      w.comp_scratch = codec_->compress(ByteView(
+          reinterpret_cast<const std::uint8_t*>(cells), sizeof(Cell) * n_));
+      node = make_compressed_node<Cell>(
+          w.headers, w.compressed, w.comp_scratch.data(),
+          static_cast<std::uint32_t>(w.comp_scratch.size()), fp);
+    } else {
+      node = make_state_node<Cell>(w.headers, w.payloads, cells, n_, fp);
+      manager_.observe();  // may flip the phase to kCompressing
+    }
+    node->accepting =
+        dfa_.accepting(static_cast<Dfa::StateId>(cells[dfa_.start()]));
+
+    const auto [winner, inserted] = table_.insert_if_absent(node);
+    if (!inserted) return wait_id(winner);  // our node becomes arena garbage
+
+    const std::uint32_t id =
+        next_id_.fetch_add(1, std::memory_order_relaxed);
+    if (id + 1ull > opt_.max_states) {
+      abort_construction("SFA state explosion: exceeded max_states=" +
+                         std::to_string(opt_.max_states));
+      node->id.store(id, std::memory_order_release);
+      return id;
+    }
+    ensure_delta_segment(id);
+    node->id.store(id, std::memory_order_release);
+    w.owned.push_back(node);
+
+    pending_.fetch_add(1, std::memory_order_acq_rel);
+    enqueue(tid, w, node);
+    return id;
+  }
+
+  static std::uint32_t wait_id(Node* node) {
+    std::uint32_t id;
+    unsigned spins = 0;
+    while ((id = node->id.load(std::memory_order_acquire)) == Node::kIdUnset) {
+      // The winner publishes right after insertion; yield if it appears to
+      // have been descheduled (threads > cores).
+      if (++spins < 64)
+        cpu_pause();
+      else
+        std::this_thread::yield();
+    }
+    return id;
+  }
+
+  void enqueue(unsigned /*tid*/, WorkerState& w, Node* node) {
+    const std::uint64_t item = reinterpret_cast<std::uint64_t>(node);
+    if (!global_.closed()) {
+      if (global_.try_enqueue(item)) return;
+      global_.close();  // threshold reached: switch to local queues
+    }
+    w.queue->push(item);
+  }
+
+  void abort_construction(std::string message) {
+    bool expected = false;
+    if (aborted_.compare_exchange_strong(expected, true)) {
+      std::lock_guard<std::mutex> lock(abort_mutex_);
+      abort_message_ = std::move(message);
+    }
+  }
+
+  // ---- delta storage ----------------------------------------------------
+
+  static constexpr unsigned kSegBits = 14;  // 16384 states per segment
+  static constexpr std::size_t kSegStates = 1u << kSegBits;
+  static constexpr std::size_t kMaxSegments = 1u << 16;
+
+  Sfa::StateId* delta_row(std::uint32_t id) {
+    Sfa::StateId* seg =
+        delta_segments_[id >> kSegBits].load(std::memory_order_acquire);
+    return seg + static_cast<std::size_t>(id & (kSegStates - 1)) * k_;
+  }
+
+  void ensure_delta_segment(std::uint32_t id) {
+    const std::size_t seg = id >> kSegBits;
+    if (delta_segments_[seg].load(std::memory_order_acquire) != nullptr)
+      return;
+    std::lock_guard<std::mutex> lock(segment_mutex_);
+    if (delta_segments_[seg].load(std::memory_order_acquire) != nullptr)
+      return;
+    auto storage = std::make_unique<Sfa::StateId[]>(kSegStates * k_);
+    delta_segments_[seg].store(storage.get(), std::memory_order_release);
+    segment_storage_.push_back(std::move(storage));
+  }
+
+  // ---- compression phase -------------------------------------------------
+
+  void compression_rendezvous(unsigned tid, WorkerState& w) {
+    const WallTimer phase_timer;
+    manager_.acknowledge(tid);
+    w.acked = true;
+    barrier_.wait();  // world stopped; every worker is here
+
+    if (tid == 0) table_.clear();
+    barrier_.wait();
+
+    // Each worker re-compresses its own nodes and re-inserts them without
+    // duplicate checks (they are known unique).
+    for (Node* node : w.owned) {
+      if (!node->compressed()) {
+        const Bytes comp = codec_->compress(
+            ByteView(node->bytes(), node->payload_size));
+        auto* storage =
+            static_cast<std::byte*>(w.compressed.allocate(comp.size(), 8));
+        std::memcpy(storage, comp.data(), comp.size());
+        node->payload = storage;
+        node->payload_size = static_cast<std::uint32_t>(comp.size());
+        node->is_compressed = 1;
+      }
+      node->next.store(nullptr, std::memory_order_relaxed);
+      table_.insert_unchecked(node);
+    }
+    barrier_.wait();
+
+    // All payloads re-pointed: the uncompressed generation can go.
+    w.payloads.release_all();
+    w.compressed_mode = true;
+    if (tid == 0) {
+      manager_.finish_compression();
+      compression_seconds_ = phase_timer.seconds();
+      compression_triggered_ = true;
+    }
+    barrier_.wait();
+  }
+
+  // ---- finalize -----------------------------------------------------------
+
+  Sfa finalize() {
+    const std::uint32_t count = next_id_.load(std::memory_order_acquire);
+    Sfa result;
+    detail::init_result<Cell>(result, dfa_);
+    result.set_start(0);  // the seed always takes id 0
+
+    std::vector<Sfa::StateId> delta(static_cast<std::size_t>(count) * k_);
+    for (std::uint32_t id = 0; id < count; ++id)
+      std::memcpy(delta.data() + static_cast<std::size_t>(id) * k_,
+                  delta_row(id), sizeof(Sfa::StateId) * k_);
+
+    std::vector<std::uint8_t> accepting(count);
+    const bool compressed_result = compression_triggered_;
+    std::vector<std::uint8_t> raw;
+    std::vector<Bytes> blobs;
+    if (opt_.keep_mappings) {
+      if (compressed_result)
+        blobs.resize(count);
+      else
+        raw.resize(static_cast<std::size_t>(count) * n_ * sizeof(Cell));
+    }
+    for (const auto& w : workers_) {
+      for (Node* node : w->owned) {
+        const std::uint32_t id = node->id.load(std::memory_order_relaxed);
+        accepting[id] = node->accepting;
+        if (!opt_.keep_mappings) continue;
+        if (compressed_result) {
+          // Late stragglers: a node may still be uncompressed if it was
+          // created after the rendezvous by a worker that had not yet
+          // switched modes — impossible by construction (modes flip at the
+          // barrier), but compress defensively rather than corrupt.
+          if (node->compressed()) {
+            blobs[id].assign(node->bytes(), node->bytes() + node->payload_size);
+          } else {
+            blobs[id] = codec_->compress(
+                ByteView(node->bytes(), node->payload_size));
+          }
+        } else {
+          std::memcpy(raw.data() + static_cast<std::size_t>(id) * n_ *
+                          sizeof(Cell),
+                      node->payload, n_ * sizeof(Cell));
+        }
+      }
+    }
+    if (opt_.keep_mappings) {
+      if (compressed_result)
+        result.set_mappings_compressed(std::move(blobs), codec_);
+      else
+        result.set_mappings_raw(std::move(raw));
+    }
+    result.set_table(std::move(delta), std::move(accepting));
+    return result;
+  }
+
+  void fill_stats(BuildStats& stats, const Sfa& result, double seconds) {
+    stats = BuildStats{};
+    stats.sfa_states = result.num_states();
+    stats.dfa_states = n_;
+    stats.seconds = seconds;
+    stats.compression_seconds = compression_seconds_;
+    stats.compression_triggered = compression_triggered_;
+    stats.mapping_bytes_uncompressed =
+        static_cast<std::uint64_t>(result.num_states()) * n_ * sizeof(Cell);
+    stats.mapping_bytes_stored = result.has_mappings()
+                                     ? result.mapping_store_bytes()
+                                     : stats.mapping_bytes_uncompressed;
+    stats.fingerprint_collisions =
+        table_.counters.fp_collisions.load(std::memory_order_relaxed);
+    stats.hash_cas_failures =
+        table_.counters.cas_failures.load(std::memory_order_relaxed);
+    stats.chain_traversals =
+        table_.counters.chain_traversals.load(std::memory_order_relaxed);
+    stats.threads = threads_;
+    for (const auto& w : workers_) {
+      stats.steals +=
+          w->queue->counters.steals.load(std::memory_order_relaxed);
+      stats.steal_failures +=
+          w->queue->counters.steal_failures.load(std::memory_order_relaxed);
+      stats.queue_cas_failures +=
+          w->queue->counters.cas_failures.load(std::memory_order_relaxed);
+      stats.global_queue_states += w->from_global;
+    }
+    stats.queue_cas_failures +=
+        global_.counters.cas_failures.load(std::memory_order_relaxed);
+  }
+
+  const Dfa& dfa_;
+  const BuildOptions opt_;
+  const unsigned k_;
+  const std::uint32_t n_;
+  const unsigned threads_;
+  const std::vector<Cell> delta_table_;
+
+  Table table_;
+  GlobalQueue global_;
+  MemoryManager manager_;
+  SpinBarrier barrier_;
+  const Codec* codec_;
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::atomic<std::uint32_t> next_id_{0};
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<bool> aborted_{false};
+  std::mutex abort_mutex_;
+  std::string abort_message_;
+
+  std::unique_ptr<std::atomic<Sfa::StateId*>[]> delta_segments_;
+  std::mutex segment_mutex_;
+  std::vector<std::unique_ptr<Sfa::StateId[]>> segment_storage_;
+
+  double compression_seconds_ = 0;
+  bool compression_triggered_ = false;
+};
+
+}  // namespace
+
+Sfa build_sfa_parallel(const Dfa& dfa, const BuildOptions& options,
+                       BuildStats* stats) {
+  if (detail::use_16bit_cells(dfa)) {
+    ParallelBuilder<std::uint16_t> builder(dfa, options);
+    return builder.build(stats);
+  }
+  ParallelBuilder<std::uint32_t> builder(dfa, options);
+  return builder.build(stats);
+}
+
+Sfa build_sfa(const Dfa& dfa, BuildMethod method, const BuildOptions& options,
+              BuildStats* stats) {
+  switch (method) {
+    case BuildMethod::kBaseline:
+      return build_sfa_baseline(dfa, options, stats);
+    case BuildMethod::kHashed:
+      return build_sfa_hashed(dfa, options, stats);
+    case BuildMethod::kTransposed:
+      return build_sfa_transposed(dfa, options, stats);
+    case BuildMethod::kParallel:
+      return build_sfa_parallel(dfa, options, stats);
+    case BuildMethod::kProbabilistic:
+      return build_sfa_probabilistic(dfa, options, stats);
+  }
+  throw std::logic_error("unknown build method");
+}
+
+const char* build_method_name(BuildMethod m) {
+  switch (m) {
+    case BuildMethod::kBaseline:
+      return "baseline";
+    case BuildMethod::kHashed:
+      return "hashed";
+    case BuildMethod::kTransposed:
+      return "transposed";
+    case BuildMethod::kParallel:
+      return "parallel";
+    case BuildMethod::kProbabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+}  // namespace sfa

@@ -1,0 +1,137 @@
+// Probabilistic fingerprint-only construction — the extension the paper
+// sketches but does not investigate (§III-A): "for a probabilistic version
+// of our algorithm, which would store fingerprints only, Rabin fingerprints
+// would be the better choice, because Rabin's method is capable of providing
+// tight bounds on the number of expected hash-collisions".
+//
+// Here set-membership is decided by the 64-bit Rabin fingerprint ALONE — no
+// exhaustive state payload is retained for comparison, so resident memory
+// per discovered state is one small node instead of n cells.  State vectors
+// live only while their state sits on the work frontier (they are needed
+// once, to expand successors) and are freed after expansion.
+//
+// Correctness is probabilistic: a fingerprint collision silently merges two
+// distinct SFA states (expected collisions ~ |Q_s|^2 / 2^64 for a random
+// degree-64 modulus; the polynomial degree is the paper's tuning knob).
+// BuildStats::peak_frontier_bytes records the bounded live-payload memory.
+#include <deque>
+
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/hash/rabin.hpp"
+#include "sfa/simd/transpose.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+namespace {
+
+struct FpNode {
+  std::atomic<FpNode*> next{nullptr};
+  std::uint64_t fp = 0;
+  std::uint32_t id = 0;
+};
+
+struct FpTraits {
+  static std::atomic<FpNode*>& next(FpNode& n) { return n.next; }
+  static std::uint64_t fingerprint(const FpNode& n) { return n.fp; }
+  // Fingerprint equality IS state equality in the probabilistic scheme.
+  static bool same_state(const FpNode&, const FpNode&) { return true; }
+};
+
+template <typename Cell>
+Sfa build_probabilistic_impl(const Dfa& dfa, const BuildOptions& opt,
+                             BuildStats* stats) {
+  const WallTimer timer;
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+  const RabinFingerprinter& rabin = default_rabin();
+
+  Sfa result;
+  detail::init_result<Cell>(result, dfa);
+
+  const std::vector<Cell> delta_table = detail::cell_delta_table<Cell>(dfa);
+
+  LockFreeHashSet<FpNode, FpTraits> table(opt.hash_buckets);
+  std::deque<FpNode> nodes;  // stable addresses; one per discovered state
+
+  // Frontier: states discovered but not yet expanded, WITH their vectors.
+  std::deque<std::pair<std::uint32_t, std::vector<Cell>>> frontier;
+  std::size_t frontier_bytes = 0, peak_frontier_bytes = 0;
+
+  std::vector<Sfa::StateId> delta;
+  std::vector<std::uint8_t> accepting;
+  std::vector<std::uint8_t> mappings;  // only when keep_mappings
+
+  const auto intern = [&](const Cell* cells) -> Sfa::StateId {
+    const std::uint64_t fp = rabin.hash(cells, sizeof(Cell) * n);
+    FpNode probe;
+    probe.fp = fp;
+    if (FpNode* hit = table.find(fp, probe)) return hit->id;
+
+    nodes.emplace_back();
+    FpNode* node = &nodes.back();
+    node->fp = fp;
+    node->id = static_cast<std::uint32_t>(nodes.size() - 1);
+    detail::guard_state_count(nodes.size(), opt);
+    table.insert_if_absent(node);
+
+    accepting.push_back(
+        dfa.accepting(static_cast<Dfa::StateId>(cells[dfa.start()])));
+    delta.resize(nodes.size() * k);
+    if (opt.keep_mappings) {
+      const std::size_t off = mappings.size();
+      mappings.resize(off + sizeof(Cell) * n);
+      std::memcpy(mappings.data() + off, cells, sizeof(Cell) * n);
+    }
+    frontier.emplace_back(node->id, std::vector<Cell>(cells, cells + n));
+    frontier_bytes += sizeof(Cell) * n;
+    peak_frontier_bytes = std::max(peak_frontier_bytes, frontier_bytes);
+    return node->id;
+  };
+
+  const std::vector<Cell> start_cells = detail::identity_mapping<Cell>(n);
+  result.set_start(intern(start_cells.data()));
+
+  std::vector<Cell> successors(static_cast<std::size_t>(k) * n);
+  while (!frontier.empty()) {
+    const auto [id, cells] = std::move(frontier.front());
+    frontier.pop_front();
+    frontier_bytes -= sizeof(Cell) * n;
+    successors_transposed<Cell>(delta_table.data(), k, cells.data(), n,
+                                successors.data(), opt.transpose);
+    for (unsigned s = 0; s < k; ++s)
+      delta[static_cast<std::size_t>(id) * k + s] =
+          intern(successors.data() + static_cast<std::size_t>(s) * n);
+  }
+
+  if (opt.keep_mappings) result.set_mappings_raw(std::move(mappings));
+  result.set_table(std::move(delta), std::move(accepting));
+
+  if (stats) {
+    *stats = BuildStats{};
+    stats->sfa_states = result.num_states();
+    stats->dfa_states = n;
+    stats->seconds = timer.seconds();
+    stats->mapping_bytes_uncompressed =
+        static_cast<std::uint64_t>(result.num_states()) * n * sizeof(Cell);
+    stats->mapping_bytes_stored =
+        opt.keep_mappings ? stats->mapping_bytes_uncompressed
+                          : result.num_states() * sizeof(FpNode);
+    stats->peak_frontier_bytes = peak_frontier_bytes;
+    stats->threads = 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+Sfa build_sfa_probabilistic(const Dfa& dfa, const BuildOptions& options,
+                            BuildStats* stats) {
+  return detail::use_16bit_cells(dfa)
+             ? build_probabilistic_impl<std::uint16_t>(dfa, options, stats)
+             : build_probabilistic_impl<std::uint32_t>(dfa, options, stats);
+}
+
+}  // namespace sfa

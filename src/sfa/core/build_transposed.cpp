@@ -1,0 +1,113 @@
+// Sequential "parameterized transposition" builder (paper §III-A, the top
+// line of Fig. 4 and the baseline for all parallel speedups): hashing plus
+// blockwise SIMD transposition of the transition table, producing all
+// |Sigma| successor states of an SFA state in one cache-friendly sweep.
+#include <deque>
+
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/hash/city64.hpp"
+#include "sfa/simd/transpose.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+namespace {
+
+template <typename Cell>
+Sfa build_transposed_impl(const Dfa& dfa, const BuildOptions& opt,
+                          BuildStats* stats) {
+  const WallTimer timer;
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+
+  Sfa result;
+  detail::init_result<Cell>(result, dfa);
+
+  const std::vector<Cell> delta_table = detail::cell_delta_table<Cell>(dfa);
+
+  using Node = StateNode<Cell>;
+  LockFreeHashSet<Node, StateNodeTraits<Cell>> table(opt.hash_buckets);
+  Arena headers, payloads;
+
+  std::vector<Node*> nodes;
+  std::deque<Node*> worklist;
+  std::vector<Sfa::StateId> delta;
+  std::vector<std::uint8_t> accepting;
+
+  const auto intern = [&](const Cell* cells) -> Sfa::StateId {
+    const std::uint64_t fp = city_hash64(cells, sizeof(Cell) * n);
+    Node probe;
+    probe.fingerprint = fp;
+    probe.payload = reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
+    probe.payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n);
+    if (Node* hit = table.find(fp, probe)) return hit->id;
+
+    Node* node = make_state_node<Cell>(headers, payloads, cells, n, fp);
+    node->id = static_cast<Sfa::StateId>(nodes.size());
+    detail::guard_state_count(node->id + 1ull, opt);
+    node->accepting = dfa.accepting(
+        static_cast<Dfa::StateId>(cells[dfa.start()]));
+    table.insert_if_absent(node);
+    nodes.push_back(node);
+    accepting.push_back(node->accepting);
+    delta.resize(nodes.size() * k);
+    worklist.push_back(node);
+    return node->id;
+  };
+
+  const std::vector<Cell> start_cells = detail::identity_mapping<Cell>(n);
+  result.set_start(intern(start_cells.data()));
+
+  // One k x n buffer holds ALL successors of the current state; row sigma is
+  // the successor state on symbol sigma (right half of Fig. 3).
+  std::vector<Cell> successors(static_cast<std::size_t>(k) * n);
+  while (!worklist.empty()) {
+    Node* node = worklist.front();
+    worklist.pop_front();
+    successors_transposed<Cell>(delta_table.data(), k, node->cells(), n,
+                                successors.data(), opt.transpose);
+    for (unsigned s = 0; s < k; ++s)
+      delta[static_cast<std::size_t>(node->id) * k + s] =
+          intern(successors.data() + static_cast<std::size_t>(s) * n);
+  }
+
+  if (opt.keep_mappings) {
+    std::vector<std::uint8_t> raw(nodes.size() * static_cast<std::size_t>(n) *
+                                  sizeof(Cell));
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      std::memcpy(raw.data() + i * n * sizeof(Cell), nodes[i]->payload,
+                  n * sizeof(Cell));
+    result.set_mappings_raw(std::move(raw));
+  }
+  result.set_table(std::move(delta), std::move(accepting));
+
+  if (stats) {
+    *stats = BuildStats{};
+    stats->sfa_states = result.num_states();
+    stats->dfa_states = n;
+    stats->seconds = timer.seconds();
+    stats->mapping_bytes_uncompressed =
+        static_cast<std::uint64_t>(result.num_states()) * n * sizeof(Cell);
+    stats->mapping_bytes_stored = stats->mapping_bytes_uncompressed;
+    stats->fingerprint_collisions =
+        table.counters.fp_collisions.load(std::memory_order_relaxed);
+    stats->chain_traversals =
+        table.counters.chain_traversals.load(std::memory_order_relaxed);
+    stats->threads = 1;
+  }
+  return result;
+}
+
+}  // namespace
+
+Sfa build_sfa_transposed(const Dfa& dfa, const BuildOptions& options,
+                         BuildStats* stats) {
+  return detail::use_16bit_cells(dfa)
+             ? build_transposed_impl<std::uint16_t>(dfa, options, stats)
+             : build_transposed_impl<std::uint32_t>(dfa, options, stats);
+}
+
+}  // namespace sfa

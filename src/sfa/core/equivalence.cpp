@@ -1,0 +1,129 @@
+#include "sfa/core/equivalence.hpp"
+
+#include <sstream>
+
+#include "sfa/core/match.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+
+VerifyReport verify_sfa(const Sfa& sfa, const Dfa& dfa,
+                        const VerifyOptions& opt) {
+  VerifyReport report;
+  const auto fail = [&](const std::string& what) {
+    if (report.ok) {
+      report.ok = false;
+      report.first_failure = what;
+    }
+  };
+
+  if (sfa.dfa_states() != dfa.size() ||
+      sfa.num_symbols() != dfa.num_symbols()) {
+    fail("dimension mismatch between SFA and DFA");
+    return report;
+  }
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+
+  if (sfa.has_mappings()) {
+    // 1. Identity start mapping.
+    std::vector<std::uint32_t> mapping;
+    sfa.mapping(sfa.start(), mapping);
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (mapping[q] != q) {
+        std::ostringstream os;
+        os << "start mapping is not the identity at q=" << q << " (got "
+           << mapping[q] << ")";
+        fail(os.str());
+        return report;
+      }
+    }
+
+    // 2. Structural simulation on sampled states.
+    const std::size_t samples =
+        opt.structural_samples == 0
+            ? sfa.num_states()
+            : std::min<std::size_t>(opt.structural_samples, sfa.num_states());
+    Xoshiro256 rng(opt.seed);
+    std::vector<std::uint32_t> succ_mapping;
+    for (std::size_t i = 0; i < samples && report.ok; ++i) {
+      const Sfa::StateId s =
+          opt.structural_samples == 0
+              ? static_cast<Sfa::StateId>(i)
+              : static_cast<Sfa::StateId>(rng.below(sfa.num_states()));
+      sfa.mapping(s, mapping);
+      for (unsigned sym = 0; sym < k && report.ok; ++sym) {
+        const Sfa::StateId to = sfa.transition(s, static_cast<Symbol>(sym));
+        sfa.mapping(to, succ_mapping);
+        for (std::uint32_t q = 0; q < n; ++q) {
+          const std::uint32_t expect = dfa.transition(
+              static_cast<Dfa::StateId>(mapping[q]), static_cast<Symbol>(sym));
+          if (succ_mapping[q] != expect) {
+            std::ostringstream os;
+            os << "delta_s mismatch: state " << s << " symbol " << sym
+               << " cell " << q << ": got " << succ_mapping[q] << " want "
+               << expect;
+            fail(os.str());
+            break;
+          }
+        }
+      }
+      // Acceptance flag consistency.
+      if (report.ok &&
+          sfa.accepting(s) != dfa.accepting(static_cast<Dfa::StateId>(
+                                  mapping[dfa.start()]))) {
+        std::ostringstream os;
+        os << "acceptance flag mismatch on SFA state " << s;
+        fail(os.str());
+      }
+    }
+    if (!report.ok) return report;
+  }
+
+  // 3. Behavioural check on random strings.
+  Xoshiro256 rng(opt.seed ^ 0x5f5f5f5full);
+  std::vector<Symbol> input;
+  for (std::size_t i = 0; i < opt.random_inputs; ++i) {
+    const std::size_t len =
+        opt.min_length +
+        rng.below(opt.max_length - opt.min_length + 1);
+    input.resize(len);
+    for (auto& c : input) c = static_cast<Symbol>(rng.below(k));
+
+    // Lockstep run: acceptance must agree at EVERY prefix, not just at the
+    // end — this is what gives the behavioural check real detection power
+    // against single-transition corruption.
+    {
+      Dfa::StateId q = dfa.start();
+      Sfa::StateId s = sfa.start();
+      for (std::size_t pos = 0; pos < input.size(); ++pos) {
+        q = dfa.transition(q, input[pos]);
+        s = sfa.transition(s, input[pos]);
+        if (sfa.accepting(s) != dfa.accepting(q)) {
+          std::ostringstream os;
+          os << "acceptance mismatch on random input #" << i
+             << " at prefix length " << (pos + 1) << ": DFA="
+             << dfa.accepting(q) << " SFA=" << sfa.accepting(s);
+          fail(os.str());
+          return report;
+        }
+      }
+    }
+    const MatchResult dfa_result = match_sequential(dfa, input);
+    if (sfa.has_mappings()) {
+      const MatchResult sfa_result = match_sfa_sequential(sfa, input);
+      if (sfa_result.accepted != dfa_result.accepted ||
+          sfa_result.final_dfa_state != dfa_result.final_dfa_state) {
+        std::ostringstream os;
+        os << "final-state mismatch on random input #" << i << ": DFA ends in "
+           << dfa_result.final_dfa_state << ", SFA mapping says "
+           << sfa_result.final_dfa_state;
+        fail(os.str());
+        return report;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace sfa

@@ -1,0 +1,40 @@
+// SFA <-> DFA equivalence verification — the correctness oracle every
+// builder variant is tested against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+
+struct VerifyOptions {
+  /// Random input strings to cross-check acceptance on.
+  std::size_t random_inputs = 200;
+  std::size_t min_length = 0;
+  std::size_t max_length = 64;
+  std::uint64_t seed = 42;
+  /// Structurally check delta_s against delta on this many sampled SFA
+  /// states (0 = all states; requires mappings).
+  std::size_t structural_samples = 0;
+};
+
+struct VerifyReport {
+  bool ok = true;
+  std::string first_failure;  // human-readable description
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Checks that S(A) simulates A:
+///  1. the start state's mapping is the identity (if mappings retained);
+///  2. for sampled states s and all symbols: f_{delta_s(s,sigma)}(q)
+///     == delta(f_s(q), sigma) for every DFA state q;
+///  3. acceptance of random strings agrees between DFA run, sequential SFA
+///     run, and the mapping-composition view.
+VerifyReport verify_sfa(const Sfa& sfa, const Dfa& dfa,
+                        const VerifyOptions& options = {});
+
+}  // namespace sfa

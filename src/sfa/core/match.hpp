@@ -1,0 +1,94 @@
+// Matching: the sequential DFA membership test (Fig. 1c) and the parallel
+// SFA matching scheme the SFA exists for (paper §IV-D).
+//
+// Parallel matching splits the input into one chunk per thread; every thread
+// runs the SFA from its start state (the identity mapping) over its chunk,
+// yielding one SFA state — i.e. the function "DFA state at chunk entry ->
+// DFA state at chunk exit" for ALL possible entry states at once.  A final
+// O(threads) reduction composes the chunk mappings left to right.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+
+struct MatchResult {
+  bool accepted = false;
+  std::uint32_t final_dfa_state = 0;
+};
+
+/// Sequential DFA membership test (the baseline of §IV-D).
+MatchResult match_sequential(const Dfa& dfa, const std::vector<Symbol>& input);
+
+/// Run the SFA sequentially over the whole input (used by tests as an
+/// oracle: must agree with match_sequential).
+MatchResult match_sfa_sequential(const Sfa& sfa,
+                                 const std::vector<Symbol>& input);
+
+/// Parallel SFA matching with `num_threads` chunks.  Requires the SFA to
+/// have been built with keep_mappings (the composition needs f_s).
+MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
+                               unsigned num_threads);
+
+/// Count match end-positions in parallel (two-pass extension): pass 1
+/// computes chunk-entry DFA states via the SFA composition, pass 2 rescans
+/// each chunk with the DFA from its now-known entry state, counting
+/// accepting positions.  Equivalent to Dfa::count_accepting_prefixes.
+std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
+                                   const std::vector<Symbol>& input,
+                                   unsigned num_threads);
+
+/// Earliest accepting end-position in `input`, or npos when the pattern
+/// never matches.  Two-pass parallel: chunk mappings locate entry states,
+/// then chunks rescan in order until the first accepting position — only
+/// chunks before (and including) the first hit are rescanned.
+std::size_t find_first_match_parallel(const Sfa& sfa, const Dfa& dfa,
+                                      const std::vector<Symbol>& input,
+                                      unsigned num_threads);
+
+inline constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+
+/// All accepting end-positions, gathered in parallel (two-pass: SFA chunk
+/// mappings -> per-chunk DFA rescan with known entry states).  Positions are
+/// returned sorted ascending.  With a match-anywhere (absorbing) DFA this
+/// lists every position from the first match on; for non-absorbing DFAs it
+/// lists exactly the accepting prefixes.
+std::vector<std::size_t> find_all_matches_parallel(
+    const Sfa& sfa, const Dfa& dfa, const std::vector<Symbol>& input,
+    unsigned num_threads);
+
+// --- Speculative parallel DFA matching (related-work baseline, §V) -----------
+//
+// The approach of Holub & Štekr / Luchaup et al. that SFAs were introduced
+// to supersede: every chunk after the first is matched from a *speculated*
+// start state; a sequential validation pass re-matches any chunk whose true
+// entry state differs from the speculation.  Failure-prone where the SFA
+// scheme is failure-free — the contrast experiment in bench E10.
+
+struct SpeculativeResult {
+  MatchResult result;
+  unsigned chunks = 0;
+  unsigned rematched_chunks = 0;  // speculation failures
+};
+
+/// Pick the speculation state the way the literature does: the most
+/// frequently visited DFA state over a short sequential prefix sample.
+Dfa::StateId pick_speculation_state(const Dfa& dfa,
+                                    const std::vector<Symbol>& input,
+                                    std::size_t sample_limit = 4096);
+
+SpeculativeResult match_speculative(const Dfa& dfa,
+                                    const std::vector<Symbol>& input,
+                                    unsigned num_threads,
+                                    Dfa::StateId speculated_state);
+
+/// Convenience overload: samples the speculation state itself.
+SpeculativeResult match_speculative(const Dfa& dfa,
+                                    const std::vector<Symbol>& input,
+                                    unsigned num_threads);
+
+}  // namespace sfa

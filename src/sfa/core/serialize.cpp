@@ -1,0 +1,165 @@
+#include "sfa/core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "sfa/compress/registry.hpp"
+
+namespace sfa {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'F', 'A', '1'};
+
+void put_u8(std::ostream& out, std::uint8_t v) {
+  out.put(static_cast<char>(v));
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+  out.write(buf, 4);
+}
+
+std::uint8_t get_u8(std::istream& in) {
+  const int c = in.get();
+  if (c == EOF) throw std::runtime_error("sfa load: truncated stream");
+  return static_cast<std::uint8_t>(c);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char buf[4];
+  if (!in.read(buf, 4)) throw std::runtime_error("sfa load: truncated stream");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[i]))
+         << (8 * i);
+  return v;
+}
+
+void put_bytes(std::ostream& out, const void* data, std::size_t size) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+}
+
+void get_bytes(std::istream& in, void* data, std::size_t size) {
+  if (!in.read(static_cast<char*>(data), static_cast<std::streamsize>(size)))
+    throw std::runtime_error("sfa load: truncated stream");
+}
+
+}  // namespace
+
+void save_sfa(const Sfa& sfa, std::ostream& out) {
+  put_bytes(out, kMagic, 4);
+  put_u8(out, static_cast<std::uint8_t>(sfa.cell_width()));
+  put_u8(out, static_cast<std::uint8_t>(sfa.num_symbols()));
+  put_u32(out, sfa.dfa_states());
+  put_u32(out, sfa.num_states());
+  put_u32(out, sfa.start());
+  put_u32(out, sfa.dfa_start());
+
+  for (std::uint32_t q = 0; q < sfa.dfa_states(); ++q)
+    put_u8(out, sfa.dfa_accepting(q) ? 1 : 0);
+  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
+    put_u8(out, sfa.accepting(s) ? 1 : 0);
+  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
+    for (unsigned sym = 0; sym < sfa.num_symbols(); ++sym)
+      put_u32(out, sfa.transition(s, static_cast<Symbol>(sym)));
+
+  if (!sfa.has_mappings()) {
+    put_u8(out, 0);
+  } else if (!sfa.mappings_compressed()) {
+    put_u8(out, 1);
+    const ByteView store = sfa.raw_mapping_store();
+    put_bytes(out, store.data(), store.size());
+  } else {
+    put_u8(out, 2);
+    const std::string name(sfa.codec()->name());
+    put_u8(out, static_cast<std::uint8_t>(name.size()));
+    put_bytes(out, name.data(), name.size());
+    for (Sfa::StateId s = 0; s < sfa.num_states(); ++s) {
+      const ByteView blob = sfa.compressed_blob(s);
+      put_u32(out, static_cast<std::uint32_t>(blob.size()));
+      put_bytes(out, blob.data(), blob.size());
+    }
+  }
+  if (!out) throw std::runtime_error("sfa save: stream write failed");
+}
+
+Sfa load_sfa(std::istream& in) {
+  char magic[4];
+  get_bytes(in, magic, 4);
+  if (std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("sfa load: bad magic");
+
+  const unsigned cell_width = get_u8(in);
+  if (cell_width != 2 && cell_width != 4)
+    throw std::runtime_error("sfa load: bad cell width");
+  const unsigned k = get_u8(in);
+  const std::uint32_t n = get_u32(in);
+  const std::uint32_t num_states = get_u32(in);
+  const std::uint32_t start = get_u32(in);
+  const std::uint32_t dfa_start = get_u32(in);
+  if (k == 0 || n == 0) throw std::runtime_error("sfa load: empty automaton");
+  if (start >= num_states || dfa_start >= n)
+    throw std::runtime_error("sfa load: start state out of range");
+
+  std::vector<std::uint8_t> dfa_accepting(n);
+  get_bytes(in, dfa_accepting.data(), n);
+  std::vector<std::uint8_t> accepting(num_states);
+  get_bytes(in, accepting.data(), num_states);
+
+  std::vector<Sfa::StateId> delta(static_cast<std::size_t>(num_states) * k);
+  for (auto& v : delta) {
+    v = get_u32(in);
+    if (v >= num_states)
+      throw std::runtime_error("sfa load: transition out of range");
+  }
+
+  Sfa sfa;
+  sfa.init(n, k, cell_width, dfa_start, std::move(dfa_accepting));
+  sfa.set_start(start);
+
+  const std::uint8_t mode = get_u8(in);
+  if (mode == 1) {
+    std::vector<std::uint8_t> store(static_cast<std::size_t>(num_states) * n *
+                                    cell_width);
+    get_bytes(in, store.data(), store.size());
+    sfa.set_mappings_raw(std::move(store));
+  } else if (mode == 2) {
+    const unsigned name_len = get_u8(in);
+    std::string name(name_len, '\0');
+    get_bytes(in, name.data(), name_len);
+    const Codec* codec = find_codec(name);
+    if (codec == nullptr)
+      throw std::runtime_error("sfa load: unknown codec '" + name + "'");
+    std::vector<Bytes> blobs(num_states);
+    for (auto& blob : blobs) {
+      const std::uint32_t size = get_u32(in);
+      blob.resize(size);
+      get_bytes(in, blob.data(), size);
+    }
+    sfa.set_mappings_compressed(std::move(blobs), codec);
+  } else if (mode != 0) {
+    throw std::runtime_error("sfa load: bad mapping mode");
+  }
+  sfa.set_table(std::move(delta), std::move(accepting));
+  return sfa;
+}
+
+void save_sfa_file(const Sfa& sfa, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save_sfa(sfa, out);
+}
+
+Sfa load_sfa_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load_sfa(in);
+}
+
+}  // namespace sfa

@@ -1,0 +1,33 @@
+// Binary serialization of constructed SFAs (and their source DFAs).
+//
+// SFA construction is the expensive step — the whole point of the paper —
+// so a production deployment builds once and reuses.  The format is a
+// little-endian container:
+//
+//   "SFA1" | cell_width:u8 | num_symbols:u8 | dfa_states:u32 |
+//   num_states:u32 | start:u32 | dfa_start:u32 |
+//   dfa_accepting[dfa_states] | accepting[num_states] |
+//   delta[num_states * num_symbols]:u32 |
+//   mapping_mode:u8 (0 none, 1 raw, 2 compressed) |
+//     raw:        store bytes (num_states * dfa_states * cell_width)
+//     compressed: codec name (len:u8 + bytes), then per state
+//                 blob_size:u32 + blob bytes
+//
+// Loading a compressed store resolves the codec by name from the registry.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+
+void save_sfa(const Sfa& sfa, std::ostream& out);
+Sfa load_sfa(std::istream& in);
+
+/// File-path conveniences (throw std::runtime_error on I/O failure).
+void save_sfa_file(const Sfa& sfa, const std::string& path);
+Sfa load_sfa_file(const std::string& path);
+
+}  // namespace sfa

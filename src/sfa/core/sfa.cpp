@@ -1,0 +1,119 @@
+#include "sfa/core/sfa.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "sfa/support/format.hpp"
+
+namespace sfa {
+
+Sfa::StateId Sfa::run(StateId from, const Symbol* input,
+                      std::size_t len) const {
+  StateId s = from;
+  for (std::size_t i = 0; i < len; ++i)
+    s = delta_[static_cast<std::size_t>(s) * num_symbols_ + input[i]];
+  return s;
+}
+
+void Sfa::init(std::uint32_t dfa_states, unsigned num_symbols,
+               unsigned cell_width, std::uint32_t dfa_start,
+               std::vector<std::uint8_t> dfa_accepting) {
+  dfa_states_ = dfa_states;
+  num_symbols_ = num_symbols;
+  cell_width_ = cell_width;
+  dfa_start_ = dfa_start;
+  dfa_accepting_ = std::move(dfa_accepting);
+}
+
+void Sfa::set_table(std::vector<StateId> delta,
+                    std::vector<std::uint8_t> accepting) {
+  num_states_ = static_cast<std::uint32_t>(accepting.size());
+  delta_ = std::move(delta);
+  accepting_ = std::move(accepting);
+}
+
+void Sfa::set_mappings_raw(std::vector<std::uint8_t> cells) {
+  raw_mappings_ = std::move(cells);
+  compressed_mappings_.clear();
+  codec_ = nullptr;
+  has_mappings_ = true;
+}
+
+void Sfa::set_mappings_compressed(std::vector<Bytes> blobs,
+                                  const Codec* codec) {
+  compressed_mappings_ = std::move(blobs);
+  raw_mappings_.clear();
+  codec_ = codec;
+  has_mappings_ = true;
+}
+
+void Sfa::mapping(StateId s, std::vector<std::uint32_t>& out) const {
+  if (!has_mappings_)
+    throw std::logic_error("Sfa: mappings were not retained by the builder");
+  out.resize(dfa_states_);
+  const auto decode = [&](const std::uint8_t* base) {
+    for (std::uint32_t q = 0; q < dfa_states_; ++q) {
+      if (cell_width_ == 2) {
+        std::uint16_t v;
+        std::memcpy(&v, base + q * 2u, 2);
+        out[q] = v;
+      } else {
+        std::uint32_t v;
+        std::memcpy(&v, base + q * 4u, 4);
+        out[q] = v;
+      }
+    }
+  };
+  if (codec_ != nullptr) {
+    const Bytes& blob = compressed_mappings_[s];
+    const Bytes raw = codec_->decompress(
+        ByteView(blob.data(), blob.size()),
+        static_cast<std::size_t>(dfa_states_) * cell_width_);
+    decode(raw.data());
+    return;
+  }
+  decode(raw_mapping(s));
+}
+
+std::uint32_t Sfa::map(StateId s, std::uint32_t q) const {
+  if (!has_mappings_)
+    throw std::logic_error("Sfa: mappings were not retained by the builder");
+  if (codec_ != nullptr) {
+    std::vector<std::uint32_t> full;
+    mapping(s, full);
+    return full[q];
+  }
+  const std::uint8_t* base = raw_mapping(s);
+  if (cell_width_ == 2) {
+    std::uint16_t v;
+    std::memcpy(&v, base + q * 2u, 2);
+    return v;
+  }
+  std::uint32_t v;
+  std::memcpy(&v, base + q * 4u, 4);
+  return v;
+}
+
+std::uint64_t Sfa::mapping_store_bytes() const {
+  if (!has_mappings_) return 0;
+  if (codec_ != nullptr) {
+    std::uint64_t total = 0;
+    for (const Bytes& b : compressed_mappings_) total += b.size();
+    return total;
+  }
+  return raw_mappings_.size();
+}
+
+std::string Sfa::summary() const {
+  std::ostringstream os;
+  os << "SFA: " << with_commas(num_states_) << " states over "
+     << num_symbols_ << " symbols (DFA n=" << with_commas(dfa_states_)
+     << ", cell width " << cell_width_ << " B";
+  if (has_mappings_)
+    os << ", mapping store " << human_bytes(mapping_store_bytes())
+       << (codec_ ? " compressed" : " raw");
+  os << ")";
+  return os.str();
+}
+
+}  // namespace sfa

@@ -1,0 +1,156 @@
+// The constructed simultaneous finite automaton.
+//
+// S(A) for an n-state DFA A: SFA states are mappings Q -> Q, the start state
+// is the identity mapping, and delta_s applies the DFA's delta component-wise
+// (paper §II, Algorithm 1).  This type is the *result* of construction — an
+// immutable automaton with a dense transition table plus (optionally) the
+// per-state mappings needed to compose chunk results during parallel
+// matching.  Mappings may be stored compressed (Table II workloads).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/compress/codec.hpp"
+
+namespace sfa {
+
+/// Construction statistics reported by every builder (fills the columns of
+/// the paper's Fig. 4/5 and Table II).
+struct BuildStats {
+  std::uint64_t sfa_states = 0;
+  std::uint64_t dfa_states = 0;
+  double seconds = 0;                  // end-to-end construction time
+  double compression_seconds = 0;      // stop-the-world re-compression
+  std::uint64_t mapping_bytes_uncompressed = 0;  // states * n * cell width
+  std::uint64_t mapping_bytes_stored = 0;        // actual resident bytes
+  bool compression_triggered = false;
+  // Hash-table behaviour:
+  std::uint64_t fingerprint_collisions = 0;
+  std::uint64_t hash_cas_failures = 0;
+  std::uint64_t chain_traversals = 0;
+  // Work distribution (parallel builder only):
+  std::uint64_t steals = 0;
+  std::uint64_t steal_failures = 0;
+  std::uint64_t queue_cas_failures = 0;
+  std::uint64_t global_queue_states = 0;
+  unsigned threads = 1;
+  /// Probabilistic builder only: peak bytes of live (not-yet-expanded)
+  /// state vectors — the working set the fingerprint-only scheme bounds.
+  std::uint64_t peak_frontier_bytes = 0;
+
+  double compression_ratio() const {
+    return mapping_bytes_stored
+               ? static_cast<double>(mapping_bytes_uncompressed) /
+                     static_cast<double>(mapping_bytes_stored)
+               : 0.0;
+  }
+};
+
+class Sfa {
+ public:
+  using StateId = std::uint32_t;
+
+  Sfa() = default;
+
+  // --- Automaton interface ---------------------------------------------
+
+  StateId start() const { return start_; }
+  std::uint32_t num_states() const { return num_states_; }
+  unsigned num_symbols() const { return num_symbols_; }
+  /// n — the size of the underlying DFA (= cells per mapping).
+  std::uint32_t dfa_states() const { return dfa_states_; }
+
+  StateId transition(StateId s, Symbol symbol) const {
+    return delta_[static_cast<std::size_t>(s) * num_symbols_ + symbol];
+  }
+
+  /// Runs delta_s over `input` starting from `from`.
+  StateId run(StateId from, const Symbol* input, std::size_t len) const;
+
+  /// True when the state's mapping sends the DFA start state to a final
+  /// state — i.e. the membership answer for a whole input consumed from the
+  /// SFA start state (F_s of Algorithm 1, specialized to I = {q0}).
+  bool accepting(StateId s) const { return accepting_[s] != 0; }
+
+  // --- Mappings (needed for chunk composition) ---------------------------
+
+  bool has_mappings() const { return has_mappings_; }
+  bool mappings_compressed() const { return codec_ != nullptr; }
+
+  /// Decode the full mapping vector of state `s` into `out` (n entries):
+  /// out[q] = f_s(q).
+  void mapping(StateId s, std::vector<std::uint32_t>& out) const;
+
+  /// f_s(q) for a single q.  O(1) for uncompressed mappings; decompresses
+  /// the state's blob when compressed.
+  std::uint32_t map(StateId s, std::uint32_t q) const;
+
+  /// Acceptance of a DFA state (copied from the source DFA so matching does
+  /// not need the DFA object around).
+  bool dfa_accepting(std::uint32_t q) const { return dfa_accepting_[q] != 0; }
+  std::uint32_t dfa_start() const { return dfa_start_; }
+
+  /// Resident bytes of the mapping store (compressed or not).
+  std::uint64_t mapping_store_bytes() const;
+
+  /// Cell width in bytes (2 or 4).
+  unsigned cell_width() const { return cell_width_; }
+
+  /// Codec of the compressed mapping store (nullptr when raw/absent).
+  const Codec* codec() const { return codec_; }
+
+  /// Raw view of one compressed mapping blob (mappings_compressed() only).
+  ByteView compressed_blob(StateId s) const {
+    return ByteView(compressed_mappings_[s].data(),
+                    compressed_mappings_[s].size());
+  }
+
+  /// Raw view of the uncompressed mapping store (raw mappings only).
+  ByteView raw_mapping_store() const {
+    return ByteView(raw_mappings_.data(), raw_mappings_.size());
+  }
+
+  std::string summary() const;
+
+  // --- Construction-side interface (used by the builders) ----------------
+
+  struct Builder;  // opaque friend-ish assembly helper, see sfa.cpp
+
+  void init(std::uint32_t dfa_states, unsigned num_symbols,
+            unsigned cell_width, std::uint32_t dfa_start,
+            std::vector<std::uint8_t> dfa_accepting);
+  void set_start(StateId s) { start_ = s; }
+  void set_table(std::vector<StateId> delta, std::vector<std::uint8_t> accepting);
+  /// Raw (uncompressed, cell-width-packed) mapping store, indexed by id.
+  void set_mappings_raw(std::vector<std::uint8_t> cells);
+  /// Compressed per-state blobs + the codec that made them.
+  void set_mappings_compressed(std::vector<Bytes> blobs, const Codec* codec);
+
+ private:
+  const std::uint8_t* raw_mapping(StateId s) const {
+    return raw_mappings_.data() +
+           static_cast<std::size_t>(s) * dfa_states_ * cell_width_;
+  }
+
+  std::uint32_t num_states_ = 0;
+  std::uint32_t dfa_states_ = 0;
+  unsigned num_symbols_ = 0;
+  unsigned cell_width_ = 4;
+  StateId start_ = 0;
+  std::uint32_t dfa_start_ = 0;
+
+  std::vector<StateId> delta_;            // num_states * num_symbols
+  std::vector<std::uint8_t> accepting_;   // per SFA state
+  std::vector<std::uint8_t> dfa_accepting_;
+
+  bool has_mappings_ = false;
+  std::vector<std::uint8_t> raw_mappings_;  // uncompressed store
+  std::vector<Bytes> compressed_mappings_;  // per-state blobs
+  const Codec* codec_ = nullptr;
+};
+
+}  // namespace sfa

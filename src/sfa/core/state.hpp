@@ -1,0 +1,117 @@
+// SFA state node — the unit the construction algorithm manipulates.
+//
+// An SFA state for an n-state DFA is a vector of n DFA-state cells
+// ("mapping" f in Algorithm 1).  Each constructed state is materialized as a
+// node carrying (paper §III-A): the 64-bit fingerprint, the chain pointer for
+// the hash table, the assigned state id, and the payload — either the
+// exhaustive cell vector or, after the compression phase, the compressed
+// blob (§III-C).  Headers are allocated in a persistent arena so node
+// pointers stay valid across the compression phase; payloads live in a
+// per-generation arena that is reclaimed wholesale after re-compression.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+
+#include "sfa/compress/codec.hpp"
+#include "sfa/concurrent/arena.hpp"
+
+namespace sfa {
+
+template <typename Cell>
+struct StateNode {
+  std::atomic<StateNode*> next{nullptr};  // hash-table chain
+  std::uint64_t fingerprint = 0;          // over the uncompressed cells
+  static constexpr std::uint32_t kIdUnset = 0xFFFFFFFFu;
+
+  std::byte* payload = nullptr;           // cells, or compressed bytes
+  std::uint32_t payload_size = 0;         // current payload bytes
+  /// SFA state id.  In the parallel builder the id is published *after* the
+  /// node wins insertion, so concurrent finders spin on kIdUnset.
+  std::atomic<std::uint32_t> id{kIdUnset};
+  std::uint8_t is_compressed = 0;
+  std::uint8_t accepting = 0;             // f(q0) is a DFA final state
+
+  bool compressed() const { return is_compressed != 0; }
+
+  Cell* cells() { return reinterpret_cast<Cell*>(payload); }
+  const Cell* cells() const { return reinterpret_cast<const Cell*>(payload); }
+
+  const std::uint8_t* bytes() const {
+    return reinterpret_cast<const std::uint8_t*>(payload);
+  }
+};
+
+/// Allocate a node whose payload is a copy of the n uncompressed cells.
+template <typename Cell>
+StateNode<Cell>* make_state_node(Arena& header_arena, Arena& payload_arena,
+                                 const Cell* cells, std::uint32_t n,
+                                 std::uint64_t fingerprint) {
+  auto* node = new (header_arena.allocate(sizeof(StateNode<Cell>),
+                                          alignof(StateNode<Cell>)))
+      StateNode<Cell>();
+  node->fingerprint = fingerprint;
+  node->payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n);
+  node->payload =
+      static_cast<std::byte*>(payload_arena.allocate(node->payload_size, alignof(Cell)));
+  std::memcpy(node->payload, cells, node->payload_size);
+  return node;
+}
+
+/// Allocate a node holding a compressed payload (phase-3 construction).
+template <typename Cell>
+StateNode<Cell>* make_compressed_node(Arena& header_arena, Arena& payload_arena,
+                                      const std::uint8_t* data,
+                                      std::uint32_t size,
+                                      std::uint64_t fingerprint) {
+  auto* node = new (header_arena.allocate(sizeof(StateNode<Cell>),
+                                          alignof(StateNode<Cell>)))
+      StateNode<Cell>();
+  node->fingerprint = fingerprint;
+  node->payload_size = size;
+  node->payload = static_cast<std::byte*>(payload_arena.allocate(size, 8));
+  node->is_compressed = 1;
+  std::memcpy(node->payload, data, size);
+  return node;
+}
+
+/// Hash-set traits for StateNode.  Same-representation payloads compare
+/// byte-by-byte (exact: the codec is deterministic).  Mixed-representation
+/// comparisons arise in compressed-mode construction, where probes carry the
+/// uncompressed candidate while resident nodes are compressed: the stored
+/// side is decompressed into a thread-local scratch buffer — decompression
+/// is several times cheaper than compressing every candidate before lookup.
+/// Builders must call set_compare_context() on each thread that probes a
+/// table which may hold compressed nodes.
+template <typename Cell>
+struct StateNodeTraits {
+  static std::atomic<StateNode<Cell>*>& next(StateNode<Cell>& n) {
+    return n.next;
+  }
+  static std::uint64_t fingerprint(const StateNode<Cell>& n) {
+    return n.fingerprint;
+  }
+  static bool same_state(const StateNode<Cell>& a, const StateNode<Cell>& b) {
+    if (a.is_compressed == b.is_compressed)
+      return a.payload_size == b.payload_size &&
+             std::memcmp(a.payload, b.payload, a.payload_size) == 0;
+    const StateNode<Cell>& comp = a.is_compressed ? a : b;
+    const StateNode<Cell>& raw = a.is_compressed ? b : a;
+    if (raw.payload_size != tl_raw_size || tl_codec == nullptr) return false;
+    const Bytes decoded = tl_codec->decompress(
+        ByteView(comp.bytes(), comp.payload_size), tl_raw_size);
+    return std::memcmp(decoded.data(), raw.payload, tl_raw_size) == 0;
+  }
+
+  /// Per-thread decompression context for mixed comparisons.
+  static void set_compare_context(const Codec* codec, std::size_t raw_size) {
+    tl_codec = codec;
+    tl_raw_size = raw_size;
+  }
+
+  static inline thread_local const Codec* tl_codec = nullptr;
+  static inline thread_local std::size_t tl_raw_size = 0;
+};
+
+}  // namespace sfa

@@ -1,0 +1,49 @@
+// Incremental (streaming) matching — feed input block by block without ever
+// holding the whole text, e.g. network payloads in the paper's IDS
+// motivation.  The SFA state after the blocks seen so far IS the resume
+// point; each block can optionally be advanced with multiple threads by
+// chunk-splitting + composition, exactly like whole-input parallel matching.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sfa/core/match.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+
+class StreamMatcher {
+ public:
+  /// `sfa` must outlive the matcher; parallel feeding requires mappings.
+  explicit StreamMatcher(const Sfa& sfa, unsigned num_threads = 1)
+      : sfa_(&sfa), threads_(num_threads == 0 ? 1 : num_threads),
+        dfa_state_(sfa.dfa_start()) {}
+
+  /// Consume one block of symbols.
+  void feed(const Symbol* data, std::size_t len);
+  void feed(const std::vector<Symbol>& block) {
+    feed(block.data(), block.size());
+  }
+
+  /// Has the pattern matched anywhere in the stream so far?  (Absorbing
+  /// match-anywhere automata stay accepting once matched.)
+  bool matched() const { return sfa_->dfa_accepting(dfa_state_); }
+
+  /// DFA state after the stream so far (for checkpoint/restore).
+  std::uint32_t dfa_state() const { return dfa_state_; }
+  void restore(std::uint32_t state) { dfa_state_ = state; }
+
+  /// Reset to the beginning of a new stream.
+  void reset() { dfa_state_ = sfa_->dfa_start(); }
+
+  std::uint64_t symbols_consumed() const { return consumed_; }
+
+ private:
+  const Sfa* sfa_;
+  unsigned threads_;
+  std::uint32_t dfa_state_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace sfa

@@ -1,0 +1,178 @@
+#include "sfa/hash/city64.hpp"
+
+#include <cstring>
+
+namespace sfa {
+namespace {
+
+// Mixing constants from the CityHash construction.
+constexpr std::uint64_t k0 = 0xc3a5c85c97cb3127ull;
+constexpr std::uint64_t k1 = 0xb492b66fbe98f273ull;
+constexpr std::uint64_t k2 = 0x9ae16a3b2f90404full;
+
+inline std::uint64_t load64(const char* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+inline std::uint32_t load32(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline std::uint64_t rotr(std::uint64_t v, int shift) {
+  return shift == 0 ? v : (v >> shift) | (v << (64 - shift));
+}
+
+inline std::uint64_t shift_mix(std::uint64_t v) { return v ^ (v >> 47); }
+
+// The 128-to-64-bit Murmur-inspired reduction CityHash builds everything on.
+inline std::uint64_t hash128to64(std::uint64_t lo, std::uint64_t hi) {
+  constexpr std::uint64_t kMul = 0x9ddfea08eb382d69ull;
+  std::uint64_t a = (lo ^ hi) * kMul;
+  a ^= (a >> 47);
+  std::uint64_t b = (hi ^ a) * kMul;
+  b ^= (b >> 47);
+  b *= kMul;
+  return b;
+}
+
+inline std::uint64_t hash_len16(std::uint64_t u, std::uint64_t v,
+                                std::uint64_t mul) {
+  std::uint64_t a = (u ^ v) * mul;
+  a ^= (a >> 47);
+  std::uint64_t b = (v ^ a) * mul;
+  b ^= (b >> 47);
+  b *= mul;
+  return b;
+}
+
+std::uint64_t hash_len0to16(const char* s, std::size_t len) {
+  if (len >= 8) {
+    const std::uint64_t mul = k2 + len * 2;
+    const std::uint64_t a = load64(s) + k2;
+    const std::uint64_t b = load64(s + len - 8);
+    const std::uint64_t c = rotr(b, 37) * mul + a;
+    const std::uint64_t d = (rotr(a, 25) + b) * mul;
+    return hash_len16(c, d, mul);
+  }
+  if (len >= 4) {
+    const std::uint64_t mul = k2 + len * 2;
+    const std::uint64_t a = load32(s);
+    return hash_len16(len + (a << 3), load32(s + len - 4), mul);
+  }
+  if (len > 0) {
+    const std::uint8_t a = static_cast<std::uint8_t>(s[0]);
+    const std::uint8_t b = static_cast<std::uint8_t>(s[len >> 1]);
+    const std::uint8_t c = static_cast<std::uint8_t>(s[len - 1]);
+    const std::uint32_t y = a + (static_cast<std::uint32_t>(b) << 8);
+    const std::uint32_t z =
+        static_cast<std::uint32_t>(len) + (static_cast<std::uint32_t>(c) << 2);
+    return shift_mix(y * k2 ^ z * k0) * k2;
+  }
+  return k2;
+}
+
+std::uint64_t hash_len17to32(const char* s, std::size_t len) {
+  const std::uint64_t mul = k2 + len * 2;
+  const std::uint64_t a = load64(s) * k1;
+  const std::uint64_t b = load64(s + 8);
+  const std::uint64_t c = load64(s + len - 8) * mul;
+  const std::uint64_t d = load64(s + len - 16) * k2;
+  return hash_len16(rotr(a + b, 43) + rotr(c, 30) + d,
+                    a + rotr(b + k2, 18) + c, mul);
+}
+
+std::uint64_t hash_len33to64(const char* s, std::size_t len) {
+  // Hash the first and last 32 bytes as two 17-32-style halves, then
+  // combine; every input byte feeds exactly one multiplicative mix, so
+  // single-bit changes always propagate.
+  const std::uint64_t mul = k2 + len * 2;
+  const std::uint64_t a0 = load64(s) * k1;
+  const std::uint64_t b0 = load64(s + 8);
+  const std::uint64_t c0 = load64(s + 16) * mul;
+  const std::uint64_t d0 = load64(s + 24) * k2;
+  const std::uint64_t h0 =
+      hash_len16(rotr(a0 + b0, 43) + rotr(c0, 30) + d0,
+                 a0 + rotr(b0 + k2, 18) + c0, mul);
+
+  const std::uint64_t a1 = load64(s + len - 32) * k1;
+  const std::uint64_t b1 = load64(s + len - 24);
+  const std::uint64_t c1 = load64(s + len - 16) * mul;
+  const std::uint64_t d1 = load64(s + len - 8) * k2;
+  const std::uint64_t h1 =
+      hash_len16(rotr(a1 + b1, 43) + rotr(c1, 30) + d1,
+                 a1 + rotr(b1 + k2, 18) + c1, mul);
+
+  return hash128to64(h0 + len, h1 ^ k0);
+}
+
+struct U128 {
+  std::uint64_t first, second;
+};
+
+// 56-byte rolling state update used by the >64-byte main loop.
+U128 weak_hash_len32_with_seeds(std::uint64_t w, std::uint64_t x,
+                                std::uint64_t y, std::uint64_t z,
+                                std::uint64_t a, std::uint64_t b) {
+  a += w;
+  b = rotr(b + a + z, 21);
+  const std::uint64_t c = a;
+  a += x;
+  a += y;
+  b += rotr(a, 44);
+  return {a + z, b + c};
+}
+
+U128 weak_hash_len32_with_seeds(const char* s, std::uint64_t a,
+                                std::uint64_t b) {
+  return weak_hash_len32_with_seeds(load64(s), load64(s + 8), load64(s + 16),
+                                    load64(s + 24), a, b);
+}
+
+}  // namespace
+
+std::uint64_t city_hash64(const void* data, std::size_t len) {
+  const char* s = static_cast<const char*>(data);
+  if (len <= 16) return hash_len0to16(s, len);
+  if (len <= 32) return hash_len17to32(s, len);
+  if (len <= 64) return hash_len33to64(s, len);
+
+  // >64 bytes: 64-byte chunks with 56 bytes of rolling state.
+  std::uint64_t x = load64(s + len - 40);
+  std::uint64_t y = load64(s + len - 16) + load64(s + len - 56);
+  std::uint64_t z =
+      hash128to64(load64(s + len - 48) + len, load64(s + len - 24));
+  U128 v = weak_hash_len32_with_seeds(s + len - 64, len, z);
+  U128 w = weak_hash_len32_with_seeds(s + len - 32, y + k1, x);
+  x = x * k1 + load64(s);
+
+  // Round len down to a positive multiple of 64.
+  std::size_t n = (len - 1) & ~static_cast<std::size_t>(63);
+  do {
+    x = rotr(x + y + v.first + load64(s + 8), 37) * k1;
+    y = rotr(y + v.second + load64(s + 48), 42) * k1;
+    x ^= w.second;
+    y += v.first + load64(s + 40);
+    z = rotr(z + w.first, 33) * k1;
+    v = weak_hash_len32_with_seeds(s, v.second * k1, x + w.first);
+    w = weak_hash_len32_with_seeds(s + 32, z + w.second, y + load64(s + 16));
+    std::uint64_t t = z;
+    z = x;
+    x = t;
+    s += 64;
+    n -= 64;
+  } while (n != 0);
+
+  return hash128to64(hash128to64(v.first, w.first) + shift_mix(y) * k1 + z,
+                     hash128to64(v.second, w.second) + x);
+}
+
+std::uint64_t city_hash64_seeded(const void* data, std::size_t len,
+                                 std::uint64_t seed) {
+  return hash128to64(city_hash64(data, len) - k2, seed);
+}
+
+}  // namespace sfa

@@ -1,0 +1,21 @@
+// FNV-1a — the simple baseline hash in the fingerprint survey (E8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfa {
+
+/// 64-bit FNV-1a.  Slow (byte-serial) but trivially correct; it anchors the
+/// low end of the throughput survey the way the paper's slowest codecs do.
+inline std::uint64_t fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace sfa

@@ -1,0 +1,185 @@
+#include "sfa/hash/rabin.hpp"
+
+#include <cstring>
+
+#include "sfa/support/cpu.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#include <wmmintrin.h>
+#define SFA_HAVE_PCLMUL_INTRIN 1
+#endif
+
+namespace sfa {
+
+namespace gf2 {
+
+void clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+             std::uint64_t& lo) {
+  hi = 0;
+  lo = 0;
+  // Shift-and-xor schoolbook multiply; only used for init-time constants and
+  // as the reference in tests, so clarity beats speed here.
+  for (int i = 0; i < 64; ++i) {
+    if ((b >> i) & 1u) {
+      lo ^= a << i;
+      if (i != 0) hi ^= a >> (64 - i);
+    }
+  }
+}
+
+std::uint64_t mod128(std::uint64_t hi, std::uint64_t lo,
+                     std::uint64_t poly_low) {
+  // Reduce bit-by-bit from the top: x^64 == poly_low (mod P).
+  for (int bit = 63; bit >= 0; --bit) {
+    if ((hi >> bit) & 1u) {
+      hi ^= 1ull << bit;
+      // Subtract (x^64 + poly_low) * x^bit: the x^64+bit term was just
+      // cleared; poly_low * x^bit straddles the hi/lo boundary.
+      lo ^= poly_low << bit;
+      if (bit != 0) hi ^= poly_low >> (64 - bit);
+    }
+  }
+  return lo;
+}
+
+std::uint64_t barrett_mu_low(std::uint64_t poly_low) {
+  // Long division of x^128 by P = x^64 + poly_low.  Remainder register r
+  // tracks the current 64-bit window; quotient bit i (for x^i) is set when
+  // the running remainder has its top bit set.
+  //
+  // Divide x^128: quotient has degree 64.  Bit 64 of the quotient is always
+  // 1 (leading term), so we start from r = x^64 mod-step = poly_low and emit
+  // the remaining 64 quotient bits.
+  std::uint64_t r = poly_low;  // remainder after consuming the leading term
+  std::uint64_t q = 0;
+  for (int i = 63; i >= 0; --i) {
+    const bool top = (r >> 63) & 1u;
+    r <<= 1;
+    if (top) {
+      r ^= poly_low;
+      q |= 1ull << i;
+    }
+  }
+  return q;
+}
+
+}  // namespace gf2
+
+RabinFingerprinter::RabinFingerprinter(std::uint64_t poly_low)
+    : poly_low_(poly_low), have_pclmul_(cpu_features().pclmulqdq) {
+  // T[b] = b(x) * x^64 mod P, computed as (b * x^56) advanced 8 steps.
+  for (unsigned b = 0; b < 256; ++b) {
+    std::uint64_t v = static_cast<std::uint64_t>(b) << 56;
+    for (int step = 0; step < 8; ++step) {
+      const bool top = (v >> 63) & 1u;
+      v <<= 1;
+      if (top) v ^= poly_low_;
+    }
+    table_[b] = v;
+  }
+  // x^128 mod P = (x^64 mod P)^2 mod P; x^64 mod P is poly_low itself.
+  std::uint64_t hi, lo;
+  gf2::clmul64(poly_low_, poly_low_, hi, lo);
+  fold_k128_ = gf2::mod128(hi, lo, poly_low_);
+  gf2::clmul64(fold_k128_, poly_low_, hi, lo);
+  fold_k192_ = gf2::mod128(hi, lo, poly_low_);
+  barrett_mu_lo_ = gf2::barrett_mu_low(poly_low_);
+}
+
+std::uint64_t RabinFingerprinter::hash_portable(const void* data,
+                                                std::size_t len) const {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint64_t f = 0;
+  for (std::size_t i = 0; i < len; ++i)
+    f = (f << 8) ^ p[i] ^ table_[f >> 56];
+  return f;
+}
+
+#ifdef SFA_HAVE_PCLMUL_INTRIN
+namespace {
+inline std::uint64_t load_be64(const std::uint8_t* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return __builtin_bswap64(v);
+}
+}  // namespace
+
+__attribute__((target("pclmul,sse4.1"))) std::uint64_t
+RabinFingerprinter::hash_pclmul(const void* data, std::size_t len) const {
+  if (len < 32) return hash_portable(data, len);
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  const std::uint8_t* const end = p + len;
+
+  // 128-bit accumulator A = A_hi*x^64 + A_lo, congruent to the message
+  // prefix mod P.  Lane 0 = lo, lane 1 = hi.
+  __m128i acc = _mm_set_epi64x(static_cast<long long>(load_be64(p)),
+                               static_cast<long long>(load_be64(p + 8)));
+  p += 16;
+
+  const __m128i fold = _mm_set_epi64x(static_cast<long long>(fold_k192_),
+                                      static_cast<long long>(fold_k128_));
+  while (end - p >= 16) {
+    // A' = A_hi*K192 ^ A_lo*K128 ^ B  (each product has degree <= 126).
+    const __m128i hi_prod = _mm_clmulepi64_si128(acc, fold, 0x11);  // hi*K192
+    const __m128i lo_prod = _mm_clmulepi64_si128(acc, fold, 0x00);  // lo*K128
+    const __m128i block =
+        _mm_set_epi64x(static_cast<long long>(load_be64(p)),
+                       static_cast<long long>(load_be64(p + 8)));
+    acc = _mm_xor_si128(_mm_xor_si128(hi_prod, lo_prod), block);
+    p += 16;
+  }
+
+  // Barrett reduction of the 128-bit accumulator to A mod P.
+  const std::uint64_t a_lo =
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(acc));
+  const std::uint64_t a_hi =
+      static_cast<std::uint64_t>(_mm_extract_epi64(acc, 1));
+  // q = hi64(A_hi * mu), with mu's implicit x^64 bit contributing A_hi.
+  std::uint64_t c_hi, c_lo;
+  {
+    const __m128i prod = _mm_clmulepi64_si128(
+        _mm_cvtsi64_si128(static_cast<long long>(a_hi)),
+        _mm_cvtsi64_si128(static_cast<long long>(barrett_mu_lo_)), 0x00);
+    c_lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(prod));
+    c_hi = static_cast<std::uint64_t>(_mm_extract_epi64(prod, 1));
+  }
+  (void)c_lo;
+  const std::uint64_t q = c_hi ^ a_hi;
+  // r = low64(A ^ q*P); q*P's low half is low64(q * P_lo).
+  std::uint64_t d_lo;
+  {
+    const __m128i prod = _mm_clmulepi64_si128(
+        _mm_cvtsi64_si128(static_cast<long long>(q)),
+        _mm_cvtsi64_si128(static_cast<long long>(poly_low_)), 0x00);
+    d_lo = static_cast<std::uint64_t>(_mm_cvtsi128_si64(prod));
+  }
+  std::uint64_t f = a_lo ^ d_lo;
+
+  // Tail bytes continue with the scalar recurrence.
+  while (p != end) f = (f << 8) ^ *p++ ^ table_[f >> 56];
+  return f;
+}
+#else
+std::uint64_t RabinFingerprinter::hash_pclmul(const void* data,
+                                              std::size_t len) const {
+  return hash_portable(data, len);
+}
+#endif
+
+std::uint64_t RabinFingerprinter::hash(const void* data,
+                                       std::size_t len) const {
+  return (have_pclmul_ && len >= 32) ? hash_pclmul(data, len)
+                                     : hash_portable(data, len);
+}
+
+const RabinFingerprinter& default_rabin() {
+  static const RabinFingerprinter fp;
+  return fp;
+}
+
+std::uint64_t rabin_fingerprint(const void* data, std::size_t len) {
+  return default_rabin().hash(data, len);
+}
+
+}  // namespace sfa

@@ -1,0 +1,90 @@
+// Rabin fingerprints over GF(2)[x] (from-scratch implementation).
+//
+// A Rabin fingerprint interprets a byte string as a polynomial M(x) over
+// GF(2) (MSB-first bit order) and computes M(x) mod P(x) for a fixed
+// irreducible polynomial P of degree 64.  Distinct strings collide with
+// probability <= n/2^63 for n-bit inputs, and the collision rate can be
+// tuned by choosing the degree of P — the property the paper highlights for
+// a probabilistic (fingerprint-only) SFA variant.
+//
+// Two code paths, verified against each other by the tests:
+//   * portable  — byte-at-a-time with a 256-entry remainder table
+//                 (the classic CRC-style formulation of Rabin's scheme);
+//   * pclmul    — 128-bit-block folding with the PCLMULQDQ carry-less
+//                 multiply and a final Barrett reduction, the construction
+//                 the paper built for its fingerprint survey (§III-A).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfa {
+
+/// Fingerprinter for one modulus polynomial.  Construction precomputes the
+/// byte-remainder table and the folding/Barrett constants.
+class RabinFingerprinter {
+ public:
+  /// Low 64 bits of the degree-64 modulus polynomial P (the x^64 term is
+  /// implicit).  The default is a DENSE randomly-chosen irreducible
+  /// polynomial (verified with the Ben-Or test in the unit tests).
+  ///
+  /// Density matters, not just irreducibility: Rabin's scheme requires P to
+  /// be drawn at random.  A low-weight modulus such as x^64+x^4+x^3+x+1 has
+  /// low-weight multiples — e.g. P itself is the byte pattern {0x01, 0, ...,
+  /// 0, 0x1B} — so two inputs whose XOR matches that sparse pattern collide
+  /// *deterministically*.  SFA state vectors of r-benchmark DFAs differ in
+  /// exactly such sparse low-valued patterns and exposed this in practice
+  /// (see RabinRegression tests).
+  static constexpr std::uint64_t kDefaultPoly = 0x0551D705F105A63Full;
+
+  explicit RabinFingerprinter(std::uint64_t poly_low = kDefaultPoly);
+
+  /// M(x) mod P via the best available code path.
+  std::uint64_t hash(const void* data, std::size_t len) const;
+
+  /// Reference byte-at-a-time path (always available).
+  std::uint64_t hash_portable(const void* data, std::size_t len) const;
+
+  /// PCLMULQDQ folding path.  Preconditions: cpu_features().pclmulqdq.
+  /// Falls back to the portable path for inputs shorter than 32 bytes.
+  std::uint64_t hash_pclmul(const void* data, std::size_t len) const;
+
+  /// True when hash() will use the PCLMULQDQ path for long inputs.
+  bool uses_pclmul() const { return have_pclmul_; }
+
+  std::uint64_t poly_low() const { return poly_low_; }
+
+ private:
+  std::uint64_t poly_low_;      // P without its x^64 bit
+  std::uint64_t table_[256];    // T[b] = b(x)*x^64 mod P
+  std::uint64_t fold_k128_;     // x^128 mod P
+  std::uint64_t fold_k192_;     // x^192 mod P
+  std::uint64_t barrett_mu_lo_; // low 64 bits of floor(x^128 / P)
+  bool have_pclmul_;
+};
+
+/// Process-wide fingerprinter over the default polynomial.
+const RabinFingerprinter& default_rabin();
+
+/// Convenience wrapper over default_rabin().hash().
+std::uint64_t rabin_fingerprint(const void* data, std::size_t len);
+
+// --- GF(2)[x] helper arithmetic (exposed for tests) -------------------------
+
+namespace gf2 {
+
+/// Carry-less 64x64 -> 128-bit multiply, portable reference.
+void clmul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+             std::uint64_t& lo);
+
+/// (hi*x^64 + lo) mod P where P = x^64 + poly_low; bitwise long division.
+std::uint64_t mod128(std::uint64_t hi, std::uint64_t lo,
+                     std::uint64_t poly_low);
+
+/// floor(x^128 / P); returns the low 64 bits (bit 64 of the quotient is
+/// always 1 and handled by the caller).
+std::uint64_t barrett_mu_low(std::uint64_t poly_low);
+
+}  // namespace gf2
+
+}  // namespace sfa

@@ -1,0 +1,90 @@
+#include "sfa/hash/survey.hpp"
+
+#include <algorithm>
+
+#include "sfa/hash/city64.hpp"
+#include "sfa/hash/fnv.hpp"
+#include "sfa/hash/rabin.hpp"
+#include "sfa/support/rng.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+
+std::vector<HashCandidate> standard_hash_candidates() {
+  std::vector<HashCandidate> v;
+  v.push_back({"city64", [](const void* d, std::size_t n) {
+                 return city_hash64(d, n);
+               }});
+  if (default_rabin().uses_pclmul()) {
+    v.push_back({"rabin/pclmul", [](const void* d, std::size_t n) {
+                   return default_rabin().hash_pclmul(d, n);
+                 }});
+  }
+  v.push_back({"rabin/portable", [](const void* d, std::size_t n) {
+                 return default_rabin().hash_portable(d, n);
+               }});
+  v.push_back({"fnv1a", [](const void* d, std::size_t n) {
+                 return fnv1a64(d, n);
+               }});
+  return v;
+}
+
+HashSurveyResult survey_one(const HashCandidate& candidate,
+                            std::size_t message_bytes, std::size_t reps,
+                            std::size_t corpus, std::size_t input_bytes,
+                            std::uint64_t seed) {
+  HashSurveyResult r;
+  r.name = candidate.name;
+
+  // Throughput: hash one SFA-state-sized buffer `reps` times.
+  Xoshiro256 rng(seed);
+  std::vector<std::uint8_t> buf(message_bytes);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+
+  std::uint64_t sink = 0;
+  // Warm-up pass brings the buffer into cache, as the paper's SFA states
+  // are hashed right after being produced.
+  sink ^= candidate.fn(buf.data(), buf.size());
+  __asm__ volatile("" : "+r"(sink));
+
+  const std::uint64_t c0 = read_tsc();
+  const WallTimer t;
+  for (std::size_t i = 0; i < reps; ++i) {
+    sink ^= candidate.fn(buf.data(), buf.size());
+    __asm__ volatile("" : "+r"(sink));
+  }
+  const double secs = t.seconds();
+  const std::uint64_t cycles = read_tsc() - c0;
+
+  const double total_bytes =
+      static_cast<double>(message_bytes) * static_cast<double>(reps);
+  r.bytes_per_cycle = cycles ? total_bytes / static_cast<double>(cycles) : 0;
+  r.gib_per_second = secs > 0 ? total_bytes / secs / (1024.0 * 1024 * 1024) : 0;
+
+  // Collisions: hash `corpus` distinct random inputs, count duplicate values.
+  std::vector<std::uint64_t> hashes;
+  hashes.reserve(corpus);
+  std::vector<std::uint8_t> input(input_bytes);
+  for (std::size_t i = 0; i < corpus; ++i) {
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+    hashes.push_back(candidate.fn(input.data(), input.size()));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  for (std::size_t i = 1; i < hashes.size(); ++i)
+    if (hashes[i] == hashes[i - 1]) ++r.collisions;
+  r.inputs = corpus;
+  return r;
+}
+
+std::vector<HashSurveyResult> survey_all(std::size_t message_bytes,
+                                         std::size_t reps, std::size_t corpus,
+                                         std::size_t input_bytes,
+                                         std::uint64_t seed) {
+  std::vector<HashSurveyResult> out;
+  for (const auto& c : standard_hash_candidates())
+    out.push_back(
+        survey_one(c, message_bytes, reps, corpus, input_bytes, seed));
+  return out;
+}
+
+}  // namespace sfa

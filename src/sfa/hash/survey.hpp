@@ -1,0 +1,47 @@
+// Fingerprint-function survey harness (paper §III-A, experiment E8).
+//
+// The paper chose its fingerprint function by measuring (1) throughput in
+// bytes per CPU cycle on SFA-state-sized inputs and (2) the collision count
+// over the states generated during construction.  This harness reproduces
+// both measurements for any set of candidate functions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sfa {
+
+/// A candidate fingerprint function: name + callable.
+struct HashCandidate {
+  std::string name;
+  std::function<std::uint64_t(const void*, std::size_t)> fn;
+};
+
+struct HashSurveyResult {
+  std::string name;
+  double bytes_per_cycle = 0;   // measured with the calibrated TSC
+  double gib_per_second = 0;
+  std::uint64_t collisions = 0; // distinct inputs mapping to equal hashes
+  std::uint64_t inputs = 0;
+};
+
+/// Candidates the paper surveyed (CityHash-class, Rabin/PCLMUL,
+/// Rabin/portable) plus FNV-1a as a scalar baseline.
+std::vector<HashCandidate> standard_hash_candidates();
+
+/// Measure throughput on `reps` passes over a buffer of `message_bytes`
+/// (sized like an SFA state) and collisions across `corpus` distinct inputs
+/// of `input_bytes` each, generated deterministically from `seed`.
+HashSurveyResult survey_one(const HashCandidate& candidate,
+                            std::size_t message_bytes, std::size_t reps,
+                            std::size_t corpus, std::size_t input_bytes,
+                            std::uint64_t seed);
+
+std::vector<HashSurveyResult> survey_all(std::size_t message_bytes,
+                                         std::size_t reps, std::size_t corpus,
+                                         std::size_t input_bytes,
+                                         std::uint64_t seed);
+
+}  // namespace sfa

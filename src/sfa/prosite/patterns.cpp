@@ -1,0 +1,124 @@
+#include "sfa/prosite/patterns.hpp"
+
+#include <algorithm>
+
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+
+const std::vector<NamedPattern>& prosite_samples() {
+  static const std::vector<NamedPattern> patterns = {
+      {"PS00001", "N-{P}-[ST]-{P}."},                       // N-glycosylation
+      {"PS00002", "[ST]-G-x-G."},                           // glycosaminoglycan
+      {"PS00004", "[RK](2)-x-[ST]."},                       // cAMP phospho site
+      {"PS00005", "[ST]-x-[RK]."},                          // PKC phospho site
+      {"PS00006", "[ST]-x(2)-[DE]."},                       // CK2 phospho site
+      {"PS00007", "[RK]-x(2,3)-[DE]-x(2,3)-Y."},            // Tyr kinase site
+      {"PS00008", "G-{EDRKHPFYW}-x(2)-[STAGCN]-{P}."},      // myristoylation
+      {"PS00009", "x-G-[RK]-[RK]."},                        // amidation
+      {"PS00016", "R-G-D."},                                // RGD cell attachment
+      {"PS00017", "[AG]-x(4)-G-K-[ST]."},                   // P-loop ATP/GTP
+      {"PS00018",
+       "D-x-[DNS]-{ILVFYW}-[DENSTG]-[DNQGHRK]-{GP}-[LIVMC]-[DENQSTAGC]-x(2)"
+       "-[DE]-[LIVMFYW]."},                                 // EF-hand
+      {"PS00028", "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H."},  // C2H2 zinc
+      {"PS00029", "L-x(6)-L-x(6)-L-x(6)-L."},               // leucine zipper
+      {"PS00134", "[LIVM]-[ST]-A-[STAG]-H-C."},             // trypsin His
+      {"PS00010", "C-x-[DN]-x(4)-[FY]-x-C-x-C."},           // Asx hydroxylation
+      // Larger motifs (bigger DFAs, the paper's mid-range):
+      {"PS00190", "C-x-G-x(4)-[FYW]-x(6,12)-C-x-C."},
+      {"PS00237", "[GSTALIVMFYWC]-[GSTANCPDE]-{EDPKRH}-x(2)-[LIVMNQGA]-x(2)"
+                  "-[LIVMFT]-[GSTANC]-[LIVMFYWSTAC]-[DENH]-R-[FYWCSH]-x(2)"
+                  "-[LIVM]."},                              // GPCR rhodopsin
+      {"PS00211", "[LIVMFYC]-S-[SG]-G-x(3)-[RKA]-[LIVMYA]-x(3)-[LIVMF]"
+                  "-[AG]."},                                // ABC transporter-ish
+  };
+  return patterns;
+}
+
+std::string synthetic_prosite_pattern(std::uint64_t seed,
+                                      const SyntheticPatternOptions& opt) {
+  static const char* kResidues = "ACDEFGHIKLMNPQRSTVWY";
+  Xoshiro256 rng(seed);
+  const unsigned elements =
+      opt.min_elements +
+      static_cast<unsigned>(rng.below(opt.max_elements - opt.min_elements + 1));
+
+  std::string out;
+  for (unsigned e = 0; e < elements; ++e) {
+    if (e) out.push_back('-');
+    const double roll = rng.unit();
+    if (roll < opt.p_any) {
+      out.push_back('x');
+    } else if (roll < opt.p_any + opt.p_class) {
+      const bool exclusion = rng.chance(opt.p_exclusion / opt.p_class);
+      // 2..max_class_size distinct residues.
+      const unsigned size =
+          2 + static_cast<unsigned>(rng.below(opt.max_class_size - 1));
+      bool used[20] = {};
+      out.push_back(exclusion ? '{' : '[');
+      unsigned added = 0;
+      while (added < size) {
+        const unsigned r = static_cast<unsigned>(rng.below(20));
+        if (used[r]) continue;
+        used[r] = true;
+        out.push_back(kResidues[r]);
+        ++added;
+      }
+      out.push_back(exclusion ? '}' : ']');
+    } else {
+      out.push_back(kResidues[rng.below(20)]);
+    }
+    if (rng.chance(opt.p_repeat)) {
+      const unsigned lo = 1 + static_cast<unsigned>(rng.below(opt.max_repeat));
+      out.push_back('(');
+      out += std::to_string(lo);
+      if (rng.chance(0.5)) {
+        const unsigned hi =
+            lo + 1 + static_cast<unsigned>(rng.below(opt.max_repeat));
+        out.push_back(',');
+        out += std::to_string(hi);
+      }
+      out.push_back(')');
+    }
+  }
+  out.push_back('.');
+  return out;
+}
+
+std::vector<NamedPattern> benchmark_patterns(std::size_t count,
+                                             std::uint64_t seed) {
+  std::vector<NamedPattern> out = prosite_samples();
+  if (out.size() > count) out.resize(count);
+  SplitMix64 seeder(seed);
+  while (out.size() < count) {
+    const std::uint64_t s = seeder.next();
+    out.push_back({"SYN" + std::to_string(out.size()),
+                   synthetic_prosite_pattern(s)});
+  }
+  return out;
+}
+
+Dfa make_r_benchmark_dfa(unsigned length, std::uint64_t seed) {
+  Xoshiro256 rng(seed ^ (static_cast<std::uint64_t>(length) << 32));
+  const unsigned k = 20;  // amino alphabet
+  Dfa dfa(k);
+  // States 0..length-1 spell the string, `length` accepts, `length+1` sinks.
+  for (unsigned i = 0; i <= length + 1; ++i)
+    dfa.add_state(/*accepting=*/i == length);
+  const Dfa::StateId sink = length + 1;
+  for (unsigned i = 0; i < length; ++i) {
+    const Symbol expected = static_cast<Symbol>(rng.below(k));
+    for (unsigned s = 0; s < k; ++s)
+      dfa.set_transition(i, static_cast<Symbol>(s),
+                         s == expected ? i + 1 : sink);
+  }
+  for (unsigned s = 0; s < k; ++s) {
+    dfa.set_transition(length, static_cast<Symbol>(s), sink);
+    dfa.set_transition(sink, static_cast<Symbol>(s), sink);
+  }
+  dfa.set_start(0);
+  return dfa;
+}
+
+}  // namespace sfa

@@ -1,0 +1,80 @@
+#include "sfa/prosite/prosite_db.hpp"
+
+#include <fstream>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<NamedPattern> load_prosite_dat(std::istream& in, bool strict) {
+  std::vector<NamedPattern> out;
+  std::string line, accession, pattern;
+  std::size_t line_number = 0;
+
+  const auto flush_entry = [&] {
+    if (accession.empty() && pattern.empty()) return;
+    if (!pattern.empty()) {
+      if (accession.empty()) {
+        if (strict)
+          throw std::runtime_error("prosite.dat: PA without AC near line " +
+                                   std::to_string(line_number));
+      } else {
+        // Validate the pattern parses; skip (or throw) otherwise.
+        try {
+          parse_prosite(pattern);
+          out.push_back({accession, pattern});
+        } catch (const PrositeParseError& e) {
+          if (strict)
+            throw std::runtime_error("prosite.dat: bad PA for " + accession +
+                                     ": " + e.what());
+        }
+      }
+    }
+    accession.clear();
+    pattern.clear();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.size() >= 2 && line[0] == '/' && line[1] == '/') {
+      flush_entry();
+      continue;
+    }
+    if (line.size() < 5) continue;
+    const std::string tag = line.substr(0, 2);
+    const std::string value = trim(line.substr(5));
+    if (tag == "AC") {
+      // "PS00001;" — strip the trailing semicolon.
+      std::string acc = value;
+      if (!acc.empty() && acc.back() == ';') acc.pop_back();
+      accession = trim(acc);
+    } else if (tag == "PA") {
+      pattern += value;  // continuation lines concatenate
+    }
+  }
+  flush_entry();
+  return out;
+}
+
+std::vector<NamedPattern> load_prosite_dat_file(const std::string& path,
+                                                bool strict) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  return load_prosite_dat(in, strict);
+}
+
+}  // namespace sfa

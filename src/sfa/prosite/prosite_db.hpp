@@ -1,0 +1,34 @@
+// Reader for the PROSITE flat-file database format (prosite.dat).
+//
+// The paper draws its 1250 benchmark patterns from a PROSITE release.  This
+// loader parses the official flat format so the full database can be used
+// directly when available:
+//
+//   ID   ASN_GLYCOSYLATION; PATTERN.
+//   AC   PS00001;
+//   DE   N-glycosylation site.
+//   PA   N-{P}-[ST]-{P}.
+//   //
+//
+// PA lines may continue over several lines; entries whose type is not
+// PATTERN (MATRIX/RULE) have no PA and are skipped.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sfa/prosite/patterns.hpp"
+
+namespace sfa {
+
+/// Parse a prosite.dat stream into (accession, pattern) pairs.  Malformed
+/// entries are skipped unless `strict`, in which case they throw
+/// std::runtime_error with the offending line number.
+std::vector<NamedPattern> load_prosite_dat(std::istream& in,
+                                           bool strict = false);
+
+std::vector<NamedPattern> load_prosite_dat_file(const std::string& path,
+                                                bool strict = false);
+
+}  // namespace sfa

@@ -1,0 +1,157 @@
+#include "sfa/prosite/prosite_parser.hpp"
+
+#include <cctype>
+
+#include "sfa/automata/determinize.hpp"
+#include "sfa/automata/minimize.hpp"
+#include "sfa/automata/nfa.hpp"
+#include "sfa/automata/ops.hpp"
+
+namespace sfa {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : src_(src) {}
+
+  PrositePattern parse() {
+    PrositePattern out;
+    skip_space();
+    if (!at_end() && peek() == '<') {
+      take();
+      out.anchored_start = true;
+    }
+    std::vector<Regex> elements;
+    elements.push_back(parse_element());
+    while (true) {
+      skip_space();
+      if (!at_end() && peek() == '-') {
+        take();
+        elements.push_back(parse_element());
+        continue;
+      }
+      break;
+    }
+    skip_space();
+    if (!at_end() && peek() == '>') {
+      take();
+      out.anchored_end = true;
+    }
+    skip_space();
+    if (!at_end() && peek() == '.') take();
+    skip_space();
+    if (!at_end()) fail("unexpected trailing input");
+    out.regex = rx::cat(std::move(elements));
+    return out;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+  char take() { return src_[pos_++]; }
+  void skip_space() {
+    while (!at_end() && std::isspace(static_cast<unsigned char>(peek())))
+      ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw PrositeParseError(msg, pos_);
+  }
+
+  Symbol residue(char c) const {
+    const Symbol s = Alphabet::amino().symbol_of(
+        static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    if (s == kNoSymbol)
+      throw PrositeParseError(std::string("'") + c +
+                                  "' is not an amino-acid code",
+                              pos_);
+    return s;
+  }
+
+  Regex parse_element() {
+    skip_space();
+    if (at_end()) fail("expected pattern element");
+    Regex atom;
+    const char c = take();
+    if (c == 'x' || c == 'X') {
+      atom = rx::any(Alphabet::amino().size());
+    } else if (c == '[') {
+      atom = rx::cls(parse_residues(']', /*negate=*/false));
+    } else if (c == '{') {
+      atom = rx::cls(parse_residues('}', /*negate=*/true));
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      atom = rx::sym(residue(c));
+    } else {
+      --pos_;
+      fail(std::string("unexpected character '") + c + "'");
+    }
+    // Optional repetition count.
+    skip_space();
+    if (!at_end() && peek() == '(') {
+      take();
+      const int lo = parse_int();
+      int hi = lo;
+      skip_space();
+      if (!at_end() && peek() == ',') {
+        take();
+        hi = parse_int();
+      }
+      skip_space();
+      if (at_end() || take() != ')') fail("expected ')'");
+      if (hi < lo) fail("repetition bounds reversed");
+      return rx::repeat(std::move(atom), lo, hi);
+    }
+    return atom;
+  }
+
+  CharClass parse_residues(char closer, bool negate) {
+    CharClass cls;
+    bool any = false;
+    while (!at_end() && peek() != closer) {
+      const char c = take();
+      if (std::isspace(static_cast<unsigned char>(c))) continue;
+      if (c == '<' || c == '>')
+        fail("anchors inside residue classes are not supported");
+      cls.add(residue(c));
+      any = true;
+    }
+    if (at_end() || take() != closer) fail("unterminated residue class");
+    if (!any) fail("empty residue class");
+    return negate ? cls.negated(Alphabet::amino().size()) : cls;
+  }
+
+  int parse_int() {
+    skip_space();
+    if (at_end() || !std::isdigit(static_cast<unsigned char>(peek())))
+      fail("expected number");
+    long v = 0;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      v = v * 10 + (take() - '0');
+      if (v > 10000) fail("repetition count too large");
+    }
+    return static_cast<int>(v);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+PrositePattern parse_prosite(std::string_view pattern) {
+  return Parser(pattern).parse();
+}
+
+Dfa compile_prosite(std::string_view pattern) {
+  PrositePattern p = parse_prosite(pattern);
+  const unsigned k = Alphabet::amino().size();
+  std::vector<Regex> parts;
+  if (!p.anchored_start) parts.push_back(rx::star(rx::any(k)));
+  parts.push_back(std::move(p.regex));
+  if (!p.anchored_end) parts.push_back(rx::star(rx::any(k)));
+  const Regex wrapped = rx::cat(std::move(parts));
+  const Nfa nfa = Nfa::from_regex(wrapped, k);
+  return minimize(determinize(nfa));
+}
+
+}  // namespace sfa

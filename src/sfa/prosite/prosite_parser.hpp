@@ -1,0 +1,43 @@
+// PROSITE pattern parser (paper §IV: all workloads are PROSITE motifs).
+//
+// Grammar per the PROSITE user manual:
+//   pattern  := '<'? element ('-' element)* '>'? '.'?
+//   element  := atom count?
+//   atom     := residue | 'x' | '[' residue+ ']' | '{' residue+ '}'
+//   count    := '(' n ')' | '(' n ',' m ')'
+// where residues are one-letter amino-acid codes, '[..]' is a choice,
+// '{..}' an exclusion, 'x' any residue, '<'/'>' anchor the pattern at the
+// N-/C-terminus.  Example (PS00001): N-{P}-[ST]-{P}.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/automata/regex.hpp"
+
+namespace sfa {
+
+class PrositeParseError : public std::runtime_error {
+ public:
+  PrositeParseError(const std::string& what, std::size_t pos)
+      : std::runtime_error(what + " (at offset " + std::to_string(pos) + ")"),
+        position(pos) {}
+  std::size_t position;
+};
+
+struct PrositePattern {
+  Regex regex;               // over Alphabet::amino()
+  bool anchored_start = false;
+  bool anchored_end = false;
+};
+
+/// Parse a PROSITE pattern string over the amino-acid alphabet.
+PrositePattern parse_prosite(std::string_view pattern);
+
+/// Compile a PROSITE pattern to a minimal complete DFA.  Unanchored ends get
+/// the Sigma* catenation (the paper's default; '<'/'>' suppress it per side).
+Dfa compile_prosite(std::string_view pattern);
+
+}  // namespace sfa

@@ -1,0 +1,358 @@
+#include "sfa/simd/transpose.hpp"
+
+#include "sfa/support/cpu.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define SFA_HAVE_X86_INTRIN 1
+#endif
+
+namespace sfa {
+
+bool simd_transpose_available() {
+#ifdef SFA_HAVE_X86_INTRIN
+  return cpu_features().sse2;
+#else
+  return false;
+#endif
+}
+
+bool simd16_transpose_available() {
+#ifdef SFA_HAVE_X86_INTRIN
+  return cpu_features().avx2;
+#else
+  return false;
+#endif
+}
+
+// --- Scalar reference kernels -------------------------------------------------
+
+void transpose8x8_u16_scalar(const std::uint16_t* const rows[8],
+                             std::uint16_t* out, std::size_t out_stride) {
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < 8; ++r) out[c * out_stride + r] = rows[r][c];
+}
+
+void transpose8x8_u32_scalar(const std::uint32_t* const rows[8],
+                             std::uint32_t* out, std::size_t out_stride) {
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < 8; ++r) out[c * out_stride + r] = rows[r][c];
+}
+
+#ifdef SFA_HAVE_X86_INTRIN
+
+// --- 8x8 16-bit (SSE2) ---------------------------------------------------------
+
+void transpose8x8_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride) {
+  const __m128i r0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[0]));
+  const __m128i r1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[1]));
+  const __m128i r2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[2]));
+  const __m128i r3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[3]));
+  const __m128i r4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[4]));
+  const __m128i r5 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[5]));
+  const __m128i r6 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[6]));
+  const __m128i r7 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows[7]));
+
+  const __m128i a0 = _mm_unpacklo_epi16(r0, r1);
+  const __m128i a1 = _mm_unpackhi_epi16(r0, r1);
+  const __m128i a2 = _mm_unpacklo_epi16(r2, r3);
+  const __m128i a3 = _mm_unpackhi_epi16(r2, r3);
+  const __m128i a4 = _mm_unpacklo_epi16(r4, r5);
+  const __m128i a5 = _mm_unpackhi_epi16(r4, r5);
+  const __m128i a6 = _mm_unpacklo_epi16(r6, r7);
+  const __m128i a7 = _mm_unpackhi_epi16(r6, r7);
+
+  const __m128i b0 = _mm_unpacklo_epi32(a0, a2);  // cols 0,1 rows 0-3
+  const __m128i b1 = _mm_unpackhi_epi32(a0, a2);  // cols 2,3 rows 0-3
+  const __m128i b2 = _mm_unpacklo_epi32(a1, a3);  // cols 4,5 rows 0-3
+  const __m128i b3 = _mm_unpackhi_epi32(a1, a3);  // cols 6,7 rows 0-3
+  const __m128i b4 = _mm_unpacklo_epi32(a4, a6);  // cols 0,1 rows 4-7
+  const __m128i b5 = _mm_unpackhi_epi32(a4, a6);
+  const __m128i b6 = _mm_unpacklo_epi32(a5, a7);
+  const __m128i b7 = _mm_unpackhi_epi32(a5, a7);
+
+  const auto store = [&](int c, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + c * out_stride), v);
+  };
+  store(0, _mm_unpacklo_epi64(b0, b4));
+  store(1, _mm_unpackhi_epi64(b0, b4));
+  store(2, _mm_unpacklo_epi64(b1, b5));
+  store(3, _mm_unpackhi_epi64(b1, b5));
+  store(4, _mm_unpacklo_epi64(b2, b6));
+  store(5, _mm_unpackhi_epi64(b2, b6));
+  store(6, _mm_unpacklo_epi64(b3, b7));
+  store(7, _mm_unpackhi_epi64(b3, b7));
+}
+
+// --- 8x4 16-bit (SSE2): 8 rows of 4 -> 4 rows of 8 ------------------------------
+
+void transpose8x4_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride) {
+  const auto load4 = [](const std::uint16_t* p) {
+    return _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  };
+  const __m128i a0 = _mm_unpacklo_epi16(load4(rows[0]), load4(rows[1]));
+  const __m128i a1 = _mm_unpacklo_epi16(load4(rows[2]), load4(rows[3]));
+  const __m128i a2 = _mm_unpacklo_epi16(load4(rows[4]), load4(rows[5]));
+  const __m128i a3 = _mm_unpacklo_epi16(load4(rows[6]), load4(rows[7]));
+
+  const __m128i b0 = _mm_unpacklo_epi32(a0, a1);  // cols 0,1 rows 0-3
+  const __m128i b1 = _mm_unpackhi_epi32(a0, a1);  // cols 2,3 rows 0-3
+  const __m128i b2 = _mm_unpacklo_epi32(a2, a3);  // cols 0,1 rows 4-7
+  const __m128i b3 = _mm_unpackhi_epi32(a2, a3);  // cols 2,3 rows 4-7
+
+  const auto store = [&](int c, __m128i v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + c * out_stride), v);
+  };
+  store(0, _mm_unpacklo_epi64(b0, b2));
+  store(1, _mm_unpackhi_epi64(b0, b2));
+  store(2, _mm_unpacklo_epi64(b1, b3));
+  store(3, _mm_unpackhi_epi64(b1, b3));
+}
+
+// --- 8x8 32-bit (AVX2) -----------------------------------------------------------
+
+void transpose8x8_u32_avx2(const std::uint32_t* const rows[8],
+                           std::uint32_t* out, std::size_t out_stride) {
+  const __m256i r0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[0]));
+  const __m256i r1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[1]));
+  const __m256i r2 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[2]));
+  const __m256i r3 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[3]));
+  const __m256i r4 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[4]));
+  const __m256i r5 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[5]));
+  const __m256i r6 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[6]));
+  const __m256i r7 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[7]));
+
+  const __m256i a0 = _mm256_unpacklo_epi32(r0, r1);
+  const __m256i a1 = _mm256_unpackhi_epi32(r0, r1);
+  const __m256i a2 = _mm256_unpacklo_epi32(r2, r3);
+  const __m256i a3 = _mm256_unpackhi_epi32(r2, r3);
+  const __m256i a4 = _mm256_unpacklo_epi32(r4, r5);
+  const __m256i a5 = _mm256_unpackhi_epi32(r4, r5);
+  const __m256i a6 = _mm256_unpacklo_epi32(r6, r7);
+  const __m256i a7 = _mm256_unpackhi_epi32(r6, r7);
+
+  const __m256i b0 = _mm256_unpacklo_epi64(a0, a2);  // cols 0|4, rows 0-3
+  const __m256i b1 = _mm256_unpackhi_epi64(a0, a2);  // cols 1|5
+  const __m256i b2 = _mm256_unpacklo_epi64(a1, a3);  // cols 2|6
+  const __m256i b3 = _mm256_unpackhi_epi64(a1, a3);  // cols 3|7
+  const __m256i b4 = _mm256_unpacklo_epi64(a4, a6);  // cols 0|4, rows 4-7
+  const __m256i b5 = _mm256_unpackhi_epi64(a4, a6);
+  const __m256i b6 = _mm256_unpacklo_epi64(a5, a7);
+  const __m256i b7 = _mm256_unpackhi_epi64(a5, a7);
+
+  const auto store = [&](int c, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c * out_stride), v);
+  };
+  store(0, _mm256_permute2x128_si256(b0, b4, 0x20));
+  store(1, _mm256_permute2x128_si256(b1, b5, 0x20));
+  store(2, _mm256_permute2x128_si256(b2, b6, 0x20));
+  store(3, _mm256_permute2x128_si256(b3, b7, 0x20));
+  store(4, _mm256_permute2x128_si256(b0, b4, 0x31));
+  store(5, _mm256_permute2x128_si256(b1, b5, 0x31));
+  store(6, _mm256_permute2x128_si256(b2, b6, 0x31));
+  store(7, _mm256_permute2x128_si256(b3, b7, 0x31));
+}
+
+// --- 16x16 16-bit (AVX2) ----------------------------------------------------------
+
+void transpose16x16_u16_avx2(const std::uint16_t* const rows[16],
+                             std::uint16_t* out, std::size_t out_stride) {
+  __m256i r[16];
+  for (int i = 0; i < 16; ++i)
+    r[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(rows[i]));
+
+  // For each half (rows 0-7, rows 8-15): three unpack stages yield registers
+  // whose low lane is column j of the half's 8 rows and whose high lane is
+  // column j+8 of the same rows.
+  __m256i half[2][8];
+  for (int h = 0; h < 2; ++h) {
+    const __m256i* q = r + h * 8;
+    const __m256i a0 = _mm256_unpacklo_epi16(q[0], q[1]);
+    const __m256i a1 = _mm256_unpackhi_epi16(q[0], q[1]);
+    const __m256i a2 = _mm256_unpacklo_epi16(q[2], q[3]);
+    const __m256i a3 = _mm256_unpackhi_epi16(q[2], q[3]);
+    const __m256i a4 = _mm256_unpacklo_epi16(q[4], q[5]);
+    const __m256i a5 = _mm256_unpackhi_epi16(q[4], q[5]);
+    const __m256i a6 = _mm256_unpacklo_epi16(q[6], q[7]);
+    const __m256i a7 = _mm256_unpackhi_epi16(q[6], q[7]);
+
+    const __m256i b0 = _mm256_unpacklo_epi32(a0, a2);  // cols 0,1 | 8,9   rows 0-3
+    const __m256i b1 = _mm256_unpackhi_epi32(a0, a2);  // cols 2,3 | 10,11
+    const __m256i b2 = _mm256_unpacklo_epi32(a1, a3);  // cols 4,5 | 12,13
+    const __m256i b3 = _mm256_unpackhi_epi32(a1, a3);  // cols 6,7 | 14,15
+    const __m256i b4 = _mm256_unpacklo_epi32(a4, a6);  // rows 4-7
+    const __m256i b5 = _mm256_unpackhi_epi32(a4, a6);
+    const __m256i b6 = _mm256_unpacklo_epi32(a5, a7);
+    const __m256i b7 = _mm256_unpackhi_epi32(a5, a7);
+
+    half[h][0] = _mm256_unpacklo_epi64(b0, b4);  // col 0 | col 8
+    half[h][1] = _mm256_unpackhi_epi64(b0, b4);  // col 1 | col 9
+    half[h][2] = _mm256_unpacklo_epi64(b1, b5);  // col 2 | col 10
+    half[h][3] = _mm256_unpackhi_epi64(b1, b5);
+    half[h][4] = _mm256_unpacklo_epi64(b2, b6);  // col 4 | col 12
+    half[h][5] = _mm256_unpackhi_epi64(b2, b6);
+    half[h][6] = _mm256_unpacklo_epi64(b3, b7);  // col 6 | col 14
+    half[h][7] = _mm256_unpackhi_epi64(b3, b7);
+  }
+
+  const auto store = [&](int c, __m256i v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + c * out_stride), v);
+  };
+  for (int j = 0; j < 8; ++j) {
+    store(j, _mm256_permute2x128_si256(half[0][j], half[1][j], 0x20));
+    store(j + 8, _mm256_permute2x128_si256(half[0][j], half[1][j], 0x31));
+  }
+}
+
+#else  // !SFA_HAVE_X86_INTRIN — scalar stand-ins keep the API total.
+
+void transpose8x8_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride) {
+  transpose8x8_u16_scalar(rows, out, out_stride);
+}
+void transpose8x4_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride) {
+  for (int c = 0; c < 4; ++c)
+    for (int r = 0; r < 8; ++r) out[c * out_stride + r] = rows[r][c];
+}
+void transpose8x8_u32_avx2(const std::uint32_t* const rows[8],
+                           std::uint32_t* out, std::size_t out_stride) {
+  transpose8x8_u32_scalar(rows, out, out_stride);
+}
+void transpose16x16_u16_avx2(const std::uint16_t* const rows[16],
+                             std::uint16_t* out, std::size_t out_stride) {
+  for (int c = 0; c < 16; ++c)
+    for (int r = 0; r < 16; ++r) out[c * out_stride + r] = rows[r][c];
+}
+
+#endif  // SFA_HAVE_X86_INTRIN
+
+// --- Parameterized transposition -----------------------------------------------
+
+namespace {
+
+template <typename Cell>
+void successors_scalar(const Cell* delta, unsigned k, const Cell* src,
+                       unsigned n, Cell* out) {
+  // Row-major read of delta (one row per source cell), strided write — the
+  // scalar formulation of Fig. 3.
+  for (unsigned i = 0; i < n; ++i) {
+    const Cell* row = delta + static_cast<std::size_t>(src[i]) * k;
+    for (unsigned s = 0; s < k; ++s)
+      out[static_cast<std::size_t>(s) * n + i] = row[s];
+  }
+}
+
+// Transpose an 8-source-cell slab across all k symbols with the widest
+// kernels that fit, falling back to scalar for the last (k mod 4) symbols.
+inline void slab8_u16(const std::uint16_t* delta, unsigned k,
+                      const std::uint16_t* src, unsigned n, unsigned i0,
+                      std::uint16_t* out) {
+  const std::uint16_t* rows[8];
+  for (int j = 0; j < 8; ++j)
+    rows[j] = delta + static_cast<std::size_t>(src[i0 + j]) * k;
+  unsigned s = 0;
+  const std::uint16_t* shifted[8];
+  for (; s + 8 <= k; s += 8) {
+    for (int j = 0; j < 8; ++j) shifted[j] = rows[j] + s;
+    transpose8x8_u16_sse(shifted, out + static_cast<std::size_t>(s) * n + i0, n);
+  }
+  for (; s + 4 <= k; s += 4) {
+    for (int j = 0; j < 8; ++j) shifted[j] = rows[j] + s;
+    transpose8x4_u16_sse(shifted, out + static_cast<std::size_t>(s) * n + i0, n);
+  }
+  for (; s < k; ++s)
+    for (int j = 0; j < 8; ++j)
+      out[static_cast<std::size_t>(s) * n + i0 + j] = rows[j][s];
+}
+
+inline void slab8_u32(const std::uint32_t* delta, unsigned k,
+                      const std::uint32_t* src, unsigned n, unsigned i0,
+                      std::uint32_t* out) {
+  const std::uint32_t* rows[8];
+  for (int j = 0; j < 8; ++j)
+    rows[j] = delta + static_cast<std::size_t>(src[i0 + j]) * k;
+  unsigned s = 0;
+  const std::uint32_t* shifted[8];
+  for (; s + 8 <= k; s += 8) {
+    for (int j = 0; j < 8; ++j) shifted[j] = rows[j] + s;
+    transpose8x8_u32_avx2(shifted, out + static_cast<std::size_t>(s) * n + i0, n);
+  }
+  for (; s < k; ++s)
+    for (int j = 0; j < 8; ++j)
+      out[static_cast<std::size_t>(s) * n + i0 + j] = rows[j][s];
+}
+
+inline void slab16_u16(const std::uint16_t* delta, unsigned k,
+                       const std::uint16_t* src, unsigned n, unsigned i0,
+                       std::uint16_t* out) {
+  const std::uint16_t* rows[16];
+  for (int j = 0; j < 16; ++j)
+    rows[j] = delta + static_cast<std::size_t>(src[i0 + j]) * k;
+  unsigned s = 0;
+  const std::uint16_t* shifted[16];
+  for (; s + 16 <= k; s += 16) {
+    for (int j = 0; j < 16; ++j) shifted[j] = rows[j] + s;
+    transpose16x16_u16_avx2(shifted, out + static_cast<std::size_t>(s) * n + i0,
+                            n);
+  }
+  for (; s < k; ++s)
+    for (int j = 0; j < 16; ++j)
+      out[static_cast<std::size_t>(s) * n + i0 + j] = rows[j][s];
+}
+
+template <typename Cell>
+void scalar_tail(const Cell* delta, unsigned k, const Cell* src, unsigned n,
+                 unsigned i0, Cell* out) {
+  for (unsigned i = i0; i < n; ++i) {
+    const Cell* row = delta + static_cast<std::size_t>(src[i]) * k;
+    for (unsigned s = 0; s < k; ++s)
+      out[static_cast<std::size_t>(s) * n + i] = row[s];
+  }
+}
+
+}  // namespace
+
+template <>
+void successors_transposed<std::uint16_t>(const std::uint16_t* delta,
+                                          unsigned k, const std::uint16_t* src,
+                                          unsigned n, std::uint16_t* out,
+                                          TransposeMethod method) {
+  if (method == TransposeMethod::kAuto)
+    method = simd_transpose_available() ? TransposeMethod::kSimd8
+                                        : TransposeMethod::kScalar;
+  if (method == TransposeMethod::kSimd16x16 && !simd16_transpose_available())
+    method = TransposeMethod::kScalar;
+  if (method == TransposeMethod::kScalar) {
+    successors_scalar(delta, k, src, n, out);
+    return;
+  }
+  unsigned i = 0;
+  if (method == TransposeMethod::kSimd16x16) {
+    for (; i + 16 <= n; i += 16) slab16_u16(delta, k, src, n, i, out);
+  }
+  for (; i + 8 <= n; i += 8) slab8_u16(delta, k, src, n, i, out);
+  scalar_tail(delta, k, src, n, i, out);
+}
+
+template <>
+void successors_transposed<std::uint32_t>(const std::uint32_t* delta,
+                                          unsigned k, const std::uint32_t* src,
+                                          unsigned n, std::uint32_t* out,
+                                          TransposeMethod method) {
+  if (method == TransposeMethod::kAuto || method == TransposeMethod::kSimd16x16)
+    method = simd16_transpose_available() ? TransposeMethod::kSimd8
+                                          : TransposeMethod::kScalar;
+  if (method == TransposeMethod::kScalar ||
+      (method == TransposeMethod::kSimd8 && !simd16_transpose_available())) {
+    successors_scalar(delta, k, src, n, out);
+    return;
+  }
+  unsigned i = 0;
+  for (; i + 8 <= n; i += 8) slab8_u32(delta, k, src, n, i, out);
+  scalar_tail(delta, k, src, n, i, out);
+}
+
+}  // namespace sfa

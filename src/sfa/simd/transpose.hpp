@@ -1,0 +1,77 @@
+// Parameterized transposition of DFA transition tables (paper §III-A, Fig. 3).
+//
+// Given a source SFA state s0 = <p_0, ..., p_{n-1}> and the row-major DFA
+// table delta (n_states rows of |Sigma| entries), the successors of s0 on
+// every symbol are obtained by gathering the rows selected by s0's cells and
+// transposing them:
+//
+//     out[sigma][i] = delta[p_i][sigma]          (k rows of n cells)
+//
+// i.e. one call produces ALL |Sigma| successor SFA states, touching the
+// delta table row-by-row (cache-friendly) instead of column-by-column.
+// The x*y SIMD kernels transpose x gathered rows of y entries at a time:
+//   * 8x8   32-bit  (AVX2)     — the paper's kernel for large DFAs
+//   * 8x8   16-bit  (SSE)      — DFAs with <= 65534 states
+//   * 8x4   16-bit  (SSE)      — tail kernel for narrow symbol blocks
+//   * 16x16 16-bit  (AVX2)     — implemented for the ablation in E9; the
+//                                paper found 4 8x8 kernels slightly faster
+// plus scalar reference paths used for tails and non-x86 hosts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sfa {
+
+enum class TransposeMethod {
+  kScalar,      // pure scalar gather
+  kSimd8,       // 8x8 kernels (+ scalar tails)  — the paper's choice
+  kSimd16x16,   // 16x16 16-bit kernel (+ 8x8/scalar tails) — ablation
+  kAuto,        // best available for this CPU (kSimd8 when possible)
+};
+
+/// True when the 8x8 (SSE/AVX2) kernels can run on this host.
+bool simd_transpose_available();
+
+/// True when the 16x16 AVX2 16-bit kernel can run on this host.
+bool simd16_transpose_available();
+
+// --- Raw block kernels (exposed for tests/benchmarks) ------------------------
+// Each transposes x rows of y elements into y rows of x elements; output row
+// r starts at out + r * out_stride.
+
+void transpose8x8_u16_scalar(const std::uint16_t* const rows[8],
+                             std::uint16_t* out, std::size_t out_stride);
+void transpose8x8_u32_scalar(const std::uint32_t* const rows[8],
+                             std::uint32_t* out, std::size_t out_stride);
+void transpose8x8_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride);
+void transpose8x4_u16_sse(const std::uint16_t* const rows[8],
+                          std::uint16_t* out, std::size_t out_stride);
+void transpose8x8_u32_avx2(const std::uint32_t* const rows[8],
+                           std::uint32_t* out, std::size_t out_stride);
+void transpose16x16_u16_avx2(const std::uint16_t* const rows[16],
+                             std::uint16_t* out, std::size_t out_stride);
+
+// --- Parameterized transposition ---------------------------------------------
+
+/// Computes out[sigma * n + i] = delta[src[i] * k + sigma] for all
+/// sigma < k, i < n.  `delta` is the row-major Cell-typed DFA table.
+/// Cell is uint16_t or uint32_t.
+template <typename Cell>
+void successors_transposed(const Cell* delta, unsigned k, const Cell* src,
+                           unsigned n, Cell* out,
+                           TransposeMethod method = TransposeMethod::kAuto);
+
+template <>
+void successors_transposed<std::uint16_t>(const std::uint16_t* delta,
+                                          unsigned k, const std::uint16_t* src,
+                                          unsigned n, std::uint16_t* out,
+                                          TransposeMethod method);
+template <>
+void successors_transposed<std::uint32_t>(const std::uint32_t* delta,
+                                          unsigned k, const std::uint32_t* src,
+                                          unsigned n, std::uint32_t* out,
+                                          TransposeMethod method);
+
+}  // namespace sfa

@@ -1,0 +1,53 @@
+// Cache-line / SIMD-aligned storage helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace sfa {
+
+/// Destination alignment for SIMD loads/stores used by the transpose kernels.
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// std::allocator drop-in that over-aligns every allocation; lets vectors of
+/// transition-table cells be used directly by aligned SIMD loads.
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  using value_type = T;
+
+  // The non-type Align parameter defeats allocator_traits' automatic
+  // rebinding; spell it out.
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(Align));
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Align>&) const noexcept {
+    return true;
+  }
+};
+
+/// Pads a value to its own cache line to prevent false sharing between
+/// per-thread counters (used by the contention instrumentation, E5).
+template <typename T>
+struct alignas(64) CachePadded {
+  T value{};
+};
+
+}  // namespace sfa

@@ -1,0 +1,107 @@
+#include "sfa/support/cpu.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <cpuid.h>
+#define SFA_HAVE_CPUID 1
+#endif
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace sfa {
+
+namespace {
+
+CpuFeatures probe_features() {
+  CpuFeatures f;
+#ifdef SFA_HAVE_CPUID
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx)) {
+    f.sse2 = (edx >> 26) & 1u;
+    f.sse41 = (ecx >> 19) & 1u;
+    f.sse42 = (ecx >> 20) & 1u;
+    f.avx = (ecx >> 28) & 1u;
+    f.pclmulqdq = (ecx >> 1) & 1u;
+  }
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx)) {
+    f.avx2 = (ebx >> 5) & 1u;
+    f.bmi2 = (ebx >> 8) & 1u;
+  }
+#endif
+  return f;
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = probe_features();
+  return f;
+}
+
+unsigned hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1u : n;
+}
+
+std::string cpu_model_name() {
+#ifdef SFA_HAVE_CPUID
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000000u, &eax, &ebx, &ecx, &edx) && eax >= 0x80000004u) {
+    std::array<unsigned, 12> words{};
+    for (unsigned leaf = 0; leaf < 3; ++leaf) {
+      __get_cpuid(0x80000002u + leaf, &words[leaf * 4 + 0], &words[leaf * 4 + 1],
+                  &words[leaf * 4 + 2], &words[leaf * 4 + 3]);
+    }
+    char name[49] = {};
+    std::memcpy(name, words.data(), 48);
+    std::string s(name);
+    // Trim leading/trailing blanks that some vendors pad with.
+    const auto b = s.find_first_not_of(' ');
+    const auto e = s.find_last_not_of(' ');
+    if (b == std::string::npos) return "unknown";
+    return s.substr(b, e - b + 1);
+  }
+#endif
+  return "unknown";
+}
+
+std::uint64_t total_memory_bytes() {
+#if defined(__linux__)
+  const long pages = sysconf(_SC_PHYS_PAGES);
+  const long page = sysconf(_SC_PAGE_SIZE);
+  if (pages > 0 && page > 0)
+    return static_cast<std::uint64_t>(pages) * static_cast<std::uint64_t>(page);
+#endif
+  return 0;
+}
+
+std::size_t cache_line_size() {
+#if defined(__linux__)
+  const long sz = sysconf(_SC_LEVEL1_DCACHE_LINESIZE);
+  if (sz > 0) return static_cast<std::size_t>(sz);
+#endif
+  return 64;
+}
+
+std::string platform_summary() {
+  const CpuFeatures& f = cpu_features();
+  std::ostringstream os;
+  os << "CPU:              " << cpu_model_name() << '\n'
+     << "Hardware threads: " << hardware_threads() << '\n'
+     << "Cache line:       " << cache_line_size() << " B\n"
+     << "Memory:           " << (total_memory_bytes() >> 20) << " MiB\n"
+     << "ISA:              "
+     << (f.sse2 ? "sse2 " : "") << (f.sse41 ? "sse4.1 " : "")
+     << (f.sse42 ? "sse4.2 " : "") << (f.avx ? "avx " : "")
+     << (f.avx2 ? "avx2 " : "") << (f.pclmulqdq ? "pclmulqdq " : "")
+     << (f.bmi2 ? "bmi2" : "");
+  return os.str();
+}
+
+}  // namespace sfa

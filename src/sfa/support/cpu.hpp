@@ -1,0 +1,42 @@
+// CPU feature detection and host characterization.
+//
+// The SIMD kernels (sfa/simd) and the PCLMUL Rabin-fingerprint path
+// (sfa/hash) dispatch at runtime on the features reported here, so the
+// library runs correctly on hosts without AVX2/PCLMUL.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfa {
+
+/// Instruction-set features relevant to this library, probed via CPUID.
+struct CpuFeatures {
+  bool sse2 = false;
+  bool sse41 = false;
+  bool sse42 = false;
+  bool avx = false;
+  bool avx2 = false;
+  bool pclmulqdq = false;
+  bool bmi2 = false;
+};
+
+/// Probe the executing CPU once; subsequent calls return the cached result.
+const CpuFeatures& cpu_features();
+
+/// Number of hardware threads the OS exposes to this process (>= 1).
+unsigned hardware_threads();
+
+/// Best-effort model-name string from CPUID brand leaves (e.g. "AMD EPYC ...").
+std::string cpu_model_name();
+
+/// Total physical memory in bytes (0 if unknown).
+std::uint64_t total_memory_bytes();
+
+/// Cache line size in bytes (64 if it cannot be determined).
+std::size_t cache_line_size();
+
+/// Multi-line human-readable platform description (used by bench_table1).
+std::string platform_summary();
+
+}  // namespace sfa

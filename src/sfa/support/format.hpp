@@ -1,0 +1,27 @@
+// Small text-formatting helpers shared by the benchmark harnesses so every
+// experiment prints consistent, paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfa {
+
+/// "12,345,678" — thousands separators, as in the paper's Table II.
+std::string with_commas(std::uint64_t v);
+
+/// "1.23 GiB" / "512 MiB" style human-readable byte counts.
+std::string human_bytes(std::uint64_t bytes);
+
+/// Fixed-point formatting with the given number of decimals.
+std::string fixed(double v, int decimals);
+
+/// Minimal monospace table printer: pads each column to its widest cell,
+/// right-aligning numeric-looking cells.  rows[0] is the header.
+std::string render_table(const std::vector<std::vector<std::string>>& rows);
+
+/// Median of a vector (copies + sorts; fine for bench-sized data).
+double median_of(std::vector<double> v);
+
+}  // namespace sfa

@@ -1,0 +1,70 @@
+// Wall-clock and cycle-accurate timing.
+//
+// The paper reports hash throughput in bytes per CPU cycle (measured with
+// PAPI).  PAPI is not a dependency here; we read the TSC directly and
+// calibrate it against CLOCK_MONOTONIC once, which is accurate on all
+// constant-TSC x86 parts (every CPU the paper targets).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define SFA_HAVE_RDTSC 1
+#endif
+
+namespace sfa {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Serializing timestamp-counter read (0 when the ISA has no TSC).
+inline std::uint64_t read_tsc() {
+#ifdef SFA_HAVE_RDTSC
+  unsigned aux;
+  return __rdtscp(&aux);
+#else
+  return 0;
+#endif
+}
+
+/// Measured TSC frequency in Hz (cached after the first call; 0 if no TSC).
+inline double tsc_hz() {
+  static const double hz = [] {
+#ifdef SFA_HAVE_RDTSC
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::uint64_t c0 = read_tsc();
+    // 20 ms calibration window: plenty for ~0.1% accuracy.
+    while (std::chrono::steady_clock::now() - t0 <
+           std::chrono::milliseconds(20)) {
+    }
+    const std::uint64_t c1 = read_tsc();
+    const double dt =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return static_cast<double>(c1 - c0) / dt;
+#else
+    return 0.0;
+#endif
+  }();
+  return hz;
+}
+
+}  // namespace sfa

@@ -1,0 +1,382 @@
+// Automata substrate tests: alphabets, regex parsing, Thompson NFA, subset
+// construction, Hopcroft minimization, Grail I/O, equivalence checking.
+#include <gtest/gtest.h>
+
+#include "sfa/automata/determinize.hpp"
+#include "sfa/automata/minimize.hpp"
+#include "sfa/automata/nfa.hpp"
+#include "sfa/automata/ops.hpp"
+#include "sfa/automata/regex_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+const Alphabet& kDna = Alphabet::dna();
+
+std::vector<Symbol> enc(const char* s) { return kDna.encode(s); }
+
+Dfa compile_exact(const char* pattern, const Alphabet& a = kDna) {
+  CompileOptions opt;
+  opt.anywhere = false;
+  return compile_pattern(pattern, a, opt);
+}
+
+// ---- Alphabet -----------------------------------------------------------------
+
+TEST(AlphabetTest, AminoHas20Symbols) {
+  EXPECT_EQ(Alphabet::amino().size(), 20u);
+  EXPECT_TRUE(Alphabet::amino().contains('W'));
+  EXPECT_FALSE(Alphabet::amino().contains('B'));
+  EXPECT_FALSE(Alphabet::amino().contains('Z'));
+  EXPECT_FALSE(Alphabet::amino().contains('X'));
+}
+
+TEST(AlphabetTest, EncodeDecodeRoundtrip) {
+  const auto symbols = Alphabet::amino().encode("MGWRGD");
+  EXPECT_EQ(Alphabet::amino().decode(symbols), "MGWRGD");
+}
+
+TEST(AlphabetTest, EncodeRejectsForeignCharacters) {
+  EXPECT_THROW(kDna.encode("ACGU"), std::invalid_argument);
+}
+
+TEST(AlphabetTest, DuplicateCharsCollapse) {
+  const Alphabet a("AABBA");
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.symbol_of('A'), 0);
+  EXPECT_EQ(a.symbol_of('B'), 1);
+}
+
+TEST(AlphabetTest, EmptyAlphabetRejected) {
+  EXPECT_THROW(Alphabet(""), std::invalid_argument);
+}
+
+// ---- CharClass ------------------------------------------------------------------
+
+TEST(CharClassTest, NegationWithinAlphabet) {
+  CharClass c = CharClass::single(2);
+  const CharClass neg = c.negated(4);
+  EXPECT_FALSE(neg.test(2));
+  EXPECT_TRUE(neg.test(0));
+  EXPECT_TRUE(neg.test(3));
+  EXPECT_EQ(neg.count(), 3u);
+}
+
+TEST(CharClassTest, SetOperations) {
+  CharClass a = CharClass::single(0) | CharClass::single(1);
+  CharClass b = CharClass::single(1) | CharClass::single(2);
+  EXPECT_EQ((a & b).count(), 1u);
+  EXPECT_EQ((a | b).count(), 3u);
+  EXPECT_TRUE((a & b).test(1));
+}
+
+// ---- Regex parser -----------------------------------------------------------------
+
+TEST(RegexParser, LiteralAndConcat) {
+  const Regex r = parse_regex("ACGT", kDna);
+  EXPECT_EQ(r.kind, RegexKind::kConcat);
+  EXPECT_EQ(r.children.size(), 4u);
+}
+
+TEST(RegexParser, Alternation) {
+  const Dfa dfa = compile_exact("AC|GT");
+  EXPECT_TRUE(dfa.accepts(enc("AC")));
+  EXPECT_TRUE(dfa.accepts(enc("GT")));
+  EXPECT_FALSE(dfa.accepts(enc("AG")));
+  EXPECT_FALSE(dfa.accepts(enc("ACGT")));
+}
+
+TEST(RegexParser, StarPlusOpt) {
+  const Dfa star = compile_exact("A*");
+  EXPECT_TRUE(star.accepts(enc("")));
+  EXPECT_TRUE(star.accepts(enc("AAAA")));
+  EXPECT_FALSE(star.accepts(enc("AC")));
+
+  const Dfa plus = compile_exact("A+");
+  EXPECT_FALSE(plus.accepts(enc("")));
+  EXPECT_TRUE(plus.accepts(enc("A")));
+
+  const Dfa opt = compile_exact("CA?");
+  EXPECT_TRUE(opt.accepts(enc("C")));
+  EXPECT_TRUE(opt.accepts(enc("CA")));
+  EXPECT_FALSE(opt.accepts(enc("CAA")));
+}
+
+TEST(RegexParser, BoundedRepeats) {
+  const Dfa r = compile_exact("A{2,4}");
+  EXPECT_FALSE(r.accepts(enc("A")));
+  EXPECT_TRUE(r.accepts(enc("AA")));
+  EXPECT_TRUE(r.accepts(enc("AAAA")));
+  EXPECT_FALSE(r.accepts(enc("AAAAA")));
+
+  const Dfa exact = compile_exact("(AC){2}");
+  EXPECT_TRUE(exact.accepts(enc("ACAC")));
+  EXPECT_FALSE(exact.accepts(enc("AC")));
+
+  const Dfa open = compile_exact("A{3,}");
+  EXPECT_FALSE(open.accepts(enc("AA")));
+  EXPECT_TRUE(open.accepts(enc("AAAAAAA")));
+}
+
+TEST(RegexParser, CharClassesAndRanges) {
+  const Dfa r = compile_exact("[AC]G");
+  EXPECT_TRUE(r.accepts(enc("AG")));
+  EXPECT_TRUE(r.accepts(enc("CG")));
+  EXPECT_FALSE(r.accepts(enc("GG")));
+
+  const Dfa neg = compile_exact("[^A]");
+  EXPECT_FALSE(neg.accepts(enc("A")));
+  EXPECT_TRUE(neg.accepts(enc("T")));
+
+  const Dfa range = compile_exact("[A-G]", Alphabet::amino());
+  EXPECT_TRUE(range.accepts(Alphabet::amino().encode("D")));
+  EXPECT_FALSE(range.accepts(Alphabet::amino().encode("K")));
+}
+
+TEST(RegexParser, DotMatchesAnySymbol) {
+  const Dfa r = compile_exact("A.T");
+  for (const char* s : {"AAT", "ACT", "AGT", "ATT"})
+    EXPECT_TRUE(r.accepts(enc(s))) << s;
+  EXPECT_FALSE(r.accepts(enc("AT")));
+}
+
+TEST(RegexParser, ErrorsCarryPosition) {
+  try {
+    parse_regex("AC(GT", kDna);
+    FAIL() << "expected RegexParseError";
+  } catch (const RegexParseError& e) {
+    EXPECT_GE(e.position, 4u);
+  }
+  EXPECT_THROW(parse_regex("A{4,2}", kDna), RegexParseError);
+  EXPECT_THROW(parse_regex("[Z]", kDna), RegexParseError);
+  EXPECT_THROW(parse_regex("*A", kDna), RegexParseError);
+  EXPECT_THROW(parse_regex("A[", kDna), RegexParseError);
+  EXPECT_THROW(parse_regex("[T-A]", kDna), RegexParseError);
+}
+
+TEST(RegexParser, RoundtripThroughToString) {
+  for (const char* pat : {"ACGT", "A|C", "(AC)*T", "A{2,4}[CG]+", "[^T]G?"}) {
+    const Regex r = parse_regex(pat, kDna);
+    const std::string printed = regex_to_string(r, kDna);
+    // Reparse of the printed form must be language-equivalent.
+    const Regex r2 = parse_regex(printed, kDna);
+    CompileOptions opt;
+    opt.anywhere = false;
+    EXPECT_TRUE(dfa_equivalent(compile_to_dfa(r, kDna.size(), opt),
+                               compile_to_dfa(r2, kDna.size(), opt)))
+        << pat << " -> " << printed;
+  }
+}
+
+// ---- NFA ---------------------------------------------------------------------------
+
+TEST(NfaTest, ThompsonSimulationAgreesWithDfa) {
+  Xoshiro256 rng(23);
+  for (const char* pat : {"A(C|G)*T", "(A|C){2,3}G", "[AC]+[GT]+"}) {
+    const Regex r = parse_regex(pat, kDna);
+    const Nfa nfa = Nfa::from_regex(r, kDna.size());
+    const Dfa dfa = compile_exact(pat);
+    for (int i = 0; i < 200; ++i) {
+      std::vector<Symbol> input(rng.below(12));
+      for (auto& s : input) s = static_cast<Symbol>(rng.below(4));
+      EXPECT_EQ(nfa.accepts(input), dfa.accepts(input)) << pat;
+    }
+  }
+}
+
+TEST(NfaTest, EpsClosureIsSortedUnique) {
+  const Regex r = parse_regex("(A|C|G)*", kDna);
+  const Nfa nfa = Nfa::from_regex(r, kDna.size());
+  const auto closure = nfa.eps_closure({nfa.start()});
+  EXPECT_TRUE(std::is_sorted(closure.begin(), closure.end()));
+  EXPECT_EQ(std::adjacent_find(closure.begin(), closure.end()), closure.end());
+}
+
+// ---- Determinization & minimization ----------------------------------------------
+
+TEST(DeterminizeTest, ProducesCompleteDfa) {
+  const Regex r = parse_regex("AC|AG", kDna);
+  const Dfa dfa = determinize(Nfa::from_regex(r, kDna.size()));
+  EXPECT_TRUE(dfa.complete());
+}
+
+TEST(MinimizeTest, ShrinksRedundantStates) {
+  // (A|C)(A|C) written redundantly: determinization produces separate paths
+  // that minimization must merge.
+  const Dfa big = compile_exact("AA|AC|CA|CC");
+  const Dfa small = compile_exact("[AC][AC]");
+  EXPECT_TRUE(dfa_equivalent(big, small));
+  EXPECT_EQ(big.size(), small.size());  // both minimal, canonical numbering
+}
+
+TEST(MinimizeTest, CanonicalNumbering) {
+  // Two equivalent regexes minimize to structurally identical DFAs.
+  const Dfa a = compile_exact("(AC)*");
+  const Dfa b = compile_exact("(AC)*()");
+  ASSERT_EQ(a.size(), b.size());
+  for (Dfa::StateId q = 0; q < a.size(); ++q) {
+    EXPECT_EQ(a.accepting(q), b.accepting(q));
+    for (unsigned s = 0; s < 4; ++s)
+      EXPECT_EQ(a.transition(q, static_cast<Symbol>(s)),
+                b.transition(q, static_cast<Symbol>(s)));
+  }
+}
+
+TEST(MinimizeTest, RequiresCompleteDfa) {
+  Dfa partial(4);
+  partial.add_state(true);
+  EXPECT_THROW(minimize(partial), std::invalid_argument);
+}
+
+TEST(MinimizeTest, MinimalityOnRandomRegexes) {
+  // Property: minimize(minimize(d)) == minimize(d) and sizes never grow.
+  for (const char* pat : {"A(C|G)T*", "(AT|TA){1,2}", "[ACG]*T"}) {
+    const Dfa d = compile_exact(pat);
+    const Dfa m = minimize(d);
+    EXPECT_EQ(d.size(), m.size()) << "compile_exact already minimizes";
+    EXPECT_TRUE(dfa_equivalent(d, m));
+  }
+}
+
+TEST(TrimTest, DropsUnreachableStates) {
+  Dfa d(2);
+  const auto a = d.add_state(false);
+  const auto b = d.add_state(true);
+  const auto orphan = d.add_state(true);
+  d.set_start(a);
+  for (Dfa::StateId q : {a, b, orphan})
+    for (unsigned s = 0; s < 2; ++s)
+      d.set_transition(q, static_cast<Symbol>(s), b);
+  const Dfa trimmed = trim_unreachable(d);
+  EXPECT_EQ(trimmed.size(), 2u);
+  EXPECT_TRUE(dfa_equivalent(d, trimmed));
+}
+
+// ---- Match-anywhere closure ---------------------------------------------------------
+
+TEST(MatchAnywhere, FindsSubstringEverywhere) {
+  const Dfa dfa = compile_pattern("GT", kDna);  // anywhere by default
+  EXPECT_TRUE(dfa.accepts(enc("GT")));
+  EXPECT_TRUE(dfa.accepts(enc("AAGTAA")));
+  EXPECT_TRUE(dfa.accepts(enc("GTGTGT")));
+  EXPECT_FALSE(dfa.accepts(enc("G")));
+  EXPECT_FALSE(dfa.accepts(enc("TTTTG")));
+}
+
+TEST(MatchAnywhere, AcceptingStatesAbsorb) {
+  const Dfa dfa = compile_pattern("GT", kDna);
+  // Once matched, always accepting.
+  std::vector<Symbol> input = enc("GTAAAA");
+  EXPECT_TRUE(dfa.accepts(input));
+}
+
+TEST(MatchAnywhere, CountAcceptingPrefixes) {
+  const Dfa dfa = compile_pattern("GT", kDna);
+  const auto input = enc("GTAAGT");
+  // Accepting from position 2 onwards (absorbing): prefixes of length 2..6.
+  EXPECT_EQ(dfa.count_accepting_prefixes(input.data(), input.size()), 5u);
+}
+
+// ---- DFA equivalence ------------------------------------------------------------------
+
+TEST(DfaEquivalence, DetectsDifference) {
+  EXPECT_FALSE(dfa_equivalent(compile_exact("AC"), compile_exact("AG")));
+  EXPECT_TRUE(dfa_equivalent(compile_exact("A[CG]"), compile_exact("AC|AG")));
+}
+
+TEST(DfaEquivalence, AlphabetMismatchThrows) {
+  EXPECT_THROW(
+      dfa_equivalent(compile_exact("AC"),
+                     compile_exact("AC", Alphabet::amino())),
+      std::invalid_argument);
+}
+
+// ---- Grail+ I/O ---------------------------------------------------------------------
+
+TEST(GrailIo, RoundtripPreservesLanguage) {
+  const Dfa dfa = compile_pattern("AC?G", kDna);
+  const std::string text = dfa.to_grail(kDna);
+  const Dfa back = Dfa::from_grail(text, kDna);
+  EXPECT_TRUE(dfa_equivalent(dfa, back));
+}
+
+TEST(GrailIo, ParsesHandwrittenAutomaton) {
+  // Two states over DNA; accepts strings ending in A.
+  const std::string text =
+      "(START) |- 0\n"
+      "0 A 1\n0 C 0\n0 G 0\n0 T 0\n"
+      "1 A 1\n1 C 0\n1 G 0\n1 T 0\n"
+      "1 -| (FINAL)\n";
+  const Dfa dfa = Dfa::from_grail(text, kDna);
+  EXPECT_EQ(dfa.size(), 2u);
+  EXPECT_TRUE(dfa.complete());
+  EXPECT_TRUE(dfa.accepts(enc("CGA")));
+  EXPECT_FALSE(dfa.accepts(enc("AG")));
+}
+
+TEST(GrailIo, RejectsMalformedInput) {
+  EXPECT_THROW(Dfa::from_grail("0 A 1\n", kDna), std::runtime_error);
+  EXPECT_THROW(Dfa::from_grail("(START) |- 0\n0 Z 1\n", kDna),
+               std::runtime_error);
+  EXPECT_THROW(
+      Dfa::from_grail("(START) |- 0\n0 A 1\n0 A 2\n", kDna),
+      std::runtime_error);
+}
+
+TEST(GrailIo, NondeterministicInputDeterminizes) {
+  // Two start states, duplicated transitions on one (state, symbol):
+  // accepts strings containing "AC" (from start 0) or starting with "G"
+  // (from start 1), NFA-style.
+  const std::string text =
+      "(START) |- 0\n"
+      "(START) |- 3\n"
+      "0 A 0\n0 C 0\n0 G 0\n0 T 0\n"
+      "0 A 1\n"
+      "1 C 2\n"
+      "2 A 2\n2 C 2\n2 G 2\n2 T 2\n"
+      "3 G 2\n"
+      "2 -| (FINAL)\n";
+  const Dfa dfa = dfa_from_grail_nfa(text, kDna);
+  EXPECT_TRUE(dfa.complete());
+  EXPECT_TRUE(dfa.accepts(enc("TTACTT")));  // contains AC
+  EXPECT_TRUE(dfa.accepts(enc("GT")));      // starts with G (start 3)
+  EXPECT_FALSE(dfa.accepts(enc("TTTT")));
+  EXPECT_FALSE(dfa.accepts(enc("CA")));
+}
+
+TEST(GrailIo, NfaReaderAgreesWithDfaReaderOnDeterministicInput) {
+  const Dfa original = compile_pattern("AC?G", kDna);
+  const std::string text = original.to_grail(kDna);
+  const Dfa via_nfa = dfa_from_grail_nfa(text, kDna);
+  EXPECT_TRUE(dfa_equivalent(original, via_nfa));
+}
+
+TEST(GrailIo, NfaReaderRejectsMalformed) {
+  EXPECT_THROW(dfa_from_grail_nfa("0 A 1\n", kDna), std::runtime_error);
+  EXPECT_THROW(dfa_from_grail_nfa("(START) |- 0\n0 Z 1\n", kDna),
+               std::runtime_error);
+}
+
+// ---- Dfa utilities -----------------------------------------------------------------
+
+TEST(DfaUtil, FindSink) {
+  Dfa d(2);
+  const auto live = d.add_state(true);
+  const auto sink = d.add_state(false);
+  d.set_start(live);
+  for (unsigned s = 0; s < 2; ++s) {
+    d.set_transition(live, static_cast<Symbol>(s), sink);
+    d.set_transition(sink, static_cast<Symbol>(s), sink);
+  }
+  EXPECT_EQ(d.find_sink(), sink);
+}
+
+TEST(DfaUtil, NoSinkReturnsSize) {
+  const Dfa d = compile_pattern("GT", kDna);
+  // Match-anywhere DFAs have no non-accepting sink (they absorb on accept).
+  EXPECT_EQ(d.find_sink(), d.size());
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,199 @@
+// Sequential builder tests: the paper's running example (Figs. 1-2), the
+// equivalence of all builder variants, and cross-checks against the DFA.
+#include <gtest/gtest.h>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+/// The paper's Fig. 1 example: matches RG anywhere over the amino alphabet.
+Dfa fig1_dfa() { return compile_pattern("RG", Alphabet::amino()); }
+
+TEST(Fig1Example, DfaShape) {
+  const Dfa dfa = fig1_dfa();
+  EXPECT_EQ(dfa.size(), 3u);  // states 0, 1 (seen R), 2 (accepting, absorbing)
+  EXPECT_EQ(dfa.num_symbols(), 20u);
+  EXPECT_EQ(dfa.accepting_count(), 1u);
+}
+
+TEST(Fig1Example, SfaHasSixStates) {
+  // Fig. 2 of the paper: the SFA of the RG automaton has 6 states (state
+  // mappings f_0..f_5).
+  const Dfa dfa = fig1_dfa();
+  const Sfa sfa = build_sfa_baseline(dfa);
+  EXPECT_EQ(sfa.num_states(), 6u);
+}
+
+TEST(Fig1Example, StartStateIsIdentity) {
+  const Dfa dfa = fig1_dfa();
+  const Sfa sfa = build_sfa_baseline(dfa);
+  std::vector<std::uint32_t> mapping;
+  sfa.mapping(sfa.start(), mapping);
+  for (std::uint32_t q = 0; q < dfa.size(); ++q) EXPECT_EQ(mapping[q], q);
+}
+
+TEST(Fig1Example, AllVariantsVerify) {
+  const Dfa dfa = fig1_dfa();
+  for (const BuildMethod m : {BuildMethod::kBaseline, BuildMethod::kHashed,
+                              BuildMethod::kTransposed, BuildMethod::kParallel}) {
+    SCOPED_TRACE(build_method_name(m));
+    const Sfa sfa = build_sfa(dfa, m);
+    const VerifyReport report = verify_sfa(sfa, dfa);
+    EXPECT_TRUE(report.ok) << report.first_failure;
+  }
+}
+
+TEST(BuilderEquivalence, VariantsProduceSameStateCount) {
+  // Different dedup structures must discover exactly the same state set.
+  for (const char* pattern : {"N-{P}-[ST]-{P}.", "R-G-D.", "[ST]-x(2)-[DE].",
+                              "C-x-[DN]-x(4)-[FY]-x-C-x-C."}) {
+    SCOPED_TRACE(pattern);
+    const Dfa dfa = compile_prosite(pattern);
+    const Sfa a = build_sfa_baseline(dfa);
+    const Sfa b = build_sfa_hashed(dfa);
+    const Sfa c = build_sfa_transposed(dfa);
+    EXPECT_EQ(a.num_states(), b.num_states());
+    EXPECT_EQ(a.num_states(), c.num_states());
+  }
+}
+
+TEST(BuilderEquivalence, HashedMatchesBaselineBehaviour) {
+  const Dfa dfa = compile_prosite("[AG]-x(4)-G-K-[ST].");
+  const Sfa base = build_sfa_baseline(dfa);
+  const Sfa hashed = build_sfa_hashed(dfa);
+  // Behavioural equality: same acceptance on random strings.
+  Xoshiro256 rng(7);
+  std::vector<Symbol> input;
+  for (int i = 0; i < 100; ++i) {
+    input.resize(rng.below(80));
+    for (auto& s : input) s = static_cast<Symbol>(rng.below(20));
+    const Sfa::StateId sa = base.run(base.start(), input.data(), input.size());
+    const Sfa::StateId sb =
+        hashed.run(hashed.start(), input.data(), input.size());
+    EXPECT_EQ(base.accepting(sa), hashed.accepting(sb));
+  }
+}
+
+TEST(BuilderVariants, TransposedScalarVsSimdIdentical) {
+  const Dfa dfa = compile_prosite("L-x(2)-L-x(2)-L.");
+  BuildOptions scalar;
+  scalar.transpose = TransposeMethod::kScalar;
+  BuildOptions simd;
+  simd.transpose = TransposeMethod::kSimd8;
+  const Sfa a = build_sfa_transposed(dfa, scalar);
+  const Sfa b = build_sfa_transposed(dfa, simd);
+  ASSERT_EQ(a.num_states(), b.num_states());
+  EXPECT_TRUE(verify_sfa(b, dfa).ok);
+}
+
+TEST(BuilderVariants, Transposed16x16Verifies) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");
+  BuildOptions opt;
+  opt.transpose = TransposeMethod::kSimd16x16;
+  const Sfa sfa = build_sfa_transposed(dfa, opt);
+  EXPECT_TRUE(verify_sfa(sfa, dfa).ok);
+}
+
+TEST(BuildStatsTest, ReportsStatesAndBytes) {
+  const Dfa dfa = fig1_dfa();
+  BuildStats stats;
+  const Sfa sfa = build_sfa_hashed(dfa, {}, &stats);
+  EXPECT_EQ(stats.sfa_states, sfa.num_states());
+  EXPECT_EQ(stats.dfa_states, dfa.size());
+  EXPECT_EQ(stats.mapping_bytes_uncompressed,
+            static_cast<std::uint64_t>(sfa.num_states()) * dfa.size() * 2);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(BuildOptionsTest, MaxStatesGuardThrows) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");
+  BuildOptions opt;
+  opt.max_states = 10;  // absurdly small
+  EXPECT_THROW(build_sfa_hashed(dfa, opt), std::runtime_error);
+  EXPECT_THROW(build_sfa_baseline(dfa, opt), std::runtime_error);
+}
+
+TEST(BuildOptionsTest, KeepMappingsFalseSavesMemory) {
+  const Dfa dfa = fig1_dfa();
+  BuildOptions opt;
+  opt.keep_mappings = false;
+  const Sfa sfa = build_sfa_transposed(dfa, opt);
+  EXPECT_FALSE(sfa.has_mappings());
+  EXPECT_EQ(sfa.mapping_store_bytes(), 0u);
+  // Structure still verifiable behaviourally.
+  EXPECT_TRUE(verify_sfa(sfa, dfa).ok);
+}
+
+TEST(RBenchmark, R500StyleDfaBuildsQuickly) {
+  // The r-benchmark family (exact random string, no catenation): SFA should
+  // stay small because almost every cell collapses into the sink.
+  const Dfa dfa = make_r_benchmark_dfa(100, 500);
+  EXPECT_EQ(dfa.size(), 102u);
+  const Sfa sfa = build_sfa_transposed(dfa);
+  EXPECT_TRUE(verify_sfa(sfa, dfa, {.random_inputs = 50}).ok);
+  // Identity + per-prefix states + all-sink-ish states; far below explosion.
+  EXPECT_LT(sfa.num_states(), 5000u);
+}
+
+TEST(RBenchmark, SinkDominatesStates) {
+  const Dfa dfa = make_r_benchmark_dfa(64, 500);
+  const Dfa::StateId sink = dfa.find_sink();
+  ASSERT_LT(sink, dfa.size());
+  const Sfa sfa = build_sfa_transposed(dfa);
+  // Count sink-valued cells across a sample of mappings: should dominate.
+  std::vector<std::uint32_t> mapping;
+  std::uint64_t sink_cells = 0, total_cells = 0;
+  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s) {
+    sfa.mapping(s, mapping);
+    for (auto v : mapping) {
+      sink_cells += (v == sink);
+      ++total_cells;
+    }
+  }
+  EXPECT_GT(sink_cells * 2, total_cells);  // > 50% sink
+}
+
+// Parameterized sweep: every embedded PROSITE sample must build and verify
+// with every sequential method.
+class ProsriteBuildSweep
+    : public ::testing::TestWithParam<std::tuple<int, BuildMethod>> {};
+
+TEST_P(ProsriteBuildSweep, BuildsAndVerifies) {
+  const auto [index, method] = GetParam();
+  const NamedPattern& p = prosite_samples()[static_cast<std::size_t>(index)];
+  SCOPED_TRACE(p.id + " " + p.pattern);
+  BuildOptions opt;
+  opt.max_states = 1u << 18;
+  Dfa dfa = compile_prosite(p.pattern);
+  if (dfa.size() > 600) GTEST_SKIP() << "too large for the sweep budget";
+  Sfa sfa;
+  try {
+    sfa = build_sfa(dfa, method, opt);
+  } catch (const std::runtime_error&) {
+    GTEST_SKIP() << "state explosion beyond sweep budget";
+  }
+  const VerifyReport report =
+      verify_sfa(sfa, dfa, {.random_inputs = 30, .structural_samples = 50});
+  EXPECT_TRUE(report.ok) << report.first_failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallSamples, ProsriteBuildSweep,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(BuildMethod::kBaseline,
+                                         BuildMethod::kHashed,
+                                         BuildMethod::kTransposed)),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_" +
+             build_method_name(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,240 @@
+// Classic-matcher baselines (paper §V): Aho–Corasick, Boyer–Moore,
+// Rabin–Karp — correctness against a naive oracle and against each other,
+// plus the AC -> DFA bridge into the SFA machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/classic/aho_corasick.hpp"
+#include "sfa/classic/boyer_moore.hpp"
+#include "sfa/classic/rabin_karp.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+const Alphabet& kDna = Alphabet::dna();
+
+std::vector<Symbol> random_text(std::size_t len, unsigned k,
+                                std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Symbol> v(len);
+  for (auto& s : v) s = static_cast<Symbol>(rng.below(k));
+  return v;
+}
+
+/// Oracle: naive O(n*m) scan for all occurrences of one pattern.
+std::vector<std::size_t> naive_find_all(const std::vector<Symbol>& pattern,
+                                        const std::vector<Symbol>& text) {
+  std::vector<std::size_t> out;
+  if (pattern.empty() || text.size() < pattern.size()) return out;
+  for (std::size_t i = 0; i + pattern.size() <= text.size(); ++i) {
+    if (std::equal(pattern.begin(), pattern.end(), text.begin() + static_cast<std::ptrdiff_t>(i)))
+      out.push_back(i);
+  }
+  return out;
+}
+
+// ---- Aho-Corasick ---------------------------------------------------------------
+
+TEST(AhoCorasickTest, FindsAllPlantedPatterns) {
+  const std::vector<std::string> patterns = {"ACG", "GT", "TTT"};
+  const AhoCorasick ac = AhoCorasick::from_strings(patterns, kDna);
+  const auto text = kDna.encode("AACGTTTTGT");
+  const auto matches = ac.find_all(text.data(), text.size());
+  // ACG at 1 (end 4), GT at 3 (end 5), TTT at 4 and 5 (ends 7, 8), GT at 8
+  // (end 10).
+  std::set<std::pair<std::size_t, std::uint32_t>> got;
+  for (const auto& m : matches) got.insert({m.end_position, m.pattern});
+  EXPECT_TRUE(got.count({4, 0}));
+  EXPECT_TRUE(got.count({5, 1}));
+  EXPECT_TRUE(got.count({7, 2}));
+  EXPECT_TRUE(got.count({8, 2}));
+  EXPECT_TRUE(got.count({10, 1}));
+  EXPECT_EQ(matches.size(), 5u);
+}
+
+TEST(AhoCorasickTest, OverlappingAndNestedPatterns) {
+  // "A" is a suffix of "AA"; output inheritance along failure links must
+  // report both.
+  const AhoCorasick ac = AhoCorasick::from_strings({"A", "AA"}, kDna);
+  const auto text = kDna.encode("AAA");
+  EXPECT_EQ(ac.count_matches(text.data(), text.size()), 5u);  // 3x"A"+2x"AA"
+}
+
+TEST(AhoCorasickTest, MatchesNaiveOracleOnRandomTexts) {
+  Xoshiro256 rng(17);
+  const std::vector<std::string> pattern_strings = {"AC", "CGT", "TT", "GAGA"};
+  std::vector<std::vector<Symbol>> patterns;
+  for (const auto& p : pattern_strings) patterns.push_back(kDna.encode(p));
+  const AhoCorasick ac = AhoCorasick::from_strings(pattern_strings, kDna);
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto text = random_text(500, 4, 100 + trial);
+    std::size_t expected = 0;
+    for (const auto& p : patterns) expected += naive_find_all(p, text).size();
+    EXPECT_EQ(ac.count_matches(text.data(), text.size()), expected) << trial;
+  }
+}
+
+TEST(AhoCorasickTest, ContainsAnyEarlyExit) {
+  const AhoCorasick ac = AhoCorasick::from_strings({"GATTACA"}, kDna);
+  auto text = random_text(10000, 4, 3);
+  const auto planted = kDna.encode("GATTACA");
+  std::copy(planted.begin(), planted.end(), text.begin() + 5000);
+  EXPECT_TRUE(ac.contains_any(text.data(), text.size()));
+  const auto clean = std::vector<Symbol>(1000, 0);  // "AAAA..."
+  EXPECT_FALSE(ac.contains_any(clean.data(), clean.size()));
+}
+
+TEST(AhoCorasickTest, RejectsBadInput) {
+  EXPECT_THROW(AhoCorasick({{}}, 4), std::invalid_argument);
+  EXPECT_THROW(AhoCorasick({{Symbol{9}}}, 4), std::invalid_argument);
+}
+
+TEST(AhoCorasickTest, ToDfaEquivalentToUnionRegex) {
+  // AC automaton as DFA == match-anywhere union of the literals.
+  const AhoCorasick ac = AhoCorasick::from_strings({"ACG", "TT"}, kDna);
+  const Dfa via_ac = ac.to_dfa();
+  const Dfa via_regex = compile_pattern("ACG|TT", kDna);  // anywhere default
+  EXPECT_TRUE(dfa_equivalent(via_ac, via_regex));
+}
+
+TEST(AhoCorasickTest, ToDfaFeedsSfaConstruction) {
+  const AhoCorasick ac =
+      AhoCorasick::from_strings({"RGD", "KDEL", "NGS"}, Alphabet::amino());
+  const Dfa dfa = ac.to_dfa();
+  const Sfa sfa = build_sfa_parallel(dfa, {.num_threads = 2});
+  EXPECT_TRUE(verify_sfa(sfa, dfa, {.random_inputs = 30}).ok);
+}
+
+// ---- Boyer-Moore ------------------------------------------------------------------
+
+TEST(BoyerMooreTest, FindsFirstAndAll) {
+  const BoyerMoore bm = BoyerMoore::from_string("GCAGAGAG", kDna);
+  const auto text = kDna.encode("GCATCGCAGAGAGTATACAGTACG");
+  EXPECT_EQ(bm.find(text.data(), text.size()), 5u);
+  const auto all = bm.find_all(text.data(), text.size());
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], 5u);
+}
+
+TEST(BoyerMooreTest, OverlappingOccurrences) {
+  const BoyerMoore bm = BoyerMoore::from_string("AAA", kDna);
+  const auto text = kDna.encode("AAAAA");
+  const auto all = bm.find_all(text.data(), text.size());
+  EXPECT_EQ(all, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(BoyerMooreTest, NoMatch) {
+  const BoyerMoore bm = BoyerMoore::from_string("GATTACA", kDna);
+  const auto text = kDna.encode("CCCCCCCCCC");
+  EXPECT_EQ(bm.find(text.data(), text.size()), BoyerMoore::npos);
+  EXPECT_TRUE(bm.find_all(text.data(), text.size()).empty());
+  // Text shorter than the pattern.
+  EXPECT_EQ(bm.find(text.data(), 3), BoyerMoore::npos);
+}
+
+TEST(BoyerMooreTest, MatchesNaiveOracleOnRandomTexts) {
+  Xoshiro256 rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t m = 1 + rng.below(8);
+    std::vector<Symbol> pattern(m);
+    for (auto& s : pattern) s = static_cast<Symbol>(rng.below(4));
+    const BoyerMoore bm(pattern, 4);
+    const auto text = random_text(300, 4, 500 + trial);
+    EXPECT_EQ(bm.find_all(text.data(), text.size()),
+              naive_find_all(pattern, text))
+        << trial;
+  }
+}
+
+// ---- Rabin-Karp --------------------------------------------------------------------
+
+TEST(RabinKarpTest, SinglePattern) {
+  const RabinKarp rk = RabinKarp::from_strings({"GATTA"}, kDna);
+  const auto text = kDna.encode("AAGATTAGATTACA");
+  const auto all = rk.find_all(text.data(), text.size());
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].position, 2u);
+  EXPECT_EQ(all[1].position, 7u);
+}
+
+TEST(RabinKarpTest, MultiPatternSameLength) {
+  const RabinKarp rk = RabinKarp::from_strings({"ACG", "TTT", "GGG"}, kDna);
+  const auto text = kDna.encode("ACGTTTGGG");
+  const auto all = rk.find_all(text.data(), text.size());
+  EXPECT_EQ(all.size(), 3u);
+  std::set<std::uint32_t> seen;
+  for (const auto& m : all) seen.insert(m.pattern);
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RabinKarpTest, MixedLengthsRejected) {
+  EXPECT_THROW(RabinKarp::from_strings({"AC", "ACG"}, kDna),
+               std::invalid_argument);
+  EXPECT_THROW(RabinKarp::from_strings({}, kDna), std::invalid_argument);
+}
+
+TEST(RabinKarpTest, MatchesNaiveOracleOnRandomTexts) {
+  Xoshiro256 rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t m = 2 + rng.below(5);
+    std::vector<std::vector<Symbol>> patterns(3);
+    for (auto& p : patterns) {
+      p.resize(m);
+      for (auto& s : p) s = static_cast<Symbol>(rng.below(4));
+    }
+    const RabinKarp rk(patterns, 4);
+    const auto text = random_text(400, 4, 900 + trial);
+    std::size_t expected = 0;
+    for (const auto& p : patterns) expected += naive_find_all(p, text).size();
+    // Duplicate patterns in the random set double-count in the oracle the
+    // same way find_all reports per pattern id, so counts agree.
+    EXPECT_EQ(rk.find_all(text.data(), text.size()).size(), expected) << trial;
+  }
+}
+
+TEST(RabinKarpTest, ContainsAnyAgreesWithFindAll) {
+  Xoshiro256 rng(29);
+  const RabinKarp rk = RabinKarp::from_strings({"ACGT", "TTTT"}, kDna);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto text = random_text(64, 4, 1300 + trial);
+    EXPECT_EQ(rk.contains_any(text.data(), text.size()),
+              !rk.find_all(text.data(), text.size()).empty());
+  }
+}
+
+// ---- Cross-matcher agreement --------------------------------------------------------
+
+TEST(ClassicAgreement, AllFourMatchersAgreeOnLiterals) {
+  // One literal, four engines: AC, BM, RK, and the library's DFA.
+  const std::string pattern = "TGACGTCA";
+  const AhoCorasick ac = AhoCorasick::from_strings({pattern}, kDna);
+  const BoyerMoore bm = BoyerMoore::from_string(pattern, kDna);
+  const RabinKarp rk = RabinKarp::from_strings({pattern}, kDna);
+  const Dfa dfa = compile_pattern(pattern, kDna);
+
+  Xoshiro256 rng(31);
+  for (int trial = 0; trial < 40; ++trial) {
+    auto text = random_text(2000, 4, 1700 + trial);
+    if (trial % 2 == 0) {
+      const auto planted = kDna.encode(pattern);
+      std::copy(planted.begin(), planted.end(),
+                text.begin() + static_cast<std::ptrdiff_t>(rng.below(1900)));
+    }
+    const bool via_ac = ac.contains_any(text.data(), text.size());
+    const bool via_bm = bm.find(text.data(), text.size()) != BoyerMoore::npos;
+    const bool via_rk = rk.contains_any(text.data(), text.size());
+    const bool via_dfa = dfa.accepts(text);
+    EXPECT_EQ(via_ac, via_bm) << trial;
+    EXPECT_EQ(via_ac, via_rk) << trial;
+    EXPECT_EQ(via_ac, via_dfa) << trial;
+  }
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,311 @@
+// Compression substrate tests: roundtrips for every codec on adversarial
+// inputs, Huffman internals, the registry harness, and the SFA-state
+// compressibility property the paper's §III-C relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "sfa/compress/deflate_like.hpp"
+#include "sfa/compress/huffman.hpp"
+#include "sfa/compress/lz77.hpp"
+#include "sfa/compress/registry.hpp"
+#include "sfa/compress/rle.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+Bytes make_input(std::size_t len, double zero_bias, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Bytes b(len);
+  for (auto& v : b)
+    v = rng.chance(zero_bias) ? 0 : static_cast<std::uint8_t>(rng.next());
+  return b;
+}
+
+void check_roundtrip(const Codec& codec, const Bytes& input) {
+  const Bytes comp = codec.compress(ByteView(input.data(), input.size()));
+  const Bytes back =
+      codec.decompress(ByteView(comp.data(), comp.size()), input.size());
+  ASSERT_EQ(back, input) << codec.name() << " size " << input.size();
+}
+
+class CodecRoundtrip : public ::testing::TestWithParam<const Codec*> {};
+
+TEST_P(CodecRoundtrip, Empty) { check_roundtrip(*GetParam(), {}); }
+
+TEST_P(CodecRoundtrip, SingleByte) { check_roundtrip(*GetParam(), {42}); }
+
+TEST_P(CodecRoundtrip, AllSameByte) {
+  check_roundtrip(*GetParam(), Bytes(10000, 7));
+}
+
+TEST_P(CodecRoundtrip, AllDistinctBytes) {
+  Bytes b(256);
+  std::iota(b.begin(), b.end(), 0);
+  check_roundtrip(*GetParam(), b);
+}
+
+TEST_P(CodecRoundtrip, IncompressibleRandom) {
+  check_roundtrip(*GetParam(), make_input(5000, 0.0, 1));
+}
+
+TEST_P(CodecRoundtrip, SkewedTowardsZero) {
+  check_roundtrip(*GetParam(), make_input(5000, 0.9, 2));
+}
+
+TEST_P(CodecRoundtrip, RepeatingPattern) {
+  Bytes b;
+  for (int i = 0; i < 500; ++i)
+    b.insert(b.end(), {0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01});
+  check_roundtrip(*GetParam(), b);
+}
+
+TEST_P(CodecRoundtrip, RandomLengthsSweep) {
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 30; ++trial)
+    check_roundtrip(*GetParam(),
+                    make_input(rng.below(3000), rng.unit(), rng.next()));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, CodecRoundtrip,
+                         ::testing::ValuesIn(all_codecs()),
+                         [](const auto& info) {
+                           return std::string(info.param->name()) == "deflate-like"
+                                      ? std::string("deflate_like")
+                                      : std::string(info.param->name());
+                         });
+
+// ---- Codec-specific behaviour ---------------------------------------------------
+
+TEST(Rle, CompressesRuns) {
+  const RleCodec rle;
+  const Bytes input(1000, 9);
+  const Bytes comp = rle.compress(ByteView(input.data(), input.size()));
+  EXPECT_LE(comp.size(), 10u);  // ceil(1000/255) pairs
+}
+
+TEST(Rle, RejectsCorruptStream) {
+  const RleCodec rle;
+  const Bytes bad = {0x01};  // odd length
+  EXPECT_THROW(rle.decompress(ByteView(bad.data(), bad.size()), 1),
+               std::runtime_error);
+  const Bytes zero_run = {0x00, 0x41};
+  EXPECT_THROW(rle.decompress(ByteView(zero_run.data(), zero_run.size()), 0),
+               std::runtime_error);
+}
+
+TEST(Lz77, FindsLongMatches) {
+  const Lz77Codec lz;
+  Bytes input;
+  const char* phrase = "simultaneous finite automata ";
+  for (int i = 0; i < 100; ++i)
+    input.insert(input.end(), phrase, phrase + 29);
+  const Bytes comp = lz.compress(ByteView(input.data(), input.size()));
+  EXPECT_LT(comp.size(), input.size() / 10);
+}
+
+TEST(Lz77, OverlappingMatchSelfExtends) {
+  // "abcabcabc..." forces dist < len copies.
+  const Lz77Codec lz;
+  Bytes input;
+  for (int i = 0; i < 1000; ++i) input.push_back("abc"[i % 3]);
+  check_roundtrip(lz, input);
+}
+
+TEST(Lz77, RejectsBadDistance) {
+  const Lz77Codec lz;
+  Bytes bad = {0x01, 0x05, 0x10};  // match len 5 dist 16 with empty history
+  EXPECT_THROW(lz.decompress(ByteView(bad.data(), bad.size()), 5),
+               std::runtime_error);
+}
+
+TEST(Lz77, Varints) {
+  Bytes out;
+  detail::put_varint(out, 0);
+  detail::put_varint(out, 127);
+  detail::put_varint(out, 128);
+  detail::put_varint(out, 1234567890123ull);
+  std::size_t pos = 0;
+  EXPECT_EQ(detail::get_varint(ByteView(out.data(), out.size()), pos), 0u);
+  EXPECT_EQ(detail::get_varint(ByteView(out.data(), out.size()), pos), 127u);
+  EXPECT_EQ(detail::get_varint(ByteView(out.data(), out.size()), pos), 128u);
+  EXPECT_EQ(detail::get_varint(ByteView(out.data(), out.size()), pos),
+            1234567890123ull);
+  EXPECT_EQ(pos, out.size());
+  EXPECT_THROW(detail::get_varint(ByteView(out.data(), 0), pos),
+               std::runtime_error);
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  std::uint64_t freq[256] = {};
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 256; ++i) freq[i] = rng.below(10000);
+  std::uint8_t lengths[256];
+  detail::huffman_code_lengths(freq, lengths, HuffmanCodec::kMaxCodeLength);
+  double kraft = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (freq[i]) EXPECT_GT(lengths[i], 0u);
+    EXPECT_LE(lengths[i], HuffmanCodec::kMaxCodeLength);
+    if (lengths[i]) kraft += std::pow(2.0, -static_cast<double>(lengths[i]));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, ExtremeSkewHitsLengthCap) {
+  // Exponential frequencies force raw depths > 15; the fix-up must cap them.
+  std::uint64_t freq[256] = {};
+  std::uint64_t f = 1;
+  for (int i = 0; i < 40; ++i) {
+    freq[i] = f;
+    f = f * 2 + 1;
+  }
+  std::uint8_t lengths[256];
+  detail::huffman_code_lengths(freq, lengths, HuffmanCodec::kMaxCodeLength);
+  double kraft = 0;
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_LE(lengths[i], HuffmanCodec::kMaxCodeLength);
+    if (lengths[i]) kraft += std::pow(2.0, -static_cast<double>(lengths[i]));
+  }
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+  // Roundtrip under the capped code.
+  const HuffmanCodec codec;
+  Bytes input;
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i)
+    input.push_back(static_cast<std::uint8_t>(rng.below(40)));
+  check_roundtrip(codec, input);
+}
+
+TEST(Huffman, MoreFrequentSymbolsGetShorterCodes) {
+  std::uint64_t freq[256] = {};
+  freq['a'] = 1000;
+  freq['b'] = 100;
+  freq['c'] = 10;
+  freq['d'] = 1;
+  std::uint8_t lengths[256];
+  detail::huffman_code_lengths(freq, lengths, 15);
+  EXPECT_LE(lengths['a'], lengths['b']);
+  EXPECT_LE(lengths['b'], lengths['c']);
+  EXPECT_LE(lengths['c'], lengths['d']);
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  std::uint64_t freq[256] = {};
+  Xoshiro256 rng(6);
+  for (int i = 0; i < 50; ++i) freq[rng.below(256)] += 1 + rng.below(100);
+  std::uint8_t lengths[256];
+  std::uint16_t codes[256];
+  detail::huffman_code_lengths(freq, lengths, 15);
+  detail::canonical_codes(lengths, codes);
+  for (int a = 0; a < 256; ++a) {
+    if (!lengths[a]) continue;
+    for (int b = 0; b < 256; ++b) {
+      if (a == b || !lengths[b] || lengths[b] < lengths[a]) continue;
+      // code[a] must not be a prefix of code[b].
+      const std::uint16_t prefix =
+          static_cast<std::uint16_t>(codes[b] >> (lengths[b] - lengths[a]));
+      EXPECT_FALSE(prefix == codes[a] && a != b)
+          << "symbol " << a << " prefixes " << b;
+    }
+  }
+}
+
+TEST(DeflateLike, StoredFallbackForIncompressible) {
+  const DeflateLikeCodec codec;
+  const Bytes noise = make_input(200, 0.0, 7);
+  const Bytes comp = codec.compress(ByteView(noise.data(), noise.size()));
+  EXPECT_LE(comp.size(), noise.size() + 1);  // never expands past 1 byte
+  check_roundtrip(codec, noise);
+}
+
+TEST(DeflateLike, BeatsRleOnStructuredData) {
+  // Periodic-but-not-constant data: RLE can't help, LZ77 can.
+  Bytes input;
+  for (int i = 0; i < 2000; ++i) input.push_back(static_cast<std::uint8_t>(i % 23));
+  const DeflateLikeCodec deflate;
+  const RleCodec rle;
+  const auto d = deflate.compress(ByteView(input.data(), input.size()));
+  const auto r = rle.compress(ByteView(input.data(), input.size()));
+  EXPECT_LT(d.size(), r.size());
+}
+
+// ---- Registry / Squash-style harness ------------------------------------------------
+
+TEST(Registry, FindsAllCodecsByName) {
+  for (const char* name : {"store", "rle", "lz77", "huffman", "deflate-like"})
+    EXPECT_NE(find_codec(name), nullptr) << name;
+  EXPECT_EQ(find_codec("zstd"), nullptr);
+}
+
+TEST(Registry, EvaluationReportsRatios) {
+  std::vector<Bytes> samples;
+  for (int i = 0; i < 4; ++i) samples.push_back(make_input(4096, 0.8, 10 + i));
+  const auto evals = evaluate_all(samples);
+  ASSERT_EQ(evals.size(), all_codecs().size());
+  for (const auto& ev : evals) {
+    EXPECT_TRUE(ev.roundtrip_ok) << ev.name;
+    EXPECT_GT(ev.ratio, 0.0);
+    if (ev.name == "store") EXPECT_NEAR(ev.ratio, 1.0, 1e-9);
+  }
+}
+
+// ---- The paper's core claim: SFA states compress extremely well -------------------
+
+TEST(SfaStateCompression, PrositeStatesCompressWell) {
+  // §III-C: deflate-class codecs reach 17x-30x on PROSITE SFA states.  Our
+  // small test pattern won't hit 17x, but must compress far better than the
+  // ~2-5x of general text.
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C-x-C.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::vector<Bytes> samples;
+  std::vector<std::uint32_t> mapping;
+  // 10 states sampled at equidistant positions, per the paper's §III-C.
+  for (int i = 0; i < 10; ++i) {
+    const Sfa::StateId s = static_cast<Sfa::StateId>(
+        static_cast<std::uint64_t>(i) * (sfa.num_states() - 1) / 9);
+    sfa.mapping(s, mapping);
+    Bytes raw(mapping.size() * 2);
+    for (std::size_t q = 0; q < mapping.size(); ++q) {
+      raw[q * 2] = static_cast<std::uint8_t>(mapping[q]);
+      raw[q * 2 + 1] = static_cast<std::uint8_t>(mapping[q] >> 8);
+    }
+    samples.push_back(std::move(raw));
+  }
+  const auto ev = evaluate_codec(*find_codec("deflate-like"), samples);
+  EXPECT_TRUE(ev.roundtrip_ok);
+  EXPECT_GT(ev.ratio, 3.0);
+}
+
+TEST(SfaStateCompression, RBenchmarkStatesCompressBetter) {
+  // r-pattern states are dominated by the sink -> far higher ratios (the
+  // paper reports 95x for r500).
+  const Dfa dfa = make_r_benchmark_dfa(200, 500);
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::vector<Bytes> samples;
+  std::vector<std::uint32_t> mapping;
+  for (Sfa::StateId s = sfa.num_states() / 2; s < sfa.num_states() &&
+       samples.size() < 10; ++s) {
+    sfa.mapping(s, mapping);
+    Bytes raw(mapping.size() * 2);
+    for (std::size_t q = 0; q < mapping.size(); ++q) {
+      raw[q * 2] = static_cast<std::uint8_t>(mapping[q]);
+      raw[q * 2 + 1] = static_cast<std::uint8_t>(mapping[q] >> 8);
+    }
+    samples.push_back(std::move(raw));
+  }
+  const auto deflate_ev = evaluate_codec(*find_codec("deflate-like"), samples);
+  // Word-granular RLE sees the 16-bit sink runs (the paper's "RLE will be
+  // able to produce similar results" remark); byte-RLE cannot, because u16
+  // cells alternate low/high bytes.
+  const auto rle16_ev = evaluate_codec(*find_codec("rle16"), samples);
+  EXPECT_GT(deflate_ev.ratio, 8.0);
+  EXPECT_GT(rle16_ev.ratio, 8.0);
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,418 @@
+// Concurrency substrate tests: work-stealing deque, global queue, lock-free
+// hash set, MPMC queue, arenas, memory manager — sequential semantics plus
+// multi-threaded stress (threads interleave even on one core).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <deque>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "sfa/concurrent/arena.hpp"
+#include "sfa/concurrent/barrier.hpp"
+#include "sfa/concurrent/global_queue.hpp"
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/concurrent/memory_manager.hpp"
+#include "sfa/concurrent/mpmc_queue.hpp"
+#include "sfa/concurrent/ws_queue.hpp"
+
+namespace sfa {
+namespace {
+
+// ---- WorkStealingQueue ---------------------------------------------------------
+
+TEST(WsQueue, OwnerLifoOrder) {
+  WorkStealingQueue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop(), 3u);
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(WsQueue, StealTakesOldest) {
+  WorkStealingQueue q;
+  q.push(1);
+  q.push(2);
+  EXPECT_EQ(q.steal(), 1u);
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.steal(), std::nullopt);
+}
+
+TEST(WsQueue, GrowsPastInitialCapacity) {
+  WorkStealingQueue q(16);
+  for (std::uint64_t i = 1; i <= 1000; ++i) q.push(i);
+  EXPECT_EQ(q.size_approx(), 1000u);
+  for (std::uint64_t i = 1000; i >= 1; --i) EXPECT_EQ(q.pop(), i);
+}
+
+TEST(WsQueue, InterleavedPushPopSteal) {
+  WorkStealingQueue q;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    q.push(i);
+    if (i % 3 == 0) {
+      const auto v = q.steal();
+      ASSERT_TRUE(v);
+      seen.insert(*v);
+    }
+  }
+  while (const auto v = q.pop()) seen.insert(*v);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(WsQueueStress, ConcurrentTheftLosesNothing) {
+  // One owner pushes/pops; several thieves steal; every item must be
+  // consumed exactly once.
+  constexpr std::uint64_t kItems = 20000;
+  constexpr unsigned kThieves = 3;
+  WorkStealingQueue q;
+  std::atomic<std::uint64_t> sum{0};
+  std::atomic<std::uint64_t> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (unsigned t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || q.size_approx() > 0) {
+        if (const auto v = q.steal()) {
+          sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          cpu_pause();
+        }
+      }
+    });
+  }
+
+  std::uint64_t owner_sum = 0, owner_count = 0;
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    q.push(i);
+    if (i % 2 == 0) {
+      if (const auto v = q.pop()) {
+        owner_sum += *v;
+        ++owner_count;
+      }
+    }
+  }
+  while (const auto v = q.pop()) {
+    owner_sum += *v;
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(owner_count + consumed.load(), kItems);
+  EXPECT_EQ(owner_sum + sum.load(), kItems * (kItems + 1) / 2);
+}
+
+TEST(WsQueueStress, GrowthUnderConcurrentTheft) {
+  // Force repeated array growth (tiny initial capacity) while thieves are
+  // actively stealing: the Chase-Lev grow path must never lose or duplicate
+  // items even when a thief reads from the retired array.
+  constexpr std::uint64_t kItems = 30000;
+  WorkStealingQueue q(2);  // rounds up to the 16-slot minimum
+  std::atomic<std::uint64_t> stolen_sum{0}, stolen_count{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < 2; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire) || q.size_approx() > 0) {
+        if (const auto v = q.steal()) {
+          stolen_sum.fetch_add(*v, std::memory_order_relaxed);
+          stolen_count.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  // Push in large bursts so the array must double many times mid-theft.
+  std::uint64_t owner_sum = 0, owner_count = 0;
+  for (std::uint64_t i = 1; i <= kItems; ++i) {
+    q.push(i);
+    if (i % 1024 == 0) {
+      // Drain half to keep the deque oscillating.
+      for (int d = 0; d < 512; ++d) {
+        if (const auto v = q.pop()) {
+          owner_sum += *v;
+          ++owner_count;
+        }
+      }
+    }
+  }
+  while (const auto v = q.pop()) {
+    owner_sum += *v;
+    ++owner_count;
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  EXPECT_EQ(owner_count + stolen_count.load(), kItems);
+  EXPECT_EQ(owner_sum + stolen_sum.load(), kItems * (kItems + 1) / 2);
+}
+
+// ---- GlobalQueue ------------------------------------------------------------------
+
+TEST(GlobalQueueTest, StaticPartitionByThreadId) {
+  GlobalQueue q(16);
+  for (std::uint64_t i = 1; i <= 6; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  // Two consumers: thread 0 owns slots 0,2,4; thread 1 owns 1,3,5.
+  GlobalQueue::Cursor c0(0, 2), c1(1, 2);
+  bool ex;
+  EXPECT_EQ(c0.take(q, ex), 1u);
+  EXPECT_EQ(c0.take(q, ex), 3u);
+  EXPECT_EQ(c1.take(q, ex), 2u);
+  EXPECT_EQ(c0.take(q, ex), 5u);
+  EXPECT_EQ(c1.take(q, ex), 4u);
+  EXPECT_EQ(c1.take(q, ex), 6u);
+  // No more published items; queue still open.
+  EXPECT_EQ(c0.take(q, ex), std::nullopt);
+  EXPECT_FALSE(ex);
+  q.close();
+  EXPECT_EQ(c0.take(q, ex), std::nullopt);
+  EXPECT_TRUE(ex);
+}
+
+TEST(GlobalQueueTest, FullQueueRejectsEnqueue) {
+  GlobalQueue q(4);
+  for (std::uint64_t i = 1; i <= 4; ++i) EXPECT_TRUE(q.try_enqueue(i));
+  EXPECT_FALSE(q.try_enqueue(5));
+  EXPECT_EQ(q.size(), 4u);
+}
+
+TEST(GlobalQueueStress, ConcurrentEnqueueAllSlotsDistinct) {
+  constexpr std::size_t kCap = 8192;
+  GlobalQueue q(kCap);
+  constexpr unsigned kProducers = 4;
+  std::vector<std::thread> team;
+  for (unsigned t = 0; t < kProducers; ++t) {
+    team.emplace_back([&, t] {
+      for (std::uint64_t i = 0; i < kCap; ++i)
+        if (!q.try_enqueue((static_cast<std::uint64_t>(t) << 32) | (i + 1)))
+          break;
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_EQ(q.size(), kCap);
+  q.close();
+
+  std::set<std::uint64_t> seen;
+  GlobalQueue::Cursor cursor(0, 1);
+  bool ex = false;
+  while (const auto v = cursor.take(q, ex)) seen.insert(*v);
+  EXPECT_TRUE(ex);
+  EXPECT_EQ(seen.size(), kCap);  // no slot written twice / lost
+}
+
+// ---- LockFreeHashSet ---------------------------------------------------------------
+
+struct IntNode {
+  std::atomic<IntNode*> next{nullptr};
+  std::uint64_t fp = 0;
+  int value = 0;
+};
+struct IntTraits {
+  static std::atomic<IntNode*>& next(IntNode& n) { return n.next; }
+  static std::uint64_t fingerprint(const IntNode& n) { return n.fp; }
+  static bool same_state(const IntNode& a, const IntNode& b) {
+    return a.value == b.value;
+  }
+};
+
+TEST(LockFreeHashSetTest, InsertAndDuplicate) {
+  LockFreeHashSet<IntNode, IntTraits> set(64);
+  IntNode a{{}, 42, 1}, b{{}, 42, 1}, c{{}, 42, 2};
+  EXPECT_TRUE(set.insert_if_absent(&a).inserted);
+  const auto r = set.insert_if_absent(&b);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(r.winner, &a);
+  // Same fingerprint, different state: fingerprint collision handled.
+  EXPECT_TRUE(set.insert_if_absent(&c).inserted);
+  EXPECT_GE(set.counters.fp_collisions.load(), 1u);
+}
+
+TEST(LockFreeHashSetTest, FindAfterClearAndReinsert) {
+  LockFreeHashSet<IntNode, IntTraits> set(64);
+  IntNode a{{}, 7, 10};
+  set.insert_if_absent(&a);
+  EXPECT_EQ(set.find(7, a), &a);
+  set.clear();
+  EXPECT_EQ(set.find(7, a), nullptr);
+  a.next.store(nullptr, std::memory_order_relaxed);
+  set.insert_unchecked(&a);
+  EXPECT_EQ(set.find(7, a), &a);
+}
+
+TEST(LockFreeHashSetStress, ConcurrentInsertDedupes) {
+  // All threads try to insert the same 1000 logical states; exactly 1000
+  // must win across all threads.
+  constexpr int kStates = 1000;
+  constexpr unsigned kThreads = 4;
+  LockFreeHashSet<IntNode, IntTraits> set(256);
+  std::vector<std::deque<IntNode>> nodes(kThreads);
+  std::atomic<int> wins{0};
+  std::vector<std::thread> team;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    nodes[t].resize(kStates);
+    team.emplace_back([&, t] {
+      for (int i = 0; i < kStates; ++i) {
+        nodes[t][i].fp = static_cast<std::uint64_t>(i) * 2654435761u;
+        nodes[t][i].value = i;
+        if (set.insert_if_absent(&nodes[t][i]).inserted)
+          wins.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_EQ(wins.load(), kStates);
+  EXPECT_EQ(set.counters.duplicates.load(),
+            static_cast<std::uint64_t>(kStates) * (kThreads - 1));
+}
+
+// ---- MpmcQueue --------------------------------------------------------------------
+
+TEST(MpmcQueueTest, FifoWhenSequential) {
+  MpmcQueue q;
+  for (std::uint64_t i = 1; i <= 5; ++i) q.enqueue(i);
+  for (std::uint64_t i = 1; i <= 5; ++i) EXPECT_EQ(q.dequeue(), i);
+  EXPECT_EQ(q.dequeue(), std::nullopt);
+}
+
+TEST(MpmcQueueStress, ProducersConsumersBalance) {
+  MpmcQueue q;
+  constexpr unsigned kProducers = 2, kConsumers = 2;
+  constexpr std::uint64_t kPerProducer = 10000;
+  std::atomic<std::uint64_t> consumed_sum{0}, consumed_count{0};
+  std::atomic<unsigned> producers_done{0};
+
+  std::vector<std::thread> team;
+  for (unsigned p = 0; p < kProducers; ++p) {
+    team.emplace_back([&] {
+      for (std::uint64_t i = 1; i <= kPerProducer; ++i) q.enqueue(i);
+      producers_done.fetch_add(1);
+    });
+  }
+  for (unsigned c = 0; c < kConsumers; ++c) {
+    team.emplace_back([&] {
+      for (;;) {
+        if (const auto v = q.dequeue()) {
+          consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+          consumed_count.fetch_add(1, std::memory_order_relaxed);
+        } else if (producers_done.load() == kProducers) {
+          if (!q.dequeue()) return;  // drained
+        } else {
+          cpu_pause();
+        }
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  // The final re-check inside consumers may consume an extra item; drain.
+  while (const auto v = q.dequeue()) {
+    consumed_sum.fetch_add(*v);
+    consumed_count.fetch_add(1);
+  }
+  EXPECT_EQ(consumed_count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(consumed_sum.load(),
+            kProducers * (kPerProducer * (kPerProducer + 1) / 2));
+}
+
+// ---- Arena + accounting --------------------------------------------------------------
+
+TEST(ArenaTest, AlignedAllocations) {
+  Arena arena;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    void* p = arena.allocate(17, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnChunk) {
+  MemoryAccounting acct;
+  Arena arena(&acct, /*chunk_bytes=*/1024);
+  void* p = arena.allocate(10000);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(acct.used(), 10000u);
+}
+
+TEST(ArenaTest, ReleaseAllReturnsAccounting) {
+  MemoryAccounting acct;
+  {
+    Arena arena(&acct, 4096);
+    arena.allocate(100);
+    EXPECT_GT(acct.used(), 0u);
+    arena.release_all();
+    EXPECT_EQ(acct.used(), 0u);
+    arena.allocate(100);  // usable again after release
+    EXPECT_GT(acct.used(), 0u);
+  }
+  EXPECT_EQ(acct.used(), 0u);  // destructor releases too
+}
+
+TEST(ArenaTest, WritesDoNotOverlap) {
+  Arena arena(nullptr, 256);
+  std::vector<unsigned char*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    auto* p = static_cast<unsigned char*>(arena.allocate(40));
+    std::memset(p, i, 40);
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 100; ++i)
+    for (int j = 0; j < 40; ++j)
+      ASSERT_EQ(ptrs[i][j], static_cast<unsigned char>(i));
+}
+
+// ---- MemoryManager ---------------------------------------------------------------------
+
+TEST(MemoryManagerTest, PhaseTransitionsOnce) {
+  MemoryManager mm(/*threshold=*/1000, /*workers=*/2);
+  EXPECT_EQ(mm.phase(), MemoryPhase::kNormal);
+  mm.accounting().add(500);
+  EXPECT_EQ(mm.observe(), MemoryPhase::kNormal);
+  mm.accounting().add(600);
+  EXPECT_EQ(mm.observe(), MemoryPhase::kCompressing);
+  EXPECT_FALSE(mm.all_acknowledged());
+  mm.acknowledge(0);
+  mm.acknowledge(1);
+  EXPECT_TRUE(mm.all_acknowledged());
+  mm.finish_compression();
+  EXPECT_EQ(mm.phase(), MemoryPhase::kCompressed);
+  // Once compressed, observe() never re-triggers.
+  mm.accounting().add(1u << 20);
+  EXPECT_EQ(mm.observe(), MemoryPhase::kCompressed);
+}
+
+TEST(MemoryManagerTest, ZeroThresholdDisablesCompression) {
+  MemoryManager mm(0, 1);
+  mm.accounting().add(1u << 30);
+  EXPECT_EQ(mm.observe(), MemoryPhase::kNormal);
+}
+
+// ---- SpinBarrier ------------------------------------------------------------------------
+
+TEST(SpinBarrierTest, RendezvousAndReuse) {
+  constexpr unsigned kThreads = 4;
+  SpinBarrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> team;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    team.emplace_back([&] {
+      for (int round = 0; round < 10; ++round) {
+        phase_counter.fetch_add(1);
+        barrier.wait();
+        // After the barrier every thread must observe the full round.
+        EXPECT_EQ(phase_counter.load() % kThreads, 0u);
+        barrier.wait();
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+  EXPECT_EQ(phase_counter.load(), 10 * static_cast<int>(kThreads));
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,328 @@
+// Hash substrate tests: CityHash-class distribution properties, Rabin
+// fingerprint algebra, and PCLMUL/portable path agreement.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sfa/hash/city64.hpp"
+#include "sfa/hash/fnv.hpp"
+#include "sfa/hash/rabin.hpp"
+#include "sfa/hash/survey.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+TEST(City64, DeterministicAndLengthSensitive) {
+  const char data[] = "simultaneous finite automata";
+  EXPECT_EQ(city_hash64(data, 10), city_hash64(data, 10));
+  EXPECT_NE(city_hash64(data, 10), city_hash64(data, 11));
+}
+
+TEST(City64, EmptyAndSingleByte) {
+  EXPECT_EQ(city_hash64(nullptr, 0), city_hash64(nullptr, 0));
+  const std::uint8_t a = 1, b = 2;
+  EXPECT_NE(city_hash64(&a, 1), city_hash64(&b, 1));
+}
+
+TEST(City64, AllSizeBucketsCovered) {
+  // Exercise every internal path: 0-16, 17-32, 33-64, >64, multi-chunk.
+  Xoshiro256 rng(1);
+  std::vector<std::uint8_t> buf(4096);
+  for (auto& v : buf) v = static_cast<std::uint8_t>(rng.next());
+  std::set<std::uint64_t> seen;
+  for (std::size_t len : {0u, 1u, 7u, 8u, 15u, 16u, 17u, 31u, 32u, 33u, 63u,
+                          64u, 65u, 127u, 128u, 1000u, 4096u})
+    seen.insert(city_hash64(buf.data(), len));
+  EXPECT_EQ(seen.size(), 17u);  // all distinct
+}
+
+TEST(City64, SingleBitFlipsChangeHash) {
+  // Avalanche sanity: flipping any single bit of a 64-byte input changes
+  // the hash (would only fail with probability ~2^-64 per bit).
+  std::vector<std::uint8_t> buf(64, 0xA5);
+  const std::uint64_t base = city_hash64(buf.data(), buf.size());
+  for (std::size_t byte = 0; byte < buf.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      buf[byte] ^= 1u << bit;
+      EXPECT_NE(city_hash64(buf.data(), buf.size()), base)
+          << "byte " << byte << " bit " << bit;
+      buf[byte] ^= 1u << bit;
+    }
+  }
+}
+
+TEST(City64, NoCollisionsOnSmallCorpus) {
+  // 100k random 40-byte inputs: expected collisions ~= 3e-10; zero expected.
+  Xoshiro256 rng(99);
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint8_t> input(40);
+  for (int i = 0; i < 100000; ++i) {
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+    hashes.push_back(city_hash64(input.data(), input.size()));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+TEST(City64, SeededVariantDiffers) {
+  const char data[] = "seed test";
+  EXPECT_NE(city_hash64_seeded(data, sizeof(data), 1),
+            city_hash64_seeded(data, sizeof(data), 2));
+}
+
+// ---- GF(2) arithmetic --------------------------------------------------------
+
+TEST(Gf2, ClmulMatchesSmallCases) {
+  std::uint64_t hi, lo;
+  gf2::clmul64(0, 0xFFFF, hi, lo);
+  EXPECT_EQ(hi, 0u);
+  EXPECT_EQ(lo, 0u);
+  gf2::clmul64(1, 0xABCDEF, hi, lo);
+  EXPECT_EQ(hi, 0u);
+  EXPECT_EQ(lo, 0xABCDEFull);
+  // x^63 * x = x^64 -> hi bit 0.
+  gf2::clmul64(1ull << 63, 2, hi, lo);
+  EXPECT_EQ(hi, 1u);
+  EXPECT_EQ(lo, 0u);
+  // (x+1)*(x+1) = x^2+1 over GF(2).
+  gf2::clmul64(3, 3, hi, lo);
+  EXPECT_EQ(hi, 0u);
+  EXPECT_EQ(lo, 5u);
+}
+
+TEST(Gf2, ClmulCommutes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = rng.next(), b = rng.next();
+    std::uint64_t h1, l1, h2, l2;
+    gf2::clmul64(a, b, h1, l1);
+    gf2::clmul64(b, a, h2, l2);
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(l1, l2);
+  }
+}
+
+TEST(Gf2, Mod128ReducesDegree) {
+  // Anything of degree < 64 is its own remainder.
+  EXPECT_EQ(gf2::mod128(0, 0x1234, 0x1B), 0x1234u);
+  // x^64 == poly_low (mod P).
+  EXPECT_EQ(gf2::mod128(1, 0, 0x1B), 0x1Bu);
+}
+
+TEST(Gf2, BarrettQuotientIdentity) {
+  // mu = floor(x^128 / P) must satisfy x^128 = mu*P + r with deg(r) < 64.
+  const std::uint64_t poly_low = RabinFingerprinter::kDefaultPoly;
+  const std::uint64_t mu_lo = gf2::barrett_mu_low(poly_low);
+  // Compute mu*P over GF(2): mu = x^64 + mu_lo, P = x^64 + poly_low.
+  // mu*P = x^128 + (mu_lo + poly_low)*x^64 + mu_lo*poly_low.
+  std::uint64_t hi, lo;
+  gf2::clmul64(mu_lo, poly_low, hi, lo);
+  // Middle term must cancel the x^64.. bits so that mu*P + x^128 has
+  // degree < 64:  hi128 part = (mu_lo ^ poly_low) ^ hi  must be zero.
+  EXPECT_EQ((mu_lo ^ poly_low) ^ hi, 0u);
+  (void)lo;  // low 64 bits are the remainder r
+}
+
+// ---- Rabin fingerprints --------------------------------------------------------
+
+TEST(Rabin, PortableRecurrenceBasics) {
+  const RabinFingerprinter& fp = default_rabin();
+  // Empty string -> 0; single zero byte -> 0 (0 polynomial).
+  EXPECT_EQ(fp.hash_portable(nullptr, 0), 0u);
+  const std::uint8_t zero = 0;
+  EXPECT_EQ(fp.hash_portable(&zero, 1), 0u);
+  // Single byte b (degree <= 7): remainder is b itself.
+  for (unsigned b = 1; b < 256; ++b) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(b);
+    EXPECT_EQ(fp.hash_portable(&byte, 1), b);
+  }
+}
+
+TEST(Rabin, LinearityOverXor) {
+  // Rabin fingerprints are linear: f(a ^ b) == f(a) ^ f(b) for equal-length
+  // strings (polynomial addition over GF(2)).
+  const RabinFingerprinter& fp = default_rabin();
+  Xoshiro256 rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> a(100), b(100), x(100);
+    for (int i = 0; i < 100; ++i) {
+      a[i] = static_cast<std::uint8_t>(rng.next());
+      b[i] = static_cast<std::uint8_t>(rng.next());
+      x[i] = a[i] ^ b[i];
+    }
+    EXPECT_EQ(fp.hash_portable(x.data(), x.size()),
+              fp.hash_portable(a.data(), a.size()) ^
+                  fp.hash_portable(b.data(), b.size()));
+  }
+}
+
+TEST(Rabin, PclmulMatchesPortable) {
+  const RabinFingerprinter& fp = default_rabin();
+  if (!fp.uses_pclmul()) GTEST_SKIP() << "no PCLMULQDQ on this host";
+  Xoshiro256 rng(13);
+  std::vector<std::uint8_t> buf(5000);
+  for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+  for (std::size_t len : {0u, 1u, 15u, 16u, 31u, 32u, 33u, 47u, 48u, 63u, 64u,
+                          100u, 255u, 256u, 1000u, 4999u, 5000u}) {
+    EXPECT_EQ(fp.hash_pclmul(buf.data(), len),
+              fp.hash_portable(buf.data(), len))
+        << "length " << len;
+  }
+}
+
+TEST(Rabin, PclmulMatchesPortableRandomLengths) {
+  const RabinFingerprinter& fp = default_rabin();
+  if (!fp.uses_pclmul()) GTEST_SKIP();
+  Xoshiro256 rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len = 32 + rng.below(2000);
+    std::vector<std::uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.next());
+    ASSERT_EQ(fp.hash_pclmul(buf.data(), len),
+              fp.hash_portable(buf.data(), len))
+        << "trial " << trial << " length " << len;
+  }
+}
+
+TEST(Rabin, CustomPolynomialChangesFingerprints) {
+  const RabinFingerprinter a(0x1B);
+  const RabinFingerprinter b(0x8D);  // a different low part
+  const char data[] = "polynomial degree tunes the collision rate";
+  EXPECT_NE(a.hash(data, sizeof(data)), b.hash(data, sizeof(data)));
+  // Both paths still agree per instance.
+  if (b.uses_pclmul())
+    EXPECT_EQ(b.hash_pclmul(data, sizeof(data)),
+              b.hash_portable(data, sizeof(data)));
+}
+
+TEST(Rabin, NoCollisionsOnCorpus) {
+  Xoshiro256 rng(19);
+  std::vector<std::uint64_t> hashes;
+  std::vector<std::uint8_t> input(64);
+  for (int i = 0; i < 50000; ++i) {
+    for (auto& b : input) b = static_cast<std::uint8_t>(rng.next());
+    hashes.push_back(rabin_fingerprint(input.data(), input.size()));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end());
+}
+
+// ---- Modulus-polynomial regression ----------------------------------------------
+
+namespace gf2ex {
+int deg(std::uint64_t v) { return v ? 63 - __builtin_clzll(v) : -1; }
+std::uint64_t polymod64(std::uint64_t a, std::uint64_t b) {
+  while (b && deg(a) >= deg(b)) a ^= b << (deg(a) - deg(b));
+  return a;
+}
+std::uint64_t polygcd(std::uint64_t a, std::uint64_t b) {
+  while (b) {
+    const std::uint64_t r = polymod64(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+std::uint64_t sqmod(std::uint64_t a, std::uint64_t plow) {
+  std::uint64_t hi, lo;
+  gf2::clmul64(a, a, hi, lo);
+  return gf2::mod128(hi, lo, plow);
+}
+}  // namespace gf2ex
+
+TEST(RabinRegression, DefaultModulusIsIrreducible) {
+  // Ben-Or / Rabin irreducibility test for degree 64 = 2^6:
+  // x^(2^64) == x (mod P) and gcd(x^(2^32) - x, P) == 1.
+  const std::uint64_t plow = RabinFingerprinter::kDefaultPoly;
+  std::uint64_t t = 2, t32 = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (i == 32) t32 = t;
+    t = gf2ex::sqmod(t, plow);
+  }
+  EXPECT_EQ(t, 2u) << "x^(2^64) != x";
+  const std::uint64_t g = t32 ^ 2;
+  ASSERT_NE(g, 0u);
+  // P mod g, with P = x^64 + plow.
+  std::uint64_t x64 = 1;
+  for (int i = 0; i < 64; ++i) {
+    x64 <<= 1;
+    if (gf2ex::deg(x64) >= gf2ex::deg(g)) x64 ^= g << (gf2ex::deg(x64) - gf2ex::deg(g));
+  }
+  const std::uint64_t pmodg =
+      gf2ex::polymod64(x64 ^ gf2ex::polymod64(plow, g), g);
+  EXPECT_EQ(gf2ex::deg(gf2ex::polygcd(g, pmodg)), 0);
+}
+
+TEST(RabinRegression, DefaultModulusIsDense) {
+  // A sparse modulus has sparse multiples and collides deterministically on
+  // sparse input differences (the r-benchmark SFA-state bug).
+  EXPECT_GE(__builtin_popcountll(RabinFingerprinter::kDefaultPoly), 20);
+}
+
+TEST(RabinRegression, SparseLowWeightDiffsDoNotCollide) {
+  // With the old modulus x^64+x^4+x^3+x+1, flipping byte j by 0x01 and byte
+  // j+8 by 0x1B XORed the message with the byte pattern of P itself — a
+  // guaranteed collision.  The dense default must not collide on ANY pair
+  // of 2-sparse byte diffs (d1 at j, d2 at j+8) with small values.
+  std::vector<std::uint8_t> base(304, 0);
+  const std::uint64_t f0 = rabin_fingerprint(base.data(), base.size());
+  for (unsigned d1 = 1; d1 < 8; ++d1) {
+    for (unsigned d2 = 1; d2 < 64; ++d2) {
+      auto v = base;
+      v[100] ^= static_cast<std::uint8_t>(d1);
+      v[108] ^= static_cast<std::uint8_t>(d2);
+      ASSERT_NE(rabin_fingerprint(v.data(), v.size()), f0)
+          << "d1=" << d1 << " d2=" << d2;
+    }
+  }
+  // And the historical killer pattern specifically:
+  auto v = base;
+  v[100] ^= 0x01;
+  v[108] ^= 0x1B;
+  EXPECT_NE(rabin_fingerprint(v.data(), v.size()), f0);
+  // Under the OLD sparse modulus it does collide (documenting the trap):
+  const RabinFingerprinter sparse(0x1B);
+  EXPECT_EQ(sparse.hash(v.data(), v.size()),
+            sparse.hash(base.data(), base.size()));
+}
+
+// ---- FNV + survey ---------------------------------------------------------------
+
+TEST(Fnv, KnownVector) {
+  // FNV-1a("a") = 0xaf63dc4c8601ec8c.
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("", 0), 0xcbf29ce484222325ull);
+}
+
+TEST(Survey, RunsAllCandidates) {
+  const auto results = survey_all(/*message_bytes=*/4096, /*reps=*/64,
+                                  /*corpus=*/2000, /*input_bytes=*/64,
+                                  /*seed=*/3);
+  ASSERT_GE(results.size(), 3u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.gib_per_second, 0.0) << r.name;
+    EXPECT_EQ(r.collisions, 0u) << r.name;
+    EXPECT_EQ(r.inputs, 2000u);
+  }
+}
+
+TEST(Survey, CityFasterThanPortableRabin) {
+  // The paper's throughput ordering (§III-A): CityHash >> byte-serial Rabin.
+  const auto candidates = standard_hash_candidates();
+  const HashCandidate* city = nullptr;
+  const HashCandidate* rabin_portable = nullptr;
+  for (const auto& c : candidates) {
+    if (c.name == "city64") city = &c;
+    if (c.name == "rabin/portable") rabin_portable = &c;
+  }
+  ASSERT_NE(city, nullptr);
+  ASSERT_NE(rabin_portable, nullptr);
+  const auto rc = survey_one(*city, 1 << 16, 200, 10, 16, 1);
+  const auto rr = survey_one(*rabin_portable, 1 << 16, 200, 10, 16, 1);
+  EXPECT_GT(rc.gib_per_second, rr.gib_per_second);
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,213 @@
+// Cross-module integration tests: the full pattern -> DFA -> SFA -> match
+// pipeline under every builder, including compression, Grail round-trips,
+// and end-to-end workload scenarios mirroring the examples.
+#include <gtest/gtest.h>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/core/api.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+TEST(EndToEnd, ProteinScanScenario) {
+  // The protein_scan example in miniature: several motifs over one sequence.
+  Xoshiro256 rng(2025);
+  std::string sequence;
+  for (int i = 0; i < 50000; ++i)
+    sequence.push_back("ACDEFGHIKLMNPQRSTVWY"[rng.below(20)]);
+  sequence.replace(12000, 3, "RGD");
+  sequence.replace(30000, 4, "NGSG");
+
+  const Engine rgd = Engine::from_prosite("R-G-D.");
+  const Engine glyc = Engine::from_prosite("N-{P}-[ST]-{P}.");
+  EXPECT_TRUE(rgd.contains(sequence, 4));
+  EXPECT_TRUE(glyc.contains(sequence, 4));
+}
+
+TEST(EndToEnd, SignatureScanScenario) {
+  // The signature_ids example in miniature: ASCII alphabet, regex signature.
+  const Alphabet& ascii = Alphabet::ascii_printable();
+  const Engine sig = Engine::from_regex("GET /(admin|secret)/",
+                                        ascii, BuildMethod::kTransposed);
+  EXPECT_TRUE(sig.contains("POST /x HTTP GET /admin/panel HTTP/1.1", 2));
+  EXPECT_FALSE(sig.contains("GET /public/index.html", 2));
+}
+
+TEST(EndToEnd, GrailRoundtripThenBuild) {
+  // Serialize a compiled DFA to Grail+ text (the paper's interchange format),
+  // re-read it, and confirm the SFA built from the re-read DFA verifies.
+  const Dfa original = compile_prosite("[AG]-x(4)-G-K-[ST].");
+  const Dfa reread =
+      Dfa::from_grail(original.to_grail(Alphabet::amino()), Alphabet::amino());
+  ASSERT_TRUE(dfa_equivalent(original, reread));
+  const Sfa sfa = build_sfa_parallel(reread, {.num_threads = 2});
+  EXPECT_TRUE(verify_sfa(sfa, reread, {.random_inputs = 30}).ok);
+}
+
+TEST(EndToEnd, AllBuildersAllMethodsAgreeOnMatches) {
+  const Dfa dfa = compile_prosite("[ST]-x(2)-[DE].");
+  std::vector<Sfa> sfas;
+  sfas.push_back(build_sfa_baseline(dfa));
+  sfas.push_back(build_sfa_hashed(dfa));
+  sfas.push_back(build_sfa_transposed(dfa));
+  sfas.push_back(build_sfa_parallel(dfa, {.num_threads = 4}));
+  BuildOptions comp;
+  comp.num_threads = 2;
+  comp.memory_threshold_bytes = 1;
+  sfas.push_back(build_sfa_parallel(dfa, comp));
+
+  Xoshiro256 rng(31);
+  std::vector<Symbol> text(3000);
+  for (int trial = 0; trial < 20; ++trial) {
+    for (auto& s : text) s = static_cast<Symbol>(rng.below(20));
+    const bool expected = match_sequential(dfa, text).accepted;
+    for (std::size_t i = 0; i < sfas.size(); ++i) {
+      EXPECT_EQ(match_sfa_parallel(sfas[i], text, 3).accepted, expected)
+          << "builder " << i << " trial " << trial;
+    }
+  }
+}
+
+TEST(EndToEnd, SyntheticPatternPipeline) {
+  // Synthetic generator -> parse -> compile -> build -> verify, across seeds.
+  unsigned built = 0;
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    SyntheticPatternOptions gen;
+    gen.max_elements = 6;
+    gen.max_repeat = 2;
+    const std::string pattern = synthetic_prosite_pattern(seed, gen);
+    SCOPED_TRACE(pattern);
+    const Dfa dfa = compile_prosite(pattern);
+    if (dfa.size() > 200) continue;  // keep the suite fast
+    BuildOptions opt;
+    opt.num_threads = 2;
+    opt.max_states = 200000;
+    Sfa sfa;
+    try {
+      sfa = build_sfa_parallel(dfa, opt);
+    } catch (const std::runtime_error&) {
+      continue;  // state explosion: legitimate outcome, skip
+    }
+    EXPECT_TRUE(
+        verify_sfa(sfa, dfa, {.random_inputs = 15, .structural_samples = 30})
+            .ok);
+    ++built;
+  }
+  EXPECT_GE(built, 5u) << "generator produced too few tractable patterns";
+}
+
+TEST(EndToEnd, DnaAlphabetFullPipeline) {
+  const Engine engine = Engine::from_regex("(AT){3,}", Alphabet::dna(),
+                                           BuildMethod::kParallel,
+                                           {.num_threads = 2});
+  EXPECT_TRUE(engine.contains("GGGATATATGGG"));
+  EXPECT_FALSE(engine.contains("GGGATATGGG"));
+  EXPECT_TRUE(verify_sfa(engine.sfa(), engine.dfa(), {.random_inputs = 40}).ok);
+}
+
+TEST(EndToEnd, MappingCompositionAssociativity) {
+  // Property: running the SFA over u+v equals composing the mappings of u
+  // then v — the algebraic fact parallel matching rests on.
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  Xoshiro256 rng(41);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Symbol> u(rng.below(100)), v(rng.below(100));
+    for (auto& s : u) s = static_cast<Symbol>(rng.below(20));
+    for (auto& s : v) s = static_cast<Symbol>(rng.below(20));
+
+    std::vector<Symbol> uv = u;
+    uv.insert(uv.end(), v.begin(), v.end());
+
+    const Sfa::StateId su = sfa.run(sfa.start(), u.data(), u.size());
+    const Sfa::StateId sv = sfa.run(sfa.start(), v.data(), v.size());
+    const Sfa::StateId suv = sfa.run(sfa.start(), uv.data(), uv.size());
+
+    // Compose su then sv at every DFA state; must equal suv's mapping.
+    std::vector<std::uint32_t> mu, mv, muv;
+    sfa.mapping(su, mu);
+    sfa.mapping(sv, mv);
+    sfa.mapping(suv, muv);
+    for (std::uint32_t q = 0; q < dfa.size(); ++q)
+      ASSERT_EQ(mv[mu[q]], muv[q]) << "trial " << trial << " q " << q;
+  }
+}
+
+TEST(OracleIntegrity, VerifierCatchesCorruptTables) {
+  // The verifier underwrites every builder test, so prove it actually
+  // detects damage: corrupt a copy of a correct SFA and expect failure.
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const Sfa good = build_sfa_transposed(dfa);
+  ASSERT_TRUE(verify_sfa(good, dfa).ok);
+
+  // Helper: a structurally identical twin with mutable tables + mappings.
+  const auto clone_parts = [&](std::vector<Sfa::StateId>& delta,
+                               std::vector<std::uint8_t>& accepting,
+                               std::vector<std::uint8_t>& raw) {
+    std::vector<std::uint32_t> mapping;
+    for (Sfa::StateId s = 0; s < good.num_states(); ++s) {
+      accepting.push_back(good.accepting(s));
+      for (unsigned sym = 0; sym < good.num_symbols(); ++sym)
+        delta.push_back(good.transition(s, static_cast<Symbol>(sym)));
+      good.mapping(s, mapping);
+      for (auto v : mapping) {
+        raw.push_back(static_cast<std::uint8_t>(v));
+        raw.push_back(static_cast<std::uint8_t>(v >> 8));
+      }
+    }
+  };
+  const auto make_sfa = [&](std::vector<Sfa::StateId> delta,
+                            std::vector<std::uint8_t> accepting,
+                            std::vector<std::uint8_t> raw) {
+    Sfa bad;
+    std::vector<std::uint8_t> acc(dfa.size());
+    for (Dfa::StateId q = 0; q < dfa.size(); ++q) acc[q] = dfa.accepting(q);
+    bad.init(dfa.size(), dfa.num_symbols(), 2, dfa.start(), std::move(acc));
+    bad.set_mappings_raw(std::move(raw));
+    bad.set_table(std::move(delta), std::move(accepting));
+    return bad;
+  };
+
+  {  // One wrong transition: the structural simulation check must see it.
+    std::vector<Sfa::StateId> delta;
+    std::vector<std::uint8_t> accepting, raw;
+    clone_parts(delta, accepting, raw);
+    delta[5] = (delta[5] + 1) % good.num_states();
+    const Sfa bad = make_sfa(std::move(delta), std::move(accepting), std::move(raw));
+    EXPECT_FALSE(verify_sfa(bad, dfa).ok);
+  }
+  {  // One flipped acceptance bit.
+    std::vector<Sfa::StateId> delta;
+    std::vector<std::uint8_t> accepting, raw;
+    clone_parts(delta, accepting, raw);
+    accepting[2] ^= 1;
+    const Sfa bad = make_sfa(std::move(delta), std::move(accepting), std::move(raw));
+    EXPECT_FALSE(verify_sfa(bad, dfa).ok);
+  }
+  {  // One corrupted mapping cell.
+    std::vector<Sfa::StateId> delta;
+    std::vector<std::uint8_t> accepting, raw;
+    clone_parts(delta, accepting, raw);
+    raw[7 * dfa.size() * 2] ^= 1;  // state 7, cell 0, low byte
+    const Sfa bad = make_sfa(std::move(delta), std::move(accepting), std::move(raw));
+    EXPECT_FALSE(verify_sfa(bad, dfa).ok);
+  }
+}
+
+TEST(EndToEnd, StressManyEnginesSequentially) {
+  // Allocator/arena hygiene: building many engines must not interfere.
+  for (int i = 0; i < 10; ++i) {
+    const Engine e = Engine::from_prosite("R-G-D.", BuildMethod::kParallel,
+                                          {.num_threads = 4});
+    EXPECT_EQ(e.sfa().num_states(), 12u);
+  }
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,145 @@
+// Parallel-builder tests: thread sweeps, determinism of the discovered
+// state set, queue/stealing behaviour, and abort handling under concurrency.
+#include <gtest/gtest.h>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa {
+namespace {
+
+class ThreadSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadSweep, VerifiesAgainstDfa) {
+  const unsigned threads = GetParam();
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C-x-C.");
+  BuildOptions opt;
+  opt.num_threads = threads;
+  BuildStats stats;
+  const Sfa sfa = build_sfa_parallel(dfa, opt, &stats);
+  EXPECT_EQ(stats.threads, threads);
+  const VerifyReport report =
+      verify_sfa(sfa, dfa, {.random_inputs = 50, .structural_samples = 100});
+  EXPECT_TRUE(report.ok) << report.first_failure;
+}
+
+TEST_P(ThreadSweep, SameStateCountAsSequential) {
+  const unsigned threads = GetParam();
+  const Dfa dfa = compile_prosite("[RK]-x(2,3)-[DE]-x(2,3)-Y.");
+  const Sfa seq = build_sfa_transposed(dfa);
+  BuildOptions opt;
+  opt.num_threads = threads;
+  const Sfa par = build_sfa_parallel(dfa, opt);
+  EXPECT_EQ(par.num_states(), seq.num_states());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u),
+                         [](const auto& info) {
+                           return "t" + std::to_string(info.param);
+                         });
+
+TEST(ParallelBuild, RepeatedRunsAgree) {
+  // The state set (and hence the count) must be deterministic even though
+  // discovery order and id assignment race.
+  const Dfa dfa = compile_prosite("[AG]-x(4)-G-K-[ST].");
+  BuildOptions opt;
+  opt.num_threads = 4;
+  std::uint32_t count = 0;
+  for (int run = 0; run < 5; ++run) {
+    const Sfa sfa = build_sfa_parallel(dfa, opt);
+    if (run == 0)
+      count = sfa.num_states();
+    else
+      EXPECT_EQ(sfa.num_states(), count) << "run " << run;
+  }
+}
+
+TEST(ParallelBuild, SmallGlobalQueueForcesStealingPath) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");
+  BuildOptions opt;
+  opt.num_threads = 4;
+  opt.global_queue_capacity = 2;  // close the global queue almost at once
+  BuildStats stats;
+  const Sfa sfa = build_sfa_parallel(dfa, opt, &stats);
+  EXPECT_TRUE(verify_sfa(sfa, dfa, {.random_inputs = 30}).ok);
+  // Nearly everything must have flowed through the local queues.
+  EXPECT_LE(stats.global_queue_states, 2u);
+}
+
+TEST(ParallelBuild, LargeGlobalQueueServesEverything) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");  // 33 SFA states
+  BuildOptions opt;
+  opt.num_threads = 2;
+  opt.global_queue_capacity = 4096;
+  BuildStats stats;
+  const Sfa sfa = build_sfa_parallel(dfa, opt, &stats);
+  EXPECT_EQ(stats.global_queue_states, sfa.num_states());
+  EXPECT_EQ(stats.steals, 0u);  // no local-queue work to steal
+}
+
+TEST(ParallelBuild, StatsAccounting) {
+  const Dfa dfa = compile_prosite("[ST]-x(2)-[DE].");
+  BuildOptions opt;
+  opt.num_threads = 3;
+  BuildStats stats;
+  const Sfa sfa = build_sfa_parallel(dfa, opt, &stats);
+  EXPECT_EQ(stats.sfa_states, sfa.num_states());
+  EXPECT_EQ(stats.mapping_bytes_uncompressed,
+            static_cast<std::uint64_t>(sfa.num_states()) * dfa.size() * 2);
+  EXPECT_FALSE(stats.compression_triggered);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(ParallelBuild, MaxStatesAbortsCleanly) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");  // 2085 states
+  BuildOptions opt;
+  opt.num_threads = 4;
+  opt.max_states = 100;
+  EXPECT_THROW(build_sfa_parallel(dfa, opt), std::runtime_error);
+}
+
+TEST(ParallelBuild, MatchesBaselineOnRBenchmark) {
+  const Dfa dfa = make_r_benchmark_dfa(80, 500);
+  const Sfa seq = build_sfa_baseline(dfa);
+  BuildOptions opt;
+  opt.num_threads = 4;
+  const Sfa par = build_sfa_parallel(dfa, opt);
+  EXPECT_EQ(par.num_states(), seq.num_states());
+  EXPECT_TRUE(verify_sfa(par, dfa, {.random_inputs = 40}).ok);
+}
+
+TEST(ParallelBuild, ZeroThreadsCoercedToOne) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  BuildOptions opt;
+  opt.num_threads = 0;
+  BuildStats stats;
+  const Sfa sfa = build_sfa_parallel(dfa, opt, &stats);
+  EXPECT_EQ(stats.threads, 1u);
+  EXPECT_TRUE(verify_sfa(sfa, dfa).ok);
+}
+
+TEST(ParallelBuild, KeepMappingsFalse) {
+  const Dfa dfa = compile_prosite("[ST]-G-x-G.");
+  BuildOptions opt;
+  opt.num_threads = 2;
+  opt.keep_mappings = false;
+  const Sfa sfa = build_sfa_parallel(dfa, opt);
+  EXPECT_FALSE(sfa.has_mappings());
+  EXPECT_TRUE(verify_sfa(sfa, dfa).ok);  // behavioural check still works
+}
+
+TEST(ParallelBuild, ManyThreadsOnTinyProblem) {
+  // More threads than work: most workers find nothing and must terminate
+  // without deadlock.
+  const Dfa dfa = compile_prosite("R-G-D.");  // 12 SFA states
+  BuildOptions opt;
+  opt.num_threads = 16;
+  const Sfa sfa = build_sfa_parallel(dfa, opt);
+  EXPECT_EQ(sfa.num_states(), 12u);
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,77 @@
+// Tests for the probabilistic fingerprint-only builder (the paper's §III-A
+// uninvestigated variant, implemented here as an extension).
+#include <gtest/gtest.h>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa {
+namespace {
+
+TEST(Probabilistic, MatchesExactBuilderOnSamples) {
+  // With 64-bit Rabin fingerprints and test-sized state sets, the collision
+  // probability is ~|Q_s|^2/2^64 — the state counts must match the exact
+  // builder on every sample.
+  for (const char* pattern :
+       {"R-G-D.", "N-{P}-[ST]-{P}.", "[AG]-x(4)-G-K-[ST].",
+        "C-x-[DN]-x(4)-[FY]-x-C-x-C.", "[RK]-x(2,3)-[DE]-x(2,3)-Y."}) {
+    SCOPED_TRACE(pattern);
+    const Dfa dfa = compile_prosite(pattern);
+    const Sfa exact = build_sfa_transposed(dfa);
+    const Sfa prob = build_sfa_probabilistic(dfa);
+    EXPECT_EQ(prob.num_states(), exact.num_states());
+  }
+}
+
+TEST(Probabilistic, VerifiesWithMappings) {
+  const Dfa dfa = compile_prosite("[ST]-x(2)-[DE].");
+  const Sfa sfa = build_sfa_probabilistic(dfa);
+  const VerifyReport report =
+      verify_sfa(sfa, dfa, {.random_inputs = 50, .structural_samples = 0});
+  EXPECT_TRUE(report.ok) << report.first_failure;
+}
+
+TEST(Probabilistic, FrontierMemoryIsBounded) {
+  // The whole point: resident payload memory is the frontier, not |Q_s|.
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C-x-C.");
+  BuildOptions opt;
+  opt.keep_mappings = false;
+  BuildStats stats;
+  const Sfa sfa = build_sfa_probabilistic(dfa, opt, &stats);
+  EXPECT_GT(stats.peak_frontier_bytes, 0u);
+  // Frontier peak must be well below the full mapping store.
+  EXPECT_LT(stats.peak_frontier_bytes, stats.mapping_bytes_uncompressed);
+  // And the retained per-state footprint is a fixed-size node, not n cells.
+  EXPECT_LT(stats.mapping_bytes_stored, stats.mapping_bytes_uncompressed);
+  EXPECT_FALSE(sfa.has_mappings());
+}
+
+TEST(Probabilistic, DispatchThroughBuildSfa) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  BuildStats stats;
+  const Sfa sfa =
+      build_sfa(dfa, BuildMethod::kProbabilistic, {}, &stats);
+  EXPECT_EQ(sfa.num_states(), 12u);
+  EXPECT_STREQ(build_method_name(BuildMethod::kProbabilistic),
+               "probabilistic");
+}
+
+TEST(Probabilistic, RBenchmarkAgrees) {
+  const Dfa dfa = make_r_benchmark_dfa(150, 500);
+  const Sfa exact = build_sfa_transposed(dfa);
+  const Sfa prob = build_sfa_probabilistic(dfa);
+  EXPECT_EQ(prob.num_states(), exact.num_states());
+  EXPECT_TRUE(verify_sfa(prob, dfa, {.random_inputs = 30}).ok);
+}
+
+TEST(Probabilistic, MaxStatesGuard) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");
+  BuildOptions opt;
+  opt.max_states = 50;
+  EXPECT_THROW(build_sfa_probabilistic(dfa, opt), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,118 @@
+// Product-construction tests: boolean DFA algebra and multi-pattern unions.
+#include <gtest/gtest.h>
+
+#include "sfa/automata/minimize.hpp"
+#include "sfa/automata/ops.hpp"
+#include "sfa/automata/product.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+const Alphabet& kDna = Alphabet::dna();
+
+Dfa exact(const char* pattern) {
+  CompileOptions opt;
+  opt.anywhere = false;
+  return compile_pattern(pattern, kDna, opt);
+}
+
+TEST(ProductTest, UnionAcceptsEither) {
+  const Dfa u = dfa_union(exact("AC"), exact("GT"));
+  EXPECT_TRUE(u.accepts(kDna.encode("AC")));
+  EXPECT_TRUE(u.accepts(kDna.encode("GT")));
+  EXPECT_FALSE(u.accepts(kDna.encode("AG")));
+  EXPECT_TRUE(dfa_equivalent(minimize(u), exact("AC|GT")));
+}
+
+TEST(ProductTest, IntersectionNeedsBoth) {
+  // Strings with at least one A AND at least one T.
+  const Dfa has_a = compile_pattern("A", kDna);
+  const Dfa has_t = compile_pattern("T", kDna);
+  const Dfa both = dfa_intersection(has_a, has_t);
+  EXPECT_TRUE(both.accepts(kDna.encode("CATC")));
+  EXPECT_FALSE(both.accepts(kDna.encode("CAC")));
+  EXPECT_FALSE(both.accepts(kDna.encode("TTT")));
+}
+
+TEST(ProductTest, DifferenceAndComplementLaws) {
+  const Dfa a = compile_pattern("AC", kDna);
+  const Dfa b = compile_pattern("CA", kDna);
+  // a \ b == a ∩ complement(b)
+  const Dfa diff = dfa_difference(a, b);
+  const Dfa via_complement = dfa_intersection(a, dfa_complement(b));
+  EXPECT_TRUE(dfa_equivalent(diff, via_complement));
+  // De Morgan: complement(a ∪ b) == complement(a) ∩ complement(b)
+  EXPECT_TRUE(dfa_equivalent(
+      dfa_complement(dfa_union(a, b)),
+      dfa_intersection(dfa_complement(a), dfa_complement(b))));
+}
+
+TEST(ProductTest, EmptinessDetection) {
+  const Dfa a = exact("ACGT");
+  EXPECT_FALSE(dfa_empty(a));
+  EXPECT_TRUE(dfa_empty(dfa_difference(a, a)));
+  // a ∩ complement(a) == empty
+  EXPECT_TRUE(dfa_empty(dfa_intersection(a, dfa_complement(a))));
+}
+
+TEST(ProductTest, EquivalenceViaEmptiness) {
+  // Classic: L(a) == L(b) iff (a\b) ∪ (b\a) empty — cross-check the BFS
+  // equivalence checker against the algebraic route.
+  const Dfa a = exact("(AC)*");
+  const Dfa b = exact("(AC)*()");
+  EXPECT_TRUE(dfa_empty(dfa_union(dfa_difference(a, b), dfa_difference(b, a))));
+  const Dfa c = exact("(AC)+");
+  EXPECT_FALSE(
+      dfa_empty(dfa_union(dfa_difference(a, c), dfa_difference(c, a))));
+}
+
+TEST(ProductTest, UnionAllManyPatterns) {
+  std::vector<Dfa> dfas;
+  for (const char* p : {"AAC", "GGT", "CGC", "TAT", "ACCA"})
+    dfas.push_back(compile_pattern(p, kDna));
+  const Dfa all = dfa_union_all(std::move(dfas));
+  EXPECT_TRUE(all.accepts(kDna.encode("TTGGTTT")));
+  EXPECT_TRUE(all.accepts(kDna.encode("TATT")));
+  EXPECT_TRUE(all.accepts(kDna.encode("CACCAC")));
+  EXPECT_FALSE(all.accepts(kDna.encode("CCCCCC")));
+}
+
+TEST(ProductTest, UnionSfaStillVerifies) {
+  // The multi-pattern flow: union DFA -> SFA -> verify.
+  const Dfa u = minimize(
+      dfa_union(compile_prosite("R-G-D."), compile_prosite("[ST]-x-[RK].")));
+  const Sfa sfa = build_sfa_parallel(u, {.num_threads = 2});
+  EXPECT_TRUE(verify_sfa(sfa, u, {.random_inputs = 40}).ok);
+}
+
+TEST(ProductTest, MismatchedAlphabetsThrow) {
+  EXPECT_THROW(dfa_union(exact("AC"), compile_prosite("R-G-D.")),
+               std::invalid_argument);
+}
+
+TEST(ProductTest, RandomizedAlgebraProperties) {
+  // Property sweep: for random regex pairs, |L(a ∪ b)| membership on random
+  // strings equals OR of individual memberships (and ∩ the AND).
+  const char* patterns[] = {"A(C|G)T", "(AT)*", "[ACG]{2,3}", "T+A?"};
+  Xoshiro256 rng(99);
+  for (const char* pa : patterns) {
+    for (const char* pb : patterns) {
+      const Dfa a = exact(pa), b = exact(pb);
+      const Dfa u = dfa_union(a, b), i = dfa_intersection(a, b);
+      for (int trial = 0; trial < 40; ++trial) {
+        std::vector<Symbol> s(rng.below(8));
+        for (auto& c : s) c = static_cast<Symbol>(rng.below(4));
+        const bool in_a = a.accepts(s), in_b = b.accepts(s);
+        EXPECT_EQ(u.accepts(s), in_a || in_b) << pa << " | " << pb;
+        EXPECT_EQ(i.accepts(s), in_a && in_b) << pa << " & " << pb;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sfa

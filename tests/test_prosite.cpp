@@ -1,0 +1,217 @@
+// PROSITE substrate tests: the pattern parser against the published syntax,
+// the embedded motif samples, the synthetic generator, and the r-benchmark.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa {
+namespace {
+
+const Alphabet& kAmino = Alphabet::amino();
+
+bool matches(const Dfa& dfa, const std::string& text) {
+  return dfa.accepts(kAmino.encode(text));
+}
+
+TEST(PrositeParser, Ps00001Glycosylation) {
+  // N-{P}-[ST]-{P}: N, then anything but P, then S or T, then anything but P.
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  EXPECT_TRUE(matches(dfa, "NGSG"));
+  EXPECT_TRUE(matches(dfa, "AAANATAAA"));
+  EXPECT_FALSE(matches(dfa, "NPSG"));  // P in position 2
+  EXPECT_FALSE(matches(dfa, "NGSP"));  // P in position 4
+  EXPECT_FALSE(matches(dfa, "NGAG"));  // position 3 not S/T
+}
+
+TEST(PrositeParser, ExactCounts) {
+  const Dfa dfa = compile_prosite("[RK](2)-x-[ST].");
+  EXPECT_TRUE(matches(dfa, "RKAS"));
+  EXPECT_TRUE(matches(dfa, "AAKRCTAA"));
+  EXPECT_FALSE(matches(dfa, "RAS"));  // only one [RK]
+}
+
+TEST(PrositeParser, RangeCounts) {
+  const Dfa dfa = compile_prosite("C-x(2,4)-C.");
+  EXPECT_FALSE(matches(dfa, "CAC"));
+  EXPECT_TRUE(matches(dfa, "CAAC"));
+  EXPECT_TRUE(matches(dfa, "CAAAAC"));
+  // x(5) gap alone wouldn't match... but match-anywhere lets an inner C
+  // start a new attempt; craft carefully: DDDDDD has no C at all.
+  EXPECT_FALSE(matches(dfa, "DDDDDD"));
+}
+
+TEST(PrositeParser, Anchors) {
+  const Dfa start_anchored = compile_prosite("<M-A.");
+  EXPECT_TRUE(matches(start_anchored, "MAK"));
+  EXPECT_FALSE(matches(start_anchored, "KMAK"));
+
+  const Dfa end_anchored = compile_prosite("G-K>.");
+  EXPECT_TRUE(matches(end_anchored, "AAGK"));
+  EXPECT_FALSE(matches(end_anchored, "GKAA"));
+
+  const Dfa both = compile_prosite("<R-G-D>.");
+  EXPECT_TRUE(matches(both, "RGD"));
+  EXPECT_FALSE(matches(both, "ARGD"));
+  EXPECT_FALSE(matches(both, "RGDA"));
+}
+
+TEST(PrositeParser, LowercaseXAndWhitespaceTolerated) {
+  const Dfa a = compile_prosite("R - x - D.");
+  const Dfa b = compile_prosite("R-X-D.");
+  EXPECT_TRUE(dfa_equivalent(a, b));
+}
+
+TEST(PrositeParser, TrailingPeriodOptional) {
+  const Dfa a = compile_prosite("R-G-D.");
+  const Dfa b = compile_prosite("R-G-D");
+  EXPECT_TRUE(dfa_equivalent(a, b));
+}
+
+TEST(PrositeParser, ErrorsReportPosition) {
+  EXPECT_THROW(parse_prosite(""), PrositeParseError);
+  EXPECT_THROW(parse_prosite("N-{P-[ST]."), PrositeParseError);
+  EXPECT_THROW(parse_prosite("N-[]."), PrositeParseError);
+  EXPECT_THROW(parse_prosite("B-G."), PrositeParseError);   // B not amino
+  EXPECT_THROW(parse_prosite("R-G-D. extra"), PrositeParseError);
+  EXPECT_THROW(parse_prosite("R(4,2)."), PrositeParseError);
+  EXPECT_THROW(parse_prosite("R-(3)."), PrositeParseError);
+}
+
+TEST(PrositeParser, ParsedStructure) {
+  const PrositePattern p = parse_prosite("<A-x(2,3)-[DE]>.");
+  EXPECT_TRUE(p.anchored_start);
+  EXPECT_TRUE(p.anchored_end);
+  EXPECT_EQ(p.regex.kind, RegexKind::kConcat);
+  ASSERT_EQ(p.regex.children.size(), 3u);
+  EXPECT_EQ(p.regex.children[1].kind, RegexKind::kRepeat);
+  EXPECT_EQ(p.regex.children[1].min_rep, 2);
+  EXPECT_EQ(p.regex.children[1].max_rep, 3);
+}
+
+// ---- Embedded samples -------------------------------------------------------------
+
+TEST(Samples, AllParseCleanly) {
+  for (const auto& p : prosite_samples()) {
+    SCOPED_TRACE(p.id);
+    EXPECT_NO_THROW(parse_prosite(p.pattern));
+  }
+}
+
+TEST(Samples, UniqueIds) {
+  std::set<std::string> ids;
+  for (const auto& p : prosite_samples()) ids.insert(p.id);
+  EXPECT_EQ(ids.size(), prosite_samples().size());
+}
+
+TEST(Samples, SmallOnesCompileToExpectedSizes) {
+  // DFA sizes for the small motifs (measured; doubles as a regression pin
+  // for the whole regex->NFA->DFA->minimize pipeline).
+  const std::map<std::string, unsigned> expected = {
+      {"PS00001", 6}, {"PS00016", 4}, {"PS00005", 5}, {"PS00006", 9},
+  };
+  for (const auto& p : prosite_samples()) {
+    const auto it = expected.find(p.id);
+    if (it == expected.end()) continue;
+    EXPECT_EQ(compile_prosite(p.pattern).size(), it->second) << p.id;
+  }
+}
+
+TEST(Samples, KnownPositiveSequences) {
+  // Real motif semantics: P-loop (PS00017) in a synthetic kinase-like
+  // fragment; RGD (PS00016) in fibronectin-like fragment.
+  const Dfa ploop = compile_prosite("[AG]-x(4)-G-K-[ST].");
+  EXPECT_TRUE(matches(ploop, "MGSSSSGKTLLAQ"));  // G-SSSS-G-K-T
+  const Dfa rgd = compile_prosite("R-G-D.");
+  EXPECT_TRUE(matches(rgd, "AVTGRGDSPAS"));
+}
+
+// ---- Synthetic generator -----------------------------------------------------------
+
+TEST(SyntheticGenerator, DeterministicPerSeed) {
+  EXPECT_EQ(synthetic_prosite_pattern(7), synthetic_prosite_pattern(7));
+  EXPECT_NE(synthetic_prosite_pattern(7), synthetic_prosite_pattern(8));
+}
+
+TEST(SyntheticGenerator, AllOutputsParse) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const std::string pat = synthetic_prosite_pattern(seed);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + pat);
+    EXPECT_NO_THROW(parse_prosite(pat));
+  }
+}
+
+TEST(SyntheticGenerator, RespectsElementBounds) {
+  SyntheticPatternOptions opt;
+  opt.min_elements = 2;
+  opt.max_elements = 3;
+  opt.p_repeat = 0.0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const std::string pat = synthetic_prosite_pattern(seed, opt);
+    const auto dashes =
+        static_cast<unsigned>(std::count(pat.begin(), pat.end(), '-'));
+    EXPECT_GE(dashes + 1, 2u) << pat;
+    EXPECT_LE(dashes + 1, 3u) << pat;
+  }
+}
+
+TEST(BenchmarkPatterns, RealSamplesFirstThenSynthetic) {
+  const auto set = benchmark_patterns(prosite_samples().size() + 5, 2017);
+  EXPECT_EQ(set.size(), prosite_samples().size() + 5);
+  EXPECT_EQ(set.front().id, prosite_samples().front().id);
+  EXPECT_EQ(set.back().id.substr(0, 3), "SYN");
+  // Deterministic.
+  const auto again = benchmark_patterns(set.size(), 2017);
+  for (std::size_t i = 0; i < set.size(); ++i)
+    EXPECT_EQ(set[i].pattern, again[i].pattern);
+}
+
+// ---- r-benchmark --------------------------------------------------------------------
+
+TEST(RBenchmarkDfa, ShapeAndDeterminism) {
+  const Dfa dfa = make_r_benchmark_dfa(50, 1);
+  EXPECT_EQ(dfa.size(), 52u);
+  EXPECT_TRUE(dfa.complete());
+  EXPECT_EQ(dfa.accepting_count(), 1u);
+  EXPECT_EQ(dfa.find_sink(), 51u);
+  // Deterministic per (length, seed).
+  const Dfa again = make_r_benchmark_dfa(50, 1);
+  EXPECT_TRUE(dfa_equivalent(dfa, again));
+  const Dfa other = make_r_benchmark_dfa(50, 2);
+  EXPECT_FALSE(dfa_equivalent(dfa, other));
+}
+
+TEST(RBenchmarkDfa, AcceptsExactlyItsString) {
+  const Dfa dfa = make_r_benchmark_dfa(30, 9);
+  // Recover the string by following non-sink transitions.
+  std::vector<Symbol> str;
+  Dfa::StateId q = dfa.start();
+  const Dfa::StateId sink = dfa.find_sink();
+  while (!dfa.accepting(q)) {
+    bool advanced = false;
+    for (unsigned s = 0; s < dfa.num_symbols(); ++s) {
+      const Dfa::StateId to = dfa.transition(q, static_cast<Symbol>(s));
+      if (to != sink) {
+        str.push_back(static_cast<Symbol>(s));
+        q = to;
+        advanced = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(advanced);
+  }
+  EXPECT_EQ(str.size(), 30u);
+  EXPECT_TRUE(dfa.accepts(str));
+  // Any prefix or extension is rejected (no catenation!).
+  auto longer = str;
+  longer.push_back(0);
+  EXPECT_FALSE(dfa.accepts(longer));
+  str.pop_back();
+  EXPECT_FALSE(dfa.accepts(str));
+}
+
+}  // namespace
+}  // namespace sfa

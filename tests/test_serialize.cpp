@@ -1,0 +1,137 @@
+// SFA binary serialization tests: roundtrips for every mapping mode,
+// corrupt-stream rejection, and behavioural equality after reload.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/equivalence.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/serialize.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+void expect_same_automaton(const Sfa& a, const Sfa& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  ASSERT_EQ(a.num_symbols(), b.num_symbols());
+  ASSERT_EQ(a.dfa_states(), b.dfa_states());
+  EXPECT_EQ(a.start(), b.start());
+  EXPECT_EQ(a.dfa_start(), b.dfa_start());
+  EXPECT_EQ(a.cell_width(), b.cell_width());
+  for (Sfa::StateId s = 0; s < a.num_states(); ++s) {
+    EXPECT_EQ(a.accepting(s), b.accepting(s));
+    for (unsigned sym = 0; sym < a.num_symbols(); ++sym)
+      ASSERT_EQ(a.transition(s, static_cast<Symbol>(sym)),
+                b.transition(s, static_cast<Symbol>(sym)));
+  }
+  ASSERT_EQ(a.has_mappings(), b.has_mappings());
+  if (a.has_mappings()) {
+    std::vector<std::uint32_t> ma, mb;
+    for (Sfa::StateId s = 0; s < a.num_states(); ++s) {
+      a.mapping(s, ma);
+      b.mapping(s, mb);
+      ASSERT_EQ(ma, mb) << "state " << s;
+    }
+  }
+}
+
+TEST(Serialize, RawMappingsRoundtrip) {
+  const Dfa dfa = compile_prosite("[AG]-x(4)-G-K-[ST].");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  const Sfa back = load_sfa(buf);
+  expect_same_automaton(sfa, back);
+  EXPECT_TRUE(verify_sfa(back, dfa, {.random_inputs = 30}).ok);
+}
+
+TEST(Serialize, NoMappingsRoundtrip) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  BuildOptions opt;
+  opt.keep_mappings = false;
+  const Sfa sfa = build_sfa_transposed(dfa, opt);
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  const Sfa back = load_sfa(buf);
+  expect_same_automaton(sfa, back);
+  EXPECT_FALSE(back.has_mappings());
+}
+
+TEST(Serialize, CompressedMappingsRoundtrip) {
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C-x-C.");
+  BuildOptions opt;
+  opt.num_threads = 2;
+  opt.memory_threshold_bytes = 1;  // force the compression path
+  const Sfa sfa = build_sfa_parallel(dfa, opt);
+  ASSERT_TRUE(sfa.mappings_compressed());
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  const Sfa back = load_sfa(buf);
+  EXPECT_TRUE(back.mappings_compressed());
+  expect_same_automaton(sfa, back);
+}
+
+TEST(Serialize, ReloadedSfaMatches) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  const Sfa back = load_sfa(buf);
+
+  Xoshiro256 rng(5);
+  std::vector<Symbol> text(4096);
+  for (auto& s : text) s = static_cast<Symbol>(rng.below(20));
+  EXPECT_EQ(match_sfa_parallel(back, text, 4).accepted,
+            match_sequential(dfa, text).accepted);
+}
+
+TEST(Serialize, FileRoundtrip) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  const std::string path = ::testing::TempDir() + "/rgd.sfa";
+  save_sfa_file(sfa, path);
+  const Sfa back = load_sfa_file(path);
+  expect_same_automaton(sfa, back);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsCorruptStreams) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  const std::string good = buf.str();
+
+  // Bad magic.
+  {
+    std::string bad = good;
+    bad[0] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW(load_sfa(in), std::runtime_error);
+  }
+  // Truncations at every interesting boundary.
+  for (std::size_t cut : {std::size_t{3}, std::size_t{8}, std::size_t{20}, good.size() / 2, good.size() - 1}) {
+    std::istringstream in(good.substr(0, cut));
+    EXPECT_THROW(load_sfa(in), std::runtime_error) << "cut " << cut;
+  }
+  // Out-of-range transition: delta entries start after the header and the
+  // two acceptance arrays; smash one with 0xFF.
+  {
+    std::string bad = good;
+    const std::size_t delta_off = 4 + 2 + 16 + sfa.dfa_states() + sfa.num_states();
+    bad[delta_off] = '\xFF';
+    bad[delta_off + 1] = '\xFF';
+    bad[delta_off + 2] = '\xFF';
+    bad[delta_off + 3] = '\xFF';
+    std::istringstream in(bad);
+    EXPECT_THROW(load_sfa(in), std::runtime_error);
+  }
+  EXPECT_THROW(load_sfa_file("/nonexistent/path/x.sfa"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfa

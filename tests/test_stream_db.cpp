@@ -1,0 +1,150 @@
+// Tests for the streaming matcher and the PROSITE flat-file loader.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/stream_matcher.hpp"
+#include "sfa/prosite/prosite_db.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+// ---- StreamMatcher ---------------------------------------------------------------
+
+TEST(StreamMatcherTest, BlockwiseEqualsWholeInput) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Symbol> text(3000);
+    for (auto& s : text) s = static_cast<Symbol>(rng.below(20));
+
+    StreamMatcher stream(sfa);
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t block = std::min<std::size_t>(
+          1 + rng.below(500), text.size() - pos);
+      stream.feed(text.data() + pos, block);
+      pos += block;
+    }
+    EXPECT_EQ(stream.matched(), match_sequential(dfa, text).accepted) << trial;
+    EXPECT_EQ(stream.dfa_state(),
+              match_sequential(dfa, text).final_dfa_state);
+    EXPECT_EQ(stream.symbols_consumed(), text.size());
+  }
+}
+
+TEST(StreamMatcherTest, MatchAcrossBlockBoundary) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  const auto part1 = Alphabet::amino().encode("AAAAR");
+  const auto part2 = Alphabet::amino().encode("GDAAA");
+  StreamMatcher stream(sfa);
+  stream.feed(part1);
+  EXPECT_FALSE(stream.matched());
+  stream.feed(part2);
+  EXPECT_TRUE(stream.matched());  // R|GD straddles the boundary
+}
+
+TEST(StreamMatcherTest, ParallelFeedEqualsSequentialFeed) {
+  const Dfa dfa = compile_prosite("[ST]-x(2)-[DE].");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  Xoshiro256 rng(2);
+  std::vector<Symbol> block(1 << 14);
+  for (auto& s : block) s = static_cast<Symbol>(rng.below(20));
+
+  StreamMatcher seq(sfa, 1), par(sfa, 4);
+  for (int i = 0; i < 4; ++i) {
+    seq.feed(block);
+    par.feed(block);
+    ASSERT_EQ(seq.dfa_state(), par.dfa_state()) << "after block " << i;
+  }
+}
+
+TEST(StreamMatcherTest, ResetAndRestore) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  StreamMatcher stream(sfa);
+  stream.feed(Alphabet::amino().encode("RGD"));
+  EXPECT_TRUE(stream.matched());
+  const auto checkpoint = stream.dfa_state();
+  stream.reset();
+  EXPECT_FALSE(stream.matched());
+  stream.restore(checkpoint);
+  EXPECT_TRUE(stream.matched());
+}
+
+TEST(StreamMatcherTest, EmptyFeedIsNoop) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  StreamMatcher stream(sfa);
+  const auto before = stream.dfa_state();
+  stream.feed(nullptr, 0);
+  EXPECT_EQ(stream.dfa_state(), before);
+}
+
+// ---- PROSITE flat-file loader ------------------------------------------------------
+
+constexpr const char* kSampleDat = R"(CC   ****************************
+CC   Sample of the PROSITE format
+CC   ****************************
+//
+ID   ASN_GLYCOSYLATION; PATTERN.
+AC   PS00001;
+DT   01-APR-1990 CREATED;
+DE   N-glycosylation site.
+PA   N-{P}-[ST]-{P}.
+//
+ID   SOME_MATRIX; MATRIX.
+AC   PS50001;
+DE   A profile entry without PA lines - must be skipped.
+//
+ID   ZINC_FINGER_C2H2_1; PATTERN.
+AC   PS00028;
+PA   C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-
+PA   H.
+//
+ID   BROKEN_ENTRY; PATTERN.
+AC   PS99999;
+PA   N-{P]-[ST.
+//
+)";
+
+TEST(PrositeDb, ParsesEntriesAndContinuations) {
+  std::istringstream in(kSampleDat);
+  const auto entries = load_prosite_dat(in);
+  ASSERT_EQ(entries.size(), 2u);  // matrix skipped, broken skipped
+  EXPECT_EQ(entries[0].id, "PS00001");
+  EXPECT_EQ(entries[0].pattern, "N-{P}-[ST]-{P}.");
+  EXPECT_EQ(entries[1].id, "PS00028");
+  // Continuation concatenated.
+  EXPECT_EQ(entries[1].pattern,
+            "C-x(2,4)-C-x(3)-[LIVMFYWC]-x(8)-H-x(3,5)-H.");
+  // Both must compile.
+  EXPECT_NO_THROW(parse_prosite(entries[0].pattern));
+  EXPECT_NO_THROW(parse_prosite(entries[1].pattern));
+}
+
+TEST(PrositeDb, StrictModeThrowsOnBrokenPattern) {
+  std::istringstream in(kSampleDat);
+  EXPECT_THROW(load_prosite_dat(in, /*strict=*/true), std::runtime_error);
+}
+
+TEST(PrositeDb, EmptyAndHeaderOnlyStreams) {
+  std::istringstream empty("");
+  EXPECT_TRUE(load_prosite_dat(empty).empty());
+  std::istringstream header_only("CC   just comments\n//\n");
+  EXPECT_TRUE(load_prosite_dat(header_only).empty());
+}
+
+TEST(PrositeDb, MissingFileThrows) {
+  EXPECT_THROW(load_prosite_dat_file("/no/such/prosite.dat"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace sfa

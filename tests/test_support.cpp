@@ -1,0 +1,136 @@
+// Support-module tests: RNG determinism/distribution, timers, formatting,
+// CPU feature probing.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sfa/support/aligned.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/format.hpp"
+#include "sfa/support/rng.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa {
+namespace {
+
+TEST(Rng, SplitMixKnownSequenceIsDeterministic) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 20ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  constexpr int kBuckets = 10, kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_GT(counts[b], kDraws / kBuckets * 0.9) << b;
+    EXPECT_LT(counts[b], kDraws / kBuckets * 1.1) << b;
+  }
+}
+
+TEST(Rng, UnitInHalfOpenInterval) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Timer, MeasuresSleep) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.seconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 2.0);
+}
+
+TEST(Timer, TscMonotoneAndCalibrated) {
+  if (read_tsc() == 0) GTEST_SKIP() << "no TSC";
+  const auto a = read_tsc();
+  const auto b = read_tsc();
+  EXPECT_GE(b, a);
+  EXPECT_GT(tsc_hz(), 1e8);   // >100 MHz
+  EXPECT_LT(tsc_hz(), 1e11);  // <100 GHz
+}
+
+TEST(Cpu, ReportsAtLeastOneThread) {
+  EXPECT_GE(hardware_threads(), 1u);
+  EXPECT_GE(cache_line_size(), 16u);
+  EXPECT_FALSE(platform_summary().empty());
+}
+
+TEST(Format, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+  EXPECT_EQ(with_commas(40956096ull), "40,956,096");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(0), "0 B");
+  EXPECT_EQ(human_bytes(1023), "1023 B");
+  EXPECT_EQ(human_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(human_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(human_bytes(1ull << 30), "1.00 GiB");
+}
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(1.0, 0), "1");
+}
+
+TEST(Format, RenderTableAlignsColumns) {
+  const std::string out = render_table({{"name", "value"},
+                                        {"alpha", "1.5"},
+                                        {"b", "123,456"}});
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Numeric-looking cells right-align: "1.5" is padded on the left.
+  EXPECT_NE(out.find("    1.5"), std::string::npos);
+}
+
+TEST(Format, MedianOf) {
+  EXPECT_EQ(median_of({}), 0.0);
+  EXPECT_EQ(median_of({3.0}), 3.0);
+  EXPECT_EQ(median_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(median_of({1.0, 2.0, 3.0, 4.0}), 2.5);
+  EXPECT_EQ(median_of({4.0, 1.0, 3.0, 2.0}), 2.5);  // unsorted input
+}
+
+TEST(Aligned, AllocatorOveraligns) {
+  std::vector<std::uint16_t, AlignedAllocator<std::uint16_t>> v(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kSimdAlign, 0u);
+}
+
+TEST(Aligned, CachePaddedSeparation) {
+  CachePadded<int> a[2];
+  const auto pa = reinterpret_cast<std::uintptr_t>(&a[0]);
+  const auto pb = reinterpret_cast<std::uintptr_t>(&a[1]);
+  EXPECT_GE(pb - pa, 64u);
+}
+
+}  // namespace
+}  // namespace sfa

@@ -1,0 +1,214 @@
+// sfa — command-line front end for the library.
+//
+//   sfa build  <pattern> -o out.sfa [options]   compile + construct + save
+//   sfa match  <file.sfa> <textfile> [options]  parallel SFA matching
+//   sfa inspect <file.sfa>                      summary + statistics
+//   sfa grail  <pattern> [options]              dump the minimal DFA
+//
+// Common options:
+//   --prosite | --regex      pattern syntax        (default: --prosite)
+//   --alphabet amino|dna|ascii                     (default: amino;
+//                                                   --prosite implies amino)
+//   --method baseline|hashed|transposed|parallel|probabilistic
+//                                                  (default: parallel)
+//   --threads N                                    (default: hardware)
+//   --compress-threshold BYTES                     enable 3-phase compression
+//   --count                  match: count accepting positions, not just test
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/serialize.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/format.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace {
+
+using namespace sfa;
+
+struct Options {
+  std::string command;
+  std::vector<std::string> positional;
+  bool prosite = true;
+  std::string alphabet_name = "amino";
+  BuildMethod method = BuildMethod::kParallel;
+  unsigned threads = hardware_threads();
+  std::size_t compress_threshold = 0;
+  bool count = false;
+  std::string output;
+};
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr,
+               "usage: sfa <build|match|inspect|grail> ... (see header "
+               "comment / README)\n");
+  std::exit(error ? 2 : 0);
+}
+
+const Alphabet& alphabet_by_name(const std::string& name) {
+  if (name == "amino") return Alphabet::amino();
+  if (name == "dna") return Alphabet::dna();
+  if (name == "ascii") return Alphabet::ascii_printable();
+  usage("unknown alphabet (amino|dna|ascii)");
+}
+
+BuildMethod method_by_name(const std::string& name) {
+  if (name == "baseline") return BuildMethod::kBaseline;
+  if (name == "hashed") return BuildMethod::kHashed;
+  if (name == "transposed") return BuildMethod::kTransposed;
+  if (name == "parallel") return BuildMethod::kParallel;
+  if (name == "probabilistic") return BuildMethod::kProbabilistic;
+  usage("unknown method");
+}
+
+Options parse(int argc, char** argv) {
+  Options opt;
+  if (argc < 2) usage();
+  opt.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--prosite")
+      opt.prosite = true;
+    else if (arg == "--regex")
+      opt.prosite = false;
+    else if (arg == "--alphabet")
+      opt.alphabet_name = next();
+    else if (arg == "--method")
+      opt.method = method_by_name(next());
+    else if (arg == "--threads")
+      opt.threads = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--compress-threshold")
+      opt.compress_threshold = std::stoull(next());
+    else if (arg == "--count")
+      opt.count = true;
+    else if (arg == "-o" || arg == "--output")
+      opt.output = next();
+    else if (arg == "--help" || arg == "-h")
+      usage();
+    else if (!arg.empty() && arg[0] == '-')
+      usage(("unknown option: " + arg).c_str());
+    else
+      opt.positional.push_back(arg);
+  }
+  return opt;
+}
+
+Dfa compile(const Options& opt, const std::string& pattern) {
+  if (opt.prosite) return compile_prosite(pattern);
+  return compile_pattern(pattern, alphabet_by_name(opt.alphabet_name));
+}
+
+int cmd_build(const Options& opt) {
+  if (opt.positional.size() != 1) usage("build needs exactly one pattern");
+  const WallTimer compile_timer;
+  const Dfa dfa = compile(opt, opt.positional[0]);
+  std::printf("DFA: %u states over %u symbols (%.3f s)\n", dfa.size(),
+              dfa.num_symbols(), compile_timer.seconds());
+
+  BuildOptions build;
+  build.num_threads = opt.threads;
+  build.memory_threshold_bytes = opt.compress_threshold;
+  BuildStats stats;
+  const Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
+  std::printf("%s\n", sfa.summary().c_str());
+  std::printf("construction: %.3f s, %s method, %u thread(s)%s\n",
+              stats.seconds, build_method_name(opt.method), stats.threads,
+              stats.compression_triggered ? ", compression triggered" : "");
+  if (!opt.output.empty()) {
+    save_sfa_file(sfa, opt.output);
+    std::printf("saved: %s\n", opt.output.c_str());
+  }
+  return 0;
+}
+
+std::string read_all(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream os;
+    os << std::cin.rdbuf();
+    return os.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int cmd_match(const Options& opt) {
+  if (opt.positional.size() != 2)
+    usage("match needs <file.sfa> <textfile|->");
+  const Sfa sfa = load_sfa_file(opt.positional[0]);
+  const Alphabet& alphabet = alphabet_by_name(opt.alphabet_name);
+  if (alphabet.size() != sfa.num_symbols())
+    usage("alphabet size does not match the SFA (pass --alphabet)");
+  std::string text = read_all(opt.positional[1]);
+  // Tolerate trailing newlines from shell pipelines.
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  const std::vector<Symbol> input = alphabet.encode(text);
+
+  const WallTimer timer;
+  const MatchResult result = match_sfa_parallel(sfa, input, opt.threads);
+  const double ms = timer.millis();
+  std::printf("input: %s symbols, %u thread(s)\n",
+              with_commas(input.size()).c_str(), opt.threads);
+  std::printf("match: %s (%.3f ms)\n", result.accepted ? "YES" : "no", ms);
+  return result.accepted ? 0 : 1;
+}
+
+int cmd_inspect(const Options& opt) {
+  if (opt.positional.size() != 1) usage("inspect needs <file.sfa>");
+  const Sfa sfa = load_sfa_file(opt.positional[0]);
+  std::printf("%s\n", sfa.summary().c_str());
+  std::printf("start state:   %u\n", sfa.start());
+  std::printf("transitions:   %s\n",
+              with_commas(static_cast<std::uint64_t>(sfa.num_states()) *
+                          sfa.num_symbols())
+                  .c_str());
+  std::size_t accepting = 0;
+  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
+    accepting += sfa.accepting(s);
+  std::printf("accepting:     %s (%.1f%%)\n", with_commas(accepting).c_str(),
+              100.0 * static_cast<double>(accepting) /
+                  static_cast<double>(sfa.num_states()));
+  return 0;
+}
+
+int cmd_grail(const Options& opt) {
+  if (opt.positional.size() != 1) usage("grail needs exactly one pattern");
+  const Dfa dfa = compile(opt, opt.positional[0]);
+  const Alphabet& alphabet =
+      opt.prosite ? Alphabet::amino() : alphabet_by_name(opt.alphabet_name);
+  std::fputs(dfa.to_grail(alphabet).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parse(argc, argv);
+    if (opt.command == "build") return cmd_build(opt);
+    if (opt.command == "match") return cmd_match(opt);
+    if (opt.command == "inspect") return cmd_inspect(opt);
+    if (opt.command == "grail") return cmd_grail(opt);
+    usage(("unknown command: " + opt.command).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
