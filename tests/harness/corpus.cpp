@@ -1,0 +1,311 @@
+#include "harness/corpus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sfa/automata/ops.hpp"
+#include "sfa/automata/random_dfa.hpp"
+#include "sfa/automata/regex_parser.hpp"
+#include "sfa/classic/aho_corasick.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace testing {
+
+namespace {
+
+/// The state-explosion guard: corpus entries must stay cheap for EVERY
+/// builder variant, so reject DFAs whose SFA exceeds the budget.  The hashed
+/// sequential builder is the cheapest exact way to count SFA states.
+bool sfa_within_budget(const Dfa& dfa, std::uint64_t max_states) {
+  BuildOptions opt;
+  opt.keep_mappings = false;
+  opt.max_states = max_states;
+  try {
+    build_sfa_hashed(dfa, opt);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+std::vector<Symbol> random_word(Xoshiro256& rng, unsigned k, std::size_t len) {
+  std::vector<Symbol> w(len);
+  for (auto& s : w) s = static_cast<Symbol>(rng.below(k));
+  return w;
+}
+
+}  // namespace
+
+std::vector<std::vector<Symbol>> make_inputs(std::uint64_t seed, unsigned k,
+                                             std::size_t count,
+                                             std::size_t max_length) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<Symbol>> inputs;
+  inputs.emplace_back();  // the empty input, always
+  for (std::size_t i = 1; i < count; ++i) {
+    // Sweep short lengths first (divergences near the start state), then
+    // uniformly random longer inputs.
+    const std::size_t len =
+        i <= 3 ? i : 1 + rng.below(std::max<std::size_t>(max_length, 2) - 1);
+    inputs.push_back(random_word(rng, k, len));
+  }
+  return inputs;
+}
+
+CorpusEntry random_dfa_entry(std::uint64_t seed, std::uint32_t num_states,
+                             unsigned num_symbols,
+                             const CorpusOptions& options) {
+  RandomDfaOptions ropt;
+  ropt.num_states = num_states;
+  ropt.num_symbols = num_symbols;
+  ropt.accept_fraction = 0.3;
+  ropt.seed = seed;
+
+  CorpusEntry e;
+  e.name = "rand/seed=" + std::to_string(seed) +
+           ",n=" + std::to_string(num_states) + ",k=" + std::to_string(num_symbols);
+  e.seed = seed;
+  e.num_symbols = num_symbols;
+  e.dfa = random_dfa(ropt);
+  e.inputs = make_inputs(seed ^ 0x1234567, num_symbols,
+                         options.inputs_per_entry, options.max_input_length);
+  e.regenerate = [ropt](std::uint32_t n) {
+    RandomDfaOptions smaller = ropt;
+    smaller.num_states = std::max<std::uint32_t>(n, 1);
+    return random_dfa(smaller);
+  };
+  return e;
+}
+
+CorpusEntry literal_entry(std::uint64_t seed, unsigned num_symbols,
+                          std::size_t num_patterns, std::size_t pattern_length,
+                          bool uniform_length, const CorpusOptions& options) {
+  Xoshiro256 rng(seed);
+  std::vector<std::vector<Symbol>> patterns;
+  for (std::size_t p = 0; p < num_patterns; ++p) {
+    const std::size_t len =
+        uniform_length ? pattern_length : 1 + rng.below(pattern_length);
+    std::vector<Symbol> pat = random_word(rng, num_symbols, std::max<std::size_t>(len, 1));
+    if (std::find(patterns.begin(), patterns.end(), pat) == patterns.end())
+      patterns.push_back(std::move(pat));
+  }
+
+  CorpusEntry e;
+  e.name = std::string("literal/seed=") + std::to_string(seed) +
+           ",k=" + std::to_string(num_symbols) +
+           ",p=" + std::to_string(patterns.size()) +
+           (uniform_length ? ",uniform" : ",mixed");
+  e.seed = seed;
+  e.num_symbols = num_symbols;
+  e.dfa = AhoCorasick(patterns, num_symbols).to_dfa();
+  e.literal_patterns = patterns;
+  e.inputs = make_inputs(seed ^ 0x9e3779b9, num_symbols,
+                         options.inputs_per_entry, options.max_input_length);
+  // Plant pattern occurrences so the positive matcher paths are exercised
+  // (purely random text rarely contains a length-5 pattern).
+  for (std::size_t i = 0; i < patterns.size() && i + 1 < e.inputs.size(); ++i) {
+    std::vector<Symbol>& text = e.inputs[i + 1];
+    const std::vector<Symbol>& pat = patterns[i % patterns.size()];
+    const std::size_t at = text.empty() ? 0 : rng.below(text.size() + 1);
+    text.insert(text.begin() + static_cast<std::ptrdiff_t>(at), pat.begin(),
+                pat.end());
+  }
+  return e;
+}
+
+CorpusEntry empty_language_entry(unsigned num_symbols) {
+  Dfa dfa(num_symbols);
+  const Dfa::StateId q = dfa.add_state(false);
+  for (unsigned s = 0; s < num_symbols; ++s)
+    dfa.set_transition(q, static_cast<Symbol>(s), q);
+  dfa.set_start(q);
+
+  CorpusEntry e;
+  e.name = "edge/empty-language,k=" + std::to_string(num_symbols);
+  e.num_symbols = num_symbols;
+  e.dfa = std::move(dfa);
+  e.inputs = make_inputs(0xE0, num_symbols, 6, 32);
+  return e;
+}
+
+CorpusEntry universal_language_entry(unsigned num_symbols) {
+  Dfa dfa(num_symbols);
+  const Dfa::StateId q = dfa.add_state(true);
+  for (unsigned s = 0; s < num_symbols; ++s)
+    dfa.set_transition(q, static_cast<Symbol>(s), q);
+  dfa.set_start(q);
+
+  CorpusEntry e;
+  e.name = "edge/universal,k=" + std::to_string(num_symbols);
+  e.num_symbols = num_symbols;
+  e.dfa = std::move(dfa);
+  e.inputs = make_inputs(0xE1, num_symbols, 6, 32);
+  return e;
+}
+
+CorpusEntry empty_string_only_entry(unsigned num_symbols) {
+  Dfa dfa(num_symbols);
+  const Dfa::StateId accept = dfa.add_state(true);
+  const Dfa::StateId sink = dfa.add_state(false);
+  for (unsigned s = 0; s < num_symbols; ++s) {
+    dfa.set_transition(accept, static_cast<Symbol>(s), sink);
+    dfa.set_transition(sink, static_cast<Symbol>(s), sink);
+  }
+  dfa.set_start(accept);
+
+  CorpusEntry e;
+  e.name = "edge/empty-string-only,k=" + std::to_string(num_symbols);
+  e.num_symbols = num_symbols;
+  e.dfa = std::move(dfa);
+  e.inputs = make_inputs(0xE2, num_symbols, 6, 32);
+  return e;
+}
+
+std::vector<CorpusEntry> make_corpus(const CorpusOptions& options) {
+  std::vector<CorpusEntry> corpus;
+  SplitMix64 seeder(options.seed);
+
+  if (options.include_edge_cases) {
+    corpus.push_back(empty_language_entry());
+    corpus.push_back(universal_language_entry());
+    corpus.push_back(empty_string_only_entry());
+    // 1-symbol alphabet: an SFA over |Σ|=1 is a single cycle with a tail —
+    // degenerate transposition width.
+    corpus.push_back(random_dfa_entry(seeder.next(), 7, 1, options));
+    // Full 256-symbol alphabet: Symbol is uint8_t, so 256 is the widest the
+    // cell kernels can see; keep the DFA tiny to bound the SFA.
+    corpus.push_back(random_dfa_entry(seeder.next(), 4, 256, options));
+    {
+      // r-benchmark: one exact literal, error-sink-dominated (§III-C).
+      const std::uint64_t seed = seeder.next();
+      CorpusEntry e;
+      e.name = "edge/r-benchmark,len=12";
+      e.seed = seed;
+      e.dfa = make_r_benchmark_dfa(12, seed);
+      e.num_symbols = e.dfa.num_symbols();
+      e.inputs = make_inputs(seed, e.num_symbols, options.inputs_per_entry,
+                             options.max_input_length);
+      e.regenerate = [seed](std::uint32_t n) {
+        return make_r_benchmark_dfa(std::max<std::uint32_t>(n, 3) - 2, seed);
+      };
+      corpus.push_back(std::move(e));
+    }
+  }
+
+  // Random DFAs across the (n, k) grid.  Random transformation monoids are
+  // typically near n^n, so large (n, k) combos essentially never fit the SFA
+  // budget — shrink n on repeated rejection to guarantee termination (n=2
+  // always fits: at most 2^2 mappings).
+  static constexpr unsigned kAlphabets[] = {2, 3, 4, 6, 8};
+  for (std::size_t i = 0; i < options.random_dfa_entries; ++i) {
+    const unsigned k = kAlphabets[i % (sizeof(kAlphabets) / sizeof(*kAlphabets))];
+    std::uint32_t n = static_cast<std::uint32_t>(2 + (i * 7919) % 9);
+    for (unsigned attempt = 0;; ++attempt) {
+      CorpusEntry e = random_dfa_entry(seeder.next(), n, k, options);
+      if (!sfa_within_budget(e.dfa, options.max_sfa_states)) {
+        if (attempt % 2 == 1 && n > 2) --n;
+        continue;
+      }
+      corpus.push_back(std::move(e));
+      break;
+    }
+  }
+
+  // Random regexes over DNA, compiled through the full pipeline
+  // (parse -> Thompson NFA -> subset construction -> Hopcroft -> complete).
+  const Alphabet& dna = Alphabet::dna();
+  std::size_t regex_fails = 0;
+  for (std::size_t i = 0; i < options.regex_entries;) {
+    const std::uint64_t seed = seeder.next();
+    Xoshiro256 rng(seed);
+    static const char charset[] = "ACGTACGTACGT|*+?.()";
+    // Shorter patterns after repeated budget rejections: termination.
+    const std::size_t max_len = 10 - std::min<std::size_t>(regex_fails / 4, 8);
+    std::string pattern(1 + rng.below(max_len), ' ');
+    for (auto& c : pattern) c = charset[rng.below(sizeof(charset) - 1)];
+    Dfa dfa(1);
+    try {
+      dfa = compile_pattern(pattern, dna);
+    } catch (const RegexParseError&) {
+      continue;  // try the next seed; deterministic either way
+    }
+    if (!sfa_within_budget(dfa, options.max_sfa_states)) {
+      ++regex_fails;
+      continue;
+    }
+    CorpusEntry e;
+    e.name = "regex/seed=" + std::to_string(seed) + ",'" + pattern + "'";
+    e.seed = seed;
+    e.num_symbols = dna.size();
+    e.dfa = std::move(dfa);
+    e.inputs = make_inputs(seed ^ 0xABCD, dna.size(), options.inputs_per_entry,
+                           options.max_input_length);
+    corpus.push_back(std::move(e));
+    ++i;
+  }
+
+  // Synthetic PROSITE motifs over the 20-letter amino alphabet.
+  SyntheticPatternOptions popt;
+  popt.min_elements = 2;
+  popt.max_elements = 4;
+  popt.max_repeat = 2;
+  std::size_t prosite_fails = 0;
+  for (std::size_t i = 0; i < options.prosite_entries;) {
+    const std::uint64_t seed = seeder.next();
+    // Simpler motifs after repeated budget rejections: termination.
+    popt.max_elements = prosite_fails < 8 ? 4 : 2;
+    const std::string pattern = synthetic_prosite_pattern(seed, popt);
+    Dfa dfa(1);
+    try {
+      dfa = compile_prosite(pattern);
+    } catch (const PrositeParseError&) {
+      continue;
+    }
+    if (!sfa_within_budget(dfa, options.max_sfa_states)) {
+      ++prosite_fails;
+      continue;
+    }
+    CorpusEntry e;
+    e.name = "prosite/seed=" + std::to_string(seed) + ",'" + pattern + "'";
+    e.seed = seed;
+    e.num_symbols = Alphabet::amino().size();
+    e.dfa = std::move(dfa);
+    e.inputs = make_inputs(seed ^ 0x50F7, e.num_symbols,
+                           options.inputs_per_entry, options.max_input_length);
+    corpus.push_back(std::move(e));
+    ++i;
+  }
+
+  // Literal pattern sets (classic-matcher cross-checks).  Alternate between
+  // uniform-length sets (Rabin–Karp applies) and mixed-length sets.
+  for (std::size_t i = 0; i < options.literal_entries; ++i) {
+    const unsigned k = 2 + static_cast<unsigned>(i % 4) * 2;  // 2,4,6,8
+    const bool uniform = (i % 2) == 0;
+    std::size_t num_patterns = 1 + i % 4, pattern_length = 2 + i % 4;
+    for (unsigned attempt = 0;; ++attempt) {
+      CorpusEntry e = literal_entry(seeder.next(), k, num_patterns,
+                                    pattern_length, uniform, options);
+      if (!sfa_within_budget(e.dfa, options.max_sfa_states)) {
+        // Smaller pattern sets after repeated rejections: termination.
+        if (attempt % 2 == 1) {
+          if (pattern_length > 1)
+            --pattern_length;
+          else if (num_patterns > 1)
+            --num_patterns;
+        }
+        continue;
+      }
+      corpus.push_back(std::move(e));
+      break;
+    }
+  }
+
+  return corpus;
+}
+
+}  // namespace testing
+}  // namespace sfa

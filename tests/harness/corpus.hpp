@@ -1,0 +1,81 @@
+// Seeded differential-test corpora (docs/TESTING.md).
+//
+// A corpus entry bundles one complete DFA with a set of test inputs and
+// enough provenance to reproduce and shrink it: the seed it was generated
+// from, an optional regeneration hook (smaller instances of the same family,
+// used by the oracle's DFA-size shrink loop), and — for entries whose DFA is
+// the match-anywhere automaton of a literal pattern set — the patterns
+// themselves, which let the oracle cross-check the classic matchers
+// (Aho–Corasick, Boyer–Moore, Rabin–Karp) against the DFA/SFA results.
+//
+// Families: seeded random DFAs (arbitrary transition structure), random
+// regexes over the DNA alphabet, synthetic PROSITE motifs, literal pattern
+// sets, the r-benchmark DFA, and the |Σ|/language edge cases the builders
+// historically get wrong (1-symbol and 256-symbol alphabets, the empty
+// language, Σ*, and the empty-string-only language).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+namespace testing {
+
+struct CorpusEntry {
+  std::string name;      // stable human-readable id, e.g. "rand/seed=7,n=9,k=4"
+  std::uint64_t seed = 0;
+  unsigned num_symbols = 0;
+  Dfa dfa{1};
+  /// Deterministic test inputs (always includes the empty input).
+  std::vector<std::vector<Symbol>> inputs;
+  /// Non-empty when `dfa` is the match-anywhere automaton of these literal
+  /// patterns (symbol-encoded); enables the classic-matcher cross-checks.
+  std::vector<std::vector<Symbol>> literal_patterns;
+  /// Regenerates a smaller instance of the same family (same alphabet, fewer
+  /// DFA states) for the oracle's shrink loop; null for fixed entries.
+  std::function<Dfa(std::uint32_t num_states)> regenerate;
+};
+
+struct CorpusOptions {
+  std::uint64_t seed = 1;
+  std::size_t random_dfa_entries = 25;
+  std::size_t regex_entries = 8;
+  std::size_t prosite_entries = 5;
+  std::size_t literal_entries = 10;
+  bool include_edge_cases = true;  // |Σ|∈{1,256}, ∅, Σ*, {ε}, r-benchmark
+  std::size_t inputs_per_entry = 10;
+  std::size_t max_input_length = 96;
+  /// Entries whose SFA would exceed this many states are regenerated with a
+  /// different seed (keeps every builder variant fast and in memory).
+  std::uint64_t max_sfa_states = 4096;
+};
+
+/// Deterministic: the same options always yield the same corpus.
+std::vector<CorpusEntry> make_corpus(const CorpusOptions& options = {});
+
+// --- Individual families (for tests that want one specific shape) ---------
+
+CorpusEntry random_dfa_entry(std::uint64_t seed, std::uint32_t num_states,
+                             unsigned num_symbols,
+                             const CorpusOptions& options = {});
+CorpusEntry literal_entry(std::uint64_t seed, unsigned num_symbols,
+                          std::size_t num_patterns, std::size_t pattern_length,
+                          bool uniform_length,
+                          const CorpusOptions& options = {});
+CorpusEntry empty_language_entry(unsigned num_symbols = 2);
+CorpusEntry universal_language_entry(unsigned num_symbols = 2);
+CorpusEntry empty_string_only_entry(unsigned num_symbols = 2);
+
+/// Deterministic random inputs over a k-symbol alphabet; the first input is
+/// always empty and lengths sweep 1 .. max_length.
+std::vector<std::vector<Symbol>> make_inputs(std::uint64_t seed, unsigned k,
+                                             std::size_t count,
+                                             std::size_t max_length);
+
+}  // namespace testing
+}  // namespace sfa

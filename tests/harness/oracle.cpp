@@ -1,0 +1,464 @@
+#include "harness/oracle.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sfa/classic/aho_corasick.hpp"
+#include "sfa/classic/boyer_moore.hpp"
+#include "sfa/classic/rabin_karp.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace testing {
+
+std::vector<BuilderVariant> default_variants() {
+  std::vector<BuilderVariant> v;
+  v.push_back({"baseline", BuildMethod::kBaseline, {}});
+  v.push_back({"hashed", BuildMethod::kHashed, {}});
+  v.push_back({"transposed", BuildMethod::kTransposed, {}});
+  {
+    BuildOptions o;
+    o.num_threads = 1;
+    v.push_back({"parallel-t1", BuildMethod::kParallel, o});
+  }
+  {
+    BuildOptions o;
+    o.num_threads = 4;
+    v.push_back({"parallel-t4", BuildMethod::kParallel, o});
+  }
+  {
+    // Force the three-phase compression rendezvous (§III-C): a tiny memory
+    // threshold flips the phase almost immediately.
+    BuildOptions o;
+    o.num_threads = 3;
+    o.memory_threshold_bytes = 1u << 12;
+    v.push_back({"parallel-compress", BuildMethod::kParallel, o});
+  }
+  v.push_back({"probabilistic", BuildMethod::kProbabilistic, {}});
+  return v;
+}
+
+std::string format_input(const std::vector<Symbol>& input) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (i) os << ' ';
+    os << static_cast<unsigned>(input[i]);
+  }
+  os << ']';
+  return os.str();
+}
+
+std::string Divergence::reproducer() const {
+  std::ostringstream os;
+  os << "variant=" << variant << " entry='" << entry << "' kind=" << kind
+     << " seed=" << seed << " dfa_states=" << dfa_states << " input(len="
+     << input.size() << ", was " << original_input_length
+     << ")=" << format_input(input) << " :: " << detail;
+  return os.str();
+}
+
+Oracle::Oracle(OracleOptions options, std::vector<BuilderVariant> variants)
+    : options_(options), variants_(std::move(variants)) {}
+
+// --- layer 1: product walk ---------------------------------------------------
+
+std::optional<Divergence> Oracle::product_walk(const CorpusEntry& entry,
+                                               const Sfa& sfa,
+                                               const std::string& variant) const {
+  const Dfa& dfa = entry.dfa;
+  const unsigned k = dfa.num_symbols();
+  const auto key = [](std::uint32_t s, std::uint32_t q) {
+    return (static_cast<std::uint64_t>(s) << 32) | q;
+  };
+  struct Edge {
+    std::uint64_t parent;
+    Symbol symbol;
+  };
+  std::unordered_map<std::uint64_t, Edge> visited;
+
+  const std::uint64_t root = key(sfa.start(), dfa.start());
+  visited.emplace(root, Edge{root, 0});
+  std::deque<std::uint64_t> frontier{root};
+
+  const auto mismatch_at = [&](std::uint64_t at) {
+    // Reconstruct the word leading to this pair — BFS order makes it the
+    // SHORTEST diverging input.
+    std::vector<Symbol> word;
+    for (std::uint64_t cur = at; cur != root; cur = visited.at(cur).parent)
+      word.push_back(visited.at(cur).symbol);
+    std::reverse(word.begin(), word.end());
+
+    Divergence d;
+    d.variant = variant;
+    d.entry = entry.name;
+    d.kind = "acceptance";
+    d.seed = entry.seed;
+    d.dfa_states = dfa.size();
+    d.input = word;
+    d.original_input_length = word.size();
+    std::ostringstream os;
+    os << "SFA state " << (at >> 32) << " accepting="
+       << sfa.accepting(static_cast<Sfa::StateId>(at >> 32)) << " but DFA state "
+       << (at & 0xFFFFFFFFu) << " accepting="
+       << dfa.accepting(static_cast<Dfa::StateId>(at & 0xFFFFFFFFu));
+    d.detail = os.str();
+    return d;
+  };
+
+  if (sfa.accepting(sfa.start()) != dfa.accepting(dfa.start()))
+    return mismatch_at(root);
+
+  while (!frontier.empty()) {
+    const std::uint64_t cur = frontier.front();
+    frontier.pop_front();
+    const auto s = static_cast<Sfa::StateId>(cur >> 32);
+    const auto q = static_cast<Dfa::StateId>(cur & 0xFFFFFFFFu);
+    for (unsigned sym = 0; sym < k; ++sym) {
+      const Sfa::StateId s2 = sfa.transition(s, static_cast<Symbol>(sym));
+      const Dfa::StateId q2 = dfa.transition(q, static_cast<Symbol>(sym));
+      const std::uint64_t next = key(s2, q2);
+      if (visited.emplace(next, Edge{cur, static_cast<Symbol>(sym)}).second) {
+        if (sfa.accepting(s2) != dfa.accepting(q2)) return mismatch_at(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- layer 2: structural audit ----------------------------------------------
+
+std::optional<Divergence> Oracle::structural(const CorpusEntry& entry,
+                                             const Sfa& sfa,
+                                             const std::string& variant) const {
+  if (!sfa.has_mappings()) return std::nullopt;
+  const Dfa& dfa = entry.dfa;
+  const std::uint32_t n = dfa.size();
+  const unsigned k = dfa.num_symbols();
+
+  const auto fail = [&](const std::string& what) {
+    Divergence d;
+    d.variant = variant;
+    d.entry = entry.name;
+    d.kind = "structural";
+    d.detail = what;
+    d.seed = entry.seed;
+    d.dfa_states = n;
+    return d;
+  };
+
+  std::vector<std::uint32_t> f_s, f_t;
+  sfa.mapping(sfa.start(), f_s);
+  for (std::uint32_t q = 0; q < n; ++q)
+    if (f_s[q] != q)
+      return fail("start mapping is not the identity at q=" + std::to_string(q));
+
+  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s) {
+    sfa.mapping(s, f_s);
+    const bool want_accept = dfa.accepting(f_s[dfa.start()]);
+    if (sfa.accepting(s) != want_accept)
+      return fail("state " + std::to_string(s) + ": accepting flag " +
+                  std::to_string(sfa.accepting(s)) + " but f_s(q0) maps to " +
+                  (want_accept ? "an accepting" : "a rejecting") + " DFA state");
+    for (unsigned sym = 0; sym < k; ++sym) {
+      const Sfa::StateId t = sfa.transition(s, static_cast<Symbol>(sym));
+      sfa.mapping(t, f_t);
+      for (std::uint32_t q = 0; q < n; ++q) {
+        const Dfa::StateId expect =
+            dfa.transition(f_s[q], static_cast<Symbol>(sym));
+        if (f_t[q] != expect)
+          return fail("delta_s(" + std::to_string(s) + ", " +
+                      std::to_string(sym) + ") = " + std::to_string(t) +
+                      " but f(q=" + std::to_string(q) + ") is " +
+                      std::to_string(f_t[q]) + ", expected " +
+                      std::to_string(expect));
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+// --- layer 3: matcher differential -------------------------------------------
+
+std::optional<std::string> Oracle::input_divergence(
+    const CorpusEntry& entry, const Sfa& sfa,
+    const std::vector<Symbol>& input) const {
+  const Dfa& dfa = entry.dfa;
+  std::ostringstream os;
+
+  // Reference: the sequential DFA run (Fig. 1c).
+  const MatchResult ref = match_sequential(dfa, input);
+
+  // Sequential SFA run — acceptance via the F_s flag, no mappings needed.
+  const Sfa::StateId s_final =
+      sfa.run(sfa.start(), input.data(), input.size());
+  if (sfa.accepting(s_final) != ref.accepted) {
+    os << "sequential SFA accepting=" << sfa.accepting(s_final)
+       << " vs DFA accepted=" << ref.accepted;
+    return os.str();
+  }
+
+  if (sfa.has_mappings()) {
+    const MatchResult seq = match_sfa_sequential(sfa, input);
+    if (seq.accepted != ref.accepted ||
+        seq.final_dfa_state != ref.final_dfa_state) {
+      os << "match_sfa_sequential (" << seq.accepted << ", q="
+         << seq.final_dfa_state << ") vs DFA (" << ref.accepted << ", q="
+         << ref.final_dfa_state << ")";
+      return os.str();
+    }
+    for (unsigned t = 2; t <= options_.match_threads; ++t) {
+      const MatchResult par = match_sfa_parallel(sfa, input, t);
+      if (par.accepted != ref.accepted ||
+          par.final_dfa_state != ref.final_dfa_state) {
+        os << "match_sfa_parallel(threads=" << t << ") (" << par.accepted
+           << ", q=" << par.final_dfa_state << ") vs DFA (" << ref.accepted
+           << ", q=" << ref.final_dfa_state << ")";
+        return os.str();
+      }
+    }
+
+    const std::size_t ref_count =
+        dfa.count_accepting_prefixes(input.data(), input.size());
+    const std::size_t par_count =
+        count_matches_parallel(sfa, dfa, input, options_.match_threads);
+    if (par_count != ref_count) {
+      os << "count_matches_parallel=" << par_count
+         << " vs count_accepting_prefixes=" << ref_count;
+      return os.str();
+    }
+
+    std::size_t ref_first = kNoMatch;
+    {
+      Dfa::StateId q = dfa.start();
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        q = dfa.transition(q, input[i]);
+        if (dfa.accepting(q)) {
+          ref_first = i + 1;
+          break;
+        }
+      }
+    }
+    const std::size_t par_first =
+        find_first_match_parallel(sfa, dfa, input, options_.match_threads);
+    if (par_first != ref_first) {
+      os << "find_first_match_parallel=" << par_first << " vs reference scan="
+         << ref_first;
+      return os.str();
+    }
+  }
+
+  // Classic matchers, when the DFA is the match-anywhere automaton of a
+  // literal pattern set.  AhoCorasick::to_dfa() has ABSORBING semantics
+  // (accepting = "a match ended at or before this position"), so the DFA's
+  // accepting positions must be exactly the suffix of positions from the
+  // first Aho–Corasick match end onward.
+  if (!entry.literal_patterns.empty()) {
+    const unsigned k = dfa.num_symbols();
+    const AhoCorasick ac(entry.literal_patterns, k);
+
+    std::set<std::size_t> dfa_ends;
+    {
+      Dfa::StateId q = dfa.start();
+      for (std::size_t i = 0; i < input.size(); ++i) {
+        q = dfa.transition(q, input[i]);
+        if (dfa.accepting(q)) dfa_ends.insert(i + 1);
+      }
+    }
+    const auto ac_matches = ac.find_all(input.data(), input.size());
+    std::set<std::size_t> ac_ends;
+    for (const auto& m : ac_matches) ac_ends.insert(m.end_position);
+    std::set<std::size_t> absorbed;
+    if (!ac_ends.empty())
+      for (std::size_t i = *ac_ends.begin(); i <= input.size(); ++i)
+        absorbed.insert(i);
+    if (absorbed != dfa_ends) {
+      os << "Aho-Corasick first match end "
+         << (ac_ends.empty() ? std::string("none")
+                             : std::to_string(*ac_ends.begin()))
+         << " inconsistent with DFA accepting positions ("
+         << dfa_ends.size() << " of " << input.size() << ")";
+      return os.str();
+    }
+
+    for (std::size_t p = 0; p < entry.literal_patterns.size(); ++p) {
+      const auto& pat = entry.literal_patterns[p];
+      const BoyerMoore bm(pat, k);
+      std::set<std::size_t> bm_ends;
+      for (std::size_t at : bm.find_all(input.data(), input.size()))
+        bm_ends.insert(at + pat.size());
+      std::set<std::size_t> ac_pat_ends;
+      for (const auto& m : ac_matches)
+        if (m.pattern == p) ac_pat_ends.insert(m.end_position);
+      if (bm_ends != ac_pat_ends) {
+        os << "Boyer-Moore ends for pattern " << p << " ("
+           << bm_ends.size() << ") differ from Aho-Corasick ("
+           << ac_pat_ends.size() << ")";
+        return os.str();
+      }
+    }
+
+    const std::size_t m0 = entry.literal_patterns.front().size();
+    const bool uniform = std::all_of(
+        entry.literal_patterns.begin(), entry.literal_patterns.end(),
+        [&](const auto& p) { return p.size() == m0; });
+    if (uniform) {
+      const RabinKarp rk(entry.literal_patterns, k);
+      std::set<std::pair<std::size_t, std::uint32_t>> rk_hits, ac_hits;
+      for (const auto& m : rk.find_all(input.data(), input.size()))
+        rk_hits.insert({m.position + m0, m.pattern});
+      for (const auto& m : ac_matches)
+        ac_hits.insert({m.end_position, m.pattern});
+      if (rk_hits != ac_hits) {
+        os << "Rabin-Karp (end,pattern) pairs (" << rk_hits.size()
+           << ") differ from Aho-Corasick (" << ac_hits.size() << ")";
+        return os.str();
+      }
+    }
+  }
+
+  return std::nullopt;
+}
+
+std::optional<Divergence> Oracle::matcher_differential(
+    const CorpusEntry& entry, const Sfa& sfa,
+    const std::string& variant) const {
+  std::vector<std::vector<Symbol>> probes = entry.inputs;
+  if (options_.probe_inputs > 0 && entry.num_symbols > 0) {
+    auto extra =
+        make_inputs(options_.probe_seed ^ entry.seed, entry.num_symbols,
+                    options_.probe_inputs, options_.max_probe_length);
+    // Force one maximum-length probe so the true multi-chunk parallel
+    // matching path runs (it falls back to sequential on short inputs).
+    Xoshiro256 rng(options_.probe_seed ^ entry.seed ^ 0xFACE);
+    std::vector<Symbol> longest(options_.max_probe_length);
+    for (auto& s : longest) s = static_cast<Symbol>(rng.below(entry.num_symbols));
+    extra.push_back(std::move(longest));
+    probes.insert(probes.end(), extra.begin(), extra.end());
+  }
+
+  for (const auto& input : probes) {
+    if (auto detail = input_divergence(entry, sfa, input)) {
+      Divergence d;
+      d.variant = variant;
+      d.entry = entry.name;
+      d.kind = "matcher";
+      d.detail = *detail;
+      d.seed = entry.seed;
+      d.dfa_states = entry.dfa.size();
+      d.input = input;
+      d.original_input_length = input.size();
+      if (options_.shrink) shrink_input(entry, sfa, d);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+// --- shrinking ---------------------------------------------------------------
+
+void Oracle::shrink_input(const CorpusEntry& entry, const Sfa& sfa,
+                          Divergence& d) const {
+  std::size_t rounds = 0;
+  const auto diverges = [&](const std::vector<Symbol>& candidate) {
+    ++rounds;
+    return input_divergence(entry, sfa, candidate).has_value();
+  };
+
+  // Greedy delta-debugging: delete windows of shrinking size while the
+  // divergence persists.
+  std::vector<Symbol> best = d.input;
+  for (std::size_t window = std::max<std::size_t>(best.size() / 2, 1);
+       window >= 1; window /= 2) {
+    bool progress = true;
+    while (progress && rounds < options_.max_shrink_rounds) {
+      progress = false;
+      for (std::size_t at = 0; at + window <= best.size();) {
+        std::vector<Symbol> candidate = best;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                        candidate.begin() + static_cast<std::ptrdiff_t>(at + window));
+        if (diverges(candidate)) {
+          best = std::move(candidate);
+          progress = true;
+        } else {
+          at += window;
+        }
+        if (rounds >= options_.max_shrink_rounds) break;
+      }
+    }
+    if (window == 1) break;
+  }
+  if (diverges(best)) {
+    // Refresh the detail to describe the minimized input.
+    if (auto detail = input_divergence(entry, sfa, best)) d.detail = *detail;
+    d.input = std::move(best);
+  }
+  d.shrink_steps = rounds;
+}
+
+void Oracle::shrink_dfa(const CorpusEntry& entry,
+                        const BuilderVariant& variant, Divergence& d) const {
+  if (!entry.regenerate) return;
+  for (std::uint32_t n = entry.dfa.size() / 2; n >= 1; n /= 2) {
+    CorpusEntry smaller = entry;
+    smaller.dfa = entry.regenerate(n);
+    smaller.name = entry.name + " (shrunk to n=" + std::to_string(smaller.dfa.size()) + ")";
+    Sfa sfa;
+    try {
+      sfa = build_sfa(smaller.dfa, variant.method, variant.options);
+    } catch (const std::exception&) {
+      break;  // smaller instance does not build; keep the current reproducer
+    }
+    std::optional<Divergence> again = check_sfa(smaller, sfa, variant.name);
+    if (!again) break;  // divergence vanished at this size; stop shrinking
+    again->shrink_steps += d.shrink_steps + 1;
+    again->original_input_length =
+        std::max(d.original_input_length, again->original_input_length);
+    d = *again;
+    if (n == 1) break;
+  }
+}
+
+// --- public entry points -----------------------------------------------------
+
+std::optional<Divergence> Oracle::check_sfa(const CorpusEntry& entry,
+                                            const Sfa& sfa,
+                                            const std::string& variant_name) const {
+  if (auto d = product_walk(entry, sfa, variant_name)) return d;
+  if (options_.structural_audit)
+    if (auto d = structural(entry, sfa, variant_name)) return d;
+  return matcher_differential(entry, sfa, variant_name);
+}
+
+std::optional<Divergence> Oracle::check(const CorpusEntry& entry) const {
+  for (const BuilderVariant& variant : variants_) {
+    Sfa sfa;
+    try {
+      sfa = build_sfa(entry.dfa, variant.method, variant.options);
+    } catch (const std::exception& e) {
+      Divergence d;
+      d.variant = variant.name;
+      d.entry = entry.name;
+      d.kind = "build";
+      d.detail = std::string("builder threw: ") + e.what();
+      d.seed = entry.seed;
+      d.dfa_states = entry.dfa.size();
+      return d;
+    }
+    if (auto d = check_sfa(entry, sfa, variant.name)) {
+      if (options_.shrink) shrink_dfa(entry, variant, *d);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace testing
+}  // namespace sfa

@@ -1,0 +1,116 @@
+// Differential-testing oracle for SFA construction and matching
+// (docs/TESTING.md).
+//
+// Every registered builder variant is run on the same corpus entry and
+// cross-checked against the plain-DFA reference and against the classic
+// matchers.  Three layers of checking, cheapest-complete first:
+//
+//   1. Product walk: BFS over reachable (SFA state, DFA state) pairs under
+//      the same word.  Any acceptance disagreement yields the SHORTEST
+//      diverging input by construction — a minimal reproducer for free.
+//      This is a complete decision procedure for acceptance equivalence.
+//   2. Structural audit (when mappings are retained): f_start = identity and
+//      f_{δs(s,σ)}(q) = δ(f_s(q), σ) for every state, symbol and cell —
+//      catches mapping corruption that acceptance alone cannot see.
+//   3. Matcher differential: sequential DFA run vs sequential SFA run vs
+//      parallel SFA chunk composition vs parallel counting / first-match,
+//      plus Aho–Corasick / Boyer–Moore / Rabin–Karp on literal entries.
+//      Divergences found here are minimized by a greedy shrink loop over
+//      the input, and — for regenerable entries — over the DFA size.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa {
+namespace testing {
+
+struct BuilderVariant {
+  std::string name;
+  BuildMethod method;
+  BuildOptions options;
+};
+
+/// All builder variants under test: the four paper variants (the parallel
+/// one at 1 and 4 threads and once with the compression phase forced) plus
+/// the probabilistic builder.
+std::vector<BuilderVariant> default_variants();
+
+struct Divergence {
+  std::string variant;        // builder variant (or ad-hoc label)
+  std::string entry;          // corpus entry name
+  std::string kind;           // "acceptance" | "structural" | "matcher"
+  std::string detail;         // what disagreed with what
+  std::uint64_t seed = 0;     // corpus entry seed
+  std::vector<Symbol> input;  // minimized diverging input (may be empty)
+  std::size_t original_input_length = 0;  // before shrinking
+  std::uint32_t dfa_states = 0;           // after DFA-size shrinking
+  std::size_t shrink_steps = 0;
+
+  /// Human-readable reproduction recipe (seed, entry, minimized input).
+  std::string reproducer() const;
+};
+
+struct OracleOptions {
+  /// Extra random probe inputs per entry, on top of the entry's own.
+  std::size_t probe_inputs = 24;
+  /// ≥ 3*64 so match_sfa_parallel's real multi-chunk path runs (it falls
+  /// back to sequential below num_threads*64 symbols).
+  std::size_t max_probe_length = 224;
+  std::uint64_t probe_seed = 0xD1FFD1FF;
+  /// Thread counts exercised by the parallel matching checks.
+  unsigned match_threads = 3;
+  bool structural_audit = true;
+  bool shrink = true;
+  std::size_t max_shrink_rounds = 400;
+};
+
+class Oracle {
+ public:
+  explicit Oracle(OracleOptions options = {},
+                  std::vector<BuilderVariant> variants = default_variants());
+
+  const std::vector<BuilderVariant>& variants() const { return variants_; }
+
+  /// Build every registered variant on the entry's DFA and cross-check.
+  /// Returns the first divergence (minimized), or nullopt when all agree.
+  std::optional<Divergence> check(const CorpusEntry& entry) const;
+
+  /// Check one prebuilt SFA against the entry's DFA — used both internally
+  /// and by fault-injection tests that tamper with a built SFA.
+  std::optional<Divergence> check_sfa(const CorpusEntry& entry, const Sfa& sfa,
+                                      const std::string& variant_name) const;
+
+ private:
+  std::optional<Divergence> product_walk(const CorpusEntry& entry,
+                                         const Sfa& sfa,
+                                         const std::string& variant) const;
+  std::optional<Divergence> structural(const CorpusEntry& entry, const Sfa& sfa,
+                                       const std::string& variant) const;
+  std::optional<Divergence> matcher_differential(
+      const CorpusEntry& entry, const Sfa& sfa,
+      const std::string& variant) const;
+  /// First matcher-level disagreement on one input, unshrunk.
+  std::optional<std::string> input_divergence(const CorpusEntry& entry,
+                                              const Sfa& sfa,
+                                              const std::vector<Symbol>& input) const;
+  void shrink_input(const CorpusEntry& entry, const Sfa& sfa,
+                    Divergence& d) const;
+  void shrink_dfa(const CorpusEntry& entry, const BuilderVariant& variant,
+                  Divergence& d) const;
+
+  OracleOptions options_;
+  std::vector<BuilderVariant> variants_;
+};
+
+/// Format a symbol sequence as a compact reproducer string ("[3 1 0 2]").
+std::string format_input(const std::vector<Symbol>& input);
+
+}  // namespace testing
+}  // namespace sfa

@@ -1,0 +1,82 @@
+// Deterministic concurrency stress driver (docs/TESTING.md).
+//
+// Spawns a fixed team of threads and runs them through barrier-aligned
+// phases: within a phase all threads hammer the structure under test
+// concurrently; between phases everything is quiescent, which is where
+// invariants can be checked without racing the checks themselves.  Each
+// thread's operation sequence is drawn from its own Xoshiro256 stream seeded
+// from (seed, tid, phase), so a failing run is reproducible from the single
+// top-level seed even though the physical interleaving is up to the
+// scheduler.  Designed to run under the `tsan` preset: thread counts stay
+// high (≥8) while per-thread operation counts shrink via scaled_ops().
+#pragma once
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "sfa/concurrent/barrier.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace testing {
+
+struct StressOptions {
+  unsigned threads = 8;
+  std::uint64_t seed = 1;
+  /// Operations per thread per phase (pass through scaled_ops()).
+  std::uint64_t ops_per_thread = 4000;
+  unsigned phases = 3;
+};
+
+/// Sanitizer-aware workload scaling: instrumented builds interleave just as
+/// aggressively with far fewer operations, so CI sanitizer jobs stay fast.
+inline std::uint64_t scaled_ops(std::uint64_t requested) {
+#if defined(SFA_SANITIZE_THREAD)
+  return requested / 8 < 256 ? 256 : requested / 8;
+#elif defined(SFA_SANITIZE_ADDRESS) || defined(SFA_SANITIZE_UNDEFINED)
+  return requested / 4 < 256 ? 256 : requested / 4;
+#else
+  return requested;
+#endif
+}
+
+/// Deterministic per-(seed, tid, phase) RNG stream.
+inline Xoshiro256 stress_rng(std::uint64_t seed, unsigned tid, unsigned phase) {
+  SplitMix64 mix(seed);
+  const std::uint64_t a = mix.next(), b = mix.next();
+  return Xoshiro256(a ^ (b * (tid + 1)) ^ (0x9e3779b97f4a7c15ull * (phase + 1)));
+}
+
+/// Runs `body(tid, phase, rng)` for every thread and phase.  All threads
+/// enter a phase together and leave it together (SpinBarrier on both edges);
+/// `between(phase)` — if provided — runs on thread 0 alone while the world
+/// is stopped between phases, the place for invariant checks.
+template <typename Body, typename Between>
+void run_stress(const StressOptions& options, Body&& body, Between&& between) {
+  const unsigned team_size = options.threads == 0 ? 1 : options.threads;
+  SpinBarrier barrier(team_size);
+  std::vector<std::thread> team;
+  team.reserve(team_size);
+  for (unsigned tid = 0; tid < team_size; ++tid) {
+    team.emplace_back([&, tid] {
+      for (unsigned phase = 0; phase < options.phases; ++phase) {
+        barrier.wait();  // phase entry: everyone starts together
+        Xoshiro256 rng = stress_rng(options.seed, tid, phase);
+        body(tid, phase, rng);
+        barrier.wait();  // phase exit: quiescence
+        if (tid == 0) between(phase);
+        barrier.wait();  // release the world after the check
+      }
+    });
+  }
+  for (auto& th : team) th.join();
+}
+
+template <typename Body>
+void run_stress(const StressOptions& options, Body&& body) {
+  run_stress(options, std::forward<Body>(body), [](unsigned) {});
+}
+
+}  // namespace testing
+}  // namespace sfa

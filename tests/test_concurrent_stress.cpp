@@ -1,0 +1,264 @@
+// Deterministic concurrency stress for the lock-free substrate, built on the
+// tests/harness stress driver and sized to run meaningfully under the `tsan`
+// preset (8+ threads, barrier-aligned phases, seeded operation streams).
+// These tests are about *interleavings*: correctness assertions are made in
+// the quiescent windows between phases, where they cannot race the
+// structures they inspect.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "harness/stress.hpp"
+#include "sfa/concurrent/global_queue.hpp"
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/concurrent/mpmc_queue.hpp"
+#include "sfa/concurrent/ws_queue.hpp"
+
+namespace sfa {
+namespace {
+
+using testing::StressOptions;
+using testing::run_stress;
+using testing::scaled_ops;
+
+constexpr unsigned kThreads = 8;
+
+// ---- LockFreeHashSet --------------------------------------------------------
+
+struct StressNode {
+  std::atomic<StressNode*> next{nullptr};
+  std::uint64_t fp = 0;
+  std::uint64_t value = 0;
+};
+struct StressTraits {
+  static std::atomic<StressNode*>& next(StressNode& n) { return n.next; }
+  static std::uint64_t fingerprint(const StressNode& n) { return n.fp; }
+  static bool same_state(const StressNode& a, const StressNode& b) {
+    return a.value == b.value;
+  }
+};
+
+TEST(LockFreeHashSetStress, EightThreadInsertStorm) {
+  // All threads race to insert values from one overlapping range per phase;
+  // exactly one node per value may win, every value must be findable, and
+  // fingerprint collisions (fp = value % small) must never merge distinct
+  // values.
+  StressOptions opt;
+  opt.threads = kThreads;
+  opt.seed = 0x5717E55;
+  opt.ops_per_thread = scaled_ops(4000);
+  opt.phases = 3;
+
+  const std::uint64_t values_per_phase = opt.ops_per_thread / 2;
+  const std::uint64_t total_values = values_per_phase * opt.phases;
+
+  LockFreeHashSet<StressNode, StressTraits> set(128);  // deliberately small
+  std::vector<std::deque<StressNode>> pool(kThreads);
+  for (auto& p : pool) p.resize(opt.ops_per_thread * opt.phases);
+  std::vector<std::atomic<std::uint32_t>> win_count(total_values);
+  std::vector<std::atomic<std::uint32_t>> attempts(total_values);
+  for (auto& c : win_count) c.store(0);
+  for (auto& c : attempts) c.store(0);
+
+  run_stress(
+      opt,
+      [&](unsigned tid, unsigned phase, Xoshiro256& rng) {
+        std::size_t next_node = phase * opt.ops_per_thread;
+        for (std::uint64_t i = 0; i < opt.ops_per_thread; ++i) {
+          const std::uint64_t value =
+              phase * values_per_phase + rng.below(values_per_phase);
+          StressNode& node = pool[tid][next_node++];
+          node.value = value;
+          // Weak fingerprint on purpose: forces chains and the exhaustive
+          // same_state fallback on fingerprint collisions.
+          node.fp = value % 251;
+          attempts[value].fetch_add(1, std::memory_order_relaxed);
+          if (set.insert_if_absent(&node).inserted)
+            win_count[value].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      [&](unsigned phase) {
+        // Quiescent invariants over everything inserted so far.
+        for (std::uint64_t v = 0; v <= phase; ++v) {
+          for (std::uint64_t value = v * values_per_phase;
+               value < (v + 1) * values_per_phase; ++value) {
+            const std::uint32_t wins = win_count[value].load();
+            const std::uint32_t tried = attempts[value].load();
+            ASSERT_LE(wins, 1u) << "value " << value << " inserted twice";
+            ASSERT_EQ(wins, tried > 0 ? 1u : 0u) << "value " << value;
+            if (tried > 0) {
+              StressNode probe;
+              probe.value = value;
+              probe.fp = value % 251;
+              ASSERT_NE(set.find(probe.fp, probe), nullptr)
+                  << "value " << value << " vanished";
+            }
+          }
+        }
+      });
+  EXPECT_GT(set.counters.fp_collisions.load(), 0u);
+  EXPECT_GT(set.counters.duplicates.load(), 0u);
+}
+
+// ---- WorkStealingQueue ------------------------------------------------------
+
+TEST(WsQueueStress, EightThreadNearestVictimMesh) {
+  // The builder's topology: every thread owns a deque, pushes and pops its
+  // own work, and — when empty — steals from the nearest victim first,
+  // exactly the loop in build_parallel.cpp.  Every pushed item must be
+  // consumed exactly once across all threads.
+  StressOptions opt;
+  opt.threads = kThreads;
+  opt.seed = 0xD0DECA;
+  opt.ops_per_thread = scaled_ops(6000);
+  opt.phases = 3;
+
+  std::vector<WorkStealingQueue> queues(kThreads);
+  std::atomic<std::uint64_t> pushed_sum{0}, pushed_count{0};
+  std::atomic<std::uint64_t> consumed_sum{0}, consumed_count{0};
+
+  run_stress(
+      opt,
+      [&](unsigned tid, unsigned phase, Xoshiro256& rng) {
+        std::uint64_t seq = 0;
+        for (std::uint64_t i = 0; i < opt.ops_per_thread; ++i) {
+          const std::uint64_t dice = rng.below(10);
+          if (dice < 5) {
+            // Globally unique non-zero payload.
+            const std::uint64_t item =
+                (static_cast<std::uint64_t>(phase) << 40) |
+                (static_cast<std::uint64_t>(tid) << 32) | ++seq;
+            queues[tid].push(item);
+            pushed_sum.fetch_add(item, std::memory_order_relaxed);
+            pushed_count.fetch_add(1, std::memory_order_relaxed);
+          } else if (dice < 8) {
+            if (const auto v = queues[tid].pop()) {
+              consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+              consumed_count.fetch_add(1, std::memory_order_relaxed);
+            }
+          } else {
+            // Nearest victim first, as in ParallelBuilder::get_work.
+            for (unsigned d = 1; d < kThreads; ++d) {
+              if (const auto v = queues[(tid + d) % kThreads].steal()) {
+                consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+                consumed_count.fetch_add(1, std::memory_order_relaxed);
+                break;
+              }
+            }
+          }
+        }
+      },
+      [&](unsigned) {
+        // Drain whatever is left while the world is stopped, then the books
+        // must balance exactly.
+        for (auto& q : queues) {
+          while (const auto v = q.pop()) {
+            consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+            consumed_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ASSERT_EQ(pushed_count.load(), consumed_count.load());
+        ASSERT_EQ(pushed_sum.load(), consumed_sum.load());
+      });
+}
+
+// ---- MpmcQueue --------------------------------------------------------------
+
+TEST(MpmcQueueStress, EightThreadMixedProduceConsume) {
+  StressOptions opt;
+  opt.threads = kThreads;
+  opt.seed = 0x3A11AD;
+  opt.ops_per_thread = scaled_ops(4000);
+  opt.phases = 3;
+
+  MpmcQueue q;
+  std::atomic<std::uint64_t> pushed_sum{0}, pushed_count{0};
+  std::atomic<std::uint64_t> popped_sum{0}, popped_count{0};
+
+  run_stress(
+      opt,
+      [&](unsigned tid, unsigned phase, Xoshiro256& rng) {
+        std::uint64_t seq = 0;
+        for (std::uint64_t i = 0; i < opt.ops_per_thread; ++i) {
+          if (rng.below(2) == 0) {
+            const std::uint64_t item =
+                (static_cast<std::uint64_t>(phase) << 40) |
+                (static_cast<std::uint64_t>(tid) << 32) | ++seq;
+            q.enqueue(item);
+            pushed_sum.fetch_add(item, std::memory_order_relaxed);
+            pushed_count.fetch_add(1, std::memory_order_relaxed);
+          } else if (const auto v = q.dequeue()) {
+            popped_sum.fetch_add(*v, std::memory_order_relaxed);
+            popped_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      },
+      [&](unsigned) {
+        while (const auto v = q.dequeue()) {
+          popped_sum.fetch_add(*v, std::memory_order_relaxed);
+          popped_count.fetch_add(1, std::memory_order_relaxed);
+        }
+        ASSERT_EQ(pushed_count.load(), popped_count.load());
+        ASSERT_EQ(pushed_sum.load(), popped_sum.load());
+      });
+}
+
+// ---- GlobalQueue ------------------------------------------------------------
+
+TEST(GlobalQueueStress, EightThreadEnqueueThenPartitionedDrain) {
+  // Phase 0: all threads race CAS enqueues into one global queue.
+  // Phase 1: every thread drains its static partition; the union must be
+  // exactly the set of published items, each taken once.
+  StressOptions opt;
+  opt.threads = kThreads;
+  opt.seed = 0x61084;
+  opt.ops_per_thread = scaled_ops(2000);
+  opt.phases = 2;
+
+  const std::size_t capacity = kThreads * opt.ops_per_thread;
+  GlobalQueue q(capacity);
+  std::atomic<std::uint64_t> enqueued_sum{0}, enqueued_count{0};
+  std::atomic<std::uint64_t> taken_sum{0}, taken_count{0};
+
+  run_stress(
+      opt,
+      [&](unsigned tid, unsigned phase, Xoshiro256& rng) {
+        if (phase == 0) {
+          for (std::uint64_t i = 0; i < opt.ops_per_thread; ++i) {
+            // Some threads stop early (rng) so the partition is ragged.
+            if (rng.below(100) == 0) break;
+            const std::uint64_t item =
+                (static_cast<std::uint64_t>(tid) << 32) | (i + 1);
+            if (!q.try_enqueue(item)) break;
+            enqueued_sum.fetch_add(item, std::memory_order_relaxed);
+            enqueued_count.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          GlobalQueue::Cursor cursor(tid, kThreads);
+          bool exhausted = false;
+          for (;;) {
+            if (const auto v = cursor.take(q, exhausted)) {
+              taken_sum.fetch_add(*v, std::memory_order_relaxed);
+              taken_count.fetch_add(1, std::memory_order_relaxed);
+            } else if (exhausted) {
+              break;
+            }
+          }
+        }
+      },
+      [&](unsigned phase) {
+        if (phase == 0) {
+          ASSERT_EQ(q.size(), enqueued_count.load());
+          q.close();
+        } else {
+          ASSERT_EQ(taken_count.load(), enqueued_count.load());
+          ASSERT_EQ(taken_sum.load(), enqueued_sum.load());
+        }
+      });
+}
+
+}  // namespace
+}  // namespace sfa

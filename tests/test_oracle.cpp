@@ -1,0 +1,280 @@
+// Differential-oracle tests: every builder variant (baseline, hashed,
+// transposed, parallel x {1,4} threads, parallel+forced compression,
+// probabilistic) must agree with the plain-DFA reference and the classic
+// matchers on a ≥50-entry seeded corpus, including the |Σ| edge cases and
+// the degenerate languages.  Fault-injection tests prove the oracle actually
+// has teeth: a single flipped transition or corrupted mapping cell must be
+// reported with a minimized reproducer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "harness/oracle.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/match.hpp"
+
+namespace sfa {
+namespace {
+
+using testing::BuilderVariant;
+using testing::CorpusEntry;
+using testing::CorpusOptions;
+using testing::Divergence;
+using testing::Oracle;
+using testing::OracleOptions;
+using testing::default_variants;
+using testing::make_corpus;
+
+CorpusOptions scaled_corpus_options() {
+  CorpusOptions opt;
+#if defined(SFA_SANITIZE_THREAD) || defined(SFA_SANITIZE_ADDRESS)
+  // Sanitized runs keep the shapes but shrink the sweep (CI time budget);
+  // the unsanitized run covers the full ≥50-entry corpus.
+  opt.random_dfa_entries = 8;
+  opt.regex_entries = 3;
+  opt.prosite_entries = 2;
+  opt.literal_entries = 4;
+  opt.max_input_length = 48;
+#endif
+  return opt;
+}
+
+TEST(OracleCorpus, CoversRequiredShapes) {
+  const auto corpus = make_corpus();  // full corpus: cheap, no SFA builds
+  EXPECT_GE(corpus.size(), 50u);
+
+  const auto has = [&](const std::string& needle) {
+    return std::any_of(corpus.begin(), corpus.end(), [&](const CorpusEntry& e) {
+      return e.name.find(needle) != std::string::npos;
+    });
+  };
+  EXPECT_TRUE(has("k=1"));                  // 1-symbol alphabet
+  EXPECT_TRUE(has("k=256"));                // full uint8 alphabet
+  EXPECT_TRUE(has("empty-language"));
+  EXPECT_TRUE(has("empty-string-only"));
+  EXPECT_TRUE(has("universal"));
+  EXPECT_TRUE(has("literal/"));
+  EXPECT_TRUE(has("regex/"));
+  EXPECT_TRUE(has("prosite/"));
+  EXPECT_TRUE(has("r-benchmark"));
+
+  for (const CorpusEntry& e : corpus) {
+    EXPECT_TRUE(e.dfa.complete()) << e.name;
+    ASSERT_FALSE(e.inputs.empty()) << e.name;
+    EXPECT_TRUE(e.inputs.front().empty()) << e.name << ": first input must be ε";
+  }
+}
+
+TEST(OracleCorpus, DeterministicFromSeed) {
+  const auto a = make_corpus();
+  const auto b = make_corpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].inputs, b[i].inputs);
+  }
+}
+
+TEST(OracleDifferential, AllVariantsAgreeOnSeededCorpus) {
+  const auto corpus = make_corpus(scaled_corpus_options());
+  const Oracle oracle;
+  ASSERT_GE(oracle.variants().size(), 5u);  // all five builders represented
+  for (const CorpusEntry& entry : corpus) {
+    const auto d = oracle.check(entry);
+    EXPECT_FALSE(d.has_value()) << d->reproducer();
+  }
+}
+
+TEST(OracleDifferential, EdgeCaseAlphabets) {
+  const Oracle oracle;
+  for (const CorpusEntry& entry :
+       {testing::random_dfa_entry(11, 7, 1, {}),
+        testing::random_dfa_entry(12, 5, 2, {}),
+        testing::random_dfa_entry(13, 3, 256, {})}) {
+    const auto d = oracle.check(entry);
+    EXPECT_FALSE(d.has_value()) << d->reproducer();
+  }
+}
+
+TEST(OracleDifferential, DegenerateLanguages) {
+  const Oracle oracle;
+  for (const CorpusEntry& entry :
+       {testing::empty_language_entry(2), testing::empty_language_entry(1),
+        testing::universal_language_entry(3),
+        testing::empty_string_only_entry(2),
+        testing::empty_string_only_entry(1)}) {
+    const auto d = oracle.check(entry);
+    EXPECT_FALSE(d.has_value()) << d->reproducer();
+  }
+}
+
+// --- fault injection: the oracle must catch a deliberately broken SFA -------
+
+/// Rebuild an Sfa from public accessors, with a caller-supplied edit applied
+/// to the transition table / accepting flags / raw mappings.
+Sfa tampered_copy(const Sfa& sfa,
+                  const std::function<void(std::vector<Sfa::StateId>&,
+                                           std::vector<std::uint8_t>&,
+                                           std::vector<std::uint8_t>&)>& edit) {
+  const std::uint32_t states = sfa.num_states();
+  const unsigned k = sfa.num_symbols();
+  const std::uint32_t n = sfa.dfa_states();
+
+  std::vector<Sfa::StateId> delta(static_cast<std::size_t>(states) * k);
+  std::vector<std::uint8_t> accepting(states);
+  for (Sfa::StateId s = 0; s < states; ++s) {
+    accepting[s] = sfa.accepting(s) ? 1 : 0;
+    for (unsigned sym = 0; sym < k; ++sym)
+      delta[static_cast<std::size_t>(s) * k + sym] =
+          sfa.transition(s, static_cast<Symbol>(sym));
+  }
+  std::vector<std::uint8_t> dfa_accepting(n);
+  for (std::uint32_t q = 0; q < n; ++q)
+    dfa_accepting[q] = sfa.dfa_accepting(q) ? 1 : 0;
+  const ByteView raw = sfa.raw_mapping_store();
+  std::vector<std::uint8_t> mappings(raw.data(), raw.data() + raw.size());
+
+  edit(delta, accepting, mappings);
+
+  Sfa out;
+  out.init(n, k, sfa.cell_width(), sfa.dfa_start(), std::move(dfa_accepting));
+  out.set_start(sfa.start());
+  out.set_table(std::move(delta), std::move(accepting));
+  out.set_mappings_raw(std::move(mappings));
+  return out;
+}
+
+TEST(OracleFaultInjection, FlippedTransitionYieldsMinimizedReproducer) {
+  const CorpusEntry entry = testing::random_dfa_entry(97, 8, 3, {});
+  const Sfa sfa = build_sfa_transposed(entry.dfa);
+  ASSERT_GT(sfa.num_states(), 1u);
+
+  // Find a reachable (state, symbol) whose target can be redirected to a
+  // state with the OPPOSITE acceptance — guaranteed observable.
+  Sfa::StateId flip_s = 0;
+  unsigned flip_sym = 0;
+  Sfa::StateId flip_to = 0;
+  bool found = false;
+  std::vector<bool> reachable(sfa.num_states(), false);
+  std::deque<Sfa::StateId> bfs{sfa.start()};
+  reachable[sfa.start()] = true;
+  while (!bfs.empty() && !found) {
+    const Sfa::StateId s = bfs.front();
+    bfs.pop_front();
+    for (unsigned sym = 0; sym < sfa.num_symbols() && !found; ++sym) {
+      const Sfa::StateId t = sfa.transition(s, static_cast<Symbol>(sym));
+      if (!reachable[t]) {
+        reachable[t] = true;
+        bfs.push_back(t);
+      }
+      for (Sfa::StateId cand = 0; cand < sfa.num_states(); ++cand) {
+        if (sfa.accepting(cand) != sfa.accepting(t)) {
+          flip_s = s;
+          flip_sym = sym;
+          flip_to = cand;
+          found = true;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(found) << "SFA has no acceptance-distinguishable states";
+
+  const unsigned k = sfa.num_symbols();
+  const Sfa tampered = tampered_copy(
+      sfa, [&](std::vector<Sfa::StateId>& delta, std::vector<std::uint8_t>&,
+               std::vector<std::uint8_t>&) {
+        delta[static_cast<std::size_t>(flip_s) * k + flip_sym] = flip_to;
+      });
+
+  const Oracle oracle;
+  // Sanity: the untampered SFA is clean.
+  EXPECT_FALSE(oracle.check_sfa(entry, sfa, "intact").has_value());
+
+  const auto d = oracle.check_sfa(entry, tampered, "tampered");
+  ASSERT_TRUE(d.has_value()) << "oracle missed a flipped transition";
+  EXPECT_FALSE(d->reproducer().empty());
+  // The product walk reports the SHORTEST diverging word, so the reproducer
+  // is already minimal; it must actually reproduce the divergence.
+  if (d->kind == "acceptance") {
+    const auto& w = d->input;
+    const Sfa::StateId s_final = tampered.run(tampered.start(), w.data(), w.size());
+    EXPECT_NE(tampered.accepting(s_final), entry.dfa.accepts(w))
+        << "reproducer does not reproduce: " << d->reproducer();
+    EXPECT_LE(w.size(), static_cast<std::size_t>(sfa.num_states()) *
+                            entry.dfa.size())
+        << "not minimal: " << d->reproducer();
+  }
+}
+
+TEST(OracleFaultInjection, FlippedAcceptingFlagIsCaught) {
+  const CorpusEntry entry = testing::random_dfa_entry(101, 6, 4, {});
+  const Sfa sfa = build_sfa_hashed(entry.dfa);
+  ASSERT_GT(sfa.num_states(), 1u);
+
+  const Sfa tampered = tampered_copy(
+      sfa, [&](std::vector<Sfa::StateId>&, std::vector<std::uint8_t>& accepting,
+               std::vector<std::uint8_t>&) {
+        accepting[sfa.num_states() - 1] ^= 1;  // last created state
+      });
+
+  const auto d = Oracle().check_sfa(entry, tampered, "tampered");
+  ASSERT_TRUE(d.has_value()) << "oracle missed a flipped accepting flag";
+}
+
+TEST(OracleFaultInjection, CorruptedMappingShrinksToOneSymbol) {
+  // Corrupt the q0 cell of every state's mapping: acceptance stays coherent
+  // (the product walk passes), but every non-empty input now reports the
+  // wrong final DFA state — the matcher differential must catch it and the
+  // shrink loop must minimize the reproducer to a single symbol.
+  const CorpusEntry entry = testing::random_dfa_entry(131, 6, 3, {});
+  const Sfa sfa = build_sfa_transposed(entry.dfa);
+  const std::uint32_t n = sfa.dfa_states();
+  const unsigned width = sfa.cell_width();
+  const std::uint32_t q0 = sfa.dfa_start();
+
+  const Sfa tampered = tampered_copy(
+      sfa, [&](std::vector<Sfa::StateId>&, std::vector<std::uint8_t>&,
+               std::vector<std::uint8_t>& mappings) {
+        for (std::uint32_t s = 0; s < sfa.num_states(); ++s) {
+          std::uint8_t* cell =
+              mappings.data() + (static_cast<std::size_t>(s) * n + q0) * width;
+          std::uint32_t v = 0;
+          std::memcpy(&v, cell, width);
+          v = (v + 1) % n;
+          std::memcpy(cell, &v, width);
+        }
+      });
+
+  OracleOptions opt;
+  opt.structural_audit = false;  // leave detection to the matcher layer
+  const auto d = Oracle(opt).check_sfa(entry, tampered, "tampered");
+  ASSERT_TRUE(d.has_value()) << "oracle missed corrupted mappings";
+  EXPECT_EQ(d->kind, "matcher");
+  EXPECT_GT(d->shrink_steps, 0u) << "shrink loop did not run";
+  EXPECT_EQ(d->input.size(), 1u)
+      << "not minimized to one symbol: " << d->reproducer();
+  EXPECT_LE(d->input.size(), d->original_input_length);
+
+  // With the structural audit on, the same corruption is caught statically.
+  const auto ds = Oracle().check_sfa(entry, tampered, "tampered");
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->kind, "structural");
+}
+
+TEST(OracleFaultInjection, IntactSfaPassesAllLayers) {
+  const CorpusEntry entry = testing::random_dfa_entry(151, 5, 4, {});
+  for (const BuilderVariant& v : default_variants()) {
+    const Sfa sfa = build_sfa(entry.dfa, v.method, v.options);
+    EXPECT_FALSE(Oracle().check_sfa(entry, sfa, v.name).has_value()) << v.name;
+  }
+}
+
+}  // namespace
+}  // namespace sfa
