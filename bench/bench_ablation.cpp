@@ -34,6 +34,9 @@ int main(int argc, char** argv) {
   std::printf("== ablations (r%u + PROSITE PS00010, %u thread(s)) ==\n\n",
               r_length, threads);
 
+  bench::JsonReport report("ablation");
+  report.meta("threads", threads).meta("r_length", r_length);
+
   std::printf("(a) global-queue capacity (static start phase size):\n");
   {
     std::vector<std::vector<std::string>> table;
@@ -47,6 +50,12 @@ int main(int argc, char** argv) {
       table.push_back({with_commas(cap), fixed(secs, 3),
                        with_commas(stats.global_queue_states),
                        with_commas(stats.steals)});
+      report.add_row()
+          .set("section", "global_queue_capacity")
+          .set("capacity", cap)
+          .set("seconds", secs)
+          .set("global_states", stats.global_queue_states)
+          .set("steals", stats.steals);
     }
     std::printf("%s\n", render_table(table).c_str());
   }
@@ -65,6 +74,12 @@ int main(int argc, char** argv) {
       table.push_back({with_commas(buckets), fixed(secs, 3),
                        with_commas(stats.chain_traversals),
                        with_commas(stats.fingerprint_collisions)});
+      report.add_row()
+          .set("section", "hash_buckets")
+          .set("buckets", buckets)
+          .set("seconds", secs)
+          .set("chain_traversals", stats.chain_traversals)
+          .set("fp_collisions", stats.fingerprint_collisions);
     }
     std::printf("%s\n", render_table(table).c_str());
   }
@@ -90,6 +105,10 @@ int main(int argc, char** argv) {
         runs.push_back(t.seconds());
       }
       table.push_back({name, fixed(median_of(runs), 4)});
+      report.add_row()
+          .set("section", "transpose_method")
+          .set("method", name)
+          .set("seconds", median_of(runs));
     }
     std::printf("%s\n", render_table(table).c_str());
   }
@@ -107,6 +126,11 @@ int main(int argc, char** argv) {
       table.push_back({"exact (transposed)", fixed(t.seconds(), 3),
                        with_commas(stats.sfa_states),
                        human_bytes(stats.mapping_bytes_uncompressed), "-"});
+      report.add_row()
+          .set("section", "probabilistic")
+          .set("builder", "exact_transposed")
+          .set("seconds", t.seconds())
+          .set("sfa_states", stats.sfa_states);
     }
     {
       BuildStats stats;
@@ -116,6 +140,12 @@ int main(int argc, char** argv) {
                        with_commas(stats.sfa_states),
                        human_bytes(stats.mapping_bytes_stored),
                        human_bytes(stats.peak_frontier_bytes)});
+      report.add_row()
+          .set("section", "probabilistic")
+          .set("builder", "probabilistic")
+          .set("seconds", t.seconds())
+          .set("sfa_states", stats.sfa_states)
+          .set("peak_frontier_bytes", stats.peak_frontier_bytes);
     }
     std::printf("%s\n", render_table(table).c_str());
   }
@@ -124,5 +154,6 @@ int main(int argc, char** argv) {
               " contention at the start is worse than brief static service;\n"
               " §III-A: chained table sized to keep expected chain ~1;\n"
               " (d) is the fingerprint-only variant of §III-A, implemented)\n");
+  report.write();
   return 0;
 }

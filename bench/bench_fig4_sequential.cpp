@@ -65,6 +65,9 @@ int main(int argc, char** argv) {
   const auto workloads =
       bench::tractable_workloads(num_patterns, 50, max_states);
 
+  bench::JsonReport report("fig4_sequential");
+  report.meta("num_patterns", workloads.size()).meta("r_length", r_length);
+
   std::vector<std::vector<std::string>> table;
   table.push_back({"pattern", "DFA", "SFA states", "base(s)", "hash(s)",
                    "trans(s)", "hash x", "trans x"});
@@ -78,6 +81,15 @@ int main(int argc, char** argv) {
     table.push_back({r.id, std::to_string(r.dfa), with_commas(r.sfa),
                      fixed(r.t_base, 4), fixed(r.t_hash, 4),
                      fixed(r.t_trans, 4), fixed(sh, 2), fixed(st, 2)});
+    report.add_row()
+        .set("pattern", r.id)
+        .set("dfa_states", r.dfa)
+        .set("sfa_states", r.sfa)
+        .set("baseline_seconds", r.t_base)
+        .set("hashed_seconds", r.t_hash)
+        .set("transposed_seconds", r.t_trans)
+        .set("hashed_speedup", sh)
+        .set("transposed_speedup", st);
   }
   std::printf("%s\n", render_table(table).c_str());
 
@@ -120,5 +132,11 @@ int main(int argc, char** argv) {
   std::printf("  hashing     %8.3f s   (%.2fx)\n", th, tb / th);
   std::printf("  transposed  %8.3f s   (%.2fx)\n", tt, tb / tt);
   std::printf("(paper, r500 on Intel: 36.6 s / 10.6 s / 6.4 s — same ordering)\n");
+  report.meta("median_hashed_speedup", median_of(hash_speedups))
+      .meta("median_transposed_speedup", median_of(trans_speedups))
+      .meta("r_series_baseline_seconds", tb)
+      .meta("r_series_hashed_seconds", th)
+      .meta("r_series_transposed_seconds", tt);
+  report.write();
   return 0;
 }

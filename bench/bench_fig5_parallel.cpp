@@ -44,6 +44,10 @@ int main(int argc, char** argv) {
     table.push_back(std::move(header));
   }
 
+  bench::JsonReport report("fig5_parallel");
+  report.meta("num_patterns", workloads.size())
+      .meta("max_threads", max_threads);
+
   std::vector<std::vector<double>> speedups_per_threadcount(
       thread_counts.size());
   for (const auto& w : workloads) {
@@ -65,6 +69,13 @@ int main(int argc, char** argv) {
       const double speedup = t_seq / t_par;
       speedups_per_threadcount[i].push_back(speedup);
       row.push_back(fixed(speedup, 2));
+      report.add_row()
+          .set("pattern", w.id)
+          .set("sfa_states", w.sfa_states)
+          .set("threads", thread_counts[i])
+          .set("seq_seconds", t_seq)
+          .set("par_seconds", t_par)
+          .set("speedup", speedup);
     }
     table.push_back(std::move(row));
   }
@@ -76,8 +87,11 @@ int main(int argc, char** argv) {
     const auto mm = std::minmax_element(v.begin(), v.end());
     std::printf("  %3u threads: min %.2fx  median %.2fx  max %.2fx\n",
                 thread_counts[i], *mm.first, median_of(v), *mm.second);
+    report.meta("median_speedup_t" + std::to_string(thread_counts[i]),
+                median_of(v));
   }
   std::printf("(paper, Fig. 5: median 4.6-4.9x, max 46.1x @88t Intel / "
               "108.9x @64t AMD)\n");
+  report.write();
   return 0;
 }

@@ -3,13 +3,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sfa/automata/dfa.hpp"
 #include "sfa/core/build.hpp"
+#include "sfa/obs/json.hpp"
 #include "sfa/prosite/patterns.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/support/cpu.hpp"
 #include "sfa/support/rng.hpp"
 
 namespace sfa::bench {
@@ -72,5 +77,115 @@ inline unsigned arg_or(int argc, char** argv, int index, unsigned fallback) {
              ? static_cast<unsigned>(std::strtoul(argv[index], nullptr, 10))
              : fallback;
 }
+
+/// One key -> scalar field of a bench result row (string, integer, or
+/// floating point).
+struct Field {
+  enum class Kind { kString, kUint, kDouble };
+  std::string key;
+  Kind kind = Kind::kString;
+  std::string s;
+  std::uint64_t u = 0;
+  double d = 0;
+};
+
+/// An ordered bag of fields; `set` dispatches on the value type.
+class Fields {
+ public:
+  template <typename T>
+  Fields& set(const std::string& key, T&& value) {
+    Field f;
+    f.key = key;
+    using U = std::decay_t<T>;
+    if constexpr (std::is_floating_point_v<U>) {
+      f.kind = Field::Kind::kDouble;
+      f.d = static_cast<double>(value);
+    } else if constexpr (std::is_integral_v<U>) {
+      f.kind = Field::Kind::kUint;
+      f.u = static_cast<std::uint64_t>(value);
+    } else {
+      f.kind = Field::Kind::kString;
+      f.s = std::string(std::forward<T>(value));
+    }
+    fields_.push_back(std::move(f));
+    return *this;
+  }
+
+  const std::vector<Field>& items() const { return fields_; }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Machine-readable benchmark results (schema sfa-bench/1), written as
+/// BENCH_<name>.json into $SFA_BENCH_JSON_DIR (or the working directory).
+/// The human-readable tables on stdout stay the primary interface; this is
+/// the artifact CI archives so runs can be compared across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  /// Top-level metadata (args, workload sizes, summary statistics).
+  template <typename T>
+  JsonReport& meta(const std::string& key, T&& value) {
+    meta_.set(key, std::forward<T>(value));
+    return *this;
+  }
+
+  /// Append a result row; fill it via the returned reference.
+  Fields& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Write BENCH_<name>.json.  Never throws: benches should still print
+  /// their tables when the artifact directory is unwritable.
+  bool write() const {
+    const char* dir = std::getenv("SFA_BENCH_JSON_DIR");
+    const std::string path = (dir != nullptr && *dir != '\0')
+                                 ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                                 : "BENCH_" + name_ + ".json";
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    obs::JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "sfa-bench/1");
+    w.kv("bench", name_);
+    w.kv("cpu", cpu_model_name());
+    w.kv("hardware_threads", hardware_threads());
+    write_fields(w, meta_);
+    w.key("rows").begin_array();
+    for (const Fields& row : rows_) {
+      w.begin_object();
+      write_fields(w, row);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    os << '\n';
+    if (!os.good()) return false;
+    std::printf("bench json: %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  static void write_fields(obs::JsonWriter& w, const Fields& fields) {
+    for (const Field& f : fields.items()) {
+      w.key(f.key);
+      switch (f.kind) {
+        case Field::Kind::kString: w.value(std::string_view(f.s)); break;
+        case Field::Kind::kUint: w.value(f.u); break;
+        case Field::Kind::kDouble: w.value(f.d); break;
+      }
+    }
+  }
+
+  std::string name_;
+  Fields meta_;
+  std::vector<Fields> rows_;
+};
 
 }  // namespace sfa::bench

@@ -7,9 +7,45 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 namespace sfa {
+
+/// Power-of-two-bucketed distribution, embedded in the counter blocks so the
+/// lock-free substrates can record distributions (chain lengths, steal
+/// latencies) without depending on the obs layer.  Bucket semantics match
+/// obs::Histogram exactly — bucket 0 counts zeros, bucket i counts values in
+/// [2^(i-1), 2^i) — so the builders merge these into the metrics registry
+/// bucket-for-bucket (obs::Histogram::merge_buckets).
+struct Log2Histogram {
+  static constexpr int kBuckets = 64;  // full uint64 range, same as obs
+
+  std::atomic<std::uint64_t> buckets[kBuckets] = {};
+  std::atomic<std::uint64_t> sum{0};
+
+  static int bucket_index(std::uint64_t v) {
+    if (v == 0) return 0;
+    const int idx = std::bit_width(v);
+    return idx >= kBuckets ? kBuckets - 1 : idx;
+  }
+
+  void record(std::uint64_t v) {
+    buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (auto& b : buckets) b.store(0, std::memory_order_relaxed);
+    sum.store(0, std::memory_order_relaxed);
+  }
+};
 
 struct QueueCounters {
   std::atomic<std::uint64_t> pushes{0};
@@ -17,9 +53,14 @@ struct QueueCounters {
   std::atomic<std::uint64_t> steals{0};          // successful steals
   std::atomic<std::uint64_t> steal_failures{0};  // CAS lost or empty race
   std::atomic<std::uint64_t> cas_failures{0};    // any failed CAS retry
+  /// TSC cycles per contended steal attempt (successful or CAS-lost;
+  /// empty-queue probes are excluded — idle spinning would swamp the
+  /// distribution without measuring any contention).
+  Log2Histogram steal_cycles;
 
   void reset() {
     pushes = pops = steals = steal_failures = cas_failures = 0;
+    steal_cycles.reset();
   }
 };
 
@@ -29,9 +70,13 @@ struct HashSetCounters {
   std::atomic<std::uint64_t> fp_collisions{0};    // equal fp, different state
   std::atomic<std::uint64_t> cas_failures{0};
   std::atomic<std::uint64_t> chain_traversals{0}; // nodes compared
+  /// Bucket-chain length walked per insertion (the §III-A "expected chain
+  /// length ~1" claim, measured).
+  Log2Histogram chain_length;
 
   void reset() {
     inserts = duplicates = fp_collisions = cas_failures = chain_traversals = 0;
+    chain_length.reset();
   }
 };
 

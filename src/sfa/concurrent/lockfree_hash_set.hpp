@@ -49,14 +49,17 @@ class LockFreeHashSet {
     std::atomic<Node*>& bucket = buckets_[fp & mask_];
 
     Node* head = bucket.load(std::memory_order_acquire);
+    std::uint64_t walked = 0;  // nodes visited across all rescans
     for (;;) {
       // Scan the current chain for an equal state.
       for (Node* cur = head; cur != nullptr;
            cur = Traits::next(*cur).load(std::memory_order_acquire)) {
         counters.chain_traversals.fetch_add(1, std::memory_order_relaxed);
+        ++walked;
         if (Traits::fingerprint(*cur) != fp) continue;  // hash collision
         if (Traits::same_state(*cur, *node)) {
           counters.duplicates.fetch_add(1, std::memory_order_relaxed);
+          counters.chain_length.record(walked);
           return {cur, false};
         }
         counters.fp_collisions.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +69,7 @@ class LockFreeHashSet {
       if (bucket.compare_exchange_weak(head, node, std::memory_order_release,
                                        std::memory_order_acquire)) {
         counters.inserts.fetch_add(1, std::memory_order_relaxed);
+        counters.chain_length.record(walked);
         return {node, true};
       }
       counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
@@ -74,7 +78,10 @@ class LockFreeHashSet {
     }
   }
 
-  /// Lookup only (used by tests and the matcher).
+  /// Lookup only (used by tests and the matcher).  Deliberately uncounted:
+  /// this is the hottest path in the parallel intern loop, and a shared
+  /// fetch_add per probe would serialize exactly the accesses the table
+  /// exists to scale.
   Node* find(std::uint64_t fp, const Node& probe) const {
     for (Node* cur = buckets_[fp & mask_].load(std::memory_order_acquire);
          cur != nullptr;
@@ -83,6 +90,28 @@ class LockFreeHashSet {
         return cur;
     }
     return nullptr;
+  }
+
+  /// Counting lookup for the single-threaded builders, where BuildStats
+  /// should reflect lookup work too and there is no contention to worry
+  /// about.  Parallel code must keep using find().
+  Node* find_counted(std::uint64_t fp, const Node& probe) const {
+    std::uint64_t walked = 0;
+    Node* found = nullptr;
+    for (Node* cur = buckets_[fp & mask_].load(std::memory_order_acquire);
+         cur != nullptr;
+         cur = Traits::next(*cur).load(std::memory_order_acquire)) {
+      ++walked;
+      if (Traits::fingerprint(*cur) != fp) continue;
+      if (Traits::same_state(*cur, probe)) {
+        found = cur;
+        break;
+      }
+      counters.fp_collisions.fetch_add(1, std::memory_order_relaxed);
+    }
+    counters.chain_traversals.fetch_add(walked, std::memory_order_relaxed);
+    counters.chain_length.record(walked);
+    return found;
   }
 
   /// Quiescent-only: drop all chains (nodes are owned by the arenas).

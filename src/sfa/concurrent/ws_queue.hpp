@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sfa/concurrent/counters.hpp"
+#include "sfa/support/timer.hpp"
 
 namespace sfa {
 
@@ -87,15 +88,20 @@ class WorkStealingQueue {
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return std::nullopt;  // empty — not a conflict
 
+    // The empty fast path above stays timer-free; only attempts that touch
+    // the contended cache lines are measured.
+    const std::uint64_t tsc0 = read_tsc();
     Array* a = array_.load(std::memory_order_acquire);
     const std::uint64_t item = a->get(t);
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       counters.steal_failures.fetch_add(1, std::memory_order_relaxed);
       counters.cas_failures.fetch_add(1, std::memory_order_relaxed);
+      counters.steal_cycles.record(read_tsc() - tsc0);
       return std::nullopt;  // lost the race
     }
     counters.steals.fetch_add(1, std::memory_order_relaxed);
+    counters.steal_cycles.record(read_tsc() - tsc0);
     return item;
   }
 

@@ -7,6 +7,7 @@
 
 #include "sfa/core/build.hpp"
 #include "sfa/core/build_common.hpp"
+#include "sfa/obs/trace.hpp"
 #include "sfa/support/timer.hpp"
 
 namespace sfa {
@@ -17,6 +18,7 @@ template <typename Cell>
 Sfa build_baseline_impl(const Dfa& dfa, const BuildOptions& opt,
                         BuildStats* stats) {
   const WallTimer timer;
+  SFA_TRACE_SCOPE("build", "baseline");
   const unsigned k = dfa.num_symbols();
   const std::uint32_t n = dfa.size();
 
@@ -49,22 +51,26 @@ Sfa build_baseline_impl(const Dfa& dfa, const BuildOptions& opt,
   result.set_start(start);
 
   std::vector<Cell> succ(n);
-  while (!worklist.empty()) {
-    const Sfa::StateId id = worklist.front();
-    worklist.pop_front();
-    for (unsigned s = 0; s < k; ++s) {
-      // f_next(q) = delta(f(q), sigma), one lookup per cell (line 6 of
-      // Algorithm 1; no transposition in the baseline).
-      const std::vector<Cell>& src = states[id];
-      for (std::uint32_t q = 0; q < n; ++q)
-        succ[q] = static_cast<Cell>(
-            dfa.transition(static_cast<Dfa::StateId>(src[q]),
-                           static_cast<Symbol>(s)));
-      const Sfa::StateId to = intern(succ);
-      delta[static_cast<std::size_t>(id) * k + s] = to;
+  {
+    SFA_TRACE_SCOPE("build", "explore");
+    while (!worklist.empty()) {
+      const Sfa::StateId id = worklist.front();
+      worklist.pop_front();
+      for (unsigned s = 0; s < k; ++s) {
+        // f_next(q) = delta(f(q), sigma), one lookup per cell (line 6 of
+        // Algorithm 1; no transposition in the baseline).
+        const std::vector<Cell>& src = states[id];
+        for (std::uint32_t q = 0; q < n; ++q)
+          succ[q] = static_cast<Cell>(
+              dfa.transition(static_cast<Dfa::StateId>(src[q]),
+                             static_cast<Symbol>(s)));
+        const Sfa::StateId to = intern(succ);
+        delta[static_cast<std::size_t>(id) * k + s] = to;
+      }
     }
   }
 
+  SFA_TRACE_SCOPE("build", "finalize");
   if (opt.keep_mappings) {
     std::vector<std::uint8_t> raw(states.size() * static_cast<std::size_t>(n) *
                                   sizeof(Cell));

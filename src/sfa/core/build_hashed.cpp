@@ -10,6 +10,7 @@
 #include "sfa/core/build_common.hpp"
 #include "sfa/core/state.hpp"
 #include "sfa/hash/city64.hpp"
+#include "sfa/obs/trace.hpp"
 #include "sfa/support/timer.hpp"
 
 namespace sfa {
@@ -20,6 +21,7 @@ template <typename Cell>
 Sfa build_hashed_impl(const Dfa& dfa, const BuildOptions& opt,
                       BuildStats* stats) {
   const WallTimer timer;
+  SFA_TRACE_SCOPE("build", "hashed");
   const unsigned k = dfa.num_symbols();
   const std::uint32_t n = dfa.size();
 
@@ -43,7 +45,9 @@ Sfa build_hashed_impl(const Dfa& dfa, const BuildOptions& opt,
     probe.fingerprint = fp;
     probe.payload = reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
     probe.payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n);
-    if (Node* hit = table.find(fp, probe)) return hit->id;
+    // Counted lookup: single-threaded, so BuildStats can report lookup work
+    // (chain traversals, fp collisions) on par with the parallel builder.
+    if (Node* hit = table.find_counted(fp, probe)) return hit->id;
 
     Node* node = make_state_node<Cell>(headers, payloads, cells, n, fp);
     node->id = static_cast<Sfa::StateId>(nodes.size());
@@ -62,19 +66,23 @@ Sfa build_hashed_impl(const Dfa& dfa, const BuildOptions& opt,
   result.set_start(intern(start_cells.data()));
 
   std::vector<Cell> succ(n);
-  while (!worklist.empty()) {
-    Node* node = worklist.front();
-    worklist.pop_front();
-    const Cell* src = node->cells();
-    for (unsigned s = 0; s < k; ++s) {
-      for (std::uint32_t q = 0; q < n; ++q)
-        succ[q] = static_cast<Cell>(
-            dfa.transition(static_cast<Dfa::StateId>(src[q]),
-                           static_cast<Symbol>(s)));
-      delta[static_cast<std::size_t>(node->id) * k + s] = intern(succ.data());
+  {
+    SFA_TRACE_SCOPE("build", "explore");
+    while (!worklist.empty()) {
+      Node* node = worklist.front();
+      worklist.pop_front();
+      const Cell* src = node->cells();
+      for (unsigned s = 0; s < k; ++s) {
+        for (std::uint32_t q = 0; q < n; ++q)
+          succ[q] = static_cast<Cell>(
+              dfa.transition(static_cast<Dfa::StateId>(src[q]),
+                             static_cast<Symbol>(s)));
+        delta[static_cast<std::size_t>(node->id) * k + s] = intern(succ.data());
+      }
     }
   }
 
+  SFA_TRACE_SCOPE("build", "finalize");
   if (opt.keep_mappings) {
     std::vector<std::uint8_t> raw(nodes.size() * static_cast<std::size_t>(n) *
                                   sizeof(Cell));

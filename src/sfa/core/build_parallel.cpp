@@ -35,6 +35,8 @@
 #include "sfa/core/build_common.hpp"
 #include "sfa/core/state.hpp"
 #include "sfa/hash/city64.hpp"
+#include "sfa/obs/metrics.hpp"
+#include "sfa/obs/trace.hpp"
 #include "sfa/simd/transpose.hpp"
 #include "sfa/support/timer.hpp"
 
@@ -72,16 +74,27 @@ class ParallelBuilder {
 
   Sfa build(BuildStats* stats) {
     const WallTimer timer;
-    seed_start_state();
+    {
+      SFA_TRACE_SCOPE("build", "seed");
+      seed_start_state();
+    }
 
     std::vector<std::thread> team;
     team.reserve(threads_);
-    for (unsigned t = 0; t < threads_; ++t)
-      team.emplace_back([this, t] { worker_main(t); });
-    for (auto& th : team) th.join();
+    {
+      SFA_TRACE_SPAN(team_span, "build", "team");
+      team_span.arg("threads", threads_);
+      for (unsigned t = 0; t < threads_; ++t)
+        team.emplace_back([this, t] { worker_main(t); });
+      for (auto& th : team) th.join();
+    }
 
     if (aborted_.load()) throw std::runtime_error(abort_message_);
+    SFA_TRACE_SPAN(fin_span, "build", "finalize");
     Sfa result = finalize();
+    fin_span.arg("sfa_states", result.num_states());
+    fin_span.finish();
+    publish_metrics();
     if (stats) fill_stats(*stats, result, timer.seconds());
     return result;
   }
@@ -142,6 +155,15 @@ class ParallelBuilder {
     bool global_done = false;
     unsigned idle_spins = 0;
 
+    SFA_TRACE_THREAD_NAME("builder/worker " + std::to_string(tid));
+    SFA_TRACE_SPAN(worker_span, "build", "worker");
+    worker_span.arg("tid", tid);
+    // One span per distribution phase: "global-phase" while the worker still
+    // draws from the CAS global queue, "local-phase" once it has moved to
+    // its own work-stealing queue (§III-B: the two-regime distribution).
+    SFA_TRACE_SPAN(phase_span, "build", "global-phase");
+    bool in_global_phase = true;
+
     for (;;) {
       // Compression rendezvous has priority over everything, including
       // termination and abort: every worker must reach the barrier.
@@ -152,6 +174,12 @@ class ParallelBuilder {
       if (aborted_.load(std::memory_order_acquire)) break;
 
       Node* node = get_work(tid, w, cursor, global_done);
+      if (in_global_phase && global_done) {
+        in_global_phase = false;
+        phase_span.arg("from_global", w.from_global);
+        phase_span.finish();
+        phase_span.open("build", "local-phase");
+      }
       if (node != nullptr) {
         idle_spins = 0;
         process(tid, w, node);
@@ -186,8 +214,10 @@ class ParallelBuilder {
     // Steal, nearest victim first (§III-B2: start from the closest queue).
     for (unsigned i = 1; i < threads_; ++i) {
       const unsigned victim = (tid + i) % threads_;
-      if (auto v = workers_[victim]->queue->steal())
+      if (auto v = workers_[victim]->queue->steal()) {
+        SFA_TRACE_INSTANT2("build", "steal", "victim", victim, "distance", i);
         return reinterpret_cast<Node*>(*v);
+      }
     }
     return nullptr;
   }
@@ -326,6 +356,10 @@ class ParallelBuilder {
 
   void compression_rendezvous(unsigned tid, WorkerState& w) {
     const WallTimer phase_timer;
+    SFA_TRACE_SCOPE("build", "compression");
+    // Sub-phase span walks through the three stop-the-world stages so a
+    // trace shows where the pause time went (§III-C).
+    SFA_TRACE_SPAN(stage, "build", "compress/suspend");
     manager_.acknowledge(tid);
     w.acked = true;
     barrier_.wait();  // world stopped; every worker is here
@@ -333,6 +367,9 @@ class ParallelBuilder {
     if (tid == 0) table_.clear();
     barrier_.wait();
 
+    stage.finish();
+    stage.open("build", "compress/rebuild");
+    stage.arg("owned", w.owned.size());
     // Each worker re-compresses its own nodes and re-inserts them without
     // duplicate checks (they are known unique).
     for (Node* node : w.owned) {
@@ -351,6 +388,8 @@ class ParallelBuilder {
     }
     barrier_.wait();
 
+    stage.finish();
+    stage.open("build", "compress/resume");
     // All payloads re-pointed: the uncompressed generation can go.
     w.payloads.release_all();
     w.compressed_mode = true;
@@ -448,6 +487,58 @@ class ParallelBuilder {
     }
     stats.queue_cas_failures +=
         global_.counters.cas_failures.load(std::memory_order_relaxed);
+  }
+
+  static void merge_log2(obs::Histogram& dst, const Log2Histogram& src) {
+    std::uint64_t counts[Log2Histogram::kBuckets];
+    for (int i = 0; i < Log2Histogram::kBuckets; ++i)
+      counts[i] = src.buckets[i].load(std::memory_order_relaxed);
+    dst.merge_buckets(counts, Log2Histogram::kBuckets,
+                      src.sum.load(std::memory_order_relaxed));
+  }
+
+  /// Fold this run's substrate counters into the process-wide metrics
+  /// registry (surfaced via --stats-json and the Prometheus exporter).
+  /// Metrics are always on — only span tracing is compile-time gated.
+  void publish_metrics() {
+    auto& reg = obs::Registry::instance();
+    const auto& tc = table_.counters;
+    const auto rel = std::memory_order_relaxed;
+
+    reg.counter("sfa.build.parallel.runs").inc();
+    reg.gauge("sfa.build.parallel.threads").set(threads_);
+    reg.gauge("sfa.build.parallel.states").set(next_id_.load(rel));
+    if (compression_triggered_)
+      reg.counter("sfa.build.parallel.compressions").inc();
+
+    reg.counter("sfa.hash.inserts").inc(tc.inserts.load(rel));
+    reg.counter("sfa.hash.duplicates").inc(tc.duplicates.load(rel));
+    reg.counter("sfa.hash.fp_collisions").inc(tc.fp_collisions.load(rel));
+    reg.counter("sfa.hash.cas_failures").inc(tc.cas_failures.load(rel));
+    reg.counter("sfa.hash.chain_traversals").inc(tc.chain_traversals.load(rel));
+    merge_log2(reg.histogram("sfa.hash.chain_length"), tc.chain_length);
+
+    std::uint64_t pushes = 0, pops = 0, steals = 0, steal_failures = 0,
+                  cas_failures = 0, from_global = 0;
+    obs::Histogram& steal_cycles = reg.histogram("sfa.queue.steal_cycles");
+    for (const auto& w : workers_) {
+      const auto& qc = w->queue->counters;
+      pushes += qc.pushes.load(rel);
+      pops += qc.pops.load(rel);
+      steals += qc.steals.load(rel);
+      steal_failures += qc.steal_failures.load(rel);
+      cas_failures += qc.cas_failures.load(rel);
+      from_global += w->from_global;
+      merge_log2(steal_cycles, qc.steal_cycles);
+    }
+    reg.counter("sfa.queue.pushes").inc(pushes);
+    reg.counter("sfa.queue.pops").inc(pops);
+    reg.counter("sfa.queue.steals").inc(steals);
+    reg.counter("sfa.queue.steal_failures").inc(steal_failures);
+    reg.counter("sfa.queue.cas_failures").inc(cas_failures);
+    reg.counter("sfa.queue.global_states").inc(from_global);
+    reg.counter("sfa.queue.global_cas_failures")
+        .inc(global_.counters.cas_failures.load(rel));
   }
 
   const Dfa& dfa_;

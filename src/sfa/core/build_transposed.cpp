@@ -9,6 +9,7 @@
 #include "sfa/core/build_common.hpp"
 #include "sfa/core/state.hpp"
 #include "sfa/hash/city64.hpp"
+#include "sfa/obs/trace.hpp"
 #include "sfa/simd/transpose.hpp"
 #include "sfa/support/timer.hpp"
 
@@ -20,6 +21,7 @@ template <typename Cell>
 Sfa build_transposed_impl(const Dfa& dfa, const BuildOptions& opt,
                           BuildStats* stats) {
   const WallTimer timer;
+  SFA_TRACE_SCOPE("build", "transposed");
   const unsigned k = dfa.num_symbols();
   const std::uint32_t n = dfa.size();
 
@@ -43,7 +45,9 @@ Sfa build_transposed_impl(const Dfa& dfa, const BuildOptions& opt,
     probe.fingerprint = fp;
     probe.payload = reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
     probe.payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n);
-    if (Node* hit = table.find(fp, probe)) return hit->id;
+    // Counted lookup (single-threaded): keeps BuildStats lookup accounting
+    // on par with the hashed and parallel builders.
+    if (Node* hit = table.find_counted(fp, probe)) return hit->id;
 
     Node* node = make_state_node<Cell>(headers, payloads, cells, n, fp);
     node->id = static_cast<Sfa::StateId>(nodes.size());
@@ -64,16 +68,20 @@ Sfa build_transposed_impl(const Dfa& dfa, const BuildOptions& opt,
   // One k x n buffer holds ALL successors of the current state; row sigma is
   // the successor state on symbol sigma (right half of Fig. 3).
   std::vector<Cell> successors(static_cast<std::size_t>(k) * n);
-  while (!worklist.empty()) {
-    Node* node = worklist.front();
-    worklist.pop_front();
-    successors_transposed<Cell>(delta_table.data(), k, node->cells(), n,
-                                successors.data(), opt.transpose);
-    for (unsigned s = 0; s < k; ++s)
-      delta[static_cast<std::size_t>(node->id) * k + s] =
-          intern(successors.data() + static_cast<std::size_t>(s) * n);
+  {
+    SFA_TRACE_SCOPE("build", "explore");
+    while (!worklist.empty()) {
+      Node* node = worklist.front();
+      worklist.pop_front();
+      successors_transposed<Cell>(delta_table.data(), k, node->cells(), n,
+                                  successors.data(), opt.transpose);
+      for (unsigned s = 0; s < k; ++s)
+        delta[static_cast<std::size_t>(node->id) * k + s] =
+            intern(successors.data() + static_cast<std::size_t>(s) * n);
+    }
   }
 
+  SFA_TRACE_SCOPE("build", "finalize");
   if (opt.keep_mappings) {
     std::vector<std::uint8_t> raw(nodes.size() * static_cast<std::size_t>(n) *
                                   sizeof(Cell));

@@ -1,7 +1,10 @@
 #include "sfa/core/match.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <thread>
+
+#include "sfa/obs/trace.hpp"
 
 namespace sfa {
 
@@ -50,17 +53,23 @@ MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
   if (num_threads == 1) {
     return match_sfa_sequential(sfa, input);
   }
+  SFA_TRACE_SCOPE("match", "sfa-parallel");
   std::vector<std::thread> team;
   team.reserve(num_threads);
   for (unsigned t = 0; t < num_threads; ++t) {
     team.emplace_back([&, t] {
+      SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
+      SFA_TRACE_SPAN(span, "match", "chunk-advance");
       const auto [b, e] = ranges[t];
+      span.arg("begin", b);
+      span.arg("symbols", e - b);
       chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
     });
   }
   for (auto& th : team) th.join();
 
   // Reduction: compose the chunk mappings left to right from q0.
+  SFA_TRACE_SCOPE("match", "compose");
   std::uint32_t q = sfa.dfa_start();
   for (unsigned t = 0; t < num_threads; ++t) q = sfa.map(chunk_state[t], q);
   return {sfa.dfa_accepting(q), q};
@@ -80,13 +89,19 @@ std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
   const auto ranges = chunk_ranges(input.size(), num_threads);
   std::vector<Sfa::StateId> chunk_state(num_threads);
 
+  SFA_TRACE_SCOPE("match", "count-parallel");
   // Pass 1: chunk mappings via the SFA.
   {
+    SFA_TRACE_SCOPE("match", "pass1-mappings");
     std::vector<std::thread> team;
     team.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
       team.emplace_back([&, t] {
+        SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
+        SFA_TRACE_SPAN(span, "match", "chunk-advance");
         const auto [b, e] = ranges[t];
+        span.arg("begin", b);
+        span.arg("symbols", e - b);
         chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
       });
     }
@@ -95,20 +110,26 @@ std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
 
   // Entry DFA states per chunk, by composing the prefix mappings.
   std::vector<Dfa::StateId> entry(num_threads);
-  std::uint32_t q = dfa.start();
-  for (unsigned t = 0; t < num_threads; ++t) {
-    entry[t] = static_cast<Dfa::StateId>(q);
-    q = sfa.map(chunk_state[t], q);
+  {
+    SFA_TRACE_SCOPE("match", "compose");
+    std::uint32_t q = dfa.start();
+    for (unsigned t = 0; t < num_threads; ++t) {
+      entry[t] = static_cast<Dfa::StateId>(q);
+      q = sfa.map(chunk_state[t], q);
+    }
   }
 
   // Pass 2: count accepting positions with known entry states.
   std::vector<std::size_t> counts(num_threads, 0);
   {
+    SFA_TRACE_SCOPE("match", "pass2-count");
     std::vector<std::thread> team;
     team.reserve(num_threads);
     for (unsigned t = 0; t < num_threads; ++t) {
       team.emplace_back([&, t] {
+        SFA_TRACE_SPAN(span, "match", "chunk-count");
         const auto [b, e] = ranges[t];
+        span.arg("begin", b);
         Dfa::StateId s = entry[t];
         std::size_t c = 0;
         for (std::size_t i = b; i < e; ++i) {

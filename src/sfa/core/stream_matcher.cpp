@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "sfa/obs/trace.hpp"
+
 namespace sfa {
 
 void StreamMatcher::feed(const Symbol* data, std::size_t len) {
@@ -9,12 +11,16 @@ void StreamMatcher::feed(const Symbol* data, std::size_t len) {
   if (threads_ <= 1 || len < threads_ * 256 || !sfa_->has_mappings()) {
     // Sequential advance: run the SFA over the block from the identity and
     // apply the resulting mapping to the carried DFA state (one lookup).
+    SFA_TRACE_SPAN(span, "match", "stream-feed-seq");
+    span.arg("symbols", len);
     const Sfa::StateId s = sfa_->run(sfa_->start(), data, len);
     if (len != 0) dfa_state_ = sfa_->map(s, dfa_state_);
     return;
   }
   // Parallel advance: chunk the block, run each chunk from the identity,
   // compose the chunk mappings onto the carried state.
+  SFA_TRACE_SPAN(span, "match", "stream-feed");
+  span.arg("symbols", len);
   const unsigned t = threads_;
   const std::size_t per = len / t;
   std::vector<Sfa::StateId> chunk_state(t);
@@ -24,10 +30,12 @@ void StreamMatcher::feed(const Symbol* data, std::size_t len) {
     const std::size_t begin = c * per;
     const std::size_t end = (c + 1 == t) ? len : begin + per;
     team.emplace_back([this, &chunk_state, data, begin, end, c] {
+      SFA_TRACE_SCOPE("match", "chunk-advance");
       chunk_state[c] = sfa_->run(sfa_->start(), data + begin, end - begin);
     });
   }
   for (auto& th : team) th.join();
+  SFA_TRACE_SCOPE("match", "compose");
   for (unsigned c = 0; c < t; ++c)
     dfa_state_ = sfa_->map(chunk_state[c], dfa_state_);
 }

@@ -1,0 +1,143 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (trace JSON, metrics snapshots, BuildStats, bench results).
+//
+// Intentionally tiny: objects/arrays with automatic comma placement and
+// correct string escaping.  No DOM, no allocation beyond the ostream — the
+// trace exporter may emit millions of events and must stream them.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sfa::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object() {
+    comma();
+    os_ << '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+  }
+  JsonWriter& begin_array() {
+    comma();
+    os_ << '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+  }
+
+  /// Key inside an object; follow with exactly one value/begin_* call.
+  JsonWriter& key(std::string_view k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(std::uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(std::int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(unsigned v) { return value(std::uint64_t{v}); }
+  JsonWriter& value(int v) { return value(std::int64_t{v}); }
+  JsonWriter& value(double v) {
+    comma();
+    // %.17g round-trips doubles; trim to %.6f style only for timestamps at
+    // the call site.  NaN/Inf are not valid JSON — clamp to null.
+    if (v != v || v > 1.7e308 || v < -1.7e308) {
+      os_ << "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.17g", v);
+      os_ << buf;
+    }
+    return *this;
+  }
+  JsonWriter& null() {
+    comma();
+    os_ << "null";
+    return *this;
+  }
+
+  /// key + value in one call, for the common flat-object case.
+  template <typename V>
+  JsonWriter& kv(std::string_view k, V v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma() {
+    if (pending_key_) {
+      pending_key_ = false;  // value directly after a key: no comma
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) os_ << ',';
+      stack_.back() = true;
+    }
+  }
+
+  void write_string(std::string_view s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\r': os_ << "\\r"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<bool> stack_;  // per level: "an element was already written"
+  bool pending_key_ = false;
+};
+
+}  // namespace sfa::obs

@@ -1,0 +1,287 @@
+#include "sfa/obs/metrics.hpp"
+
+#include <bit>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "sfa/obs/json.hpp"
+
+namespace sfa::obs {
+
+// ---- Histogram -------------------------------------------------------------
+
+std::uint64_t HistogramSnapshot::bucket_upper_bound(int i) {
+  if (i <= 0) return 1;
+  if (i >= kBuckets - 1) return ~0ull;
+  return 1ull << i;
+}
+
+double HistogramSnapshot::quantile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 1) p = 1;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target && buckets[i] != 0) {
+      // Geometric midpoint of the bucket range approximates the value.
+      const double lo = i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+      const double hi = static_cast<double>(bucket_upper_bound(i));
+      return (lo + hi) / 2.0;
+    }
+  }
+  return static_cast<double>(max);
+}
+
+int Histogram::bucket_index(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int idx = std::bit_width(v);  // 1 + floor(log2 v)
+  return idx >= kBuckets ? kBuckets - 1 : idx;
+}
+
+void Histogram::record(std::uint64_t v) {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge_buckets(const std::uint64_t* counts_by_bucket,
+                              int num_buckets, std::uint64_t sum) {
+  std::uint64_t total = 0;
+  for (int i = 0; i < num_buckets && i < kBuckets; ++i) {
+    const std::uint64_t c = counts_by_bucket[i];
+    if (c == 0) continue;
+    buckets_[static_cast<std::size_t>(i)].fetch_add(c,
+                                                    std::memory_order_relaxed);
+    total += c;
+    // Approximate min/max from occupied bucket bounds.
+    const std::uint64_t lo = i == 0 ? 0 : 1ull << (i - 1);
+    const std::uint64_t hi = HistogramSnapshot::bucket_upper_bound(i) - 1;
+    std::uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (lo < cur &&
+           !min_.compare_exchange_weak(cur, lo, std::memory_order_relaxed)) {
+    }
+    cur = max_.load(std::memory_order_relaxed);
+    while (hi > cur &&
+           !max_.compare_exchange_weak(cur, hi, std::memory_order_relaxed)) {
+    }
+  }
+  count_.fetch_add(total, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot s;
+  for (int i = 0; i < kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 || mn == ~0ull ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~0ull, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---- Registry --------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  // Deques: stable addresses under growth, so returned references never move.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::map<std::string, Counter*> counter_by_name;
+  std::map<std::string, Gauge*> gauge_by_name;
+  std::map<std::string, Histogram*> histogram_by_name;
+
+  bool name_taken(const std::string& name) const {
+    return counter_by_name.count(name) != 0 ||
+           gauge_by_name.count(name) != 0 ||
+           histogram_by_name.count(name) != 0;
+  }
+};
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry();  // leaked: usable during static dtors
+  return *r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl* impl = new Impl();
+  return *impl;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.counter_by_name.find(name);
+  if (it != i.counter_by_name.end()) return *it->second;
+  if (i.name_taken(name))
+    throw std::logic_error("metric '" + name + "' exists with another kind");
+  i.counters.emplace_back();
+  i.counter_by_name[name] = &i.counters.back();
+  return i.counters.back();
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.gauge_by_name.find(name);
+  if (it != i.gauge_by_name.end()) return *it->second;
+  if (i.name_taken(name))
+    throw std::logic_error("metric '" + name + "' exists with another kind");
+  i.gauges.emplace_back();
+  i.gauge_by_name[name] = &i.gauges.back();
+  return i.gauges.back();
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.histogram_by_name.find(name);
+  if (it != i.histogram_by_name.end()) return *it->second;
+  if (i.name_taken(name))
+    throw std::logic_error("metric '" + name + "' exists with another kind");
+  i.histograms.emplace_back();
+  i.histogram_by_name[name] = &i.histograms.back();
+  return i.histograms.back();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : i.counter_by_name)
+    s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : i.gauge_by_name)
+    s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : i.histogram_by_name)
+    s.histograms.emplace_back(name, h->snapshot());
+  return s;
+}
+
+void Registry::reset() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  for (auto& c : i.counters) c.reset();
+  for (auto& g : i.gauges) g.reset();
+  for (auto& h : i.histograms) h.reset();
+}
+
+namespace {
+
+void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h) {
+  w.begin_object();
+  w.kv("count", h.count);
+  w.kv("sum", h.sum);
+  w.kv("min", h.min);
+  w.kv("max", h.max);
+  w.kv("mean", h.mean());
+  w.kv("p50", h.quantile(0.50));
+  w.kv("p90", h.quantile(0.90));
+  w.kv("p99", h.quantile(0.99));
+  // Sparse bucket encoding: [bucket_index, count] for occupied buckets.
+  w.key("buckets").begin_array();
+  for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+    if (h.buckets[static_cast<std::size_t>(i)] == 0) continue;
+    w.begin_array();
+    w.value(std::uint64_t(static_cast<unsigned>(i)));
+    w.value(h.buckets[static_cast<std::size_t>(i)]);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : s.counters) w.kv(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : s.gauges) w.kv(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : s.histograms) {
+    w.key(name);
+    write_histogram_json(w, h);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string Registry::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_metrics_json(w, snapshot());
+  return os.str();
+}
+
+std::string Registry::to_prometheus() const {
+  const MetricsSnapshot s = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : s.counters) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << v << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < HistogramSnapshot::kBuckets; ++i) {
+      cumulative += h.buckets[static_cast<std::size_t>(i)];
+      if (h.buckets[static_cast<std::size_t>(i)] == 0 &&
+          i != HistogramSnapshot::kBuckets - 1)
+        continue;  // keep output compact; cumulative stays correct
+      if (i == HistogramSnapshot::kBuckets - 1) {
+        os << p << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+      } else {
+        os << p << "_bucket{le=\"" << HistogramSnapshot::bucket_upper_bound(i)
+           << "\"} " << cumulative << "\n";
+      }
+    }
+    os << p << "_sum " << h.sum << "\n";
+    os << p << "_count " << h.count << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sfa::obs

@@ -1,0 +1,135 @@
+// Process-wide metrics registry (observability subsystem, half 2 of 2).
+//
+// Named counters, gauges, and log2-bucketed histograms, all lock-free on the
+// update path (plain relaxed atomics); the registry itself takes a mutex
+// only at registration, and handles returned by counter()/gauge()/
+// histogram() stay valid for the life of the process — hot code looks a
+// metric up once and keeps the reference.
+//
+// Histograms use power-of-two buckets: bucket 0 counts zeros, bucket i
+// (1..63) counts values v with 2^(i-1) <= v < 2^i.  That matches the
+// Log2Histogram the concurrent substrates maintain in their counter blocks
+// (sfa/concurrent/counters.hpp), so the builders can merge those into the
+// registry without translation.
+//
+// Exporters: snapshot() for programmatic use, to_json() for the CLI's
+// --stats-json, to_prometheus() for scrape-style consumption.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfa::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+struct HistogramSnapshot {
+  static constexpr int kBuckets = 64;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  // meaningful only when count > 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kBuckets> buckets{};
+
+  /// Exclusive upper bound of bucket i (0 -> 1, i -> 2^i).
+  static std::uint64_t bucket_upper_bound(int i);
+  /// Estimated p-quantile (0 < p < 1) from the bucket midpoints.
+  double quantile(double p) const;
+  double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = HistogramSnapshot::kBuckets;
+
+  /// Bucket for value v: 0 for v == 0, else 1 + floor(log2 v), clamped.
+  static int bucket_index(std::uint64_t v);
+
+  void record(std::uint64_t v);
+
+  /// Bulk merge: `counts_by_bucket[i]` observations in bucket i with a known
+  /// total `sum` (how the concurrent substrates' Log2Histograms fold in).
+  void merge_buckets(const std::uint64_t* counts_by_bucket, int num_buckets,
+                     std::uint64_t sum);
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+class JsonWriter;
+
+/// Write a snapshot as the {"counters":…,"gauges":…,"histograms":…} object
+/// embedded in the CLI's --stats-json output.
+void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s);
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  /// Find-or-create.  Returned references are stable forever; a name maps
+  /// to one metric kind (requesting the same name as a different kind
+  /// throws std::logic_error).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (metrics stay registered).  Test/bench
+  /// hook — the registry is process-global and otherwise accumulates.
+  void reset();
+
+  std::string to_json() const;
+  /// Prometheus text exposition format; '.' in names becomes '_', and
+  /// histograms expand to _bucket{le=...}/_sum/_count series.
+  std::string to_prometheus() const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace sfa::obs

@@ -1,0 +1,88 @@
+#include "sfa/obs/stats_export.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "sfa/obs/json.hpp"
+#include "sfa/obs/metrics.hpp"
+
+namespace sfa::obs {
+
+void write_build_stats_json(std::ostream& os, const BuildStats& stats,
+                            const std::string& method, bool include_metrics) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "sfa-build-stats/1");
+  w.kv("method", method);
+  w.kv("sfa_states", stats.sfa_states);
+  w.kv("dfa_states", stats.dfa_states);
+  w.kv("seconds", stats.seconds);
+  w.kv("threads", std::uint64_t{stats.threads});
+  w.key("compression").begin_object();
+  w.kv("triggered", stats.compression_triggered);
+  w.kv("seconds", stats.compression_seconds);
+  w.end_object();
+  w.key("mapping_bytes").begin_object();
+  w.kv("uncompressed", stats.mapping_bytes_uncompressed);
+  w.kv("stored", stats.mapping_bytes_stored);
+  w.kv("ratio", stats.compression_ratio());
+  w.end_object();
+  w.key("hash").begin_object();
+  w.kv("fingerprint_collisions", stats.fingerprint_collisions);
+  w.kv("cas_failures", stats.hash_cas_failures);
+  w.kv("chain_traversals", stats.chain_traversals);
+  w.end_object();
+  w.key("queues").begin_object();
+  w.kv("steals", stats.steals);
+  w.kv("steal_failures", stats.steal_failures);
+  w.kv("cas_failures", stats.queue_cas_failures);
+  w.kv("global_queue_states", stats.global_queue_states);
+  w.end_object();
+  w.kv("peak_frontier_bytes", stats.peak_frontier_bytes);
+  if (include_metrics) {
+    w.key("metrics");
+    write_metrics_json(w, Registry::instance().snapshot());
+  }
+  w.end_object();
+  os << '\n';
+}
+
+void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
+                            bool include_metrics) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "sfa-match-stats/1");
+  w.kv("command", info.command);
+  w.kv("input_symbols", info.input_symbols);
+  w.kv("threads", std::uint64_t{info.threads});
+  w.kv("seconds", info.seconds);
+  w.kv("accepted", info.accepted);
+  if (info.counted) w.kv("match_count", info.match_count);
+  if (include_metrics) {
+    w.key("metrics");
+    write_metrics_json(w, Registry::instance().snapshot());
+  }
+  w.end_object();
+  os << '\n';
+}
+
+bool write_build_stats_json_file(const std::string& path,
+                                 const BuildStats& stats,
+                                 const std::string& method) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_build_stats_json(os, stats, method);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+bool write_match_stats_json_file(const std::string& path,
+                                 const MatchRunInfo& info) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_match_stats_json(os, info);
+  os.flush();
+  return static_cast<bool>(os);
+}
+
+}  // namespace sfa::obs

@@ -1,0 +1,43 @@
+// Machine-readable exports of the library's statistics structures.
+//
+// Schemas (documented in docs/OBSERVABILITY.md):
+//   sfa-build-stats/1 — one construction run (BuildStats + method + the
+//                       process metrics registry snapshot)
+//   sfa-match-stats/1 — one matching run
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sfa/core/sfa.hpp"
+
+namespace sfa::obs {
+
+struct MatchRunInfo {
+  std::string command;     // "match"
+  std::uint64_t input_symbols = 0;
+  unsigned threads = 1;
+  double seconds = 0;
+  bool accepted = false;
+  std::uint64_t match_count = 0;  // only when counting was requested
+  bool counted = false;
+};
+
+/// sfa-build-stats/1.  `method` is build_method_name(...); pass
+/// include_metrics=false to omit the registry snapshot (stable unit tests).
+void write_build_stats_json(std::ostream& os, const BuildStats& stats,
+                            const std::string& method,
+                            bool include_metrics = true);
+
+/// sfa-match-stats/1.
+void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
+                            bool include_metrics = true);
+
+/// Write either document to a file; returns false on I/O failure.
+bool write_build_stats_json_file(const std::string& path,
+                                 const BuildStats& stats,
+                                 const std::string& method);
+bool write_match_stats_json_file(const std::string& path,
+                                 const MatchRunInfo& info);
+
+}  // namespace sfa::obs

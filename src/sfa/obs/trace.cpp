@@ -1,0 +1,207 @@
+#include "sfa/obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace sfa::obs {
+
+namespace {
+
+// A thread's recorder lives for the whole process once created: thread_local
+// pointers into the registry stay valid across sessions, and a session
+// restart just bumps the epoch, which lazily resets the buffer on the
+// thread's next event.  `count` is the publication point — events below it
+// are fully written before the release store, so a post-join reader sees
+// them with an acquire load.
+struct Recorder {
+  std::vector<TraceEvent> buffer;
+  std::atomic<std::size_t> count{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint64_t epoch = 0;
+  std::uint32_t tid = 0;
+  std::mutex name_mutex;
+  std::string thread_name;
+};
+
+struct Registry {
+  std::mutex mutex;                                 // registration + control
+  std::vector<std::unique_ptr<Recorder>> recorders; // never shrinks
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch{0};
+  std::atomic<std::size_t> capacity{1u << 16};
+  std::chrono::steady_clock::time_point t0{};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: recorders must outlive TLS
+  return *r;
+}
+
+thread_local Recorder* tl_recorder = nullptr;
+
+/// The calling thread's recorder for the current epoch, or nullptr when
+/// recording is off.  Resets the buffer lazily on the first event of a new
+/// session.
+Recorder* current_recorder() {
+  Registry& reg = registry();
+  if (!reg.enabled.load(std::memory_order_acquire)) return nullptr;
+  const std::uint64_t epoch = reg.epoch.load(std::memory_order_acquire);
+  Recorder* rec = tl_recorder;
+  if (rec == nullptr) {
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto owned = std::make_unique<Recorder>();
+    rec = owned.get();
+    rec->tid = static_cast<std::uint32_t>(reg.recorders.size());
+    reg.recorders.push_back(std::move(owned));
+    tl_recorder = rec;
+  }
+  if (rec->epoch != epoch) {
+    rec->epoch = epoch;
+    rec->buffer.clear();
+    rec->buffer.resize(reg.capacity.load(std::memory_order_relaxed));
+    rec->count.store(0, std::memory_order_relaxed);
+    rec->dropped.store(0, std::memory_order_relaxed);
+  }
+  return rec;
+}
+
+void record(const TraceEvent& ev) {
+  Recorder* rec = current_recorder();
+  if (rec == nullptr) return;
+  const std::size_t i = rec->count.load(std::memory_order_relaxed);
+  if (i >= rec->buffer.size()) {
+    rec->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  rec->buffer[i] = ev;
+  rec->count.store(i + 1, std::memory_order_release);
+}
+
+}  // namespace
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+void TraceCollector::start(std::size_t events_per_thread) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.capacity.store(events_per_thread == 0 ? 1 : events_per_thread,
+                     std::memory_order_relaxed);
+  reg.t0 = std::chrono::steady_clock::now();
+  reg.epoch.fetch_add(1, std::memory_order_release);
+  reg.enabled.store(true, std::memory_order_release);
+}
+
+void TraceCollector::stop() {
+  registry().enabled.store(false, std::memory_order_release);
+}
+
+bool TraceCollector::active() const {
+  return registry().enabled.load(std::memory_order_acquire);
+}
+
+std::vector<ThreadTrace> TraceCollector::snapshot() const {
+  Registry& reg = registry();
+  const std::uint64_t epoch = reg.epoch.load(std::memory_order_acquire);
+  std::vector<ThreadTrace> out;
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& rec : reg.recorders) {
+    if (rec->epoch != epoch) continue;  // stale thread, nothing this session
+    ThreadTrace t;
+    t.tid = rec->tid;
+    {
+      std::lock_guard<std::mutex> name_lock(rec->name_mutex);
+      t.name = rec->thread_name;
+    }
+    t.dropped = rec->dropped.load(std::memory_order_relaxed);
+    const std::size_t n = rec->count.load(std::memory_order_acquire);
+    t.events.assign(rec->buffer.begin(),
+                    rec->buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    if (!t.events.empty() || !t.name.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::uint64_t now_ns() {
+  Registry& reg = registry();
+  if (!reg.enabled.load(std::memory_order_acquire)) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - reg.t0)
+          .count());
+}
+
+void set_thread_name(const std::string& name) {
+  Recorder* rec = current_recorder();
+  if (rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(rec->name_mutex);
+  rec->thread_name = name;
+}
+
+void emit_instant(const char* category, const char* name,
+                  const char* arg1_name, std::uint64_t arg1,
+                  const char* arg2_name, std::uint64_t arg2) {
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.ts_ns = now_ns();
+  ev.type = EventType::kInstant;
+  ev.arg1_name = arg1_name;
+  ev.arg1_value = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2_value = arg2;
+  record(ev);
+}
+
+void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
+               std::uint64_t dur_ns, const char* arg1_name, std::uint64_t arg1,
+               const char* arg2_name, std::uint64_t arg2) {
+  TraceEvent ev;
+  ev.category = category;
+  ev.name = name;
+  ev.ts_ns = begin_ns;
+  ev.dur_ns = dur_ns;
+  ev.type = EventType::kSpan;
+  ev.arg1_name = arg1_name;
+  ev.arg1_value = arg1;
+  ev.arg2_name = arg2_name;
+  ev.arg2_value = arg2;
+  record(ev);
+}
+
+void ScopedSpanImpl::open(const char* category, const char* name) {
+  finish();
+  if (!TraceCollector::instance().active()) return;
+  category_ = category;
+  name_ = name;
+  begin_ns_ = now_ns();
+  arg1_name_ = arg2_name_ = nullptr;
+  arg1_value_ = arg2_value_ = 0;
+  open_ = true;
+}
+
+void ScopedSpanImpl::arg(const char* name, std::uint64_t value) {
+  if (!open_) return;
+  if (arg1_name_ == nullptr || arg1_name_ == name) {
+    arg1_name_ = name;
+    arg1_value_ = value;
+  } else {
+    arg2_name_ = name;
+    arg2_value_ = value;
+  }
+}
+
+void ScopedSpanImpl::finish() {
+  if (!open_) return;
+  open_ = false;
+  const std::uint64_t end = now_ns();
+  emit_span(category_, name_, begin_ns_,
+            end > begin_ns_ ? end - begin_ns_ : 0, arg1_name_, arg1_value_,
+            arg2_name_, arg2_value_);
+}
+
+}  // namespace sfa::obs

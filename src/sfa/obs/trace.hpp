@@ -1,0 +1,205 @@
+// Low-overhead span tracing (observability subsystem, half 1 of 2).
+//
+// Model: per-thread fixed-capacity event buffers written without locks
+// (single writer: the owning thread), a process-global collector that owns
+// every buffer, and a Chrome-tracing/Perfetto-compatible JSON exporter.
+// Spans are recorded as "complete" events (begin timestamp + duration) when
+// they close, so a buffer never holds half a span; instants are points.
+//
+// Two layers:
+//   1. The API below (TraceCollector, ScopedSpanImpl, emit_instant, ...) is
+//      ALWAYS compiled — tests and tools drive it directly in any build.
+//   2. The SFA_TRACE_* instrumentation macros used in hot paths compile to
+//      true no-ops unless the build sets -DSFA_TRACE_ENABLED=1 (CMake option
+//      SFA_TRACE=ON).  In the default build the hot layers therefore carry
+//      zero tracing cost — not even a branch.
+//
+// Event name/category strings must be string literals (pointers are stored,
+// not copied); thread names are copied.  Timestamps come from
+// steady_clock relative to TraceCollector::start().
+//
+// Thread-safety contract: emission is safe from any thread while the
+// collector is active; snapshot()/export must only run after every traced
+// thread has been joined or is quiescent (the builders join their workers
+// before returning, so tracing a build trivially satisfies this).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sfa::obs {
+
+#if defined(SFA_TRACE_ENABLED) && SFA_TRACE_ENABLED
+inline constexpr bool kTraceEnabled = true;
+#else
+inline constexpr bool kTraceEnabled = false;
+#endif
+
+enum class EventType : std::uint8_t {
+  kSpan,     // begin + duration ("X" in Chrome tracing)
+  kInstant,  // point in time ("i")
+};
+
+/// One recorded event.  Fixed-size POD so per-thread buffers are flat
+/// arrays; up to two integer args ride along (steal victim ids, state
+/// counts, chunk boundaries).
+struct TraceEvent {
+  const char* category = nullptr;
+  const char* name = nullptr;
+  std::uint64_t ts_ns = 0;   // begin time, relative to collector start
+  std::uint64_t dur_ns = 0;  // kSpan only
+  const char* arg1_name = nullptr;
+  std::uint64_t arg1_value = 0;
+  const char* arg2_name = nullptr;
+  std::uint64_t arg2_value = 0;
+  EventType type = EventType::kInstant;
+};
+
+/// Per-thread view of the recorded stream (snapshot form).
+struct ThreadTrace {
+  std::uint32_t tid = 0;
+  std::string name;                 // from set_thread_name(), may be empty
+  std::uint64_t dropped = 0;        // events lost to a full buffer
+  std::vector<TraceEvent> events;   // in recording order
+};
+
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  /// Begin a recording session.  Clears previous events.  `events_per_thread`
+  /// bounds memory: once a thread's buffer fills, further events from that
+  /// thread are counted as dropped (the recorded prefix stays coherent).
+  void start(std::size_t events_per_thread = 1u << 16);
+
+  /// End the session.  Events remain available for snapshot()/export.
+  void stop();
+
+  bool active() const;
+
+  /// Copy out everything recorded (threads with zero events are omitted).
+  std::vector<ThreadTrace> snapshot() const;
+
+  /// Chrome-tracing JSON (load in Perfetto / chrome://tracing).  Includes
+  /// thread_name metadata events.  Implemented in trace_export.cpp.
+  void write_chrome_json(std::ostream& os) const;
+  /// Convenience: write to a file; returns false on I/O failure.
+  bool write_chrome_json_file(const std::string& path) const;
+
+ private:
+  TraceCollector() = default;
+};
+
+/// Nanoseconds since the active session started (0 when inactive).
+std::uint64_t now_ns();
+
+/// Name the calling thread's track in the exported trace (copied).
+void set_thread_name(const std::string& name);
+
+/// Record a point event on the calling thread.
+void emit_instant(const char* category, const char* name,
+                  const char* arg1_name = nullptr, std::uint64_t arg1 = 0,
+                  const char* arg2_name = nullptr, std::uint64_t arg2 = 0);
+
+/// Record a complete span [begin_ns, begin_ns + dur_ns) on the calling
+/// thread.  ScopedSpanImpl is the usual front end.
+void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
+               std::uint64_t dur_ns, const char* arg1_name = nullptr,
+               std::uint64_t arg1 = 0, const char* arg2_name = nullptr,
+               std::uint64_t arg2 = 0);
+
+/// RAII span: captures the begin timestamp at construction (or open()) and
+/// emits a complete event at finish()/destruction.  Does nothing when no
+/// session is active.
+class ScopedSpanImpl {
+ public:
+  ScopedSpanImpl(const char* category, const char* name) { open(category, name); }
+  ScopedSpanImpl() = default;
+  ~ScopedSpanImpl() { finish(); }
+  ScopedSpanImpl(const ScopedSpanImpl&) = delete;
+  ScopedSpanImpl& operator=(const ScopedSpanImpl&) = delete;
+
+  /// (Re)arm: begin a new span now.  Finishes a still-open previous one.
+  void open(const char* category, const char* name);
+
+  /// Attach up to two integer args (later calls overwrite the second slot).
+  void arg(const char* name, std::uint64_t value);
+
+  /// Emit the span ending now.  Idempotent.
+  void finish();
+
+ private:
+  const char* category_ = nullptr;
+  const char* name_ = nullptr;
+  std::uint64_t begin_ns_ = 0;
+  const char* arg1_name_ = nullptr;
+  std::uint64_t arg1_value_ = 0;
+  const char* arg2_name_ = nullptr;
+  std::uint64_t arg2_value_ = 0;
+  bool open_ = false;
+};
+
+/// Disabled-build stand-in: an empty type whose methods are no-ops, so
+/// instrumented code compiles identically with tracing off.  The test suite
+/// static_asserts that this type stays empty.
+struct ScopedSpanNoop {
+  ScopedSpanNoop(const char*, const char*) {}
+  ScopedSpanNoop() = default;
+  void open(const char*, const char*) {}
+  void arg(const char*, std::uint64_t) {}
+  void finish() {}
+};
+
+#if defined(SFA_TRACE_ENABLED) && SFA_TRACE_ENABLED
+using ScopedSpan = ScopedSpanImpl;
+#else
+using ScopedSpan = ScopedSpanNoop;
+#endif
+
+}  // namespace sfa::obs
+
+// ---- instrumentation macros -----------------------------------------------
+//
+// These are what the hot layers use.  With SFA_TRACE=OFF every macro expands
+// to nothing (argument expressions are NOT evaluated), so instrumentation
+// sites cost literally zero in the default build.
+
+#define SFA_OBS_CONCAT_INNER(a, b) a##b
+#define SFA_OBS_CONCAT(a, b) SFA_OBS_CONCAT_INNER(a, b)
+
+#if defined(SFA_TRACE_ENABLED) && SFA_TRACE_ENABLED
+
+/// Anonymous RAII span covering the enclosing scope.
+#define SFA_TRACE_SCOPE(cat, name) \
+  ::sfa::obs::ScopedSpanImpl SFA_OBS_CONCAT(sfa_trace_scope_, __LINE__){cat, name}
+
+/// Named RAII span — call var.arg(...) / var.finish() / var.open(...) on it.
+#define SFA_TRACE_SPAN(var, cat, name) ::sfa::obs::ScopedSpanImpl var{cat, name}
+
+/// Named span declared unarmed; arm later with var.open(cat, name).
+#define SFA_TRACE_SPAN_IDLE(var) ::sfa::obs::ScopedSpanImpl var
+
+#define SFA_TRACE_INSTANT(cat, name) ::sfa::obs::emit_instant(cat, name)
+#define SFA_TRACE_INSTANT1(cat, name, k1, v1) \
+  ::sfa::obs::emit_instant(cat, name, k1, static_cast<std::uint64_t>(v1))
+#define SFA_TRACE_INSTANT2(cat, name, k1, v1, k2, v2)                        \
+  ::sfa::obs::emit_instant(cat, name, k1, static_cast<std::uint64_t>(v1), k2, \
+                           static_cast<std::uint64_t>(v2))
+
+/// Evaluate `expr` (a std::string) and name the calling thread's track.
+#define SFA_TRACE_THREAD_NAME(expr) ::sfa::obs::set_thread_name(expr)
+
+#else  // tracing compiled out
+
+#define SFA_TRACE_SCOPE(cat, name) \
+  ::sfa::obs::ScopedSpanNoop SFA_OBS_CONCAT(sfa_trace_scope_, __LINE__){cat, name}
+#define SFA_TRACE_SPAN(var, cat, name) ::sfa::obs::ScopedSpanNoop var{cat, name}
+#define SFA_TRACE_SPAN_IDLE(var) ::sfa::obs::ScopedSpanNoop var
+#define SFA_TRACE_INSTANT(cat, name) ((void)0)
+#define SFA_TRACE_INSTANT1(cat, name, k1, v1) ((void)0)
+#define SFA_TRACE_INSTANT2(cat, name, k1, v1, k2, v2) ((void)0)
+#define SFA_TRACE_THREAD_NAME(expr) ((void)0)
+
+#endif

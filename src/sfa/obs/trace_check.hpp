@@ -1,0 +1,40 @@
+// Validator for the Chrome-tracing JSON the exporter emits (and, by
+// construction, any spec-conforming producer of the same subset).  Used by
+// the test suite, the `sfa_trace_check` CLI tool, and the CI trace job.
+//
+// Checks:
+//   - the document is well-formed JSON with a traceEvents array of flat
+//     event objects;
+//   - every event carries ph/pid/tid/name, spans (ph "X") carry numeric
+//     ts/dur >= 0;
+//   - per thread, event completion times (ts + dur for spans, ts for
+//     instants) are monotone non-decreasing in file order — the recording
+//     order of the per-thread buffers;
+//   - per thread, spans are balanced: properly nested (any two either
+//     disjoint or one containing the other), never partially overlapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfa::obs {
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;          // first violation, empty when ok
+  std::size_t events = 0;     // total events (including metadata)
+  std::size_t spans = 0;      // "X" events
+  std::size_t threads = 0;    // distinct tids with at least one event
+  /// Distinct tids that carry at least one span in the "build" category —
+  /// the builder's worker tracks (thread names are cosmetic; the category
+  /// is what identifies builder work).
+  std::size_t worker_tracks = 0;
+};
+
+/// Validate a trace document given as a string.
+TraceCheckResult check_trace_json(const std::string& json);
+
+/// Validate a trace file.  I/O errors are reported via `ok`/`error`.
+TraceCheckResult check_trace_file(const std::string& path);
+
+}  // namespace sfa::obs

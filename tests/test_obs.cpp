@@ -1,0 +1,396 @@
+// Observability subsystem: tracing round-trips, the trace validator,
+// metrics registry + exporters, stats export schemas, and BuildStats parity
+// across every builder (ISSUE 2 satellites).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sfa/concurrent/counters.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/obs/json.hpp"
+#include "sfa/obs/metrics.hpp"
+#include "sfa/obs/stats_export.hpp"
+#include "sfa/obs/trace.hpp"
+#include "sfa/obs/trace_check.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace {
+
+using namespace sfa;
+
+// ---- compile-time gating (satellite: SFA_TRACE=OFF is a true no-op) -------
+
+#if !(defined(SFA_TRACE_ENABLED) && SFA_TRACE_ENABLED)
+static_assert(std::is_empty_v<obs::ScopedSpan>,
+              "with SFA_TRACE=OFF the instrumentation span type must stay an "
+              "empty no-op");
+static_assert(!obs::kTraceEnabled);
+#else
+static_assert(std::is_same_v<obs::ScopedSpan, obs::ScopedSpanImpl>);
+static_assert(obs::kTraceEnabled);
+#endif
+
+// ---- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, EscapesAndNests) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("quote\"back\\slash", "tab\there\nnl");
+  w.key("arr").begin_array().value(std::uint64_t{1}).value(-2).value(true)
+      .null().end_array();
+  w.kv("ctrl", std::string_view("\x01", 1));
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\"quote\\\"back\\\\slash\":\"tab\\there\\nnl\","
+            "\"arr\":[1,-2,true,null],\"ctrl\":\"\\u0001\"}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_array();
+  w.value(0.5);
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  EXPECT_EQ(os.str(), "[0.5,null,null]");
+}
+
+// ---- trace recording + exporter + validator round-trip ---------------------
+
+TEST(Trace, RoundTripsThroughValidator) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.start();
+  ASSERT_TRUE(collector.active());
+
+  // A few threads, each with named track, nested spans, and instants —
+  // driving the always-compiled API directly (works in any build).
+  std::vector<std::thread> team;
+  for (int t = 0; t < 3; ++t) {
+    team.emplace_back([t] {
+      obs::set_thread_name("test/worker " + std::to_string(t));
+      obs::ScopedSpanImpl outer("build", "worker");
+      outer.arg("tid", static_cast<std::uint64_t>(t));
+      {
+        obs::ScopedSpanImpl inner("build", "global-phase");
+        obs::emit_instant("build", "steal", "victim", 1);
+      }
+      obs::emit_instant("build", "done");
+    });
+  }
+  for (auto& th : team) th.join();
+  collector.stop();
+  ASSERT_FALSE(collector.active());
+
+  std::ostringstream os;
+  collector.write_chrome_json(os);
+  const obs::TraceCheckResult r = obs::check_trace_json(os.str());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.threads, 3u);
+  EXPECT_EQ(r.worker_tracks, 3u);  // every thread carried "build" spans
+  EXPECT_GE(r.spans, 6u);          // 2 spans per thread
+  EXPECT_GE(r.events, 12u);        // + 2 instants + thread_name metadata each
+}
+
+TEST(Trace, InactiveCollectorRecordsNothing) {
+  auto& collector = obs::TraceCollector::instance();
+  ASSERT_FALSE(collector.active());
+  obs::emit_instant("cat", "ignored");
+  {
+    obs::ScopedSpanImpl span("cat", "ignored");
+  }
+  collector.start();
+  collector.stop();
+  EXPECT_TRUE(collector.snapshot().empty());
+}
+
+TEST(Trace, DropsCoherentlyWhenBufferFull) {
+  auto& collector = obs::TraceCollector::instance();
+  collector.start(/*events_per_thread=*/8);
+  for (int i = 0; i < 50; ++i) obs::emit_instant("cat", "e");
+  collector.stop();
+  const auto threads = collector.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].events.size(), 8u);
+  EXPECT_EQ(threads[0].dropped, 42u);
+
+  // The exporter marks the loss, and the result still validates.
+  std::ostringstream os;
+  collector.write_chrome_json(os);
+  const obs::TraceCheckResult r = obs::check_trace_json(os.str());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_NE(os.str().find("events-dropped"), std::string::npos);
+}
+
+// ---- validator rejects malformed documents ---------------------------------
+
+TEST(TraceCheck, RejectsMalformedJson) {
+  EXPECT_FALSE(obs::check_trace_json("{").ok);
+  EXPECT_FALSE(obs::check_trace_json("").ok);
+  EXPECT_FALSE(obs::check_trace_json("42").ok);
+  EXPECT_FALSE(obs::check_trace_json("{\"traceEvents\":{}}").ok);
+}
+
+TEST(TraceCheck, RejectsMissingFields) {
+  // No tid.
+  EXPECT_FALSE(obs::check_trace_json(
+                   R"({"traceEvents":[{"ph":"i","pid":1,"name":"x","ts":0}]})")
+                   .ok);
+  // Span without dur.
+  EXPECT_FALSE(
+      obs::check_trace_json(
+          R"({"traceEvents":[{"ph":"X","pid":1,"tid":1,"name":"x","ts":0}]})")
+          .ok);
+}
+
+TEST(TraceCheck, RejectsNonMonotoneTimestamps) {
+  const char* doc = R"({"traceEvents":[
+    {"ph":"i","pid":1,"tid":7,"name":"a","ts":100,"s":"t"},
+    {"ph":"i","pid":1,"tid":7,"name":"b","ts":50,"s":"t"}]})";
+  const auto r = obs::check_trace_json(doc);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("went backwards"), std::string::npos) << r.error;
+}
+
+TEST(TraceCheck, RejectsPartiallyOverlappingSpans) {
+  // [0,100) and [50,150) on one thread: neither disjoint nor nested.
+  const char* doc = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"a","ts":0,"dur":100},
+    {"ph":"X","pid":1,"tid":7,"name":"b","ts":50,"dur":100}]})";
+  const auto r = obs::check_trace_json(doc);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(TraceCheck, AcceptsNestedAndDisjointSpans) {
+  // Events appear in emission order (RAII spans are recorded when they
+  // *close*), so the inner span precedes its enclosing outer span.
+  const char* doc = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"inner","ts":10,"dur":20},
+    {"ph":"X","pid":1,"tid":7,"name":"outer","ts":0,"dur":100},
+    {"ph":"X","pid":1,"tid":7,"name":"later","ts":200,"dur":50}]})";
+  const auto r = obs::check_trace_json(doc);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.spans, 3u);
+  EXPECT_EQ(r.threads, 1u);
+  EXPECT_EQ(r.worker_tracks, 0u);  // no "build" category
+}
+
+// ---- histograms ------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 counts zeros; bucket i counts [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3);
+  EXPECT_EQ(obs::Histogram::bucket_index((1u << 10) - 1), 10);
+  EXPECT_EQ(obs::Histogram::bucket_index(1u << 10), 11);
+  EXPECT_EQ(obs::Histogram::bucket_index(~0ull),
+            obs::Histogram::kBuckets - 1);
+
+  EXPECT_EQ(obs::HistogramSnapshot::bucket_upper_bound(0), 1u);
+  EXPECT_EQ(obs::HistogramSnapshot::bucket_upper_bound(5), 32u);
+}
+
+TEST(Histogram, ConcurrentSubstrateBucketsAgree) {
+  // The POD Log2Histogram in counters.hpp must bucket exactly like
+  // obs::Histogram (that is what makes merge_buckets translation-free).
+  for (const std::uint64_t v :
+       {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 1023ull, 1024ull,
+        (1ull << 31) - 1, 1ull << 31, (1ull << 63) + 5, ~0ull}) {
+    EXPECT_EQ(Log2Histogram::bucket_index(v), obs::Histogram::bucket_index(v))
+        << "value " << v;
+  }
+}
+
+TEST(Histogram, RecordSnapshotAndQuantiles) {
+  obs::Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  // Geometric-midpoint estimate: p50 lands in the [32,64) bucket.
+  EXPECT_GE(s.quantile(0.5), 32.0);
+  EXPECT_LE(s.quantile(0.5), 64.0);
+  EXPECT_LE(s.quantile(0.1), s.quantile(0.9));
+}
+
+TEST(Histogram, MergeBucketsFromLog2Histogram) {
+  Log2Histogram src;
+  src.record(0);
+  src.record(5);
+  src.record(5);
+  src.record(300);
+  ASSERT_EQ(src.count(), 4u);
+
+  obs::Histogram dst;
+  std::uint64_t counts[Log2Histogram::kBuckets];
+  for (int i = 0; i < Log2Histogram::kBuckets; ++i)
+    counts[i] = src.buckets[i].load();
+  dst.merge_buckets(counts, Log2Histogram::kBuckets, src.sum.load());
+
+  const auto s = dst.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 310u);
+  EXPECT_EQ(s.buckets[0], 1u);                               // the zero
+  EXPECT_EQ(s.buckets[obs::Histogram::bucket_index(5)], 2u);
+  EXPECT_EQ(s.buckets[obs::Histogram::bucket_index(300)], 1u);
+}
+
+// ---- metrics registry ------------------------------------------------------
+
+TEST(Metrics, RegistryCountersGaugesHistograms) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.counter("test.counter").inc(3);
+  reg.counter("test.counter").inc();        // same object
+  reg.gauge("test.gauge").set(-7);
+  reg.histogram("test.hist").record(16);
+
+  const auto snap = reg.snapshot();
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& [name, v] : snap.counters)
+    if (name == "test.counter") {
+      saw_counter = true;
+      EXPECT_EQ(v, 4u);
+    }
+  for (const auto& [name, v] : snap.gauges)
+    if (name == "test.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(v, -7);
+    }
+  for (const auto& [name, h] : snap.histograms)
+    if (name == "test.hist") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      EXPECT_EQ(h.sum, 16u);
+    }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(Metrics, NameKindConflictThrows) {
+  auto& reg = obs::Registry::instance();
+  reg.counter("test.kind.conflict");
+  EXPECT_THROW(reg.gauge("test.kind.conflict"), std::logic_error);
+  EXPECT_THROW(reg.histogram("test.kind.conflict"), std::logic_error);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.counter("test.prom.counter").inc(9);
+  reg.histogram("test.prom.hist").record(3);
+  const std::string text = reg.to_prometheus();
+  EXPECT_NE(text.find("test_prom_counter 9"), std::string::npos) << text;
+  EXPECT_NE(text.find("test_prom_hist_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos) << text;
+}
+
+// ---- stats export schemas --------------------------------------------------
+
+TEST(StatsExport, BuildStatsSchema) {
+  BuildStats stats;
+  stats.sfa_states = 42;
+  stats.dfa_states = 7;
+  stats.seconds = 0.5;
+  stats.threads = 4;
+  std::ostringstream os;
+  obs::write_build_stats_json(os, stats, "parallel",
+                              /*include_metrics=*/false);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"sfa-build-stats/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"method\":\"parallel\""), std::string::npos);
+  EXPECT_NE(json.find("\"sfa_states\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+}
+
+TEST(StatsExport, MatchStatsSchema) {
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.input_symbols = 1000;
+  info.threads = 2;
+  info.seconds = 0.25;
+  info.accepted = true;
+  std::ostringstream os;
+  obs::write_match_stats_json(os, info, /*include_metrics=*/false);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"sfa-match-stats/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"accepted\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"input_symbols\":1000"), std::string::npos);
+}
+
+// ---- BuildStats parity (satellite a) ---------------------------------------
+
+TEST(BuildStatsParity, EveryBuilderFillsTheCoreFields) {
+  const Dfa dfa = compile_prosite("R-G-[DE]-x-C.");
+  for (const BuildMethod method :
+       {BuildMethod::kBaseline, BuildMethod::kHashed, BuildMethod::kTransposed,
+        BuildMethod::kParallel, BuildMethod::kProbabilistic}) {
+    BuildOptions opt;
+    opt.num_threads = 2;
+    BuildStats stats;
+    const Sfa sfa = build_sfa(dfa, method, opt, &stats);
+    SCOPED_TRACE(build_method_name(method));
+    EXPECT_EQ(stats.sfa_states, sfa.num_states());
+    EXPECT_GT(stats.sfa_states, 0u);
+    EXPECT_EQ(stats.dfa_states, dfa.size());
+    EXPECT_GT(stats.seconds, 0.0);
+    EXPECT_GE(stats.threads, 1u);
+    EXPECT_GT(stats.mapping_bytes_uncompressed, 0u);
+  }
+}
+
+TEST(BuildStatsParity, SequentialHashedBuildersCountLookupWork) {
+  // find_counted parity: sequential hashed/transposed builders now count
+  // chain traversals on the lookup path, so any DFA with duplicate successor
+  // states (i.e. every non-trivial one) must report nonzero traversals.
+  const Dfa dfa = compile_prosite("R-G-[DE]-x-C.");
+  BuildOptions opt;
+  for (const BuildMethod method :
+       {BuildMethod::kHashed, BuildMethod::kTransposed}) {
+    BuildStats stats;
+    build_sfa(dfa, method, opt, &stats);
+    SCOPED_TRACE(build_method_name(method));
+    EXPECT_GT(stats.chain_traversals, 0u);
+  }
+}
+
+// ---- traced parallel build (acceptance scenario; needs SFA_TRACE=ON) -------
+
+TEST(TracedBuild, ParallelWorkersProduceDistinctTracks) {
+#if !(defined(SFA_TRACE_ENABLED) && SFA_TRACE_ENABLED)
+  GTEST_SKIP() << "instrumentation compiled out (build with SFA_TRACE=ON)";
+#else
+  auto& collector = obs::TraceCollector::instance();
+  collector.start();
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C.");
+  BuildOptions opt;
+  opt.num_threads = 4;
+  opt.keep_mappings = false;
+  build_sfa_parallel(dfa, opt);
+  collector.stop();
+
+  std::ostringstream os;
+  collector.write_chrome_json(os);
+  const obs::TraceCheckResult r = obs::check_trace_json(os.str());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.worker_tracks, 4u);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("global-phase"), std::string::npos);
+  EXPECT_NE(json.find("local-phase"), std::string::npos);
+  EXPECT_NE(json.find("builder/worker"), std::string::npos);
+#endif
+}
+
+}  // namespace

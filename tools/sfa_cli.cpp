@@ -4,6 +4,7 @@
 //   sfa match  <file.sfa> <textfile> [options]  parallel SFA matching
 //   sfa inspect <file.sfa>                      summary + statistics
 //   sfa grail  <pattern> [options]              dump the minimal DFA
+//   sfa info                                    platform + build capabilities
 //
 // Common options:
 //   --prosite | --regex      pattern syntax        (default: --prosite)
@@ -13,7 +14,16 @@
 //                                                  (default: parallel)
 //   --threads N                                    (default: hardware)
 //   --compress-threshold BYTES                     enable 3-phase compression
-//   --count                  match: count accepting positions, not just test
+//   --count                  match: count accepting positions (rejected for
+//                            now: .sfa files do not store the DFA delta
+//                            table the two-pass count rescans with)
+//
+// Observability (docs/OBSERVABILITY.md):
+//   --trace FILE.json        record a span trace of the run (Perfetto /
+//                            chrome://tracing format; needs an SFA_TRACE=ON
+//                            build for instrumented hot paths)
+//   --stats-json FILE.json   write machine-readable run statistics
+//                            (schemas sfa-build-stats/1, sfa-match-stats/1)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,6 +36,8 @@
 #include "sfa/core/build.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/serialize.hpp"
+#include "sfa/obs/stats_export.hpp"
+#include "sfa/obs/trace.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
 #include "sfa/support/cpu.hpp"
 #include "sfa/support/format.hpp"
@@ -45,12 +57,14 @@ struct Options {
   std::size_t compress_threshold = 0;
   bool count = false;
   std::string output;
+  std::string trace_path;
+  std::string stats_json_path;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: sfa <build|match|inspect|grail> ... (see header "
+               "usage: sfa <build|match|inspect|grail|info> ... (see header "
                "comment / README)\n");
   std::exit(error ? 2 : 0);
 }
@@ -59,7 +73,8 @@ const Alphabet& alphabet_by_name(const std::string& name) {
   if (name == "amino") return Alphabet::amino();
   if (name == "dna") return Alphabet::dna();
   if (name == "ascii") return Alphabet::ascii_printable();
-  usage("unknown alphabet (amino|dna|ascii)");
+  usage(("unknown alphabet '" + name + "' (expected amino, dna, or ascii)")
+            .c_str());
 }
 
 BuildMethod method_by_name(const std::string& name) {
@@ -68,7 +83,10 @@ BuildMethod method_by_name(const std::string& name) {
   if (name == "transposed") return BuildMethod::kTransposed;
   if (name == "parallel") return BuildMethod::kParallel;
   if (name == "probabilistic") return BuildMethod::kProbabilistic;
-  usage("unknown method");
+  usage(("unknown method '" + name +
+         "' (expected baseline, hashed, transposed, parallel, or "
+         "probabilistic)")
+            .c_str());
 }
 
 Options parse(int argc, char** argv) {
@@ -97,6 +115,10 @@ Options parse(int argc, char** argv) {
       opt.count = true;
     else if (arg == "-o" || arg == "--output")
       opt.output = next();
+    else if (arg == "--trace")
+      opt.trace_path = next();
+    else if (arg == "--stats-json")
+      opt.stats_json_path = next();
     else if (arg == "--help" || arg == "-h")
       usage();
     else if (!arg.empty() && arg[0] == '-')
@@ -112,6 +134,37 @@ Dfa compile(const Options& opt, const std::string& pattern) {
   return compile_pattern(pattern, alphabet_by_name(opt.alphabet_name));
 }
 
+/// Starts a trace recording session when --trace was given; writes the
+/// Chrome-tracing JSON on stop_and_write().  In a default (SFA_TRACE=OFF)
+/// binary the hot paths carry no instrumentation, so the file would hold an
+/// empty trace — warn rather than silently produce one.
+class TraceSession {
+ public:
+  explicit TraceSession(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    if (!obs::kTraceEnabled)
+      std::fprintf(stderr,
+                   "warning: this binary was built without SFA_TRACE=ON; "
+                   "%s will contain no instrumentation spans\n",
+                   path_.c_str());
+    obs::TraceCollector::instance().start();
+  }
+
+  void stop_and_write() {
+    if (path_.empty() || done_) return;
+    done_ = true;
+    auto& collector = obs::TraceCollector::instance();
+    collector.stop();
+    if (!collector.write_chrome_json_file(path_))
+      throw std::runtime_error("cannot write trace: " + path_);
+    std::printf("trace: %s\n", path_.c_str());
+  }
+
+ private:
+  std::string path_;
+  bool done_ = false;
+};
+
 int cmd_build(const Options& opt) {
   if (opt.positional.size() != 1) usage("build needs exactly one pattern");
   const WallTimer compile_timer;
@@ -123,11 +176,19 @@ int cmd_build(const Options& opt) {
   build.num_threads = opt.threads;
   build.memory_threshold_bytes = opt.compress_threshold;
   BuildStats stats;
+  TraceSession trace(opt.trace_path);
   const Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
+  trace.stop_and_write();
   std::printf("%s\n", sfa.summary().c_str());
   std::printf("construction: %.3f s, %s method, %u thread(s)%s\n",
               stats.seconds, build_method_name(opt.method), stats.threads,
               stats.compression_triggered ? ", compression triggered" : "");
+  if (!opt.stats_json_path.empty()) {
+    if (!obs::write_build_stats_json_file(opt.stats_json_path, stats,
+                                          build_method_name(opt.method)))
+      throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
+    std::printf("stats: %s\n", opt.stats_json_path.c_str());
+  }
   if (!opt.output.empty()) {
     save_sfa_file(sfa, opt.output);
     std::printf("saved: %s\n", opt.output.c_str());
@@ -151,6 +212,9 @@ std::string read_all(const std::string& path) {
 int cmd_match(const Options& opt) {
   if (opt.positional.size() != 2)
     usage("match needs <file.sfa> <textfile|->");
+  if (opt.count)
+    usage("--count needs the DFA delta table, which .sfa files do not store "
+          "(use count_matches_parallel / Engine::count from the API)");
   const Sfa sfa = load_sfa_file(opt.positional[0]);
   const Alphabet& alphabet = alphabet_by_name(opt.alphabet_name);
   if (alphabet.size() != sfa.num_symbols())
@@ -162,11 +226,24 @@ int cmd_match(const Options& opt) {
   const std::vector<Symbol> input = alphabet.encode(text);
 
   const WallTimer timer;
+  TraceSession trace(opt.trace_path);
   const MatchResult result = match_sfa_parallel(sfa, input, opt.threads);
+  trace.stop_and_write();
   const double ms = timer.millis();
   std::printf("input: %s symbols, %u thread(s)\n",
               with_commas(input.size()).c_str(), opt.threads);
   std::printf("match: %s (%.3f ms)\n", result.accepted ? "YES" : "no", ms);
+  if (!opt.stats_json_path.empty()) {
+    obs::MatchRunInfo info;
+    info.command = "match";
+    info.input_symbols = input.size();
+    info.threads = opt.threads;
+    info.seconds = ms / 1e3;
+    info.accepted = result.accepted;
+    if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
+      throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
+    std::printf("stats: %s\n", opt.stats_json_path.c_str());
+  }
   return result.accepted ? 0 : 1;
 }
 
@@ -185,6 +262,40 @@ int cmd_inspect(const Options& opt) {
   std::printf("accepting:     %s (%.1f%%)\n", with_commas(accepting).c_str(),
               100.0 * static_cast<double>(accepting) /
                   static_cast<double>(sfa.num_states()));
+  std::printf("dfa states:    %s\n", with_commas(sfa.dfa_states()).c_str());
+  std::printf("cell width:    %u bytes\n", sfa.cell_width());
+  const std::uint64_t table_bytes = static_cast<std::uint64_t>(
+                                        sfa.num_states()) *
+                                    sfa.num_symbols() * sizeof(Sfa::StateId);
+  std::printf("delta table:   %s\n", human_bytes(table_bytes).c_str());
+  if (sfa.has_mappings()) {
+    const std::uint64_t stored = sfa.mapping_store_bytes();
+    const std::uint64_t raw = static_cast<std::uint64_t>(sfa.num_states()) *
+                              sfa.dfa_states() * sfa.cell_width();
+    std::printf("mappings:      %s stored, %s raw (%s)\n",
+                human_bytes(stored).c_str(), human_bytes(raw).c_str(),
+                sfa.mappings_compressed() ? "compressed" : "uncompressed");
+    if (sfa.mappings_compressed() && stored != 0)
+      std::printf("compression:   %.2fx\n", static_cast<double>(raw) /
+                                                static_cast<double>(stored));
+  } else {
+    std::printf("mappings:      not stored (matching only from the start "
+                "state)\n");
+  }
+  return 0;
+}
+
+int cmd_info(const Options&) {
+  const CpuFeatures f = cpu_features();
+  std::printf("%s\n", platform_summary().c_str());
+  std::printf("hardware threads: %u\n", hardware_threads());
+  std::printf("cache line:       %zu bytes\n", cache_line_size());
+  std::printf("simd features:    sse2=%d sse4.1=%d sse4.2=%d avx=%d avx2=%d "
+              "pclmulqdq=%d bmi2=%d\n",
+              f.sse2, f.sse41, f.sse42, f.avx, f.avx2, f.pclmulqdq, f.bmi2);
+  std::printf("span tracing:     %s\n",
+              sfa::obs::kTraceEnabled ? "compiled in (SFA_TRACE=ON)"
+                                      : "compiled out (default build)");
   return 0;
 }
 
@@ -206,6 +317,7 @@ int main(int argc, char** argv) {
     if (opt.command == "match") return cmd_match(opt);
     if (opt.command == "inspect") return cmd_inspect(opt);
     if (opt.command == "grail") return cmd_grail(opt);
+    if (opt.command == "info") return cmd_info(opt);
     usage(("unknown command: " + opt.command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

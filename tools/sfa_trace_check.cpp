@@ -1,0 +1,57 @@
+// sfa_trace_check — validate a Chrome-tracing JSON file produced by
+// `sfa ... --trace out.json` (or any tool using sfa::obs::TraceCollector).
+//
+//   sfa_trace_check trace.json [--expect-workers N]
+//
+// Checks: the JSON is well formed, required event fields are present,
+// per-thread completion timestamps are monotone, and spans nest without
+// partial overlap.  With --expect-workers N, additionally requires at least
+// N distinct threads carrying "build"-category spans (the acceptance
+// criterion for a traced parallel construction).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sfa/obs/trace_check.hpp"
+
+int main(int argc, char** argv) {
+  std::string path;
+  unsigned expect_workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--expect-workers") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --expect-workers needs a value\n");
+        return 2;
+      }
+      expect_workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
+                           "[--expect-workers N]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
+                         "[--expect-workers N]\n");
+    return 2;
+  }
+
+  const sfa::obs::TraceCheckResult r = sfa::obs::check_trace_file(path);
+  if (!r.ok) {
+    std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(), r.error.c_str());
+    return 1;
+  }
+  std::printf("OK %s: %zu events, %zu spans, %zu threads, %zu worker tracks\n",
+              path.c_str(), r.events, r.spans, r.threads, r.worker_tracks);
+  if (expect_workers != 0 && r.worker_tracks < expect_workers) {
+    std::fprintf(stderr,
+                 "INVALID %s: expected >= %u worker tracks with build spans, "
+                 "found %zu\n",
+                 path.c_str(), expect_workers, r.worker_tracks);
+    return 1;
+  }
+  return 0;
+}
