@@ -2,10 +2,14 @@
 //   (a) global-queue capacity — the static->work-stealing handoff threshold
 //       (§III-B2: too small starves the start phase, too large serializes);
 //   (b) hash-table bucket count — chain length vs memory (§III-A);
-//   (c) cell width — 16-bit vs 32-bit cells on the same automaton.
+//   (c) cell width — 16-bit vs 32-bit cells on the same automaton;
+//   (d) probabilistic (fingerprint-only) vs exact construction;
+//   (e) the construction-substrate policy axes (intern / successor /
+//       frontier / store, docs/ARCHITECTURE.md) — one JSON row per policy.
 //
 // Usage: bench_ablation [threads] [r_length]
 #include <cstdio>
+#include <string_view>
 
 #include "bench_util.hpp"
 #include "sfa/support/cpu.hpp"
@@ -146,6 +150,73 @@ int main(int argc, char** argv) {
           .set("seconds", t.seconds())
           .set("sfa_states", stats.sfa_states)
           .set("peak_frontier_bytes", stats.peak_frontier_bytes);
+    }
+    std::printf("%s\n", render_table(table).c_str());
+  }
+
+  std::printf("(e) construction-substrate policy axes (docs/ARCHITECTURE.md):\n");
+  {
+    // One row per policy choice, varying a single axis at a time against the
+    // substrate's reference point (chained intern, transposed successors,
+    // FIFO frontier, raw store == the kTransposed builder).
+    struct PolicyRun {
+      const char* axis;
+      const char* policy;
+      BuildMethod method;
+      BuildOptions options;
+    };
+    std::vector<PolicyRun> runs;
+    {
+      BuildOptions base;
+      runs.push_back({"intern", "tree", BuildMethod::kBaseline, base});
+      runs.push_back({"intern", "chained", BuildMethod::kHashed, base});
+      runs.push_back({"intern", "fingerprint", BuildMethod::kProbabilistic, base});
+      runs.push_back({"successor", "scalar", BuildMethod::kHashed, base});
+      runs.push_back({"successor", "transposed", BuildMethod::kTransposed, base});
+      runs.push_back({"frontier", "fifo", BuildMethod::kTransposed, base});
+      BuildOptions stealing = base;
+      stealing.num_threads = threads;
+      runs.push_back({"frontier", "work-stealing", BuildMethod::kParallel,
+                      stealing});
+      runs.push_back({"store", "raw", BuildMethod::kTransposed, base});
+      BuildOptions compressed = base;
+      compressed.memory_threshold_bytes = 1u << 12;
+      runs.push_back({"store", "compressed", BuildMethod::kTransposed,
+                      compressed});
+      runs.push_back({"store", "drop", BuildMethod::kProbabilistic, base});
+    }
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"axis", "policy", "time r(s)", "states", "store bytes"});
+    for (const PolicyRun& run : runs) {
+      BuildOptions opt = run.options;
+      // The store axis needs the mappings retained to measure the stores
+      // (except "drop", whose whole point is freeing payloads after
+      // expansion); the other axes compare pure construction speed.
+      opt.keep_mappings = std::string_view(run.axis) == "store" &&
+                          std::string_view(run.policy) != "drop";
+      build_sfa(r_dfa, run.method, opt);  // warm
+      std::vector<double> times;
+      BuildStats stats;
+      for (int i = 0; i < 3; ++i) {
+        const WallTimer t;
+        build_sfa(r_dfa, run.method, opt, &stats);
+        times.push_back(t.seconds());
+      }
+      const double secs = median_of(times);
+      const bool store_axis = std::string_view(run.axis) == "store";
+      table.push_back({run.axis, run.policy, fixed(secs, 3),
+                       with_commas(stats.sfa_states),
+                       store_axis ? human_bytes(stats.mapping_bytes_stored)
+                                  : std::string("-")});
+      report.add_row()
+          .set("section", "substrate_policy")
+          .set("axis", run.axis)
+          .set("policy", run.policy)
+          .set("seconds", secs)
+          .set("sfa_states", stats.sfa_states)
+          .set("mapping_bytes_stored",
+               store_axis ? stats.mapping_bytes_stored : 0)
+          .set("compression_triggered", stats.compression_triggered);
     }
     std::printf("%s\n", render_table(table).c_str());
   }

@@ -1,12 +1,18 @@
-// SFA construction — the paper's contribution, in four builder variants:
+// SFA construction — the paper's contribution.  Every BuildMethod is a
+// policy combination over the layered construction substrate in
+// src/sfa/core/build/ (InternTable × SuccessorGen × Frontier × MappingStore
+// — see docs/ARCHITECTURE.md for the seam-by-seam map to paper sections):
 //
 //   kBaseline    Algorithm 1 with a red-black tree (std::map) over the
 //                exhaustive state vectors — the paper's sequential baseline.
+//                (tree intern, scalar successors, FIFO frontier)
 //   kHashed      + fingerprints & a chained hash table (§III-A): O(1)
 //                membership tests, exhaustive compare only on fp equality.
+//                (chained intern, scalar successors, raw or 3-phase store)
 //   kTransposed  + parameterized transposition of the transition table with
 //                SIMD kernels (§III-A, Fig. 3) — the fastest sequential
 //                method and the baseline for parallel speedups.
+//                (chained intern, transposed successors, raw/3-phase store)
 //   kParallel    + multicore construction (§III-B): global start-phase
 //                queue, thread-local work-stealing queues, lock-free hash
 //                table, and the three-phase in-memory compression (§III-C).
@@ -14,6 +20,7 @@
 //                §III-A but leaves uninvestigated: membership decided by a
 //                64-bit Rabin fingerprint alone, payloads freed right after
 //                expansion (states may merge with probability ~|Q_s|²/2⁶⁴).
+//                (fingerprint intern, transposed successors, drop store)
 #pragma once
 
 #include <cstddef>
@@ -43,12 +50,16 @@ struct BuildOptions {
   /// state count / transition structure matters).
   bool keep_mappings = true;
 
-  /// Memory threshold in bytes that triggers the compression phase
-  /// (kParallel only).  0 disables compression — the paper's default for
-  /// problem sizes that fit in memory.
+  /// Memory threshold in bytes that triggers the three-phase compression
+  /// store (§III-C) — honored by kHashed, kTransposed, and kParallel.
+  /// 0 disables compression, the paper's default for problem sizes that fit
+  /// in memory.  kBaseline and kProbabilistic accept and ignore it: the
+  /// tree's keys must stay exhaustive for ordering, and the fingerprint-only
+  /// store retains no payload to compress.
   std::size_t memory_threshold_bytes = 0;
 
-  /// Codec for the compression phase (nullptr = deflate-like).
+  /// Codec for the compression store (nullptr = deflate-like; see
+  /// sfa/compress/registry.hpp for the named registry).
   const Codec* codec = nullptr;
 
   /// Successor generation for kTransposed/kParallel.

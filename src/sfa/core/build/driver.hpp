@@ -1,0 +1,128 @@
+// The one sequential construction driver (Algorithm 1), templated over the
+// substrate's policy seams.  Every sequential BuildMethod is a policy
+// combination instantiated in build/sequential.cpp:
+//
+//   method         InternTable                SuccessorGen   Frontier  store
+//   baseline       TreeInternTable            Scalar         FIFO      inline
+//   hashed         ChainedInternTable<Raw|Compressed>  Scalar  FIFO    raw/3-phase
+//   transposed     ChainedInternTable<Raw|Compressed>  Transposed FIFO raw/3-phase
+//   probabilistic  FingerprintInternTable     Transposed     FIFO      drop
+//
+// The driver owns everything the five pre-substrate builders each
+// reimplemented: max_states guarding, the dense delta table (geometric
+// growth), the accepting bitmap, keep_mappings finalization, BuildStats
+// filling, and obs spans/metrics.  The parallel builder shares the policy
+// components but needs its own driver (worker team, rendezvous) — see
+// build/parallel.cpp.
+//
+// Exploration is breadth-first and successors are interned in symbol order,
+// so state numbering is identical across every sequential policy
+// combination — the differential oracle's exact-equality checks depend on
+// this invariant.
+#pragma once
+
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/core/build/frontier.hpp"
+#include "sfa/core/build/obs_glue.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/obs/trace.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa::detail {
+
+template <typename Cell, typename Intern, typename SuccGen>
+Sfa run_sequential_build(const Dfa& dfa, const BuildOptions& opt,
+                         BuildStats* stats, const char* method_label) {
+  const WallTimer timer;
+  SFA_TRACE_SCOPE("build", method_label);
+  const unsigned k = dfa.num_symbols();
+  const std::uint32_t n = dfa.size();
+
+  Sfa result;
+  init_result<Cell>(result, dfa);
+
+  Intern intern(dfa, opt);
+  SuccGen succ_gen(dfa, opt);
+  FifoFrontier<typename Intern::WorkItem> frontier;
+
+  std::vector<Sfa::StateId> delta;
+  std::vector<std::uint8_t> accepting;
+  std::uint64_t num_states = 0;
+  std::uint64_t delta_reallocations = 0;
+
+  const auto intern_cells = [&](const Cell* cells) -> Sfa::StateId {
+    bool fresh = false;
+    typename Intern::WorkItem item{};
+    const Sfa::StateId id = intern.intern(cells, fresh, item);
+    if (fresh) {
+      ++num_states;
+      guard_state_count(num_states, opt);
+      accepting.push_back(
+          dfa.accepting(static_cast<Dfa::StateId>(cells[dfa.start()])));
+      // Geometric growth: capacity doubles when exhausted, so the table
+      // relocates O(log states) times instead of once per state.
+      const std::size_t need = static_cast<std::size_t>(num_states) * k;
+      if (need > delta.capacity()) {
+        delta.reserve(std::max<std::size_t>(need, delta.capacity() * 2));
+        ++delta_reallocations;
+      }
+      delta.resize(need);
+      frontier.push(std::move(item));
+    }
+    return id;
+  };
+
+  const std::vector<Cell> start_cells = identity_mapping<Cell>(n);
+  result.set_start(intern_cells(start_cells.data()));
+
+  // One k x n buffer holds ALL successors of the current state; row sigma is
+  // the successor state on symbol sigma (right half of Fig. 3).  The source
+  // mapping never changes mid-state, so generating every row before
+  // interning any of them is observationally identical to the interleaved
+  // per-symbol loop the pre-substrate builders ran.
+  std::vector<Cell> successors(static_cast<std::size_t>(k) * n);
+  {
+    SFA_TRACE_SCOPE("build", "explore");
+    typename Intern::WorkItem item{};
+    while (frontier.pop(item)) {
+      const Sfa::StateId id = intern.id_of(item);
+      succ_gen.generate(intern.cells_of(item), k, n, successors.data());
+      intern.after_expand(item);
+      for (unsigned s = 0; s < k; ++s) {
+        const Sfa::StateId to =
+            intern_cells(successors.data() + static_cast<std::size_t>(s) * n);
+        delta[static_cast<std::size_t>(id) * k + s] = to;
+      }
+    }
+  }
+
+  SFA_TRACE_SCOPE("build", "finalize");
+  intern.finalize_mappings(result, opt.keep_mappings);
+  result.set_table(std::move(delta), std::move(accepting));
+
+  BuildStats local;
+  local.sfa_states = result.num_states();
+  local.dfa_states = n;
+  local.seconds = timer.seconds();
+  local.mapping_bytes_uncompressed =
+      static_cast<std::uint64_t>(result.num_states()) * n * sizeof(Cell);
+  local.mapping_bytes_stored = result.has_mappings()
+                                   ? result.mapping_store_bytes()
+                                   : local.mapping_bytes_uncompressed;
+  local.delta_reallocations = delta_reallocations;
+  local.threads = 1;
+  intern.fill_stats(local, result);
+
+  if (const HashSetCounters* hc = intern.hash_counters())
+    publish_hash_metrics(*hc);
+  publish_build_run(method_label, result.num_states(), 1,
+                    local.compression_triggered);
+  if (stats) *stats = local;
+  return result;
+}
+
+}  // namespace sfa::detail

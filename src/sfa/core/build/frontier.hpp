@@ -1,0 +1,39 @@
+// Frontier policy seam (construction substrate, layer 3 of 4).
+//
+// The frontier holds discovered-but-unexpanded SFA states (Q_tmp in
+// Algorithm 1).  The sequential policy is a FIFO worklist — BFS order, which
+// also fixes the state numbering all sequential builders share.  The
+// parallel policy is the two-regime scheduler of §III-B2 (global
+// CAS-enqueue/statically-partitioned-dequeue queue, then per-worker
+// work-stealing deques); it is inherently tied to the worker team and lives
+// in the parallel driver (build/parallel.cpp) built from the same
+// concurrent substrate (GlobalQueue + WorkStealingQueue).
+#pragma once
+
+#include <deque>
+#include <utility>
+
+namespace sfa::detail {
+
+template <typename Item>
+class FifoFrontier {
+ public:
+  static constexpr const char* kName = "fifo";
+
+  void push(Item item) { queue_.push_back(std::move(item)); }
+
+  bool pop(Item& out) {
+    if (queue_.empty()) return false;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+
+ private:
+  std::deque<Item> queue_;
+};
+
+}  // namespace sfa::detail

@@ -1,0 +1,263 @@
+// InternTable policy seam (construction substrate, layer 1 of 4).
+//
+// The intern table answers "have we seen this mapping before, and if not,
+// what is its id?" — line 7 of Algorithm 1.  Three sequential policies:
+//
+//   TreeInternTable         std::map over exhaustive cell vectors — the
+//                           non-optimized implementation the paper measures
+//                           sequential speedups against (§IV-A).
+//   ChainedInternTable      CityHash-class fingerprint + chained hash table
+//                           with exhaustive compare only on fingerprint
+//                           equality (§III-A); parameterized by a
+//                           MappingStore (build/store.hpp), which is how
+//                           three-phase compression composes with the
+//                           sequential hashed/transposed builders.
+//   FingerprintInternTable  the probabilistic scheme the paper sketches:
+//                           the 64-bit Rabin fingerprint ALONE decides
+//                           membership; no resident payload, state vectors
+//                           live only on the work frontier.  Membership and
+//                           storage collapse into one structure here, so the
+//                           "drop" store is fused in rather than a separate
+//                           MappingStore.
+//
+// The lock-free CAS-based intern policy is the same LockFreeHashSet driven
+// through its racing insert_if_absent path; it is tied to the worker team
+// and lives in the parallel driver (build/parallel.cpp).
+//
+// Driver contract (see build/driver.hpp):
+//   using WorkItem;                        // what the frontier holds
+//   StateId intern(cells, fresh, item);    // find-or-insert, id out
+//   const Cell* cells_of(WorkItem&);       // valid until the next intern()
+//   StateId id_of(const WorkItem&);
+//   void after_expand(WorkItem&);          // successors generated; payload
+//                                          //   may be dropped
+//   void finalize_mappings(Sfa&, keep);
+//   void fill_stats(BuildStats&, const Sfa&);
+#pragma once
+
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build/store.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/hash/city64.hpp"
+#include "sfa/hash/rabin.hpp"
+
+namespace sfa::detail {
+
+template <typename Cell>
+class TreeInternTable {
+ public:
+  using WorkItem = Sfa::StateId;
+  static constexpr const char* kName = "tree";
+  static constexpr const char* kStoreName = "inline";
+
+  TreeInternTable(const Dfa& dfa, const BuildOptions&) : n_(dfa.size()) {}
+
+  Sfa::StateId intern(const Cell* cells, bool& fresh, WorkItem& item) {
+    std::vector<Cell> key(cells, cells + n_);
+    // Every membership test costs O(log |Q_s|) vector comparisons.
+    const auto it = known_.find(key);
+    if (it != known_.end()) {
+      fresh = false;
+      return it->second;
+    }
+    const Sfa::StateId id = static_cast<Sfa::StateId>(states_.size());
+    known_.emplace(key, id);
+    states_.push_back(std::move(key));
+    fresh = true;
+    item = id;
+    return id;
+  }
+
+  const Cell* cells_of(const WorkItem& id) { return states_[id].data(); }
+  Sfa::StateId id_of(const WorkItem& id) const { return id; }
+  void after_expand(WorkItem&) {}
+
+  void finalize_mappings(Sfa& result, bool keep_mappings) const {
+    if (!keep_mappings) return;
+    std::vector<std::uint8_t> raw(states_.size() * static_cast<std::size_t>(n_) *
+                                  sizeof(Cell));
+    for (std::size_t i = 0; i < states_.size(); ++i)
+      std::memcpy(raw.data() + i * n_ * sizeof(Cell), states_[i].data(),
+                  n_ * sizeof(Cell));
+    result.set_mappings_raw(std::move(raw));
+  }
+
+  void fill_stats(BuildStats&, const Sfa&) const {}
+  const HashSetCounters* hash_counters() const { return nullptr; }
+
+ private:
+  const std::uint32_t n_;
+  std::map<std::vector<Cell>, Sfa::StateId> known_;
+  std::vector<std::vector<Cell>> states_;  // by id
+};
+
+template <typename Cell, typename Store>
+class ChainedInternTable {
+ public:
+  using Node = StateNode<Cell>;
+  using WorkItem = Node*;
+  static constexpr const char* kName = "chained";
+  static constexpr const char* kStoreName = Store::kName;
+
+  ChainedInternTable(const Dfa& dfa, const BuildOptions& opt)
+      : n_(dfa.size()), store_(dfa, opt), table_(opt.hash_buckets) {}
+
+  Sfa::StateId intern(const Cell* cells, bool& fresh, WorkItem& item) {
+    const std::uint64_t fp = city_hash64(cells, sizeof(Cell) * n_);
+    // Probe-before-allocate: a stack node pointing at the candidate cells
+    // avoids arena garbage on duplicates.  The probe stays UNCOMPRESSED even
+    // once the store has switched modes: the traits decompress a resident
+    // node only on fingerprint equality, far cheaper than compressing every
+    // candidate before lookup.
+    Node probe;
+    probe.fingerprint = fp;
+    probe.payload = reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
+    probe.payload_size = static_cast<std::uint32_t>(sizeof(Cell) * n_);
+    // Counted lookup: single-threaded, so BuildStats can report lookup work
+    // (chain traversals, fp collisions) on par with the parallel builder.
+    if (Node* hit = table_.find_counted(fp, probe)) {
+      fresh = false;
+      return hit->id.load(std::memory_order_relaxed);
+    }
+
+    Node* node = store_.make_node(cells, fp);
+    node->id.store(static_cast<Sfa::StateId>(nodes_.size()),
+                   std::memory_order_relaxed);
+    table_.insert_if_absent(node);  // single-threaded: always wins
+    nodes_.push_back(node);
+    // Threshold check after every allocation, like the parallel builder's
+    // manager_.observe() — node headers stay valid across the switch, so the
+    // chains and the frontier survive untouched.
+    store_.maybe_compress(nodes_);
+    fresh = true;
+    item = node;
+    return node->id.load(std::memory_order_relaxed);
+  }
+
+  const Cell* cells_of(const WorkItem& node) { return store_.cells_of(node); }
+  Sfa::StateId id_of(const WorkItem& node) const {
+    return node->id.load(std::memory_order_relaxed);
+  }
+  void after_expand(WorkItem&) {}
+
+  void finalize_mappings(Sfa& result, bool keep_mappings) const {
+    store_.finalize(result, nodes_, keep_mappings);
+  }
+
+  void fill_stats(BuildStats& stats, const Sfa&) const {
+    stats.fingerprint_collisions =
+        table_.counters.fp_collisions.load(std::memory_order_relaxed);
+    stats.chain_traversals =
+        table_.counters.chain_traversals.load(std::memory_order_relaxed);
+    store_.fill_stats(stats);
+  }
+
+  const HashSetCounters* hash_counters() const { return &table_.counters; }
+
+ private:
+  const std::uint32_t n_;
+  Store store_;
+  LockFreeHashSet<Node, StateNodeTraits<Cell>> table_;
+  std::vector<Node*> nodes_;  // by id
+};
+
+/// Hash-set node for the fingerprint-only scheme: no payload at all.
+struct FpNode {
+  std::atomic<FpNode*> next{nullptr};
+  std::uint64_t fp = 0;
+  std::uint32_t id = 0;
+};
+
+struct FpTraits {
+  static std::atomic<FpNode*>& next(FpNode& n) { return n.next; }
+  static std::uint64_t fingerprint(const FpNode& n) { return n.fp; }
+  // Fingerprint equality IS state equality in the probabilistic scheme: a
+  // collision silently merges two distinct SFA states (expected collisions
+  // ~ |Q_s|^2 / 2^64 for a random degree-64 modulus).
+  static bool same_state(const FpNode&, const FpNode&) { return true; }
+};
+
+template <typename Cell>
+class FingerprintInternTable {
+ public:
+  // Discovered-but-unexpanded states carry their vector WITH them on the
+  // frontier — the only place an exhaustive payload exists in this scheme.
+  using WorkItem = std::pair<std::uint32_t, std::vector<Cell>>;
+  static constexpr const char* kName = "fingerprint";
+  static constexpr const char* kStoreName = "drop";
+
+  FingerprintInternTable(const Dfa& dfa, const BuildOptions& opt)
+      : n_(dfa.size()),
+        keep_(opt.keep_mappings),
+        rabin_(default_rabin()),
+        table_(opt.hash_buckets) {}
+
+  Sfa::StateId intern(const Cell* cells, bool& fresh, WorkItem& item) {
+    const std::uint64_t fp = rabin_.hash(cells, sizeof(Cell) * n_);
+    FpNode probe;
+    probe.fp = fp;
+    if (FpNode* hit = table_.find_counted(fp, probe)) {
+      fresh = false;
+      return hit->id;
+    }
+
+    nodes_.emplace_back();
+    FpNode* node = &nodes_.back();  // deque: stable addresses
+    node->fp = fp;
+    node->id = static_cast<std::uint32_t>(nodes_.size() - 1);
+    table_.insert_if_absent(node);
+
+    if (keep_) {
+      const std::size_t off = mappings_.size();
+      mappings_.resize(off + sizeof(Cell) * n_);
+      std::memcpy(mappings_.data() + off, cells, sizeof(Cell) * n_);
+    }
+    item = WorkItem(node->id, std::vector<Cell>(cells, cells + n_));
+    frontier_bytes_ += sizeof(Cell) * n_;
+    peak_frontier_bytes_ = std::max(peak_frontier_bytes_, frontier_bytes_);
+    fresh = true;
+    return node->id;
+  }
+
+  const Cell* cells_of(const WorkItem& item) { return item.second.data(); }
+  Sfa::StateId id_of(const WorkItem& item) const { return item.first; }
+
+  /// Successors generated: the vector is dead weight from here (it dies with
+  /// the WorkItem); drop it from the live-payload accounting.
+  void after_expand(WorkItem&) { frontier_bytes_ -= sizeof(Cell) * n_; }
+
+  void finalize_mappings(Sfa& result, bool keep_mappings) {
+    if (keep_mappings) result.set_mappings_raw(std::move(mappings_));
+  }
+
+  void fill_stats(BuildStats& stats, const Sfa& result) const {
+    stats.chain_traversals =
+        table_.counters.chain_traversals.load(std::memory_order_relaxed);
+    stats.peak_frontier_bytes = peak_frontier_bytes_;
+    // Resident store: one small node per state instead of n cells.
+    stats.mapping_bytes_stored =
+        keep_ ? stats.mapping_bytes_uncompressed
+              : result.num_states() * sizeof(FpNode);
+  }
+
+  const HashSetCounters* hash_counters() const { return &table_.counters; }
+
+ private:
+  const std::uint32_t n_;
+  const bool keep_;
+  const RabinFingerprinter& rabin_;
+  LockFreeHashSet<FpNode, FpTraits> table_;
+  std::deque<FpNode> nodes_;  // stable addresses; one per discovered state
+  std::vector<std::uint8_t> mappings_;  // only when keep_mappings
+  std::size_t frontier_bytes_ = 0, peak_frontier_bytes_ = 0;
+};
+
+}  // namespace sfa::detail

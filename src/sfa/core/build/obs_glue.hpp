@@ -1,0 +1,49 @@
+// Shared observability glue for the construction substrate: folding the
+// concurrent substrate's counter blocks into the process-wide metrics
+// registry.  Implemented once here so the sequential driver and the parallel
+// builder publish identically-shaped metrics (ROADMAP [obs]).
+#pragma once
+
+#include <string>
+
+#include "sfa/concurrent/counters.hpp"
+#include "sfa/obs/metrics.hpp"
+
+namespace sfa::detail {
+
+/// Fold a concurrent-substrate Log2Histogram (relaxed atomics, same bucket
+/// geometry) into a registry histogram.
+inline void merge_log2(obs::Histogram& dst, const Log2Histogram& src) {
+  std::uint64_t counts[Log2Histogram::kBuckets];
+  for (int i = 0; i < Log2Histogram::kBuckets; ++i)
+    counts[i] = src.buckets[i].load(std::memory_order_relaxed);
+  dst.merge_buckets(counts, Log2Histogram::kBuckets,
+                    src.sum.load(std::memory_order_relaxed));
+}
+
+/// Hash-table behaviour under the shared sfa.hash.* names — one metric
+/// family regardless of which builder drove the table.
+inline void publish_hash_metrics(const HashSetCounters& tc) {
+  auto& reg = obs::Registry::instance();
+  const auto rel = std::memory_order_relaxed;
+  reg.counter("sfa.hash.inserts").inc(tc.inserts.load(rel));
+  reg.counter("sfa.hash.duplicates").inc(tc.duplicates.load(rel));
+  reg.counter("sfa.hash.fp_collisions").inc(tc.fp_collisions.load(rel));
+  reg.counter("sfa.hash.cas_failures").inc(tc.cas_failures.load(rel));
+  reg.counter("sfa.hash.chain_traversals").inc(tc.chain_traversals.load(rel));
+  merge_log2(reg.histogram("sfa.hash.chain_length"), tc.chain_length);
+}
+
+/// Per-method run accounting: sfa.build.<method>.{runs,states,compressions}
+/// (mirrors the names the parallel builder has always published).
+inline void publish_build_run(const char* method, std::uint64_t states,
+                              unsigned threads, bool compression_triggered) {
+  auto& reg = obs::Registry::instance();
+  const std::string prefix = std::string("sfa.build.") + method;
+  reg.counter(prefix + ".runs").inc();
+  reg.gauge(prefix + ".threads").set(threads);
+  reg.gauge(prefix + ".states").set(static_cast<std::int64_t>(states));
+  if (compression_triggered) reg.counter(prefix + ".compressions").inc();
+}
+
+}  // namespace sfa::detail

@@ -1,23 +1,32 @@
 // Parallel SFA construction (paper §III-B) with three-phase in-memory
-// compression (§III-C).
+// compression (§III-C) — the substrate's concurrent driver.
 //
-// Work distribution: construction starts on a single global queue with
-// CAS-synchronized enqueues and statically partitioned dequeues; once the
-// global queue fills (the threshold), it is closed and workers move to
-// thread-local work-stealing queues (owner LIFO pop, thieves CAS-steal from
-// the opposite end, nearest victim first).
+// The policy components are the same seams the sequential driver composes
+// (build/driver.hpp), taken in their concurrent variants:
 //
-// Deduplication: a lock-free chained hash table keyed by CityHash-class
-// fingerprints; losers of an insertion race adopt the winner's node.  State
-// ids are published after the winning insertion; concurrent readers spin on
-// the unset sentinel, which keeps ids dense.
+//   InternTable   the LockFreeHashSet driven through its racing
+//                 insert_if_absent path (losers adopt the winner's node; ids
+//                 are published after insertion and readers spin on the
+//                 unset sentinel, which keeps ids dense)
+//   SuccessorGen  detail::TransposedSuccessorGen — shared verbatim with the
+//                 sequential transposed builder (immutable, so one instance
+//                 serves every worker)
+//   Frontier      the two-regime scheduler of §III-B2: a global queue with
+//                 CAS-synchronized enqueues and statically partitioned
+//                 dequeues, then per-worker work-stealing deques (owner LIFO
+//                 pop, thieves CAS-steal the opposite end, nearest victim
+//                 first)
+//   MappingStore  per-worker arenas with the multi-worker three-phase
+//                 rendezvous: when accounted usage crosses the threshold,
+//                 every worker acknowledges between work items, the world
+//                 stops at a barrier, the hash table is rebuilt from
+//                 re-compressed states, uncompressed arenas are reclaimed,
+//                 and construction resumes compressing on creation
 //
-// Compression: when the accounted arena usage crosses the threshold, the
-// memory manager flags the compression phase.  Every worker acknowledges
-// between work items, the world stops at a barrier, the hash table is
-// emptied and rebuilt from re-compressed states (no duplicate checks
-// needed), uncompressed payload arenas are reclaimed, and construction
-// resumes with each new state compressed on creation.
+// The worker team, rendezvous barriers, and id-publication protocol make
+// this a distinct driver rather than an instantiation of the sequential
+// template; everything else (codec resolution, successor generation, metric
+// names) is shared substrate code.
 #include <cstring>
 #include <memory>
 #include <mutex>
@@ -25,7 +34,6 @@
 #include <thread>
 #include <vector>
 
-#include "sfa/compress/deflate_like.hpp"
 #include "sfa/concurrent/barrier.hpp"
 #include "sfa/concurrent/global_queue.hpp"
 #include "sfa/concurrent/lockfree_hash_set.hpp"
@@ -33,11 +41,13 @@
 #include "sfa/concurrent/ws_queue.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/build_common.hpp"
+#include "sfa/core/build/obs_glue.hpp"
+#include "sfa/core/build/store.hpp"
+#include "sfa/core/build/successor.hpp"
 #include "sfa/core/state.hpp"
 #include "sfa/hash/city64.hpp"
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/trace.hpp"
-#include "sfa/simd/transpose.hpp"
 #include "sfa/support/timer.hpp"
 
 namespace sfa {
@@ -56,12 +66,12 @@ class ParallelBuilder {
         k_(dfa.num_symbols()),
         n_(dfa.size()),
         threads_(opt.num_threads == 0 ? 1 : opt.num_threads),
-        delta_table_(detail::cell_delta_table<Cell>(dfa)),
+        succ_gen_(dfa, opt),
         table_(opt.hash_buckets),
         global_(opt.global_queue_capacity),
         manager_(opt.memory_threshold_bytes, threads_),
         barrier_(threads_),
-        codec_(opt.codec ? opt.codec : default_codec()) {
+        codec_(detail::resolve_codec(opt)) {
     workers_.reserve(threads_);
     for (unsigned t = 0; t < threads_; ++t)
       workers_.push_back(std::make_unique<WorkerState>(
@@ -100,11 +110,6 @@ class ParallelBuilder {
   }
 
  private:
-  static const Codec* default_codec() {
-    static const DeflateLikeCodec codec;
-    return &codec;
-  }
-
   struct WorkerState {
     explicit WorkerState(MemoryAccounting* accounting)
         : headers(accounting), payloads(accounting), compressed(accounting),
@@ -236,8 +241,7 @@ class ParallelBuilder {
     }
 
     // All |Sigma| successors in one parameterized transposition.
-    successors_transposed<Cell>(delta_table_.data(), k_, src, n_,
-                                w.succ_buffer.data(), opt_.transpose);
+    succ_gen_.generate(src, k_, n_, w.succ_buffer.data());
 
     const std::uint32_t src_id = node->id.load(std::memory_order_acquire);
     Sfa::StateId* row = delta_row(src_id);
@@ -489,34 +493,16 @@ class ParallelBuilder {
         global_.counters.cas_failures.load(std::memory_order_relaxed);
   }
 
-  static void merge_log2(obs::Histogram& dst, const Log2Histogram& src) {
-    std::uint64_t counts[Log2Histogram::kBuckets];
-    for (int i = 0; i < Log2Histogram::kBuckets; ++i)
-      counts[i] = src.buckets[i].load(std::memory_order_relaxed);
-    dst.merge_buckets(counts, Log2Histogram::kBuckets,
-                      src.sum.load(std::memory_order_relaxed));
-  }
-
   /// Fold this run's substrate counters into the process-wide metrics
   /// registry (surfaced via --stats-json and the Prometheus exporter).
   /// Metrics are always on — only span tracing is compile-time gated.
   void publish_metrics() {
     auto& reg = obs::Registry::instance();
-    const auto& tc = table_.counters;
     const auto rel = std::memory_order_relaxed;
 
-    reg.counter("sfa.build.parallel.runs").inc();
-    reg.gauge("sfa.build.parallel.threads").set(threads_);
-    reg.gauge("sfa.build.parallel.states").set(next_id_.load(rel));
-    if (compression_triggered_)
-      reg.counter("sfa.build.parallel.compressions").inc();
-
-    reg.counter("sfa.hash.inserts").inc(tc.inserts.load(rel));
-    reg.counter("sfa.hash.duplicates").inc(tc.duplicates.load(rel));
-    reg.counter("sfa.hash.fp_collisions").inc(tc.fp_collisions.load(rel));
-    reg.counter("sfa.hash.cas_failures").inc(tc.cas_failures.load(rel));
-    reg.counter("sfa.hash.chain_traversals").inc(tc.chain_traversals.load(rel));
-    merge_log2(reg.histogram("sfa.hash.chain_length"), tc.chain_length);
+    detail::publish_build_run("parallel", next_id_.load(rel), threads_,
+                              compression_triggered_);
+    detail::publish_hash_metrics(table_.counters);
 
     std::uint64_t pushes = 0, pops = 0, steals = 0, steal_failures = 0,
                   cas_failures = 0, from_global = 0;
@@ -529,7 +515,7 @@ class ParallelBuilder {
       steal_failures += qc.steal_failures.load(rel);
       cas_failures += qc.cas_failures.load(rel);
       from_global += w->from_global;
-      merge_log2(steal_cycles, qc.steal_cycles);
+      detail::merge_log2(steal_cycles, qc.steal_cycles);
     }
     reg.counter("sfa.queue.pushes").inc(pushes);
     reg.counter("sfa.queue.pops").inc(pops);
@@ -546,7 +532,7 @@ class ParallelBuilder {
   const unsigned k_;
   const std::uint32_t n_;
   const unsigned threads_;
-  const std::vector<Cell> delta_table_;
+  const detail::TransposedSuccessorGen<Cell> succ_gen_;
 
   Table table_;
   GlobalQueue global_;
@@ -579,39 +565,6 @@ Sfa build_sfa_parallel(const Dfa& dfa, const BuildOptions& options,
   }
   ParallelBuilder<std::uint32_t> builder(dfa, options);
   return builder.build(stats);
-}
-
-Sfa build_sfa(const Dfa& dfa, BuildMethod method, const BuildOptions& options,
-              BuildStats* stats) {
-  switch (method) {
-    case BuildMethod::kBaseline:
-      return build_sfa_baseline(dfa, options, stats);
-    case BuildMethod::kHashed:
-      return build_sfa_hashed(dfa, options, stats);
-    case BuildMethod::kTransposed:
-      return build_sfa_transposed(dfa, options, stats);
-    case BuildMethod::kParallel:
-      return build_sfa_parallel(dfa, options, stats);
-    case BuildMethod::kProbabilistic:
-      return build_sfa_probabilistic(dfa, options, stats);
-  }
-  throw std::logic_error("unknown build method");
-}
-
-const char* build_method_name(BuildMethod m) {
-  switch (m) {
-    case BuildMethod::kBaseline:
-      return "baseline";
-    case BuildMethod::kHashed:
-      return "hashed";
-    case BuildMethod::kTransposed:
-      return "transposed";
-    case BuildMethod::kParallel:
-      return "parallel";
-    case BuildMethod::kProbabilistic:
-      return "probabilistic";
-  }
-  return "?";
 }
 
 }  // namespace sfa

@@ -1,0 +1,113 @@
+// Sequential builder entry points: each BuildMethod is a policy combination
+// over the one templated driver (build/driver.hpp).  See docs/ARCHITECTURE.md
+// for the seam-by-seam map to the paper's sections.
+#include <stdexcept>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/core/build/driver.hpp"
+#include "sfa/core/build/intern.hpp"
+#include "sfa/core/build/store.hpp"
+#include "sfa/core/build/successor.hpp"
+
+namespace sfa {
+
+namespace {
+
+// Hashed/transposed pick their MappingStore at runtime: a nonzero
+// memory_threshold_bytes selects the three-phase compressed store (§III-C),
+// otherwise payloads stay raw.  Pre-substrate, the threshold was silently
+// ignored outside kParallel.
+template <typename Cell, template <typename> class SuccGen>
+Sfa build_chained(const Dfa& dfa, const BuildOptions& opt, BuildStats* stats,
+                  const char* label) {
+  if (opt.memory_threshold_bytes > 0)
+    return detail::run_sequential_build<
+        Cell,
+        detail::ChainedInternTable<Cell, detail::CompressedMappingStore<Cell>>,
+        SuccGen<Cell>>(dfa, opt, stats, label);
+  return detail::run_sequential_build<
+      Cell, detail::ChainedInternTable<Cell, detail::RawMappingStore<Cell>>,
+      SuccGen<Cell>>(dfa, opt, stats, label);
+}
+
+}  // namespace
+
+Sfa build_sfa_baseline(const Dfa& dfa, const BuildOptions& options,
+                       BuildStats* stats) {
+  if (detail::use_16bit_cells(dfa))
+    return detail::run_sequential_build<std::uint16_t,
+                                        detail::TreeInternTable<std::uint16_t>,
+                                        detail::ScalarSuccessorGen<std::uint16_t>>(
+        dfa, options, stats, "baseline");
+  return detail::run_sequential_build<std::uint32_t,
+                                      detail::TreeInternTable<std::uint32_t>,
+                                      detail::ScalarSuccessorGen<std::uint32_t>>(
+      dfa, options, stats, "baseline");
+}
+
+Sfa build_sfa_hashed(const Dfa& dfa, const BuildOptions& options,
+                     BuildStats* stats) {
+  return detail::use_16bit_cells(dfa)
+             ? build_chained<std::uint16_t, detail::ScalarSuccessorGen>(
+                   dfa, options, stats, "hashed")
+             : build_chained<std::uint32_t, detail::ScalarSuccessorGen>(
+                   dfa, options, stats, "hashed");
+}
+
+Sfa build_sfa_transposed(const Dfa& dfa, const BuildOptions& options,
+                         BuildStats* stats) {
+  return detail::use_16bit_cells(dfa)
+             ? build_chained<std::uint16_t, detail::TransposedSuccessorGen>(
+                   dfa, options, stats, "transposed")
+             : build_chained<std::uint32_t, detail::TransposedSuccessorGen>(
+                   dfa, options, stats, "transposed");
+}
+
+Sfa build_sfa_probabilistic(const Dfa& dfa, const BuildOptions& options,
+                            BuildStats* stats) {
+  if (detail::use_16bit_cells(dfa))
+    return detail::run_sequential_build<
+        std::uint16_t, detail::FingerprintInternTable<std::uint16_t>,
+        detail::TransposedSuccessorGen<std::uint16_t>>(dfa, options, stats,
+                                                       "probabilistic");
+  return detail::run_sequential_build<
+      std::uint32_t, detail::FingerprintInternTable<std::uint32_t>,
+      detail::TransposedSuccessorGen<std::uint32_t>>(dfa, options, stats,
+                                                     "probabilistic");
+}
+
+Sfa build_sfa(const Dfa& dfa, BuildMethod method, const BuildOptions& options,
+              BuildStats* stats) {
+  switch (method) {
+    case BuildMethod::kBaseline:
+      return build_sfa_baseline(dfa, options, stats);
+    case BuildMethod::kHashed:
+      return build_sfa_hashed(dfa, options, stats);
+    case BuildMethod::kTransposed:
+      return build_sfa_transposed(dfa, options, stats);
+    case BuildMethod::kParallel:
+      return build_sfa_parallel(dfa, options, stats);
+    case BuildMethod::kProbabilistic:
+      return build_sfa_probabilistic(dfa, options, stats);
+  }
+  throw std::logic_error("unknown build method");
+}
+
+const char* build_method_name(BuildMethod m) {
+  switch (m) {
+    case BuildMethod::kBaseline:
+      return "baseline";
+    case BuildMethod::kHashed:
+      return "hashed";
+    case BuildMethod::kTransposed:
+      return "transposed";
+    case BuildMethod::kParallel:
+      return "parallel";
+    case BuildMethod::kProbabilistic:
+      return "probabilistic";
+  }
+  return "?";
+}
+
+}  // namespace sfa

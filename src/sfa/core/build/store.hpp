@@ -1,0 +1,204 @@
+// MappingStore policy seam (construction substrate, layer 4 of 4).
+//
+// The store owns the payload representation of interned SFA states: the
+// node arenas, the (optional) three-phase compression of §III-C, and the
+// finalization of the result's mapping store.  Policies:
+//
+//   RawMappingStore         every payload stays an uncompressed cell vector
+//                           in a bump arena — the paper's default when the
+//                           problem fits in memory.
+//   CompressedMappingStore  the three-phase scheme of §III-C, now available
+//                           to the SEQUENTIAL hashed/transposed builders as
+//                           well: states accumulate uncompressed until the
+//                           accounted arena usage crosses
+//                           BuildOptions::memory_threshold_bytes, then every
+//                           resident payload is re-compressed in one pass
+//                           (single-threaded stop-the-world — there is only
+//                           one thread to stop), the uncompressed arena is
+//                           reclaimed wholesale, and construction resumes
+//                           compressing each new state on creation.
+//
+// The fingerprint-only "drop" store of the probabilistic builder keeps no
+// resident payload at all; it is fused into FingerprintInternTable
+// (build/intern.hpp) because membership and storage collapse into one
+// structure there.
+//
+// The parallel builder implements the same two store behaviours with a
+// multi-worker rendezvous (build/parallel.cpp); the codec plumbing and
+// node helpers here are shared.
+#pragma once
+
+#include <cstring>
+#include <vector>
+
+#include "sfa/compress/deflate_like.hpp"
+#include "sfa/concurrent/arena.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/obs/trace.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa::detail {
+
+/// The codec used when BuildOptions::codec is null (the paper's
+/// deflate-like pick from the §III-C Squash evaluation).
+inline const Codec* default_build_codec() {
+  static const DeflateLikeCodec codec;
+  return &codec;
+}
+
+inline const Codec* resolve_codec(const BuildOptions& opt) {
+  return opt.codec ? opt.codec : default_build_codec();
+}
+
+template <typename Cell>
+class RawMappingStore {
+ public:
+  using Node = StateNode<Cell>;
+  static constexpr const char* kName = "raw";
+
+  RawMappingStore(const Dfa& dfa, const BuildOptions&)
+      : n_(dfa.size()) {}
+
+  Node* make_node(const Cell* cells, std::uint64_t fp) {
+    return make_state_node<Cell>(headers_, payloads_, cells, n_, fp);
+  }
+
+  const Cell* cells_of(const Node* node) { return node->cells(); }
+
+  /// Raw storage never switches representation.
+  void maybe_compress(const std::vector<Node*>&) {}
+
+  bool compression_triggered() const { return false; }
+
+  void finalize(Sfa& result, const std::vector<Node*>& nodes,
+                bool keep_mappings) const {
+    if (!keep_mappings) return;
+    std::vector<std::uint8_t> raw(nodes.size() * static_cast<std::size_t>(n_) *
+                                  sizeof(Cell));
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      std::memcpy(raw.data() + i * n_ * sizeof(Cell), nodes[i]->payload,
+                  n_ * sizeof(Cell));
+    result.set_mappings_raw(std::move(raw));
+  }
+
+  void fill_stats(BuildStats&) const {}
+
+ private:
+  const std::uint32_t n_;
+  Arena headers_, payloads_;
+};
+
+template <typename Cell>
+class CompressedMappingStore {
+ public:
+  using Node = StateNode<Cell>;
+  static constexpr const char* kName = "compressed";
+
+  CompressedMappingStore(const Dfa& dfa, const BuildOptions& opt)
+      : n_(dfa.size()),
+        raw_bytes_(static_cast<std::size_t>(n_) * sizeof(Cell)),
+        threshold_(opt.memory_threshold_bytes),
+        codec_(resolve_codec(opt)),
+        headers_(&accounting_),
+        payloads_(&accounting_),
+        compressed_(&accounting_) {
+    scratch_.resize(raw_bytes_);
+    // Mixed compressed/uncompressed probes need the codec on this thread
+    // from the moment the first compressed node can appear.
+    StateNodeTraits<Cell>::set_compare_context(codec_, raw_bytes_);
+  }
+
+  Node* make_node(const Cell* cells, std::uint64_t fp) {
+    if (compressed_mode_) {
+      comp_scratch_ = codec_->compress(ByteView(
+          reinterpret_cast<const std::uint8_t*>(cells), raw_bytes_));
+      return make_compressed_node<Cell>(
+          headers_, compressed_, comp_scratch_.data(),
+          static_cast<std::uint32_t>(comp_scratch_.size()), fp);
+    }
+    return make_state_node<Cell>(headers_, payloads_, cells, n_, fp);
+  }
+
+  const Cell* cells_of(const Node* node) {
+    if (!node->compressed()) return node->cells();
+    const Bytes raw = codec_->decompress(
+        ByteView(node->bytes(), node->payload_size), raw_bytes_);
+    std::memcpy(scratch_.data(), raw.data(), raw.size());
+    return reinterpret_cast<const Cell*>(scratch_.data());
+  }
+
+  /// Threshold watcher — the sequential analogue of MemoryManager::observe()
+  /// plus the whole §III-C rendezvous collapsed to one thread: re-compress
+  /// every resident payload, reclaim the uncompressed generation, and flip
+  /// to compress-on-create.  Node headers (and therefore the intern table's
+  /// chains and the frontier's Node pointers) stay valid throughout; only
+  /// payload pointers move.
+  void maybe_compress(const std::vector<Node*>& nodes) {
+    if (compressed_mode_ || threshold_ == 0 || accounting_.used() < threshold_)
+      return;
+    const WallTimer phase_timer;
+    SFA_TRACE_SCOPE("build", "compression");
+    for (Node* node : nodes) {
+      if (node->compressed()) continue;
+      const Bytes comp =
+          codec_->compress(ByteView(node->bytes(), node->payload_size));
+      auto* storage =
+          static_cast<std::byte*>(compressed_.allocate(comp.size(), 8));
+      std::memcpy(storage, comp.data(), comp.size());
+      node->payload = storage;
+      node->payload_size = static_cast<std::uint32_t>(comp.size());
+      node->is_compressed = 1;
+    }
+    payloads_.release_all();
+    compressed_mode_ = true;
+    compression_triggered_ = true;
+    compression_seconds_ += phase_timer.seconds();
+  }
+
+  bool compression_triggered() const { return compression_triggered_; }
+
+  void finalize(Sfa& result, const std::vector<Node*>& nodes,
+                bool keep_mappings) const {
+    if (!keep_mappings) return;
+    if (!compression_triggered_) {
+      std::vector<std::uint8_t> raw(nodes.size() *
+                                    static_cast<std::size_t>(raw_bytes_));
+      for (std::size_t i = 0; i < nodes.size(); ++i)
+        std::memcpy(raw.data() + i * raw_bytes_, nodes[i]->payload, raw_bytes_);
+      result.set_mappings_raw(std::move(raw));
+      return;
+    }
+    std::vector<Bytes> blobs(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const Node* node = nodes[i];
+      if (node->compressed()) {
+        blobs[i].assign(node->bytes(), node->bytes() + node->payload_size);
+      } else {
+        blobs[i] = codec_->compress(ByteView(node->bytes(), node->payload_size));
+      }
+    }
+    result.set_mappings_compressed(std::move(blobs), codec_);
+  }
+
+  void fill_stats(BuildStats& stats) const {
+    stats.compression_triggered = compression_triggered_;
+    stats.compression_seconds = compression_seconds_;
+  }
+
+ private:
+  const std::uint32_t n_;
+  const std::size_t raw_bytes_;
+  const std::size_t threshold_;
+  const Codec* codec_;
+  MemoryAccounting accounting_;
+  Arena headers_, payloads_, compressed_;
+  std::vector<std::uint8_t> scratch_;  // decompression scratch for cells_of
+  Bytes comp_scratch_;
+  bool compressed_mode_ = false;
+  bool compression_triggered_ = false;
+  double compression_seconds_ = 0;
+};
+
+}  // namespace sfa::detail

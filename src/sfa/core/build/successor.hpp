@@ -1,0 +1,68 @@
+// SuccessorGen policy seam (construction substrate, layer 2 of 4).
+//
+// Given the cells of one SFA state, produce the cells of ALL |Sigma|
+// successor states into a k x n row-major buffer (row sigma = the successor
+// on symbol sigma).  Two policies implement the paper's two regimes:
+//
+//   ScalarSuccessorGen      one delta-lookup per cell (Algorithm 1 line 6) —
+//                           the baseline/hashed builders' successor loop.
+//   TransposedSuccessorGen  parameterized transposition with SIMD kernels
+//                           (§III-A, Fig. 3) — all successors in one
+//                           cache-friendly sweep over the transposed table.
+//
+// Both fill the same buffer layout, so the driver interns row s for
+// s = 0..k-1 in identical order regardless of policy — state numbering is
+// policy-invariant, which the oracle's isomorphism checks rely on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/simd/transpose.hpp"
+
+namespace sfa::detail {
+
+template <typename Cell>
+class ScalarSuccessorGen {
+ public:
+  static constexpr const char* kName = "scalar";
+
+  ScalarSuccessorGen(const Dfa& dfa, const BuildOptions&) : dfa_(&dfa) {
+    if (!dfa.complete())
+      throw std::invalid_argument("SFA construction requires a complete DFA");
+  }
+
+  void generate(const Cell* src, unsigned k, std::uint32_t n, Cell* out) const {
+    for (unsigned s = 0; s < k; ++s) {
+      Cell* row = out + static_cast<std::size_t>(s) * n;
+      for (std::uint32_t q = 0; q < n; ++q)
+        row[q] = static_cast<Cell>(dfa_->transition(
+            static_cast<Dfa::StateId>(src[q]), static_cast<Symbol>(s)));
+    }
+  }
+
+ private:
+  const Dfa* dfa_;
+};
+
+template <typename Cell>
+class TransposedSuccessorGen {
+ public:
+  static constexpr const char* kName = "transposed";
+
+  TransposedSuccessorGen(const Dfa& dfa, const BuildOptions& opt)
+      : delta_table_(cell_delta_table<Cell>(dfa)), method_(opt.transpose) {}
+
+  void generate(const Cell* src, unsigned k, std::uint32_t n, Cell* out) const {
+    successors_transposed<Cell>(delta_table_.data(), k, src, n, out, method_);
+  }
+
+ private:
+  const std::vector<Cell> delta_table_;
+  const TransposeMethod method_;
+};
+
+}  // namespace sfa::detail

@@ -41,6 +41,9 @@ struct BuildStats {
   /// Probabilistic builder only: peak bytes of live (not-yet-expanded)
   /// state vectors — the working set the fingerprint-only scheme bounds.
   std::uint64_t peak_frontier_bytes = 0;
+  /// Times the dense delta table's backing storage moved during construction
+  /// (sequential builders; geometric growth keeps this O(log states)).
+  std::uint64_t delta_reallocations = 0;
 
   double compression_ratio() const {
     return mapping_bytes_stored

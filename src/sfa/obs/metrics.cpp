@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "sfa/obs/json.hpp"
+#include "sfa/support/timer.hpp"
 
 namespace sfa::obs {
 
@@ -192,7 +193,24 @@ void Registry::reset() {
 
 namespace {
 
-void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h) {
+/// Histograms recorded in raw TSC cycles (name suffix "_cycles") are also
+/// exported in nanoseconds, using the steady_clock calibration of tsc_hz()
+/// (cached after the first call).  Returns 0 when the platform has no TSC —
+/// the ns series is then omitted rather than reported wrong.
+double cycles_to_ns_factor() {
+  const double hz = ::sfa::tsc_hz();
+  return hz > 0.0 ? 1e9 / hz : 0.0;
+}
+
+bool is_cycles_histogram(const std::string& name) {
+  constexpr const char suffix[] = "_cycles";
+  constexpr std::size_t len = sizeof(suffix) - 1;
+  return name.size() >= len &&
+         name.compare(name.size() - len, len, suffix) == 0;
+}
+
+void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h,
+                          double ns_factor) {
   w.begin_object();
   w.kv("count", h.count);
   w.kv("sum", h.sum);
@@ -212,6 +230,15 @@ void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h) {
     w.end_array();
   }
   w.end_array();
+  if (ns_factor > 0.0) {
+    w.key("ns").begin_object();
+    w.kv("mean", h.mean() * ns_factor);
+    w.kv("p50", h.quantile(0.50) * ns_factor);
+    w.kv("p90", h.quantile(0.90) * ns_factor);
+    w.kv("p99", h.quantile(0.99) * ns_factor);
+    w.kv("sum", static_cast<double>(h.sum) * ns_factor);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -238,7 +265,8 @@ void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s) {
   w.key("histograms").begin_object();
   for (const auto& [name, h] : s.histograms) {
     w.key(name);
-    write_histogram_json(w, h);
+    write_histogram_json(w, h,
+                         is_cycles_histogram(name) ? cycles_to_ns_factor() : 0.0);
   }
   w.end_object();
   w.end_object();
@@ -280,6 +308,21 @@ std::string Registry::to_prometheus() const {
     }
     os << p << "_sum " << h.sum << "\n";
     os << p << "_count " << h.count << "\n";
+    // Calibrated nanosecond view of cycle-valued histograms, as a summary
+    // series (quantiles are estimates from the log2 buckets, not exact).
+    const double ns_factor =
+        is_cycles_histogram(name) ? cycles_to_ns_factor() : 0.0;
+    if (ns_factor > 0.0) {
+      os << "# TYPE " << p << "_ns summary\n";
+      os << p << "_ns{quantile=\"0.5\"} " << h.quantile(0.50) * ns_factor
+         << "\n";
+      os << p << "_ns{quantile=\"0.9\"} " << h.quantile(0.90) * ns_factor
+         << "\n";
+      os << p << "_ns{quantile=\"0.99\"} " << h.quantile(0.99) * ns_factor
+         << "\n";
+      os << p << "_ns_sum " << static_cast<double>(h.sum) * ns_factor << "\n";
+      os << p << "_ns_count " << h.count << "\n";
+    }
   }
   return os.str();
 }

@@ -39,6 +39,7 @@ void write_build_stats_json(std::ostream& os, const BuildStats& stats,
   w.kv("global_queue_states", stats.global_queue_states);
   w.end_object();
   w.kv("peak_frontier_bytes", stats.peak_frontier_bytes);
+  w.kv("delta_reallocations", stats.delta_reallocations);
   if (include_metrics) {
     w.key("metrics");
     write_metrics_json(w, Registry::instance().snapshot());
@@ -53,6 +54,7 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
   w.begin_object();
   w.kv("schema", "sfa-match-stats/1");
   w.kv("command", info.command);
+  w.kv("mode", info.mode);
   w.kv("input_symbols", info.input_symbols);
   w.kv("threads", std::uint64_t{info.threads});
   w.kv("seconds", info.seconds);

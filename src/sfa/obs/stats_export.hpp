@@ -15,6 +15,10 @@ namespace sfa::obs {
 
 struct MatchRunInfo {
   std::string command;     // "match"
+  /// How the input was consumed: "match" (one-shot acceptance), "count"
+  /// (occurrence counting), or "stream" (StreamMatcher session fed in
+  /// blocks).  Additive sfa-match-stats/1 field.
+  std::string mode = "match";
   std::uint64_t input_symbols = 0;
   unsigned threads = 1;
   double seconds = 0;

@@ -40,8 +40,67 @@ std::vector<BuilderVariant> default_variants() {
     o.memory_threshold_bytes = 1u << 12;
     v.push_back({"parallel-compress", BuildMethod::kParallel, o});
   }
+  {
+    // Sequential builders with the three-phase compression store: the same
+    // tiny threshold exercises recompress-in-place plus compress-on-create.
+    BuildOptions o;
+    o.memory_threshold_bytes = 1u << 12;
+    v.push_back({"hashed-compress", BuildMethod::kHashed, o});
+    v.push_back({"transposed-compress", BuildMethod::kTransposed, o});
+  }
   v.push_back({"probabilistic", BuildMethod::kProbabilistic, {}});
   return v;
+}
+
+std::optional<std::string> check_isomorphic(const Sfa& a, const Sfa& b) {
+  std::ostringstream os;
+  if (a.num_states() != b.num_states()) {
+    os << "state counts differ: " << a.num_states() << " vs " << b.num_states();
+    return os.str();
+  }
+  if (a.num_symbols() != b.num_symbols()) {
+    os << "alphabets differ: " << a.num_symbols() << " vs " << b.num_symbols();
+    return os.str();
+  }
+  const unsigned k = a.num_symbols();
+  constexpr Sfa::StateId kUnmapped = ~Sfa::StateId{0};
+  std::vector<Sfa::StateId> a_to_b(a.num_states(), kUnmapped);
+  std::vector<Sfa::StateId> b_to_a(b.num_states(), kUnmapped);
+  a_to_b[a.start()] = b.start();
+  b_to_a[b.start()] = a.start();
+  std::deque<Sfa::StateId> frontier{a.start()};
+  std::size_t paired = 1;
+  while (!frontier.empty()) {
+    const Sfa::StateId sa = frontier.front();
+    frontier.pop_front();
+    const Sfa::StateId sb = a_to_b[sa];
+    if (a.accepting(sa) != b.accepting(sb)) {
+      os << "accepting flag differs at pair (" << sa << ", " << sb << "): "
+         << a.accepting(sa) << " vs " << b.accepting(sb);
+      return os.str();
+    }
+    for (unsigned sym = 0; sym < k; ++sym) {
+      const Sfa::StateId ta = a.transition(sa, static_cast<Symbol>(sym));
+      const Sfa::StateId tb = b.transition(sb, static_cast<Symbol>(sym));
+      if (a_to_b[ta] == kUnmapped && b_to_a[tb] == kUnmapped) {
+        a_to_b[ta] = tb;
+        b_to_a[tb] = ta;
+        ++paired;
+        frontier.push_back(ta);
+      } else if (a_to_b[ta] != tb || b_to_a[tb] != ta) {
+        os << "transition mismatch: delta_a(" << sa << ", " << sym << ") = "
+           << ta << " but delta_b(" << sb << ", " << sym << ") = " << tb
+           << " conflicts with established pairing";
+        return os.str();
+      }
+    }
+  }
+  if (paired != a.num_states()) {
+    os << "only " << paired << " of " << a.num_states()
+       << " states reachable from the start pair";
+    return os.str();
+  }
+  return std::nullopt;
 }
 
 std::string format_input(const std::vector<Symbol>& input) {

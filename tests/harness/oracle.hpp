@@ -38,8 +38,9 @@ struct BuilderVariant {
 };
 
 /// All builder variants under test: the four paper variants (the parallel
-/// one at 1 and 4 threads and once with the compression phase forced) plus
-/// the probabilistic builder.
+/// one at 1 and 4 threads and once with the compression phase forced), the
+/// sequential hashed/transposed builders with the compression store forced,
+/// and the probabilistic builder.
 std::vector<BuilderVariant> default_variants();
 
 struct Divergence {
@@ -111,6 +112,13 @@ class Oracle {
 
 /// Format a symbol sequence as a compact reproducer string ("[3 1 0 2]").
 std::string format_input(const std::vector<Symbol>& input);
+
+/// Structural isomorphism of two SFAs: a lockstep BFS from the start states
+/// must induce a bijection that preserves transitions and accepting flags.
+/// Builders may number states differently (the parallel builder's order is
+/// scheduling-dependent), but they must discover the SAME automaton up to
+/// renumbering.  Returns a description of the first mismatch, or nullopt.
+std::optional<std::string> check_isomorphic(const Sfa& a, const Sfa& b);
 
 }  // namespace testing
 }  // namespace sfa

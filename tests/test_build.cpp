@@ -112,6 +112,29 @@ TEST(BuildStatsTest, ReportsStatesAndBytes) {
   EXPECT_GT(stats.seconds, 0.0);
 }
 
+TEST(BuildStatsTest, DeltaGrowsGeometrically) {
+  // Regression: build_sfa_hashed used to delta.resize() once per discovered
+  // state, reallocating (and copying) the table O(states) times.  The
+  // substrate driver grows the capacity geometrically, so the reallocation
+  // count must be logarithmic in the state count, never linear.
+  const Dfa dfa = compile_prosite("C-x-[DE]-x(2)-C.");
+  for (const BuildMethod m : {BuildMethod::kBaseline, BuildMethod::kHashed,
+                              BuildMethod::kTransposed,
+                              BuildMethod::kProbabilistic}) {
+    SCOPED_TRACE(build_method_name(m));
+    BuildStats stats;
+    const Sfa sfa = build_sfa(dfa, m, {}, &stats);
+    ASSERT_GT(sfa.num_states(), 100u) << "test DFA too small to be probative";
+    EXPECT_GT(stats.delta_reallocations, 0u);
+    // Doubling from one row can take at most ceil(log2(states)) + 1 steps.
+    std::uint64_t bound = 2;
+    while ((1u << bound) < sfa.num_states()) ++bound;
+    EXPECT_LE(stats.delta_reallocations, bound + 2)
+        << "delta table reallocated " << stats.delta_reallocations
+        << " times for " << sfa.num_states() << " states";
+  }
+}
+
 TEST(BuildOptionsTest, MaxStatesGuardThrows) {
   const Dfa dfa = compile_prosite("C-x(2,4)-C-x(3)-H.");
   BuildOptions opt;

@@ -1,10 +1,12 @@
 // Differential-oracle tests: every builder variant (baseline, hashed,
-// transposed, parallel x {1,4} threads, parallel+forced compression,
-// probabilistic) must agree with the plain-DFA reference and the classic
-// matchers on a ≥50-entry seeded corpus, including the |Σ| edge cases and
-// the degenerate languages.  Fault-injection tests prove the oracle actually
-// has teeth: a single flipped transition or corrupted mapping cell must be
-// reported with a minimized reproducer.
+// transposed, parallel x {1,4} threads, hashed/transposed/parallel with
+// forced compression, probabilistic) must agree with the plain-DFA reference
+// and the classic matchers on a ≥50-entry seeded corpus, including the |Σ|
+// edge cases and the degenerate languages.  A method × {compression on,off}
+// matrix additionally asserts SFA isomorphism against the baseline builder.
+// Fault-injection tests prove the oracle actually has teeth: a single flipped
+// transition or corrupted mapping cell must be reported with a minimized
+// reproducer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -18,6 +20,7 @@
 #include "harness/oracle.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
 
 namespace sfa {
 namespace {
@@ -88,6 +91,83 @@ TEST(OracleDifferential, AllVariantsAgreeOnSeededCorpus) {
   for (const CorpusEntry& entry : corpus) {
     const auto d = oracle.check(entry);
     EXPECT_FALSE(d.has_value()) << d->reproducer();
+  }
+}
+
+TEST(OracleDifferential, DefaultVariantsCoverSequentialCompression) {
+  const auto variants = default_variants();
+  const auto has = [&](const std::string& name) {
+    return std::any_of(variants.begin(), variants.end(),
+                       [&](const BuilderVariant& v) { return v.name == name; });
+  };
+  EXPECT_TRUE(has("hashed-compress"));
+  EXPECT_TRUE(has("transposed-compress"));
+  EXPECT_TRUE(has("parallel-compress"));
+}
+
+TEST(OracleDifferential, MethodCompressionMatrixIsomorphicToBaseline) {
+  // Every BuildMethod × {compression off, on} must yield an SFA isomorphic
+  // to the baseline builder's (identical automaton up to state renumbering)
+  // AND pass the full oracle.  This covers the newly-legal sequential
+  // compressed configurations alongside the paper's parallel one.
+  const std::vector<CorpusEntry> entries = {
+      testing::random_dfa_entry(211, 9, 4, {}),
+      testing::random_dfa_entry(223, 6, 3, {}),
+  };
+  const Oracle oracle;
+  for (const CorpusEntry& entry : entries) {
+    const Sfa reference = build_sfa_baseline(entry.dfa);
+    for (const BuildMethod m :
+         {BuildMethod::kBaseline, BuildMethod::kHashed, BuildMethod::kTransposed,
+          BuildMethod::kParallel, BuildMethod::kProbabilistic}) {
+      for (const bool compress : {false, true}) {
+        const std::string label = std::string(build_method_name(m)) +
+                                  (compress ? "+compress" : "");
+        SCOPED_TRACE(entry.name + " / " + label);
+        BuildOptions opt;
+        if (m == BuildMethod::kParallel) opt.num_threads = 3;
+        // A tiny threshold forces the store through recompression and into
+        // compress-on-create mode.  kBaseline/kProbabilistic accept and
+        // ignore it — included to pin that contract.
+        if (compress) opt.memory_threshold_bytes = 256;
+        const Sfa sfa = build_sfa(entry.dfa, m, opt);
+        const auto iso = testing::check_isomorphic(reference, sfa);
+        EXPECT_FALSE(iso.has_value()) << *iso;
+        const auto d = oracle.check_sfa(entry, sfa, label);
+        EXPECT_FALSE(d.has_value()) << d->reproducer();
+      }
+    }
+  }
+}
+
+TEST(OracleDifferential, SequentialCompressedMatchesUncompressedBaseline) {
+  // Acceptance criterion for the compression store seam: a compressed
+  // sequential build stores the mappings compressed (fewer bytes, flag set)
+  // yet decodes to the exact same mapping cells as the uncompressed build.
+  // A PROSITE automaton keeps the mappings sink-dominated, so the deflate-
+  // like codec genuinely shrinks them.
+  const Dfa dfa = compile_prosite("C-x-[DN]-x(4)-[FY]-x-C.");
+  for (const BuildMethod m : {BuildMethod::kHashed, BuildMethod::kTransposed}) {
+    SCOPED_TRACE(build_method_name(m));
+    const Sfa plain = build_sfa(dfa, m);
+    BuildOptions opt;
+    opt.memory_threshold_bytes = 1u << 12;
+    BuildStats stats;
+    const Sfa packed = build_sfa(dfa, m, opt, &stats);
+    EXPECT_TRUE(stats.compression_triggered);
+    EXPECT_GT(stats.compression_seconds, 0.0);
+    EXPECT_LT(stats.mapping_bytes_stored, stats.mapping_bytes_uncompressed);
+    ASSERT_EQ(plain.num_states(), packed.num_states());
+    ASSERT_TRUE(packed.has_mappings());
+    std::vector<std::uint32_t> a, b;
+    for (Sfa::StateId s = 0; s < plain.num_states(); ++s) {
+      plain.mapping(s, a);
+      packed.mapping(s, b);
+      ASSERT_EQ(a, b) << "mapping of state " << s << " decodes differently";
+      for (unsigned sym = 0; sym < plain.num_symbols(); ++sym)
+        ASSERT_EQ(plain.transition(s, static_cast<Symbol>(sym)),
+                  packed.transition(s, static_cast<Symbol>(sym)));
+    }
   }
 }
 

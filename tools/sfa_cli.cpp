@@ -13,10 +13,19 @@
 //   --method baseline|hashed|transposed|parallel|probabilistic
 //                                                  (default: parallel)
 //   --threads N                                    (default: hardware)
-//   --compress-threshold BYTES                     enable 3-phase compression
-//   --count                  match: count accepting positions (rejected for
-//                            now: .sfa files do not store the DFA delta
-//                            table the two-pass count rescans with)
+//   --memory-threshold BYTES  enable 3-phase compression for ANY method
+//                             (baseline/probabilistic accept and ignore it:
+//                             the tree keys / fingerprint-only store have no
+//                             compressible payload).  --compress-threshold is
+//                             the historical alias.
+//   --codec rle|lz77|huffman|deflate               mapping-store codec
+//   --count                  match: count accepting end-positions; needs
+//                            --pattern PAT to recompile the DFA (.sfa files
+//                            do not store the DFA delta table the two-pass
+//                            count rescans with)
+//   --pattern PAT            match: the pattern the .sfa was built from
+//   --stream                 match: feed the input through a StreamMatcher
+//                            session block by block instead of one shot
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace FILE.json        record a span trace of the run (Perfetto /
@@ -24,6 +33,7 @@
 //                            build for instrumented hot paths)
 //   --stats-json FILE.json   write machine-readable run statistics
 //                            (schemas sfa-build-stats/1, sfa-match-stats/1)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,9 +43,11 @@
 #include <vector>
 
 #include "sfa/automata/ops.hpp"
+#include "sfa/compress/registry.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/serialize.hpp"
+#include "sfa/core/stream_matcher.hpp"
 #include "sfa/obs/stats_export.hpp"
 #include "sfa/obs/trace.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
@@ -55,7 +67,10 @@ struct Options {
   BuildMethod method = BuildMethod::kParallel;
   unsigned threads = hardware_threads();
   std::size_t compress_threshold = 0;
+  std::string codec_name;
   bool count = false;
+  bool stream = false;
+  std::string pattern;
   std::string output;
   std::string trace_path;
   std::string stats_json_path;
@@ -109,10 +124,16 @@ Options parse(int argc, char** argv) {
       opt.method = method_by_name(next());
     else if (arg == "--threads")
       opt.threads = static_cast<unsigned>(std::stoul(next()));
-    else if (arg == "--compress-threshold")
+    else if (arg == "--memory-threshold" || arg == "--compress-threshold")
       opt.compress_threshold = std::stoull(next());
+    else if (arg == "--codec")
+      opt.codec_name = next();
     else if (arg == "--count")
       opt.count = true;
+    else if (arg == "--stream")
+      opt.stream = true;
+    else if (arg == "--pattern")
+      opt.pattern = next();
     else if (arg == "-o" || arg == "--output")
       opt.output = next();
     else if (arg == "--trace")
@@ -132,6 +153,15 @@ Options parse(int argc, char** argv) {
 Dfa compile(const Options& opt, const std::string& pattern) {
   if (opt.prosite) return compile_prosite(pattern);
   return compile_pattern(pattern, alphabet_by_name(opt.alphabet_name));
+}
+
+const Codec* codec_by_name(const std::string& name) {
+  if (name.empty()) return nullptr;
+  const Codec* codec = find_codec(name);
+  if (codec == nullptr)
+    usage(("unknown codec '" + name + "' (see `sfa info` for the registry)")
+              .c_str());
+  return codec;
 }
 
 /// Starts a trace recording session when --trace was given; writes the
@@ -175,6 +205,7 @@ int cmd_build(const Options& opt) {
   BuildOptions build;
   build.num_threads = opt.threads;
   build.memory_threshold_bytes = opt.compress_threshold;
+  build.codec = codec_by_name(opt.codec_name);
   BuildStats stats;
   TraceSession trace(opt.trace_path);
   const Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
@@ -212,9 +243,12 @@ std::string read_all(const std::string& path) {
 int cmd_match(const Options& opt) {
   if (opt.positional.size() != 2)
     usage("match needs <file.sfa> <textfile|->");
-  if (opt.count)
+  if (opt.count && opt.pattern.empty())
     usage("--count needs the DFA delta table, which .sfa files do not store "
-          "(use count_matches_parallel / Engine::count from the API)");
+          "— pass --pattern PAT (the pattern the .sfa was built from) so the "
+          "DFA can be recompiled for the two-pass rescan");
+  if (opt.count && opt.stream)
+    usage("--count and --stream are mutually exclusive");
   const Sfa sfa = load_sfa_file(opt.positional[0]);
   const Alphabet& alphabet = alphabet_by_name(opt.alphabet_name);
   if (alphabet.size() != sfa.num_symbols())
@@ -225,26 +259,70 @@ int cmd_match(const Options& opt) {
     text.pop_back();
   const std::vector<Symbol> input = alphabet.encode(text);
 
-  const WallTimer timer;
-  TraceSession trace(opt.trace_path);
-  const MatchResult result = match_sfa_parallel(sfa, input, opt.threads);
-  trace.stop_and_write();
-  const double ms = timer.millis();
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.input_symbols = input.size();
+  info.threads = opt.threads;
+
+  bool accepted = false;
   std::printf("input: %s symbols, %u thread(s)\n",
               with_commas(input.size()).c_str(), opt.threads);
-  std::printf("match: %s (%.3f ms)\n", result.accepted ? "YES" : "no", ms);
-  if (!opt.stats_json_path.empty()) {
-    obs::MatchRunInfo info;
-    info.command = "match";
-    info.input_symbols = input.size();
-    info.threads = opt.threads;
+  TraceSession trace(opt.trace_path);
+  if (opt.count) {
+    // Recompile the DFA the .sfa came from; the two-pass count rescans each
+    // chunk with it from the chunk-entry state the SFA composition provides.
+    const Dfa dfa = compile(opt, opt.pattern);
+    if (dfa.num_symbols() != sfa.num_symbols())
+      usage("--pattern compiles to a different alphabet than the SFA");
+    const WallTimer timer;
+    const std::size_t count =
+        count_matches_parallel(sfa, dfa, input, opt.threads);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = count > 0;
+    std::printf("matches: %s (%.3f ms)\n", with_commas(count).c_str(), ms);
+    info.mode = "count";
+    info.counted = true;
+    info.match_count = count;
     info.seconds = ms / 1e3;
-    info.accepted = result.accepted;
+    info.accepted = accepted;
+  } else if (opt.stream) {
+    // Feed block by block through a StreamMatcher session — the incremental
+    // interface network-payload consumers use.
+    constexpr std::size_t kBlockSymbols = 64 * 1024;
+    StreamMatcher matcher(sfa, opt.threads);
+    const WallTimer timer;
+    for (std::size_t off = 0; off < input.size(); off += kBlockSymbols)
+      matcher.feed(input.data() + off,
+                   std::min(kBlockSymbols, input.size() - off));
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = matcher.matched();
+    std::printf("stream: %s blocks, match: %s (%.3f ms)\n",
+                with_commas((input.size() + kBlockSymbols - 1) / kBlockSymbols)
+                    .c_str(),
+                accepted ? "YES" : "no", ms);
+    info.mode = "stream";
+    info.input_symbols = matcher.symbols_consumed();
+    info.seconds = ms / 1e3;
+    info.accepted = accepted;
+  } else {
+    const WallTimer timer;
+    const MatchResult result = match_sfa_parallel(sfa, input, opt.threads);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = result.accepted;
+    std::printf("match: %s (%.3f ms)\n", accepted ? "YES" : "no", ms);
+    info.mode = "match";
+    info.seconds = ms / 1e3;
+    info.accepted = accepted;
+  }
+  if (!opt.stats_json_path.empty()) {
     if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
       throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
     std::printf("stats: %s\n", opt.stats_json_path.c_str());
   }
-  return result.accepted ? 0 : 1;
+  return accepted ? 0 : 1;
 }
 
 int cmd_inspect(const Options& opt) {
