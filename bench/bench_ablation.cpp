@@ -12,7 +12,12 @@
 #include <string_view>
 
 #include "bench_util.hpp"
+#include "sfa/concurrent/arena.hpp"
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/hash/city64.hpp"
 #include "sfa/support/cpu.hpp"
+#include "sfa/support/rng.hpp"
 #include "sfa/support/format.hpp"
 #include "sfa/support/timer.hpp"
 
@@ -219,6 +224,77 @@ int main(int argc, char** argv) {
           .set("compression_triggered", stats.compression_triggered);
     }
     std::printf("%s\n", render_table(table).c_str());
+  }
+
+  std::printf("(f) find() vs find_counted() lookup overhead (SFA_TRACE-independent):\n");
+  {
+    // The sequential builders use find_counted() so BuildStats sees lookup
+    // work; the parallel intern loop and the lazy matcher use the uncounted
+    // find().  This measures what the counters actually cost per probe —
+    // counting is plain atomics, so the number is the same whether the
+    // binary was built with SFA_TRACE=ON or OFF.
+    using Node = StateNode<std::uint16_t>;
+    using Traits = StateNodeTraits<std::uint16_t>;
+    constexpr std::uint32_t kCells = 8;
+    constexpr std::size_t kNodes = 1u << 16;
+    constexpr std::size_t kLookups = 1u << 22;
+
+    Arena headers, payloads;
+    LockFreeHashSet<Node, Traits> set(1u << 17);
+    Traits::set_compare_context(nullptr, sizeof(std::uint16_t) * kCells);
+    std::vector<std::uint64_t> fps(kNodes);
+    std::vector<Node*> nodes(kNodes);
+    Xoshiro256 rng(0xAB1A7E);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      std::uint16_t cells[kCells];
+      for (auto& c : cells) c = static_cast<std::uint16_t>(rng.next());
+      cells[0] = static_cast<std::uint16_t>(i);  // force distinctness
+      fps[i] = city_hash64(cells, sizeof(cells));
+      nodes[i] = make_state_node<std::uint16_t>(headers, payloads, cells,
+                                                kCells, fps[i]);
+      set.insert_if_absent(nodes[i]);
+    }
+
+    const auto sweep = [&](auto&& lookup) {
+      std::uint64_t found = 0;
+      const WallTimer t;
+      for (std::size_t i = 0; i < kLookups; ++i) {
+        const std::size_t j = i & (kNodes - 1);
+        found += lookup(fps[j], *nodes[j]) != nullptr;
+      }
+      const double ns = t.seconds() * 1e9 / static_cast<double>(kLookups);
+      if (found != kLookups) std::printf("LOOKUP MISSES?!\n");
+      return ns;
+    };
+    // Warm both paths, then take the median of three sweeps each.
+    sweep([&](std::uint64_t fp, const Node& p) { return set.find(fp, p); });
+    sweep([&](std::uint64_t fp, const Node& p) { return set.find_counted(fp, p); });
+    std::vector<double> plain_runs, counted_runs;
+    for (int i = 0; i < 3; ++i) {
+      plain_runs.push_back(sweep(
+          [&](std::uint64_t fp, const Node& p) { return set.find(fp, p); }));
+      counted_runs.push_back(sweep([&](std::uint64_t fp, const Node& p) {
+        return set.find_counted(fp, p);
+      }));
+    }
+    const double plain_ns = median_of(plain_runs);
+    const double counted_ns = median_of(counted_runs);
+    const double overhead_pct = (counted_ns / plain_ns - 1.0) * 100.0;
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"lookup", "ns/lookup", "overhead"});
+    table.push_back({"find (uncounted)", fixed(plain_ns, 1), "-"});
+    table.push_back({"find_counted", fixed(counted_ns, 1),
+                     fixed(overhead_pct, 1) + "%"});
+    std::printf("%s\n", render_table(table).c_str());
+    report.add_row()
+        .set("section", "find_counted_overhead")
+        .set("lookup", "find")
+        .set("ns_per_lookup", plain_ns);
+    report.add_row()
+        .set("section", "find_counted_overhead")
+        .set("lookup", "find_counted")
+        .set("ns_per_lookup", counted_ns)
+        .set("overhead_pct", overhead_pct);
   }
 
   std::printf("(paper §III-B2: the global queue exists because all-thieves\n"

@@ -1,0 +1,252 @@
+// LazyIntern policy — on-demand interning for construction FUSED INTO
+// matching (the fifth consumer of the substrate seams).
+//
+// The eager builders explore the whole SFA up front, which is worst-case
+// O(n^n) states and therefore gated on BuildOptions::max_states.  The lazy
+// matcher instead interns only the SFA states *reachable on the actual
+// input*: chunk workers walk their chunk, and on the first visit to a
+// (state, symbol) edge they compute ALL |Sigma| successors through the
+// SuccessorGen seam and race them into this shared table — the same
+// probe-before-allocate / CAS-insert / id-publication protocol as the
+// parallel builder's lock-free intern (build/parallel.cpp), minus the
+// frontier (the input IS the frontier).
+//
+// Differences from the eager stores, both deliberate:
+//
+//   * Compression is compress-on-create ONLY (the degenerate of the §III-C
+//     three-phase scheme).  A stop-the-world recompress rendezvous needs
+//     every worker parked at a barrier, but matcher workers retire as soon
+//     as their chunk is done — a barrier would deadlock against finished
+//     workers.  Crossing memory_threshold_bytes therefore flips new states
+//     to compressed form without rewriting resident ones; mixed raw/
+//     compressed probing is already handled by StateNodeTraits.
+//   * A hard memory_cap_bytes: when admitting one more state would exceed
+//     the cap, intern() returns nullptr and the caller falls back to direct
+//     per-chunk DFA×identity simulation (exact, just not memoized).  This is
+//     what makes EVERY automaton servable: the cap bounds memory, the
+//     fallback bounds correctness risk to zero.
+//
+// Per interned state the table also owns a lazily-filled delta row of
+// |Sigma| atomic successor pointers (segmented storage, same pattern as the
+// parallel builder's delta segments).  Row entries are written individually
+// by whichever worker expands the edge first; racing writers store the same
+// canonical node pointer, so the benign race needs no CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/compress/codec.hpp"
+#include "sfa/concurrent/arena.hpp"
+#include "sfa/concurrent/lockfree_hash_set.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/core/state.hpp"
+#include "sfa/hash/city64.hpp"
+
+namespace sfa::detail {
+
+template <typename Cell>
+class LazyInternTable {
+ public:
+  using Node = StateNode<Cell>;
+  static constexpr const char* kName = "lazy";
+
+  struct Config {
+    /// Worker slots: one private arena set per concurrent caller of
+    /// intern()/cells_of().  Slot indices are the caller's contract.
+    unsigned slots = 1;
+    std::size_t hash_buckets = 1u << 16;
+    /// Accounted bytes beyond which NEW states compress on creation
+    /// (compress-on-create only; see the header comment).  0 disables.
+    std::size_t memory_threshold_bytes = 0;
+    /// Hard cap: intern() refuses (returns nullptr) when admitting another
+    /// state would exceed this.  0 means unlimited.
+    std::size_t memory_cap_bytes = 0;
+    /// Must be non-null (resolve_codec) — mixed-representation probes need
+    /// it the moment the threshold can flip.
+    const Codec* codec = nullptr;
+    /// Fault injection for the oracle's teeth test: corrupt one mapping
+    /// cell of the state that wins this id.  kIdUnset disables.
+    std::uint32_t inject_corrupt_id = StateNode<Cell>::kIdUnset;
+  };
+
+  LazyInternTable(const Dfa& dfa, const Config& config)
+      : dfa_(dfa),
+        n_(dfa.size()),
+        k_(dfa.num_symbols()),
+        raw_bytes_(sizeof(Cell) * static_cast<std::size_t>(dfa.size())),
+        config_(config),
+        table_(config.hash_buckets) {
+    const unsigned slots = config_.slots == 0 ? 1u : config_.slots;
+    slots_.reserve(slots);
+    for (unsigned i = 0; i < slots; ++i)
+      slots_.push_back(std::make_unique<Slot>(&accounting_));
+    for (auto& seg : segments_)
+      seg.store(nullptr, std::memory_order_relaxed);
+    bind_thread();
+    const std::vector<Cell> identity = identity_mapping<Cell>(n_);
+    seed_ = intern(0, identity.data());
+  }
+
+  LazyInternTable(const LazyInternTable&) = delete;
+  LazyInternTable& operator=(const LazyInternTable&) = delete;
+
+  /// Every thread that probes the table must bind the decompression context
+  /// first (mixed raw/compressed comparisons are thread-local state).
+  void bind_thread() const {
+    StateNodeTraits<Cell>::set_compare_context(config_.codec, raw_bytes_);
+  }
+
+  /// The identity mapping's node, or nullptr when the cap refused even the
+  /// seed (every chunk then runs the direct-simulation fallback).
+  Node* start() const { return seed_; }
+
+  /// Find-or-insert one mapping.  Returns the canonical node with its id
+  /// published, or nullptr when the memory cap prevents admitting a NEW
+  /// state (already-interned states are always found).  Safe to call from
+  /// many threads concurrently as long as each uses its own slot.
+  Node* intern(unsigned slot_index, const Cell* cells) {
+    const std::uint64_t fp = city_hash64(cells, raw_bytes_);
+    Node probe;
+    probe.fingerprint = fp;
+    probe.payload =
+        reinterpret_cast<std::byte*>(const_cast<Cell*>(cells));
+    probe.payload_size = static_cast<std::uint32_t>(raw_bytes_);
+    if (Node* hit = table_.find(fp, probe)) {
+      wait_id(hit);
+      return hit;
+    }
+
+    if (config_.memory_cap_bytes != 0 &&
+        accounting_.used() + sizeof(Node) + raw_bytes_ >
+            config_.memory_cap_bytes) {
+      cap_hit_.store(true, std::memory_order_relaxed);
+      return nullptr;
+    }
+
+    Slot& w = *slots_[slot_index];
+    Node* node;
+    if (compressed_mode_.load(std::memory_order_relaxed)) {
+      w.comp_scratch = config_.codec->compress(ByteView(
+          reinterpret_cast<const std::uint8_t*>(cells), raw_bytes_));
+      node = make_compressed_node<Cell>(
+          w.headers, w.compressed, w.comp_scratch.data(),
+          static_cast<std::uint32_t>(w.comp_scratch.size()), fp);
+    } else {
+      node = make_state_node<Cell>(w.headers, w.payloads, cells, n_, fp);
+      if (config_.memory_threshold_bytes != 0 &&
+          accounting_.used() >= config_.memory_threshold_bytes)
+        compressed_mode_.store(true, std::memory_order_relaxed);
+    }
+    node->accepting =
+        dfa_.accepting(static_cast<Dfa::StateId>(cells[dfa_.start()]));
+
+    const auto [winner, inserted] = table_.insert_if_absent(node);
+    if (!inserted) {  // our node becomes arena garbage
+      wait_id(winner);
+      return winner;
+    }
+    const std::uint32_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    ensure_row_segment(id);
+    if (id == config_.inject_corrupt_id && !node->compressed() && n_ > 1) {
+      Cell& cell = node->cells()[dfa_.start()];
+      cell = static_cast<Cell>((static_cast<std::uint32_t>(cell) + 1) % n_);
+    }
+    node->id.store(id, std::memory_order_release);
+    return node;
+  }
+
+  /// The lazy delta row of state `id`: |Sigma| atomic successor pointers,
+  /// nullptr where the edge has not been expanded yet.  Valid for any id
+  /// returned (published) by intern().
+  std::atomic<Node*>* row(std::uint32_t id) {
+    std::atomic<Node*>* seg =
+        segments_[id >> kSegBits].load(std::memory_order_acquire);
+    return seg + static_cast<std::size_t>(id & kSegMask) * k_;
+  }
+
+  /// The state's cell vector, decompressing into the slot's scratch buffer
+  /// when needed.  Valid until the slot's next cells_of() call.
+  const Cell* cells_of(unsigned slot_index, const Node* node) {
+    if (!node->compressed()) return node->cells();
+    Slot& w = *slots_[slot_index];
+    if (w.decompress_scratch.size() < raw_bytes_)
+      w.decompress_scratch.resize(raw_bytes_);
+    const Bytes raw = config_.codec->decompress(
+        ByteView(node->bytes(), node->payload_size), raw_bytes_);
+    std::memcpy(w.decompress_scratch.data(), raw.data(), raw.size());
+    return reinterpret_cast<const Cell*>(w.decompress_scratch.data());
+  }
+
+  std::uint32_t num_states() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+  bool cap_hit() const { return cap_hit_.load(std::memory_order_relaxed); }
+  bool compression_triggered() const {
+    return compressed_mode_.load(std::memory_order_relaxed);
+  }
+  std::size_t memory_used() const { return accounting_.used(); }
+  const HashSetCounters& counters() const { return table_.counters; }
+
+ private:
+  // Segmented row storage, same shape as the parallel builder's delta
+  // segments: pointer-stable under concurrent growth, mutex only on the
+  // (rare) segment-allocation path.  A segment's publication is ordered
+  // before the owning state's id publication, so any reader that saw the id
+  // also sees the segment.
+  static constexpr unsigned kSegBits = 12;  // 4096 states per segment
+  static constexpr std::uint32_t kSegMask = (1u << kSegBits) - 1;
+  static constexpr std::size_t kMaxSegments = std::size_t{1} << 18;
+
+  struct Slot {
+    explicit Slot(MemoryAccounting* accounting)
+        : headers(accounting), payloads(accounting), compressed(accounting) {}
+    Arena headers, payloads, compressed;
+    std::vector<std::uint8_t> decompress_scratch;
+    Bytes comp_scratch;
+  };
+
+  static void wait_id(Node* node) {
+    while (node->id.load(std::memory_order_acquire) == Node::kIdUnset) {
+    }
+  }
+
+  void ensure_row_segment(std::uint32_t id) {
+    const std::size_t seg = id >> kSegBits;
+    if (segments_[seg].load(std::memory_order_acquire) != nullptr) return;
+    std::lock_guard<std::mutex> lock(segment_mutex_);
+    if (segments_[seg].load(std::memory_order_relaxed) != nullptr) return;
+    const std::size_t entries = (std::size_t{1} << kSegBits) * k_;
+    auto storage = std::make_unique<std::atomic<Node*>[]>(entries);
+    for (std::size_t i = 0; i < entries; ++i)
+      storage[i].store(nullptr, std::memory_order_relaxed);
+    accounting_.add(entries * sizeof(std::atomic<Node*>));
+    segments_[seg].store(storage.get(), std::memory_order_release);
+    segment_storage_.push_back(std::move(storage));
+  }
+
+  const Dfa& dfa_;
+  const std::uint32_t n_;
+  const unsigned k_;
+  const std::size_t raw_bytes_;
+  const Config config_;
+
+  MemoryAccounting accounting_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  LockFreeHashSet<Node, StateNodeTraits<Cell>> table_;
+  std::atomic<std::uint32_t> next_id_{0};
+  std::atomic<bool> compressed_mode_{false};
+  std::atomic<bool> cap_hit_{false};
+  Node* seed_ = nullptr;
+
+  std::atomic<std::atomic<Node*>*> segments_[kMaxSegments];
+  std::vector<std::unique_ptr<std::atomic<Node*>[]>> segment_storage_;
+  std::mutex segment_mutex_;
+};
+
+}  // namespace sfa::detail

@@ -1,0 +1,420 @@
+#include "sfa/core/lazy_matcher.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "sfa/core/build/lazy_intern.hpp"
+#include "sfa/core/build/obs_glue.hpp"
+#include "sfa/core/build/store.hpp"
+#include "sfa/core/build/successor.hpp"
+#include "sfa/core/build_common.hpp"
+#include "sfa/obs/metrics.hpp"
+#include "sfa/obs/trace.hpp"
+
+namespace sfa {
+
+namespace {
+
+/// Result of one chunk walk: the chunk's transition function ("DFA state at
+/// chunk entry -> DFA state at chunk exit", i.e. an SFA state's mapping —
+/// materialized whether it came from the intern table or from the direct
+/// fallback) plus the walk's counters.
+struct ChunkOutcome {
+  std::vector<std::uint32_t> mapping;
+  bool fell_back = false;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t direct_symbols = 0;
+};
+
+/// Type-erases the cell width so LazyMatcher::Impl stays non-templated.
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+  virtual void run_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      std::vector<ChunkOutcome>& out) = 0;
+  virtual std::uint64_t num_states() const = 0;
+  virtual bool cap_hit() const = 0;
+  virtual bool compression_triggered() const = 0;
+  virtual const HashSetCounters& table_counters() const = 0;
+};
+
+template <typename Cell>
+class Engine final : public EngineBase {
+ public:
+  Engine(const Dfa& dfa, const LazyMatchOptions& opt)
+      : dfa_(dfa),
+        n_(dfa.size()),
+        k_(dfa.num_symbols()),
+        table_(dfa, make_table_config(opt)) {
+    BuildOptions bopt;
+    bopt.transpose = opt.transpose;
+    if (opt.transposed_successors)
+      transposed_.emplace(dfa, bopt);
+    else
+      scalar_.emplace(dfa, bopt);
+  }
+
+  void run_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      std::vector<ChunkOutcome>& out) override {
+    out.assign(ranges.size(), ChunkOutcome{});
+    if (ranges.size() == 1) {
+      const auto [b, e] = ranges[0];
+      walk_chunk(0, data + b, e - b, out[0]);
+      return;
+    }
+    std::vector<std::thread> team;
+    team.reserve(ranges.size());
+    for (unsigned t = 0; t < ranges.size(); ++t) {
+      team.emplace_back([&, t] {
+        SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
+        // Category "build": these workers really do construct SFA states
+        // (the on-demand slice), and the trace validator's worker-track
+        // count keys on build-category spans.
+        SFA_TRACE_SPAN(span, "build", "lazy-chunk");
+        const auto [b, e] = ranges[t];
+        walk_chunk(t, data + b, e - b, out[t]);
+        span.arg("symbols", e - b);
+        span.arg("misses", out[t].misses);
+      });
+    }
+    for (auto& th : team) th.join();
+  }
+
+  std::uint64_t num_states() const override { return table_.num_states(); }
+  bool cap_hit() const override { return table_.cap_hit(); }
+  bool compression_triggered() const override {
+    return table_.compression_triggered();
+  }
+  const HashSetCounters& table_counters() const override {
+    return table_.counters();
+  }
+
+ private:
+  using Table = detail::LazyInternTable<Cell>;
+  using Node = typename Table::Node;
+
+  static typename Table::Config make_table_config(
+      const LazyMatchOptions& opt) {
+    typename Table::Config cfg;
+    cfg.slots = opt.num_threads == 0 ? 1u : opt.num_threads;
+    cfg.hash_buckets = opt.hash_buckets;
+    cfg.memory_threshold_bytes = opt.memory_threshold_bytes;
+    cfg.memory_cap_bytes = opt.memory_cap_bytes;
+    cfg.codec = opt.codec ? opt.codec : detail::default_build_codec();
+    cfg.inject_corrupt_id = opt.inject_corrupt_state;
+    return cfg;
+  }
+
+  void generate(const Cell* src, Cell* out) const {
+    if (transposed_)
+      transposed_->generate(src, k_, n_, out);
+    else
+      scalar_->generate(src, k_, n_, out);
+  }
+
+  /// One SFA walk over [data, data+len): follow already-expanded delta-row
+  /// entries (cache hit); on a miss, generate ALL |Sigma| successors of the
+  /// current state and intern them, publishing each into the row.  When the
+  /// memory cap refuses an intern, degrade to direct DFA simulation of the
+  /// mapping for the rest of the chunk (exact, unmemoized).
+  void walk_chunk(unsigned slot, const Symbol* data, std::size_t len,
+                  ChunkOutcome& out) {
+    table_.bind_thread();
+    Node* cur = table_.start();
+    bool direct = cur == nullptr;  // cap refused even the identity seed
+    std::vector<Cell> direct_map;
+    if (direct) {
+      direct_map = detail::identity_mapping<Cell>(n_);
+      out.fell_back = true;
+    }
+    std::vector<Cell> succ;  // k x n successor buffer, filled on miss
+
+    for (std::size_t i = 0; i < len; ++i) {
+      const Symbol sym = data[i];
+      if (direct) {
+        for (std::uint32_t q = 0; q < n_; ++q)
+          direct_map[q] = static_cast<Cell>(dfa_.transition(
+              static_cast<Dfa::StateId>(direct_map[q]), sym));
+        ++out.direct_symbols;
+        continue;
+      }
+      std::atomic<Node*>* row =
+          table_.row(cur->id.load(std::memory_order_acquire));
+      if (Node* next = row[sym].load(std::memory_order_acquire)) {
+        ++out.hits;
+        cur = next;
+        continue;
+      }
+      ++out.misses;
+      const Cell* src = table_.cells_of(slot, cur);
+      succ.resize(static_cast<std::size_t>(k_) * n_);
+      generate(src, succ.data());
+      Node* wanted = nullptr;
+      for (unsigned s = 0; s < k_; ++s) {
+        Node* node = table_.intern(slot, succ.data() +
+                                             static_cast<std::size_t>(s) * n_);
+        // Benign race: concurrent expanders store the same canonical node.
+        if (node) row[s].store(node, std::memory_order_release);
+        if (s == sym) wanted = node;
+      }
+      if (wanted) {
+        cur = wanted;
+      } else {  // cap refused the successor we actually need
+        const Cell* taken = succ.data() + static_cast<std::size_t>(sym) * n_;
+        direct_map.assign(taken, taken + n_);
+        direct = true;
+        out.fell_back = true;
+      }
+    }
+
+    out.mapping.resize(n_);
+    if (direct) {
+      for (std::uint32_t q = 0; q < n_; ++q)
+        out.mapping[q] = static_cast<std::uint32_t>(direct_map[q]);
+    } else {
+      const Cell* cells = table_.cells_of(slot, cur);
+      for (std::uint32_t q = 0; q < n_; ++q)
+        out.mapping[q] = static_cast<std::uint32_t>(cells[q]);
+    }
+  }
+
+  const Dfa& dfa_;
+  const std::uint32_t n_;
+  const unsigned k_;
+  Table table_;
+  std::optional<detail::ScalarSuccessorGen<Cell>> scalar_;
+  std::optional<detail::TransposedSuccessorGen<Cell>> transposed_;
+};
+
+std::unique_ptr<EngineBase> make_engine(const Dfa& dfa,
+                                        const LazyMatchOptions& opt) {
+  if (detail::use_16bit_cells(dfa))
+    return std::make_unique<Engine<std::uint16_t>>(dfa, opt);
+  return std::make_unique<Engine<std::uint32_t>>(dfa, opt);
+}
+
+}  // namespace
+
+struct LazyMatcher::Impl {
+  // Owns a copy of the DFA: a persistent matcher serving a long-running
+  // session must not dangle when the caller's automaton goes away.
+  Dfa dfa;
+  LazyMatchOptions opt;
+  std::unique_ptr<EngineBase> engine;
+  LazyMatchStats stats;
+
+  Impl(const Dfa& d, LazyMatchOptions o)
+      : dfa(d), opt(std::move(o)), engine(make_engine(dfa, opt)) {}
+
+  unsigned effective_threads(std::size_t len, std::size_t per_thread) const {
+    unsigned t = opt.num_threads == 0 ? 1u : opt.num_threads;
+    if (len < static_cast<std::size_t>(t) * per_thread) t = 1;
+    return t;
+  }
+
+  /// Run the chunk walks and fold the outcome counters into the cumulative
+  /// stats + the metrics registry.
+  std::vector<ChunkOutcome> run(const Symbol* data, std::size_t len,
+                                unsigned threads) {
+    const auto ranges = detail::chunk_ranges(len, threads);
+    std::vector<ChunkOutcome> outcomes;
+    engine->run_chunks(data, ranges, outcomes);
+
+    std::uint64_t hits = 0, misses = 0, direct = 0, fallbacks = 0;
+    for (const ChunkOutcome& c : outcomes) {
+      hits += c.hits;
+      misses += c.misses;
+      direct += c.direct_symbols;
+      fallbacks += c.fell_back;
+    }
+    stats.cache_hits += hits;
+    stats.cache_misses += misses;
+    stats.direct_symbols += direct;
+    stats.fallback_chunks += fallbacks;
+    stats.interned_states = engine->num_states();
+    stats.cap_hit = engine->cap_hit();
+    stats.compression_triggered = engine->compression_triggered();
+    stats.threads = threads;
+
+    auto& reg = obs::Registry::instance();
+    reg.counter("sfa.lazy.runs").inc();
+    reg.counter("sfa.lazy.cache_hits").inc(hits);
+    reg.counter("sfa.lazy.cache_misses").inc(misses);
+    reg.counter("sfa.lazy.direct_symbols").inc(direct);
+    reg.counter("sfa.lazy.fallback_chunks").inc(fallbacks);
+    reg.gauge("sfa.lazy.interned_states")
+        .set(static_cast<std::int64_t>(stats.interned_states));
+    return outcomes;
+  }
+};
+
+LazyMatcher::LazyMatcher(const Dfa& dfa, LazyMatchOptions options)
+    : impl_(std::make_unique<Impl>(dfa, std::move(options))) {}
+
+LazyMatcher::~LazyMatcher() {
+  // One hash-metrics publication per matcher lifetime (the table's counters
+  // are cumulative; per-run publication would double count).
+  if (impl_) detail::publish_hash_metrics(impl_->engine->table_counters());
+}
+
+const Dfa& LazyMatcher::dfa() const { return impl_->dfa; }
+
+MatchResult LazyMatcher::match(const std::vector<Symbol>& input) {
+  const unsigned t = impl_->effective_threads(input.size(), 64);
+  SFA_TRACE_SCOPE("match", "lazy-match");
+  const auto outcomes = impl_->run(input.data(), input.size(), t);
+  SFA_TRACE_SCOPE("match", "compose");
+  std::uint32_t q = impl_->dfa.start();
+  for (const ChunkOutcome& c : outcomes) q = c.mapping[q];
+  return {impl_->dfa.accepting(static_cast<Dfa::StateId>(q)), q};
+}
+
+std::size_t LazyMatcher::count(const std::vector<Symbol>& input) {
+  const Dfa& dfa = impl_->dfa;
+  const unsigned t = impl_->effective_threads(input.size(), 64);
+  if (t == 1) {
+    impl_->stats.threads = 1;
+    return dfa.count_accepting_prefixes(input.data(), input.size());
+  }
+  SFA_TRACE_SCOPE("match", "lazy-count");
+  // Pass 1: lazy chunk mappings give every chunk's entry DFA state.
+  const auto outcomes = impl_->run(input.data(), input.size(), t);
+  std::vector<Dfa::StateId> entry(t);
+  {
+    SFA_TRACE_SCOPE("match", "compose");
+    std::uint32_t q = dfa.start();
+    for (unsigned c = 0; c < t; ++c) {
+      entry[c] = static_cast<Dfa::StateId>(q);
+      q = outcomes[c].mapping[q];
+    }
+  }
+  // Pass 2: per-chunk DFA rescan with known entry states (same shape as the
+  // eager count_matches_parallel).
+  const auto ranges = detail::chunk_ranges(input.size(), t);
+  std::vector<std::size_t> counts(t, 0);
+  {
+    SFA_TRACE_SCOPE("match", "pass2-count");
+    std::vector<std::thread> team;
+    team.reserve(t);
+    for (unsigned c = 0; c < t; ++c) {
+      team.emplace_back([&, c] {
+        SFA_TRACE_SPAN(span, "match", "chunk-count");
+        const auto [b, e] = ranges[c];
+        span.arg("begin", b);
+        Dfa::StateId s = entry[c];
+        std::size_t acc = 0;
+        for (std::size_t i = b; i < e; ++i) {
+          s = dfa.transition(s, input[i]);
+          acc += dfa.accepting(s);
+        }
+        counts[c] = acc;
+      });
+    }
+    for (auto& th : team) th.join();
+  }
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  return total;
+}
+
+std::size_t LazyMatcher::find_first(const std::vector<Symbol>& input) {
+  const Dfa& dfa = impl_->dfa;
+  const unsigned t = impl_->effective_threads(input.size(), 64);
+  if (t == 1) {
+    impl_->stats.threads = 1;
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      q = dfa.transition(q, input[i]);
+      if (dfa.accepting(q)) return i + 1;
+    }
+    return kNoMatch;
+  }
+  SFA_TRACE_SCOPE("match", "lazy-find-first");
+  const auto outcomes = impl_->run(input.data(), input.size(), t);
+  const auto ranges = detail::chunk_ranges(input.size(), t);
+
+  // Same absorbing-acceptance shortcut as find_first_match_parallel: "exit
+  // state accepting" locates the first matching chunk only when acceptance
+  // absorbs; otherwise every chunk is rescanned.
+  bool absorbing = true;
+  for (Dfa::StateId s = 0; s < dfa.size() && absorbing; ++s) {
+    if (!dfa.accepting(s)) continue;
+    for (unsigned sym = 0; sym < dfa.num_symbols(); ++sym)
+      if (!dfa.accepting(dfa.transition(s, static_cast<Symbol>(sym)))) {
+        absorbing = false;
+        break;
+      }
+  }
+
+  Dfa::StateId q = dfa.start();
+  for (unsigned c = 0; c < t; ++c) {
+    const auto [b, e] = ranges[c];
+    const Dfa::StateId exit_state =
+        static_cast<Dfa::StateId>(outcomes[c].mapping[q]);
+    if (!absorbing || dfa.accepting(exit_state)) {
+      Dfa::StateId s = q;
+      for (std::size_t i = b; i < e; ++i) {
+        s = dfa.transition(s, input[i]);
+        if (dfa.accepting(s)) return i + 1;
+      }
+    }
+    q = exit_state;
+  }
+  return kNoMatch;
+}
+
+std::uint32_t LazyMatcher::advance(std::uint32_t dfa_state, const Symbol* data,
+                                   std::size_t len) {
+  // Streaming threshold matches StreamMatcher's (threads * 256): blocks are
+  // typically smaller than one-shot inputs, so chunking pays off later.
+  const unsigned t = impl_->effective_threads(len, 256);
+  if (len == 0) return dfa_state;
+  const auto outcomes = impl_->run(data, len, t);
+  // Chunk mappings compose from ANY entry state — this is what the eager
+  // stream path cannot do without a full build.
+  std::uint32_t q = dfa_state;
+  for (const ChunkOutcome& c : outcomes) q = c.mapping[q];
+  return q;
+}
+
+LazyMatchStats LazyMatcher::stats() const { return impl_->stats; }
+
+MatchResult match_sfa_lazy(const Dfa& dfa, const std::vector<Symbol>& input,
+                           const LazyMatchOptions& options,
+                           LazyMatchStats* stats) {
+  LazyMatcher m(dfa, options);
+  const MatchResult r = m.match(input);
+  if (stats) *stats = m.stats();
+  return r;
+}
+
+std::size_t count_matches_lazy(const Dfa& dfa,
+                               const std::vector<Symbol>& input,
+                               const LazyMatchOptions& options,
+                               LazyMatchStats* stats) {
+  LazyMatcher m(dfa, options);
+  const std::size_t r = m.count(input);
+  if (stats) *stats = m.stats();
+  return r;
+}
+
+std::size_t find_first_match_lazy(const Dfa& dfa,
+                                  const std::vector<Symbol>& input,
+                                  const LazyMatchOptions& options,
+                                  LazyMatchStats* stats) {
+  LazyMatcher m(dfa, options);
+  const std::size_t r = m.find_first(input);
+  if (stats) *stats = m.stats();
+  return r;
+}
+
+}  // namespace sfa

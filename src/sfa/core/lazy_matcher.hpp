@@ -1,0 +1,125 @@
+// Lazy on-demand SFA matching: construction fused into the parallel scan.
+//
+// Eager matching needs a completed build() — worst-case O(n^n) states, so
+// DFAs with explosive SFAs cannot be matched in parallel at all (build()
+// aborts on max_states).  The lazy matcher removes that gate: chunk workers
+// intern SFA states on demand as the input reaches them, sharing one
+// lock-free intern table (build/lazy_intern.hpp) and the SuccessorGen seam
+// (scalar or SIMD-transposed).  Only input-reachable states ever
+// materialize, which for real inputs is a vanishing fraction of the
+// exhaustive SFA — and under a hard memory cap the matcher degrades to
+// direct per-chunk DFA×identity simulation, so results are exact for EVERY
+// complete DFA regardless of its SFA's size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/compress/codec.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/simd/transpose.hpp"
+
+namespace sfa {
+
+struct LazyMatchOptions {
+  /// Chunk workers per call (0 clamps to 1; small inputs fall back to 1).
+  unsigned num_threads = 1;
+
+  /// Successor generation on an intern miss: the SIMD-transposed sweep
+  /// (§III-A) or the scalar per-cell loop.
+  bool transposed_successors = true;
+  TransposeMethod transpose = TransposeMethod::kAuto;
+
+  /// Accounted bytes beyond which newly interned states are stored
+  /// compressed (compress-on-create; 0 disables).
+  std::size_t memory_threshold_bytes = 0;
+
+  /// Hard cap on accounted intern-table memory.  When interning one more
+  /// state would exceed it, the affected workers fall back to direct
+  /// per-chunk DFA simulation — exact results, bounded memory.  0 = off.
+  std::size_t memory_cap_bytes = 0;
+
+  /// Codec for compressed states (nullptr = deflate-like default).
+  const Codec* codec = nullptr;
+
+  /// Initial intern-table bucket count (rounded up to a power of two).
+  std::size_t hash_buckets = 1u << 16;
+
+  /// TEST ONLY — corrupt one cell of the interned state that receives this
+  /// id, so the differential oracle can prove it detects lazy-intern bugs.
+  /// 0xFFFFFFFF disables.
+  std::uint32_t inject_corrupt_state = 0xFFFFFFFFu;
+};
+
+struct LazyMatchStats {
+  /// States resident in the shared intern table (cumulative over the
+  /// matcher's lifetime; only input-reachable states are ever interned).
+  std::uint64_t interned_states = 0;
+  /// Successor lookups answered by an already-expanded delta-row entry.
+  std::uint64_t cache_hits = 0;
+  /// Lookups that had to generate + intern (first visit to the edge).
+  std::uint64_t cache_misses = 0;
+  /// Symbols processed by the direct-simulation fallback.
+  std::uint64_t direct_symbols = 0;
+  /// Chunks that fell back to direct simulation (memory cap).
+  std::uint64_t fallback_chunks = 0;
+  bool cap_hit = false;
+  bool compression_triggered = false;
+  /// Effective worker count of the most recent call.
+  unsigned threads = 1;
+};
+
+/// Reusable lazy matcher: the intern table persists across calls, so a
+/// long-running service amortizes construction over its whole match
+/// traffic.  Not copyable; concurrent calls on one instance are NOT
+/// supported (each call spawns its own workers internally).
+class LazyMatcher {
+ public:
+  explicit LazyMatcher(const Dfa& dfa, LazyMatchOptions options = {});
+  ~LazyMatcher();
+  LazyMatcher(const LazyMatcher&) = delete;
+  LazyMatcher& operator=(const LazyMatcher&) = delete;
+
+  const Dfa& dfa() const;
+
+  /// Membership test — same contract as match_sfa_parallel.
+  MatchResult match(const std::vector<Symbol>& input);
+
+  /// Count of accepting end-positions — same contract as
+  /// count_matches_parallel / Dfa::count_accepting_prefixes.
+  std::size_t count(const std::vector<Symbol>& input);
+
+  /// Earliest accepting end-position, or kNoMatch.
+  std::size_t find_first(const std::vector<Symbol>& input);
+
+  /// Advance an arbitrary DFA state over a block — the StreamMatcher
+  /// primitive.  Unlike the eager stream path (which can only look up
+  /// mappings of fully built SFAs), the lazy chunk mappings compose from
+  /// ANY entry state, with no prior build.
+  std::uint32_t advance(std::uint32_t dfa_state, const Symbol* data,
+                        std::size_t len);
+
+  LazyMatchStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot conveniences (construct a LazyMatcher, run, report stats).
+MatchResult match_sfa_lazy(const Dfa& dfa, const std::vector<Symbol>& input,
+                           const LazyMatchOptions& options = {},
+                           LazyMatchStats* stats = nullptr);
+std::size_t count_matches_lazy(const Dfa& dfa,
+                               const std::vector<Symbol>& input,
+                               const LazyMatchOptions& options = {},
+                               LazyMatchStats* stats = nullptr);
+std::size_t find_first_match_lazy(const Dfa& dfa,
+                                  const std::vector<Symbol>& input,
+                                  const LazyMatchOptions& options = {},
+                                  LazyMatchStats* stats = nullptr);
+
+}  // namespace sfa

@@ -22,10 +22,10 @@ MatchResult match_sfa_sequential(const Sfa& sfa,
   return {sfa.dfa_accepting(q), q};
 }
 
-namespace {
+namespace detail {
 
-std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
-    std::size_t len, unsigned chunks) {
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(std::size_t len,
+                                                              unsigned chunks) {
   std::vector<std::pair<std::size_t, std::size_t>> out;
   const std::size_t per = len / chunks;
   std::size_t begin = 0;
@@ -37,7 +37,9 @@ std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
   return out;
 }
 
-}  // namespace
+}  // namespace detail
+
+using detail::chunk_ranges;
 
 MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
                                unsigned num_threads) {

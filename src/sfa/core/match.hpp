@@ -9,12 +9,22 @@
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "sfa/automata/dfa.hpp"
 #include "sfa/core/sfa.hpp"
 
 namespace sfa {
+
+namespace detail {
+/// Split [0, len) into `chunks` contiguous [begin, end) ranges (the last
+/// chunk absorbs the remainder).  Shared by the eager, speculative and lazy
+/// matchers so their chunk boundaries are identical for a given thread
+/// count — differential tests compare them position-for-position.
+std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(std::size_t len,
+                                                              unsigned chunks);
+}  // namespace detail
 
 struct MatchResult {
   bool accepted = false;

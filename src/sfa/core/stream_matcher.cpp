@@ -8,6 +8,14 @@ namespace sfa {
 
 void StreamMatcher::feed(const Symbol* data, std::size_t len) {
   consumed_ += len;
+  if (lazy_ != nullptr) {
+    // Lazy backend: the chunk mappings compose from the carried state, no
+    // pre-built SFA needed (threading/thresholds live in the LazyMatcher).
+    SFA_TRACE_SPAN(span, "match", "stream-feed-lazy");
+    span.arg("symbols", len);
+    dfa_state_ = lazy_->advance(dfa_state_, data, len);
+    return;
+  }
   if (threads_ <= 1 || len < threads_ * 256 || !sfa_->has_mappings()) {
     // Sequential advance: run the SFA over the block from the identity and
     // apply the resulting mapping to the carried DFA state (one lookup).

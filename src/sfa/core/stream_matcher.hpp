@@ -3,11 +3,18 @@
 // motivation.  The SFA state after the blocks seen so far IS the resume
 // point; each block can optionally be advanced with multiple threads by
 // chunk-splitting + composition, exactly like whole-input parallel matching.
+//
+// Two backends:
+//   * Eager: a pre-built Sfa (mappings required for parallel feeding).
+//   * Lazy: a LazyMatcher — no build() up front; SFA states intern on
+//     demand as the stream reaches them, so streams can be served on DFAs
+//     whose eager SFA would explode past max_states.
 #pragma once
 
 #include <string_view>
 #include <vector>
 
+#include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/sfa.hpp"
 
@@ -20,6 +27,12 @@ class StreamMatcher {
       : sfa_(&sfa), threads_(num_threads == 0 ? 1 : num_threads),
         dfa_state_(sfa.dfa_start()) {}
 
+  /// Lazy backend: `lazy` must outlive the matcher (it owns the shared
+  /// intern table, which keeps warming up across blocks and streams).
+  /// Thread count and memory policy come from the LazyMatcher's options.
+  explicit StreamMatcher(LazyMatcher& lazy)
+      : lazy_(&lazy), dfa_state_(lazy.dfa().start()) {}
+
   /// Consume one block of symbols.
   void feed(const Symbol* data, std::size_t len);
   void feed(const std::vector<Symbol>& block) {
@@ -28,20 +41,26 @@ class StreamMatcher {
 
   /// Has the pattern matched anywhere in the stream so far?  (Absorbing
   /// match-anywhere automata stay accepting once matched.)
-  bool matched() const { return sfa_->dfa_accepting(dfa_state_); }
+  bool matched() const {
+    return lazy_ ? lazy_->dfa().accepting(dfa_state_)
+                 : sfa_->dfa_accepting(dfa_state_);
+  }
 
   /// DFA state after the stream so far (for checkpoint/restore).
   std::uint32_t dfa_state() const { return dfa_state_; }
   void restore(std::uint32_t state) { dfa_state_ = state; }
 
   /// Reset to the beginning of a new stream.
-  void reset() { dfa_state_ = sfa_->dfa_start(); }
+  void reset() {
+    dfa_state_ = lazy_ ? lazy_->dfa().start() : sfa_->dfa_start();
+  }
 
   std::uint64_t symbols_consumed() const { return consumed_; }
 
  private:
-  const Sfa* sfa_;
-  unsigned threads_;
+  const Sfa* sfa_ = nullptr;
+  LazyMatcher* lazy_ = nullptr;
+  unsigned threads_ = 1;
   std::uint32_t dfa_state_;
   std::uint64_t consumed_ = 0;
 };

@@ -60,6 +60,10 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
   w.kv("seconds", info.seconds);
   w.kv("accepted", info.accepted);
   if (info.counted) w.kv("match_count", info.match_count);
+  if (info.lazy) {
+    w.kv("lazy_interned_states", info.lazy_interned_states);
+    w.kv("lazy_cache_hits", info.lazy_cache_hits);
+  }
   if (include_metrics) {
     w.key("metrics");
     write_metrics_json(w, Registry::instance().snapshot());

@@ -25,6 +25,11 @@ struct MatchRunInfo {
   bool accepted = false;
   std::uint64_t match_count = 0;  // only when counting was requested
   bool counted = false;
+  /// Lazy-matcher runs (`sfa match --lazy`): additive sfa-match-stats/1
+  /// fields, emitted only when `lazy` is set.
+  bool lazy = false;
+  std::uint64_t lazy_interned_states = 0;
+  std::uint64_t lazy_cache_hits = 0;
 };
 
 /// sfa-build-stats/1.  `method` is build_method_name(...); pass

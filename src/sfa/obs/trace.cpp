@@ -21,6 +21,7 @@ struct Recorder {
   std::atomic<std::uint64_t> dropped{0};
   std::uint64_t epoch = 0;
   std::uint32_t tid = 0;
+  bool ring = false;  // session mode, copied at epoch reset
   std::mutex name_mutex;
   std::string thread_name;
 };
@@ -31,6 +32,7 @@ struct Registry {
   std::atomic<bool> enabled{false};
   std::atomic<std::uint64_t> epoch{0};
   std::atomic<std::size_t> capacity{1u << 16};
+  std::atomic<bool> ring{false};
   std::chrono::steady_clock::time_point t0{};
 };
 
@@ -61,6 +63,7 @@ Recorder* current_recorder() {
     rec->epoch = epoch;
     rec->buffer.clear();
     rec->buffer.resize(reg.capacity.load(std::memory_order_relaxed));
+    rec->ring = reg.ring.load(std::memory_order_relaxed);
     rec->count.store(0, std::memory_order_relaxed);
     rec->dropped.store(0, std::memory_order_relaxed);
   }
@@ -72,7 +75,15 @@ void record(const TraceEvent& ev) {
   if (rec == nullptr) return;
   const std::size_t i = rec->count.load(std::memory_order_relaxed);
   if (i >= rec->buffer.size()) {
-    rec->dropped.fetch_add(1, std::memory_order_relaxed);
+    if (!rec->ring) {
+      rec->dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // Ring mode: overwrite the oldest slot; `count` keeps the TOTAL emitted
+    // so snapshot() can both find the ring head and account the
+    // overwritten events as dropped.
+    rec->buffer[i % rec->buffer.size()] = ev;
+    rec->count.store(i + 1, std::memory_order_release);
     return;
   }
   rec->buffer[i] = ev;
@@ -87,10 +98,16 @@ TraceCollector& TraceCollector::instance() {
 }
 
 void TraceCollector::start(std::size_t events_per_thread) {
+  start(TraceConfig{events_per_thread, false});
+}
+
+void TraceCollector::start(const TraceConfig& config) {
   Registry& reg = registry();
   std::lock_guard<std::mutex> lock(reg.mutex);
-  reg.capacity.store(events_per_thread == 0 ? 1 : events_per_thread,
+  reg.capacity.store(config.events_per_thread == 0 ? 1
+                                                   : config.events_per_thread,
                      std::memory_order_relaxed);
+  reg.ring.store(config.ring, std::memory_order_relaxed);
   reg.t0 = std::chrono::steady_clock::now();
   reg.epoch.fetch_add(1, std::memory_order_release);
   reg.enabled.store(true, std::memory_order_release);
@@ -119,8 +136,21 @@ std::vector<ThreadTrace> TraceCollector::snapshot() const {
     }
     t.dropped = rec->dropped.load(std::memory_order_relaxed);
     const std::size_t n = rec->count.load(std::memory_order_acquire);
-    t.events.assign(rec->buffer.begin(),
-                    rec->buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    const std::size_t cap = rec->buffer.size();
+    if (rec->ring && n > cap) {
+      // The ring wrapped: reorder oldest-first starting at the head slot,
+      // and account every overwritten event as dropped so
+      // dropped + events.size() == total emitted, same as linear mode.
+      const std::size_t head = n % cap;
+      t.events.assign(rec->buffer.begin() + static_cast<std::ptrdiff_t>(head),
+                      rec->buffer.end());
+      t.events.insert(t.events.end(), rec->buffer.begin(),
+                      rec->buffer.begin() + static_cast<std::ptrdiff_t>(head));
+      t.dropped += n - cap;
+    } else {
+      t.events.assign(rec->buffer.begin(),
+                      rec->buffer.begin() + static_cast<std::ptrdiff_t>(n));
+    }
     if (!t.events.empty() || !t.name.empty()) out.push_back(std::move(t));
   }
   return out;

@@ -65,6 +65,18 @@ struct ThreadTrace {
   std::vector<TraceEvent> events;   // in recording order
 };
 
+/// Session configuration for TraceCollector::start().
+struct TraceConfig {
+  /// Bounds per-thread memory; interpretation depends on `ring`.
+  std::size_t events_per_thread = 1u << 16;
+  /// false: a full buffer drops NEW events (the recorded prefix stays
+  /// coherent) — right for bounded runs like a build.
+  /// true: the buffer wraps, keeping the NEWEST events_per_thread events —
+  /// right for long-running matcher services where the interesting window
+  /// is "just before now".  Overwritten events are reported as dropped.
+  bool ring = false;
+};
+
 class TraceCollector {
  public:
   static TraceCollector& instance();
@@ -73,6 +85,10 @@ class TraceCollector {
   /// bounds memory: once a thread's buffer fills, further events from that
   /// thread are counted as dropped (the recorded prefix stays coherent).
   void start(std::size_t events_per_thread = 1u << 16);
+
+  /// As above, with ring-mode control (TraceConfig::ring keeps the newest
+  /// events instead of the oldest).
+  void start(const TraceConfig& config);
 
   /// End the session.  Events remain available for snapshot()/export.
   void stop();

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include <functional>
+
 #include "sfa/classic/aho_corasick.hpp"
 #include "sfa/classic/boyer_moore.hpp"
 #include "sfa/classic/rabin_karp.hpp"
@@ -49,6 +51,35 @@ std::vector<BuilderVariant> default_variants() {
     v.push_back({"transposed-compress", BuildMethod::kTransposed, o});
   }
   v.push_back({"probabilistic", BuildMethod::kProbabilistic, {}});
+  return v;
+}
+
+std::vector<LazyVariant> default_lazy_variants() {
+  std::vector<LazyVariant> v;
+  LazyMatchOptions scalar;
+  scalar.num_threads = 3;
+  scalar.transposed_successors = false;
+  v.push_back({"lazy-scalar", scalar});
+  LazyMatchOptions transposed;
+  transposed.num_threads = 3;
+  v.push_back({"lazy-transposed", transposed});
+  {
+    // cap=1 refuses even the identity seed: every chunk runs the direct
+    // DFA-simulation fallback, which must still be exact.
+    LazyMatchOptions o = scalar;
+    o.memory_cap_bytes = 1;
+    v.push_back({"lazy-scalar-cap", o});
+    o = transposed;
+    o.memory_cap_bytes = 1;
+    v.push_back({"lazy-transposed-cap", o});
+  }
+  {
+    // Tiny threshold flips compress-on-create almost immediately, so the
+    // walk exercises mixed raw/compressed probing and decompression.
+    LazyMatchOptions o = transposed;
+    o.memory_threshold_bytes = 1u << 12;
+    v.push_back({"lazy-compress", o});
+  }
   return v;
 }
 
@@ -124,7 +155,9 @@ std::string Divergence::reproducer() const {
 }
 
 Oracle::Oracle(OracleOptions options, std::vector<BuilderVariant> variants)
-    : options_(options), variants_(std::move(variants)) {}
+    : options_(options),
+      variants_(std::move(variants)),
+      lazy_variants_(default_lazy_variants()) {}
 
 // --- layer 1: product walk ---------------------------------------------------
 
@@ -386,9 +419,8 @@ std::optional<std::string> Oracle::input_divergence(
   return std::nullopt;
 }
 
-std::optional<Divergence> Oracle::matcher_differential(
-    const CorpusEntry& entry, const Sfa& sfa,
-    const std::string& variant) const {
+std::vector<std::vector<Symbol>> Oracle::make_probes(
+    const CorpusEntry& entry) const {
   std::vector<std::vector<Symbol>> probes = entry.inputs;
   if (options_.probe_inputs > 0 && entry.num_symbols > 0) {
     auto extra =
@@ -402,7 +434,13 @@ std::optional<Divergence> Oracle::matcher_differential(
     extra.push_back(std::move(longest));
     probes.insert(probes.end(), extra.begin(), extra.end());
   }
+  return probes;
+}
 
+std::optional<Divergence> Oracle::matcher_differential(
+    const CorpusEntry& entry, const Sfa& sfa,
+    const std::string& variant) const {
+  const std::vector<std::vector<Symbol>> probes = make_probes(entry);
   for (const auto& input : probes) {
     if (auto detail = input_divergence(entry, sfa, input)) {
       Divergence d;
@@ -423,21 +461,26 @@ std::optional<Divergence> Oracle::matcher_differential(
 
 // --- shrinking ---------------------------------------------------------------
 
-void Oracle::shrink_input(const CorpusEntry& entry, const Sfa& sfa,
-                          Divergence& d) const {
+namespace {
+
+/// Greedy delta-debugging over one input: delete windows of shrinking size
+/// while the divergence (as decided by `diverging`, which also yields the
+/// refreshed detail) persists.  Shared by the eager and lazy shrinkers.
+void greedy_shrink_input(
+    const std::function<std::optional<std::string>(const std::vector<Symbol>&)>&
+        diverging,
+    std::size_t max_rounds, Divergence& d) {
   std::size_t rounds = 0;
   const auto diverges = [&](const std::vector<Symbol>& candidate) {
     ++rounds;
-    return input_divergence(entry, sfa, candidate).has_value();
+    return diverging(candidate).has_value();
   };
 
-  // Greedy delta-debugging: delete windows of shrinking size while the
-  // divergence persists.
   std::vector<Symbol> best = d.input;
   for (std::size_t window = std::max<std::size_t>(best.size() / 2, 1);
        window >= 1; window /= 2) {
     bool progress = true;
-    while (progress && rounds < options_.max_shrink_rounds) {
+    while (progress && rounds < max_rounds) {
       progress = false;
       for (std::size_t at = 0; at + window <= best.size();) {
         std::vector<Symbol> candidate = best;
@@ -449,17 +492,28 @@ void Oracle::shrink_input(const CorpusEntry& entry, const Sfa& sfa,
         } else {
           at += window;
         }
-        if (rounds >= options_.max_shrink_rounds) break;
+        if (rounds >= max_rounds) break;
       }
     }
     if (window == 1) break;
   }
   if (diverges(best)) {
     // Refresh the detail to describe the minimized input.
-    if (auto detail = input_divergence(entry, sfa, best)) d.detail = *detail;
+    if (auto detail = diverging(best)) d.detail = *detail;
     d.input = std::move(best);
   }
   d.shrink_steps = rounds;
+}
+
+}  // namespace
+
+void Oracle::shrink_input(const CorpusEntry& entry, const Sfa& sfa,
+                          Divergence& d) const {
+  greedy_shrink_input(
+      [&](const std::vector<Symbol>& candidate) {
+        return input_divergence(entry, sfa, candidate);
+      },
+      options_.max_shrink_rounds, d);
 }
 
 void Oracle::shrink_dfa(const CorpusEntry& entry,
@@ -483,6 +537,169 @@ void Oracle::shrink_dfa(const CorpusEntry& entry,
     d = *again;
     if (n == 1) break;
   }
+}
+
+// --- lazy-matcher differential -----------------------------------------------
+
+std::optional<std::string> Oracle::lazy_input_divergence(
+    const CorpusEntry& entry, const Sfa* eager, const LazyVariant& variant,
+    const std::vector<Symbol>& input) const {
+  const Dfa& dfa = entry.dfa;
+  std::ostringstream os;
+
+  // Reference: the sequential DFA run (Fig. 1c).
+  const MatchResult ref = match_sequential(dfa, input);
+
+  const MatchResult lazy = match_sfa_lazy(dfa, input, variant.options);
+  if (lazy.accepted != ref.accepted ||
+      lazy.final_dfa_state != ref.final_dfa_state) {
+    os << "match_sfa_lazy (" << lazy.accepted << ", q=" << lazy.final_dfa_state
+       << ") vs DFA (" << ref.accepted << ", q=" << ref.final_dfa_state << ")";
+    return os.str();
+  }
+
+  const std::size_t ref_count =
+      dfa.count_accepting_prefixes(input.data(), input.size());
+  const std::size_t lazy_count =
+      count_matches_lazy(dfa, input, variant.options);
+  if (lazy_count != ref_count) {
+    os << "count_matches_lazy=" << lazy_count
+       << " vs count_accepting_prefixes=" << ref_count;
+    return os.str();
+  }
+
+  std::size_t ref_first = kNoMatch;
+  {
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      q = dfa.transition(q, input[i]);
+      if (dfa.accepting(q)) {
+        ref_first = i + 1;
+        break;
+      }
+    }
+  }
+  const std::size_t lazy_first =
+      find_first_match_lazy(dfa, input, variant.options);
+  if (lazy_first != ref_first) {
+    os << "find_first_match_lazy=" << lazy_first << " vs reference scan="
+       << ref_first;
+    return os.str();
+  }
+
+  // Cross-check against the eager SFA matchers when the eager build exists
+  // (it may legitimately have aborted on max_states).
+  if (eager != nullptr && eager->has_mappings()) {
+    const MatchResult em = match_sfa_parallel(*eager, input,
+                                              options_.match_threads);
+    if (em.accepted != lazy.accepted ||
+        em.final_dfa_state != lazy.final_dfa_state) {
+      os << "lazy (" << lazy.accepted << ", q=" << lazy.final_dfa_state
+         << ") vs eager match_sfa_parallel (" << em.accepted << ", q="
+         << em.final_dfa_state << ")";
+      return os.str();
+    }
+    const std::size_t ec =
+        count_matches_parallel(*eager, dfa, input, options_.match_threads);
+    if (ec != lazy_count) {
+      os << "count_matches_lazy=" << lazy_count
+         << " vs eager count_matches_parallel=" << ec;
+      return os.str();
+    }
+    const std::size_t ef =
+        find_first_match_parallel(*eager, dfa, input, options_.match_threads);
+    if (ef != lazy_first) {
+      os << "find_first_match_lazy=" << lazy_first
+         << " vs eager find_first_match_parallel=" << ef;
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Divergence> Oracle::check_lazy_against(
+    const CorpusEntry& entry, const Sfa* eager,
+    const LazyVariant& variant) const {
+  const std::vector<std::vector<Symbol>> probes = make_probes(entry);
+  for (const auto& input : probes) {
+    if (auto detail = lazy_input_divergence(entry, eager, variant, input)) {
+      Divergence d;
+      d.variant = variant.name;
+      d.entry = entry.name;
+      d.kind = "lazy";
+      d.detail = *detail;
+      d.seed = entry.seed;
+      d.dfa_states = entry.dfa.size();
+      d.input = input;
+      d.original_input_length = input.size();
+      if (options_.shrink)
+        greedy_shrink_input(
+            [&](const std::vector<Symbol>& candidate) {
+              return lazy_input_divergence(entry, eager, variant, candidate);
+            },
+            options_.max_shrink_rounds, d);
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+void Oracle::shrink_lazy_dfa(const CorpusEntry& entry,
+                             const LazyVariant& variant, Divergence& d) const {
+  if (!entry.regenerate) return;
+  for (std::uint32_t n = entry.dfa.size() / 2; n >= 1; n /= 2) {
+    CorpusEntry smaller = entry;
+    smaller.dfa = entry.regenerate(n);
+    smaller.name = entry.name + " (shrunk to n=" +
+                   std::to_string(smaller.dfa.size()) + ")";
+    Sfa eager;
+    bool have_eager = true;
+    try {
+      eager = build_sfa_transposed(smaller.dfa);
+    } catch (const std::exception&) {
+      have_eager = false;
+    }
+    std::optional<Divergence> again =
+        check_lazy_against(smaller, have_eager ? &eager : nullptr, variant);
+    if (!again) break;  // divergence vanished at this size; stop shrinking
+    again->shrink_steps += d.shrink_steps + 1;
+    again->original_input_length =
+        std::max(d.original_input_length, again->original_input_length);
+    d = *again;
+    if (n == 1) break;
+  }
+}
+
+std::optional<Divergence> Oracle::check_lazy_variant(
+    const CorpusEntry& entry, const LazyVariant& variant) const {
+  Sfa eager;
+  bool have_eager = true;
+  try {
+    eager = build_sfa_transposed(entry.dfa);
+  } catch (const std::exception&) {
+    have_eager = false;  // explosive SFA: the DFA walk alone anchors it
+  }
+  auto d = check_lazy_against(entry, have_eager ? &eager : nullptr, variant);
+  if (d && options_.shrink) shrink_lazy_dfa(entry, variant, *d);
+  return d;
+}
+
+std::optional<Divergence> Oracle::check_lazy(const CorpusEntry& entry) const {
+  Sfa eager;
+  bool have_eager = true;
+  try {
+    eager = build_sfa_transposed(entry.dfa);
+  } catch (const std::exception&) {
+    have_eager = false;
+  }
+  for (const LazyVariant& variant : lazy_variants_) {
+    auto d = check_lazy_against(entry, have_eager ? &eager : nullptr, variant);
+    if (d) {
+      if (options_.shrink) shrink_lazy_dfa(entry, variant, *d);
+      return d;
+    }
+  }
+  return std::nullopt;
 }
 
 // --- public entry points -----------------------------------------------------

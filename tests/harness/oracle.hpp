@@ -26,6 +26,7 @@
 
 #include "harness/corpus.hpp"
 #include "sfa/core/build.hpp"
+#include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/sfa.hpp"
 
 namespace sfa {
@@ -42,6 +43,17 @@ struct BuilderVariant {
 /// sequential hashed/transposed builders with the compression store forced,
 /// and the probabilistic builder.
 std::vector<BuilderVariant> default_variants();
+
+/// One lazy-matcher configuration under test.
+struct LazyVariant {
+  std::string name;
+  LazyMatchOptions options;
+};
+
+/// The lazy matrix: {scalar, transposed} successors × {no cap, cap=1 (every
+/// chunk on the direct-simulation fallback)}, plus compress-on-create via a
+/// tiny memory threshold.
+std::vector<LazyVariant> default_lazy_variants();
 
 struct Divergence {
   std::string variant;        // builder variant (or ad-hoc label)
@@ -88,6 +100,19 @@ class Oracle {
   std::optional<Divergence> check_sfa(const CorpusEntry& entry, const Sfa& sfa,
                                       const std::string& variant_name) const;
 
+  /// Lazy-matcher differential over every registered lazy variant: lazy
+  /// match / count / find-first must agree with the sequential DFA walk AND
+  /// (when the eager transposed build succeeds — it may legitimately abort
+  /// on max_states, which is the lazy matcher's reason to exist) with the
+  /// eager SFA matchers, on the same probe set as the eager differential.
+  /// Divergences are input-shrunk and DFA-shrunk like eager ones.
+  std::optional<Divergence> check_lazy(const CorpusEntry& entry) const;
+
+  /// One lazy variant only — also the fault-injection hook (pass a variant
+  /// whose options set inject_corrupt_state).
+  std::optional<Divergence> check_lazy_variant(const CorpusEntry& entry,
+                                               const LazyVariant& variant) const;
+
  private:
   std::optional<Divergence> product_walk(const CorpusEntry& entry,
                                          const Sfa& sfa,
@@ -106,8 +131,21 @@ class Oracle {
   void shrink_dfa(const CorpusEntry& entry, const BuilderVariant& variant,
                   Divergence& d) const;
 
+  /// The entry's probe set (own inputs + seeded extras + one max-length
+  /// probe) — shared by the eager and lazy differentials.
+  std::vector<std::vector<Symbol>> make_probes(const CorpusEntry& entry) const;
+  std::optional<Divergence> check_lazy_against(const CorpusEntry& entry,
+                                               const Sfa* eager,
+                                               const LazyVariant& variant) const;
+  std::optional<std::string> lazy_input_divergence(
+      const CorpusEntry& entry, const Sfa* eager, const LazyVariant& variant,
+      const std::vector<Symbol>& input) const;
+  void shrink_lazy_dfa(const CorpusEntry& entry, const LazyVariant& variant,
+                       Divergence& d) const;
+
   OracleOptions options_;
   std::vector<BuilderVariant> variants_;
+  std::vector<LazyVariant> lazy_variants_;
 };
 
 /// Format a symbol sequence as a compact reproducer string ("[3 1 0 2]").

@@ -1,0 +1,314 @@
+// Lazy on-demand SFA matching: construction fused into the parallel scan.
+//
+// The headline property (the reason the lazy matcher exists): a DFA whose
+// eager build() aborts on max_states is still matched EXACTLY — only
+// input-reachable SFA states are interned, and a hard memory cap degrades
+// the walk to direct per-chunk DFA simulation rather than failing.  Each
+// test cross-checks against the sequential DFA reference; the corpus-wide
+// matrix lives in test_oracle.cpp (OracleLazy).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "sfa/automata/random_dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/lazy_matcher.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/stream_matcher.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+/// SFA_FUZZ_ITERS / 3000 scaling with a floor, as in test_fuzz.cpp.
+int fuzz_iters(int dflt) {
+  static const long iters = [] {
+    const char* env = std::getenv("SFA_FUZZ_ITERS");
+    return env && *env ? std::strtol(env, nullptr, 10) : -1L;
+  }();
+  if (iters <= 0) return dflt;
+  return static_cast<int>(std::max(static_cast<long>(dflt) * iters / 3000, 20L));
+}
+
+std::size_t reference_count(const Dfa& dfa, const std::vector<Symbol>& input) {
+  return dfa.count_accepting_prefixes(input.data(), input.size());
+}
+
+std::size_t reference_first(const Dfa& dfa, const std::vector<Symbol>& input) {
+  Dfa::StateId q = dfa.start();
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    q = dfa.transition(q, input[i]);
+    if (dfa.accepting(q)) return i + 1;
+  }
+  return kNoMatch;
+}
+
+std::vector<Symbol> random_input(std::uint64_t seed, unsigned k,
+                                 std::size_t len) {
+  Xoshiro256 rng(seed);
+  std::vector<Symbol> input(len);
+  for (auto& s : input) s = static_cast<Symbol>(rng.below(k));
+  return input;
+}
+
+/// All three lazy front-ends must agree with the DFA reference on `input`.
+void expect_exact(const Dfa& dfa, const std::vector<Symbol>& input,
+                  const LazyMatchOptions& opt, const char* what) {
+  const MatchResult ref = match_sequential(dfa, input);
+  LazyMatchStats stats;
+  const MatchResult got = match_sfa_lazy(dfa, input, opt, &stats);
+  EXPECT_EQ(got.accepted, ref.accepted) << what;
+  EXPECT_EQ(got.final_dfa_state, ref.final_dfa_state) << what;
+  EXPECT_EQ(count_matches_lazy(dfa, input, opt), reference_count(dfa, input))
+      << what;
+  EXPECT_EQ(find_first_match_lazy(dfa, input, opt),
+            reference_first(dfa, input))
+      << what;
+}
+
+TEST(LazyMatch, CapOfOneForcesDirectSimulationButStaysExact) {
+  // cap=1 cannot even admit the identity seed: every chunk must run the
+  // direct DFA×identity fallback, interning nothing — and still be exact.
+  RandomDfaOptions ropt;
+  ropt.num_states = 11;
+  ropt.num_symbols = 5;
+  ropt.seed = 42;
+  const Dfa dfa = random_dfa(ropt);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 4;
+  opt.memory_cap_bytes = 1;
+  const std::vector<Symbol> input = random_input(7, ropt.num_symbols, 1024);
+
+  LazyMatchStats stats;
+  const MatchResult got = match_sfa_lazy(dfa, input, opt, &stats);
+  const MatchResult ref = match_sequential(dfa, input);
+  EXPECT_EQ(got.accepted, ref.accepted);
+  EXPECT_EQ(got.final_dfa_state, ref.final_dfa_state);
+  EXPECT_TRUE(stats.cap_hit);
+  EXPECT_EQ(stats.interned_states, 0u);
+  EXPECT_GT(stats.fallback_chunks, 0u);
+  EXPECT_GT(stats.direct_symbols, 0u);
+  expect_exact(dfa, input, opt, "cap=1");
+}
+
+TEST(LazyMatch, MidWalkCapFallbackStaysExact) {
+  // A cap just big enough for a handful of states: the walk interns a
+  // while, hits the cap mid-chunk, and switches to direct simulation from
+  // the state it had reached.  Exactness must survive the transition.
+  RandomDfaOptions ropt;
+  ropt.num_states = 24;
+  ropt.num_symbols = 6;
+  ropt.seed = 99;
+  const Dfa dfa = random_dfa(ropt);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 3;
+  opt.memory_cap_bytes = 4096;
+  const std::vector<Symbol> input = random_input(13, ropt.num_symbols, 4096);
+  expect_exact(dfa, input, opt, "cap=4096");
+}
+
+TEST(LazyMatch, ExplosiveDfaIsMatchedCorrectly) {
+  // THE acceptance criterion: find a random DFA whose eager build() aborts
+  // on max_states, then match it lazily — exactly.
+  BuildOptions tight;
+  tight.max_states = 64;
+
+  Dfa dfa{1};
+  bool found = false;
+  for (std::uint64_t seed = 1; seed <= 40 && !found; ++seed) {
+    RandomDfaOptions ropt;
+    ropt.num_states = 10;
+    ropt.num_symbols = 6;
+    ropt.seed = seed;
+    Dfa candidate = random_dfa(ropt);
+    try {
+      build_sfa(candidate, BuildMethod::kTransposed, tight);
+    } catch (const std::runtime_error&) {
+      dfa = std::move(candidate);
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "no random DFA exceeded 64 eager SFA states";
+  ASSERT_THROW(build_sfa(dfa, BuildMethod::kTransposed, tight),
+               std::runtime_error);
+  ASSERT_THROW(build_sfa(dfa, BuildMethod::kParallel, tight),
+               std::runtime_error);
+
+  // The same automaton is served lazily, with and without a memory cap, by
+  // both successor generators.
+  for (const bool transposed : {false, true}) {
+    for (const std::size_t cap : {std::size_t{0}, std::size_t{1u << 14}}) {
+      LazyMatchOptions opt;
+      opt.num_threads = 4;
+      opt.transposed_successors = transposed;
+      opt.memory_cap_bytes = cap;
+      for (std::uint64_t s = 0; s < 6; ++s)
+        expect_exact(dfa, random_input(s, dfa.num_symbols(), 256 + 512 * s),
+                     opt, transposed ? "transposed" : "scalar");
+    }
+  }
+}
+
+TEST(LazyMatch, InternsOnlyInputReachableStates) {
+  // On a pathological random DFA the eager SFA holds every reachable
+  // mapping; the lazy table may hold only states some input visited.
+  RandomDfaOptions ropt;
+  ropt.num_states = 9;
+  ropt.num_symbols = 4;
+  ropt.seed = 3;
+  const Dfa dfa = random_dfa(ropt);
+
+  BuildStats eager_stats;
+  (void)build_sfa(dfa, BuildMethod::kTransposed, {}, &eager_stats);
+  ASSERT_GT(eager_stats.sfa_states, 0u);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 2;
+  LazyMatchStats stats;
+  const std::vector<Symbol> input = random_input(17, ropt.num_symbols, 512);
+  (void)match_sfa_lazy(dfa, input, opt, &stats);
+  EXPECT_GT(stats.interned_states, 0u);
+  EXPECT_LE(stats.interned_states, eager_stats.sfa_states);
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GT(stats.cache_misses, 0u);
+}
+
+TEST(LazyMatch, CompressOnCreateThresholdStaysExact) {
+  // threshold=1 flips compress-on-create after the first state: the walk
+  // then probes and decompresses mixed raw/compressed nodes throughout.
+  RandomDfaOptions ropt;
+  ropt.num_states = 40;
+  ropt.num_symbols = 5;
+  ropt.seed = 12;
+  const Dfa dfa = random_dfa(ropt);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 3;
+  opt.memory_threshold_bytes = 1;
+  const std::vector<Symbol> input = random_input(23, ropt.num_symbols, 2048);
+
+  LazyMatchStats stats;
+  const MatchResult got = match_sfa_lazy(dfa, input, opt, &stats);
+  const MatchResult ref = match_sequential(dfa, input);
+  EXPECT_EQ(got.accepted, ref.accepted);
+  EXPECT_EQ(got.final_dfa_state, ref.final_dfa_state);
+  EXPECT_TRUE(stats.compression_triggered);
+  expect_exact(dfa, input, opt, "threshold=1");
+}
+
+TEST(LazyMatch, FuzzAgainstDfaReference) {
+  // Seeded sweep over random DFAs × inputs × option matrix, scaled by
+  // SFA_FUZZ_ITERS like the other fuzz suites.
+  const int iters = fuzz_iters(120);
+  Xoshiro256 rng(0xB00F);
+  for (int i = 0; i < iters; ++i) {
+    RandomDfaOptions ropt;
+    ropt.num_states = 2 + static_cast<std::uint32_t>(rng.below(24));
+    ropt.num_symbols = 1 + static_cast<unsigned>(rng.below(7));
+    ropt.seed = rng.next();
+    const Dfa dfa = random_dfa(ropt);
+
+    LazyMatchOptions opt;
+    opt.num_threads = 1 + static_cast<unsigned>(rng.below(4));
+    opt.transposed_successors = rng.below(2) == 0;
+    const std::size_t caps[] = {0, 0, 1, 4096};
+    opt.memory_cap_bytes = caps[rng.below(4)];
+    if (rng.below(4) == 0) opt.memory_threshold_bytes = 1u << 10;
+
+    const std::size_t len = rng.below(1500);
+    expect_exact(dfa, random_input(rng.next(), ropt.num_symbols, len), opt,
+                 "fuzz");
+  }
+}
+
+TEST(LazyMatch, EightWorkersShareOneInternTableAcrossCalls) {
+  // The tsan-lane stress: 8 workers race intern/find/row-publication on ONE
+  // persistent table, repeatedly, with results checked every call.
+  RandomDfaOptions ropt;
+  ropt.num_states = 18;
+  ropt.num_symbols = 6;
+  ropt.seed = 77;
+  const Dfa dfa = random_dfa(ropt);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 8;
+  LazyMatcher matcher(dfa, opt);
+  std::uint64_t last_states = 0;
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<Symbol> input =
+        random_input(1000 + round, ropt.num_symbols, 4096);
+    const MatchResult ref = match_sequential(dfa, input);
+    const MatchResult got = matcher.match(input);
+    EXPECT_EQ(got.accepted, ref.accepted) << "round " << round;
+    EXPECT_EQ(got.final_dfa_state, ref.final_dfa_state) << "round " << round;
+    EXPECT_EQ(matcher.count(input), reference_count(dfa, input));
+    EXPECT_EQ(matcher.find_first(input), reference_first(dfa, input));
+    EXPECT_EQ(matcher.stats().threads, 8u);
+    // The shared table only grows (and the second pass over the same
+    // inputs would be all hits).
+    EXPECT_GE(matcher.stats().interned_states, last_states);
+    last_states = matcher.stats().interned_states;
+  }
+}
+
+TEST(LazyMatch, StreamMatcherLazyBackendMatchesOneShot) {
+  RandomDfaOptions ropt;
+  ropt.num_states = 14;
+  ropt.num_symbols = 5;
+  ropt.seed = 5;
+  const Dfa dfa = random_dfa(ropt);
+  const std::vector<Symbol> input = random_input(31, ropt.num_symbols, 6000);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 4;
+  LazyMatcher matcher(dfa, opt);
+  StreamMatcher stream(matcher);
+  // Uneven block sizes cross chunking thresholds both ways.
+  const std::size_t blocks[] = {1, 63, 512, 2048, 9999};
+  std::size_t off = 0;
+  unsigned b = 0;
+  while (off < input.size()) {
+    const std::size_t len = std::min(blocks[b++ % 5], input.size() - off);
+    stream.feed(input.data() + off, len);
+    off += len;
+  }
+  EXPECT_EQ(stream.symbols_consumed(), input.size());
+
+  const Dfa::StateId ref = dfa.run(dfa.start(), input.data(), input.size());
+  EXPECT_EQ(stream.dfa_state(), ref);
+  EXPECT_EQ(stream.matched(), dfa.accepting(ref));
+
+  // reset() starts a fresh stream over the SAME warmed intern table.
+  stream.reset();
+  stream.feed(input);
+  EXPECT_EQ(stream.dfa_state(), ref);
+}
+
+TEST(LazyMatch, AdvanceComposesFromArbitraryEntryStates) {
+  // advance() is the primitive that distinguishes lazy streaming: chunk
+  // mappings compose from ANY entry state, no pre-built SFA required.
+  RandomDfaOptions ropt;
+  ropt.num_states = 12;
+  ropt.num_symbols = 4;
+  ropt.seed = 8;
+  const Dfa dfa = random_dfa(ropt);
+  const std::vector<Symbol> input = random_input(3, ropt.num_symbols, 2000);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 3;
+  LazyMatcher matcher(dfa, opt);
+  for (Dfa::StateId q = 0; q < dfa.size(); ++q) {
+    const Dfa::StateId ref = dfa.run(q, input.data(), input.size());
+    EXPECT_EQ(matcher.advance(q, input.data(), input.size()), ref)
+        << "entry state " << q;
+  }
+}
+
+}  // namespace
+}  // namespace sfa

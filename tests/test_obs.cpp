@@ -127,6 +127,52 @@ TEST(Trace, DropsCoherentlyWhenBufferFull) {
   EXPECT_NE(os.str().find("events-dropped"), std::string::npos);
 }
 
+TEST(Trace, RingModeKeepsNewestAndAccountsDropsCoherently) {
+  // Ring mode wraps instead of dropping NEW events: the buffer retains the
+  // NEWEST `events_per_thread` events and reports overwritten ones as
+  // dropped.  Invariant either way: dropped + retained == total emitted.
+  auto& collector = obs::TraceCollector::instance();
+  obs::TraceConfig config;
+  config.events_per_thread = 8;
+  config.ring = true;
+  collector.start(config);
+  for (std::uint64_t i = 0; i < 50; ++i)
+    obs::emit_instant("cat", "e", "i", i);
+  collector.stop();
+  const auto threads = collector.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].events.size(), 8u);
+  EXPECT_EQ(threads[0].dropped, 42u);
+  EXPECT_EQ(threads[0].dropped + threads[0].events.size(), 50u);
+
+  // Newest events survive, reordered oldest-first: args 42..49.
+  for (std::size_t i = 0; i < threads[0].events.size(); ++i)
+    EXPECT_EQ(threads[0].events[i].arg1_value, 42u + i) << "slot " << i;
+
+  // The exporter output still validates and still flags the loss.
+  std::ostringstream os;
+  collector.write_chrome_json(os);
+  const obs::TraceCheckResult r = obs::check_trace_json(os.str());
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_NE(os.str().find("events-dropped"), std::string::npos);
+}
+
+TEST(Trace, RingModeBelowCapacityBehavesLikeDropMode) {
+  auto& collector = obs::TraceCollector::instance();
+  obs::TraceConfig config;
+  config.events_per_thread = 8;
+  config.ring = true;
+  collector.start(config);
+  for (std::uint64_t i = 0; i < 5; ++i) obs::emit_instant("cat", "e", "i", i);
+  collector.stop();
+  const auto threads = collector.snapshot();
+  ASSERT_EQ(threads.size(), 1u);
+  EXPECT_EQ(threads[0].events.size(), 5u);
+  EXPECT_EQ(threads[0].dropped, 0u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(threads[0].events[i].arg1_value, i);
+}
+
 // ---- validator rejects malformed documents ---------------------------------
 
 TEST(TraceCheck, RejectsMalformedJson) {

@@ -31,6 +31,8 @@ using testing::CorpusOptions;
 using testing::Divergence;
 using testing::Oracle;
 using testing::OracleOptions;
+using testing::LazyVariant;
+using testing::default_lazy_variants;
 using testing::default_variants;
 using testing::make_corpus;
 
@@ -346,6 +348,52 @@ TEST(OracleFaultInjection, CorruptedMappingShrinksToOneSymbol) {
   const auto ds = Oracle().check_sfa(entry, tampered, "tampered");
   ASSERT_TRUE(ds.has_value());
   EXPECT_EQ(ds->kind, "structural");
+}
+
+TEST(OracleLazy, DefaultLazyVariantsCoverTheMatrix) {
+  const auto variants = default_lazy_variants();
+  const auto has = [&](const std::string& name) {
+    return std::any_of(variants.begin(), variants.end(),
+                       [&](const LazyVariant& v) { return v.name == name; });
+  };
+  EXPECT_TRUE(has("lazy-scalar"));
+  EXPECT_TRUE(has("lazy-transposed"));
+  EXPECT_TRUE(has("lazy-scalar-cap"));
+  EXPECT_TRUE(has("lazy-transposed-cap"));
+  EXPECT_TRUE(has("lazy-compress"));
+}
+
+TEST(OracleLazy, AgreesWithDfaAndEagerOnSeededCorpus) {
+  // The lazy matrix against both oracles on every corpus entry: the
+  // sequential DFA walk (always) and the eager SFA matchers (when the eager
+  // transposed build fits max_sfa_states — corpus entries are regenerated to
+  // fit, so it always does here).
+  const auto corpus = make_corpus(scaled_corpus_options());
+  const Oracle oracle;
+  for (const CorpusEntry& entry : corpus) {
+    const auto d = oracle.check_lazy(entry);
+    EXPECT_FALSE(d.has_value()) << d->reproducer();
+  }
+}
+
+TEST(OracleLazy, CatchesSeededInternCorruption) {
+  // Teeth: inject_corrupt_state flips the start cell of the node interned
+  // with that id mid-match.  The lazy differential must notice on at least
+  // one seed — and shrink the reproducer input below the probe length.
+  std::size_t caught = 0;
+  for (const std::uint64_t seed : {311u, 331u, 347u}) {
+    const CorpusEntry entry = testing::random_dfa_entry(seed, 8, 4, {});
+    LazyVariant bad;
+    bad.name = "lazy-corrupt";
+    bad.options.num_threads = 3;
+    bad.options.inject_corrupt_state = 1;  // first state after the seed
+    const auto d = Oracle().check_lazy_variant(entry, bad);
+    if (!d.has_value()) continue;
+    ++caught;
+    EXPECT_EQ(d->kind, "lazy");
+    EXPECT_LE(d->input.size(), d->original_input_length);
+  }
+  EXPECT_GE(caught, 1u) << "lazy oracle missed an injected intern corruption";
 }
 
 TEST(OracleFaultInjection, IntactSfaPassesAllLayers) {

@@ -26,6 +26,15 @@
 //   --pattern PAT            match: the pattern the .sfa was built from
 //   --stream                 match: feed the input through a StreamMatcher
 //                            session block by block instead of one shot
+//   --lazy                   match: lazy on-demand matching — no .sfa file;
+//                            usage becomes `sfa match --lazy <textfile|->
+//                            --pattern PAT`.  SFA states intern during the
+//                            scan, so patterns whose eager SFA would exceed
+//                            max_states still match in parallel.  Composes
+//                            with --count / --stream / --threads.
+//   --memory-cap BYTES       lazy: hard cap on intern-table memory; workers
+//                            fall back to exact direct DFA simulation when
+//                            the cap is reached (0 = unlimited)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace FILE.json        record a span trace of the run (Perfetto /
@@ -45,6 +54,7 @@
 #include "sfa/automata/ops.hpp"
 #include "sfa/compress/registry.hpp"
 #include "sfa/core/build.hpp"
+#include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/serialize.hpp"
 #include "sfa/core/stream_matcher.hpp"
@@ -70,6 +80,8 @@ struct Options {
   std::string codec_name;
   bool count = false;
   bool stream = false;
+  bool lazy = false;
+  std::size_t memory_cap = 0;
   std::string pattern;
   std::string output;
   std::string trace_path;
@@ -132,6 +144,10 @@ Options parse(int argc, char** argv) {
       opt.count = true;
     else if (arg == "--stream")
       opt.stream = true;
+    else if (arg == "--lazy")
+      opt.lazy = true;
+    else if (arg == "--memory-cap")
+      opt.memory_cap = std::stoull(next());
     else if (arg == "--pattern")
       opt.pattern = next();
     else if (arg == "-o" || arg == "--output")
@@ -240,7 +256,106 @@ std::string read_all(const std::string& path) {
   return os.str();
 }
 
+/// `sfa match --lazy <textfile|-> --pattern PAT`: no .sfa file — the DFA is
+/// compiled from the pattern and SFA states intern on demand during the
+/// scan, so even patterns whose eager build() would abort on max_states are
+/// matched in parallel.
+int cmd_match_lazy(const Options& opt) {
+  if (opt.positional.size() != 1)
+    usage("match --lazy needs <textfile|-> (no .sfa file; the SFA is "
+          "constructed on demand from --pattern)");
+  if (opt.pattern.empty())
+    usage("match --lazy needs --pattern PAT (the pattern to match; there is "
+          "no pre-built .sfa to load)");
+  if (opt.count && opt.stream)
+    usage("--count and --stream are mutually exclusive");
+  const Dfa dfa = compile(opt, opt.pattern);
+  const Alphabet& alphabet =
+      opt.prosite ? Alphabet::amino() : alphabet_by_name(opt.alphabet_name);
+  if (alphabet.size() != dfa.num_symbols())
+    usage("alphabet size does not match the compiled pattern");
+  std::string text = read_all(opt.positional[0]);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  const std::vector<Symbol> input = alphabet.encode(text);
+
+  LazyMatchOptions lazy;
+  lazy.num_threads = opt.threads;
+  lazy.memory_threshold_bytes = opt.compress_threshold;
+  lazy.memory_cap_bytes = opt.memory_cap;
+  lazy.codec = codec_by_name(opt.codec_name);
+
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.lazy = true;
+  info.input_symbols = input.size();
+  info.threads = opt.threads;
+
+  std::printf("input: %s symbols, %u thread(s), lazy\n",
+              with_commas(input.size()).c_str(), opt.threads);
+  LazyMatcher matcher(dfa, lazy);
+  bool accepted = false;
+  TraceSession trace(opt.trace_path);
+  if (opt.count) {
+    const WallTimer timer;
+    const std::size_t count = matcher.count(input);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = count > 0;
+    std::printf("matches: %s (%.3f ms)\n", with_commas(count).c_str(), ms);
+    info.mode = "count";
+    info.counted = true;
+    info.match_count = count;
+    info.seconds = ms / 1e3;
+  } else if (opt.stream) {
+    constexpr std::size_t kBlockSymbols = 64 * 1024;
+    StreamMatcher stream(matcher);
+    const WallTimer timer;
+    for (std::size_t off = 0; off < input.size(); off += kBlockSymbols)
+      stream.feed(input.data() + off,
+                  std::min(kBlockSymbols, input.size() - off));
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = stream.matched();
+    std::printf("stream: %s blocks, match: %s (%.3f ms)\n",
+                with_commas((input.size() + kBlockSymbols - 1) / kBlockSymbols)
+                    .c_str(),
+                accepted ? "YES" : "no", ms);
+    info.mode = "stream";
+    info.input_symbols = stream.symbols_consumed();
+    info.seconds = ms / 1e3;
+  } else {
+    const WallTimer timer;
+    const MatchResult result = matcher.match(input);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = result.accepted;
+    std::printf("match: %s (%.3f ms)\n", accepted ? "YES" : "no", ms);
+    info.mode = "match";
+    info.seconds = ms / 1e3;
+  }
+  info.accepted = accepted;
+  const LazyMatchStats stats = matcher.stats();
+  info.lazy_interned_states = stats.interned_states;
+  info.lazy_cache_hits = stats.cache_hits;
+  const std::uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  std::printf("lazy: %s states interned, %.1f%% cache hit rate%s%s\n",
+              with_commas(stats.interned_states).c_str(),
+              lookups == 0 ? 100.0
+                           : 100.0 * static_cast<double>(stats.cache_hits) /
+                                 static_cast<double>(lookups),
+              stats.cap_hit ? ", memory cap hit" : "",
+              stats.compression_triggered ? ", compression triggered" : "");
+  if (!opt.stats_json_path.empty()) {
+    if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
+      throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
+    std::printf("stats: %s\n", opt.stats_json_path.c_str());
+  }
+  return accepted ? 0 : 1;
+}
+
 int cmd_match(const Options& opt) {
+  if (opt.lazy) return cmd_match_lazy(opt);
   if (opt.positional.size() != 2)
     usage("match needs <file.sfa> <textfile|->");
   if (opt.count && opt.pattern.empty())
