@@ -9,16 +9,41 @@
 //
 // Usage: bench_matching_breakeven [input_mib] [max_threads] [r_length]
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "sfa/automata/random_dfa.hpp"
 #include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/support/cpu.hpp"
 #include "sfa/support/format.hpp"
 #include "sfa/support/timer.hpp"
 
 using namespace sfa;
+
+namespace {
+
+/// The legacy dispatch policy, reconstructed for contrast: a fresh
+/// std::thread per chunk on every call (what every parallel matcher did
+/// before the persistent pool).
+class SpawnExecutor final : public scan::Executor {
+ public:
+  void for_chunks(unsigned chunks, const scan::ChunkBody& body) override {
+    if (chunks <= 1) {
+      for (unsigned c = 0; c < chunks; ++c) body(c);
+      return;
+    }
+    std::vector<std::thread> team;
+    team.reserve(chunks);
+    for (unsigned c = 0; c < chunks; ++c)
+      team.emplace_back([&body, c] { body(c); });
+    for (auto& th : team) th.join();
+  }
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const std::size_t input_mib = bench::arg_or(argc, argv, 1, 64);
@@ -108,6 +133,74 @@ int main(int argc, char** argv) {
   std::printf("%s", render_table(spec_table).c_str());
   std::printf("(SFA matching never re-matches — the failure-free property\n"
               " Sin'ya et al. introduced SFAs for)\n\n");
+
+  // (c') Executor contrast: the persistent worker pool vs the legacy
+  // spawn-per-call policy, same EagerEngine work either way.  One-shot
+  // calls amortize thread creation over a whole input; a streaming session
+  // pays it per *block*, which is where the pool is the headline.
+  std::printf("pooled vs spawn executor (same scan work, dispatch only):\n");
+  {
+    SpawnExecutor spawn;
+    scan::Executor& pooled = scan::default_executor();
+    const std::size_t call_len = std::min(len, std::size_t{256} << 10);
+    constexpr int kCalls = 100;
+    std::vector<std::vector<std::string>> exec_table;
+    exec_table.push_back(
+        {"threads", "pooled/call(us)", "spawn/call(us)", "dispatch saved"});
+    for (unsigned t : {1u, 4u, 8u}) {
+      {  // warm the pool to this team size outside the timed region
+        scan::EagerEngine warm(sfa);
+        scan::run_accept(warm, pooled, input.data(), call_len, t);
+      }
+      const WallTimer pt;
+      for (int i = 0; i < kCalls; ++i) {
+        scan::EagerEngine engine(sfa);
+        scan::run_accept(engine, pooled, input.data(), call_len, t);
+      }
+      const double pooled_us = pt.seconds() / kCalls * 1e6;
+      const WallTimer st;
+      for (int i = 0; i < kCalls; ++i) {
+        scan::EagerEngine engine(sfa);
+        scan::run_accept(engine, spawn, input.data(), call_len, t);
+      }
+      const double spawn_us = st.seconds() / kCalls * 1e6;
+      exec_table.push_back(
+          {std::to_string(t), fixed(pooled_us, 1), fixed(spawn_us, 1),
+           fixed(spawn_us - pooled_us, 1) + " us"});
+    }
+    std::printf("%s", render_table(exec_table).c_str());
+
+    // Streaming session: 1000 blocks of 8 KiB carried through run_advance —
+    // exactly StreamMatcher::feed's parallel branch.  Spawn pays thread
+    // creation 1000 times; the pool parks one warm team for the session.
+    const unsigned stream_threads = 4;
+    const std::size_t block = 8 << 10;
+    const std::size_t blocks = std::min<std::size_t>(1000, len / block);
+    std::uint32_t q_pool = sfa.dfa_start();
+    const WallTimer spt;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      scan::EagerEngine engine(sfa);
+      q_pool = scan::run_advance(engine, pooled, input.data() + b * block,
+                                 block, stream_threads, q_pool);
+    }
+    const double pool_block_us = spt.seconds() / static_cast<double>(blocks) * 1e6;
+    std::uint32_t q_spawn = sfa.dfa_start();
+    const WallTimer sst;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      scan::EagerEngine engine(sfa);
+      q_spawn = scan::run_advance(engine, spawn, input.data() + b * block,
+                                  block, stream_threads, q_spawn);
+    }
+    const double spawn_block_us = sst.seconds() / static_cast<double>(blocks) * 1e6;
+    if (q_pool != q_spawn) {
+      std::printf("EXECUTOR MISMATCH in stream session!\n");
+      return 1;
+    }
+    std::printf("stream session, %zu blocks x %s, %u threads/block:\n"
+                "  pooled %.1f us/block, spawn %.1f us/block (%.2fx)\n\n",
+                blocks, human_bytes(block).c_str(), stream_threads,
+                pool_block_us, spawn_block_us, spawn_block_us / pool_block_us);
+  }
 
   // (d) Lazy on-demand construction fused into the scan.  Two regimes:
   //

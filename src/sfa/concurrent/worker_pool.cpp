@@ -1,0 +1,130 @@
+#include "sfa/concurrent/worker_pool.hpp"
+
+#include <exception>
+
+namespace sfa {
+
+namespace {
+// run() from inside a worker executes inline: a stripe-bound job enqueued
+// by worker w could need worker w itself, which is busy running the
+// enqueuing task — the nested call must not wait on the team.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& th : team_) th.join();
+}
+
+void WorkerPool::ensure_workers(unsigned workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stop_) return;
+  while (team_.size() < workers) {
+    const unsigned id = static_cast<unsigned>(team_.size());
+    team_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+unsigned WorkerPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<unsigned>(team_.size());
+}
+
+WorkerPoolStats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerPoolStats s;
+  s.dispatches = dispatches_;
+  s.wakeups = wakeups_;
+  s.workers = static_cast<unsigned>(team_.size());
+  return s;
+}
+
+void WorkerPool::run_inline(unsigned tasks, const ChunkFn& fn) {
+  for (unsigned t = 0; t < tasks; ++t) fn(t, ChunkFn::kInlineWorker);
+}
+
+void WorkerPool::run(unsigned tasks, const ChunkFn& fn) {
+  if (tasks == 0) return;
+  if (tasks == 1 || t_inside_pool_worker) {
+    run_inline(tasks, fn);
+    return;
+  }
+  Job job;
+  job.fn = &fn;
+  job.num_tasks = tasks;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (team_.empty() || stop_) {
+      lock.unlock();
+      run_inline(tasks, fn);
+      return;
+    }
+    job.stride = static_cast<unsigned>(team_.size());
+    job.taken.assign(job.stride, 0);
+    queue_.push_back(&job);
+    ++dispatches_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&job] { return job.done == job.num_tasks; });
+    // Unlink before the stack frame dies; workers only reach the job
+    // through queue_ (under this mutex) or through a stripe they claimed
+    // before done hit num_tasks, so after this erase nothing touches it.
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+      if (queue_[i] == &job) {
+        queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void WorkerPool::worker_main(unsigned id) {
+  t_inside_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  bool woke_from_wait = false;
+  for (;;) {
+    Job* job = nullptr;
+    for (Job* j : queue_) {
+      if (id < j->stride && id < j->num_tasks && !j->taken[id]) {
+        job = j;
+        break;
+      }
+    }
+    if (job == nullptr) {
+      // Claimable stripes are drained even after stop_ so a run() caller
+      // blocked in done_cv_.wait() always completes before the join.
+      if (stop_) return;
+      work_cv_.wait(lock);
+      woke_from_wait = true;
+      continue;
+    }
+    if (woke_from_wait) {
+      ++wakeups_;
+      woke_from_wait = false;
+    }
+    job->taken[id] = 1;
+    lock.unlock();
+
+    unsigned ran = 0;
+    std::exception_ptr error;
+    for (unsigned t = id; t < job->num_tasks; t += job->stride) {
+      try {
+        (*job->fn)(t, id);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++ran;
+    }
+
+    lock.lock();
+    if (error && !job->error) job->error = error;
+    job->done += ran;
+    if (job->done == job->num_tasks) done_cv_.notify_all();
+  }
+}
+
+}  // namespace sfa

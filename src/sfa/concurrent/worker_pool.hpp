@@ -1,0 +1,112 @@
+// Persistent worker pool for per-call chunk dispatch (matching substrate).
+//
+// The parallel matchers used to spawn fresh std::threads on every call —
+// per *block* in the streaming case, which is exactly the long-running
+// IDS/network workload the SFA paper motivates.  This pool parks a fixed
+// team on a condition variable and hands each call's chunks to it, so a
+// streaming session pays thread creation once, not per block.
+//
+// Dispatch is stripe-bound, not work-stolen: task t of a job enqueued with
+// team size S runs on worker (t mod S), and only there.  Chunk matching
+// gives every worker the same amount of scan work by construction (chunks
+// are equal-sized), so stealing buys nothing — and the binding guarantees
+// that N <= S chunks land on N *distinct* threads even when the OS
+// serializes them onto one core, which the trace validator's worker-track
+// count relies on (`sfa_trace_check --expect-workers N`).
+//
+// This library must stay free of sfa_obs dependencies (same rule as the
+// queues and the arena); trace/metrics glue lives in the scan Executor.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sfa {
+
+/// Non-owning callable reference `void(unsigned task, unsigned worker)`.
+/// The referenced callable must outlive the WorkerPool::run() call that
+/// uses it — trivially true because run() blocks until every task ran.
+/// `worker` is the executing pool thread's index, or kInlineWorker when
+/// the pool ran the task inline on the caller.
+class ChunkFn {
+ public:
+  static constexpr unsigned kInlineWorker = ~0u;
+
+  template <typename F>
+  ChunkFn(const F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* o, unsigned task, unsigned worker) {
+          (*static_cast<const F*>(o))(task, worker);
+        }) {}
+
+  void operator()(unsigned task, unsigned worker) const {
+    call_(obj_, task, worker);
+  }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, unsigned, unsigned);
+};
+
+struct WorkerPoolStats {
+  std::uint64_t dispatches = 0;  // jobs handed to the parked team
+  std::uint64_t wakeups = 0;     // CV wakeups that found claimable work
+  unsigned workers = 0;
+};
+
+/// A growable team of parked threads.  run() is the only work entry point;
+/// it blocks until every task of the call completed, so the per-call chunk
+/// buffers callers capture by reference stay valid.  Concurrent run() calls
+/// from different threads are safe and interleave at stripe granularity.
+/// The pool must outlive every run() call (do not destroy it while another
+/// thread is still dispatching).
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  explicit WorkerPool(unsigned workers) { ensure_workers(workers); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Grow the team to at least `workers` threads (never shrinks).
+  void ensure_workers(unsigned workers);
+
+  unsigned num_workers() const;
+
+  /// Execute fn(t, worker) for every t in [0, tasks).  Blocks until all
+  /// tasks ran.  Falls back to inline execution on the caller when the
+  /// team is empty, stopped, or there is only one task; a run() from
+  /// inside a pool worker also executes inline (a worker waiting on its
+  /// own team would deadlock).  The first exception thrown by a task is
+  /// rethrown here after the remaining tasks finished.
+  void run(unsigned tasks, const ChunkFn& fn);
+
+  WorkerPoolStats stats() const;
+
+ private:
+  struct Job {
+    const ChunkFn* fn;
+    unsigned num_tasks;
+    unsigned stride;           // team size at enqueue; task t -> worker t%stride
+    std::vector<char> taken;   // per-stripe claim flags, indexed by worker
+    unsigned done = 0;         // completed tasks
+    std::exception_ptr error;  // first failure, rethrown by run()
+  };
+
+  void worker_main(unsigned id);
+  static void run_inline(unsigned tasks, const ChunkFn& fn);
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers park here
+  std::condition_variable done_cv_;  // run() callers park here
+  std::vector<std::thread> team_;
+  std::vector<Job*> queue_;  // jobs live on their caller's stack
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t wakeups_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace sfa

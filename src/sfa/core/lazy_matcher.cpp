@@ -3,8 +3,6 @@
 #include <atomic>
 #include <cstring>
 #include <optional>
-#include <string>
-#include <thread>
 #include <utility>
 
 #include "sfa/core/build/lazy_intern.hpp"
@@ -12,6 +10,9 @@
 #include "sfa/core/build/store.hpp"
 #include "sfa/core/build/successor.hpp"
 #include "sfa/core/build_common.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/trace.hpp"
 
@@ -38,7 +39,7 @@ class EngineBase {
   virtual void run_chunks(
       const Symbol* data,
       const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
-      std::vector<ChunkOutcome>& out) = 0;
+      std::vector<ChunkOutcome>& out, scan::Executor& exec) = 0;
   virtual std::uint64_t num_states() const = 0;
   virtual bool cap_hit() const = 0;
   virtual bool compression_triggered() const = 0;
@@ -64,29 +65,23 @@ class Engine final : public EngineBase {
   void run_chunks(
       const Symbol* data,
       const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
-      std::vector<ChunkOutcome>& out) override {
+      std::vector<ChunkOutcome>& out, scan::Executor& exec) override {
     out.assign(ranges.size(), ChunkOutcome{});
     if (ranges.size() == 1) {
       const auto [b, e] = ranges[0];
       walk_chunk(0, data + b, e - b, out[0]);
       return;
     }
-    std::vector<std::thread> team;
-    team.reserve(ranges.size());
-    for (unsigned t = 0; t < ranges.size(); ++t) {
-      team.emplace_back([&, t] {
-        SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
-        // Category "build": these workers really do construct SFA states
-        // (the on-demand slice), and the trace validator's worker-track
-        // count keys on build-category spans.
-        SFA_TRACE_SPAN(span, "build", "lazy-chunk");
-        const auto [b, e] = ranges[t];
-        walk_chunk(t, data + b, e - b, out[t]);
-        span.arg("symbols", e - b);
-        span.arg("misses", out[t].misses);
-      });
-    }
-    for (auto& th : team) th.join();
+    exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned t) {
+      // Category "build": these workers really do construct SFA states
+      // (the on-demand slice), and the trace validator's worker-track
+      // count keys on build-category spans.
+      SFA_TRACE_SPAN(span, "build", "lazy-chunk");
+      const auto [b, e] = ranges[t];
+      walk_chunk(t, data + b, e - b, out[t]);
+      span.arg("symbols", e - b);
+      span.arg("misses", out[t].misses);
+    });
   }
 
   std::uint64_t num_states() const override { return table_.num_states(); }
@@ -221,13 +216,14 @@ struct LazyMatcher::Impl {
     return t;
   }
 
-  /// Run the chunk walks and fold the outcome counters into the cumulative
-  /// stats + the metrics registry.
-  std::vector<ChunkOutcome> run(const Symbol* data, std::size_t len,
-                                unsigned threads) {
-    const auto ranges = detail::chunk_ranges(len, threads);
+  /// Run the chunk walks through the executor and fold the outcome counters
+  /// into the cumulative stats + the metrics registry.
+  std::vector<ChunkOutcome> run(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      scan::Executor& exec) {
     std::vector<ChunkOutcome> outcomes;
-    engine->run_chunks(data, ranges, outcomes);
+    engine->run_chunks(data, ranges, outcomes, exec);
 
     std::uint64_t hits = 0, misses = 0, direct = 0, fallbacks = 0;
     for (const ChunkOutcome& c : outcomes) {
@@ -243,7 +239,7 @@ struct LazyMatcher::Impl {
     stats.interned_states = engine->num_states();
     stats.cap_hit = engine->cap_hit();
     stats.compression_triggered = engine->compression_triggered();
-    stats.threads = threads;
+    stats.threads = static_cast<unsigned>(ranges.size());
 
     auto& reg = obs::Registry::instance();
     reg.counter("sfa.lazy.runs").inc();
@@ -256,6 +252,44 @@ struct LazyMatcher::Impl {
     return outcomes;
   }
 };
+
+namespace {
+
+/// The lazy ScanEngine: pass 1 interns SFA states on demand during the
+/// chunk walks (LazyMatcher::Impl::run), chunk_exit is one materialized
+/// mapping lookup.  Lives here because it needs the Impl internals — as a
+/// template because Impl is private to LazyMatcher (members name it, this
+/// deduces it); the shared MatchTasks drive it like any other engine.
+template <typename ImplT>
+class LazyScanEngineT final : public scan::ScanEngine {
+ public:
+  explicit LazyScanEngineT(ImplT& impl) : impl_(impl) {}
+
+  scan::EngineId id() const override { return scan::EngineId::kLazy; }
+  std::uint32_t start_state() const override { return impl_.dfa.start(); }
+  bool accepting(std::uint32_t q) const override {
+    return impl_.dfa.accepting(static_cast<Dfa::StateId>(q));
+  }
+  const Dfa* rescan_dfa() const override { return &impl_.dfa; }
+
+  void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      scan::Executor& exec) override {
+    outcomes_ = impl_.run(data, ranges, exec);
+  }
+
+  std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                           const Symbol*) override {
+    return outcomes_[c].mapping[q];
+  }
+
+ private:
+  ImplT& impl_;
+  std::vector<ChunkOutcome> outcomes_;
+};
+
+}  // namespace
 
 LazyMatcher::LazyMatcher(const Dfa& dfa, LazyMatchOptions options)
     : impl_(std::make_unique<Impl>(dfa, std::move(options))) {}
@@ -271,105 +305,38 @@ const Dfa& LazyMatcher::dfa() const { return impl_->dfa; }
 MatchResult LazyMatcher::match(const std::vector<Symbol>& input) {
   const unsigned t = impl_->effective_threads(input.size(), 64);
   SFA_TRACE_SCOPE("match", "lazy-match");
-  const auto outcomes = impl_->run(input.data(), input.size(), t);
-  SFA_TRACE_SCOPE("match", "compose");
-  std::uint32_t q = impl_->dfa.start();
-  for (const ChunkOutcome& c : outcomes) q = c.mapping[q];
-  return {impl_->dfa.accepting(static_cast<Dfa::StateId>(q)), q};
+  LazyScanEngineT<Impl> engine(*impl_);
+  return scan::run_accept(engine, scan::default_executor(), input.data(),
+                          input.size(), t);
 }
 
 std::size_t LazyMatcher::count(const std::vector<Symbol>& input) {
-  const Dfa& dfa = impl_->dfa;
   const unsigned t = impl_->effective_threads(input.size(), 64);
   if (t == 1) {
+    // Small inputs never pay for chunking (or interning): plain DFA count.
     impl_->stats.threads = 1;
-    return dfa.count_accepting_prefixes(input.data(), input.size());
+    scan::DirectEngine engine(impl_->dfa);
+    return scan::run_count(engine, scan::default_executor(), input.data(),
+                           input.size(), 1);
   }
   SFA_TRACE_SCOPE("match", "lazy-count");
-  // Pass 1: lazy chunk mappings give every chunk's entry DFA state.
-  const auto outcomes = impl_->run(input.data(), input.size(), t);
-  std::vector<Dfa::StateId> entry(t);
-  {
-    SFA_TRACE_SCOPE("match", "compose");
-    std::uint32_t q = dfa.start();
-    for (unsigned c = 0; c < t; ++c) {
-      entry[c] = static_cast<Dfa::StateId>(q);
-      q = outcomes[c].mapping[q];
-    }
-  }
-  // Pass 2: per-chunk DFA rescan with known entry states (same shape as the
-  // eager count_matches_parallel).
-  const auto ranges = detail::chunk_ranges(input.size(), t);
-  std::vector<std::size_t> counts(t, 0);
-  {
-    SFA_TRACE_SCOPE("match", "pass2-count");
-    std::vector<std::thread> team;
-    team.reserve(t);
-    for (unsigned c = 0; c < t; ++c) {
-      team.emplace_back([&, c] {
-        SFA_TRACE_SPAN(span, "match", "chunk-count");
-        const auto [b, e] = ranges[c];
-        span.arg("begin", b);
-        Dfa::StateId s = entry[c];
-        std::size_t acc = 0;
-        for (std::size_t i = b; i < e; ++i) {
-          s = dfa.transition(s, input[i]);
-          acc += dfa.accepting(s);
-        }
-        counts[c] = acc;
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-  std::size_t total = 0;
-  for (std::size_t c : counts) total += c;
-  return total;
+  LazyScanEngineT<Impl> engine(*impl_);
+  return scan::run_count(engine, scan::default_executor(), input.data(),
+                         input.size(), t);
 }
 
 std::size_t LazyMatcher::find_first(const std::vector<Symbol>& input) {
-  const Dfa& dfa = impl_->dfa;
   const unsigned t = impl_->effective_threads(input.size(), 64);
   if (t == 1) {
     impl_->stats.threads = 1;
-    Dfa::StateId q = dfa.start();
-    for (std::size_t i = 0; i < input.size(); ++i) {
-      q = dfa.transition(q, input[i]);
-      if (dfa.accepting(q)) return i + 1;
-    }
-    return kNoMatch;
+    scan::DirectEngine engine(impl_->dfa);
+    return scan::run_find_first(engine, scan::default_executor(), input.data(),
+                                input.size(), 1);
   }
   SFA_TRACE_SCOPE("match", "lazy-find-first");
-  const auto outcomes = impl_->run(input.data(), input.size(), t);
-  const auto ranges = detail::chunk_ranges(input.size(), t);
-
-  // Same absorbing-acceptance shortcut as find_first_match_parallel: "exit
-  // state accepting" locates the first matching chunk only when acceptance
-  // absorbs; otherwise every chunk is rescanned.
-  bool absorbing = true;
-  for (Dfa::StateId s = 0; s < dfa.size() && absorbing; ++s) {
-    if (!dfa.accepting(s)) continue;
-    for (unsigned sym = 0; sym < dfa.num_symbols(); ++sym)
-      if (!dfa.accepting(dfa.transition(s, static_cast<Symbol>(sym)))) {
-        absorbing = false;
-        break;
-      }
-  }
-
-  Dfa::StateId q = dfa.start();
-  for (unsigned c = 0; c < t; ++c) {
-    const auto [b, e] = ranges[c];
-    const Dfa::StateId exit_state =
-        static_cast<Dfa::StateId>(outcomes[c].mapping[q]);
-    if (!absorbing || dfa.accepting(exit_state)) {
-      Dfa::StateId s = q;
-      for (std::size_t i = b; i < e; ++i) {
-        s = dfa.transition(s, input[i]);
-        if (dfa.accepting(s)) return i + 1;
-      }
-    }
-    q = exit_state;
-  }
-  return kNoMatch;
+  LazyScanEngineT<Impl> engine(*impl_);
+  return scan::run_find_first(engine, scan::default_executor(), input.data(),
+                              input.size(), t);
 }
 
 std::uint32_t LazyMatcher::advance(std::uint32_t dfa_state, const Symbol* data,
@@ -378,12 +345,11 @@ std::uint32_t LazyMatcher::advance(std::uint32_t dfa_state, const Symbol* data,
   // typically smaller than one-shot inputs, so chunking pays off later.
   const unsigned t = impl_->effective_threads(len, 256);
   if (len == 0) return dfa_state;
-  const auto outcomes = impl_->run(data, len, t);
   // Chunk mappings compose from ANY entry state — this is what the eager
   // stream path cannot do without a full build.
-  std::uint32_t q = dfa_state;
-  for (const ChunkOutcome& c : outcomes) q = c.mapping[q];
-  return q;
+  LazyScanEngineT<Impl> engine(*impl_);
+  return scan::run_advance(engine, scan::default_executor(), data, len, t,
+                           dfa_state);
 }
 
 LazyMatchStats LazyMatcher::stats() const { return impl_->stats; }

@@ -1,9 +1,14 @@
+// Matching entry points — thin wrappers over the scan substrate
+// (src/sfa/core/scan/): each picks a ScanEngine, clamps the thread count
+// exactly as before, and delegates to the shared MatchTask implementations.
+// Signatures and results are unchanged — the oracle verifies every wrapper
+// position-for-position against the sequential reference.
 #include "sfa/core/match.hpp"
 
 #include <stdexcept>
-#include <string>
-#include <thread>
 
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa {
@@ -39,8 +44,6 @@ std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(std::size_t len,
 
 }  // namespace detail
 
-using detail::chunk_ranges;
-
 MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
                                unsigned num_threads) {
   if (!sfa.has_mappings())
@@ -49,32 +52,13 @@ MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;  // chunking overhead
 
-  const auto ranges = chunk_ranges(input.size(), num_threads);
-  std::vector<Sfa::StateId> chunk_state(num_threads);
-
   if (num_threads == 1) {
     return match_sfa_sequential(sfa, input);
   }
   SFA_TRACE_SCOPE("match", "sfa-parallel");
-  std::vector<std::thread> team;
-  team.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) {
-    team.emplace_back([&, t] {
-      SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
-      SFA_TRACE_SPAN(span, "match", "chunk-advance");
-      const auto [b, e] = ranges[t];
-      span.arg("begin", b);
-      span.arg("symbols", e - b);
-      chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
-    });
-  }
-  for (auto& th : team) th.join();
-
-  // Reduction: compose the chunk mappings left to right from q0.
-  SFA_TRACE_SCOPE("match", "compose");
-  std::uint32_t q = sfa.dfa_start();
-  for (unsigned t = 0; t < num_threads; ++t) q = sfa.map(chunk_state[t], q);
-  return {sfa.dfa_accepting(q), q};
+  scan::EagerEngine engine(sfa);
+  return scan::run_accept(engine, scan::default_executor(), input.data(),
+                          input.size(), num_threads);
 }
 
 std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
@@ -82,70 +66,18 @@ std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
                                    unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64 || num_threads == 1) {
-    return dfa.count_accepting_prefixes(input.data(), input.size());
+    scan::DirectEngine engine(dfa);
+    return scan::run_count(engine, scan::default_executor(), input.data(),
+                           input.size(), 1);
   }
   if (!sfa.has_mappings())
     throw std::logic_error(
         "count_matches_parallel: SFA was built without keep_mappings");
 
-  const auto ranges = chunk_ranges(input.size(), num_threads);
-  std::vector<Sfa::StateId> chunk_state(num_threads);
-
   SFA_TRACE_SCOPE("match", "count-parallel");
-  // Pass 1: chunk mappings via the SFA.
-  {
-    SFA_TRACE_SCOPE("match", "pass1-mappings");
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        SFA_TRACE_THREAD_NAME("matcher/chunk " + std::to_string(t));
-        SFA_TRACE_SPAN(span, "match", "chunk-advance");
-        const auto [b, e] = ranges[t];
-        span.arg("begin", b);
-        span.arg("symbols", e - b);
-        chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-
-  // Entry DFA states per chunk, by composing the prefix mappings.
-  std::vector<Dfa::StateId> entry(num_threads);
-  {
-    SFA_TRACE_SCOPE("match", "compose");
-    std::uint32_t q = dfa.start();
-    for (unsigned t = 0; t < num_threads; ++t) {
-      entry[t] = static_cast<Dfa::StateId>(q);
-      q = sfa.map(chunk_state[t], q);
-    }
-  }
-
-  // Pass 2: count accepting positions with known entry states.
-  std::vector<std::size_t> counts(num_threads, 0);
-  {
-    SFA_TRACE_SCOPE("match", "pass2-count");
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        SFA_TRACE_SPAN(span, "match", "chunk-count");
-        const auto [b, e] = ranges[t];
-        span.arg("begin", b);
-        Dfa::StateId s = entry[t];
-        std::size_t c = 0;
-        for (std::size_t i = b; i < e; ++i) {
-          s = dfa.transition(s, input[i]);
-          c += dfa.accepting(s);
-        }
-        counts[t] = c;
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-  std::size_t total = 0;
-  for (std::size_t c : counts) total += c;
-  return total;
+  scan::EagerEngine engine(sfa, &dfa);
+  return scan::run_count(engine, scan::default_executor(), input.data(),
+                         input.size(), num_threads);
 }
 
 std::vector<std::size_t> find_all_matches_parallel(
@@ -153,60 +85,19 @@ std::vector<std::size_t> find_all_matches_parallel(
     unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;
-  const auto ranges = chunk_ranges(input.size(), num_threads);
 
   if (num_threads == 1) {
-    std::vector<std::size_t> out;
-    Dfa::StateId q = dfa.start();
-    for (std::size_t i = 0; i < input.size(); ++i) {
-      q = dfa.transition(q, input[i]);
-      if (dfa.accepting(q)) out.push_back(i + 1);
-    }
-    return out;
+    scan::DirectEngine engine(dfa);
+    return scan::run_find_all(engine, scan::default_executor(), input.data(),
+                              input.size(), 1);
   }
   if (!sfa.has_mappings())
     throw std::logic_error(
         "find_all_matches_parallel: SFA was built without keep_mappings");
 
-  // Pass 1: chunk mappings.
-  std::vector<Sfa::StateId> chunk_state(num_threads);
-  {
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        const auto [b, e] = ranges[t];
-        chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-  // Entry states by composition, then pass 2: per-chunk position gathering.
-  std::vector<Dfa::StateId> entry(num_threads);
-  std::uint32_t q = dfa.start();
-  for (unsigned t = 0; t < num_threads; ++t) {
-    entry[t] = static_cast<Dfa::StateId>(q);
-    q = sfa.map(chunk_state[t], q);
-  }
-  std::vector<std::vector<std::size_t>> per_chunk(num_threads);
-  {
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        const auto [b, e] = ranges[t];
-        Dfa::StateId s = entry[t];
-        for (std::size_t i = b; i < e; ++i) {
-          s = dfa.transition(s, input[i]);
-          if (dfa.accepting(s)) per_chunk[t].push_back(i + 1);
-        }
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-  std::vector<std::size_t> out;
-  for (auto& v : per_chunk) out.insert(out.end(), v.begin(), v.end());
-  return out;  // chunks are in order, so positions are already sorted
+  scan::EagerEngine engine(sfa, &dfa);
+  return scan::run_find_all(engine, scan::default_executor(), input.data(),
+                            input.size(), num_threads);
 }
 
 std::size_t find_first_match_parallel(const Sfa& sfa, const Dfa& dfa,
@@ -215,54 +106,18 @@ std::size_t find_first_match_parallel(const Sfa& sfa, const Dfa& dfa,
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;
 
-  const auto ranges = chunk_ranges(input.size(), num_threads);
-  std::vector<Sfa::StateId> chunk_state(num_threads);
-
-  if (num_threads > 1) {
-    if (!sfa.has_mappings())
-      throw std::logic_error(
-          "find_first_match_parallel: SFA was built without keep_mappings");
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        const auto [b, e] = ranges[t];
-        chunk_state[t] = sfa.run(sfa.start(), input.data() + b, e - b);
-      });
-    }
-    for (auto& th : team) th.join();
+  if (num_threads == 1) {
+    scan::DirectEngine engine(dfa);
+    return scan::run_find_first(engine, scan::default_executor(), input.data(),
+                                input.size(), 1);
   }
+  if (!sfa.has_mappings())
+    throw std::logic_error(
+        "find_first_match_parallel: SFA was built without keep_mappings");
 
-  // "Exit state accepting" implies "a match ended in or before this chunk"
-  // only when acceptance absorbs (match-anywhere DFAs, the library default).
-  // Detect that property once; without it, every chunk must be rescanned.
-  bool absorbing = true;
-  for (Dfa::StateId s = 0; s < dfa.size() && absorbing; ++s) {
-    if (!dfa.accepting(s)) continue;
-    for (unsigned sym = 0; sym < dfa.num_symbols(); ++sym)
-      if (!dfa.accepting(dfa.transition(s, static_cast<Symbol>(sym)))) {
-        absorbing = false;
-        break;
-      }
-  }
-
-  Dfa::StateId q = dfa.start();
-  for (unsigned t = 0; t < num_threads; ++t) {
-    const auto [b, e] = ranges[t];
-    const Dfa::StateId exit_state =
-        num_threads == 1
-            ? dfa.run(q, input.data() + b, e - b)
-            : static_cast<Dfa::StateId>(sfa.map(chunk_state[t], q));
-    if (!absorbing || dfa.accepting(exit_state)) {
-      Dfa::StateId s = q;
-      for (std::size_t i = b; i < e; ++i) {
-        s = dfa.transition(s, input[i]);
-        if (dfa.accepting(s)) return i + 1;
-      }
-    }
-    q = exit_state;
-  }
-  return kNoMatch;
+  scan::EagerEngine engine(sfa, &dfa);
+  return scan::run_find_first(engine, scan::default_executor(), input.data(),
+                              input.size(), num_threads);
 }
 
 Dfa::StateId pick_speculation_state(const Dfa& dfa,
@@ -295,36 +150,10 @@ SpeculativeResult match_speculative(const Dfa& dfa,
   if (input.size() < num_threads * 64) num_threads = 1;
   out.chunks = num_threads;
 
-  const auto ranges = chunk_ranges(input.size(), num_threads);
-  std::vector<Dfa::StateId> exit_state(num_threads);
-
-  // Speculative pass: chunk 0 from the true start, the rest from the guess.
-  {
-    std::vector<std::thread> team;
-    team.reserve(num_threads);
-    for (unsigned t = 0; t < num_threads; ++t) {
-      team.emplace_back([&, t] {
-        const auto [b, e] = ranges[t];
-        const Dfa::StateId from = t == 0 ? dfa.start() : speculated_state;
-        exit_state[t] = dfa.run(from, input.data() + b, e - b);
-      });
-    }
-    for (auto& th : team) th.join();
-  }
-
-  // Validation pass: sequential; re-match a chunk whenever its true entry
-  // state differs from the speculation (the scheme's failure case).
-  Dfa::StateId q = exit_state[0];
-  for (unsigned t = 1; t < num_threads; ++t) {
-    if (q == speculated_state) {
-      q = exit_state[t];
-      continue;
-    }
-    ++out.rematched_chunks;
-    const auto [b, e] = ranges[t];
-    q = dfa.run(q, input.data() + b, e - b);
-  }
-  out.result = {dfa.accepting(q), q};
+  scan::SpeculativeEngine engine(dfa, speculated_state);
+  out.result = scan::run_accept(engine, scan::default_executor(), input.data(),
+                                input.size(), num_threads);
+  out.rematched_chunks = engine.rematched();
   return out;
 }
 

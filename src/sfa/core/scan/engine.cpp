@@ -1,0 +1,79 @@
+#include "sfa/core/scan/engine.hpp"
+
+#include "sfa/obs/trace.hpp"
+
+namespace sfa::scan {
+
+void DirectEngine::scan_chunks(
+    const Symbol*, const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    Executor&) {
+  // Pass 1 has nothing to precompute: without mappings, a chunk's exit
+  // state is only computable once its entry state is known (which is the
+  // whole point of the SFA engines).
+  ranges_ = ranges;
+}
+
+std::uint32_t DirectEngine::chunk_exit(unsigned c, std::uint32_t q,
+                                       const Symbol* data) {
+  const auto [b, e] = ranges_[c];
+  return dfa_.run(static_cast<Dfa::StateId>(q), data + b, e - b);
+}
+
+void EagerEngine::scan_chunks(
+    const Symbol* data,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    Executor& exec) {
+  chunk_state_.assign(ranges.size(), 0);
+  if (ranges.size() == 1) {
+    // Single-chunk runs stay on the caller with no chunk span, matching
+    // the sequential fallbacks' trace shape.
+    const auto [b, e] = ranges[0];
+    chunk_state_[0] = sfa_.run(sfa_.start(), data + b, e - b);
+    return;
+  }
+  exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
+    SFA_TRACE_SPAN(span, "match", "chunk-advance");
+    span.arg("engine", static_cast<std::uint64_t>(id()));
+    const auto [b, e] = ranges[c];
+    span.arg("symbols", e - b);
+    chunk_state_[c] = sfa_.run(sfa_.start(), data + b, e - b);
+  });
+}
+
+std::uint32_t EagerEngine::chunk_exit(unsigned c, std::uint32_t q,
+                                      const Symbol*) {
+  return sfa_.map(chunk_state_[c], q);
+}
+
+void SpeculativeEngine::scan_chunks(
+    const Symbol* data,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    Executor& exec) {
+  ranges_ = ranges;
+  exit_.assign(ranges.size(), 0);
+  rematched_ = 0;
+  if (ranges.size() == 1) {
+    const auto [b, e] = ranges[0];
+    exit_[0] = dfa_.run(dfa_.start(), data + b, e - b);
+    return;
+  }
+  exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
+    SFA_TRACE_SPAN(span, "match", "chunk-advance");
+    span.arg("engine", static_cast<std::uint64_t>(id()));
+    const auto [b, e] = ranges_[c];
+    span.arg("symbols", e - b);
+    const Dfa::StateId from = c == 0 ? dfa_.start() : guess_;
+    exit_[c] = dfa_.run(from, data + b, e - b);
+  });
+}
+
+std::uint32_t SpeculativeEngine::chunk_exit(unsigned c, std::uint32_t q,
+                                            const Symbol* data) {
+  const Dfa::StateId speculated = c == 0 ? dfa_.start() : guess_;
+  if (static_cast<Dfa::StateId>(q) == speculated) return exit_[c];
+  ++rematched_;
+  const auto [b, e] = ranges_[c];
+  return dfa_.run(static_cast<Dfa::StateId>(q), data + b, e - b);
+}
+
+}  // namespace sfa::scan

@@ -1,0 +1,160 @@
+// ScanEngine — the "how does a chunk map entry states to exit states" seam
+// of the matching substrate.
+//
+// Parallel SFA matching (§IV-D) factors into: split the input into chunks,
+// process each chunk independently (pass 1), then compose the per-chunk
+// transition functions left to right — optionally rescanning chunks with
+// their now-known entry states (pass 2 of count / find-first / find-all).
+// Every matcher in the repo is that same skeleton with a different chunk
+// policy, which this interface isolates:
+//
+//   DirectEngine       pass 1 is empty; chunk_exit rescans with the DFA —
+//                      the sequential reference the oracle compares against
+//   EagerEngine        pass 1 runs a pre-built SFA from the identity;
+//                      chunk_exit is one f_s lookup — failure-free (§IV-D)
+//   LazyScanEngine     same, but SFA states intern on demand during the
+//                      walk (lives in lazy_matcher.cpp, needs its Impl)
+//   SpeculativeEngine  pass 1 runs the DFA from a guessed entry state;
+//                      chunk_exit rescans on a wrong guess — the
+//                      Holub–Štekr/Luchaup baseline (§V)
+//
+// The MatchTasks in tasks.hpp drive any engine through the shared two-pass
+// logic; engines never spawn threads themselves — per-chunk work always
+// goes through the Executor seam.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/core/sfa.hpp"
+
+namespace sfa::scan {
+
+/// Numeric engine identity — attached as the `engine` arg on every
+/// match-chunk trace span (trace args are integers) and validated by
+/// sfa_trace_check.
+enum class EngineId : std::uint64_t {
+  kDirect = 0,
+  kEager = 1,
+  kLazy = 2,
+  kSpeculative = 3,
+};
+
+class ScanEngine {
+ public:
+  virtual ~ScanEngine() = default;
+
+  virtual EngineId id() const = 0;
+
+  /// DFA start state / acceptance in the engine's state numbering (the DFA
+  /// side of the composition — all engines compose DFA states).
+  virtual std::uint32_t start_state() const = 0;
+  virtual bool accepting(std::uint32_t q) const = 0;
+
+  /// The DFA used for pass-2 rescans (count / find-first / find-all) and
+  /// the chunks<=1 sequential short-circuits.  nullptr when the engine can
+  /// only serve accept/advance (an EagerEngine constructed without a DFA).
+  virtual const Dfa* rescan_dfa() const = 0;
+
+  /// Pass 1: process every chunk independently through `exec`, retaining
+  /// whatever chunk_exit() needs.  Ranges come from detail::chunk_ranges —
+  /// identical across engines so differential tests compare chunk results
+  /// position-for-position.
+  virtual void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      Executor& exec) = 0;
+
+  /// DFA state at chunk c's exit, given its (composed) entry state q.
+  /// May rescan the chunk (`data` is the full input, as in scan_chunks):
+  /// DirectEngine always does, SpeculativeEngine on a failed guess.
+  virtual std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                                   const Symbol* data) = 0;
+};
+
+/// Sequential DFA reference: no pass-1 work, chunk_exit runs the DFA.
+class DirectEngine final : public ScanEngine {
+ public:
+  explicit DirectEngine(const Dfa& dfa) : dfa_(dfa) {}
+
+  EngineId id() const override { return EngineId::kDirect; }
+  std::uint32_t start_state() const override { return dfa_.start(); }
+  bool accepting(std::uint32_t q) const override {
+    return dfa_.accepting(static_cast<Dfa::StateId>(q));
+  }
+  const Dfa* rescan_dfa() const override { return &dfa_; }
+  void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      Executor& exec) override;
+  std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                           const Symbol* data) override;
+
+ private:
+  const Dfa& dfa_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+};
+
+/// Pre-built SFA: pass 1 runs delta_s from the identity over each chunk,
+/// chunk_exit is a single f_s lookup.  Pass-2 tasks additionally need the
+/// source DFA (the Sfa carries only acceptance, not transitions).
+class EagerEngine final : public ScanEngine {
+ public:
+  explicit EagerEngine(const Sfa& sfa, const Dfa* rescan = nullptr)
+      : sfa_(sfa), rescan_(rescan) {}
+
+  EngineId id() const override { return EngineId::kEager; }
+  std::uint32_t start_state() const override { return sfa_.dfa_start(); }
+  bool accepting(std::uint32_t q) const override {
+    return sfa_.dfa_accepting(q);
+  }
+  const Dfa* rescan_dfa() const override { return rescan_; }
+  void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      Executor& exec) override;
+  std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                           const Symbol* data) override;
+
+ private:
+  const Sfa& sfa_;
+  const Dfa* rescan_;
+  std::vector<Sfa::StateId> chunk_state_;
+};
+
+/// Speculative baseline: chunk 0 scans from the true start, later chunks
+/// from `guess`; chunk_exit rescans whenever the composed entry state
+/// disagrees with the speculation (the scheme's failure case, counted in
+/// rematched()).
+class SpeculativeEngine final : public ScanEngine {
+ public:
+  SpeculativeEngine(const Dfa& dfa, Dfa::StateId guess)
+      : dfa_(dfa), guess_(guess) {}
+
+  EngineId id() const override { return EngineId::kSpeculative; }
+  std::uint32_t start_state() const override { return dfa_.start(); }
+  bool accepting(std::uint32_t q) const override {
+    return dfa_.accepting(static_cast<Dfa::StateId>(q));
+  }
+  const Dfa* rescan_dfa() const override { return &dfa_; }
+  void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      Executor& exec) override;
+  std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                           const Symbol* data) override;
+
+  unsigned rematched() const { return rematched_; }
+
+ private:
+  const Dfa& dfa_;
+  const Dfa::StateId guess_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  std::vector<Dfa::StateId> exit_;
+  unsigned rematched_ = 0;
+};
+
+}  // namespace sfa::scan

@@ -1,0 +1,64 @@
+#include "sfa/core/scan/executor.hpp"
+
+#include <string>
+
+#include "sfa/obs/metrics.hpp"
+#include "sfa/obs/trace.hpp"
+
+namespace sfa::scan {
+
+void InlineExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
+  for (unsigned c = 0; c < chunks; ++c) body(c);
+}
+
+PooledExecutor::PooledExecutor(unsigned initial_workers)
+    : pool_(initial_workers),
+      // Handles resolved once; Registry references are stable for the
+      // process lifetime, so the hot path never re-hashes the names.
+      dispatches_metric_(
+          &obs::Registry::instance().counter("sfa.match.pool.dispatches")),
+      wakeups_metric_(
+          &obs::Registry::instance().counter("sfa.match.pool.wakeups")),
+      workers_metric_(
+          &obs::Registry::instance().gauge("sfa.match.pool.workers")) {}
+
+void PooledExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
+  if (chunks <= 1) {
+    if (chunks == 1) body(0);
+    return;
+  }
+  pool_.ensure_workers(chunks);
+  pool_.run(chunks, [&body](unsigned task, unsigned worker) {
+    if (worker != ChunkFn::kInlineWorker)
+      SFA_TRACE_THREAD_NAME("scan-pool/worker " + std::to_string(worker));
+    body(task);
+  });
+  dispatches_metric_->inc();
+  const WorkerPoolStats s = pool_.stats();
+  workers_metric_->set(static_cast<std::int64_t>(s.workers));
+  // The pool counter is cumulative; publish only this executor's delta so
+  // the metric stays a plain monotone counter.
+  const std::uint64_t prev = published_wakeups_.exchange(s.wakeups);
+  if (s.wakeups > prev) wakeups_metric_->inc(s.wakeups - prev);
+}
+
+ExecutorStats PooledExecutor::stats() const {
+  const WorkerPoolStats s = pool_.stats();
+  ExecutorStats out;
+  out.pool_workers = s.workers;
+  out.pool_dispatches = s.dispatches;
+  out.pool_wakeups = s.wakeups;
+  return out;
+}
+
+Executor& default_executor() {
+  static PooledExecutor exec;
+  return exec;
+}
+
+Executor& inline_executor() {
+  static InlineExecutor exec;
+  return exec;
+}
+
+}  // namespace sfa::scan

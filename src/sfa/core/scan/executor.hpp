@@ -1,0 +1,95 @@
+// Executor — the "who runs a chunk" seam of the matching substrate.
+//
+// Mirrors the build substrate's policy seams (docs/ARCHITECTURE.md): every
+// MatchTask expresses its per-chunk work as for_chunks(n, body) and stays
+// agnostic of whether the chunks run inline on the caller (InlineExecutor)
+// or on the persistent WorkerPool (PooledExecutor).  The pooled executor is
+// the perf headline of the re-layering: matchers used to spawn fresh
+// std::threads per call — per *block* for streams — while the pool parks a
+// warm team on a condition variable and dispatches chunks to it.
+//
+// Trace/metrics glue lives here, NOT in sfa_concurrent (the pool must stay
+// obs-free, like the queues and the arena): pool threads are named
+// "scan-pool/worker N" in traces, and every pooled dispatch updates the
+// sfa.match.pool.* metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sfa/concurrent/worker_pool.hpp"
+
+namespace sfa::obs {
+class Counter;
+class Gauge;
+}  // namespace sfa::obs
+
+namespace sfa::scan {
+
+/// Non-owning callable reference `void(unsigned chunk)` — must outlive the
+/// for_chunks() call, which always blocks until every chunk ran.
+class ChunkBody {
+ public:
+  template <typename F>
+  ChunkBody(const F& fn)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&fn))),
+        call_([](void* o, unsigned chunk) { (*static_cast<const F*>(o))(chunk); }) {}
+
+  void operator()(unsigned chunk) const { call_(obj_, chunk); }
+
+ private:
+  void* obj_;
+  void (*call_)(void*, unsigned);
+};
+
+/// Executor-side counters surfaced through `sfa match --stats-json`
+/// (additive `pool_*` fields of sfa-match-stats/1).
+struct ExecutorStats {
+  unsigned pool_workers = 0;
+  std::uint64_t pool_dispatches = 0;
+  std::uint64_t pool_wakeups = 0;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  /// Run body(0..chunks-1), returning after all chunks completed.
+  /// chunks <= 1 always executes inline on the calling thread.
+  virtual void for_chunks(unsigned chunks, const ChunkBody& body) = 0;
+  virtual ExecutorStats stats() const { return {}; }
+};
+
+/// Sequential policy: every chunk runs on the caller, in order.
+class InlineExecutor final : public Executor {
+ public:
+  void for_chunks(unsigned chunks, const ChunkBody& body) override;
+};
+
+/// Persistent-pool policy.  The pool grows on demand to the largest chunk
+/// count ever dispatched (the legacy matchers spawned arbitrary per-call
+/// thread counts, so demand-sizing is strictly no worse) and keeps its
+/// workers parked between calls.
+class PooledExecutor final : public Executor {
+ public:
+  explicit PooledExecutor(unsigned initial_workers = 0);
+  void for_chunks(unsigned chunks, const ChunkBody& body) override;
+  ExecutorStats stats() const override;
+
+ private:
+  WorkerPool pool_;
+  obs::Counter* dispatches_metric_;
+  obs::Counter* wakeups_metric_;
+  obs::Gauge* workers_metric_;
+  std::atomic<std::uint64_t> published_wakeups_{0};
+};
+
+/// The process-wide pooled executor every matcher entry point dispatches
+/// through.  Streaming sessions share it, so their pool stays warm across
+/// blocks and across sessions.  Joined at process exit.
+Executor& default_executor();
+
+/// A shared inline executor (for forcing the sequential policy in tests
+/// and differential checks).
+Executor& inline_executor();
+
+}  // namespace sfa::scan

@@ -1,0 +1,154 @@
+#include "sfa/core/scan/tasks.hpp"
+
+#include "sfa/obs/trace.hpp"
+
+namespace sfa::scan {
+
+bool acceptance_absorbs(const Dfa& dfa) {
+  for (Dfa::StateId s = 0; s < dfa.size(); ++s) {
+    if (!dfa.accepting(s)) continue;
+    for (unsigned sym = 0; sym < dfa.num_symbols(); ++sym)
+      if (!dfa.accepting(dfa.transition(s, static_cast<Symbol>(sym))))
+        return false;
+  }
+  return true;
+}
+
+std::uint32_t run_advance(ScanEngine& engine, Executor& exec,
+                          const Symbol* data, std::size_t len, unsigned chunks,
+                          std::uint32_t entry) {
+  if (chunks == 0) chunks = 1;
+  const auto ranges = detail::chunk_ranges(len, chunks);
+  engine.scan_chunks(data, ranges, exec);
+  SFA_TRACE_SCOPE("match", "compose");
+  std::uint32_t q = entry;
+  for (unsigned c = 0; c < chunks; ++c) q = engine.chunk_exit(c, q, data);
+  return q;
+}
+
+MatchResult run_accept(ScanEngine& engine, Executor& exec, const Symbol* data,
+                       std::size_t len, unsigned chunks) {
+  const std::uint32_t q =
+      run_advance(engine, exec, data, len, chunks, engine.start_state());
+  return {engine.accepting(q), q};
+}
+
+std::size_t run_count(ScanEngine& engine, Executor& exec, const Symbol* data,
+                      std::size_t len, unsigned chunks) {
+  const Dfa& dfa = *engine.rescan_dfa();
+  if (chunks <= 1)
+    return dfa.count_accepting_prefixes(data, len);
+
+  const auto ranges = detail::chunk_ranges(len, chunks);
+  {
+    SFA_TRACE_SCOPE("match", "pass1-mappings");
+    engine.scan_chunks(data, ranges, exec);
+  }
+  std::vector<std::uint32_t> entry(chunks);
+  {
+    SFA_TRACE_SCOPE("match", "compose");
+    std::uint32_t q = dfa.start();
+    for (unsigned c = 0; c < chunks; ++c) {
+      entry[c] = q;
+      q = engine.chunk_exit(c, q, data);
+    }
+  }
+  std::vector<std::size_t> counts(chunks, 0);
+  {
+    SFA_TRACE_SCOPE("match", "pass2-count");
+    exec.for_chunks(chunks, [&](unsigned c) {
+      SFA_TRACE_SPAN(span, "match", "chunk-count");
+      span.arg("engine", static_cast<std::uint64_t>(engine.id()));
+      const auto [b, e] = ranges[c];
+      span.arg("begin", b);
+      Dfa::StateId s = static_cast<Dfa::StateId>(entry[c]);
+      std::size_t acc = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        s = dfa.transition(s, data[i]);
+        acc += dfa.accepting(s);
+      }
+      counts[c] = acc;
+    });
+  }
+  std::size_t total = 0;
+  for (std::size_t c : counts) total += c;
+  return total;
+}
+
+std::size_t run_find_first(ScanEngine& engine, Executor& exec,
+                           const Symbol* data, std::size_t len,
+                           unsigned chunks) {
+  const Dfa& dfa = *engine.rescan_dfa();
+  if (chunks <= 1) {
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < len; ++i) {
+      q = dfa.transition(q, data[i]);
+      if (dfa.accepting(q)) return i + 1;
+    }
+    return kNoMatch;
+  }
+
+  const auto ranges = detail::chunk_ranges(len, chunks);
+  engine.scan_chunks(data, ranges, exec);
+  // "Exit state accepting" locates the first matching chunk only when
+  // acceptance absorbs; otherwise every chunk is rescanned.
+  const bool absorbing = acceptance_absorbs(dfa);
+  std::uint32_t q = dfa.start();
+  for (unsigned c = 0; c < chunks; ++c) {
+    const std::uint32_t exit_state = engine.chunk_exit(c, q, data);
+    if (!absorbing || dfa.accepting(static_cast<Dfa::StateId>(exit_state))) {
+      Dfa::StateId s = static_cast<Dfa::StateId>(q);
+      const auto [b, e] = ranges[c];
+      for (std::size_t i = b; i < e; ++i) {
+        s = dfa.transition(s, data[i]);
+        if (dfa.accepting(s)) return i + 1;
+      }
+    }
+    q = exit_state;
+  }
+  return kNoMatch;
+}
+
+std::vector<std::size_t> run_find_all(ScanEngine& engine, Executor& exec,
+                                      const Symbol* data, std::size_t len,
+                                      unsigned chunks) {
+  const Dfa& dfa = *engine.rescan_dfa();
+  if (chunks <= 1) {
+    std::vector<std::size_t> out;
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < len; ++i) {
+      q = dfa.transition(q, data[i]);
+      if (dfa.accepting(q)) out.push_back(i + 1);
+    }
+    return out;
+  }
+
+  const auto ranges = detail::chunk_ranges(len, chunks);
+  engine.scan_chunks(data, ranges, exec);
+  std::vector<std::uint32_t> entry(chunks);
+  {
+    SFA_TRACE_SCOPE("match", "compose");
+    std::uint32_t q = dfa.start();
+    for (unsigned c = 0; c < chunks; ++c) {
+      entry[c] = q;
+      q = engine.chunk_exit(c, q, data);
+    }
+  }
+  std::vector<std::vector<std::size_t>> per_chunk(chunks);
+  exec.for_chunks(chunks, [&](unsigned c) {
+    SFA_TRACE_SPAN(span, "match", "chunk-collect");
+    span.arg("engine", static_cast<std::uint64_t>(engine.id()));
+    const auto [b, e] = ranges[c];
+    span.arg("begin", b);
+    Dfa::StateId s = static_cast<Dfa::StateId>(entry[c]);
+    for (std::size_t i = b; i < e; ++i) {
+      s = dfa.transition(s, data[i]);
+      if (dfa.accepting(s)) per_chunk[c].push_back(i + 1);
+    }
+  });
+  std::vector<std::size_t> out;
+  for (auto& v : per_chunk) out.insert(out.end(), v.begin(), v.end());
+  return out;  // chunks are in order, so positions are already sorted
+}
+
+}  // namespace sfa::scan

@@ -1,0 +1,54 @@
+// MatchTask — the "what question is being asked" seam of the matching
+// substrate: accept / advance / count / find-first / find-all, written once
+// over the ScanEngine × Executor seams instead of per matcher.
+//
+// Each task is the same two-pass shape from §IV-D: pass 1 scans chunks
+// independently (engine policy), a sequential O(chunks) composition turns
+// chunk transition functions into per-chunk entry states, and — for the
+// rescan-style tasks — pass 2 revisits chunks with their now-known entry
+// states.  `chunks <= 1` always short-circuits to the plain sequential DFA
+// procedure (the legacy small-input fallbacks, preserved bit-for-bit).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+
+namespace sfa::scan {
+
+/// True when acceptance absorbs (accepting states only transition to
+/// accepting states — match-anywhere automata, the library default).  The
+/// find-first task may then skip rescanning chunks whose exit state is not
+/// accepting; without the property every chunk must be rescanned.
+bool acceptance_absorbs(const Dfa& dfa);
+
+/// Advance a carried DFA state over [data, data+len) in `chunks` chunks:
+/// pass 1 + composition from `entry`.  The streaming primitive —
+/// StreamMatcher::feed and LazyMatcher::advance are this task.
+std::uint32_t run_advance(ScanEngine& engine, Executor& exec,
+                          const Symbol* data, std::size_t len, unsigned chunks,
+                          std::uint32_t entry);
+
+/// Whole-input membership: advance from the engine's start state and test
+/// acceptance.
+MatchResult run_accept(ScanEngine& engine, Executor& exec, const Symbol* data,
+                       std::size_t len, unsigned chunks);
+
+/// Count accepting end-positions (requires engine.rescan_dfa()).
+std::size_t run_count(ScanEngine& engine, Executor& exec, const Symbol* data,
+                      std::size_t len, unsigned chunks);
+
+/// Earliest accepting end-position, or kNoMatch (requires rescan_dfa()).
+std::size_t run_find_first(ScanEngine& engine, Executor& exec,
+                           const Symbol* data, std::size_t len,
+                           unsigned chunks);
+
+/// All accepting end-positions, ascending (requires rescan_dfa()).
+std::vector<std::size_t> run_find_all(ScanEngine& engine, Executor& exec,
+                                      const Symbol* data, std::size_t len,
+                                      unsigned chunks);
+
+}  // namespace sfa::scan

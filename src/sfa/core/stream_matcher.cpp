@@ -1,7 +1,7 @@
 #include "sfa/core/stream_matcher.hpp"
 
-#include <thread>
-
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa {
@@ -25,27 +25,15 @@ void StreamMatcher::feed(const Symbol* data, std::size_t len) {
     if (len != 0) dfa_state_ = sfa_->map(s, dfa_state_);
     return;
   }
-  // Parallel advance: chunk the block, run each chunk from the identity,
-  // compose the chunk mappings onto the carried state.
+  // Parallel advance through the persistent executor: chunk the block, run
+  // each chunk from the identity, compose the chunk mappings onto the
+  // carried state.  The pool stays warm across blocks — a streaming session
+  // pays thread creation once, not per feed().
   SFA_TRACE_SPAN(span, "match", "stream-feed");
   span.arg("symbols", len);
-  const unsigned t = threads_;
-  const std::size_t per = len / t;
-  std::vector<Sfa::StateId> chunk_state(t);
-  std::vector<std::thread> team;
-  team.reserve(t);
-  for (unsigned c = 0; c < t; ++c) {
-    const std::size_t begin = c * per;
-    const std::size_t end = (c + 1 == t) ? len : begin + per;
-    team.emplace_back([this, &chunk_state, data, begin, end, c] {
-      SFA_TRACE_SCOPE("match", "chunk-advance");
-      chunk_state[c] = sfa_->run(sfa_->start(), data + begin, end - begin);
-    });
-  }
-  for (auto& th : team) th.join();
-  SFA_TRACE_SCOPE("match", "compose");
-  for (unsigned c = 0; c < t; ++c)
-    dfa_state_ = sfa_->map(chunk_state[c], dfa_state_);
+  scan::EagerEngine engine(*sfa_);
+  dfa_state_ = scan::run_advance(engine, scan::default_executor(), data, len,
+                                 threads_, dfa_state_);
 }
 
 }  // namespace sfa

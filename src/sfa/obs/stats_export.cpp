@@ -64,6 +64,9 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
     w.kv("lazy_interned_states", info.lazy_interned_states);
     w.kv("lazy_cache_hits", info.lazy_cache_hits);
   }
+  w.kv("pool_workers", std::uint64_t{info.pool_workers});
+  w.kv("pool_dispatches", info.pool_dispatches);
+  w.kv("pool_wakeups", info.pool_wakeups);
   if (include_metrics) {
     w.key("metrics");
     write_metrics_json(w, Registry::instance().snapshot());

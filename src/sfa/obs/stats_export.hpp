@@ -30,6 +30,13 @@ struct MatchRunInfo {
   bool lazy = false;
   std::uint64_t lazy_interned_states = 0;
   std::uint64_t lazy_cache_hits = 0;
+  /// Persistent-executor counters for this run (deltas of the process-wide
+  /// scan::default_executor() around the timed section, except
+  /// pool_workers which is the team size).  Additive sfa-match-stats/1
+  /// fields; all zero when the run never left the sequential path.
+  unsigned pool_workers = 0;
+  std::uint64_t pool_dispatches = 0;
+  std::uint64_t pool_wakeups = 0;
 };
 
 /// sfa-build-stats/1.  `method` is build_method_name(...); pass

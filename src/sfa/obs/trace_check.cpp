@@ -314,6 +314,24 @@ TraceCheckResult check_trace_json(const std::string& json) {
       const JValue* cat = ev.get("cat");
       if (cat != nullptr && cat->is_string() && cat->str == "build")
         tid_has_build_span[tid->num] = true;
+      // Match-chunk spans must identify their ScanEngine: the `engine` arg
+      // is how trace consumers tell eager chunk scans from speculative or
+      // rescan passes sharing the same span names.
+      if (cat != nullptr && cat->is_string() && cat->str == "match" &&
+          name->str.rfind("chunk-", 0) == 0) {
+        const JValue* args = ev.get("args");
+        const JValue* engine =
+            args != nullptr && args->kind == JValue::Kind::kObject
+                ? args->get("engine")
+                : nullptr;
+        if (engine == nullptr || !engine->is_number())
+          return fail_result(at + ": match-chunk span '" + name->str +
+                             "' without numeric engine arg");
+        if (engine->num < 0 || engine->num > 3)
+          return fail_result(at + ": match-chunk span '" + name->str +
+                             "' with unknown engine id");
+        ++res.match_chunk_spans;
+      }
     }
 
     // Per-thread monotonicity of completion times in file order.

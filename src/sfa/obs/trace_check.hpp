@@ -11,7 +11,10 @@
 //     instants) are monotone non-decreasing in file order — the recording
 //     order of the per-thread buffers;
 //   - per thread, spans are balanced: properly nested (any two either
-//     disjoint or one containing the other), never partially overlapping.
+//     disjoint or one containing the other), never partially overlapping;
+//   - match-chunk spans ("match"-category, name "chunk-*") carry a numeric
+//     `engine` arg naming the ScanEngine that produced them (the scan
+//     substrate's EngineId: 0 direct, 1 eager, 2 lazy, 3 speculative).
 #pragma once
 
 #include <cstdint>
@@ -29,6 +32,9 @@ struct TraceCheckResult {
   /// the builder's worker tracks (thread names are cosmetic; the category
   /// is what identifies builder work).
   std::size_t worker_tracks = 0;
+  /// "match"-category chunk spans (name "chunk-*"); each was required to
+  /// carry a valid numeric `engine` arg.
+  std::size_t match_chunk_spans = 0;
 };
 
 /// Validate a trace document given as a string.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -14,6 +15,8 @@
 #include "sfa/classic/boyer_moore.hpp"
 #include "sfa/classic/rabin_karp.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/support/rng.hpp"
 
 namespace sfa {
@@ -297,6 +300,98 @@ std::optional<std::string> Oracle::input_divergence(
     return os.str();
   }
 
+  // Reference answers for every task, from one sequential DFA scan.
+  std::vector<std::size_t> ref_all;
+  {
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      q = dfa.transition(q, input[i]);
+      if (dfa.accepting(q)) ref_all.push_back(i + 1);
+    }
+  }
+  const std::size_t ref_count =
+      dfa.count_accepting_prefixes(input.data(), input.size());
+  const std::size_t ref_first = ref_all.empty() ? kNoMatch : ref_all.front();
+  if (ref_all.size() != ref_count) {
+    os << "count_accepting_prefixes=" << ref_count
+       << " disagrees with the reference scan's " << ref_all.size()
+       << " accepting positions";
+    return os.str();
+  }
+
+  // Engine x task matrix over the scan substrate: every engine must answer
+  // every task identically to the sequential reference, at every chunk
+  // count.  The direct column routes the reference DFA itself through the
+  // substrate, so it checks the shared task logic in isolation; eager and
+  // speculative then isolate their chunk policies.
+  const Dfa::StateId guess = pick_speculation_state(dfa, input);
+  struct EngineCase {
+    const char* name;
+    std::function<std::unique_ptr<scan::ScanEngine>()> make;
+  };
+  std::vector<EngineCase> engines;
+  engines.push_back(
+      {"direct", [&] { return std::make_unique<scan::DirectEngine>(dfa); }});
+  if (sfa.has_mappings())
+    engines.push_back({"eager", [&] {
+                         return std::make_unique<scan::EagerEngine>(sfa, &dfa);
+                       }});
+  engines.push_back({"speculative", [&] {
+                       return std::make_unique<scan::SpeculativeEngine>(dfa,
+                                                                        guess);
+                     }});
+
+  scan::Executor& exec = scan::default_executor();
+  for (const auto& ec : engines) {
+    for (unsigned t = 1; t <= options_.match_threads; ++t) {
+      const auto where = [&]() -> std::ostringstream& {
+        os << ec.name << "-engine(chunks=" << t << ") ";
+        return os;
+      };
+      {
+        auto engine = ec.make();
+        const MatchResult got =
+            scan::run_accept(*engine, exec, input.data(), input.size(), t);
+        if (got.accepted != ref.accepted ||
+            got.final_dfa_state != ref.final_dfa_state) {
+          where() << "accept (" << got.accepted << ", q="
+                  << got.final_dfa_state << ") vs DFA (" << ref.accepted
+                  << ", q=" << ref.final_dfa_state << ")";
+          return os.str();
+        }
+      }
+      {
+        auto engine = ec.make();
+        const std::size_t got =
+            scan::run_count(*engine, exec, input.data(), input.size(), t);
+        if (got != ref_count) {
+          where() << "count=" << got << " vs reference " << ref_count;
+          return os.str();
+        }
+      }
+      {
+        auto engine = ec.make();
+        const std::size_t got =
+            scan::run_find_first(*engine, exec, input.data(), input.size(), t);
+        if (got != ref_first) {
+          where() << "find-first=" << got << " vs reference " << ref_first;
+          return os.str();
+        }
+      }
+      {
+        auto engine = ec.make();
+        const std::vector<std::size_t> got =
+            scan::run_find_all(*engine, exec, input.data(), input.size(), t);
+        if (got != ref_all) {
+          where() << "find-all returned " << got.size() << " positions vs "
+                  << ref_all.size() << " in the reference scan";
+          return os.str();
+        }
+      }
+    }
+  }
+
+  // Public wrappers must agree with the substrate they delegate to.
   if (sfa.has_mappings()) {
     const MatchResult seq = match_sfa_sequential(sfa, input);
     if (seq.accepted != ref.accepted ||
@@ -306,19 +401,15 @@ std::optional<std::string> Oracle::input_divergence(
          << ref.final_dfa_state << ")";
       return os.str();
     }
-    for (unsigned t = 2; t <= options_.match_threads; ++t) {
-      const MatchResult par = match_sfa_parallel(sfa, input, t);
-      if (par.accepted != ref.accepted ||
-          par.final_dfa_state != ref.final_dfa_state) {
-        os << "match_sfa_parallel(threads=" << t << ") (" << par.accepted
-           << ", q=" << par.final_dfa_state << ") vs DFA (" << ref.accepted
-           << ", q=" << ref.final_dfa_state << ")";
-        return os.str();
-      }
+    const MatchResult par =
+        match_sfa_parallel(sfa, input, options_.match_threads);
+    if (par.accepted != ref.accepted ||
+        par.final_dfa_state != ref.final_dfa_state) {
+      os << "match_sfa_parallel (" << par.accepted << ", q="
+         << par.final_dfa_state << ") vs DFA (" << ref.accepted << ", q="
+         << ref.final_dfa_state << ")";
+      return os.str();
     }
-
-    const std::size_t ref_count =
-        dfa.count_accepting_prefixes(input.data(), input.size());
     const std::size_t par_count =
         count_matches_parallel(sfa, dfa, input, options_.match_threads);
     if (par_count != ref_count) {
@@ -326,23 +417,34 @@ std::optional<std::string> Oracle::input_divergence(
          << " vs count_accepting_prefixes=" << ref_count;
       return os.str();
     }
-
-    std::size_t ref_first = kNoMatch;
-    {
-      Dfa::StateId q = dfa.start();
-      for (std::size_t i = 0; i < input.size(); ++i) {
-        q = dfa.transition(q, input[i]);
-        if (dfa.accepting(q)) {
-          ref_first = i + 1;
-          break;
-        }
-      }
-    }
     const std::size_t par_first =
         find_first_match_parallel(sfa, dfa, input, options_.match_threads);
     if (par_first != ref_first) {
       os << "find_first_match_parallel=" << par_first << " vs reference scan="
          << ref_first;
+      return os.str();
+    }
+    const std::vector<std::size_t> par_all =
+        find_all_matches_parallel(sfa, dfa, input, options_.match_threads);
+    if (par_all != ref_all) {
+      os << "find_all_matches_parallel returned " << par_all.size()
+         << " positions vs " << ref_all.size() << " in the reference scan";
+      return os.str();
+    }
+  }
+  {
+    const SpeculativeResult spec =
+        match_speculative(dfa, input, options_.match_threads);
+    if (spec.result.accepted != ref.accepted ||
+        spec.result.final_dfa_state != ref.final_dfa_state) {
+      os << "match_speculative (" << spec.result.accepted << ", q="
+         << spec.result.final_dfa_state << ") vs DFA (" << ref.accepted
+         << ", q=" << ref.final_dfa_state << ")";
+      return os.str();
+    }
+    if (spec.chunks != 0 && spec.rematched_chunks >= spec.chunks) {
+      os << "match_speculative rematched " << spec.rematched_chunks << " of "
+         << spec.chunks << " chunks (chunk 0 never speculates)";
       return os.str();
     }
   }
@@ -547,6 +649,9 @@ std::optional<std::string> Oracle::lazy_input_divergence(
   const Dfa& dfa = entry.dfa;
   std::ostringstream os;
 
+  // The lazy column of the engine x task matrix.  LazyScanEngine is private
+  // to LazyMatcher, so it is driven through the public one-shot entry
+  // points; find-all has no lazy form (the task is undefined there).
   // Reference: the sequential DFA run (Fig. 1c).
   const MatchResult ref = match_sequential(dfa, input);
 

@@ -18,6 +18,8 @@
 #include "sfa/core/build.hpp"
 #include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/core/stream_matcher.hpp"
 #include "sfa/support/rng.hpp"
 
@@ -306,6 +308,70 @@ TEST(LazyMatch, AdvanceComposesFromArbitraryEntryStates) {
   for (Dfa::StateId q = 0; q < dfa.size(); ++q) {
     const Dfa::StateId ref = dfa.run(q, input.data(), input.size());
     EXPECT_EQ(matcher.advance(q, input.data(), input.size()), ref)
+        << "entry state " << q;
+  }
+}
+
+// ---- wrapper parity against the scan substrate -----------------------------
+//
+// The lazy front-ends run the shared scan::run_* tasks through the private
+// LazyScanEngine.  Since every engine must answer every task identically,
+// each lazy entry point is required to be bit-for-bit equal to the same
+// task driven by the DirectEngine (the sequential DFA reference routed
+// through the identical substrate code path).
+
+TEST(WrapperParity, LazyOneShotsMatchDirectEngineTasks) {
+  RandomDfaOptions ropt;
+  ropt.num_states = 24;
+  ropt.num_symbols = 4;
+  ropt.seed = 21;
+  const Dfa dfa = random_dfa(ropt);
+  scan::Executor& exec = scan::default_executor();
+  for (const unsigned t : {1u, 3u, 8u}) {
+    LazyMatchOptions opt;
+    opt.num_threads = t;
+    const auto input = random_input(77 + t, ropt.num_symbols, 6000);
+    {
+      scan::DirectEngine engine(dfa);
+      const MatchResult want = scan::run_accept(engine, exec, input.data(),
+                                                input.size(), t);
+      const MatchResult got = match_sfa_lazy(dfa, input, opt);
+      EXPECT_EQ(got.accepted, want.accepted) << t;
+      EXPECT_EQ(got.final_dfa_state, want.final_dfa_state) << t;
+    }
+    {
+      scan::DirectEngine engine(dfa);
+      EXPECT_EQ(count_matches_lazy(dfa, input, opt),
+                scan::run_count(engine, exec, input.data(), input.size(), t))
+          << t;
+    }
+    {
+      scan::DirectEngine engine(dfa);
+      EXPECT_EQ(
+          find_first_match_lazy(dfa, input, opt),
+          scan::run_find_first(engine, exec, input.data(), input.size(), t))
+          << t;
+    }
+  }
+}
+
+TEST(WrapperParity, LazyAdvanceMatchesDirectEngineRunAdvance) {
+  RandomDfaOptions ropt;
+  ropt.num_states = 12;
+  ropt.num_symbols = 4;
+  ropt.seed = 34;
+  const Dfa dfa = random_dfa(ropt);
+  const std::vector<Symbol> input = random_input(5, ropt.num_symbols, 4000);
+
+  LazyMatchOptions opt;
+  opt.num_threads = 4;
+  LazyMatcher matcher(dfa, opt);
+  for (Dfa::StateId q = 0; q < dfa.size(); ++q) {
+    scan::DirectEngine engine(dfa);
+    const std::uint32_t want =
+        scan::run_advance(engine, scan::default_executor(), input.data(),
+                          input.size(), opt.num_threads, q);
+    EXPECT_EQ(matcher.advance(q, input.data(), input.size()), want)
         << "entry state " << q;
   }
 }

@@ -5,6 +5,8 @@
 #include "sfa/core/api.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
 #include "sfa/prosite/patterns.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
 #include "sfa/support/rng.hpp"
@@ -235,6 +237,126 @@ TEST(FindAll, NonAbsorbingExactString) {
   text.resize(1024, str[0]);
   const auto all = find_all_matches_parallel(sfa, dfa, text, 4);
   EXPECT_EQ(all, (std::vector<std::size_t>{str.size()}));
+}
+
+// ---- wrapper parity against the scan substrate -----------------------------
+//
+// Every legacy entry point is now a thin wrapper over scan::run_* with a
+// specific engine; each case replays the wrapper's exact substrate call and
+// requires bit-for-bit identical results.
+
+TEST(WrapperParity, MatchSfaParallelIsEagerRunAccept) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto text = random_protein(8192, 17 + t);
+    const MatchResult wrapper = match_sfa_parallel(sfa, text, t);
+    scan::EagerEngine engine(sfa);
+    const MatchResult direct = scan::run_accept(
+        engine, scan::default_executor(), text.data(), text.size(), t);
+    EXPECT_EQ(wrapper.accepted, direct.accepted) << t;
+    EXPECT_EQ(wrapper.final_dfa_state, direct.final_dfa_state) << t;
+  }
+}
+
+TEST(WrapperParity, CountMatchesParallelIsEagerRunCount) {
+  const Dfa dfa = compile_prosite("[ST]-x-[RK].");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto text = random_protein(8192, 29 + t);
+    scan::EagerEngine engine(sfa, &dfa);
+    EXPECT_EQ(count_matches_parallel(sfa, dfa, text, t),
+              scan::run_count(engine, scan::default_executor(), text.data(),
+                              text.size(), t))
+        << t;
+  }
+}
+
+TEST(WrapperParity, FindFirstAndFindAllAreEagerRescanTasks) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  for (const unsigned t : {2u, 4u, 8u}) {
+    auto text = random_protein(8192, 43 + t);
+    plant(text, Alphabet::amino().encode("RGD"), 6000);
+    {
+      scan::EagerEngine engine(sfa, &dfa);
+      EXPECT_EQ(find_first_match_parallel(sfa, dfa, text, t),
+                scan::run_find_first(engine, scan::default_executor(),
+                                     text.data(), text.size(), t))
+          << t;
+    }
+    {
+      scan::EagerEngine engine(sfa, &dfa);
+      EXPECT_EQ(find_all_matches_parallel(sfa, dfa, text, t),
+                scan::run_find_all(engine, scan::default_executor(),
+                                   text.data(), text.size(), t))
+          << t;
+    }
+  }
+}
+
+TEST(WrapperParity, ShortInputWrappersMatchChunksOneSubstrate) {
+  // Below the chunking threshold every wrapper must behave exactly like the
+  // chunks=1 substrate call it now delegates to.
+  const Dfa dfa = compile_prosite("[ST]-x-[RK].");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  const auto text = random_protein(100, 7);  // < 8*64, clamps to 1 thread
+  scan::Executor& exec = scan::default_executor();
+  {
+    scan::DirectEngine engine(dfa);
+    EXPECT_EQ(count_matches_parallel(sfa, dfa, text, 8),
+              scan::run_count(engine, exec, text.data(), text.size(), 1));
+  }
+  {
+    scan::DirectEngine engine(dfa);
+    EXPECT_EQ(find_first_match_parallel(sfa, dfa, text, 8),
+              scan::run_find_first(engine, exec, text.data(), text.size(), 1));
+  }
+  {
+    scan::DirectEngine engine(dfa);
+    EXPECT_EQ(find_all_matches_parallel(sfa, dfa, text, 8),
+              scan::run_find_all(engine, exec, text.data(), text.size(), 1));
+  }
+}
+
+TEST(WrapperParity, MatchSpeculativeAccountsRematchedChunksExactly) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto text = random_protein(8192, 61 + t);
+    const Dfa::StateId guess = pick_speculation_state(dfa, text);
+    const SpeculativeResult wrapper = match_speculative(dfa, text, t, guess);
+    EXPECT_EQ(wrapper.chunks, t);
+
+    // Replay the wrapper's substrate call.
+    scan::SpeculativeEngine engine(dfa, guess);
+    const MatchResult direct = scan::run_accept(
+        engine, scan::default_executor(), text.data(), text.size(), t);
+    EXPECT_EQ(wrapper.result.accepted, direct.accepted) << t;
+    EXPECT_EQ(wrapper.result.final_dfa_state, direct.final_dfa_state) << t;
+    EXPECT_EQ(wrapper.rematched_chunks, engine.rematched()) << t;
+
+    // Independent accounting: a chunk c > 0 rematches iff the true entry
+    // state at its boundary differs from the speculation; chunk 0 never
+    // speculates.
+    unsigned expect_rematched = 0;
+    const std::size_t per = text.size() / t;
+    Dfa::StateId q = dfa.start();
+    std::size_t at = 0;
+    for (unsigned c = 1; c < t; ++c) {
+      for (; at < per * c; ++at) q = dfa.transition(q, text[at]);
+      if (q != guess) ++expect_rematched;
+    }
+    EXPECT_EQ(wrapper.rematched_chunks, expect_rematched) << t;
+  }
+}
+
+TEST(WrapperParity, SpeculativeShortInputNeverRematches) {
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const auto text = random_protein(100, 3);  // clamps to 1 chunk
+  const SpeculativeResult r = match_speculative(dfa, text, 8);
+  EXPECT_EQ(r.chunks, 1u);
+  EXPECT_EQ(r.rematched_chunks, 0u);
+  EXPECT_EQ(r.result.accepted, match_sequential(dfa, text).accepted);
 }
 
 // ---- Engine facade ------------------------------------------------------------

@@ -212,6 +212,34 @@ TEST(TraceCheck, RejectsPartiallyOverlappingSpans) {
   EXPECT_FALSE(r.ok);
 }
 
+TEST(TraceCheck, RequiresEngineArgOnMatchChunkSpans) {
+  // A "match"-category chunk span must name its ScanEngine.
+  const char* missing = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10}]})";
+  auto r = obs::check_trace_json(missing);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("engine"), std::string::npos) << r.error;
+
+  const char* bogus = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-count","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":9}}]})";
+  r = obs::check_trace_json(bogus);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("engine"), std::string::npos) << r.error;
+
+  const char* good = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"symbols":64}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-collect","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":2,"begin":0}},
+    {"ph":"X","pid":1,"tid":7,"name":"compose","cat":"match",
+     "ts":40,"dur":5}]})";
+  r = obs::check_trace_json(good);
+  EXPECT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_chunk_spans, 2u);  // "compose" is not a chunk span
+}
+
 TEST(TraceCheck, AcceptsNestedAndDisjointSpans) {
   // Events appear in emission order (RAII spans are recorded when they
   // *close*), so the inner span precedes its enclosing outer span.
@@ -374,6 +402,24 @@ TEST(StatsExport, MatchStatsSchema) {
   EXPECT_NE(json.find("\"schema\":\"sfa-match-stats/1\""), std::string::npos);
   EXPECT_NE(json.find("\"accepted\":true"), std::string::npos);
   EXPECT_NE(json.find("\"input_symbols\":1000"), std::string::npos);
+  // Executor fields are always present (zero on the sequential path).
+  EXPECT_NE(json.find("\"pool_workers\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_dispatches\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_wakeups\":0"), std::string::npos);
+}
+
+TEST(StatsExport, MatchStatsPoolFields) {
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.pool_workers = 4;
+  info.pool_dispatches = 12;
+  info.pool_wakeups = 36;
+  std::ostringstream os;
+  obs::write_match_stats_json(os, info, /*include_metrics=*/false);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"pool_workers\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_dispatches\":12"), std::string::npos);
+  EXPECT_NE(json.find("\"pool_wakeups\":36"), std::string::npos);
 }
 
 // ---- BuildStats parity (satellite a) ---------------------------------------

@@ -1,0 +1,207 @@
+// Persistent worker pool + scan executor seam: correctness of stripe-bound
+// dispatch, inline fallbacks, exception propagation, and the stress shapes
+// the CI executor-stress step runs under all three sanitizer lanes —
+// concurrent caller sessions on one pool and shutdown-while-dispatching
+// churn.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sfa/concurrent/worker_pool.hpp"
+#include "sfa/core/scan/executor.hpp"
+
+namespace sfa {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  const auto fn = [&](unsigned task, unsigned) { hits[task].fetch_add(1); };
+  pool.run(64, fn);
+  for (unsigned t = 0; t < 64; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+}
+
+TEST(WorkerPool, StripeBindingLandsTasksOnDistinctThreads) {
+  // Task t of a job runs on worker (t % team): with tasks <= team size every
+  // task must execute on a different pool thread, even on one core.  The
+  // trace validator's worker-track count relies on exactly this.
+  WorkerPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> tids;
+  std::set<unsigned> workers;
+  const auto fn = [&](unsigned, unsigned worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    tids.insert(std::this_thread::get_id());
+    workers.insert(worker);
+  };
+  pool.run(4, fn);
+  EXPECT_EQ(tids.size(), 4u);
+  EXPECT_EQ(workers.size(), 4u);
+  EXPECT_EQ(tids.count(std::this_thread::get_id()), 0u)
+      << "caller executed a task of a fully-staffed multi-task job";
+}
+
+TEST(WorkerPool, SingleTaskRunsInlineOnCaller) {
+  WorkerPool pool(4);
+  std::thread::id ran_on;
+  unsigned worker_arg = 0;
+  const auto fn = [&](unsigned, unsigned worker) {
+    ran_on = std::this_thread::get_id();
+    worker_arg = worker;
+  };
+  const auto before = pool.stats().dispatches;
+  pool.run(1, fn);
+  EXPECT_EQ(ran_on, std::this_thread::get_id());
+  EXPECT_EQ(worker_arg, ChunkFn::kInlineWorker);
+  EXPECT_EQ(pool.stats().dispatches, before) << "inline run counted as dispatch";
+}
+
+TEST(WorkerPool, EmptyTeamRunsInline) {
+  WorkerPool pool;  // no workers
+  std::vector<int> hits(8, 0);
+  const auto fn = [&](unsigned task, unsigned worker) {
+    EXPECT_EQ(worker, ChunkFn::kInlineWorker);
+    ++hits[task];
+  };
+  pool.run(8, fn);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(WorkerPool, NestedRunFromWorkerExecutesInline) {
+  // A run() from inside a pool worker must not park on its own team.
+  WorkerPool pool(2);
+  std::atomic<int> inner_hits{0};
+  const auto inner = [&](unsigned, unsigned worker) {
+    EXPECT_EQ(worker, ChunkFn::kInlineWorker);
+    inner_hits.fetch_add(1);
+  };
+  const auto outer = [&](unsigned, unsigned) { pool.run(4, inner); };
+  pool.run(2, outer);
+  EXPECT_EQ(inner_hits.load(), 8);
+}
+
+TEST(WorkerPool, EnsureWorkersGrowsAndNeverShrinks) {
+  WorkerPool pool;
+  EXPECT_EQ(pool.num_workers(), 0u);
+  pool.ensure_workers(3);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  pool.ensure_workers(1);
+  EXPECT_EQ(pool.num_workers(), 3u);
+  pool.ensure_workers(6);
+  EXPECT_EQ(pool.num_workers(), 6u);
+  EXPECT_EQ(pool.stats().workers, 6u);
+}
+
+TEST(WorkerPool, FirstExceptionPropagatesAndPoolStaysUsable) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  const auto fn = [&](unsigned task, unsigned) {
+    ran.fetch_add(1);
+    if (task == 5) throw std::runtime_error("task 5 failed");
+  };
+  EXPECT_THROW(pool.run(16, fn), std::runtime_error);
+  EXPECT_EQ(ran.load(), 16) << "remaining tasks must still run";
+
+  std::atomic<int> again{0};
+  const auto ok = [&](unsigned, unsigned) { again.fetch_add(1); };
+  pool.run(8, ok);
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(WorkerPool, CountsDispatchesAndWakeups) {
+  WorkerPool pool(4);
+  const auto fn = [](unsigned, unsigned) {};
+  const auto before = pool.stats();
+  for (int i = 0; i < 10; ++i) pool.run(4, fn);
+  const auto after = pool.stats();
+  EXPECT_EQ(after.dispatches - before.dispatches, 10u);
+  EXPECT_GT(after.wakeups, before.wakeups)
+      << "parked workers claimed work without a recorded wakeup";
+}
+
+// ---- stress shapes (CI executor-stress step, all sanitizer lanes) ----------
+
+TEST(ExecutorStress, ConcurrentSessionsOnOneEightThreadPool) {
+  // Several caller threads dispatch batches into one 8-thread pool at once,
+  // like concurrent StreamMatcher sessions sharing default_executor().
+  WorkerPool pool(8);
+  constexpr int kSessions = 6;
+  constexpr int kBatches = 50;
+  std::vector<std::atomic<std::uint64_t>> sums(kSessions);
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        const auto fn = [&](unsigned task, unsigned) {
+          sums[s].fetch_add(task + 1);
+        };
+        pool.run(8, fn);
+      }
+    });
+  }
+  for (auto& th : sessions) th.join();
+  // Each batch adds 1+2+...+8 = 36.
+  for (int s = 0; s < kSessions; ++s)
+    EXPECT_EQ(sums[s].load(), static_cast<std::uint64_t>(kBatches) * 36u) << s;
+}
+
+TEST(ExecutorStress, ShutdownWhileDispatchingChurn) {
+  // Construct, dispatch from several threads, destroy — repeatedly.  The
+  // destructor must drain queued jobs before the team exits so no caller is
+  // left parked on done_cv_ forever.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::uint64_t> total{0};
+    {
+      WorkerPool pool(4);
+      std::vector<std::thread> callers;
+      for (int c = 0; c < 4; ++c) {
+        callers.emplace_back([&] {
+          const auto fn = [&](unsigned, unsigned) { total.fetch_add(1); };
+          for (int i = 0; i < 10; ++i) pool.run(4, fn);
+        });
+      }
+      for (auto& th : callers) th.join();
+      // Pool destroyed immediately after the last dispatch returns.
+    }
+    EXPECT_EQ(total.load(), 4u * 10u * 4u) << round;
+  }
+}
+
+// ---- scan::Executor seam ---------------------------------------------------
+
+TEST(ScanExecutor, InlineExecutorRunsOnCaller) {
+  scan::Executor& exec = scan::inline_executor();
+  std::set<std::thread::id> tids;
+  const auto body = [&](unsigned) { tids.insert(std::this_thread::get_id()); };
+  exec.for_chunks(7, body);
+  EXPECT_EQ(tids.size(), 1u);
+  EXPECT_EQ(tids.count(std::this_thread::get_id()), 1u);
+  EXPECT_EQ(exec.stats().pool_dispatches, 0u);
+}
+
+TEST(ScanExecutor, DefaultExecutorDispatchesMultiChunkCalls) {
+  scan::Executor& exec = scan::default_executor();
+  const scan::ExecutorStats before = exec.stats();
+  std::atomic<int> ran{0};
+  const auto body = [&](unsigned) { ran.fetch_add(1); };
+  exec.for_chunks(4, body);
+  EXPECT_EQ(ran.load(), 4);
+  const scan::ExecutorStats after = exec.stats();
+  EXPECT_EQ(after.pool_dispatches - before.pool_dispatches, 1u);
+  EXPECT_GE(after.pool_workers, 4u);
+
+  // Single-chunk calls stay on the caller and are not dispatches.
+  ran.store(0);
+  exec.for_chunks(1, body);
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(exec.stats().pool_dispatches, after.pool_dispatches);
+}
+
+}  // namespace
+}  // namespace sfa

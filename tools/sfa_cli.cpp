@@ -56,6 +56,7 @@
 #include "sfa/core/build.hpp"
 #include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/executor.hpp"
 #include "sfa/core/serialize.hpp"
 #include "sfa/core/stream_matcher.hpp"
 #include "sfa/obs/stats_export.hpp"
@@ -260,6 +261,19 @@ std::string read_all(const std::string& path) {
 /// compiled from the pattern and SFA states intern on demand during the
 /// scan, so even patterns whose eager build() would abort on max_states are
 /// matched in parallel.
+/// Snapshots the process-wide executor counters at construction and fills
+/// a run's additive pool_* stats fields as deltas over the timed section.
+struct PoolStatsDelta {
+  sfa::scan::ExecutorStats before = sfa::scan::default_executor().stats();
+
+  void fill(obs::MatchRunInfo& info) const {
+    const sfa::scan::ExecutorStats after = sfa::scan::default_executor().stats();
+    info.pool_workers = after.pool_workers;
+    info.pool_dispatches = after.pool_dispatches - before.pool_dispatches;
+    info.pool_wakeups = after.pool_wakeups - before.pool_wakeups;
+  }
+};
+
 int cmd_match_lazy(const Options& opt) {
   if (opt.positional.size() != 1)
     usage("match --lazy needs <textfile|-> (no .sfa file; the SFA is "
@@ -295,6 +309,7 @@ int cmd_match_lazy(const Options& opt) {
               with_commas(input.size()).c_str(), opt.threads);
   LazyMatcher matcher(dfa, lazy);
   bool accepted = false;
+  PoolStatsDelta pool;
   TraceSession trace(opt.trace_path);
   if (opt.count) {
     const WallTimer timer;
@@ -335,6 +350,7 @@ int cmd_match_lazy(const Options& opt) {
     info.seconds = ms / 1e3;
   }
   info.accepted = accepted;
+  pool.fill(info);
   const LazyMatchStats stats = matcher.stats();
   info.lazy_interned_states = stats.interned_states;
   info.lazy_cache_hits = stats.cache_hits;
@@ -382,6 +398,7 @@ int cmd_match(const Options& opt) {
   bool accepted = false;
   std::printf("input: %s symbols, %u thread(s)\n",
               with_commas(input.size()).c_str(), opt.threads);
+  PoolStatsDelta pool;
   TraceSession trace(opt.trace_path);
   if (opt.count) {
     // Recompile the DFA the .sfa came from; the two-pass count rescans each
@@ -432,6 +449,7 @@ int cmd_match(const Options& opt) {
     info.seconds = ms / 1e3;
     info.accepted = accepted;
   }
+  pool.fill(info);
   if (!opt.stats_json_path.empty()) {
     if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
       throw std::runtime_error("cannot write stats: " + opt.stats_json_path);

@@ -44,8 +44,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "INVALID %s: %s\n", path.c_str(), r.error.c_str());
     return 1;
   }
-  std::printf("OK %s: %zu events, %zu spans, %zu threads, %zu worker tracks\n",
-              path.c_str(), r.events, r.spans, r.threads, r.worker_tracks);
+  std::printf("OK %s: %zu events, %zu spans, %zu threads, %zu worker tracks, "
+              "%zu match-chunk spans\n",
+              path.c_str(), r.events, r.spans, r.threads, r.worker_tracks,
+              r.match_chunk_spans);
   if (expect_workers != 0 && r.worker_tracks < expect_workers) {
     std::fprintf(stderr,
                  "INVALID %s: expected >= %u worker tracks with build spans, "
