@@ -1,0 +1,48 @@
+#include "sfa/core/build/reachable.hpp"
+
+#include <algorithm>
+
+#include "sfa/core/build/successor.hpp"
+
+namespace sfa {
+
+std::size_t ReachTable::max_set_size() const {
+  std::size_t best = 0;
+  for (const auto& set : per_symbol) best = std::max(best, set.size());
+  return best;
+}
+
+ReachTable compute_reach_table(const Dfa& dfa, bool use_transposed_kernel) {
+  if (!dfa.complete())
+    throw std::invalid_argument(
+        "compute_reach_table requires a complete DFA");
+  const std::uint32_t n = dfa.size();
+  const unsigned k = dfa.num_symbols();
+
+  // Successor rows of the identity mapping: row a = [delta(q, a) for q].
+  const std::vector<std::uint32_t> identity = detail::identity_mapping<std::uint32_t>(n);
+  std::vector<std::uint32_t> rows(static_cast<std::size_t>(k) * n);
+  const BuildOptions opt;
+  if (use_transposed_kernel) {
+    detail::TransposedSuccessorGen<std::uint32_t> gen(dfa, opt);
+    gen.generate(identity.data(), k, n, rows.data());
+  } else {
+    detail::ScalarSuccessorGen<std::uint32_t> gen(dfa, opt);
+    gen.generate(identity.data(), k, n, rows.data());
+  }
+
+  ReachTable table;
+  table.dfa_states = n;
+  table.num_symbols = k;
+  table.per_symbol.resize(k);
+  for (unsigned a = 0; a < k; ++a) {
+    auto& set = table.per_symbol[a];
+    set.assign(rows.begin() + static_cast<std::size_t>(a) * n,
+               rows.begin() + static_cast<std::size_t>(a + 1) * n);
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+  return table;
+}
+
+}  // namespace sfa

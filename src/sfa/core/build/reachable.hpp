@@ -1,0 +1,44 @@
+// Per-symbol reachable-state sets (construction substrate, shared with the
+// matching side).
+//
+// PaREM's observation (Memeti/Pllana, PAPERS.md): a chunk that starts right
+// after symbol `a` can only be entered through a state in
+//
+//   reach(a) = { delta(q, a) : q in Q }
+//
+// — the image of the whole state set under one symbol.  The image rows are
+// exactly the successor rows of the IDENTITY mapping, so the precompute
+// reuses the builder's SuccessorGen policies (scalar lookup loop or the
+// SIMD transposed sweep) and only adds a sort+unique per symbol.  The
+// NarrowedEngine consumes the table to shrink its per-chunk entry-state
+// simulation; tests and benches share one table across engines/threads
+// (it is immutable after construction).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+
+struct ReachTable {
+  std::uint32_t dfa_states = 0;
+  unsigned num_symbols = 0;
+  /// per_symbol[a] = sorted, duplicate-free { delta(q, a) : q in Q }.
+  std::vector<std::vector<std::uint32_t>> per_symbol;
+
+  /// Largest |reach(a)| over the alphabet (the adversarial input-class
+  /// generator maximizes this; the narrowing threshold compares against it).
+  std::size_t max_set_size() const;
+};
+
+/// Compute reach(a) for every symbol.  Requires a complete DFA (same
+/// precondition as SFA construction; throws std::invalid_argument).  With
+/// `use_transposed_kernel` the image rows come from the SIMD transposed
+/// successor sweep, otherwise from the scalar per-cell lookup loop — both
+/// produce identical tables (asserted by the differential tests).
+ReachTable compute_reach_table(const Dfa& dfa,
+                               bool use_transposed_kernel = true);
+
+}  // namespace sfa

@@ -164,4 +164,52 @@ SpeculativeResult match_speculative(const Dfa& dfa,
                            pick_speculation_state(dfa, input));
 }
 
+namespace {
+
+scan::NarrowedOptions to_scan_options(const NarrowedMatchOptions& options) {
+  scan::NarrowedOptions out;
+  out.peek_k = options.peek_k;
+  out.shrink_threshold = options.shrink_threshold;
+  return out;
+}
+
+}  // namespace
+
+NarrowedResult match_narrowed(const Dfa& dfa, const std::vector<Symbol>& input,
+                              unsigned num_threads,
+                              const NarrowedMatchOptions& options) {
+  NarrowedResult out;
+  if (num_threads == 0) num_threads = 1;
+  if (input.size() < num_threads * 64) num_threads = 1;  // chunking overhead
+  out.chunks = num_threads;
+
+  SFA_TRACE_SCOPE("match", "narrowed");
+  scan::NarrowedEngine engine(dfa, to_scan_options(options));
+  out.result = scan::run_accept(engine, scan::default_executor(), input.data(),
+                                input.size(), num_threads);
+  out.narrowed_chunks = engine.narrowed_chunks();
+  out.fallback_chunks = engine.fallback_chunks();
+  out.entry_states = engine.entry_states_simulated();
+  return out;
+}
+
+NarrowedCountResult count_matches_narrowed(const Dfa& dfa,
+                                           const std::vector<Symbol>& input,
+                                           unsigned num_threads,
+                                           const NarrowedMatchOptions& options) {
+  NarrowedCountResult out;
+  if (num_threads == 0) num_threads = 1;
+  if (input.size() < num_threads * 64) num_threads = 1;
+  out.chunks = num_threads;
+
+  SFA_TRACE_SCOPE("match", "narrowed-count");
+  scan::NarrowedEngine engine(dfa, to_scan_options(options));
+  out.count = scan::run_count(engine, scan::default_executor(), input.data(),
+                              input.size(), num_threads);
+  out.narrowed_chunks = engine.narrowed_chunks();
+  out.fallback_chunks = engine.fallback_chunks();
+  out.entry_states = engine.entry_states_simulated();
+  return out;
+}
+
 }  // namespace sfa

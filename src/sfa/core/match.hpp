@@ -101,4 +101,47 @@ SpeculativeResult match_speculative(const Dfa& dfa,
                                     const std::vector<Symbol>& input,
                                     unsigned num_threads);
 
+// --- Narrowed parallel DFA matching (PaREM hybrid, PAPERS.md) ----------------
+//
+// Between the speculative baseline and the full SFA scheme: each chunk's
+// feasible entry states are computed from the DFA's per-symbol reachable
+// sets (optionally refined by peeking the chunk's first peek_k symbols),
+// and pass 1 simulates only that subset — a partial mapping vector the
+// composition resolves exactly.  Chunks whose feasible set fails to shrink
+// below the threshold fraction fall back to an all-states simulation.
+// Needs no SFA construction at all.
+
+struct NarrowedMatchOptions {
+  /// Symbols peeked per chunk for set-image refinement of the entry set.
+  unsigned peek_k = 0;
+  /// Per-chunk fallback trigger: full path when |feasible| > threshold * n.
+  double shrink_threshold = 0.5;
+};
+
+struct NarrowedResult {
+  MatchResult result;
+  unsigned chunks = 0;
+  unsigned narrowed_chunks = 0;   // chunks served from a partial vector
+  unsigned fallback_chunks = 0;   // chunks that exceeded the threshold
+  std::uint64_t entry_states = 0;  // feasible states simulated in pass 1
+};
+
+NarrowedResult match_narrowed(const Dfa& dfa, const std::vector<Symbol>& input,
+                              unsigned num_threads,
+                              const NarrowedMatchOptions& options = {});
+
+struct NarrowedCountResult {
+  std::size_t count = 0;
+  unsigned chunks = 0;
+  unsigned narrowed_chunks = 0;
+  unsigned fallback_chunks = 0;
+  std::uint64_t entry_states = 0;
+};
+
+/// Two-pass narrowed counting: partial-vector compose locates chunk entry
+/// states, pass 2 rescans.  Equivalent to Dfa::count_accepting_prefixes.
+NarrowedCountResult count_matches_narrowed(
+    const Dfa& dfa, const std::vector<Symbol>& input, unsigned num_threads,
+    const NarrowedMatchOptions& options = {});
+
 }  // namespace sfa

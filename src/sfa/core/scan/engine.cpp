@@ -1,5 +1,8 @@
 #include "sfa/core/scan/engine.hpp"
 
+#include <algorithm>
+
+#include "sfa/obs/metrics.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa::scan {
@@ -74,6 +77,194 @@ std::uint32_t SpeculativeEngine::chunk_exit(unsigned c, std::uint32_t q,
   ++rematched_;
   const auto [b, e] = ranges_[c];
   return dfa_.run(static_cast<Dfa::StateId>(q), data + b, e - b);
+}
+
+namespace {
+
+constexpr std::uint32_t kUnset = 0xFFFFFFFFu;
+
+struct NarrowedMetrics {
+  // Handles resolved once; Registry references are stable for the life of
+  // the process.
+  obs::Counter& chunks =
+      obs::Registry::instance().counter("sfa.match.narrowed.chunks");
+  obs::Counter& fallback_chunks =
+      obs::Registry::instance().counter("sfa.match.narrowed.fallback_chunks");
+  obs::Counter& entry_states =
+      obs::Registry::instance().counter("sfa.match.narrowed.entry_states");
+  obs::Counter& feasible_misses =
+      obs::Registry::instance().counter("sfa.match.narrowed.feasible_misses");
+  static NarrowedMetrics& get() {
+    static NarrowedMetrics m;
+    return m;
+  }
+};
+
+}  // namespace
+
+NarrowedEngine::NarrowedEngine(const Dfa& dfa, NarrowedOptions options,
+                               const Sfa* fallback_sfa,
+                               const ReachTable* shared_reach)
+    : dfa_(dfa),
+      options_(options),
+      sfa_(fallback_sfa && fallback_sfa->has_mappings() ? fallback_sfa
+                                                        : nullptr) {
+  if (shared_reach != nullptr && !options_.inject_corrupt_feasible_set) {
+    reach_ = shared_reach;
+    return;
+  }
+  owned_reach_ =
+      shared_reach != nullptr ? *shared_reach : compute_reach_table(dfa_);
+  if (options_.inject_corrupt_feasible_set) {
+    // Rotate every set by one state: the domains pass 1 simulates are now
+    // wrong, so real entry states miss and compose to wrong exits — which
+    // the differential oracle must catch (the teeth test).
+    const std::uint32_t n = dfa_.size();
+    for (auto& set : owned_reach_.per_symbol) {
+      for (auto& s : set) s = (s + 1) % n;
+      std::sort(set.begin(), set.end());
+      set.erase(std::unique(set.begin(), set.end()), set.end());
+    }
+  }
+  reach_ = &owned_reach_;
+}
+
+void NarrowedEngine::plan_chunk(unsigned c, const Symbol* data) {
+  const auto [b, e] = ranges_[c];
+  ChunkPlan& p = plans_[c];
+  if (b == 0) {
+    // Chunk 0 (and any empty chunk degenerating to position 0): the entry
+    // is the start state a priori — nothing upstream to narrow through.
+    p.kind = ChunkKind::kKnown;
+    p.known_entry = dfa_.start();
+    p.known_exit = dfa_.run(dfa_.start(), data + b, e - b);
+    return;
+  }
+
+  // PaREM feasible set: the chunk is entered through delta(., data[b-1]),
+  // then pushed through the peeked prefix by set-image composition.
+  const std::uint32_t n = dfa_.size();
+  const auto& f0 = reach_->per_symbol[data[b - 1]];
+  std::vector<std::uint32_t> feasible(f0.begin(), f0.end());
+  const std::size_t peek_len =
+      std::min<std::size_t>(options_.peek_k, e - b);
+  std::vector<char> seen(n, 0);
+  for (std::size_t i = 0; i < peek_len; ++i) {
+    std::fill(seen.begin(), seen.end(), 0);
+    std::size_t w = 0;
+    for (std::uint32_t s : feasible) {
+      const std::uint32_t t =
+          dfa_.transition(static_cast<Dfa::StateId>(s), data[b + i]);
+      if (!seen[t]) {
+        seen[t] = 1;
+        feasible[w++] = t;
+      }
+    }
+    feasible.resize(w);
+  }
+
+  if (feasible.empty() ||
+      static_cast<double>(feasible.size()) >
+          options_.shrink_threshold * static_cast<double>(n)) {
+    // The set failed to shrink: take the full path for this chunk — one
+    // SFA mapping walk when available (the eager scheme), otherwise an
+    // all-states simulation (every entry state, like a mapping computed by
+    // hand).
+    if (sfa_ != nullptr) {
+      p.kind = ChunkKind::kSfa;
+      p.sfa_state = sfa_->run(sfa_->start(), data + b, e - b);
+    } else {
+      p.kind = ChunkKind::kFull;
+      p.map.resize(n);
+      for (std::uint32_t q = 0; q < n; ++q)
+        p.map[q] = dfa_.run(static_cast<Dfa::StateId>(q), data + b, e - b);
+    }
+    return;
+  }
+
+  p.kind = ChunkKind::kPartial;
+  p.peek_len = peek_len;
+  p.first_feasible = feasible.front();
+  p.simulated = feasible.size();
+  p.map.assign(n, kUnset);
+  for (std::uint32_t s : feasible)
+    p.map[s] = dfa_.run(static_cast<Dfa::StateId>(s), data + b + peek_len,
+                        e - b - peek_len);
+}
+
+void NarrowedEngine::scan_chunks(
+    const Symbol* data,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+    Executor& exec) {
+  ranges_ = ranges;
+  plans_.assign(ranges.size(), {});
+  narrowed_chunks_ = 0;
+  fallback_chunks_ = 0;
+  entry_states_ = 0;
+  feasible_misses_ = 0;
+  if (ranges.size() == 1) {
+    // Single-chunk runs stay on the caller with no chunk span, matching
+    // the sequential fallbacks' trace shape (peek_k never exceeds what the
+    // chunk holds — plan_chunk clamps it, and the known-entry plan here
+    // does not peek at all).
+    plan_chunk(0, data);
+    return;
+  }
+  exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
+    SFA_TRACE_SPAN(span, "match", "chunk-advance");
+    span.arg("engine", static_cast<std::uint64_t>(id()));
+    const auto [b, e] = ranges_[c];
+    span.arg("symbols", e - b);
+    plan_chunk(c, data);
+  });
+  // for_chunks is a barrier, so the per-chunk plans are complete; fold the
+  // run's accounting on the caller (workers never touch shared counters).
+  for (const ChunkPlan& p : plans_) {
+    if (p.kind == ChunkKind::kPartial) {
+      ++narrowed_chunks_;
+      entry_states_ += p.simulated;
+    } else if (p.kind != ChunkKind::kKnown) {
+      ++fallback_chunks_;
+    }
+  }
+  NarrowedMetrics& m = NarrowedMetrics::get();
+  m.chunks.inc(ranges.size());
+  m.fallback_chunks.inc(fallback_chunks_);
+  m.entry_states.inc(entry_states_);
+}
+
+std::uint32_t NarrowedEngine::chunk_exit(unsigned c, std::uint32_t q,
+                                         const Symbol* data) {
+  const ChunkPlan& p = plans_[c];
+  const auto [b, e] = ranges_[c];
+  switch (p.kind) {
+    case ChunkKind::kKnown:
+      if (q == p.known_entry) return p.known_exit;
+      // Only reachable via run_advance from a carried state (streaming):
+      // the plan assumed the start state, so rescan like the speculative
+      // engine's failure case.
+      return dfa_.run(static_cast<Dfa::StateId>(q), data + b, e - b);
+    case ChunkKind::kFull:
+      return p.map[q];
+    case ChunkKind::kSfa:
+      return sfa_->map(p.sfa_state, q);
+    case ChunkKind::kPartial:
+      break;
+  }
+  // Partial domain: replay the peeked prefix from the now-known entry
+  // (O(peek_len)), then one lookup in the partial vector.
+  std::uint32_t s = q;
+  for (std::size_t i = 0; i < p.peek_len; ++i)
+    s = dfa_.transition(static_cast<Dfa::StateId>(s), data[b + i]);
+  const std::uint32_t exit_state = p.map[s];
+  if (exit_state != kUnset) return exit_state;
+  // A true entry state is always feasible, so a miss means the reach table
+  // was corrupted (inject_corrupt_feasible_set).  Answer deterministically
+  // from the first feasible state: memory-safe, and wrong in a way the
+  // oracle catches.
+  ++feasible_misses_;
+  NarrowedMetrics::get().feasible_misses.inc();
+  return p.map[p.first_feasible];
 }
 
 }  // namespace sfa::scan

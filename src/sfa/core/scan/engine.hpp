@@ -17,6 +17,10 @@
 //   SpeculativeEngine  pass 1 runs the DFA from a guessed entry state;
 //                      chunk_exit rescans on a wrong guess — the
 //                      Holub–Štekr/Luchaup baseline (§V)
+//   NarrowedEngine     pass 1 simulates only the PaREM feasible entry set
+//                      of each chunk, retaining a PARTIAL mapping vector;
+//                      chunk_exit resolves through the partial domain, with
+//                      a per-chunk fallback when the set fails to shrink
 //
 // The MatchTasks in tasks.hpp drive any engine through the shared two-pass
 // logic; engines never spawn threads themselves — per-chunk work always
@@ -28,6 +32,7 @@
 #include <vector>
 
 #include "sfa/automata/dfa.hpp"
+#include "sfa/core/build/reachable.hpp"
 #include "sfa/core/scan/executor.hpp"
 #include "sfa/core/sfa.hpp"
 
@@ -41,6 +46,7 @@ enum class EngineId : std::uint64_t {
   kEager = 1,
   kLazy = 2,
   kSpeculative = 3,
+  kNarrowed = 4,
 };
 
 class ScanEngine {
@@ -155,6 +161,104 @@ class SpeculativeEngine final : public ScanEngine {
   std::vector<std::pair<std::size_t, std::size_t>> ranges_;
   std::vector<Dfa::StateId> exit_;
   unsigned rematched_ = 0;
+};
+
+/// Tuning / test hooks for the NarrowedEngine.
+struct NarrowedOptions {
+  /// Symbols peeked at the head of each chunk: the feasible entry set is
+  /// pushed through the peeked prefix by set-image composition, usually
+  /// collapsing it further before any simulation happens.  0 narrows by the
+  /// boundary symbol alone.
+  unsigned peek_k = 0;
+  /// Per-chunk fallback trigger: when the peeked feasible set still holds
+  /// more than `shrink_threshold * n` states, narrowing buys too little and
+  /// the chunk takes the full path instead (the fallback SFA walk when one
+  /// was supplied, otherwise an all-states simulation).  >= 1.0 disables
+  /// the fallback, 0.0 forces it on every narrowable chunk.
+  double shrink_threshold = 0.5;
+  /// Fault-injection teeth hook (tests only): rotate every reachable set by
+  /// one state so the feasible domains are wrong — the differential oracle
+  /// must catch the resulting wrong answers.
+  bool inject_corrupt_feasible_set = false;
+};
+
+/// PaREM-hybrid chunk policy (PAPERS.md): a chunk starting after symbol `a`
+/// can only be entered through reach(a) = { delta(q,a) : q in Q }, so pass 1
+/// simulates the DFA from just that feasible subset (optionally shrunk
+/// further by peeking the chunk's first peek_k symbols) and retains a
+/// PARTIAL mapping vector.  chunk_exit composes exactly over the partial
+/// domain — the true entry state is always feasible — while chunks whose
+/// set fails to shrink below the threshold fall back to the full
+/// eager/speculative-style path.  Needs no pre-built SFA; pass an Sfa to
+/// serve the fallback chunks with a single mapping walk instead of an
+/// all-states simulation.
+class NarrowedEngine final : public ScanEngine {
+ public:
+  /// `fallback_sfa` (optional) must have been built from `dfa` with
+  /// keep_mappings; `shared_reach` (optional) lets callers amortize one
+  /// immutable reach table across many engines/threads — when null the
+  /// constructor computes its own via compute_reach_table.
+  explicit NarrowedEngine(const Dfa& dfa, NarrowedOptions options = {},
+                          const Sfa* fallback_sfa = nullptr,
+                          const ReachTable* shared_reach = nullptr);
+
+  EngineId id() const override { return EngineId::kNarrowed; }
+  std::uint32_t start_state() const override { return dfa_.start(); }
+  bool accepting(std::uint32_t q) const override {
+    return dfa_.accepting(static_cast<Dfa::StateId>(q));
+  }
+  const Dfa* rescan_dfa() const override { return &dfa_; }
+  void scan_chunks(
+      const Symbol* data,
+      const std::vector<std::pair<std::size_t, std::size_t>>& ranges,
+      Executor& exec) override;
+  std::uint32_t chunk_exit(unsigned c, std::uint32_t q,
+                           const Symbol* data) override;
+
+  /// Chunks of the last scan that ran the narrowed (partial-vector) path.
+  unsigned narrowed_chunks() const { return narrowed_chunks_; }
+  /// Chunks that exceeded the shrink threshold and took the full path.
+  unsigned fallback_chunks() const { return fallback_chunks_; }
+  /// Total feasible entry states simulated across narrowed chunks — the
+  /// work the full n-state scheme would have multiplied per chunk.
+  std::uint64_t entry_states_simulated() const { return entry_states_; }
+  /// Partial-domain misses in chunk_exit.  Zero unless the reach table was
+  /// corrupted (inject_corrupt_feasible_set) — the teeth tests assert the
+  /// misses surface as wrong answers the oracle then catches.
+  unsigned feasible_misses() const { return feasible_misses_; }
+  const ReachTable& reach() const { return *reach_; }
+
+ private:
+  enum class ChunkKind : std::uint8_t {
+    kKnown,    // entry known a priori (chunk 0 / empty-prefix chunks)
+    kPartial,  // narrowed: partial mapping over the feasible post-peek set
+    kFull,     // fallback without an SFA: all-states simulation
+    kSfa,      // fallback with an SFA: one mapping walk, exit = f_s lookup
+  };
+  struct ChunkPlan {
+    ChunkKind kind = ChunkKind::kKnown;
+    std::uint32_t known_entry = 0;  // kKnown
+    std::uint32_t known_exit = 0;   // kKnown
+    std::size_t peek_len = 0;       // kPartial
+    std::uint32_t first_feasible = 0;  // kPartial: deterministic miss answer
+    std::vector<std::uint32_t> map;    // kPartial (post-peek, sparse) / kFull
+    std::uint64_t simulated = 0;       // kPartial: |feasible set|
+    Sfa::StateId sfa_state = 0;        // kSfa
+  };
+
+  void plan_chunk(unsigned c, const Symbol* data);
+
+  const Dfa& dfa_;
+  const NarrowedOptions options_;
+  const Sfa* sfa_;
+  ReachTable owned_reach_;
+  const ReachTable* reach_;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+  std::vector<ChunkPlan> plans_;
+  unsigned narrowed_chunks_ = 0;
+  unsigned fallback_chunks_ = 0;
+  std::uint64_t entry_states_ = 0;
+  unsigned feasible_misses_ = 0;
 };
 
 }  // namespace sfa::scan

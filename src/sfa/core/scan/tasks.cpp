@@ -4,6 +4,30 @@
 
 namespace sfa::scan {
 
+namespace {
+
+// Composition pass shared by the rescan-style tasks: a left-to-right fold of
+// chunk_exit from the DFA start state, recording each chunk's entry state
+// for pass 2.  Engines resolve their own chunk representation inside
+// chunk_exit — a full mapping lookup (eager), a rescan (direct, failed
+// speculation), or a partial-domain lookup with per-chunk fallback
+// (narrowed) — so the fold composes exactly regardless of how much of the
+// mapping vector pass 1 actually retained.
+std::vector<std::uint32_t> compose_entries(ScanEngine& engine,
+                                           const Symbol* data,
+                                           unsigned chunks) {
+  SFA_TRACE_SCOPE("match", "compose");
+  std::vector<std::uint32_t> entry(chunks);
+  std::uint32_t q = engine.rescan_dfa()->start();
+  for (unsigned c = 0; c < chunks; ++c) {
+    entry[c] = q;
+    q = engine.chunk_exit(c, q, data);
+  }
+  return entry;
+}
+
+}  // namespace
+
 bool acceptance_absorbs(const Dfa& dfa) {
   for (Dfa::StateId s = 0; s < dfa.size(); ++s) {
     if (!dfa.accepting(s)) continue;
@@ -44,15 +68,8 @@ std::size_t run_count(ScanEngine& engine, Executor& exec, const Symbol* data,
     SFA_TRACE_SCOPE("match", "pass1-mappings");
     engine.scan_chunks(data, ranges, exec);
   }
-  std::vector<std::uint32_t> entry(chunks);
-  {
-    SFA_TRACE_SCOPE("match", "compose");
-    std::uint32_t q = dfa.start();
-    for (unsigned c = 0; c < chunks; ++c) {
-      entry[c] = q;
-      q = engine.chunk_exit(c, q, data);
-    }
-  }
+  const std::vector<std::uint32_t> entry =
+      compose_entries(engine, data, chunks);
   std::vector<std::size_t> counts(chunks, 0);
   {
     SFA_TRACE_SCOPE("match", "pass2-count");
@@ -125,15 +142,8 @@ std::vector<std::size_t> run_find_all(ScanEngine& engine, Executor& exec,
 
   const auto ranges = detail::chunk_ranges(len, chunks);
   engine.scan_chunks(data, ranges, exec);
-  std::vector<std::uint32_t> entry(chunks);
-  {
-    SFA_TRACE_SCOPE("match", "compose");
-    std::uint32_t q = dfa.start();
-    for (unsigned c = 0; c < chunks; ++c) {
-      entry[c] = q;
-      q = engine.chunk_exit(c, q, data);
-    }
-  }
+  const std::vector<std::uint32_t> entry =
+      compose_entries(engine, data, chunks);
   std::vector<std::vector<std::size_t>> per_chunk(chunks);
   exec.for_chunks(chunks, [&](unsigned c) {
     SFA_TRACE_SPAN(span, "match", "chunk-collect");

@@ -64,6 +64,10 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
     w.kv("lazy_interned_states", info.lazy_interned_states);
     w.kv("lazy_cache_hits", info.lazy_cache_hits);
   }
+  if (info.narrowed) {
+    w.kv("narrowed_entry_states", info.narrowed_entry_states);
+    w.kv("narrowed_fallback_chunks", info.narrowed_fallback_chunks);
+  }
   w.kv("pool_workers", std::uint64_t{info.pool_workers});
   w.kv("pool_dispatches", info.pool_dispatches);
   w.kv("pool_wakeups", info.pool_wakeups);

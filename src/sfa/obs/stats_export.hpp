@@ -30,6 +30,11 @@ struct MatchRunInfo {
   bool lazy = false;
   std::uint64_t lazy_interned_states = 0;
   std::uint64_t lazy_cache_hits = 0;
+  /// Narrowed-matching runs (`sfa match --narrowed`): additive
+  /// sfa-match-stats/1 fields, emitted only when `narrowed` is set.
+  bool narrowed = false;
+  std::uint64_t narrowed_entry_states = 0;
+  std::uint64_t narrowed_fallback_chunks = 0;
   /// Persistent-executor counters for this run (deltas of the process-wide
   /// scan::default_executor() around the timed section, except
   /// pool_workers which is the team size).  Additive sfa-match-stats/1

@@ -327,10 +327,13 @@ TraceCheckResult check_trace_json(const std::string& json) {
         if (engine == nullptr || !engine->is_number())
           return fail_result(at + ": match-chunk span '" + name->str +
                              "' without numeric engine arg");
-        if (engine->num < 0 || engine->num > 3)
+        if (engine->num < 0 ||
+            engine->num >= static_cast<double>(TraceCheckResult::kEngineIds))
           return fail_result(at + ": match-chunk span '" + name->str +
                              "' with unknown engine id");
         ++res.match_chunk_spans;
+        ++res.match_chunk_spans_by_engine[static_cast<std::size_t>(
+            engine->num)];
       }
     }
 

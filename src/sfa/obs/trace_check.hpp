@@ -14,9 +14,11 @@
 //     disjoint or one containing the other), never partially overlapping;
 //   - match-chunk spans ("match"-category, name "chunk-*") carry a numeric
 //     `engine` arg naming the ScanEngine that produced them (the scan
-//     substrate's EngineId: 0 direct, 1 eager, 2 lazy, 3 speculative).
+//     substrate's EngineId: 0 direct, 1 eager, 2 lazy, 3 speculative,
+//     4 narrowed).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -35,6 +37,13 @@ struct TraceCheckResult {
   /// "match"-category chunk spans (name "chunk-*"); each was required to
   /// carry a valid numeric `engine` arg.
   std::size_t match_chunk_spans = 0;
+  /// Number of valid EngineId values (exclusive upper bound of the
+  /// `engine` arg accepted on match-chunk spans).
+  static constexpr std::size_t kEngineIds = 5;
+  /// Match-chunk spans per EngineId — lets consumers (and the CLI's
+  /// --expect-engine) assert that a trace actually exercised a given
+  /// chunk policy.
+  std::array<std::size_t, kEngineIds> match_chunk_spans_by_engine{};
 };
 
 /// Validate a trace document given as a string.

@@ -1,0 +1,49 @@
+#include "harness/input_classes.hpp"
+
+#include <algorithm>
+
+#include "sfa/core/build/reachable.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace testing {
+
+std::vector<Symbol> low_entropy_input(std::uint64_t seed, unsigned num_symbols,
+                                      std::size_t len,
+                                      unsigned effective_symbols,
+                                      std::size_t motif_length) {
+  Xoshiro256 rng(seed);
+  const unsigned k = std::max(1u, std::min(effective_symbols, num_symbols));
+  std::vector<Symbol> motif(std::max<std::size_t>(motif_length, 1));
+  for (auto& s : motif) s = static_cast<Symbol>(rng.below(k));
+  std::vector<Symbol> out(len);
+  for (std::size_t i = 0; i < len; ++i) out[i] = motif[i % motif.size()];
+  return out;
+}
+
+std::vector<Symbol> high_entropy_input(std::uint64_t seed,
+                                       unsigned num_symbols, std::size_t len) {
+  Xoshiro256 rng(seed);
+  std::vector<Symbol> out(len);
+  for (auto& s : out) s = static_cast<Symbol>(rng.below(num_symbols));
+  return out;
+}
+
+std::vector<Symbol> adversarial_input(const Dfa& dfa, std::uint64_t seed,
+                                      std::size_t len) {
+  const ReachTable reach = compute_reach_table(dfa);
+  std::size_t widest = 0;
+  for (const auto& set : reach.per_symbol)
+    widest = std::max(widest, set.size());
+  std::vector<Symbol> candidates;
+  for (unsigned a = 0; a < reach.num_symbols; ++a)
+    if (reach.per_symbol[a].size() == widest)
+      candidates.push_back(static_cast<Symbol>(a));
+  Xoshiro256 rng(seed);
+  std::vector<Symbol> out(len);
+  for (auto& s : out) s = candidates[rng.below(candidates.size())];
+  return out;
+}
+
+}  // namespace testing
+}  // namespace sfa

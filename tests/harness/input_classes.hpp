@@ -1,0 +1,41 @@
+// Input-class corpus generators for the chunk-entry narrowing differential
+// tests and benches.
+//
+// The NarrowedEngine's win depends on the INPUT as much as the DFA: a chunk
+// boundary's feasible set is reach(boundary symbol) pushed through the
+// peeked prefix, so repetitive text over a contracting automaton collapses
+// to a handful of states, while symbols hand-picked to maximize |reach|
+// defeat the narrowing and exercise the per-chunk fallback.  Three seeded
+// generators cover the spectrum; the oracle, the fuzz tests, and
+// bench_matching_breakeven's engine×input-class matrix all draw from them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sfa/automata/dfa.hpp"
+
+namespace sfa {
+namespace testing {
+
+/// Low entropy: one seeded motif of `motif_length` symbols drawn from a
+/// small effective alphabet (the first `effective_symbols` of the full k),
+/// repeated to `len`.  Chunk boundaries land on few distinct symbols and
+/// set-image composition collapses quickly.
+std::vector<Symbol> low_entropy_input(std::uint64_t seed, unsigned num_symbols,
+                                      std::size_t len,
+                                      unsigned effective_symbols = 2,
+                                      std::size_t motif_length = 8);
+
+/// High entropy: uniform random over the full alphabet.
+std::vector<Symbol> high_entropy_input(std::uint64_t seed,
+                                       unsigned num_symbols, std::size_t len);
+
+/// Adversarial for narrowing: every symbol is drawn (seeded) from the
+/// argmax of |reach(a)| over `dfa`'s alphabet, so every chunk boundary
+/// admits the largest feasible entry set the automaton can produce.
+std::vector<Symbol> adversarial_input(const Dfa& dfa, std::uint64_t seed,
+                                      std::size_t len);
+
+}  // namespace testing
+}  // namespace sfa

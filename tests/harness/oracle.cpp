@@ -14,6 +14,7 @@
 #include "sfa/classic/aho_corasick.hpp"
 #include "sfa/classic/boyer_moore.hpp"
 #include "sfa/classic/rabin_karp.hpp"
+#include "sfa/core/build/reachable.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/scan/engine.hpp"
 #include "sfa/core/scan/tasks.hpp"
@@ -322,11 +323,12 @@ std::optional<std::string> Oracle::input_divergence(
   // Engine x task matrix over the scan substrate: every engine must answer
   // every task identically to the sequential reference, at every chunk
   // count.  The direct column routes the reference DFA itself through the
-  // substrate, so it checks the shared task logic in isolation; eager and
-  // speculative then isolate their chunk policies.
+  // substrate, so it checks the shared task logic in isolation; eager,
+  // speculative, and narrowed (one column per peek depth) then isolate
+  // their chunk policies.
   const Dfa::StateId guess = pick_speculation_state(dfa, input);
   struct EngineCase {
-    const char* name;
+    std::string name;
     std::function<std::unique_ptr<scan::ScanEngine>()> make;
   };
   std::vector<EngineCase> engines;
@@ -340,6 +342,24 @@ std::optional<std::string> Oracle::input_divergence(
                        return std::make_unique<scan::SpeculativeEngine>(dfa,
                                                                         guess);
                      }});
+  // One immutable reach table shared by every narrowed case below (the
+  // sharing itself is part of what the matrix exercises).
+  const ReachTable reach = compute_reach_table(dfa);
+  for (const unsigned peek : options_.narrowed_peeks) {
+    engines.push_back(
+        {"narrowed-k" + std::to_string(peek), [&, peek] {
+           scan::NarrowedOptions nopt;
+           nopt.peek_k = peek;
+           if (options_.inject_corrupt_feasible_set) {
+             nopt.inject_corrupt_feasible_set = true;
+             // Fallback chunks bypass the corrupted sets entirely; disable
+             // the threshold so the teeth cannot be masked.
+             nopt.shrink_threshold = 1.0;
+           }
+           return std::make_unique<scan::NarrowedEngine>(
+               dfa, nopt, sfa.has_mappings() ? &sfa : nullptr, &reach);
+         }});
+  }
 
   scan::Executor& exec = scan::default_executor();
   for (const auto& ec : engines) {

@@ -79,6 +79,13 @@ struct OracleOptions {
   std::uint64_t probe_seed = 0xD1FFD1FF;
   /// Thread counts exercised by the parallel matching checks.
   unsigned match_threads = 3;
+  /// Peek depths of the narrowed engine column in the engine×task matrix
+  /// (one engine case per depth).  Empty disables the column.
+  std::vector<unsigned> narrowed_peeks = {0, 2, 8};
+  /// Fault-injection teeth hook: corrupt the narrowed engines' reachable
+  /// sets (and disable their fallback so the corruption cannot be masked)
+  /// — the matrix must then catch the wrong answers.
+  bool inject_corrupt_feasible_set = false;
   bool structural_audit = true;
   bool shrink = true;
   std::size_t max_shrink_rounds = 400;

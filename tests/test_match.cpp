@@ -359,6 +359,83 @@ TEST(WrapperParity, SpeculativeShortInputNeverRematches) {
   EXPECT_EQ(r.result.accepted, match_sequential(dfa, text).accepted);
 }
 
+TEST(WrapperParity, MatchNarrowedIsNarrowedRunAccept) {
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  for (const unsigned t : {2u, 4u, 8u}) {
+    const auto text = random_protein(8192, 83 + t);
+    NarrowedMatchOptions options;
+    options.peek_k = 2;
+    const NarrowedResult wrapper = match_narrowed(dfa, text, t, options);
+    EXPECT_EQ(wrapper.chunks, t);
+
+    // Replay the wrapper's substrate call.
+    scan::NarrowedOptions nopt;
+    nopt.peek_k = options.peek_k;
+    nopt.shrink_threshold = options.shrink_threshold;
+    scan::NarrowedEngine engine(dfa, nopt);
+    const MatchResult direct = scan::run_accept(
+        engine, scan::default_executor(), text.data(), text.size(), t);
+    EXPECT_EQ(wrapper.result.accepted, direct.accepted) << t;
+    EXPECT_EQ(wrapper.result.final_dfa_state, direct.final_dfa_state) << t;
+    EXPECT_EQ(wrapper.narrowed_chunks, engine.narrowed_chunks()) << t;
+    EXPECT_EQ(wrapper.fallback_chunks, engine.fallback_chunks()) << t;
+    EXPECT_EQ(wrapper.entry_states, engine.entry_states_simulated()) << t;
+    EXPECT_EQ(wrapper.result.accepted, match_sequential(dfa, text).accepted);
+  }
+}
+
+TEST(WrapperParity, NarrowedShortInputIsSequentialBitForBit) {
+  // Below the chunking threshold the wrapper clamps to one chunk and the
+  // engine's single-chunk plan is one dfa.run from the start state — no
+  // narrowing, no fallback, regardless of peek_k.
+  const Dfa dfa = compile_prosite("[ST]-x-[RK].");
+  const auto text = random_protein(100, 5);  // < 8*64, clamps to 1 thread
+  for (const unsigned peek : {0u, 2u, 1000u}) {
+    NarrowedMatchOptions options;
+    options.peek_k = peek;
+    const NarrowedResult r = match_narrowed(dfa, text, 8, options);
+    const MatchResult ref = match_sequential(dfa, text);
+    EXPECT_EQ(r.chunks, 1u) << peek;
+    EXPECT_EQ(r.narrowed_chunks, 0u) << peek;
+    EXPECT_EQ(r.fallback_chunks, 0u) << peek;
+    EXPECT_EQ(r.entry_states, 0u) << peek;
+    EXPECT_EQ(r.result.accepted, ref.accepted) << peek;
+    EXPECT_EQ(r.result.final_dfa_state, ref.final_dfa_state) << peek;
+  }
+}
+
+TEST(WrapperParity, NarrowedEmptyInputReadsStartState) {
+  // The empty-input edge: no symbol to peek, no boundary to narrow
+  // through; the result is the DFA start state's acceptance (f_start), and
+  // counting returns zero — identical to the sequential fallback.
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const std::vector<Symbol> empty;
+  NarrowedMatchOptions options;
+  options.peek_k = 8;
+  const NarrowedResult r = match_narrowed(dfa, empty, 8, options);
+  EXPECT_EQ(r.chunks, 1u);
+  EXPECT_EQ(r.result.accepted, dfa.accepting(dfa.start()));
+  EXPECT_EQ(r.result.final_dfa_state, dfa.start());
+  EXPECT_EQ(count_matches_narrowed(dfa, empty, 8, options).count, 0u);
+}
+
+TEST(WrapperParity, NarrowedPeekBeyondChunkLengthStaysExact) {
+  // 8 chunks over 1024 symbols leaves 128-symbol chunks; peek_k 1000
+  // exceeds every chunk, so set-image composition consumes whole chunks
+  // and the clamped peek must not read past chunk ends.
+  const Dfa dfa = compile_prosite("N-{P}-[ST]-{P}.");
+  const auto text = random_protein(1024, 11);
+  NarrowedMatchOptions options;
+  options.peek_k = 1000;
+  const NarrowedResult r = match_narrowed(dfa, text, 8, options);
+  const MatchResult ref = match_sequential(dfa, text);
+  EXPECT_EQ(r.chunks, 8u);
+  EXPECT_EQ(r.result.accepted, ref.accepted);
+  EXPECT_EQ(r.result.final_dfa_state, ref.final_dfa_state);
+  EXPECT_EQ(count_matches_narrowed(dfa, text, 8, options).count,
+            dfa.count_accepting_prefixes(text.data(), text.size()));
+}
+
 // ---- Engine facade ------------------------------------------------------------
 
 TEST(EngineTest, FromProsite) {

@@ -1,0 +1,385 @@
+// Chunk-entry state narrowing (PaREM-hybrid NarrowedEngine).
+//
+// The engine's contract: pass 1 retains a PARTIAL mapping vector per chunk
+// — defined exactly on the feasible entry set — and the two-pass compose
+// resolves it exactly because a chunk's true entry state is always
+// feasible.  These tests pin the partial⊆full containment, the per-chunk
+// fallback's parity with the eager/full paths, the input-class behavior
+// (shrink on low entropy, fall back on adversarial input), and exactness
+// under fuzz and under 8 concurrent workers sharing one reach table.  The
+// corpus-wide engine×task matrix lives in test_oracle.cpp (the narrowed
+// column of input_divergence).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "harness/input_classes.hpp"
+#include "sfa/automata/random_dfa.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/build/reachable.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+using testing::adversarial_input;
+using testing::high_entropy_input;
+using testing::low_entropy_input;
+
+/// SFA_FUZZ_ITERS / 3000 scaling with a floor, as in test_fuzz.cpp.
+int fuzz_iters(int dflt) {
+  static const long iters = [] {
+    const char* env = std::getenv("SFA_FUZZ_ITERS");
+    return env && *env ? std::strtol(env, nullptr, 10) : -1L;
+  }();
+  if (iters <= 0) return dflt;
+  return static_cast<int>(std::max(static_cast<long>(dflt) * iters / 3000, 20L));
+}
+
+std::size_t reference_count(const Dfa& dfa, const std::vector<Symbol>& input) {
+  return dfa.count_accepting_prefixes(input.data(), input.size());
+}
+
+std::vector<std::size_t> reference_all(const Dfa& dfa,
+                                       const std::vector<Symbol>& input) {
+  std::vector<std::size_t> out;
+  Dfa::StateId q = dfa.start();
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    q = dfa.transition(q, input[i]);
+    if (dfa.accepting(q)) out.push_back(i + 1);
+  }
+  return out;
+}
+
+/// All four tasks on a fresh engine each, against the sequential reference.
+void expect_exact(const Dfa& dfa, const std::vector<Symbol>& input,
+                  unsigned chunks, const scan::NarrowedOptions& options,
+                  const Sfa* fallback_sfa, const ReachTable* shared,
+                  const char* what) {
+  scan::Executor& exec = scan::default_executor();
+  const MatchResult ref = match_sequential(dfa, input);
+  const std::vector<std::size_t> all = reference_all(dfa, input);
+  {
+    scan::NarrowedEngine engine(dfa, options, fallback_sfa, shared);
+    const MatchResult got =
+        scan::run_accept(engine, exec, input.data(), input.size(), chunks);
+    EXPECT_EQ(got.accepted, ref.accepted) << what;
+    EXPECT_EQ(got.final_dfa_state, ref.final_dfa_state) << what;
+    EXPECT_EQ(engine.feasible_misses(), 0u) << what;
+  }
+  {
+    scan::NarrowedEngine engine(dfa, options, fallback_sfa, shared);
+    EXPECT_EQ(
+        scan::run_count(engine, exec, input.data(), input.size(), chunks),
+        reference_count(dfa, input))
+        << what;
+  }
+  {
+    scan::NarrowedEngine engine(dfa, options, fallback_sfa, shared);
+    EXPECT_EQ(
+        scan::run_find_first(engine, exec, input.data(), input.size(), chunks),
+        all.empty() ? kNoMatch : all.front())
+        << what;
+  }
+  {
+    scan::NarrowedEngine engine(dfa, options, fallback_sfa, shared);
+    EXPECT_EQ(
+        scan::run_find_all(engine, exec, input.data(), input.size(), chunks),
+        all)
+        << what;
+  }
+}
+
+// ---- reach-table precompute ------------------------------------------------
+
+TEST(ReachTable, ScalarAndTransposedKernelsAgree) {
+  for (std::uint64_t seed : {3u, 11u, 29u}) {
+    const auto entry = testing::random_dfa_entry(seed, 24, 6);
+    const ReachTable a = compute_reach_table(entry.dfa, false);
+    const ReachTable b = compute_reach_table(entry.dfa, true);
+    ASSERT_EQ(a.per_symbol.size(), b.per_symbol.size());
+    for (std::size_t s = 0; s < a.per_symbol.size(); ++s)
+      EXPECT_EQ(a.per_symbol[s], b.per_symbol[s]) << "symbol " << s;
+  }
+}
+
+TEST(ReachTable, SetsAreExactlyTheSymbolImages) {
+  const auto entry = testing::random_dfa_entry(5, 17, 4);
+  const Dfa& dfa = entry.dfa;
+  const ReachTable table = compute_reach_table(dfa);
+  ASSERT_EQ(table.num_symbols, dfa.num_symbols());
+  for (unsigned a = 0; a < dfa.num_symbols(); ++a) {
+    std::vector<std::uint32_t> expect;
+    for (Dfa::StateId q = 0; q < dfa.size(); ++q)
+      expect.push_back(dfa.transition(q, static_cast<Symbol>(a)));
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    EXPECT_EQ(table.per_symbol[a], expect) << "symbol " << a;
+  }
+}
+
+// ---- partial ⊆ full containment --------------------------------------------
+
+TEST(NarrowedMatch, PartialVectorsContainedInFullMapping) {
+  // On every feasible entry state, the partial vector must agree with the
+  // full mapping (a plain DFA rescan of the chunk) — for every chunk,
+  // every peek depth, and with the threshold disabled so no chunk escapes
+  // to the fallback.
+  const auto entry = testing::literal_entry(21, 8, 3, 6, false);
+  const Dfa& dfa = entry.dfa;
+  const auto input = high_entropy_input(77, dfa.num_symbols(), 640);
+  const unsigned chunks = 5;
+  const auto ranges = detail::chunk_ranges(input.size(), chunks);
+  for (unsigned peek : {0u, 2u, 8u}) {
+    scan::NarrowedOptions options;
+    options.peek_k = peek;
+    options.shrink_threshold = 1.0;  // never fall back: partial everywhere
+    scan::NarrowedEngine engine(dfa, options);
+    engine.scan_chunks(input.data(), ranges, scan::default_executor());
+    EXPECT_EQ(engine.narrowed_chunks(), chunks - 1);
+    for (unsigned c = 1; c < chunks; ++c) {
+      const auto [b, e] = ranges[c];
+      for (std::uint32_t q : engine.reach().per_symbol[input[b - 1]]) {
+        EXPECT_EQ(engine.chunk_exit(c, q, input.data()),
+                  dfa.run(static_cast<Dfa::StateId>(q), input.data() + b,
+                          e - b))
+            << "chunk " << c << " entry " << q << " peek " << peek;
+      }
+    }
+    EXPECT_EQ(engine.feasible_misses(), 0u)
+        << "every queried entry state was feasible";
+  }
+}
+
+// ---- fallback parity -------------------------------------------------------
+
+TEST(NarrowedMatch, FallbackChunksParityWithEagerAndFullPaths) {
+  // threshold 0.0 forces the fallback on every narrowable chunk; both
+  // fallback representations (SFA mapping walk / all-states simulation)
+  // must be indistinguishable from the eager engine, task by task.  A
+  // literal automaton keeps the eager SFA small (dense random DFAs explode
+  // in SFA states) — the fallback density is forced by the threshold, not
+  // by the automaton.
+  const auto entry = testing::literal_entry(9, 6, 3, 5, false);
+  const Dfa& dfa = entry.dfa;
+  BuildOptions build;
+  build.keep_mappings = true;
+  const Sfa sfa = build_sfa(dfa, BuildMethod::kTransposed, build);
+  const auto input = high_entropy_input(123, dfa.num_symbols(), 900);
+  scan::NarrowedOptions options;
+  options.shrink_threshold = 0.0;
+  for (unsigned chunks : {2u, 3u, 6u}) {
+    expect_exact(dfa, input, chunks, options, &sfa, nullptr, "sfa fallback");
+    expect_exact(dfa, input, chunks, options, nullptr, nullptr,
+                 "full-simulation fallback");
+    scan::NarrowedEngine engine(dfa, options, &sfa);
+    scan::NarrowedEngine eager_free(dfa, options);
+    const auto ranges = detail::chunk_ranges(input.size(), chunks);
+    engine.scan_chunks(input.data(), ranges, scan::default_executor());
+    eager_free.scan_chunks(input.data(), ranges, scan::default_executor());
+    scan::EagerEngine eager(sfa, &dfa);
+    eager.scan_chunks(input.data(), ranges, scan::default_executor());
+    EXPECT_EQ(engine.fallback_chunks(), chunks - 1);
+    EXPECT_EQ(engine.narrowed_chunks(), 0u);
+    for (unsigned c = 0; c < chunks; ++c)
+      for (Dfa::StateId q = 0; q < dfa.size(); ++q) {
+        EXPECT_EQ(engine.chunk_exit(c, q, input.data()),
+                  eager.chunk_exit(c, q, input.data()))
+            << "chunk " << c << " entry " << q;
+        EXPECT_EQ(eager_free.chunk_exit(c, q, input.data()),
+                  eager.chunk_exit(c, q, input.data()))
+            << "chunk " << c << " entry " << q;
+      }
+  }
+}
+
+// ---- input classes ---------------------------------------------------------
+
+TEST(NarrowedMatch, ShrinksEntrySetsOnLowEntropyInput) {
+  // Literal match-anywhere automata contract hard: a boundary symbol's
+  // reach is the handful of trie nodes labeled with it.  On repetitive
+  // text, narrowing must engage on every chunk and simulate far fewer
+  // states than the n-per-chunk full scheme.
+  const auto entry = testing::literal_entry(33, 8, 3, 8, true);
+  const Dfa& dfa = entry.dfa;
+  const auto input = low_entropy_input(42, dfa.num_symbols(), 2000);
+  const unsigned chunks = 8;
+  scan::NarrowedOptions options;
+  options.peek_k = 2;
+  scan::NarrowedEngine engine(dfa, options);
+  const auto ranges = detail::chunk_ranges(input.size(), chunks);
+  engine.scan_chunks(input.data(), ranges, scan::default_executor());
+  EXPECT_EQ(engine.fallback_chunks(), 0u);
+  EXPECT_EQ(engine.narrowed_chunks(), chunks - 1);
+  // Strictly fewer states than the full scheme would simulate...
+  EXPECT_LT(engine.entry_states_simulated(),
+            static_cast<std::uint64_t>(chunks - 1) * dfa.size());
+  // ...and at most the widest reachable set per chunk.
+  EXPECT_LE(engine.entry_states_simulated(),
+            static_cast<std::uint64_t>(chunks - 1) *
+                engine.reach().max_set_size());
+  expect_exact(dfa, input, chunks, options, nullptr, nullptr, "low entropy");
+}
+
+TEST(NarrowedMatch, FallsBackOnAdversarialInput) {
+  // A dense random DFA's symbol images hold ~(1 - 1/e) n states; the
+  // adversarial generator picks the widest ones, so no boundary shrinks
+  // below the default threshold and every narrowable chunk falls back —
+  // while staying exact.
+  const auto entry = testing::random_dfa_entry(57, 32, 4);
+  const Dfa& dfa = entry.dfa;
+  const ReachTable table = compute_reach_table(dfa);
+  ASSERT_GT(table.max_set_size(), dfa.size() / 2u)
+      << "corpus seed no longer produces a dense automaton";
+  const auto input = adversarial_input(dfa, 91, 1600);
+  const unsigned chunks = 8;
+  scan::NarrowedOptions options;  // default threshold 0.5
+  scan::NarrowedEngine engine(dfa, options, nullptr, &table);
+  const auto ranges = detail::chunk_ranges(input.size(), chunks);
+  engine.scan_chunks(input.data(), ranges, scan::default_executor());
+  EXPECT_EQ(engine.narrowed_chunks(), 0u);
+  EXPECT_EQ(engine.fallback_chunks(), chunks - 1);
+  expect_exact(dfa, input, chunks, options, nullptr, &table, "adversarial");
+}
+
+// ---- chunks <= 1 and peek-k edges ------------------------------------------
+
+TEST(NarrowedMatch, SingleChunkIsBitForBitSequential) {
+  const auto entry = testing::random_dfa_entry(13, 9, 3);
+  const Dfa& dfa = entry.dfa;
+  for (const auto& input : entry.inputs) {
+    for (unsigned peek : {0u, 2u, 64u}) {
+      scan::NarrowedOptions options;
+      options.peek_k = peek;
+      expect_exact(dfa, input, 1, options, nullptr, nullptr, "single chunk");
+    }
+  }
+}
+
+TEST(NarrowedMatch, PeekKLongerThanChunkIsClamped) {
+  // 8 chunks of ~9 symbols with peek_k 64: every peek window exceeds its
+  // chunk, so the whole chunk is consumed by set-image composition and the
+  // partial vector maps post-chunk states to themselves.
+  const auto entry = testing::random_dfa_entry(17, 10, 3);
+  const Dfa& dfa = entry.dfa;
+  const auto input = high_entropy_input(5, dfa.num_symbols(), 75);
+  scan::NarrowedOptions options;
+  options.peek_k = 64;
+  options.shrink_threshold = 1.0;
+  expect_exact(dfa, input, 8, options, nullptr, nullptr, "peek > chunk");
+}
+
+TEST(NarrowedMatch, MoreChunksThanSymbolsYieldsEmptyChunks) {
+  // len < chunks: chunk_ranges degenerates to empty prefixes + one real
+  // chunk; empty chunks at position 0 must read f_start (identity), not
+  // data[-1].
+  const auto entry = testing::random_dfa_entry(23, 7, 2);
+  const Dfa& dfa = entry.dfa;
+  for (std::size_t len : {0u, 1u, 3u}) {
+    const auto input = high_entropy_input(len + 1, dfa.num_symbols(), len);
+    for (unsigned chunks : {2u, 5u}) {
+      scan::NarrowedOptions options;
+      options.peek_k = 2;
+      expect_exact(dfa, input, chunks, options, nullptr, nullptr,
+                   "empty chunks");
+    }
+  }
+}
+
+// ---- fuzz ------------------------------------------------------------------
+
+TEST(NarrowedMatch, FuzzAgainstSequentialReference) {
+  const int iters = fuzz_iters(120);
+  Xoshiro256 rng(0xBADC0FFEE);
+  for (int i = 0; i < iters; ++i) {
+    RandomDfaOptions dopt;
+    dopt.num_states = 2 + static_cast<std::uint32_t>(rng.below(20));
+    dopt.num_symbols = 1 + static_cast<unsigned>(rng.below(6));
+    dopt.seed = rng.next();
+    const Dfa dfa = random_dfa(dopt);
+    const std::size_t len = rng.below(400);
+    std::vector<Symbol> input(len);
+    for (auto& s : input)
+      s = static_cast<Symbol>(rng.below(dopt.num_symbols));
+    scan::NarrowedOptions options;
+    options.peek_k = static_cast<unsigned>(rng.below(10));
+    const double thresholds[] = {0.0, 0.3, 0.5, 1.0};
+    options.shrink_threshold = thresholds[rng.below(4)];
+    const unsigned chunks = 1 + static_cast<unsigned>(rng.below(6));
+    expect_exact(dfa, input, chunks, options, nullptr, nullptr, "fuzz");
+  }
+}
+
+// ---- shared reach table under concurrency ----------------------------------
+
+TEST(NarrowedMatch, EightWorkersShareOnePrecomputedReachTable) {
+  // One immutable table, eight caller threads, each with its own engines
+  // dispatching into the shared default executor (the concurrent-sessions
+  // pattern of ExecutorStress).  Exactness per thread, zero misses.
+  const auto entry = testing::literal_entry(61, 6, 4, 5, false);
+  const Dfa& dfa = entry.dfa;
+  const ReachTable table = compute_reach_table(dfa);
+  constexpr int kWorkers = 8;
+  const int rounds = std::max(2, fuzz_iters(30) / 10);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Xoshiro256 rng(0x5EED0000 + static_cast<std::uint64_t>(w));
+      for (int r = 0; r < rounds; ++r) {
+        const std::size_t len = 64 + rng.below(512);
+        std::vector<Symbol> input(len);
+        for (auto& s : input)
+          s = static_cast<Symbol>(rng.below(dfa.num_symbols()));
+        scan::NarrowedOptions options;
+        options.peek_k = static_cast<unsigned>(rng.below(6));
+        scan::NarrowedEngine engine(dfa, options, nullptr, &table);
+        const unsigned chunks = 2 + static_cast<unsigned>(rng.below(5));
+        const MatchResult got = scan::run_accept(
+            engine, scan::default_executor(), input.data(), input.size(),
+            chunks);
+        const MatchResult ref = match_sequential(dfa, input);
+        if (got.accepted != ref.accepted ||
+            got.final_dfa_state != ref.final_dfa_state ||
+            engine.feasible_misses() != 0)
+          failures.fetch_add(1);
+        scan::NarrowedEngine counter(dfa, options, nullptr, &table);
+        if (scan::run_count(counter, scan::default_executor(), input.data(),
+                            input.size(), chunks) !=
+            reference_count(dfa, input))
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : workers) th.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// ---- wrappers --------------------------------------------------------------
+
+TEST(NarrowedMatch, WrapperReportsChunkAccounting) {
+  const auto entry = testing::literal_entry(73, 8, 3, 6, false);
+  const Dfa& dfa = entry.dfa;
+  const auto input = low_entropy_input(7, dfa.num_symbols(), 1024);
+  NarrowedMatchOptions options;
+  options.peek_k = 2;
+  const NarrowedResult r = match_narrowed(dfa, input, 4, options);
+  EXPECT_EQ(r.chunks, 4u);
+  EXPECT_EQ(r.narrowed_chunks + r.fallback_chunks, 3u);
+  EXPECT_EQ(r.result.accepted, match_sequential(dfa, input).accepted);
+  const NarrowedCountResult c = count_matches_narrowed(dfa, input, 4, options);
+  EXPECT_EQ(c.count, reference_count(dfa, input));
+  EXPECT_EQ(c.chunks, 4u);
+}
+
+}  // namespace
+}  // namespace sfa

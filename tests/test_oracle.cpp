@@ -398,6 +398,34 @@ TEST(OracleLazy, CatchesSeededInternCorruption) {
   EXPECT_GE(caught, 1u) << "lazy oracle missed an injected intern corruption";
 }
 
+TEST(OracleNarrowed, CatchesCorruptFeasibleSet) {
+  // Teeth for the narrowed column of the engine×task matrix:
+  // inject_corrupt_feasible_set rotates every per-symbol reachable set by
+  // one state and disables the narrowed engines' fallback so the corruption
+  // cannot be masked behind a full simulation.  A chunk whose true entry
+  // state falls outside its corrupted feasible set then resolves through
+  // the wrong partial-vector cell, and the matcher differential must report
+  // it on at least one seed — with a shrunk reproducer.
+  std::size_t caught = 0;
+  for (const std::uint64_t seed : {17u, 29u, 41u}) {
+    const CorpusEntry entry = testing::literal_entry(seed, 6, 3, 5, false);
+    const Sfa sfa = build_sfa(entry.dfa, BuildMethod::kTransposed);
+
+    // Sanity: the same matrix with intact reach sets is clean.
+    ASSERT_FALSE(Oracle().check_sfa(entry, sfa, "narrowed-intact").has_value());
+
+    OracleOptions opt;
+    opt.inject_corrupt_feasible_set = true;
+    const auto d = Oracle(opt).check_sfa(entry, sfa, "narrowed-corrupt");
+    if (!d.has_value()) continue;
+    ++caught;
+    EXPECT_EQ(d->kind, "matcher");
+    EXPECT_NE(d->detail.find("narrowed"), std::string::npos) << d->detail;
+    EXPECT_LE(d->input.size(), d->original_input_length);
+  }
+  EXPECT_GE(caught, 1u) << "oracle missed the corrupted feasible sets";
+}
+
 TEST(OracleFaultInjection, IntactSfaPassesAllLayers) {
   const CorpusEntry entry = testing::random_dfa_entry(151, 5, 4, {});
   for (const BuilderVariant& v : default_variants()) {

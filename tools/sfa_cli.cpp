@@ -35,6 +35,17 @@
 //   --memory-cap BYTES       lazy: hard cap on intern-table memory; workers
 //                            fall back to exact direct DFA simulation when
 //                            the cap is reached (0 = unlimited)
+//   --narrowed               match: PaREM-hybrid chunk-entry narrowing — no
+//                            .sfa file; usage becomes `sfa match --narrowed
+//                            <textfile|-> --pattern PAT`.  Each chunk
+//                            simulates only its feasible entry-state set
+//                            (computed from the DFA's per-symbol reachable
+//                            sets), with a per-chunk fallback when the set
+//                            fails to shrink.  Composes with --count /
+//                            --threads.
+//   --peek-k K               narrowed: refine each chunk's feasible set by
+//                            peeking its first K symbols (set-image
+//                            composition; default 0)
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace FILE.json        record a span trace of the run (Perfetto /
@@ -82,6 +93,8 @@ struct Options {
   bool count = false;
   bool stream = false;
   bool lazy = false;
+  bool narrowed = false;
+  unsigned peek_k = 0;
   std::size_t memory_cap = 0;
   std::string pattern;
   std::string output;
@@ -147,6 +160,10 @@ Options parse(int argc, char** argv) {
       opt.stream = true;
     else if (arg == "--lazy")
       opt.lazy = true;
+    else if (arg == "--narrowed")
+      opt.narrowed = true;
+    else if (arg == "--peek-k")
+      opt.peek_k = static_cast<unsigned>(std::stoul(next()));
     else if (arg == "--memory-cap")
       opt.memory_cap = std::stoull(next());
     else if (arg == "--pattern")
@@ -370,8 +387,99 @@ int cmd_match_lazy(const Options& opt) {
   return accepted ? 0 : 1;
 }
 
+/// `sfa match --narrowed <textfile|-> --pattern PAT [--peek-k K]`: no .sfa
+/// file — the DFA is compiled from the pattern and each chunk simulates
+/// only its PaREM feasible entry-state set (reach of the boundary symbol,
+/// refined by peeking K symbols).  No SFA construction happens at all.
+int cmd_match_narrowed(const Options& opt) {
+  if (opt.positional.size() != 1)
+    usage("match --narrowed needs <textfile|-> (no .sfa file; the feasible "
+          "sets come from --pattern's DFA)");
+  if (opt.pattern.empty())
+    usage("match --narrowed needs --pattern PAT (the pattern to match; "
+          "there is no pre-built .sfa to load)");
+  if (opt.stream)
+    usage("--narrowed and --stream are mutually exclusive (narrowing is a "
+          "whole-input chunk policy)");
+  const Dfa dfa = compile(opt, opt.pattern);
+  const Alphabet& alphabet =
+      opt.prosite ? Alphabet::amino() : alphabet_by_name(opt.alphabet_name);
+  if (alphabet.size() != dfa.num_symbols())
+    usage("alphabet size does not match the compiled pattern");
+  std::string text = read_all(opt.positional[0]);
+  while (!text.empty() && (text.back() == '\n' || text.back() == '\r'))
+    text.pop_back();
+  const std::vector<Symbol> input = alphabet.encode(text);
+
+  NarrowedMatchOptions narrowed;
+  narrowed.peek_k = opt.peek_k;
+
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.narrowed = true;
+  info.input_symbols = input.size();
+  info.threads = opt.threads;
+
+  std::printf("input: %s symbols, %u thread(s), narrowed (peek-k %u)\n",
+              with_commas(input.size()).c_str(), opt.threads, opt.peek_k);
+  bool accepted = false;
+  unsigned chunks = 0;
+  unsigned narrowed_chunks = 0;
+  unsigned fallback_chunks = 0;
+  std::uint64_t entry_states = 0;
+  PoolStatsDelta pool;
+  TraceSession trace(opt.trace_path);
+  if (opt.count) {
+    const WallTimer timer;
+    const NarrowedCountResult r =
+        count_matches_narrowed(dfa, input, opt.threads, narrowed);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = r.count > 0;
+    chunks = r.chunks;
+    narrowed_chunks = r.narrowed_chunks;
+    fallback_chunks = r.fallback_chunks;
+    entry_states = r.entry_states;
+    std::printf("matches: %s (%.3f ms)\n", with_commas(r.count).c_str(), ms);
+    info.mode = "count";
+    info.counted = true;
+    info.match_count = r.count;
+    info.seconds = ms / 1e3;
+  } else {
+    const WallTimer timer;
+    const NarrowedResult r = match_narrowed(dfa, input, opt.threads, narrowed);
+    const double ms = timer.millis();
+    trace.stop_and_write();
+    accepted = r.result.accepted;
+    chunks = r.chunks;
+    narrowed_chunks = r.narrowed_chunks;
+    fallback_chunks = r.fallback_chunks;
+    entry_states = r.entry_states;
+    std::printf("match: %s (%.3f ms)\n", accepted ? "YES" : "no", ms);
+    info.mode = "match";
+    info.seconds = ms / 1e3;
+  }
+  info.accepted = accepted;
+  pool.fill(info);
+  info.narrowed_entry_states = entry_states;
+  info.narrowed_fallback_chunks = fallback_chunks;
+  std::printf("narrowed: %u/%u chunks narrowed, %u fallback, %s entry "
+              "states simulated\n",
+              narrowed_chunks, chunks, fallback_chunks,
+              with_commas(entry_states).c_str());
+  if (!opt.stats_json_path.empty()) {
+    if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
+      throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
+    std::printf("stats: %s\n", opt.stats_json_path.c_str());
+  }
+  return accepted ? 0 : 1;
+}
+
 int cmd_match(const Options& opt) {
+  if (opt.lazy && opt.narrowed)
+    usage("--lazy and --narrowed are mutually exclusive chunk policies");
   if (opt.lazy) return cmd_match_lazy(opt);
+  if (opt.narrowed) return cmd_match_narrowed(opt);
   if (opt.positional.size() != 2)
     usage("match needs <file.sfa> <textfile|->");
   if (opt.count && opt.pattern.empty())

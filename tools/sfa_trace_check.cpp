@@ -1,13 +1,16 @@
 // sfa_trace_check — validate a Chrome-tracing JSON file produced by
 // `sfa ... --trace out.json` (or any tool using sfa::obs::TraceCollector).
 //
-//   sfa_trace_check trace.json [--expect-workers N]
+//   sfa_trace_check trace.json [--expect-workers N] [--expect-engine ID]
 //
 // Checks: the JSON is well formed, required event fields are present,
 // per-thread completion timestamps are monotone, and spans nest without
 // partial overlap.  With --expect-workers N, additionally requires at least
 // N distinct threads carrying "build"-category spans (the acceptance
-// criterion for a traced parallel construction).
+// criterion for a traced parallel construction).  With --expect-engine ID,
+// requires at least one match-chunk span stamped with that ScanEngine id
+// (0 direct, 1 eager, 2 lazy, 3 speculative, 4 narrowed) — the acceptance
+// criterion for a traced parallel match on a specific chunk policy.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,9 +18,19 @@
 
 #include "sfa/obs/trace_check.hpp"
 
+namespace {
+
+void usage() {
+  std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
+                       "[--expect-workers N] [--expect-engine ID]\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::string path;
   unsigned expect_workers = 0;
+  long expect_engine = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--expect-workers") == 0) {
       if (i + 1 >= argc) {
@@ -25,17 +38,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       expect_workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--expect-engine") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --expect-engine needs a value\n");
+        return 2;
+      }
+      expect_engine = std::strtol(argv[++i], nullptr, 10);
+      if (expect_engine < 0 ||
+          expect_engine >=
+              static_cast<long>(sfa::obs::TraceCheckResult::kEngineIds)) {
+        std::fprintf(stderr, "error: --expect-engine takes an id in [0, %zu]\n",
+                     sfa::obs::TraceCheckResult::kEngineIds - 1);
+        return 2;
+      }
     } else if (path.empty()) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
-                           "[--expect-workers N]\n");
+      usage();
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
-                         "[--expect-workers N]\n");
+    usage();
     return 2;
   }
 
@@ -53,6 +77,15 @@ int main(int argc, char** argv) {
                  "INVALID %s: expected >= %u worker tracks with build spans, "
                  "found %zu\n",
                  path.c_str(), expect_workers, r.worker_tracks);
+    return 1;
+  }
+  if (expect_engine >= 0 &&
+      r.match_chunk_spans_by_engine[static_cast<std::size_t>(expect_engine)] ==
+          0) {
+    std::fprintf(stderr,
+                 "INVALID %s: expected match-chunk spans with engine id %ld, "
+                 "found none\n",
+                 path.c_str(), expect_engine);
     return 1;
   }
   return 0;
