@@ -12,6 +12,7 @@
 #include "sfa/automata/dfa.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/obs/json.hpp"
+#include "sfa/obs/stats_export.hpp"
 #include "sfa/prosite/patterns.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
 #include "sfa/support/cpu.hpp"
@@ -156,6 +157,10 @@ class JsonReport {
     w.kv("bench", name_);
     w.kv("cpu", cpu_model_name());
     w.kv("hardware_threads", hardware_threads());
+    // Additive sfa-bench/1 host block: sfa_bench_compare warns when two
+    // results being diffed came from different hosts/compilers/governors.
+    w.key("host");
+    obs::write_host_info_json(w);
     write_fields(w, meta_);
     w.key("rows").begin_array();
     for (const Fields& row : rows_) {

@@ -14,6 +14,7 @@
 #include "sfa/core/scan/executor.hpp"
 #include "sfa/core/scan/tasks.hpp"
 #include "sfa/obs/metrics.hpp"
+#include "sfa/obs/profile/profile.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa {
@@ -78,6 +79,9 @@ class Engine final : public EngineBase {
       // count keys on build-category spans.
       SFA_TRACE_SPAN(span, "build", "lazy-chunk");
       const auto [b, e] = ranges[t];
+      obs::annotate_profile_chunk(
+          static_cast<unsigned>(scan::EngineId::kLazy),
+          (e - b) * sizeof(Symbol));
       walk_chunk(t, data + b, e - b, out[t]);
       span.arg("symbols", e - b);
       span.arg("misses", out[t].misses);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sfa/obs/metrics.hpp"
+#include "sfa/obs/profile/profile.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa::scan {
@@ -39,6 +40,8 @@ void EagerEngine::scan_chunks(
     span.arg("engine", static_cast<std::uint64_t>(id()));
     const auto [b, e] = ranges[c];
     span.arg("symbols", e - b);
+    obs::annotate_profile_chunk(static_cast<unsigned>(id()),
+                                (e - b) * sizeof(Symbol));
     chunk_state_[c] = sfa_.run(sfa_.start(), data + b, e - b);
   });
 }
@@ -65,6 +68,8 @@ void SpeculativeEngine::scan_chunks(
     span.arg("engine", static_cast<std::uint64_t>(id()));
     const auto [b, e] = ranges_[c];
     span.arg("symbols", e - b);
+    obs::annotate_profile_chunk(static_cast<unsigned>(id()),
+                                (e - b) * sizeof(Symbol));
     const Dfa::StateId from = c == 0 ? dfa_.start() : guess_;
     exit_[c] = dfa_.run(from, data + b, e - b);
   });
@@ -215,6 +220,8 @@ void NarrowedEngine::scan_chunks(
     span.arg("engine", static_cast<std::uint64_t>(id()));
     const auto [b, e] = ranges_[c];
     span.arg("symbols", e - b);
+    obs::annotate_profile_chunk(static_cast<unsigned>(id()),
+                                (e - b) * sizeof(Symbol));
     plan_chunk(c, data);
   });
   // for_chunks is a barrier, so the per-chunk plans are complete; fold the

@@ -3,12 +3,16 @@
 #include <string>
 
 #include "sfa/obs/metrics.hpp"
+#include "sfa/obs/profile/profile.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa::scan {
 
 void InlineExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
-  for (unsigned c = 0; c < chunks; ++c) body(c);
+  for (unsigned c = 0; c < chunks; ++c) {
+    obs::ChunkProfileScope prof(c, obs::kProfileInlineSlot);
+    body(c);
+  }
 }
 
 PooledExecutor::PooledExecutor(unsigned initial_workers)
@@ -24,13 +28,19 @@ PooledExecutor::PooledExecutor(unsigned initial_workers)
 
 void PooledExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
   if (chunks <= 1) {
-    if (chunks == 1) body(0);
+    if (chunks == 1) {
+      obs::ChunkProfileScope prof(0, obs::kProfileInlineSlot);
+      body(0);
+    }
     return;
   }
   pool_.ensure_workers(chunks);
   pool_.run(chunks, [&body](unsigned task, unsigned worker) {
-    if (worker != ChunkFn::kInlineWorker)
+    const bool pooled = worker != ChunkFn::kInlineWorker;
+    if (pooled)
       SFA_TRACE_THREAD_NAME("scan-pool/worker " + std::to_string(worker));
+    obs::ChunkProfileScope prof(task,
+                                pooled ? worker : obs::kProfileInlineSlot);
     body(task);
   });
   dispatches_metric_->inc();

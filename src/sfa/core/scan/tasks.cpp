@@ -1,5 +1,6 @@
 #include "sfa/core/scan/tasks.hpp"
 
+#include "sfa/obs/profile/profile.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa::scan {
@@ -78,6 +79,8 @@ std::size_t run_count(ScanEngine& engine, Executor& exec, const Symbol* data,
       span.arg("engine", static_cast<std::uint64_t>(engine.id()));
       const auto [b, e] = ranges[c];
       span.arg("begin", b);
+      obs::annotate_profile_chunk(static_cast<unsigned>(engine.id()),
+                                  (e - b) * sizeof(Symbol));
       Dfa::StateId s = static_cast<Dfa::StateId>(entry[c]);
       std::size_t acc = 0;
       for (std::size_t i = b; i < e; ++i) {
@@ -150,6 +153,8 @@ std::vector<std::size_t> run_find_all(ScanEngine& engine, Executor& exec,
     span.arg("engine", static_cast<std::uint64_t>(engine.id()));
     const auto [b, e] = ranges[c];
     span.arg("begin", b);
+    obs::annotate_profile_chunk(static_cast<unsigned>(engine.id()),
+                                (e - b) * sizeof(Symbol));
     Dfa::StateId s = static_cast<Dfa::StateId>(entry[c]);
     for (std::size_t i = b; i < e; ++i) {
       s = dfa.transition(s, data[i]);

@@ -1,0 +1,212 @@
+#include "sfa/obs/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace sfa::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      std::ostringstream os;
+      os << "JSON parse error at offset " << pos_ << ": " << error_;
+      error = os.str();
+      return false;
+    }
+    skip_ws();
+    if (pos_ != s_.size()) {
+      error = "trailing garbage after JSON document at offset " +
+              std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_.empty()) error_ = msg;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.str);
+      case 't':
+        if (s_.compare(pos_, 4, "true") != 0) return fail("bad literal");
+        pos_ += 4;
+        out.kind = JsonValue::Kind::kBool;
+        out.b = true;
+        return true;
+      case 'f':
+        if (s_.compare(pos_, 5, "false") != 0) return fail("bad literal");
+        pos_ += 5;
+        out.kind = JsonValue::Kind::kBool;
+        out.b = false;
+        return true;
+      case 'n':
+        if (s_.compare(pos_, 4, "null") != 0) return fail("bad literal");
+        pos_ += 4;
+        out.kind = JsonValue::Kind::kNull;
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    out.kind = JsonValue::Kind::kObject;
+    out.obj = std::make_shared<JsonValue::Object>();
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"')
+        return fail("expected string key in object");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':')
+        return fail("expected ':' in object");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      (*out.obj)[key] = std::move(v);
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    out.kind = JsonValue::Kind::kArray;
+    out.arr = std::make_shared<JsonValue::Array>();
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.arr->push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad hex digit in \\u escape");
+          }
+          // Byte-wise decode (ASCII range only; enough for our producers).
+          if (code < 0x80) out.push_back(static_cast<char>(code));
+          else out.push_back('?');
+          break;
+        }
+        default: return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t begin = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == begin) return fail("expected a value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(begin, pos_ - begin);
+    out.num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("malformed number");
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  return Parser(text).parse(out, error);
+}
+
+}  // namespace sfa::obs

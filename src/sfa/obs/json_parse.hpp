@@ -1,0 +1,62 @@
+// Minimal JSON parser shared by the observability consumers: the trace
+// validator (trace_check), the `sfa profile` report builder, and the
+// sfa_bench_compare regression gate.
+//
+// Covers the full JSON grammar minus \uXXXX surrogate pairs (escapes are
+// decoded byte-wise; non-ASCII passes through untouched).  Enough for the
+// documents this project produces, and kept in-tree so the tools have no
+// external dependency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sfa::obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::shared_ptr<Array> arr;
+  std::shared_ptr<Object> obj;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Member lookup; nullptr when this is not an object or the key is absent.
+  const JsonValue* get(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    const auto it = obj->find(key);
+    return it == obj->end() ? nullptr : &it->second;
+  }
+
+  /// Number at `key`, or `fallback` when absent / not numeric.
+  double number_or(const std::string& key, double fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->is_number() ? v->num : fallback;
+  }
+
+  /// String at `key`, or `fallback` when absent / not a string.
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const {
+    const JsonValue* v = get(key);
+    return v != nullptr && v->is_string() ? v->str : fallback;
+  }
+};
+
+/// Parse a complete JSON document into `out`.  On failure returns false and
+/// fills `error` with an offset-bearing message; trailing garbage after the
+/// document is an error.
+bool parse_json(const std::string& text, JsonValue& out, std::string& error);
+
+}  // namespace sfa::obs

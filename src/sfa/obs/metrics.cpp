@@ -196,8 +196,12 @@ namespace {
 /// Histograms recorded in raw TSC cycles (name suffix "_cycles") are also
 /// exported in nanoseconds, using the steady_clock calibration of tsc_hz()
 /// (cached after the first call).  Returns 0 when the platform has no TSC —
-/// the ns series is then omitted rather than reported wrong.
+/// the JSON exporter then falls back to raw cycles with an explicit
+/// "calibrated": false flag, and the Prometheus ns series is omitted.
+double g_ns_factor_override = -1.0;  // test hook; < 0 means "use tsc_hz()"
+
 double cycles_to_ns_factor() {
+  if (g_ns_factor_override >= 0.0) return g_ns_factor_override;
   const double hz = ::sfa::tsc_hz();
   return hz > 0.0 ? 1e9 / hz : 0.0;
 }
@@ -210,7 +214,7 @@ bool is_cycles_histogram(const std::string& name) {
 }
 
 void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h,
-                          double ns_factor) {
+                          bool cycles_valued, double ns_factor) {
   w.begin_object();
   w.kv("count", h.count);
   w.kv("sum", h.sum);
@@ -230,13 +234,21 @@ void write_histogram_json(JsonWriter& w, const HistogramSnapshot& h,
     w.end_array();
   }
   w.end_array();
-  if (ns_factor > 0.0) {
+  if (cycles_valued) {
+    // Cycle-valued histograms always carry the derived block.  When the TSC
+    // calibration is unavailable (tsc_hz() == 0) the values fall back to
+    // raw cycles with an explicit calibrated=false rather than disappearing
+    // — consumers can still diff runs, they just cannot compare hosts.
+    const bool calibrated = ns_factor > 0.0;
+    const double f = calibrated ? ns_factor : 1.0;
     w.key("ns").begin_object();
-    w.kv("mean", h.mean() * ns_factor);
-    w.kv("p50", h.quantile(0.50) * ns_factor);
-    w.kv("p90", h.quantile(0.90) * ns_factor);
-    w.kv("p99", h.quantile(0.99) * ns_factor);
-    w.kv("sum", static_cast<double>(h.sum) * ns_factor);
+    w.kv("calibrated", calibrated);
+    w.kv("unit", calibrated ? "ns" : "cycles");
+    w.kv("mean", h.mean() * f);
+    w.kv("p50", h.quantile(0.50) * f);
+    w.kv("p90", h.quantile(0.90) * f);
+    w.kv("p99", h.quantile(0.99) * f);
+    w.kv("sum", static_cast<double>(h.sum) * f);
     w.end_object();
   }
   w.end_object();
@@ -254,6 +266,10 @@ std::string prometheus_name(const std::string& name) {
 
 }  // namespace
 
+void set_cycles_ns_factor_override_for_test(double factor) {
+  g_ns_factor_override = factor;
+}
+
 void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s) {
   w.begin_object();
   w.key("counters").begin_object();
@@ -265,8 +281,9 @@ void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s) {
   w.key("histograms").begin_object();
   for (const auto& [name, h] : s.histograms) {
     w.key(name);
-    write_histogram_json(w, h,
-                         is_cycles_histogram(name) ? cycles_to_ns_factor() : 0.0);
+    const bool cycles_valued = is_cycles_histogram(name);
+    write_histogram_json(w, h, cycles_valued,
+                         cycles_valued ? cycles_to_ns_factor() : 0.0);
   }
   w.end_object();
   w.end_object();

@@ -104,6 +104,13 @@ class JsonWriter;
 /// embedded in the CLI's --stats-json output.
 void write_metrics_json(JsonWriter& w, const MetricsSnapshot& s);
 
+/// Test hook: force the cycles→ns factor used by the JSON exporter for
+/// cycle-valued histograms (0 simulates an uncalibrated host, where the
+/// export falls back to raw cycles with "calibrated": false).  Any negative
+/// value restores the tsc_hz()-derived default.  Not thread-safe; call only
+/// from single-threaded test setup.
+void set_cycles_ns_factor_override_for_test(double factor);
+
 class Registry {
  public:
   static Registry& instance();

@@ -1,0 +1,124 @@
+#include "sfa/obs/profile/perf_counters.hpp"
+
+#include "sfa/obs/json.hpp"
+#include "sfa/obs/metrics.hpp"
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define SFA_HAVE_PERF_EVENTS 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstring>
+#else
+#define SFA_HAVE_PERF_EVENTS 0
+#endif
+
+namespace sfa::obs {
+
+#if SFA_HAVE_PERF_EVENTS
+
+namespace {
+
+// Three independent fds rather than one PERF_FORMAT_GROUP: groups are
+// incompatible with inherit=1, and inherit is what folds the pool workers
+// spawned inside the scope into the phase totals.
+int open_counter(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof attr);
+  attr.size = sizeof attr;
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.inherit = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // pid=0, cpu=-1: this process (plus inherited children), any CPU.
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0ul));
+}
+
+bool read_counter(int fd, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  if (::read(fd, &v, sizeof v) != static_cast<ssize_t>(sizeof v)) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+PerfCounterScope::PerfCounterScope(std::string phase)
+    : phase_(std::move(phase)) {
+  fds_[0] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES);
+  fds_[1] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS);
+  fds_[2] = open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  for (int fd : fds_) {
+    if (fd < 0) continue;  // EPERM/ENOSYS: that counter stays not-ok
+    ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+PerfCounterValues PerfCounterScope::stop() {
+  if (stopped_) return values_;
+  stopped_ = true;
+  bool ok[3] = {false, false, false};
+  std::uint64_t v[3] = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) {
+    if (fds_[i] < 0) continue;
+    ::ioctl(fds_[i], PERF_EVENT_IOC_DISABLE, 0);
+    ok[i] = read_counter(fds_[i], v[i]);
+    ::close(fds_[i]);
+    fds_[i] = -1;
+  }
+  values_.cycles_ok = ok[0];
+  values_.cycles = v[0];
+  values_.instructions_ok = ok[1];
+  values_.instructions = v[1];
+  values_.cache_misses_ok = ok[2];
+  values_.cache_misses = v[2];
+  values_.available = ok[0] || ok[1] || ok[2];
+  auto& reg = Registry::instance();
+  const std::string prefix = "sfa.prof." + phase_ + ".";
+  if (ok[0]) reg.counter(prefix + "cycles").inc(v[0]);
+  if (ok[1]) reg.counter(prefix + "instructions").inc(v[1]);
+  if (ok[2]) reg.counter(prefix + "cache_misses").inc(v[2]);
+  return values_;
+}
+
+bool PerfCounterScope::compiled_in() { return true; }
+
+#else  // !SFA_HAVE_PERF_EVENTS
+
+PerfCounterScope::PerfCounterScope(std::string phase)
+    : phase_(std::move(phase)) {}
+
+PerfCounterValues PerfCounterScope::stop() {
+  stopped_ = true;
+  return values_;  // all-false defaults: nothing available
+}
+
+bool PerfCounterScope::compiled_in() { return false; }
+
+#endif  // SFA_HAVE_PERF_EVENTS
+
+PerfCounterScope::~PerfCounterScope() {
+  try {
+    stop();
+  } catch (...) {
+    // Registry::counter can throw on a name/kind clash; never from a dtor.
+  }
+}
+
+void write_perf_counters_json(JsonWriter& w, const PerfCounterValues& v) {
+  w.begin_object();
+  w.kv("available", v.available);
+  if (v.cycles_ok) w.kv("cycles", v.cycles);
+  if (v.instructions_ok) w.kv("instructions", v.instructions);
+  if (v.cache_misses_ok) w.kv("cache_misses", v.cache_misses);
+  if (v.cycles_ok && v.instructions_ok) w.kv("ipc", v.ipc());
+  w.end_object();
+}
+
+}  // namespace sfa::obs

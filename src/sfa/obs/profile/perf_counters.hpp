@@ -1,0 +1,75 @@
+// Hardware perf-counter scopes (observability / profiler subsystem).
+//
+// PerfCounterScope attaches Linux perf_event_open counters — CPU cycles,
+// retired instructions, LLC misses — to a named phase ("build", "match").
+// The scope opens the counters inherit=1 so work farmed out to pool workers
+// spawned inside the scope is folded into the totals, reads them on stop(),
+// and publishes the values both as the return struct (for --stats-json) and
+// as sfa.prof.<phase>.* registry counters.
+//
+// Everything degrades gracefully: on non-Linux builds the scope compiles to
+// a no-op (compiled_in() == false); on Linux where perf_event_open is
+// denied (EPERM under perf_event_paranoid, ENOSYS in minimal containers,
+// seccomp in CI sandboxes) each counter independently reports not-ok and
+// `available` stays false.  Callers never need to branch on platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfa::obs {
+
+class JsonWriter;
+
+/// Values read from one PerfCounterScope.  Each counter carries its own
+/// ok-flag: the kernel may grant cycles but not cache-misses (or nothing at
+/// all), and a partially-populated reading is still worth exporting.
+struct PerfCounterValues {
+  bool available = false;  // at least one counter was read successfully
+  bool cycles_ok = false;
+  bool instructions_ok = false;
+  bool cache_misses_ok = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cache_misses = 0;
+
+  /// Instructions per cycle; 0 unless both counters were read.
+  double ipc() const {
+    if (!cycles_ok || !instructions_ok || cycles == 0) return 0.0;
+    return static_cast<double>(instructions) / static_cast<double>(cycles);
+  }
+};
+
+/// RAII perf-counter group for one named phase.  Construct before the work,
+/// call stop() after it (idempotent — the destructor stops too, so early
+/// returns still close the fds); stop() returns the readings and bumps the
+/// sfa.prof.<phase>.{cycles,instructions,cache_misses} counters for any
+/// counter the kernel granted.
+class PerfCounterScope {
+ public:
+  explicit PerfCounterScope(std::string phase);
+  ~PerfCounterScope();
+  PerfCounterScope(const PerfCounterScope&) = delete;
+  PerfCounterScope& operator=(const PerfCounterScope&) = delete;
+
+  /// Disable + read + close the counters (first call); later calls return
+  /// the same values without touching the (already closed) fds.
+  PerfCounterValues stop();
+
+  /// True when this build has the perf_event_open path compiled in (Linux
+  /// with kernel headers).  Runtime availability is still per-scope: check
+  /// PerfCounterValues::available.
+  static bool compiled_in();
+
+ private:
+  std::string phase_;
+  int fds_[3] = {-1, -1, -1};  // cycles, instructions, cache-misses
+  bool stopped_ = false;
+  PerfCounterValues values_;
+};
+
+/// Write the "perf_counters" stats-JSON object: `available`, each granted
+/// counter, and `ipc` when both inputs were read.
+void write_perf_counters_json(JsonWriter& w, const PerfCounterValues& v);
+
+}  // namespace sfa::obs

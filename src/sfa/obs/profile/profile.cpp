@@ -1,0 +1,215 @@
+#include "sfa/obs/profile/profile.hpp"
+
+#include <algorithm>
+
+#include "sfa/obs/json.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa::obs {
+
+namespace {
+
+struct Annotation {
+  unsigned engine = kProfileOtherEngine;
+  std::uint64_t bytes = 0;
+};
+thread_local Annotation t_annotation;
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+const char* profile_engine_name(unsigned engine_slot) {
+  switch (engine_slot) {
+    case 0: return "direct";
+    case 1: return "eager";
+    case 2: return "lazy";
+    case 3: return "speculative";
+    case 4: return "narrowed";
+    default: return "other";
+  }
+}
+
+ExecutionProfiler& ExecutionProfiler::instance() {
+  // Leaked, like the metrics Registry: usable during static destructors.
+  static ExecutionProfiler* p = new ExecutionProfiler();
+  return *p;
+}
+
+void ExecutionProfiler::record_chunk(unsigned slot, unsigned chunk,
+                                     std::uint64_t cycles, std::uint64_t bytes,
+                                     unsigned engine_id) {
+  if (slot > kProfileInlineSlot) slot = kProfileMaxWorkers - 1;
+  const unsigned engine =
+      engine_id < kProfileEngineSlots - 1 ? engine_id : kProfileOtherEngine;
+  Slot& s = slots_[slot];
+  s.chunks.fetch_add(1, std::memory_order_relaxed);
+  s.cycles.fetch_add(cycles, std::memory_order_relaxed);
+  s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  atomic_max(s.max_cycles, cycles);
+  s.engines[engine].fetch_add(1, std::memory_order_relaxed);
+
+  if (cycles == 0) return;  // no TSC on this platform: nothing to rank
+  if (top_filled_.load(std::memory_order_relaxed) == kProfileTopChunks &&
+      cycles <= top_min_.load(std::memory_order_relaxed))
+    return;  // cannot displace anything — fast path for the common chunk
+  if (top_lock_.test_and_set(std::memory_order_acquire)) return;  // contended
+  unsigned victim = 0;
+  unsigned filled = 0;
+  for (unsigned i = 0; i < kProfileTopChunks; ++i) {
+    if (top_[i].cycles != 0) ++filled;
+    if (top_[i].cycles < top_[victim].cycles) victim = i;
+  }
+  if (cycles > top_[victim].cycles || top_[victim].cycles == 0) {
+    if (top_[victim].cycles == 0) ++filled;
+    top_[victim] = TopEntry{cycles, bytes, chunk, slot, engine};
+    std::uint64_t new_min = ~0ull;
+    for (const TopEntry& e : top_) new_min = std::min(new_min, e.cycles);
+    top_min_.store(new_min, std::memory_order_relaxed);
+    top_filled_.store(filled, std::memory_order_relaxed);
+  }
+  top_lock_.clear(std::memory_order_release);
+}
+
+void ExecutionProfiler::reset() {
+  for (Slot& s : slots_) {
+    s.chunks.store(0, std::memory_order_relaxed);
+    s.cycles.store(0, std::memory_order_relaxed);
+    s.bytes.store(0, std::memory_order_relaxed);
+    s.max_cycles.store(0, std::memory_order_relaxed);
+    for (auto& e : s.engines) e.store(0, std::memory_order_relaxed);
+  }
+  while (top_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  top_.fill(TopEntry{});
+  top_min_.store(0, std::memory_order_relaxed);
+  top_filled_.store(0, std::memory_order_relaxed);
+  top_lock_.clear(std::memory_order_release);
+}
+
+ProfileSnapshot ExecutionProfiler::snapshot() const {
+  ProfileSnapshot out;
+  for (unsigned i = 0; i <= kProfileMaxWorkers; ++i) {
+    const Slot& s = slots_[i];
+    const std::uint64_t chunks = s.chunks.load(std::memory_order_relaxed);
+    if (chunks == 0) continue;
+    ProfileWorker w;
+    w.slot = i;
+    w.inline_slot = i == kProfileInlineSlot;
+    w.chunks = chunks;
+    w.cycles = s.cycles.load(std::memory_order_relaxed);
+    w.bytes = s.bytes.load(std::memory_order_relaxed);
+    w.max_chunk_cycles = s.max_cycles.load(std::memory_order_relaxed);
+    for (unsigned e = 0; e < kProfileEngineSlots; ++e)
+      w.engine_chunks[e] = s.engines[e].load(std::memory_order_relaxed);
+    out.chunks += w.chunks;
+    out.cycles += w.cycles;
+    out.bytes += w.bytes;
+    out.max_chunk_cycles = std::max(out.max_chunk_cycles, w.max_chunk_cycles);
+    out.critical_path_cycles = std::max(out.critical_path_cycles, w.cycles);
+    out.workers.push_back(std::move(w));
+  }
+  while (top_lock_.test_and_set(std::memory_order_acquire)) {
+  }
+  for (const TopEntry& e : top_) {
+    if (e.cycles == 0) continue;
+    out.top_chunks.push_back(
+        ProfileChunk{e.cycles, e.bytes, e.chunk, e.worker, e.engine});
+  }
+  top_lock_.clear(std::memory_order_release);
+  std::sort(out.top_chunks.begin(), out.top_chunks.end(),
+            [](const ProfileChunk& a, const ProfileChunk& b) {
+              return a.cycles > b.cycles;
+            });
+  return out;
+}
+
+void annotate_profile_chunk(unsigned engine_id, std::uint64_t bytes) {
+  t_annotation.engine = engine_id;
+  t_annotation.bytes = bytes;
+}
+
+ChunkProfileScope::ChunkProfileScope(unsigned chunk, unsigned worker_slot)
+    : chunk_(chunk), slot_(worker_slot) {
+  t_annotation = Annotation{};  // stale annotations must not leak across chunks
+  start_ = ::sfa::read_tsc();
+}
+
+ChunkProfileScope::~ChunkProfileScope() {
+  const std::uint64_t end = ::sfa::read_tsc();
+  const std::uint64_t cycles = end >= start_ ? end - start_ : 0;
+  ExecutionProfiler::instance().record_chunk(slot_, chunk_, cycles,
+                                             t_annotation.bytes,
+                                             t_annotation.engine);
+}
+
+void write_profile_json(JsonWriter& w, const ProfileSnapshot& s,
+                        double wall_seconds) {
+  const double hz = ::sfa::tsc_hz();
+  const bool calibrated = hz > 0.0;
+  w.begin_object();
+  w.kv("schema", "sfa-profile/1");
+  w.kv("calibrated", calibrated);
+  w.kv("tsc_hz", hz);
+  w.kv("wall_seconds", wall_seconds);
+  w.kv("chunks", s.chunks);
+  w.kv("bytes", s.bytes);
+  w.kv("total_work_cycles", s.cycles);
+  w.kv("critical_path_cycles", s.critical_path_cycles);
+  w.kv("max_chunk_cycles", s.max_chunk_cycles);
+  w.kv("mean_chunk_cycles", s.mean_chunk_cycles());
+  w.kv("imbalance_factor", s.imbalance_factor());
+  w.kv("parallel_efficiency", s.parallel_efficiency());
+  if (calibrated) {
+    w.kv("total_work_seconds", static_cast<double>(s.cycles) / hz);
+    w.kv("critical_path_seconds",
+         static_cast<double>(s.critical_path_cycles) / hz);
+  }
+  w.key("workers").begin_array();
+  for (const ProfileWorker& p : s.workers) {
+    w.begin_object();
+    if (p.inline_slot)
+      w.kv("worker", "inline");
+    else
+      w.kv("worker", p.slot);
+    w.kv("chunks", p.chunks);
+    w.kv("cycles", p.cycles);
+    w.kv("bytes", p.bytes);
+    w.kv("max_chunk_cycles", p.max_chunk_cycles);
+    if (calibrated) {
+      const double busy = static_cast<double>(p.cycles) / hz;
+      w.kv("busy_seconds", busy);
+      if (wall_seconds > 0.0) w.kv("utilization", busy / wall_seconds);
+    }
+    w.key("engines").begin_object();
+    for (unsigned e = 0; e < kProfileEngineSlots; ++e)
+      if (p.engine_chunks[e] != 0)
+        w.kv(profile_engine_name(e), p.engine_chunks[e]);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.key("top_chunks").begin_array();
+  for (const ProfileChunk& c : s.top_chunks) {
+    w.begin_object();
+    w.kv("chunk", c.chunk);
+    if (c.worker == kProfileInlineSlot)
+      w.kv("worker", "inline");
+    else
+      w.kv("worker", c.worker);
+    w.kv("engine", profile_engine_name(c.engine));
+    w.kv("cycles", c.cycles);
+    w.kv("bytes", c.bytes);
+    if (calibrated) w.kv("seconds", static_cast<double>(c.cycles) / hz);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace sfa::obs

@@ -1,0 +1,174 @@
+// Execution profiler — always-on per-chunk attribution for the matching
+// substrate (docs/OBSERVABILITY.md).
+//
+// Striped per-worker accumulators updated with relaxed atomics on every
+// chunk an Executor runs: service time in TSC cycles, bytes scanned, and
+// the ScanEngine that produced the chunk.  No trace dependency — this works
+// in default (SFA_TRACE=OFF) builds and costs two TSC reads plus a handful
+// of relaxed stores per chunk, so it stays on in production.  The snapshot
+// derives the imbalance facts the ROADMAP's adaptive-chunking work needs:
+// per-worker utilization, imbalance factor (max/mean chunk time), critical
+// path vs total work, and the top-k slowest chunks with engine attribution.
+// Exported as the additive `profile` section (schema sfa-profile/1) of
+// sfa-match-stats/1.
+//
+// Plumbing: the Executors wrap every chunk body in a ChunkProfileScope
+// (which times the chunk and knows the worker slot); the chunk body itself
+// calls annotate_profile_chunk() to attach the engine id and byte count the
+// executor cannot see.  Layering holds — sfa/concurrent stays obs-free; the
+// scope lives in scan/executor.cpp like the rest of the obs glue.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace sfa::obs {
+
+class JsonWriter;
+
+/// Accumulator slots: one per pool worker (workers past the cap fold into
+/// the last slot), plus one shared slot for chunks the caller ran inline.
+inline constexpr unsigned kProfileMaxWorkers = 128;
+inline constexpr unsigned kProfileInlineSlot = kProfileMaxWorkers;
+/// Engine attribution slots: EngineId 0..4 plus "other" for unannotated
+/// chunk bodies.
+inline constexpr unsigned kProfileEngineSlots = 6;
+inline constexpr unsigned kProfileOtherEngine = kProfileEngineSlots - 1;
+/// Top-k slowest-chunk records kept per profiling window.
+inline constexpr unsigned kProfileTopChunks = 8;
+
+/// Human-readable name of an engine slot ("direct", "eager", "lazy",
+/// "speculative", "narrowed", "other").
+const char* profile_engine_name(unsigned engine_slot);
+
+/// One worker's accumulated chunk attribution (snapshot form).
+struct ProfileWorker {
+  unsigned slot = 0;
+  bool inline_slot = false;  // chunks the caller thread ran inline
+  std::uint64_t chunks = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_chunk_cycles = 0;
+  std::array<std::uint64_t, kProfileEngineSlots> engine_chunks{};
+};
+
+/// One of the slowest chunks observed, with full attribution.
+struct ProfileChunk {
+  std::uint64_t cycles = 0;
+  std::uint64_t bytes = 0;
+  unsigned chunk = 0;
+  unsigned worker = 0;  // slot index; kProfileInlineSlot when inline
+  unsigned engine = kProfileOtherEngine;
+};
+
+struct ProfileSnapshot {
+  std::vector<ProfileWorker> workers;     // slots that ran >= 1 chunk
+  std::vector<ProfileChunk> top_chunks;   // slowest first
+  std::uint64_t chunks = 0;
+  std::uint64_t cycles = 0;               // total work
+  std::uint64_t bytes = 0;
+  std::uint64_t max_chunk_cycles = 0;
+  std::uint64_t critical_path_cycles = 0;  // busiest single worker
+
+  double mean_chunk_cycles() const {
+    return chunks == 0 ? 0.0
+                       : static_cast<double>(cycles) /
+                             static_cast<double>(chunks);
+  }
+  /// Slowest chunk over the mean chunk: 1.0 is perfectly even service
+  /// times; large values mean one chunk dominated the dispatch.
+  double imbalance_factor() const {
+    const double mean = mean_chunk_cycles();
+    return mean <= 0.0 ? 0.0
+                       : static_cast<double>(max_chunk_cycles) / mean;
+  }
+  /// Total work over (critical path x participating workers): 1.0 means
+  /// every worker was busy the whole dispatch.
+  double parallel_efficiency() const {
+    if (critical_path_cycles == 0 || workers.empty()) return 0.0;
+    return static_cast<double>(cycles) /
+           (static_cast<double>(critical_path_cycles) *
+            static_cast<double>(workers.size()));
+  }
+};
+
+class ExecutionProfiler {
+ public:
+  static ExecutionProfiler& instance();
+
+  /// Fold one chunk into the accumulators.  `slot` is the worker slot
+  /// (kProfileInlineSlot for caller-inline execution); `engine_id` is a
+  /// scan::EngineId value, anything out of range counts as "other".
+  /// Relaxed atomics only; safe from any thread.
+  void record_chunk(unsigned slot, unsigned chunk, std::uint64_t cycles,
+                    std::uint64_t bytes, unsigned engine_id);
+
+  /// Zero every accumulator (the CLI resets before a timed run so the
+  /// exported snapshot covers exactly that run).
+  void reset();
+
+  ProfileSnapshot snapshot() const;
+
+ private:
+  ExecutionProfiler() = default;
+
+  struct alignas(64) Slot {
+    // Non-inline slots are single-writer (stripe-bound dispatch: worker w
+    // only ever writes slot w); the inline slot is shared by caller
+    // threads, hence atomics everywhere.
+    std::atomic<std::uint64_t> chunks{0};
+    std::atomic<std::uint64_t> cycles{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> max_cycles{0};
+    std::array<std::atomic<std::uint64_t>, kProfileEngineSlots> engines{};
+  };
+
+  struct TopEntry {
+    std::uint64_t cycles = 0;
+    std::uint64_t bytes = 0;
+    unsigned chunk = 0;
+    unsigned worker = 0;
+    unsigned engine = kProfileOtherEngine;
+  };
+
+  std::array<Slot, kProfileMaxWorkers + 1> slots_{};
+  // Top-k under a try-lock: a contended record skips the (approximate)
+  // top-k update rather than stall the chunk — the accumulators above stay
+  // exact either way.  top_min_ is the fast reject.
+  std::array<TopEntry, kProfileTopChunks> top_{};
+  std::atomic<std::uint64_t> top_min_{0};
+  std::atomic<unsigned> top_filled_{0};
+  mutable std::atomic_flag top_lock_ = ATOMIC_FLAG_INIT;
+};
+
+/// Called from inside a chunk body to attribute the chunk being timed by
+/// the enclosing ChunkProfileScope (thread-local; consumed and cleared by
+/// the scope).  Unannotated chunks count as engine "other" with 0 bytes.
+void annotate_profile_chunk(unsigned engine_id, std::uint64_t bytes);
+
+/// RAII chunk timer the Executors wrap around every chunk body.  Reads the
+/// TSC on entry/exit and folds the chunk plus its thread-local annotation
+/// into the ExecutionProfiler on destruction.
+class ChunkProfileScope {
+ public:
+  ChunkProfileScope(unsigned chunk, unsigned worker_slot);
+  ~ChunkProfileScope();
+  ChunkProfileScope(const ChunkProfileScope&) = delete;
+  ChunkProfileScope& operator=(const ChunkProfileScope&) = delete;
+
+ private:
+  unsigned chunk_;
+  unsigned slot_;
+  std::uint64_t start_;
+};
+
+/// Write the sfa-profile/1 section: worker utilization (against
+/// `wall_seconds`, the run's wall-clock), imbalance factor, critical path
+/// vs total work, and the top-k slowest chunks.  Cycle fields are always
+/// emitted; seconds-valued fields only when tsc_hz() calibrated.
+void write_profile_json(JsonWriter& w, const ProfileSnapshot& s,
+                        double wall_seconds);
+
+}  // namespace sfa::obs

@@ -1,0 +1,212 @@
+#include "sfa/obs/profile/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "sfa/obs/json_parse.hpp"
+
+namespace sfa::obs {
+
+namespace {
+
+struct Interval {
+  double begin;
+  double end;
+};
+
+/// Measure of the union of intervals (spans nest, so a plain sum would
+/// double-count the enclosing span's time).
+double union_us(std::vector<Interval>& ivs) {
+  std::sort(ivs.begin(), ivs.end(), [](const Interval& a, const Interval& b) {
+    return a.begin < b.begin;
+  });
+  double total = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  for (const Interval& iv : ivs) {
+    if (iv.begin > cur_end) {
+      if (cur_end > cur_begin) total += cur_end - cur_begin;
+      cur_begin = iv.begin;
+      cur_end = iv.end;
+    } else {
+      cur_end = std::max(cur_end, iv.end);
+    }
+  }
+  if (cur_end > cur_begin) total += cur_end - cur_begin;
+  return total;
+}
+
+std::string fmt(double v, int prec = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+}  // namespace
+
+double TraceProfileReport::parallel_efficiency() const {
+  if (wall_us <= 0.0 || worker_tracks == 0) return 0.0;
+  double busy = 0.0;
+  for (const WorkerRow& w : workers)
+    if (w.worker_track) busy += w.busy_us;
+  return busy / (wall_us * static_cast<double>(worker_tracks));
+}
+
+TraceProfileReport analyze_trace_json(const std::string& json) {
+  TraceProfileReport rep;
+
+  // Validate first: `sfa profile` refuses the traces sfa_trace_check would
+  // refuse, so the two tools never disagree about what a good trace is.
+  const TraceCheckResult check = check_trace_json(json);
+  if (!check.ok) {
+    rep.error = check.error;
+    return rep;
+  }
+  rep.events = check.events;
+  rep.spans = check.spans;
+  rep.threads = check.threads;
+  rep.match_chunk_spans = check.match_chunk_spans;
+  rep.chunk_spans_by_engine = check.match_chunk_spans_by_engine;
+
+  JsonValue root;
+  std::string error;
+  if (!parse_json(json, root, error)) {
+    rep.error = error;  // unreachable after a passing check, but be safe
+    return rep;
+  }
+  const JsonValue* events =
+      root.is_array() ? &root : root.get("traceEvents");
+
+  struct Thread {
+    std::string name;
+    std::size_t spans = 0;
+    bool worker_track = false;
+    std::vector<Interval> intervals;
+  };
+  std::map<double, Thread> threads;
+  std::map<std::string, PhaseRow> phases;
+  double min_ts = std::numeric_limits<double>::infinity();
+  double max_done = -std::numeric_limits<double>::infinity();
+
+  for (const JsonValue& ev : *events->arr) {
+    const std::string ph = ev.string_or("ph", "");
+    const std::string name = ev.string_or("name", "");
+    const double tid = ev.number_or("tid", 0);
+    if (ph == "M") {
+      const JsonValue* args = ev.get("args");
+      if (name == "thread_name" && args != nullptr)
+        threads[tid].name = args->string_or("name", "");
+      continue;
+    }
+    if (ph == "i" || ph == "I") {
+      if (name.find("steal") != std::string::npos) ++rep.steal_instants;
+      continue;
+    }
+    if (ph != "X") continue;
+
+    const double ts = ev.number_or("ts", 0);
+    const double dur = ev.number_or("dur", 0);
+    const std::string cat = ev.string_or("cat", "");
+    min_ts = std::min(min_ts, ts);
+    max_done = std::max(max_done, ts + dur);
+
+    Thread& th = threads[tid];
+    ++th.spans;
+    th.intervals.push_back({ts, ts + dur});
+    if (cat == "build" ||
+        (cat == "match" && name.rfind("chunk-", 0) == 0))
+      th.worker_track = true;
+
+    PhaseRow& row = phases[cat.empty() ? name : cat + "/" + name];
+    ++row.count;
+    row.total_us += dur;
+  }
+
+  if (max_done > min_ts) rep.wall_us = max_done - min_ts;
+
+  for (auto& [key, row] : phases) {
+    row.key = key;
+    rep.phases.push_back(std::move(row));
+  }
+  std::sort(rep.phases.begin(), rep.phases.end(),
+            [](const PhaseRow& a, const PhaseRow& b) {
+              return a.total_us > b.total_us;
+            });
+
+  for (auto& [tid, th] : threads) {
+    WorkerRow row;
+    row.tid = tid;
+    row.name = th.name;
+    row.spans = th.spans;
+    row.busy_us = union_us(th.intervals);
+    row.worker_track = th.worker_track;
+    if (row.worker_track) ++rep.worker_tracks;
+    rep.workers.push_back(std::move(row));
+  }
+
+  rep.ok = true;
+  return rep;
+}
+
+TraceProfileReport analyze_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceProfileReport rep;
+    rep.error = "cannot open: " + path;
+    return rep;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return analyze_trace_json(os.str());
+}
+
+std::string format_trace_profile(const TraceProfileReport& rep) {
+  std::ostringstream os;
+  if (!rep.ok) {
+    os << "trace profile: INVALID TRACE: " << rep.error << "\n";
+    return os.str();
+  }
+  os << "trace profile: " << rep.events << " events, " << rep.spans
+     << " spans, " << rep.threads << " threads, " << rep.worker_tracks
+     << " worker tracks\n";
+  os << "wall time: " << fmt(rep.wall_us / 1000.0) << " ms\n";
+
+  os << "\nphase breakdown (span time, all threads):\n";
+  double phase_total = 0.0;
+  for (const PhaseRow& p : rep.phases) phase_total += p.total_us;
+  for (const PhaseRow& p : rep.phases) {
+    const double share =
+        phase_total > 0.0 ? 100.0 * p.total_us / phase_total : 0.0;
+    os << "  " << p.key << "  x" << p.count << "  "
+       << fmt(p.total_us / 1000.0) << " ms  (" << fmt(share, 1) << "%)\n";
+  }
+
+  os << "\nworker timeline:\n";
+  for (const WorkerRow& w : rep.workers) {
+    const double util =
+        rep.wall_us > 0.0 ? 100.0 * w.busy_us / rep.wall_us : 0.0;
+    os << "  tid " << fmt(w.tid, 0);
+    if (!w.name.empty()) os << " (" << w.name << ")";
+    os << ": " << w.spans << " spans, busy " << fmt(w.busy_us / 1000.0)
+       << " ms (" << fmt(util, 1) << "% of wall)"
+       << (w.worker_track ? " [worker]" : "") << "\n";
+  }
+
+  if (rep.match_chunk_spans > 0) {
+    os << "\nmatch chunks: " << rep.match_chunk_spans << " spans by engine:";
+    for (std::size_t e = 0; e < rep.chunk_spans_by_engine.size(); ++e)
+      if (rep.chunk_spans_by_engine[e] != 0)
+        os << " engine" << e << "=" << rep.chunk_spans_by_engine[e];
+    os << "\n";
+  }
+  os << "steal instants: " << rep.steal_instants << "\n";
+  os << "parallel efficiency (worker tracks): "
+     << fmt(rep.parallel_efficiency(), 3) << "\n";
+  return os.str();
+}
+
+}  // namespace sfa::obs

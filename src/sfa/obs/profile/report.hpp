@@ -1,0 +1,72 @@
+// Trace-profile report builder: the analysis behind the `sfa profile`
+// subcommand.  Consumes a Chrome-tracing JSON file produced with --trace,
+// validates it through trace_check (same semantics the CI trace job
+// enforces), and derives the human-facing breakdown: per-phase wall time,
+// a per-worker timeline/utilization table, steal counts, and parallel
+// efficiency across the worker tracks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfa/obs/trace_check.hpp"
+
+namespace sfa::obs {
+
+/// One aggregated span kind ("<category>/<name>"), summed over all threads.
+struct PhaseRow {
+  std::string key;
+  std::size_t count = 0;
+  double total_us = 0.0;
+};
+
+/// One thread's timeline summary.  busy_us is the measure of the union of
+/// the thread's span intervals (nested spans are not double-counted).
+struct WorkerRow {
+  double tid = 0.0;
+  std::string name;  // from thread_name metadata, may be empty
+  std::size_t spans = 0;
+  double busy_us = 0.0;
+  /// True when the thread did substrate work: a "build"-category span or a
+  /// "match"-category chunk span.
+  bool worker_track = false;
+};
+
+struct TraceProfileReport {
+  bool ok = false;
+  std::string error;  // validation or I/O failure, empty when ok
+
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  std::size_t threads = 0;
+  std::size_t worker_tracks = 0;  // rows with worker_track == true
+  std::size_t steal_instants = 0;
+  std::size_t match_chunk_spans = 0;
+  std::array<std::size_t, TraceCheckResult::kEngineIds>
+      chunk_spans_by_engine{};
+
+  double wall_us = 0.0;  // max(ts+dur) - min(ts) over all spans
+
+  std::vector<PhaseRow> phases;    // sorted by total_us descending
+  std::vector<WorkerRow> workers;  // sorted by tid
+
+  /// Sum of worker-track busy time over (wall x worker tracks); 0 when the
+  /// trace has no worker tracks or no wall time.
+  double parallel_efficiency() const;
+};
+
+/// Analyze a trace document.  The document is first validated with
+/// check_trace_json; a trace that fails validation yields ok=false and the
+/// validator's error, never a partial report.
+TraceProfileReport analyze_trace_json(const std::string& json);
+
+/// Analyze a trace file.  I/O errors are reported via ok/error.
+TraceProfileReport analyze_trace_file(const std::string& path);
+
+/// Render the report the way `sfa profile` prints it: summary line, phase
+/// breakdown, worker timeline, steal/imbalance summary, efficiency.
+std::string format_trace_profile(const TraceProfileReport& rep);
+
+}  // namespace sfa::obs

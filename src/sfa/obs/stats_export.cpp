@@ -2,14 +2,19 @@
 
 #include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "sfa/obs/json.hpp"
 #include "sfa/obs/metrics.hpp"
+#include "sfa/obs/profile/profile.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/timer.hpp"
 
 namespace sfa::obs {
 
 void write_build_stats_json(std::ostream& os, const BuildStats& stats,
-                            const std::string& method, bool include_metrics) {
+                            const std::string& method, bool include_metrics,
+                            const PerfCounterValues* perf) {
   JsonWriter w(os);
   w.begin_object();
   w.kv("schema", "sfa-build-stats/1");
@@ -40,6 +45,10 @@ void write_build_stats_json(std::ostream& os, const BuildStats& stats,
   w.end_object();
   w.kv("peak_frontier_bytes", stats.peak_frontier_bytes);
   w.kv("delta_reallocations", stats.delta_reallocations);
+  if (perf != nullptr && perf->available) {
+    w.key("perf_counters");
+    write_perf_counters_json(w, *perf);
+  }
   if (include_metrics) {
     w.key("metrics");
     write_metrics_json(w, Registry::instance().snapshot());
@@ -71,6 +80,15 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
   w.kv("pool_workers", std::uint64_t{info.pool_workers});
   w.kv("pool_dispatches", info.pool_dispatches);
   w.kv("pool_wakeups", info.pool_wakeups);
+  if (info.profile) {
+    w.key("profile");
+    write_profile_json(w, ExecutionProfiler::instance().snapshot(),
+                       info.seconds);
+  }
+  if (info.perf.available) {
+    w.key("perf_counters");
+    write_perf_counters_json(w, info.perf);
+  }
   if (include_metrics) {
     w.key("metrics");
     write_metrics_json(w, Registry::instance().snapshot());
@@ -79,12 +97,39 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
   os << '\n';
 }
 
+void write_host_info_json(JsonWriter& w) {
+  const CpuFeatures& f = ::sfa::cpu_features();
+  std::ostringstream simd;
+  if (f.sse2) simd << "sse2 ";
+  if (f.sse41) simd << "sse4.1 ";
+  if (f.sse42) simd << "sse4.2 ";
+  if (f.avx) simd << "avx ";
+  if (f.avx2) simd << "avx2 ";
+  if (f.pclmulqdq) simd << "pclmulqdq ";
+  if (f.bmi2) simd << "bmi2 ";
+  std::string simd_str = simd.str();
+  if (!simd_str.empty()) simd_str.pop_back();
+
+  w.begin_object();
+  w.kv("cpu", ::sfa::cpu_model_name());
+  w.kv("hardware_threads", std::uint64_t{::sfa::hardware_threads()});
+  w.kv("cache_line_bytes", std::uint64_t{::sfa::cache_line_size()});
+  w.kv("memory_bytes", ::sfa::total_memory_bytes());
+  w.kv("tsc_hz", ::sfa::tsc_hz());
+  w.kv("compiler", ::sfa::compiler_version());
+  w.kv("simd", simd_str);
+  const std::string governor = ::sfa::cpu_governor();
+  if (!governor.empty()) w.kv("governor", governor);
+  w.end_object();
+}
+
 bool write_build_stats_json_file(const std::string& path,
                                  const BuildStats& stats,
-                                 const std::string& method) {
+                                 const std::string& method,
+                                 const PerfCounterValues* perf) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) return false;
-  write_build_stats_json(os, stats, method);
+  write_build_stats_json(os, stats, method, true, perf);
   os.flush();
   return static_cast<bool>(os);
 }

@@ -10,8 +10,11 @@
 #include <string>
 
 #include "sfa/core/sfa.hpp"
+#include "sfa/obs/profile/perf_counters.hpp"
 
 namespace sfa::obs {
+
+class JsonWriter;
 
 struct MatchRunInfo {
   std::string command;     // "match"
@@ -42,22 +45,38 @@ struct MatchRunInfo {
   unsigned pool_workers = 0;
   std::uint64_t pool_dispatches = 0;
   std::uint64_t pool_wakeups = 0;
+  /// Emit the ExecutionProfiler's sfa-profile/1 snapshot as the additive
+  /// `profile` object (the CLI resets the profiler before the timed run so
+  /// the section covers exactly this run).
+  bool profile = false;
+  /// Hardware counters for the run's phase; emitted as the additive
+  /// `perf_counters` object only when `perf.available`.
+  PerfCounterValues perf;
 };
 
 /// sfa-build-stats/1.  `method` is build_method_name(...); pass
 /// include_metrics=false to omit the registry snapshot (stable unit tests).
+/// `perf`, when non-null and available, becomes the additive
+/// `perf_counters` object.
 void write_build_stats_json(std::ostream& os, const BuildStats& stats,
                             const std::string& method,
-                            bool include_metrics = true);
+                            bool include_metrics = true,
+                            const PerfCounterValues* perf = nullptr);
 
 /// sfa-match-stats/1.
 void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
                             bool include_metrics = true);
 
+/// Host metadata object shared by the bench reports' `host` block and
+/// `sfa info`: cpu model, hardware threads, cache line, memory, tsc_hz,
+/// compiler, SIMD features, cpufreq governor (when readable).
+void write_host_info_json(JsonWriter& w);
+
 /// Write either document to a file; returns false on I/O failure.
 bool write_build_stats_json_file(const std::string& path,
                                  const BuildStats& stats,
-                                 const std::string& method);
+                                 const std::string& method,
+                                 const PerfCounterValues* perf = nullptr);
 bool write_match_stats_json_file(const std::string& path,
                                  const MatchRunInfo& info);
 

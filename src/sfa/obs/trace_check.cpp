@@ -1,240 +1,20 @@
 #include "sfa/obs/trace_check.hpp"
 
 #include <algorithm>
-#include <cctype>
-#include <cstdlib>
 #include <fstream>
 #include <map>
-#include <memory>
 #include <sstream>
 #include <vector>
+
+#include "sfa/obs/json_parse.hpp"
 
 namespace sfa::obs {
 
 namespace {
 
-// ---- minimal JSON parser ---------------------------------------------------
-//
-// Covers the full JSON grammar minus \uXXXX surrogate pairs (escapes are
-// decoded byte-wise; non-ASCII passes through untouched).  Enough for trace
-// documents and kept here so the validator has no external dependency.
-
-struct JValue;
-using JArray = std::vector<JValue>;
-using JObject = std::map<std::string, JValue>;
-
-struct JValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool b = false;
-  double num = 0;
-  std::string str;
-  std::shared_ptr<JArray> arr;
-  std::shared_ptr<JObject> obj;
-
-  bool is_number() const { return kind == Kind::kNumber; }
-  bool is_string() const { return kind == Kind::kString; }
-  const JValue* get(const std::string& key) const {
-    if (kind != Kind::kObject) return nullptr;
-    const auto it = obj->find(key);
-    return it == obj->end() ? nullptr : &it->second;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& text) : s_(text) {}
-
-  bool parse(JValue& out, std::string& error) {
-    skip_ws();
-    if (!parse_value(out)) {
-      std::ostringstream os;
-      os << "JSON parse error at offset " << pos_ << ": " << error_;
-      error = os.str();
-      return false;
-    }
-    skip_ws();
-    if (pos_ != s_.size()) {
-      error = "trailing garbage after JSON document at offset " +
-              std::to_string(pos_);
-      return false;
-    }
-    return true;
-  }
-
- private:
-  bool fail(const char* msg) {
-    if (error_.empty()) error_ = msg;
-    return false;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r'))
-      ++pos_;
-  }
-
-  bool parse_value(JValue& out) {
-    if (pos_ >= s_.size()) return fail("unexpected end of input");
-    switch (s_[pos_]) {
-      case '{': return parse_object(out);
-      case '[': return parse_array(out);
-      case '"':
-        out.kind = JValue::Kind::kString;
-        return parse_string(out.str);
-      case 't':
-        if (s_.compare(pos_, 4, "true") != 0) return fail("bad literal");
-        pos_ += 4;
-        out.kind = JValue::Kind::kBool;
-        out.b = true;
-        return true;
-      case 'f':
-        if (s_.compare(pos_, 5, "false") != 0) return fail("bad literal");
-        pos_ += 5;
-        out.kind = JValue::Kind::kBool;
-        out.b = false;
-        return true;
-      case 'n':
-        if (s_.compare(pos_, 4, "null") != 0) return fail("bad literal");
-        pos_ += 4;
-        out.kind = JValue::Kind::kNull;
-        return true;
-      default: return parse_number(out);
-    }
-  }
-
-  bool parse_object(JValue& out) {
-    ++pos_;  // '{'
-    out.kind = JValue::Kind::kObject;
-    out.obj = std::make_shared<JObject>();
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != '"')
-        return fail("expected string key in object");
-      std::string key;
-      if (!parse_string(key)) return false;
-      skip_ws();
-      if (pos_ >= s_.size() || s_[pos_] != ':')
-        return fail("expected ':' in object");
-      ++pos_;
-      skip_ws();
-      JValue v;
-      if (!parse_value(v)) return false;
-      (*out.obj)[key] = std::move(v);
-      skip_ws();
-      if (pos_ >= s_.size()) return fail("unterminated object");
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or '}' in object");
-    }
-  }
-
-  bool parse_array(JValue& out) {
-    ++pos_;  // '['
-    out.kind = JValue::Kind::kArray;
-    out.arr = std::make_shared<JArray>();
-    skip_ws();
-    if (pos_ < s_.size() && s_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    for (;;) {
-      skip_ws();
-      JValue v;
-      if (!parse_value(v)) return false;
-      out.arr->push_back(std::move(v));
-      skip_ws();
-      if (pos_ >= s_.size()) return fail("unterminated array");
-      if (s_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (s_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return fail("expected ',' or ']' in array");
-    }
-  }
-
-  bool parse_string(std::string& out) {
-    ++pos_;  // '"'
-    out.clear();
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_++];
-      if (c == '"') return true;
-      if (static_cast<unsigned char>(c) < 0x20)
-        return fail("raw control character in string");
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= s_.size()) return fail("unterminated escape");
-      const char e = s_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = s_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else return fail("bad hex digit in \\u escape");
-          }
-          // Byte-wise decode (ASCII range only; enough for our producers).
-          if (code < 0x80) out.push_back(static_cast<char>(code));
-          else out.push_back('?');
-          break;
-        }
-        default: return fail("unknown escape character");
-      }
-    }
-    return fail("unterminated string");
-  }
-
-  bool parse_number(JValue& out) {
-    const std::size_t begin = pos_;
-    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
-    while (pos_ < s_.size() &&
-           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
-            s_[pos_] == '+' || s_[pos_] == '-'))
-      ++pos_;
-    if (pos_ == begin) return fail("expected a value");
-    char* end = nullptr;
-    const std::string tok = s_.substr(begin, pos_ - begin);
-    out.num = std::strtod(tok.c_str(), &end);
-    if (end == nullptr || *end != '\0') return fail("malformed number");
-    out.kind = JValue::Kind::kNumber;
-    return true;
-  }
-
-  const std::string& s_;
-  std::size_t pos_ = 0;
-  std::string error_;
-};
+// The JSON grammar lives in json_parse.{hpp,cpp} (shared with `sfa profile`
+// and sfa_bench_compare); this file owns only the trace semantics.
+using JValue = JsonValue;
 
 // ---- trace semantics -------------------------------------------------------
 
@@ -255,8 +35,7 @@ TraceCheckResult fail_result(std::string error) {
 TraceCheckResult check_trace_json(const std::string& json) {
   JValue root;
   std::string error;
-  Parser parser(json);
-  if (!parser.parse(root, error)) return fail_result(error);
+  if (!parse_json(json, root, error)) return fail_result(error);
 
   // Accept both the object wrapper and the bare-array form of the spec.
   const JValue* events = nullptr;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstring>
+#include <fstream>
 #include <sstream>
 #include <thread>
 
@@ -87,6 +88,28 @@ std::size_t cache_line_size() {
   if (sz > 0) return static_cast<std::size_t>(sz);
 #endif
   return 64;
+}
+
+std::string compiler_version() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string cpu_governor() {
+#if defined(__linux__)
+  std::ifstream in("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  if (in) {
+    std::string g;
+    std::getline(in, g);
+    return g;
+  }
+#endif
+  return {};
 }
 
 std::string platform_summary() {

@@ -36,6 +36,16 @@ std::uint64_t total_memory_bytes();
 /// Cache line size in bytes (64 if it cannot be determined).
 std::size_t cache_line_size();
 
+/// Compiler name + version this binary was built with ("clang 17.0.6",
+/// "gcc 13.2.0", or "unknown").
+std::string compiler_version();
+
+/// Current cpufreq governor of cpu0 ("performance", "powersave", ...);
+/// empty when sysfs is not readable (non-Linux, containers, VMs).  Bench
+/// results recorded under a non-performance governor are suspect, so the
+/// bench host metadata records it.
+std::string cpu_governor();
+
 /// Multi-line human-readable platform description (used by bench_table1).
 std::string platform_summary();
 

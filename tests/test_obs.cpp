@@ -371,6 +371,33 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos) << text;
 }
 
+// Cycle-valued histograms must stay useful on hosts where the TSC
+// calibration fails (tsc_hz() == 0): the derived block falls back to raw
+// cycles with an explicit calibrated=false instead of disappearing.
+TEST(Metrics, CyclesHistogramFallsBackToRawWhenUncalibrated) {
+  auto& reg = obs::Registry::instance();
+  reg.histogram("test.calib_cycles").record(1000);
+  obs::set_cycles_ns_factor_override_for_test(0.0);  // simulate a no-TSC host
+  const std::string json = reg.to_json();
+  obs::set_cycles_ns_factor_override_for_test(-1.0);
+  EXPECT_NE(json.find("\"calibrated\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unit\":\"cycles\""), std::string::npos) << json;
+  // Raw sum passes through unscaled.
+  EXPECT_NE(json.find("\"sum\":1000"), std::string::npos) << json;
+}
+
+TEST(Metrics, CyclesHistogramScalesWhenCalibrated) {
+  auto& reg = obs::Registry::instance();
+  reg.reset();
+  reg.histogram("test.calib_cycles").record(1000);
+  obs::set_cycles_ns_factor_override_for_test(2.0);  // 2 ns per cycle
+  const std::string json = reg.to_json();
+  obs::set_cycles_ns_factor_override_for_test(-1.0);
+  EXPECT_NE(json.find("\"calibrated\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"unit\":\"ns\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sum\":2000"), std::string::npos) << json;
+}
+
 // ---- stats export schemas --------------------------------------------------
 
 TEST(StatsExport, BuildStatsSchema) {

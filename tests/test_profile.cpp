@@ -1,0 +1,219 @@
+// Execution profiler (obs/profile): imbalance math on synthetic chunk
+// records, top-k retention, sfa-profile/1 schema round-trip through the
+// shared JSON parser, perf-counter fallback, and an 8-worker stress run
+// asserting per-worker attribution matches the executor's dispatch counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/obs/json_parse.hpp"
+#include "sfa/obs/profile/perf_counters.hpp"
+#include "sfa/obs/profile/profile.hpp"
+#include "sfa/obs/stats_export.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace {
+
+using namespace sfa;
+
+// ---- snapshot math ---------------------------------------------------------
+
+TEST(Profile, ImbalanceFactorOnSyntheticChunks) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  // Worker 0 serves two fast chunks, worker 1 a fast and a slow one.
+  prof.record_chunk(0, 0, 100, 10, 1);
+  prof.record_chunk(0, 1, 100, 10, 1);
+  prof.record_chunk(1, 2, 100, 10, 1);
+  prof.record_chunk(1, 3, 500, 10, 1);
+  const obs::ProfileSnapshot s = prof.snapshot();
+  EXPECT_EQ(s.chunks, 4u);
+  EXPECT_EQ(s.cycles, 800u);
+  EXPECT_EQ(s.bytes, 40u);
+  EXPECT_EQ(s.max_chunk_cycles, 500u);
+  EXPECT_DOUBLE_EQ(s.mean_chunk_cycles(), 200.0);
+  EXPECT_DOUBLE_EQ(s.imbalance_factor(), 2.5);
+  // Critical path is the busiest worker (100 + 500 on worker 1).
+  EXPECT_EQ(s.critical_path_cycles, 600u);
+  EXPECT_DOUBLE_EQ(s.parallel_efficiency(), 800.0 / (600.0 * 2.0));
+  ASSERT_EQ(s.workers.size(), 2u);
+  EXPECT_EQ(s.workers[0].slot, 0u);
+  EXPECT_EQ(s.workers[0].chunks, 2u);
+  EXPECT_EQ(s.workers[0].engine_chunks[1], 2u);
+  EXPECT_EQ(s.workers[1].cycles, 600u);
+  // The slowest chunk is fully attributed.
+  ASSERT_FALSE(s.top_chunks.empty());
+  EXPECT_EQ(s.top_chunks[0].cycles, 500u);
+  EXPECT_EQ(s.top_chunks[0].chunk, 3u);
+  EXPECT_EQ(s.top_chunks[0].worker, 1u);
+  EXPECT_EQ(s.top_chunks[0].engine, 1u);
+}
+
+TEST(Profile, EmptySnapshotHasNoDerivedValues) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  const obs::ProfileSnapshot s = prof.snapshot();
+  EXPECT_EQ(s.chunks, 0u);
+  EXPECT_TRUE(s.workers.empty());
+  EXPECT_TRUE(s.top_chunks.empty());
+  EXPECT_DOUBLE_EQ(s.imbalance_factor(), 0.0);
+  EXPECT_DOUBLE_EQ(s.parallel_efficiency(), 0.0);
+}
+
+TEST(Profile, TopKKeepsTheSlowestChunks) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  for (unsigned c = 1; c <= 20; ++c)
+    prof.record_chunk(0, c, c, 0, 0);  // cycles 1..20 in ascending order
+  const obs::ProfileSnapshot s = prof.snapshot();
+  ASSERT_EQ(s.top_chunks.size(),
+            static_cast<std::size_t>(obs::kProfileTopChunks));
+  for (unsigned i = 0; i < obs::kProfileTopChunks; ++i)
+    EXPECT_EQ(s.top_chunks[i].cycles, 20u - i);  // slowest first: 20..13
+}
+
+TEST(Profile, OutOfRangeSlotAndEngineAreClamped) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  prof.record_chunk(/*slot=*/9999, 0, 10, 1, /*engine_id=*/42);
+  const obs::ProfileSnapshot s = prof.snapshot();
+  ASSERT_EQ(s.workers.size(), 1u);
+  EXPECT_EQ(s.workers[0].slot, obs::kProfileMaxWorkers - 1);
+  EXPECT_EQ(s.workers[0].engine_chunks[obs::kProfileOtherEngine], 1u);
+}
+
+// ---- sfa-profile/1 schema round-trip ---------------------------------------
+
+TEST(Profile, SchemaRoundTripsThroughSharedParser) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  prof.record_chunk(0, 0, 300, 64, 1);
+  prof.record_chunk(1, 1, 100, 64, 1);
+  prof.record_chunk(obs::kProfileInlineSlot, 2, 50, 32, 4);
+
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.seconds = 0.01;
+  info.profile = true;
+  std::ostringstream os;
+  obs::write_match_stats_json(os, info, /*include_metrics=*/false);
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::parse_json(os.str(), root, error)) << error;
+  const obs::JsonValue* profile = root.get("profile");
+  ASSERT_NE(profile, nullptr);
+  EXPECT_EQ(profile->string_or("schema", ""), "sfa-profile/1");
+  EXPECT_DOUBLE_EQ(profile->number_or("chunks", 0), 3.0);
+  EXPECT_DOUBLE_EQ(profile->number_or("total_work_cycles", 0), 450.0);
+  EXPECT_DOUBLE_EQ(profile->number_or("imbalance_factor", 0), 2.0);
+  const obs::JsonValue* workers = profile->get("workers");
+  ASSERT_NE(workers, nullptr);
+  ASSERT_TRUE(workers->is_array());
+  ASSERT_EQ(workers->arr->size(), 3u);
+  // The inline slot serializes as the string "inline", pool slots as ints.
+  EXPECT_EQ(workers->arr->back().string_or("worker", ""), "inline");
+  const obs::JsonValue* top = profile->get("top_chunks");
+  ASSERT_NE(top, nullptr);
+  ASSERT_TRUE(top->is_array());
+  ASSERT_FALSE(top->arr->empty());
+  EXPECT_EQ(top->arr->front().string_or("engine", ""), "eager");
+  EXPECT_DOUBLE_EQ(top->arr->front().number_or("cycles", 0), 300.0);
+}
+
+// ---- executor integration --------------------------------------------------
+
+TEST(Profile, ExecutorAttributionMatchesPoolDispatches) {
+  // A private pool, so default_executor() growth from other tests cannot
+  // skew the team size: 8 workers, 8 chunks -> the stripe-bound pool runs
+  // exactly one chunk per worker per dispatch.
+  scan::PooledExecutor exec(8);
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  constexpr unsigned kRounds = 50;
+  constexpr unsigned kChunks = 8;
+  std::atomic<unsigned> ran{0};
+  const WallTimer timer;
+  for (unsigned r = 0; r < kRounds; ++r) {
+    exec.for_chunks(kChunks, [&](unsigned) {
+      obs::annotate_profile_chunk(1, 128);
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  const double wall = timer.seconds();
+  EXPECT_EQ(ran.load(), kRounds * kChunks);
+
+  const obs::ProfileSnapshot s = prof.snapshot();
+  const scan::ExecutorStats stats = exec.stats();
+  EXPECT_EQ(stats.pool_dispatches, kRounds);
+  EXPECT_EQ(s.chunks, std::uint64_t{kRounds} * kChunks);
+  EXPECT_EQ(s.bytes, std::uint64_t{kRounds} * kChunks * 128);
+  ASSERT_EQ(s.workers.size(), std::size_t{kChunks});
+  for (const obs::ProfileWorker& w : s.workers) {
+    EXPECT_FALSE(w.inline_slot);
+    // Stripe-bound dispatch: worker w serves chunk w of every round.
+    EXPECT_EQ(w.chunks, std::uint64_t{kRounds});
+    EXPECT_EQ(w.engine_chunks[1], std::uint64_t{kRounds});
+  }
+  // Utilization invariant: summed busy time cannot exceed wall x workers
+  // (slack for timer granularity; only checkable with a calibrated TSC).
+  const double hz = tsc_hz();
+  if (hz > 0.0 && wall > 0.0) {
+    const double busy = static_cast<double>(s.cycles) / hz;
+    EXPECT_LE(busy, wall * kChunks * 1.5 + 0.1);
+  }
+}
+
+TEST(Profile, InlineChunksLandOnTheInlineSlot) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  scan::inline_executor().for_chunks(3, [&](unsigned) {
+    obs::annotate_profile_chunk(0, 64);
+  });
+  const obs::ProfileSnapshot s = prof.snapshot();
+  ASSERT_EQ(s.workers.size(), 1u);
+  EXPECT_TRUE(s.workers[0].inline_slot);
+  EXPECT_EQ(s.workers[0].chunks, 3u);
+  EXPECT_EQ(s.workers[0].engine_chunks[0], 3u);
+  EXPECT_EQ(s.bytes, 3u * 64u);
+}
+
+TEST(Profile, UnannotatedChunksCountAsOtherEngine) {
+  auto& prof = obs::ExecutionProfiler::instance();
+  prof.reset();
+  scan::inline_executor().for_chunks(2, [](unsigned) {});
+  const obs::ProfileSnapshot s = prof.snapshot();
+  ASSERT_EQ(s.workers.size(), 1u);
+  EXPECT_EQ(s.workers[0].engine_chunks[obs::kProfileOtherEngine], 2u);
+  EXPECT_EQ(s.bytes, 0u);
+}
+
+// ---- perf counters ---------------------------------------------------------
+
+TEST(PerfCounters, ScopeFallsBackGracefully) {
+  obs::PerfCounterScope scope("test-phase");
+  const obs::PerfCounterValues v1 = scope.stop();
+  const obs::PerfCounterValues v2 = scope.stop();  // idempotent
+  EXPECT_EQ(v1.available, v2.available);
+  EXPECT_EQ(v1.cycles, v2.cycles);
+  if (!v1.cycles_ok) EXPECT_EQ(v1.cycles, 0u);
+  if (!obs::PerfCounterScope::compiled_in()) EXPECT_FALSE(v1.available);
+  EXPECT_GE(v1.ipc(), 0.0);
+}
+
+TEST(PerfCounters, UnavailableValuesAreNotExported) {
+  obs::PerfCounterValues v;  // all defaults: nothing granted
+  EXPECT_FALSE(v.available);
+  EXPECT_DOUBLE_EQ(v.ipc(), 0.0);
+  obs::MatchRunInfo info;
+  info.command = "match";
+  info.perf = v;
+  std::ostringstream os;
+  obs::write_match_stats_json(os, info, /*include_metrics=*/false);
+  EXPECT_EQ(os.str().find("perf_counters"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,282 @@
+// sfa_bench_compare — regression gate over sfa-bench/1 result files.
+//
+//   sfa_bench_compare <base> <candidate> [--threshold F] [--json FILE]
+//
+// <base> and <candidate> are either two BENCH_*.json files or two
+// directories (compared pairwise over the BENCH_*.json names present in
+// both).  Rows are keyed by their string-valued fields (engine, workload,
+// ...) so reordering does not misalign them; numeric fields are classified
+// by name into higher-is-better (speedup, throughput, *_per_sec, hit_rate),
+// lower-is-better (seconds, latency, *_ns/_ms/_s/_cycles, overhead), or
+// informational (everything else — never gates).  A field that moved in the
+// bad direction by more than --threshold (default 0.30, i.e. 30%) is a
+// regression.
+//
+// Exit codes: 0 ok, 1 regressions found, 2 usage / I/O / parse error.
+// --json writes a machine-readable sfa-bench-compare/1 verdict; CI archives
+// it next to the bench artifacts it judged.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sfa/obs/json.hpp"
+#include "sfa/obs/json_parse.hpp"
+
+namespace {
+
+using sfa::obs::JsonValue;
+
+enum class Direction { kHigherBetter, kLowerBetter, kInfo };
+
+bool contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Classify a numeric field by name.  The suffix checks use an explicit "_"
+/// so "states" / "threads" (ending in plain "s") stay informational.
+Direction classify(const std::string& key) {
+  if (contains(key, "speedup") || contains(key, "throughput") ||
+      contains(key, "per_sec") || contains(key, "hit_rate"))
+    return Direction::kHigherBetter;
+  if (contains(key, "seconds") || contains(key, "latency") ||
+      contains(key, "overhead") || contains(key, "ns_per") ||
+      ends_with(key, "_ns") || ends_with(key, "_ms") || ends_with(key, "_s") ||
+      ends_with(key, "_cycles"))
+    return Direction::kLowerBetter;
+  return Direction::kInfo;
+}
+
+struct FieldDelta {
+  std::string row_key;
+  std::string field;
+  double base = 0;
+  double cand = 0;
+  double ratio = 1.0;  // cand / base
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareTotals {
+  std::size_t files = 0;
+  std::size_t rows = 0;
+  std::size_t fields = 0;
+  std::vector<FieldDelta> regressions;
+  std::vector<FieldDelta> improvements;
+};
+
+bool load_json(const std::string& path, JsonValue& out, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open: " + path;
+    return false;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return sfa::obs::parse_json(os.str(), out, error);
+}
+
+/// Stable identity of a row inside one bench document: the bench name plus
+/// every string-valued field, plus an ordinal to disambiguate repeats.
+std::string row_key(const std::string& bench, const JsonValue& row,
+                    std::map<std::string, unsigned>& ordinals) {
+  std::string key = bench;
+  if (row.is_object()) {
+    for (const auto& [k, v] : *row.obj)
+      if (v.is_string()) key += " " + k + "=" + v.str;
+  }
+  const unsigned ordinal = ordinals[key]++;
+  if (ordinal != 0) key += " #" + std::to_string(ordinal);
+  return key;
+}
+
+void compare_documents(const JsonValue& base, const JsonValue& cand,
+                       double threshold, CompareTotals& totals) {
+  ++totals.files;
+  const std::string bench = base.string_or("bench", "?");
+  const JsonValue* base_rows = base.get("rows");
+  const JsonValue* cand_rows = cand.get("rows");
+  if (base_rows == nullptr || !base_rows->is_array() || cand_rows == nullptr ||
+      !cand_rows->is_array())
+    return;
+
+  std::map<std::string, const JsonValue*> cand_by_key;
+  {
+    std::map<std::string, unsigned> ordinals;
+    for (const JsonValue& row : *cand_rows->arr)
+      cand_by_key[row_key(bench, row, ordinals)] = &row;
+  }
+
+  std::map<std::string, unsigned> ordinals;
+  for (const JsonValue& brow : *base_rows->arr) {
+    const std::string key = row_key(bench, brow, ordinals);
+    const auto it = cand_by_key.find(key);
+    if (it == cand_by_key.end() || !brow.is_object()) continue;
+    const JsonValue& crow = *it->second;
+    ++totals.rows;
+    for (const auto& [field, bval] : *brow.obj) {
+      if (!bval.is_number()) continue;
+      const JsonValue* cval = crow.get(field);
+      if (cval == nullptr || !cval->is_number()) continue;
+      const Direction dir = classify(field);
+      if (dir == Direction::kInfo) continue;
+      // Ratios need strictly positive values on both sides; zero/negative
+      // readings (timer underflow, empty run) cannot be judged.
+      if (bval.num <= 0 || cval->num <= 0) continue;
+      ++totals.fields;
+      FieldDelta d;
+      d.row_key = key;
+      d.field = field;
+      d.base = bval.num;
+      d.cand = cval->num;
+      d.ratio = cval->num / bval.num;
+      const double worse =
+          dir == Direction::kLowerBetter ? d.ratio : 1.0 / d.ratio;
+      if (worse > 1.0 + threshold) {
+        d.regression = true;
+        totals.regressions.push_back(d);
+      } else if (worse < 1.0 / (1.0 + threshold)) {
+        d.improvement = true;
+        totals.improvements.push_back(d);
+      }
+    }
+  }
+}
+
+void write_verdict_json(const std::string& path, double threshold,
+                        const CompareTotals& t) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  sfa::obs::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "sfa-bench-compare/1");
+  w.kv("threshold", threshold);
+  w.kv("files_compared", std::uint64_t{t.files});
+  w.kv("rows_compared", std::uint64_t{t.rows});
+  w.kv("fields_compared", std::uint64_t{t.fields});
+  const auto write_deltas = [&w](const std::vector<FieldDelta>& ds) {
+    w.begin_array();
+    for (const FieldDelta& d : ds) {
+      w.begin_object();
+      w.kv("row", d.row_key);
+      w.kv("field", d.field);
+      w.kv("base", d.base);
+      w.kv("candidate", d.cand);
+      w.kv("ratio", d.ratio);
+      w.end_object();
+    }
+    w.end_array();
+  };
+  w.key("regressions");
+  write_deltas(t.regressions);
+  w.key("improvements");
+  write_deltas(t.improvements);
+  w.kv("ok", t.regressions.empty());
+  w.end_object();
+  os << '\n';
+}
+
+[[noreturn]] void usage(const char* error) {
+  if (error) std::fprintf(stderr, "error: %s\n", error);
+  std::fprintf(stderr,
+               "usage: sfa_bench_compare <base.json|dir> <candidate.json|dir>"
+               " [--threshold F] [--json verdict.json]\n");
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  double threshold = 0.30;
+  std::string verdict_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing option value");
+      return argv[++i];
+    };
+    if (arg == "--threshold")
+      threshold = std::stod(next());
+    else if (arg == "--json")
+      verdict_path = next();
+    else if (!arg.empty() && arg[0] == '-')
+      usage(("unknown option: " + arg).c_str());
+    else
+      positional.push_back(arg);
+  }
+  if (positional.size() != 2) usage("need <base> and <candidate>");
+  if (threshold <= 0) usage("--threshold must be > 0");
+
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> pairs;
+  std::error_code ec;
+  const bool base_dir = fs::is_directory(positional[0], ec);
+  const bool cand_dir = fs::is_directory(positional[1], ec);
+  if (base_dir != cand_dir)
+    usage("base and candidate must both be files or both be directories");
+  if (base_dir) {
+    // Pairwise over the BENCH_*.json names present on both sides; names on
+    // one side only are reported but never gate (a bench added or removed
+    // is a review question, not a perf regression).
+    std::vector<std::string> names;
+    for (const auto& entry : fs::directory_iterator(positional[0], ec)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) == 0 && ends_with(name, ".json"))
+        names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const fs::path cand = fs::path(positional[1]) / name;
+      if (fs::exists(cand, ec))
+        pairs.emplace_back((fs::path(positional[0]) / name).string(),
+                           cand.string());
+      else
+        std::printf("skipped %s: only in base\n", name.c_str());
+    }
+    if (pairs.empty()) usage("no common BENCH_*.json files to compare");
+  } else {
+    pairs.emplace_back(positional[0], positional[1]);
+  }
+
+  CompareTotals totals;
+  for (const auto& [base_path, cand_path] : pairs) {
+    JsonValue base, cand;
+    std::string error;
+    if (!load_json(base_path, base, error) ||
+        !load_json(cand_path, cand, error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    compare_documents(base, cand, threshold, totals);
+  }
+
+  for (const FieldDelta& d : totals.regressions)
+    std::printf("REGRESSION %s :: %s %.6g -> %.6g (%.2fx)\n",
+                d.row_key.c_str(), d.field.c_str(), d.base, d.cand, d.ratio);
+  for (const FieldDelta& d : totals.improvements)
+    std::printf("improved %s :: %s %.6g -> %.6g (%.2fx)\n", d.row_key.c_str(),
+                d.field.c_str(), d.base, d.cand, d.ratio);
+  std::printf("compared %zu file(s), %zu row(s), %zu gated field(s): "
+              "%zu regression(s), %zu improvement(s) at %.0f%% threshold\n",
+              totals.files, totals.rows, totals.fields,
+              totals.regressions.size(), totals.improvements.size(),
+              100.0 * threshold);
+
+  if (!verdict_path.empty())
+    write_verdict_json(verdict_path, threshold, totals);
+  return totals.regressions.empty() ? 0 : 1;
+}

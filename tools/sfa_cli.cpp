@@ -5,6 +5,14 @@
 //   sfa inspect <file.sfa>                      summary + statistics
 //   sfa grail  <pattern> [options]              dump the minimal DFA
 //   sfa info                                    platform + build capabilities
+//   sfa profile <trace.json> [options]          analyze a --trace recording:
+//                                               per-phase wall time, worker
+//                                               timeline/utilization, steals,
+//                                               parallel efficiency
+//     --stats-json FILE.json  also summarize the run's --stats-json output
+//                             (the sfa-profile/1 section, when present)
+//     --expect-workers N      exit 1 unless the trace shows >= N worker
+//                             tracks (CI gate)
 //
 // Common options:
 //   --prosite | --regex      pattern syntax        (default: --prosite)
@@ -52,7 +60,11 @@
 //                            chrome://tracing format; needs an SFA_TRACE=ON
 //                            build for instrumented hot paths)
 //   --stats-json FILE.json   write machine-readable run statistics
-//                            (schemas sfa-build-stats/1, sfa-match-stats/1)
+//                            (schemas sfa-build-stats/1, sfa-match-stats/1;
+//                            match stats carry the always-on sfa-profile/1
+//                            per-worker chunk attribution, and build/match
+//                            runs attach hardware perf counters when the
+//                            kernel grants perf_event_open)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -70,6 +82,10 @@
 #include "sfa/core/scan/executor.hpp"
 #include "sfa/core/serialize.hpp"
 #include "sfa/core/stream_matcher.hpp"
+#include "sfa/obs/json_parse.hpp"
+#include "sfa/obs/profile/perf_counters.hpp"
+#include "sfa/obs/profile/profile.hpp"
+#include "sfa/obs/profile/report.hpp"
 #include "sfa/obs/stats_export.hpp"
 #include "sfa/obs/trace.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
@@ -100,13 +116,14 @@ struct Options {
   std::string output;
   std::string trace_path;
   std::string stats_json_path;
+  unsigned expect_workers = 0;  // profile: minimum worker tracks, 0 = off
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: sfa <build|match|inspect|grail|info> ... (see header "
-               "comment / README)\n");
+               "usage: sfa <build|match|inspect|grail|info|profile> ... (see "
+               "header comment / README)\n");
   std::exit(error ? 2 : 0);
 }
 
@@ -174,6 +191,8 @@ Options parse(int argc, char** argv) {
       opt.trace_path = next();
     else if (arg == "--stats-json")
       opt.stats_json_path = next();
+    else if (arg == "--expect-workers")
+      opt.expect_workers = static_cast<unsigned>(std::stoul(next()));
     else if (arg == "--help" || arg == "-h")
       usage();
     else if (!arg.empty() && arg[0] == '-')
@@ -242,15 +261,23 @@ int cmd_build(const Options& opt) {
   build.codec = codec_by_name(opt.codec_name);
   BuildStats stats;
   TraceSession trace(opt.trace_path);
+  obs::PerfCounterScope perf("build");
   const Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
+  const obs::PerfCounterValues perf_values = perf.stop();
   trace.stop_and_write();
   std::printf("%s\n", sfa.summary().c_str());
   std::printf("construction: %.3f s, %s method, %u thread(s)%s\n",
               stats.seconds, build_method_name(opt.method), stats.threads,
               stats.compression_triggered ? ", compression triggered" : "");
+  if (perf_values.available)
+    std::printf("perf: %s cycles, %s instructions (ipc %.2f)\n",
+                with_commas(perf_values.cycles).c_str(),
+                with_commas(perf_values.instructions).c_str(),
+                perf_values.ipc());
   if (!opt.stats_json_path.empty()) {
     if (!obs::write_build_stats_json_file(opt.stats_json_path, stats,
-                                          build_method_name(opt.method)))
+                                          build_method_name(opt.method),
+                                          &perf_values))
       throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
     std::printf("stats: %s\n", opt.stats_json_path.c_str());
   }
@@ -327,6 +354,8 @@ int cmd_match_lazy(const Options& opt) {
   LazyMatcher matcher(dfa, lazy);
   bool accepted = false;
   PoolStatsDelta pool;
+  obs::ExecutionProfiler::instance().reset();  // section covers this run only
+  obs::PerfCounterScope perf("match");
   TraceSession trace(opt.trace_path);
   if (opt.count) {
     const WallTimer timer;
@@ -368,6 +397,8 @@ int cmd_match_lazy(const Options& opt) {
   }
   info.accepted = accepted;
   pool.fill(info);
+  info.perf = perf.stop();
+  info.profile = true;
   const LazyMatchStats stats = matcher.stats();
   info.lazy_interned_states = stats.interned_states;
   info.lazy_cache_hits = stats.cache_hits;
@@ -428,6 +459,8 @@ int cmd_match_narrowed(const Options& opt) {
   unsigned fallback_chunks = 0;
   std::uint64_t entry_states = 0;
   PoolStatsDelta pool;
+  obs::ExecutionProfiler::instance().reset();  // section covers this run only
+  obs::PerfCounterScope perf("match");
   TraceSession trace(opt.trace_path);
   if (opt.count) {
     const WallTimer timer;
@@ -461,6 +494,8 @@ int cmd_match_narrowed(const Options& opt) {
   }
   info.accepted = accepted;
   pool.fill(info);
+  info.perf = perf.stop();
+  info.profile = true;
   info.narrowed_entry_states = entry_states;
   info.narrowed_fallback_chunks = fallback_chunks;
   std::printf("narrowed: %u/%u chunks narrowed, %u fallback, %s entry "
@@ -507,6 +542,8 @@ int cmd_match(const Options& opt) {
   std::printf("input: %s symbols, %u thread(s)\n",
               with_commas(input.size()).c_str(), opt.threads);
   PoolStatsDelta pool;
+  obs::ExecutionProfiler::instance().reset();  // section covers this run only
+  obs::PerfCounterScope perf("match");
   TraceSession trace(opt.trace_path);
   if (opt.count) {
     // Recompile the DFA the .sfa came from; the two-pass count rescans each
@@ -558,6 +595,8 @@ int cmd_match(const Options& opt) {
     info.accepted = accepted;
   }
   pool.fill(info);
+  info.perf = perf.stop();
+  info.profile = true;
   if (!opt.stats_json_path.empty()) {
     if (!obs::write_match_stats_json_file(opt.stats_json_path, info))
       throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
@@ -612,9 +651,78 @@ int cmd_info(const Options&) {
   std::printf("simd features:    sse2=%d sse4.1=%d sse4.2=%d avx=%d avx2=%d "
               "pclmulqdq=%d bmi2=%d\n",
               f.sse2, f.sse41, f.sse42, f.avx, f.avx2, f.pclmulqdq, f.bmi2);
+  std::printf("tsc:              %.0f Hz%s\n", tsc_hz(),
+              tsc_hz() > 0 ? " (calibrated)" : " (unavailable)");
+  std::printf("compiler:         %s\n", compiler_version().c_str());
+  const std::string governor = cpu_governor();
+  if (!governor.empty())
+    std::printf("cpufreq governor: %s\n", governor.c_str());
   std::printf("span tracing:     %s\n",
               sfa::obs::kTraceEnabled ? "compiled in (SFA_TRACE=ON)"
                                       : "compiled out (default build)");
+  std::printf("perf counters:    %s\n",
+              obs::PerfCounterScope::compiled_in()
+                  ? "compiled in (perf_event_open)"
+                  : "compiled out (non-Linux build)");
+  return 0;
+}
+
+/// `sfa profile <trace.json>`: consume a --trace recording (and optionally
+/// the run's --stats-json file) and print the execution breakdown.  Built
+/// on the same analysis stack as sfa_trace_check — a trace that tool would
+/// reject is rejected here too.
+int cmd_profile(const Options& opt) {
+  if (opt.positional.size() != 1)
+    usage("profile needs <trace.json> (a --trace recording)");
+  const obs::TraceProfileReport rep =
+      obs::analyze_trace_file(opt.positional[0]);
+  std::fputs(obs::format_trace_profile(rep).c_str(), stdout);
+  if (!rep.ok) return 2;
+
+  if (!opt.stats_json_path.empty()) {
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parse_json(read_all(opt.stats_json_path), root, error))
+      throw std::runtime_error(opt.stats_json_path + ": " + error);
+    std::printf("\nstats (%s, schema %s):\n", opt.stats_json_path.c_str(),
+                root.string_or("schema", "?").c_str());
+    const obs::JsonValue* profile = root.get("profile");
+    if (profile != nullptr && profile->is_object()) {
+      std::printf("  chunks: %.0f, imbalance factor %.2f, parallel "
+                  "efficiency %.3f\n",
+                  profile->number_or("chunks", 0),
+                  profile->number_or("imbalance_factor", 0),
+                  profile->number_or("parallel_efficiency", 0));
+      const obs::JsonValue* workers = profile->get("workers");
+      if (workers != nullptr && workers->is_array()) {
+        for (const obs::JsonValue& w : *workers->arr) {
+          // "worker" is the slot index, or the string "inline".
+          const obs::JsonValue* id = w.get("worker");
+          std::string label = "?";
+          if (id != nullptr && id->is_number())
+            label = std::to_string(static_cast<long long>(id->num));
+          else if (id != nullptr && id->is_string())
+            label = id->str;
+          std::printf("  worker %s: %.0f chunks", label.c_str(),
+                      w.number_or("chunks", 0));
+          const obs::JsonValue* util = w.get("utilization");
+          if (util != nullptr && util->is_number())
+            std::printf(", %.1f%% utilization", 100.0 * util->num);
+          std::printf("\n");
+        }
+      }
+    } else {
+      std::printf("  no sfa-profile/1 section (run `sfa match --stats-json`"
+                  " to record one)\n");
+    }
+  }
+
+  if (opt.expect_workers != 0 && rep.worker_tracks < opt.expect_workers) {
+    std::fprintf(stderr,
+                 "error: expected >= %u worker tracks, trace has %zu\n",
+                 opt.expect_workers, rep.worker_tracks);
+    return 1;
+  }
   return 0;
 }
 
@@ -637,6 +745,7 @@ int main(int argc, char** argv) {
     if (opt.command == "inspect") return cmd_inspect(opt);
     if (opt.command == "grail") return cmd_grail(opt);
     if (opt.command == "info") return cmd_info(opt);
+    if (opt.command == "profile") return cmd_profile(opt);
     usage(("unknown command: " + opt.command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
