@@ -29,6 +29,7 @@
 #include "sfa/core/build/frontier.hpp"
 #include "sfa/core/build/obs_glue.hpp"
 #include "sfa/core/sfa.hpp"
+#include "sfa/core/table/dense_builder.hpp"
 #include "sfa/obs/trace.hpp"
 #include "sfa/support/timer.hpp"
 
@@ -49,10 +50,9 @@ Sfa run_sequential_build(const Dfa& dfa, const BuildOptions& opt,
   SuccGen succ_gen(dfa, opt);
   FifoFrontier<typename Intern::WorkItem> frontier;
 
-  std::vector<Sfa::StateId> delta;
+  table::DenseTableBuilder delta(k);
   std::vector<std::uint8_t> accepting;
   std::uint64_t num_states = 0;
-  std::uint64_t delta_reallocations = 0;
 
   const auto intern_cells = [&](const Cell* cells) -> Sfa::StateId {
     bool fresh = false;
@@ -63,14 +63,9 @@ Sfa run_sequential_build(const Dfa& dfa, const BuildOptions& opt,
       guard_state_count(num_states, opt);
       accepting.push_back(
           dfa.accepting(static_cast<Dfa::StateId>(cells[dfa.start()])));
-      // Geometric growth: capacity doubles when exhausted, so the table
-      // relocates O(log states) times instead of once per state.
-      const std::size_t need = static_cast<std::size_t>(num_states) * k;
-      if (need > delta.capacity()) {
-        delta.reserve(std::max<std::size_t>(need, delta.capacity() * 2));
-        ++delta_reallocations;
-      }
-      delta.resize(need);
+      // The table builder owns growth policy (geometric doubling) and the
+      // relocation count that lands in BuildStats::delta_reallocations.
+      delta.ensure_rows(num_states);
       frontier.push(std::move(item));
     }
     return id;
@@ -95,14 +90,17 @@ Sfa run_sequential_build(const Dfa& dfa, const BuildOptions& opt,
       for (unsigned s = 0; s < k; ++s) {
         const Sfa::StateId to =
             intern_cells(successors.data() + static_cast<std::size_t>(s) * n);
-        delta[static_cast<std::size_t>(id) * k + s] = to;
+        delta.set(id, s, to);
       }
     }
   }
 
   SFA_TRACE_SCOPE("build", "finalize");
   intern.finalize_mappings(result, opt.keep_mappings);
-  result.set_table(std::move(delta), std::move(accepting));
+  const std::uint64_t delta_reallocations = delta.reallocations();
+  result.set_table(
+      delta.finish(static_cast<std::uint32_t>(num_states)),
+      std::move(accepting));
 
   BuildStats local;
   local.sfa_states = result.num_states();

@@ -46,6 +46,7 @@
 #include "sfa/concurrent/lockfree_hash_set.hpp"
 #include "sfa/core/build_common.hpp"
 #include "sfa/core/state.hpp"
+#include "sfa/core/table/segmented_rows.hpp"
 #include "sfa/hash/city64.hpp"
 
 namespace sfa::detail {
@@ -81,13 +82,12 @@ class LazyInternTable {
         k_(dfa.num_symbols()),
         raw_bytes_(sizeof(Cell) * static_cast<std::size_t>(dfa.size())),
         config_(config),
-        table_(config.hash_buckets) {
+        table_(config.hash_buckets),
+        rows_(dfa.num_symbols(), kSegBits, kMaxSegments) {
     const unsigned slots = config_.slots == 0 ? 1u : config_.slots;
     slots_.reserve(slots);
     for (unsigned i = 0; i < slots; ++i)
       slots_.push_back(std::make_unique<Slot>(&accounting_));
-    for (auto& seg : segments_)
-      seg.store(nullptr, std::memory_order_relaxed);
     bind_thread();
     const std::vector<Cell> identity = identity_mapping<Cell>(n_);
     seed_ = intern(0, identity.data());
@@ -164,11 +164,7 @@ class LazyInternTable {
   /// The lazy delta row of state `id`: |Sigma| atomic successor pointers,
   /// nullptr where the edge has not been expanded yet.  Valid for any id
   /// returned (published) by intern().
-  std::atomic<Node*>* row(std::uint32_t id) {
-    std::atomic<Node*>* seg =
-        segments_[id >> kSegBits].load(std::memory_order_acquire);
-    return seg + static_cast<std::size_t>(id & kSegMask) * k_;
-  }
+  std::atomic<Node*>* row(std::uint32_t id) { return rows_.row(id); }
 
   /// The state's cell vector, decompressing into the slot's scratch buffer
   /// when needed.  Valid until the slot's next cells_of() call.
@@ -194,13 +190,13 @@ class LazyInternTable {
   const HashSetCounters& counters() const { return table_.counters; }
 
  private:
-  // Segmented row storage, same shape as the parallel builder's delta
-  // segments: pointer-stable under concurrent growth, mutex only on the
-  // (rare) segment-allocation path.  A segment's publication is ordered
-  // before the owning state's id publication, so any reader that saw the id
-  // also sees the segment.
+  // Segmented row storage through the TransitionTable seam's shared
+  // component (core/table/segmented_rows.hpp), the same one the parallel
+  // builder's delta segments use: pointer-stable under concurrent growth,
+  // mutex only on the (rare) segment-allocation path.  A segment's
+  // publication is ordered before the owning state's id publication, so
+  // any reader that saw the id also sees the segment.
   static constexpr unsigned kSegBits = 12;  // 4096 states per segment
-  static constexpr std::uint32_t kSegMask = (1u << kSegBits) - 1;
   static constexpr std::size_t kMaxSegments = std::size_t{1} << 18;
 
   struct Slot {
@@ -217,17 +213,7 @@ class LazyInternTable {
   }
 
   void ensure_row_segment(std::uint32_t id) {
-    const std::size_t seg = id >> kSegBits;
-    if (segments_[seg].load(std::memory_order_acquire) != nullptr) return;
-    std::lock_guard<std::mutex> lock(segment_mutex_);
-    if (segments_[seg].load(std::memory_order_relaxed) != nullptr) return;
-    const std::size_t entries = (std::size_t{1} << kSegBits) * k_;
-    auto storage = std::make_unique<std::atomic<Node*>[]>(entries);
-    for (std::size_t i = 0; i < entries; ++i)
-      storage[i].store(nullptr, std::memory_order_relaxed);
-    accounting_.add(entries * sizeof(std::atomic<Node*>));
-    segments_[seg].store(storage.get(), std::memory_order_release);
-    segment_storage_.push_back(std::move(storage));
+    if (const std::size_t bytes = rows_.ensure_row(id)) accounting_.add(bytes);
   }
 
   const Dfa& dfa_;
@@ -244,9 +230,7 @@ class LazyInternTable {
   std::atomic<bool> cap_hit_{false};
   Node* seed_ = nullptr;
 
-  std::atomic<std::atomic<Node*>*> segments_[kMaxSegments];
-  std::vector<std::unique_ptr<std::atomic<Node*>[]>> segment_storage_;
-  std::mutex segment_mutex_;
+  table::SegmentedRows<std::atomic<Node*>> rows_;
 };
 
 }  // namespace sfa::detail

@@ -45,6 +45,7 @@
 #include "sfa/core/build/store.hpp"
 #include "sfa/core/build/successor.hpp"
 #include "sfa/core/state.hpp"
+#include "sfa/core/table/segmented_rows.hpp"
 #include "sfa/hash/city64.hpp"
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/trace.hpp"
@@ -71,15 +72,12 @@ class ParallelBuilder {
         global_(opt.global_queue_capacity),
         manager_(opt.memory_threshold_bytes, threads_),
         barrier_(threads_),
-        codec_(detail::resolve_codec(opt)) {
+        codec_(detail::resolve_codec(opt)),
+        delta_rows_(dfa.num_symbols(), kSegBits, kMaxSegments) {
     workers_.reserve(threads_);
     for (unsigned t = 0; t < threads_; ++t)
       workers_.push_back(std::make_unique<WorkerState>(
           &manager_.accounting()));
-    delta_segments_ =
-        std::make_unique<std::atomic<Sfa::StateId*>[]>(kMaxSegments);
-    for (std::size_t i = 0; i < kMaxSegments; ++i)
-      delta_segments_[i].store(nullptr, std::memory_order_relaxed);
   }
 
   Sfa build(BuildStats* stats) {
@@ -333,28 +331,19 @@ class ParallelBuilder {
   }
 
   // ---- delta storage ----------------------------------------------------
+  //
+  // Segmented δ-row publication is shared with the lazy matcher's intern
+  // table through the TransitionTable seam's SegmentedRows component
+  // (core/table/segmented_rows.hpp): pointer-stable growth, a mutex only
+  // on segment allocation, release-store publication ordered before the
+  // owning state's id publication.
 
   static constexpr unsigned kSegBits = 14;  // 16384 states per segment
-  static constexpr std::size_t kSegStates = 1u << kSegBits;
   static constexpr std::size_t kMaxSegments = 1u << 16;
 
-  Sfa::StateId* delta_row(std::uint32_t id) {
-    Sfa::StateId* seg =
-        delta_segments_[id >> kSegBits].load(std::memory_order_acquire);
-    return seg + static_cast<std::size_t>(id & (kSegStates - 1)) * k_;
-  }
+  Sfa::StateId* delta_row(std::uint32_t id) { return delta_rows_.row(id); }
 
-  void ensure_delta_segment(std::uint32_t id) {
-    const std::size_t seg = id >> kSegBits;
-    if (delta_segments_[seg].load(std::memory_order_acquire) != nullptr)
-      return;
-    std::lock_guard<std::mutex> lock(segment_mutex_);
-    if (delta_segments_[seg].load(std::memory_order_acquire) != nullptr)
-      return;
-    auto storage = std::make_unique<Sfa::StateId[]>(kSegStates * k_);
-    delta_segments_[seg].store(storage.get(), std::memory_order_release);
-    segment_storage_.push_back(std::move(storage));
-  }
+  void ensure_delta_segment(std::uint32_t id) { delta_rows_.ensure_row(id); }
 
   // ---- compression phase -------------------------------------------------
 
@@ -547,9 +536,7 @@ class ParallelBuilder {
   std::mutex abort_mutex_;
   std::string abort_message_;
 
-  std::unique_ptr<std::atomic<Sfa::StateId*>[]> delta_segments_;
-  std::mutex segment_mutex_;
-  std::vector<std::unique_ptr<Sfa::StateId[]>> segment_storage_;
+  table::SegmentedRows<Sfa::StateId> delta_rows_;
 
   double compression_seconds_ = 0;
   bool compression_triggered_ = false;

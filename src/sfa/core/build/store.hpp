@@ -26,6 +26,14 @@
 // The parallel builder implements the same two store behaviours with a
 // multi-worker rendezvous (build/parallel.cpp); the codec plumbing and
 // node helpers here are shared.
+//
+// Relation to the δ-table seam (core/table/): the store owns the MAPPING
+// payloads, the TransitionTable owns δ-storage.  They compress on different
+// axes — mappings byte-compress per state (§III-C), δ rows dedup/default
+// ACROSS states (D²FA).  Row-dedup of mapping payloads would be a no-op
+// here: interning already guarantees every stored mapping is unique, so the
+// two seams stay orthogonal and compose freely (any store policy × any
+// table layout, exercised by the serialization round-trip matrix).
 #pragma once
 
 #include <cstring>

@@ -13,6 +13,10 @@ namespace sfa {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'F', 'A', '1'};
+// Layout-tagged container for non-dense TransitionTable layouts.  Dense
+// automata keep writing the original SFA1 stream byte-for-byte (seed-era
+// readers and golden fixtures depend on that); SFA1 loads as dense.
+constexpr char kMagic2[4] = {'S', 'F', 'A', '2'};
 
 void put_u8(std::ostream& out, std::uint8_t v) {
   out.put(static_cast<char>(v));
@@ -50,10 +54,63 @@ void get_bytes(std::istream& in, void* data, std::size_t size) {
     throw std::runtime_error("sfa load: truncated stream");
 }
 
+void put_table_section(std::ostream& out, const table::TransitionTable& t) {
+  if (t.layout() == table::TableLayout::kRowDedup) {
+    put_u32(out, t.rows_unique());
+    for (const Sfa::StateId r : t.row_of()) put_u32(out, r);
+    for (const Sfa::StateId v : t.cells()) put_u32(out, v);
+    return;
+  }
+  // kD2fa: per-state default pointers, then the exception CSR.
+  put_u32(out, static_cast<std::uint32_t>(t.exc_sym().size()));
+  for (const Sfa::StateId d : t.defaults()) put_u32(out, d);
+  for (const std::uint32_t s : t.exc_start()) put_u32(out, s);
+  for (std::size_t i = 0; i < t.exc_sym().size(); ++i) {
+    put_u8(out, t.exc_sym()[i]);
+    put_u32(out, t.exc_to()[i]);
+  }
+}
+
+table::TransitionTable get_table_section(std::istream& in,
+                                         table::TableLayout layout,
+                                         std::uint32_t num_states,
+                                         unsigned k) {
+  if (layout == table::TableLayout::kRowDedup) {
+    const std::uint32_t uniques = get_u32(in);
+    std::vector<Sfa::StateId> row_of(num_states);
+    for (auto& r : row_of) r = get_u32(in);
+    std::vector<Sfa::StateId> cells(static_cast<std::size_t>(uniques) * k);
+    for (auto& v : cells) v = get_u32(in);
+    return table::TransitionTable::row_dedup_from_parts(
+        std::move(row_of), std::move(cells), num_states, k);
+  }
+  const std::uint32_t exc_total = get_u32(in);
+  std::vector<Sfa::StateId> defaults(num_states);
+  for (auto& d : defaults) d = get_u32(in);
+  std::vector<std::uint32_t> exc_start(static_cast<std::size_t>(num_states) +
+                                       1);
+  for (auto& s : exc_start) s = get_u32(in);
+  std::vector<std::uint8_t> exc_sym(exc_total);
+  std::vector<Sfa::StateId> exc_to(exc_total);
+  for (std::uint32_t i = 0; i < exc_total; ++i) {
+    exc_sym[i] = get_u8(in);
+    exc_to[i] = get_u32(in);
+  }
+  return table::TransitionTable::d2fa_from_parts(
+      std::move(defaults), std::move(exc_start), std::move(exc_sym),
+      std::move(exc_to), num_states, k);
+}
+
 }  // namespace
 
 void save_sfa(const Sfa& sfa, std::ostream& out) {
-  put_bytes(out, kMagic, 4);
+  const table::TableLayout layout = sfa.table_layout();
+  if (layout == table::TableLayout::kDense) {
+    put_bytes(out, kMagic, 4);
+  } else {
+    put_bytes(out, kMagic2, 4);
+    put_u8(out, static_cast<std::uint8_t>(layout));
+  }
   put_u8(out, static_cast<std::uint8_t>(sfa.cell_width()));
   put_u8(out, static_cast<std::uint8_t>(sfa.num_symbols()));
   put_u32(out, sfa.dfa_states());
@@ -65,9 +122,13 @@ void save_sfa(const Sfa& sfa, std::ostream& out) {
     put_u8(out, sfa.dfa_accepting(q) ? 1 : 0);
   for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
     put_u8(out, sfa.accepting(s) ? 1 : 0);
-  for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
-    for (unsigned sym = 0; sym < sfa.num_symbols(); ++sym)
-      put_u32(out, sfa.transition(s, static_cast<Symbol>(sym)));
+  if (layout == table::TableLayout::kDense) {
+    for (Sfa::StateId s = 0; s < sfa.num_states(); ++s)
+      for (unsigned sym = 0; sym < sfa.num_symbols(); ++sym)
+        put_u32(out, sfa.transition(s, static_cast<Symbol>(sym)));
+  } else {
+    put_table_section(out, sfa.table());
+  }
 
   if (!sfa.has_mappings()) {
     put_u8(out, 0);
@@ -92,8 +153,16 @@ void save_sfa(const Sfa& sfa, std::ostream& out) {
 Sfa load_sfa(std::istream& in) {
   char magic[4];
   get_bytes(in, magic, 4);
-  if (std::memcmp(magic, kMagic, 4) != 0)
+  table::TableLayout layout = table::TableLayout::kDense;
+  if (std::memcmp(magic, kMagic2, 4) == 0) {
+    const std::uint8_t tag = get_u8(in);
+    if (tag != static_cast<std::uint8_t>(table::TableLayout::kRowDedup) &&
+        tag != static_cast<std::uint8_t>(table::TableLayout::kD2fa))
+      throw std::runtime_error("sfa load: bad table layout tag");
+    layout = static_cast<table::TableLayout>(tag);
+  } else if (std::memcmp(magic, kMagic, 4) != 0) {
     throw std::runtime_error("sfa load: bad magic");
+  }
 
   const unsigned cell_width = get_u8(in);
   if (cell_width != 2 && cell_width != 4)
@@ -112,11 +181,17 @@ Sfa load_sfa(std::istream& in) {
   std::vector<std::uint8_t> accepting(num_states);
   get_bytes(in, accepting.data(), num_states);
 
-  std::vector<Sfa::StateId> delta(static_cast<std::size_t>(num_states) * k);
-  for (auto& v : delta) {
-    v = get_u32(in);
-    if (v >= num_states)
-      throw std::runtime_error("sfa load: transition out of range");
+  table::TransitionTable table;
+  if (layout == table::TableLayout::kDense) {
+    std::vector<Sfa::StateId> delta(static_cast<std::size_t>(num_states) * k);
+    for (auto& v : delta) {
+      v = get_u32(in);
+      if (v >= num_states)
+        throw std::runtime_error("sfa load: transition out of range");
+    }
+    table = table::TransitionTable::dense(std::move(delta), num_states, k);
+  } else {
+    table = get_table_section(in, layout, num_states, k);
   }
 
   Sfa sfa;
@@ -146,7 +221,7 @@ Sfa load_sfa(std::istream& in) {
   } else if (mode != 0) {
     throw std::runtime_error("sfa load: bad mapping mode");
   }
-  sfa.set_table(std::move(delta), std::move(accepting));
+  sfa.set_table(std::move(table), std::move(accepting));
   return sfa;
 }
 

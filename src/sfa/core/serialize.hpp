@@ -14,6 +14,20 @@
 //                 blob_size:u32 + blob bytes
 //
 // Loading a compressed store resolves the codec by name from the registry.
+//
+// Non-dense TransitionTable layouts write an "SFA2" container instead:
+//
+//   "SFA2" | layout:u8 (1 dedup, 2 d2fa) | ...same header/accepting as
+//   SFA1... | layout-specific table section | mapping_mode as above
+//
+//   dedup: rows_unique:u32 | row_of[num_states]:u32 |
+//          cells[rows_unique * num_symbols]:u32
+//   d2fa:  exc_total:u32 | default_of[num_states]:u32 (0xFFFFFFFF = none) |
+//          exc_start[num_states + 1]:u32 | (sym:u8, to:u32) * exc_total
+//
+// Dense automata ALWAYS write SFA1 byte-for-byte (old readers and golden
+// fixtures stay valid); the loader accepts either magic and reconstructs
+// the tagged layout, so a d2fa-saved file matches without reconversion.
 #pragma once
 
 #include <iosfwd>

@@ -10,8 +10,15 @@ namespace sfa {
 Sfa::StateId Sfa::run(StateId from, const Symbol* input,
                       std::size_t len) const {
   StateId s = from;
-  for (std::size_t i = 0; i < len; ++i)
-    s = delta_[static_cast<std::size_t>(s) * num_symbols_ + input[i]];
+  if (table_.layout() == table::TableLayout::kDense) {
+    // Hot path: identical to the pre-seam loop — one load per symbol off a
+    // raw pointer, no per-step layout dispatch.
+    const StateId* delta = table_.dense_cells();
+    for (std::size_t i = 0; i < len; ++i)
+      s = delta[static_cast<std::size_t>(s) * num_symbols_ + input[i]];
+    return s;
+  }
+  for (std::size_t i = 0; i < len; ++i) s = table_.next(s, input[i]);
   return s;
 }
 
@@ -28,8 +35,22 @@ void Sfa::init(std::uint32_t dfa_states, unsigned num_symbols,
 void Sfa::set_table(std::vector<StateId> delta,
                     std::vector<std::uint8_t> accepting) {
   num_states_ = static_cast<std::uint32_t>(accepting.size());
-  delta_ = std::move(delta);
+  table_ = table::TransitionTable::dense(std::move(delta), num_states_,
+                                         num_symbols_);
   accepting_ = std::move(accepting);
+}
+
+void Sfa::set_table(table::TransitionTable table,
+                    std::vector<std::uint8_t> accepting) {
+  num_states_ = static_cast<std::uint32_t>(accepting.size());
+  table_ = std::move(table);
+  accepting_ = std::move(accepting);
+}
+
+void Sfa::convert_table_layout(table::TableLayout target, unsigned max_chase) {
+  if (table_.layout() == target) return;
+  table_ = table_.convert(target, max_chase);
+  table::publish_table_metrics(table_.stats());
 }
 
 void Sfa::set_mappings_raw(std::vector<std::uint8_t> cells) {
@@ -109,6 +130,9 @@ std::string Sfa::summary() const {
   os << "SFA: " << with_commas(num_states_) << " states over "
      << num_symbols_ << " symbols (DFA n=" << with_commas(dfa_states_)
      << ", cell width " << cell_width_ << " B";
+  if (table_.layout() != table::TableLayout::kDense)
+    os << ", " << table::layout_name(table_.layout()) << " table "
+       << human_bytes(table_.resident_bytes());
   if (has_mappings_)
     os << ", mapping store " << human_bytes(mapping_store_bytes())
        << (codec_ ? " compressed" : " raw");

@@ -15,6 +15,7 @@
 
 #include "sfa/automata/dfa.hpp"
 #include "sfa/compress/codec.hpp"
+#include "sfa/core/table/transition_table.hpp"
 
 namespace sfa {
 
@@ -68,7 +69,7 @@ class Sfa {
   std::uint32_t dfa_states() const { return dfa_states_; }
 
   StateId transition(StateId s, Symbol symbol) const {
-    return delta_[static_cast<std::size_t>(s) * num_symbols_ + symbol];
+    return table_.next(s, symbol);
   }
 
   /// Runs delta_s over `input` starting from `from`.
@@ -103,6 +104,19 @@ class Sfa {
   /// Cell width in bytes (2 or 4).
   unsigned cell_width() const { return cell_width_; }
 
+  // --- δ-table layout (the TransitionTable seam) --------------------------
+
+  const table::TransitionTable& table() const { return table_; }
+  table::TableLayout table_layout() const { return table_.layout(); }
+  /// Resident bytes of the δ-table under its current layout.
+  std::uint64_t table_bytes() const { return table_.resident_bytes(); }
+  /// Re-encode the δ-table in place (the automaton's language and state
+  /// numbering are unchanged — only lookup cost and footprint move).
+  /// Publishes sfa.table.* metrics.
+  void convert_table_layout(
+      table::TableLayout target,
+      unsigned max_chase = table::TransitionTable::kDefaultMaxChase);
+
   /// Codec of the compressed mapping store (nullptr when raw/absent).
   const Codec* codec() const { return codec_; }
 
@@ -127,7 +141,11 @@ class Sfa {
             unsigned cell_width, std::uint32_t dfa_start,
             std::vector<std::uint8_t> dfa_accepting);
   void set_start(StateId s) { start_ = s; }
+  /// Dense-vector convenience: wraps `delta` in a dense TransitionTable.
   void set_table(std::vector<StateId> delta, std::vector<std::uint8_t> accepting);
+  /// Adopt an already-encoded table (any layout).
+  void set_table(table::TransitionTable table,
+                 std::vector<std::uint8_t> accepting);
   /// Raw (uncompressed, cell-width-packed) mapping store, indexed by id.
   void set_mappings_raw(std::vector<std::uint8_t> cells);
   /// Compressed per-state blobs + the codec that made them.
@@ -146,7 +164,7 @@ class Sfa {
   StateId start_ = 0;
   std::uint32_t dfa_start_ = 0;
 
-  std::vector<StateId> delta_;            // num_states * num_symbols
+  table::TransitionTable table_;          // δ-storage behind the layout seam
   std::vector<std::uint8_t> accepting_;   // per SFA state
   std::vector<std::uint8_t> dfa_accepting_;
 

@@ -1,0 +1,56 @@
+// DenseTableBuilder — construction-side half of the TransitionTable seam.
+//
+// The sequential build driver (build/driver.hpp) interns states one at a
+// time without knowing the final count, so the δ-table must grow as states
+// appear.  Growth policy (geometric doubling, O(log states) relocations)
+// and the relocation counter that feeds BuildStats::delta_reallocations
+// used to live inline in the driver; they are the table's business, so
+// they live here now.  finish() hands the cells to a dense
+// TransitionTable without copying.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sfa/core/table/transition_table.hpp"
+
+namespace sfa::table {
+
+class DenseTableBuilder {
+ public:
+  using StateId = TransitionTable::StateId;
+
+  explicit DenseTableBuilder(unsigned num_symbols) : k_(num_symbols) {}
+
+  /// Make rows [0, rows) addressable.  Doubles capacity when exhausted so
+  /// the backing storage relocates O(log rows) times, not once per state.
+  void ensure_rows(std::uint64_t rows) {
+    const std::size_t need = static_cast<std::size_t>(rows) * k_;
+    if (need > cells_.capacity()) {
+      cells_.reserve(std::max<std::size_t>(need, cells_.capacity() * 2));
+      ++reallocations_;
+    }
+    cells_.resize(need);
+  }
+
+  void set(StateId from, unsigned sym, StateId to) {
+    cells_[static_cast<std::size_t>(from) * k_ + sym] = to;
+  }
+
+  /// Backing-storage relocations so far (BuildStats::delta_reallocations).
+  std::uint64_t reallocations() const { return reallocations_; }
+
+  /// Move the built cells into a dense TransitionTable.  The builder is
+  /// spent afterwards.
+  TransitionTable finish(std::uint32_t num_states) {
+    return TransitionTable::dense(std::move(cells_), num_states, k_);
+  }
+
+ private:
+  const unsigned k_;
+  std::vector<StateId> cells_;
+  std::uint64_t reallocations_ = 0;
+};
+
+}  // namespace sfa::table

@@ -1,0 +1,93 @@
+// SegmentedRows — concurrent row storage shared by the parallel builder's
+// δ segments and the lazy matcher's δ-row publication.
+//
+// A fixed-size directory of atomically-published segment pointers; each
+// segment holds a power-of-two number of `row_width`-wide rows.  Growth
+// never relocates existing rows (pointer stability is what lets racing
+// workers publish into a row while other workers read it), and the only
+// lock sits on the rare segment-allocation path.  A segment's release-store
+// publication is ordered before the owning state's id publication in both
+// consumers, so any reader that saw the id also sees the segment.
+//
+// The element type is the consumer's choice: plain Sfa::StateId rows for
+// the parallel builder (rows are written before the rendezvous that reads
+// them), std::atomic<Node*> rows for the lazy matcher (rows are written
+// WHILE other workers read them — the benign same-value race documented in
+// build/lazy_intern.hpp).  Elements are value-constructed on allocation
+// (zero / nullptr).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace sfa::table {
+
+namespace detail {
+template <typename E>
+inline void zero_element(E& e) {
+  e = E{};
+}
+template <typename T>
+inline void zero_element(std::atomic<T>& e) {
+  e.store(T{}, std::memory_order_relaxed);
+}
+}  // namespace detail
+
+template <typename Element>
+class SegmentedRows {
+ public:
+  SegmentedRows(unsigned row_width, unsigned seg_bits,
+                std::size_t max_segments)
+      : width_(row_width),
+        seg_bits_(seg_bits),
+        mask_((std::uint32_t{1} << seg_bits) - 1),
+        max_segments_(max_segments),
+        directory_(std::make_unique<std::atomic<Element*>[]>(max_segments)) {
+    for (std::size_t i = 0; i < max_segments_; ++i)
+      directory_[i].store(nullptr, std::memory_order_relaxed);
+  }
+
+  SegmentedRows(const SegmentedRows&) = delete;
+  SegmentedRows& operator=(const SegmentedRows&) = delete;
+
+  /// Row of state `id`; valid only after ensure_row(id) has returned (on
+  /// any thread whose visibility is ordered after that return).
+  Element* row(std::uint32_t id) {
+    Element* seg =
+        directory_[id >> seg_bits_].load(std::memory_order_acquire);
+    return seg + static_cast<std::size_t>(id & mask_) * width_;
+  }
+
+  /// Allocate the segment holding `id` if absent.  Returns the bytes newly
+  /// allocated (0 when the segment already existed) so callers with memory
+  /// accounting can charge them.
+  std::size_t ensure_row(std::uint32_t id) {
+    const std::size_t seg = id >> seg_bits_;
+    if (directory_[seg].load(std::memory_order_acquire) != nullptr) return 0;
+    std::lock_guard<std::mutex> lock(alloc_mutex_);
+    if (directory_[seg].load(std::memory_order_relaxed) != nullptr) return 0;
+    const std::size_t entries =
+        (std::size_t{1} << seg_bits_) * width_;
+    auto storage = std::make_unique<Element[]>(entries);
+    for (std::size_t i = 0; i < entries; ++i) detail::zero_element(storage[i]);
+    directory_[seg].store(storage.get(), std::memory_order_release);
+    storage_.push_back(std::move(storage));
+    return entries * sizeof(Element);
+  }
+
+  unsigned row_width() const { return width_; }
+
+ private:
+  const unsigned width_;
+  const unsigned seg_bits_;
+  const std::uint32_t mask_;
+  const std::size_t max_segments_;
+  std::unique_ptr<std::atomic<Element*>[]> directory_;
+  std::vector<std::unique_ptr<Element[]>> storage_;
+  std::mutex alloc_mutex_;
+};
+
+}  // namespace sfa::table

@@ -1,0 +1,411 @@
+#include "sfa/core/table/transition_table.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "sfa/hash/city64.hpp"
+#include "sfa/obs/metrics.hpp"
+
+namespace sfa::table {
+
+namespace {
+
+/// View-keyed hash consing of δ rows: every state's row is hashed once,
+/// collisions fall back to a cell-for-cell compare against the canonical
+/// copy.  Returns per-state unique-row indices; fills `reps` with the first
+/// state carrying each unique row (the row's representative, in discovery
+/// order) and `weights` with how many states share it.
+std::vector<std::uint32_t> hash_cons_rows(
+    const std::vector<TransitionTable::StateId>& dense, std::uint32_t states,
+    unsigned k, std::vector<std::uint32_t>& reps,
+    std::vector<std::uint32_t>& weights) {
+  std::unordered_multimap<std::uint64_t, std::uint32_t> seen;
+  seen.reserve(states);
+  std::vector<std::uint32_t> row_of(states);
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(k) * sizeof(TransitionTable::StateId);
+  for (std::uint32_t s = 0; s < states; ++s) {
+    const auto* row = dense.data() + static_cast<std::size_t>(s) * k;
+    const std::uint64_t h = city_hash64(row, row_bytes);
+    std::uint32_t found = 0xFFFFFFFFu;
+    auto [it, end] = seen.equal_range(h);
+    for (; it != end; ++it) {
+      const auto* canon =
+          dense.data() + static_cast<std::size_t>(reps[it->second]) * k;
+      if (std::memcmp(canon, row, row_bytes) == 0) {
+        found = it->second;
+        break;
+      }
+    }
+    if (found == 0xFFFFFFFFu) {
+      found = static_cast<std::uint32_t>(reps.size());
+      reps.push_back(s);
+      weights.push_back(0);
+      seen.emplace(h, found);
+    }
+    row_of[s] = found;
+    ++weights[found];
+  }
+  return row_of;
+}
+
+}  // namespace
+
+TransitionTable TransitionTable::dense(std::vector<StateId> delta,
+                                       std::uint32_t num_states,
+                                       unsigned num_symbols) {
+  TransitionTable t;
+  t.layout_ = TableLayout::kDense;
+  t.num_states_ = num_states;
+  t.k_ = num_symbols;
+  t.rows_unique_ = num_states;
+  t.cells_ = std::move(delta);
+  return t;
+}
+
+std::vector<TransitionTable::StateId> TransitionTable::materialize_dense()
+    const {
+  if (layout_ == TableLayout::kDense) return cells_;
+  std::vector<StateId> out(static_cast<std::size_t>(num_states_) * k_);
+  for (std::uint32_t s = 0; s < num_states_; ++s)
+    for (unsigned sym = 0; sym < k_; ++sym)
+      out[static_cast<std::size_t>(s) * k_ + sym] = next(s, sym);
+  return out;
+}
+
+TransitionTable TransitionTable::to_dense() const {
+  if (layout_ == TableLayout::kDense) return *this;
+  return dense(materialize_dense(), num_states_, k_);
+}
+
+TransitionTable TransitionTable::to_row_dedup() const {
+  const std::vector<StateId> image = materialize_dense();
+  std::vector<std::uint32_t> reps, weights;
+  std::vector<std::uint32_t> row_of =
+      hash_cons_rows(image, num_states_, k_, reps, weights);
+
+  TransitionTable t;
+  t.layout_ = TableLayout::kRowDedup;
+  t.num_states_ = num_states_;
+  t.k_ = k_;
+  t.rows_unique_ = static_cast<std::uint32_t>(reps.size());
+  t.row_of_ = std::move(row_of);
+  t.cells_.resize(static_cast<std::size_t>(reps.size()) * k_);
+  for (std::size_t u = 0; u < reps.size(); ++u)
+    std::memcpy(t.cells_.data() + u * k_,
+                image.data() + static_cast<std::size_t>(reps[u]) * k_,
+                static_cast<std::size_t>(k_) * sizeof(StateId));
+  return t;
+}
+
+TransitionTable TransitionTable::to_d2fa(unsigned max_chase) const {
+  if (max_chase < 2) max_chase = 2;
+  const std::vector<StateId> image = materialize_dense();
+  std::vector<std::uint32_t> reps, weights;
+  const std::vector<std::uint32_t> urow_of =
+      hash_cons_rows(image, num_states_, k_, reps, weights);
+  const std::uint32_t uniques = static_cast<std::uint32_t>(reps.size());
+  const auto row = [&](std::uint32_t u) {
+    return image.data() + static_cast<std::size_t>(reps[u]) * k_;
+  };
+
+  // Root = the most shared unique row; it keeps all |Σ| entries so every
+  // chase terminates there.
+  std::uint32_t root = 0;
+  for (std::uint32_t u = 1; u < uniques; ++u)
+    if (weights[u] > weights[root]) root = u;
+
+  // Lexicographic order over unique rows: neighbours in this order tend to
+  // differ in few cells, so a row's predecessor is a good default whenever
+  // it beats the root on exception count.  Defaults only ever point at an
+  // earlier sorted row (or the root), so chains are acyclic by construction.
+  std::vector<std::uint32_t> order(uniques);
+  for (std::uint32_t u = 0; u < uniques; ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return std::lexicographical_compare(row(a), row(a) + k_, row(b),
+                                        row(b) + k_);
+  });
+
+  const auto diff_count = [&](std::uint32_t a, std::uint32_t b) {
+    unsigned d = 0;
+    for (unsigned sym = 0; sym < k_; ++sym)
+      if (row(a)[sym] != row(b)[sym]) ++d;
+    return d;
+  };
+
+  // Duplicate states chase their representative (one extra hop), so
+  // representatives themselves stay one level shallower than the bound.
+  const unsigned rep_depth_cap = max_chase - 1;
+  std::vector<std::uint32_t> udefault(uniques, kNoDefault);  // unique index
+  std::vector<unsigned> udepth(uniques, 0);
+  for (std::uint32_t p = 0; p < uniques; ++p) {
+    const std::uint32_t u = order[p];
+    if (u == root) continue;  // full row, no default
+    std::uint32_t pick = root;
+    unsigned pick_diff = diff_count(u, root);
+    if (p > 0 && order[p - 1] != u) {
+      const std::uint32_t pred = order[p - 1];
+      const unsigned pred_diff = diff_count(u, pred);
+      if (pred != root && pred_diff <= pick_diff &&
+          udepth[pred] + 1 <= rep_depth_cap) {
+        pick = pred;
+        pick_diff = pred_diff;
+      }
+    }
+    udefault[u] = pick;
+    udepth[u] = udepth[pick] + 1;
+    (void)pick_diff;
+  }
+
+  TransitionTable t;
+  t.layout_ = TableLayout::kD2fa;
+  t.num_states_ = num_states_;
+  t.k_ = k_;
+  t.rows_unique_ = uniques;
+  t.default_of_.resize(num_states_);
+  t.exc_start_.assign(num_states_ + 1, 0);
+
+  // Pass 1: exception counts per state; pass 2: fill the CSR.
+  const auto exceptions_of = [&](std::uint32_t s, auto&& emit) {
+    const std::uint32_t u = urow_of[s];
+    if (reps[u] != s) return;  // duplicate: default to rep, no exceptions
+    if (udefault[u] == kNoDefault) {
+      for (unsigned sym = 0; sym < k_; ++sym) emit(sym, row(u)[sym]);
+      return;
+    }
+    const auto* base = row(udefault[u]);
+    for (unsigned sym = 0; sym < k_; ++sym)
+      if (row(u)[sym] != base[sym]) emit(sym, row(u)[sym]);
+  };
+  for (std::uint32_t s = 0; s < num_states_; ++s) {
+    std::uint32_t count = 0;
+    exceptions_of(s, [&](unsigned, StateId) { ++count; });
+    t.exc_start_[s + 1] = t.exc_start_[s] + count;
+  }
+  t.exc_sym_.resize(t.exc_start_[num_states_]);
+  t.exc_to_.resize(t.exc_start_[num_states_]);
+  for (std::uint32_t s = 0; s < num_states_; ++s) {
+    const std::uint32_t u = urow_of[s];
+    if (reps[u] != s) {
+      t.default_of_[s] = reps[u];
+    } else if (udefault[u] == kNoDefault) {
+      t.default_of_[s] = kNoDefault;
+    } else {
+      t.default_of_[s] = reps[udefault[u]];
+    }
+    std::uint32_t at = t.exc_start_[s];
+    exceptions_of(s, [&](unsigned sym, StateId to) {
+      t.exc_sym_[at] = static_cast<std::uint8_t>(sym);
+      t.exc_to_[at] = to;
+      ++at;
+    });
+  }
+  t.compute_d2fa_depths();
+  return t;
+}
+
+TransitionTable TransitionTable::convert(TableLayout target,
+                                         unsigned max_chase) const {
+  if (target == layout_) return *this;
+  switch (target) {
+    case TableLayout::kDense:
+      return to_dense();
+    case TableLayout::kRowDedup:
+      return to_row_dedup();
+    case TableLayout::kD2fa:
+      return to_d2fa(max_chase);
+  }
+  throw std::logic_error("TransitionTable: unknown target layout");
+}
+
+void TransitionTable::compute_d2fa_depths() {
+  // Depth via memoized chain walk; a chain longer than num_states_ is a
+  // cycle (possible only in a malformed file — conversion is acyclic).
+  constexpr unsigned kUnknown = 0xFFFFFFFEu;
+  std::vector<unsigned> depth(num_states_, kUnknown);
+  std::vector<StateId> chain;
+  for (std::uint32_t s = 0; s < num_states_; ++s) {
+    if (depth[s] != kUnknown) continue;
+    chain.clear();
+    StateId cur = s;
+    while (depth[cur] == kUnknown && default_of_[cur] != kNoDefault) {
+      chain.push_back(cur);
+      if (chain.size() > num_states_)
+        throw std::runtime_error("d2fa table: default-transition cycle");
+      cur = default_of_[cur];
+      if (cur >= num_states_)
+        throw std::runtime_error("d2fa table: default out of range");
+    }
+    unsigned d = depth[cur] == kUnknown ? 0 : depth[cur];
+    if (depth[cur] == kUnknown) depth[cur] = 0;
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it)
+      depth[*it] = ++d;
+  }
+  max_chase_depth_ = 0;
+  for (unsigned d : depth) max_chase_depth_ = std::max(max_chase_depth_, d);
+  chase_depth_hist_.assign(max_chase_depth_ + 1, 0);
+  for (unsigned d : depth) ++chase_depth_hist_[d];
+}
+
+std::uint64_t TransitionTable::resident_bytes() const {
+  switch (layout_) {
+    case TableLayout::kDense:
+      return cells_.size() * sizeof(StateId);
+    case TableLayout::kRowDedup:
+      return cells_.size() * sizeof(StateId) +
+             row_of_.size() * sizeof(StateId);
+    case TableLayout::kD2fa:
+      return default_of_.size() * sizeof(StateId) +
+             exc_start_.size() * sizeof(std::uint32_t) +
+             exc_sym_.size() * sizeof(std::uint8_t) +
+             exc_to_.size() * sizeof(StateId);
+  }
+  return 0;
+}
+
+TableStats TransitionTable::stats() const {
+  TableStats s;
+  s.layout = layout_;
+  s.resident_bytes = resident_bytes();
+  s.rows_unique = rows_unique_;
+  s.max_chase_depth = max_chase_depth_;
+  s.chase_depth_hist = chase_depth_hist_;
+  return s;
+}
+
+TransitionTable::StateId TransitionTable::inject_corrupt_default_transition(
+    const std::vector<std::pair<StateId, std::uint8_t>>& preferred) {
+  if (layout_ != TableLayout::kD2fa)
+    throw std::logic_error(
+        "inject_corrupt_default_transition: table is not d2fa");
+  // The redirect must change δ(s, ·) for real — pointing the default at a
+  // state whose row happens to agree on every chased symbol would be a
+  // corruption nothing could ever observe.  Work over the materialized
+  // image so candidate rows can be compared directly.
+  const std::vector<StateId> image = materialize_dense();
+  const auto row = [&](StateId s) { return image.data() + std::size_t{s} * k_; };
+  const auto shadowed = [&](StateId s, unsigned sym) {
+    for (std::uint32_t e = exc_start_[s]; e < exc_start_[s + 1]; ++e) {
+      if (exc_sym_[e] == sym) return true;
+      if (exc_sym_[e] > sym) break;
+    }
+    return false;
+  };
+  // Corrupt a (state, symbol) lookup with a redirect that resolves that
+  // exact lookup through a different row.
+  const auto corrupt_at = [&](StateId s, unsigned sym) -> bool {
+    const StateId good = default_of_[s];
+    if (s >= num_states_ || sym >= k_) return false;
+    if (good == kNoDefault || shadowed(s, sym)) return false;
+    for (StateId wrong = 0; wrong < num_states_; ++wrong) {
+      if (wrong == good || wrong == s) continue;
+      if (row(wrong)[sym] == row(good)[sym]) continue;
+      default_of_[s] = wrong;
+      // Depth bookkeeping is deliberately NOT recomputed: the corruption
+      // must look exactly like a bit flipped in a built table.
+      return true;
+    }
+    return false;
+  };
+  for (const auto& [s, sym] : preferred)
+    if (corrupt_at(s, sym)) return s;
+  // No usable preference: first state with a live, non-fully-shadowed
+  // default and any observably-different redirect target.  Low ids first —
+  // builders number states in discovery order, so low ids sit near the
+  // start state.
+  for (std::uint32_t s = 0; s < num_states_; ++s)
+    for (unsigned sym = 0; sym < k_; ++sym)
+      if (corrupt_at(s, sym)) return s;
+  throw std::logic_error(
+      "inject_corrupt_default_transition: no observable corruption exists");
+}
+
+TransitionTable TransitionTable::row_dedup_from_parts(
+    std::vector<StateId> row_of, std::vector<StateId> unique_cells,
+    std::uint32_t num_states, unsigned num_symbols) {
+  if (row_of.size() != num_states)
+    throw std::runtime_error("dedup table: row_of size mismatch");
+  if (num_symbols == 0 || unique_cells.size() % num_symbols != 0)
+    throw std::runtime_error("dedup table: cells not a multiple of symbols");
+  const std::uint32_t uniques =
+      static_cast<std::uint32_t>(unique_cells.size() / num_symbols);
+  for (StateId r : row_of)
+    if (r >= uniques) throw std::runtime_error("dedup table: row index range");
+  for (StateId v : unique_cells)
+    if (v >= num_states)
+      throw std::runtime_error("dedup table: transition out of range");
+  TransitionTable t;
+  t.layout_ = TableLayout::kRowDedup;
+  t.num_states_ = num_states;
+  t.k_ = num_symbols;
+  t.rows_unique_ = uniques;
+  t.row_of_ = std::move(row_of);
+  t.cells_ = std::move(unique_cells);
+  return t;
+}
+
+TransitionTable TransitionTable::d2fa_from_parts(
+    std::vector<StateId> default_of, std::vector<std::uint32_t> exc_start,
+    std::vector<std::uint8_t> exc_sym, std::vector<StateId> exc_to,
+    std::uint32_t num_states, unsigned num_symbols) {
+  if (default_of.size() != num_states ||
+      exc_start.size() != static_cast<std::size_t>(num_states) + 1)
+    throw std::runtime_error("d2fa table: header size mismatch");
+  if (exc_sym.size() != exc_to.size() ||
+      exc_start.back() != exc_sym.size() || exc_start.front() != 0)
+    throw std::runtime_error("d2fa table: exception CSR mismatch");
+  for (std::uint32_t s = 0; s < num_states; ++s) {
+    if (exc_start[s] > exc_start[s + 1])
+      throw std::runtime_error("d2fa table: CSR not monotone");
+    for (std::uint32_t i = exc_start[s]; i < exc_start[s + 1]; ++i) {
+      if (exc_sym[i] >= num_symbols)
+        throw std::runtime_error("d2fa table: exception symbol range");
+      if (i > exc_start[s] && exc_sym[i] <= exc_sym[i - 1])
+        throw std::runtime_error("d2fa table: exceptions not symbol-sorted");
+      if (exc_to[i] >= num_states)
+        throw std::runtime_error("d2fa table: transition out of range");
+    }
+    if (default_of[s] == kNoDefault) {
+      if (exc_start[s + 1] - exc_start[s] != num_symbols)
+        throw std::runtime_error("d2fa table: root row is not complete");
+    } else if (default_of[s] >= num_states) {
+      throw std::runtime_error("d2fa table: default out of range");
+    }
+  }
+  TransitionTable t;
+  t.layout_ = TableLayout::kD2fa;
+  t.num_states_ = num_states;
+  t.k_ = num_symbols;
+  t.default_of_ = std::move(default_of);
+  t.exc_start_ = std::move(exc_start);
+  t.exc_sym_ = std::move(exc_sym);
+  t.exc_to_ = std::move(exc_to);
+  t.compute_d2fa_depths();  // also rejects default cycles
+  // Unique-row count is not stored in the file; the number of states that
+  // carry exceptions (row representatives + the root) reproduces it.
+  t.rows_unique_ = 0;
+  for (std::uint32_t s = 0; s < num_states; ++s)
+    if (t.exc_start_[s + 1] > t.exc_start_[s]) ++t.rows_unique_;
+  return t;
+}
+
+void publish_table_metrics(const TableStats& stats) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("sfa.table.conversions").inc();
+  registry.gauge("sfa.table.resident_bytes")
+      .set(static_cast<std::int64_t>(stats.resident_bytes));
+  registry.gauge("sfa.table.rows_unique")
+      .set(static_cast<std::int64_t>(stats.rows_unique));
+  auto& hist = registry.histogram("sfa.table.chase_depth");
+  std::uint64_t buckets[obs::Histogram::kBuckets] = {};
+  std::uint64_t sum = 0;
+  for (std::size_t d = 0; d < stats.chase_depth_hist.size(); ++d) {
+    buckets[obs::Histogram::bucket_index(d)] += stats.chase_depth_hist[d];
+    sum += d * stats.chase_depth_hist[d];
+  }
+  hist.merge_buckets(buckets, obs::Histogram::kBuckets, sum);
+}
+
+}  // namespace sfa::table

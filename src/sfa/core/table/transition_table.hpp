@@ -1,0 +1,246 @@
+// TransitionTable — the δ-storage policy seam (paper §III table layout).
+//
+// Every consumer of the constructed SFA used to index a dense
+// `num_states × |Σ|` vector directly; r500-class explosive SFAs blow that
+// table out of cache even though most rows are near-duplicates of each
+// other (an SFA state with m live tracks has at most m+1 distinct
+// successors over the whole alphabet).  This type owns δ-storage and lookup
+// behind one inlineable call, with three layouts:
+//
+//   kDense     the original contiguous `state * k + sym` vector — lookup
+//              compiles to the same single load as before the seam.
+//   kRowDedup  hash-consed rows (Regen's SSFA::Minimize observation):
+//              states with identical δ rows share one stored row through a
+//              `state → unique row` indirection vector.  Two dependent
+//              loads per lookup.
+//   kD2fa      default-transition layout (Bille/Gørtz/Pedersen): each state
+//              stores only the symbols on which its row DIFFERS from a
+//              default state's row, plus a pointer to that default; lookup
+//              chases defaults until an exception (or a root row that
+//              stores all |Σ| symbols) resolves the symbol.  The chase
+//              depth is bounded at conversion time (chase_limit()).
+//
+// Conversions always go through a materialized dense image, so any layout
+// converts to any other and the result is provably the same function
+// (tests/test_table.cpp asserts cell-for-cell equality; the differential
+// oracle runs every layout through the engine×task matrix).
+//
+// D²FA construction here is the near-linear heuristic, not the paper's
+// O(S²·|Σ|) maximum-weight spanning tree over the space reduction graph:
+// rows are hash-consed first, the most popular unique row becomes the root
+// (it keeps all |Σ| entries), every other unique row defaults to either its
+// lexicographic predecessor or the root — whichever needs fewer exceptions
+// while keeping the chase depth under the bound — and duplicate states
+// default to their row representative with zero exceptions.  Acyclicity is
+// by construction (defaults always point at an earlier row in the sorted
+// order, or at the root).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sfa::table {
+
+enum class TableLayout : std::uint8_t {
+  kDense = 0,
+  kRowDedup = 1,
+  kD2fa = 2,
+};
+
+/// CLI/stats spelling: "dense", "dedup", "d2fa".  Inline so the obs
+/// exporters (which sit BELOW sfa_core in the library layering) can name
+/// layouts without linking the table implementation.
+inline const char* layout_name(TableLayout layout) {
+  switch (layout) {
+    case TableLayout::kDense:
+      return "dense";
+    case TableLayout::kRowDedup:
+      return "dedup";
+    case TableLayout::kD2fa:
+      return "d2fa";
+  }
+  return "unknown";
+}
+
+/// Inverse of layout_name ("row-dedup" is accepted as an alias); returns
+/// false on an unknown spelling.
+inline bool parse_layout(const std::string& name, TableLayout& out) {
+  if (name == "dense") {
+    out = TableLayout::kDense;
+  } else if (name == "dedup" || name == "row-dedup") {
+    out = TableLayout::kRowDedup;
+  } else if (name == "d2fa") {
+    out = TableLayout::kD2fa;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Snapshot of a table's footprint, exported by `sfa inspect`, the
+/// `--stats-json` documents (additive table_* fields) and the
+/// `sfa.table.*` metrics.
+struct TableStats {
+  TableLayout layout = TableLayout::kDense;
+  /// Bytes of the arrays a lookup can touch (dense cells, indirection
+  /// vectors, exception CSR).  What the ≥3× shrink criterion measures.
+  std::uint64_t resident_bytes = 0;
+  /// Distinct δ rows (dense: num_states — nothing is shared).
+  std::uint32_t rows_unique = 0;
+  /// Deepest default chase any lookup can take (0 outside kD2fa).
+  unsigned max_chase_depth = 0;
+  /// chase_depth_hist[d] = states whose chase resolves in exactly d hops
+  /// (empty outside kD2fa).
+  std::vector<std::uint64_t> chase_depth_hist;
+};
+
+class TransitionTable {
+ public:
+  using StateId = std::uint32_t;
+
+  /// default_of() value for a root state (resolves every symbol locally).
+  static constexpr StateId kNoDefault = 0xFFFFFFFFu;
+  /// Conversion-time bound on the default chase.  ≥ 2 (root chains need
+  /// depth 1 for unique rows plus 1 for duplicate states).
+  static constexpr unsigned kDefaultMaxChase = 4;
+  /// Lookup-time safety bound: a corrupted table (fault injection, hostile
+  /// file) terminates with a deterministic wrong answer instead of looping.
+  static constexpr unsigned kHardChaseLimit = 64;
+
+  TransitionTable() = default;
+
+  /// Wrap an already-built dense vector (num_states * num_symbols entries).
+  static TransitionTable dense(std::vector<StateId> delta,
+                               std::uint32_t num_states, unsigned num_symbols);
+
+  TableLayout layout() const { return layout_; }
+  std::uint32_t num_states() const { return num_states_; }
+  unsigned num_symbols() const { return k_; }
+  bool empty() const { return num_states_ == 0; }
+
+  /// δ(s, sym).  The hot call: one predictable branch on the layout tag,
+  /// then the dense case is the exact pre-seam load.
+  StateId next(StateId s, unsigned sym) const {
+    if (layout_ == TableLayout::kDense)
+      return cells_[static_cast<std::size_t>(s) * k_ + sym];
+    if (layout_ == TableLayout::kRowDedup)
+      return cells_[static_cast<std::size_t>(row_of_[s]) * k_ + sym];
+    return d2fa_next(s, sym);
+  }
+
+  /// Raw dense cells for tight loops (valid only when layout() == kDense).
+  const StateId* dense_cells() const { return cells_.data(); }
+
+  // --- Conversions --------------------------------------------------------
+
+  /// Re-encode into `target` (no-op when already there).  Any source layout
+  /// works: non-dense sources are materialized first.
+  TransitionTable convert(TableLayout target,
+                          unsigned max_chase = kDefaultMaxChase) const;
+  TransitionTable to_dense() const;
+  TransitionTable to_row_dedup() const;
+  TransitionTable to_d2fa(unsigned max_chase = kDefaultMaxChase) const;
+
+  /// The full dense image (num_states * k), whatever the layout.
+  std::vector<StateId> materialize_dense() const;
+
+  // --- Footprint ----------------------------------------------------------
+
+  std::uint64_t resident_bytes() const;
+  std::uint32_t rows_unique() const { return rows_unique_; }
+  /// Deepest default chase (0 outside kD2fa).
+  unsigned max_chase_depth() const { return max_chase_depth_; }
+  TableStats stats() const;
+
+  // --- Fault injection (the oracle's teeth) -------------------------------
+
+  /// Redirect one state's default pointer to a different state WITHOUT
+  /// fixing its exception list — a broken chase the differential oracle
+  /// must catch.  The redirect target is chosen so δ(s, ·) provably
+  /// changes (not just the encoding).  `preferred` biases the choice: each
+  /// (state, symbol) pair is tried first, and the corruption is made
+  /// observable at exactly that lookup — the oracle passes the (state,
+  /// symbol) trace of a probe walk so the corruption lands on a path its
+  /// matchers actually exercise.  kD2fa only; throws std::logic_error
+  /// otherwise.  Returns the corrupted state id.
+  StateId inject_corrupt_default_transition(
+      const std::vector<std::pair<StateId, std::uint8_t>>& preferred = {});
+
+  // --- Serializer access (core/serialize.cpp) -----------------------------
+
+  /// Dense cell vector: per-state rows (kDense) or per-unique rows
+  /// (kRowDedup); empty for kD2fa.
+  const std::vector<StateId>& cells() const { return cells_; }
+  const std::vector<StateId>& row_of() const { return row_of_; }
+  const std::vector<StateId>& defaults() const { return default_of_; }
+  const std::vector<std::uint32_t>& exc_start() const { return exc_start_; }
+  const std::vector<std::uint8_t>& exc_sym() const { return exc_sym_; }
+  const std::vector<StateId>& exc_to() const { return exc_to_; }
+
+  /// Rebuild a kRowDedup table from its serialized parts (validates index
+  /// ranges; throws std::runtime_error on a malformed file).
+  static TransitionTable row_dedup_from_parts(std::vector<StateId> row_of,
+                                              std::vector<StateId> unique_cells,
+                                              std::uint32_t num_states,
+                                              unsigned num_symbols);
+  /// Rebuild a kD2fa table from its serialized parts.  Validates ranges,
+  /// CSR monotonicity, per-state symbol ordering, and that every default
+  /// chain is acyclic (recomputing the chase-depth histogram as it goes);
+  /// throws std::runtime_error on a malformed file.
+  static TransitionTable d2fa_from_parts(std::vector<StateId> default_of,
+                                         std::vector<std::uint32_t> exc_start,
+                                         std::vector<std::uint8_t> exc_sym,
+                                         std::vector<StateId> exc_to,
+                                         std::uint32_t num_states,
+                                         unsigned num_symbols);
+
+ private:
+  StateId d2fa_next(StateId s, unsigned sym) const {
+    for (unsigned hop = 0; hop <= kHardChaseLimit; ++hop) {
+      const std::uint32_t lo = exc_start_[s];
+      const std::uint32_t hi = exc_start_[s + 1];
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        if (exc_sym_[i] == sym) return exc_to_[i];
+        if (exc_sym_[i] > sym) break;  // exceptions are symbol-sorted
+      }
+      const StateId d = default_of_[s];
+      if (d == kNoDefault) break;
+      s = d;
+    }
+    // Only reachable through a corrupted table (see kHardChaseLimit):
+    // deterministic and terminating, so the oracle sees a plain wrong
+    // answer rather than a hang.
+    return s;
+  }
+
+  /// Recompute rows_unique_/max_chase_depth_/chase_depth_hist_ for a kD2fa
+  /// table from the default chains; throws on a cyclic chain.
+  void compute_d2fa_depths();
+
+  TableLayout layout_ = TableLayout::kDense;
+  std::uint32_t num_states_ = 0;
+  unsigned k_ = 0;
+  std::uint32_t rows_unique_ = 0;
+  unsigned max_chase_depth_ = 0;
+
+  // kDense: num_states*k cells.  kRowDedup: rows_unique_*k cells + row_of_.
+  std::vector<StateId> cells_;
+  std::vector<StateId> row_of_;
+
+  // kD2fa: per-state default pointer + symbol-sorted exception CSR.
+  std::vector<StateId> default_of_;
+  std::vector<std::uint32_t> exc_start_;  // num_states + 1
+  std::vector<std::uint8_t> exc_sym_;
+  std::vector<StateId> exc_to_;
+
+  std::vector<std::uint64_t> chase_depth_hist_;
+};
+
+/// Publish a table's footprint to the process metrics registry:
+/// sfa.table.conversions (counter), sfa.table.resident_bytes and
+/// sfa.table.rows_unique (gauges), sfa.table.chase_depth (histogram).
+void publish_table_metrics(const TableStats& stats);
+
+}  // namespace sfa::table

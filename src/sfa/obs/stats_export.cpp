@@ -12,9 +12,30 @@
 
 namespace sfa::obs {
 
+namespace {
+
+/// The additive table_* fields shared by sfa-build-stats/1 and
+/// sfa-match-stats/1 (docs/OBSERVABILITY.md, table seam).
+void write_table_fields(JsonWriter& w, const table::TableStats& t) {
+  w.kv("table_layout", table::layout_name(t.layout));
+  w.kv("table_bytes", t.resident_bytes);
+  w.kv("table_rows_unique", std::uint64_t{t.rows_unique});
+  if (t.layout == table::TableLayout::kD2fa) {
+    w.key("d2fa_chase_depth").begin_object();
+    w.kv("max", std::uint64_t{t.max_chase_depth});
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : t.chase_depth_hist) w.value(c);
+    w.end_array();
+    w.end_object();
+  }
+}
+
+}  // namespace
+
 void write_build_stats_json(std::ostream& os, const BuildStats& stats,
                             const std::string& method, bool include_metrics,
-                            const PerfCounterValues* perf) {
+                            const PerfCounterValues* perf,
+                            const table::TableStats* table) {
   JsonWriter w(os);
   w.begin_object();
   w.kv("schema", "sfa-build-stats/1");
@@ -45,6 +66,7 @@ void write_build_stats_json(std::ostream& os, const BuildStats& stats,
   w.end_object();
   w.kv("peak_frontier_bytes", stats.peak_frontier_bytes);
   w.kv("delta_reallocations", stats.delta_reallocations);
+  if (table != nullptr) write_table_fields(w, *table);
   if (perf != nullptr && perf->available) {
     w.key("perf_counters");
     write_perf_counters_json(w, *perf);
@@ -77,6 +99,7 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
     w.kv("narrowed_entry_states", info.narrowed_entry_states);
     w.kv("narrowed_fallback_chunks", info.narrowed_fallback_chunks);
   }
+  if (info.has_table) write_table_fields(w, info.table);
   w.kv("pool_workers", std::uint64_t{info.pool_workers});
   w.kv("pool_dispatches", info.pool_dispatches);
   w.kv("pool_wakeups", info.pool_wakeups);
@@ -126,10 +149,11 @@ void write_host_info_json(JsonWriter& w) {
 bool write_build_stats_json_file(const std::string& path,
                                  const BuildStats& stats,
                                  const std::string& method,
-                                 const PerfCounterValues* perf) {
+                                 const PerfCounterValues* perf,
+                                 const table::TableStats* table) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) return false;
-  write_build_stats_json(os, stats, method, true, perf);
+  write_build_stats_json(os, stats, method, true, perf, table);
   os.flush();
   return static_cast<bool>(os);
 }

@@ -45,6 +45,12 @@ struct MatchRunInfo {
   unsigned pool_workers = 0;
   std::uint64_t pool_dispatches = 0;
   std::uint64_t pool_wakeups = 0;
+  /// δ-table layout of the SFA this run matched with (`--table-layout` /
+  /// layout-tagged .sfa files): additive sfa-match-stats/1 fields
+  /// table_layout, table_bytes, table_rows_unique and — for d2fa — the
+  /// d2fa_chase_depth histogram, emitted only when `has_table` is set.
+  bool has_table = false;
+  table::TableStats table;
   /// Emit the ExecutionProfiler's sfa-profile/1 snapshot as the additive
   /// `profile` object (the CLI resets the profiler before the timed run so
   /// the section covers exactly this run).
@@ -57,11 +63,14 @@ struct MatchRunInfo {
 /// sfa-build-stats/1.  `method` is build_method_name(...); pass
 /// include_metrics=false to omit the registry snapshot (stable unit tests).
 /// `perf`, when non-null and available, becomes the additive
-/// `perf_counters` object.
+/// `perf_counters` object.  `table`, when non-null, adds the additive
+/// table_layout / table_bytes / table_rows_unique / d2fa_chase_depth
+/// fields.
 void write_build_stats_json(std::ostream& os, const BuildStats& stats,
                             const std::string& method,
                             bool include_metrics = true,
-                            const PerfCounterValues* perf = nullptr);
+                            const PerfCounterValues* perf = nullptr,
+                            const table::TableStats* table = nullptr);
 
 /// sfa-match-stats/1.
 void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
@@ -76,7 +85,8 @@ void write_host_info_json(JsonWriter& w);
 bool write_build_stats_json_file(const std::string& path,
                                  const BuildStats& stats,
                                  const std::string& method,
-                                 const PerfCounterValues* perf = nullptr);
+                                 const PerfCounterValues* perf = nullptr,
+                                 const table::TableStats* table = nullptr);
 bool write_match_stats_json_file(const std::string& path,
                                  const MatchRunInfo& info);
 

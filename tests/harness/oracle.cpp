@@ -283,8 +283,24 @@ std::optional<Divergence> Oracle::structural(const CorpusEntry& entry,
 
 // --- layer 3: matcher differential -------------------------------------------
 
+std::vector<std::pair<std::string, Sfa>> Oracle::make_layout_columns(
+    const Sfa& sfa) const {
+  std::vector<std::pair<std::string, Sfa>> columns;
+  if (!sfa.has_mappings()) return columns;
+  columns.reserve(options_.table_layouts.size());
+  for (const table::TableLayout layout : options_.table_layouts) {
+    if (layout == sfa.table_layout()) continue;  // the baseline column
+    Sfa converted = sfa;
+    converted.convert_table_layout(layout);
+    columns.emplace_back(std::string("eager-") + table::layout_name(layout),
+                         std::move(converted));
+  }
+  return columns;
+}
+
 std::optional<std::string> Oracle::input_divergence(
     const CorpusEntry& entry, const Sfa& sfa,
+    const std::vector<std::pair<std::string, Sfa>>& layout_columns,
     const std::vector<Symbol>& input) const {
   const Dfa& dfa = entry.dfa;
   std::ostringstream os;
@@ -359,6 +375,57 @@ std::optional<std::string> Oracle::input_divergence(
            return std::make_unique<scan::NarrowedEngine>(
                dfa, nopt, sfa.has_mappings() ? &sfa : nullptr, &reach);
          }});
+  }
+
+  // Layout columns: the SAME automaton re-encoded per δ-table layout
+  // (pristine copies built once by make_layout_columns — conversion is too
+  // expensive to repeat per probe).  Each converted copy must answer every
+  // task exactly like the dense baseline (the plain eager column) — both
+  // through the eager engine, whose chunk composition reads δ through
+  // table.next(), and on a raw sequential walk.  The d2fa teeth redirect
+  // one default pointer in a per-input corrupted copy; the matrix must
+  // then report the broken chase.
+  std::vector<std::pair<std::string, Sfa>> corrupt_sfas;
+  if (options_.inject_corrupt_default_transition) {
+    for (const auto& column : layout_columns) {
+      if (column.second.table_layout() != table::TableLayout::kD2fa) continue;
+      Sfa corrupted = column.second;
+      // Land the corruption on a lookup THIS probe performs: trace the
+      // pristine walk and hand its (state, symbol) pairs to the hook, so
+      // the broken chase sits on an exercised path rather than in some far
+      // corner of the state space.
+      std::vector<std::pair<Sfa::StateId, std::uint8_t>> walk;
+      walk.reserve(input.size());
+      Sfa::StateId cur = corrupted.start();
+      for (const Symbol sym : input) {
+        walk.emplace_back(cur, static_cast<std::uint8_t>(sym));
+        cur = corrupted.transition(cur, sym);
+      }
+      table::TransitionTable bad = corrupted.table();
+      bad.inject_corrupt_default_transition(walk);
+      std::vector<std::uint8_t> accepting(corrupted.num_states());
+      for (Sfa::StateId s = 0; s < corrupted.num_states(); ++s)
+        accepting[s] = corrupted.accepting(s) ? 1 : 0;
+      corrupted.set_table(std::move(bad), std::move(accepting));
+      corrupt_sfas.emplace_back(column.first, std::move(corrupted));
+    }
+  }
+  const auto& layout_sfas =
+      options_.inject_corrupt_default_transition ? corrupt_sfas
+                                                 : layout_columns;
+  for (const auto& lp : layout_sfas) {  // layout_sfas is complete: stable refs
+    const Sfa& converted = lp.second;
+    const Sfa::StateId got =
+        converted.run(converted.start(), input.data(), input.size());
+    if (converted.accepting(got) != ref.accepted) {
+      os << lp.first << " sequential walk accepting="
+         << converted.accepting(got) << " vs DFA accepted=" << ref.accepted;
+      return os.str();
+    }
+    engines.push_back({lp.first, [&converted, &dfa] {
+                         return std::make_unique<scan::EagerEngine>(converted,
+                                                                    &dfa);
+                       }});
   }
 
   scan::Executor& exec = scan::default_executor();
@@ -563,8 +630,10 @@ std::optional<Divergence> Oracle::matcher_differential(
     const CorpusEntry& entry, const Sfa& sfa,
     const std::string& variant) const {
   const std::vector<std::vector<Symbol>> probes = make_probes(entry);
+  const std::vector<std::pair<std::string, Sfa>> layout_columns =
+      make_layout_columns(sfa);
   for (const auto& input : probes) {
-    if (auto detail = input_divergence(entry, sfa, input)) {
+    if (auto detail = input_divergence(entry, sfa, layout_columns, input)) {
       Divergence d;
       d.variant = variant;
       d.entry = entry.name;
@@ -574,7 +643,7 @@ std::optional<Divergence> Oracle::matcher_differential(
       d.dfa_states = entry.dfa.size();
       d.input = input;
       d.original_input_length = input.size();
-      if (options_.shrink) shrink_input(entry, sfa, d);
+      if (options_.shrink) shrink_input(entry, sfa, layout_columns, d);
       return d;
     }
   }
@@ -629,11 +698,13 @@ void greedy_shrink_input(
 
 }  // namespace
 
-void Oracle::shrink_input(const CorpusEntry& entry, const Sfa& sfa,
-                          Divergence& d) const {
+void Oracle::shrink_input(
+    const CorpusEntry& entry, const Sfa& sfa,
+    const std::vector<std::pair<std::string, Sfa>>& layout_columns,
+    Divergence& d) const {
   greedy_shrink_input(
       [&](const std::vector<Symbol>& candidate) {
-        return input_divergence(entry, sfa, candidate);
+        return input_divergence(entry, sfa, layout_columns, candidate);
       },
       options_.max_shrink_rounds, d);
 }

@@ -86,6 +86,18 @@ struct OracleOptions {
   /// sets (and disable their fallback so the corruption cannot be masked)
   /// — the matrix must then catch the wrong answers.
   bool inject_corrupt_feasible_set = false;
+  /// δ-table layout columns of the engine×task matrix: the SFA under test
+  /// is re-encoded into each listed layout and the converted copy runs the
+  /// full task set through the eager engine plus a raw sequential walk.
+  /// Lookup must be layout-invariant, so every column answers like the
+  /// dense baseline (the plain "eager" column).  Empty disables the
+  /// columns.  Layouts equal to the SFA's current layout are skipped.
+  std::vector<table::TableLayout> table_layouts = {
+      table::TableLayout::kRowDedup, table::TableLayout::kD2fa};
+  /// Fault-injection teeth hook for the d2fa column: redirect one default
+  /// pointer in the converted copy (without repairing its exception list)
+  /// — a broken default chase the matrix must then catch.
+  bool inject_corrupt_default_transition = false;
   bool structural_audit = true;
   bool shrink = true;
   std::size_t max_shrink_rounds = 400;
@@ -129,11 +141,19 @@ class Oracle {
   std::optional<Divergence> matcher_differential(
       const CorpusEntry& entry, const Sfa& sfa,
       const std::string& variant) const;
+  /// The δ-table layout columns (options_.table_layouts): pristine
+  /// converted copies of `sfa`, one per layout that differs from its
+  /// current one.  Built once per matcher differential — conversion costs
+  /// O(states × symbols) and must not run per probe.
+  std::vector<std::pair<std::string, Sfa>> make_layout_columns(
+      const Sfa& sfa) const;
   /// First matcher-level disagreement on one input, unshrunk.
-  std::optional<std::string> input_divergence(const CorpusEntry& entry,
-                                              const Sfa& sfa,
-                                              const std::vector<Symbol>& input) const;
+  std::optional<std::string> input_divergence(
+      const CorpusEntry& entry, const Sfa& sfa,
+      const std::vector<std::pair<std::string, Sfa>>& layout_columns,
+      const std::vector<Symbol>& input) const;
   void shrink_input(const CorpusEntry& entry, const Sfa& sfa,
+                    const std::vector<std::pair<std::string, Sfa>>& layout_columns,
                     Divergence& d) const;
   void shrink_dfa(const CorpusEntry& entry, const BuilderVariant& variant,
                   Divergence& d) const;

@@ -426,6 +426,34 @@ TEST(OracleNarrowed, CatchesCorruptFeasibleSet) {
   EXPECT_GE(caught, 1u) << "oracle missed the corrupted feasible sets";
 }
 
+TEST(OracleTableLayout, CatchesCorruptDefaultTransition) {
+  // Teeth for the δ-table layout columns of the engine×task matrix:
+  // inject_corrupt_default_transition redirects one default pointer in the
+  // d2fa-converted copy WITHOUT repairing its exception list, so every
+  // lookup that chases through the corrupted state resolves against the
+  // wrong row.  The matrix (eager-d2fa column plus its raw sequential walk)
+  // must report the broken chase on at least one seed — with a shrunk
+  // reproducer, like every other divergence.
+  std::size_t caught = 0;
+  for (const std::uint64_t seed : {17u, 29u, 151u, 311u}) {
+    const CorpusEntry entry = testing::random_dfa_entry(seed, 8, 4, {});
+    const Sfa sfa = build_sfa(entry.dfa, BuildMethod::kTransposed);
+
+    // Sanity: the same matrix with intact default chains is clean.
+    ASSERT_FALSE(Oracle().check_sfa(entry, sfa, "layout-intact").has_value());
+
+    OracleOptions opt;
+    opt.inject_corrupt_default_transition = true;
+    const auto d = Oracle(opt).check_sfa(entry, sfa, "layout-corrupt");
+    if (!d.has_value()) continue;
+    ++caught;
+    EXPECT_EQ(d->kind, "matcher");
+    EXPECT_NE(d->detail.find("d2fa"), std::string::npos) << d->detail;
+    EXPECT_LE(d->input.size(), d->original_input_length);
+  }
+  EXPECT_GE(caught, 1u) << "oracle missed the corrupted default transition";
+}
+
 TEST(OracleFaultInjection, IntactSfaPassesAllLayers) {
   const CorpusEntry entry = testing::random_dfa_entry(151, 5, 4, {});
   for (const BuilderVariant& v : default_variants()) {

@@ -1,14 +1,17 @@
-// SFA binary serialization tests: roundtrips for every mapping mode,
-// corrupt-stream rejection, and behavioural equality after reload.
+// SFA binary serialization tests: roundtrips for every table layout ×
+// mapping mode, the seed-era dense golden fixture, corrupt-stream
+// rejection, and behavioural equality after reload.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "sfa/core/build.hpp"
 #include "sfa/core/equivalence.hpp"
 #include "sfa/core/match.hpp"
 #include "sfa/core/serialize.hpp"
+#include "sfa/core/table/transition_table.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
 #include "sfa/support/rng.hpp"
 
@@ -97,6 +100,111 @@ TEST(Serialize, FileRoundtrip) {
   const Sfa back = load_sfa_file(path);
   expect_same_automaton(sfa, back);
   std::remove(path.c_str());
+}
+
+TEST(Serialize, LayoutTimesMappingModeMatrix) {
+  // Every table layout × every mapping mode must roundtrip: the layout is
+  // preserved through the SFA2 container (dense stays in the SFA1 format),
+  // the resident footprint is restored exactly, and the reloaded automaton
+  // is cell-for-cell the same function.
+  using table::TableLayout;
+  struct MappingMode {
+    const char* name;
+    Sfa (*build)();
+  };
+  const MappingMode modes[] = {
+      {"raw",
+       [] {
+         return build_sfa_transposed(compile_prosite("[AG]-x(4)-G-K-[ST]."));
+       }},
+      {"compressed",
+       [] {
+         BuildOptions opt;
+         opt.num_threads = 2;
+         opt.memory_threshold_bytes = 1;  // force the compression path
+         return build_sfa_parallel(compile_prosite("[AG]-x(4)-G-K-[ST]."),
+                                   opt);
+       }},
+      {"none",
+       [] {
+         BuildOptions opt;
+         opt.keep_mappings = false;
+         return build_sfa_transposed(compile_prosite("[AG]-x(4)-G-K-[ST]."),
+                                     opt);
+       }},
+  };
+  for (const MappingMode& mode : modes) {
+    const Sfa dense = mode.build();
+    for (const TableLayout layout :
+         {TableLayout::kDense, TableLayout::kRowDedup, TableLayout::kD2fa}) {
+      SCOPED_TRACE(std::string(mode.name) + " x " +
+                   table::layout_name(layout));
+      Sfa sfa = dense;
+      sfa.convert_table_layout(layout);
+      std::stringstream buf;
+      save_sfa(sfa, buf);
+      const Sfa back = load_sfa(buf);
+      EXPECT_EQ(back.table_layout(), layout);
+      EXPECT_EQ(back.table_bytes(), sfa.table_bytes());
+      EXPECT_EQ(back.table().rows_unique(), sfa.table().rows_unique());
+      EXPECT_EQ(back.table().max_chase_depth(),
+                sfa.table().max_chase_depth());
+      expect_same_automaton(sfa, back);
+    }
+  }
+}
+
+TEST(Serialize, DenseFormatIsLayoutIndependent) {
+  // A dense SFA saves in the original SFA1 container byte-for-byte — a
+  // dense save never acquires the SFA2 layout tag, so seed-era readers
+  // still load files produced by a dense-configured build.
+  const Dfa dfa = compile_prosite("R-G-D.");
+  const Sfa sfa = build_sfa_transposed(dfa);
+  std::stringstream buf;
+  save_sfa(sfa, buf);
+  EXPECT_EQ(buf.str().substr(0, 4), "SFA1");
+
+  Sfa d2fa = sfa;
+  d2fa.convert_table_layout(table::TableLayout::kD2fa);
+  std::stringstream buf2;
+  save_sfa(d2fa, buf2);
+  EXPECT_EQ(buf2.str().substr(0, 4), "SFA2");
+
+  // Converting back to dense before saving restores the SFA1 bytes exactly.
+  d2fa.convert_table_layout(table::TableLayout::kDense);
+  std::stringstream buf3;
+  save_sfa(d2fa, buf3);
+  EXPECT_EQ(buf3.str(), buf.str());
+}
+
+TEST(Serialize, SeedEraGoldenFixtureLoads) {
+  // tests/data/golden_seed_dense.sfa was written by the PRE-seam serializer
+  // (dense δ-table, raw mappings, pattern "C-x(2)-[DE]."). It must keep
+  // loading unchanged — the dense format is frozen.
+  const std::string path = std::string(SFA_TEST_DATA_DIR) +
+                           "/golden_seed_dense.sfa";
+  std::ifstream probe(path, std::ios::binary);
+  ASSERT_TRUE(probe.good()) << "missing fixture " << path;
+
+  const Sfa golden = load_sfa_file(path);
+  EXPECT_EQ(golden.table_layout(), table::TableLayout::kDense);
+  EXPECT_EQ(golden.num_states(), 78u);
+  EXPECT_EQ(golden.dfa_states(), 9u);
+  EXPECT_EQ(golden.num_symbols(), 20u);
+  ASSERT_TRUE(golden.has_mappings());
+
+  // The current builder still produces the exact same automaton AND the
+  // current serializer still produces the exact same bytes.
+  const Dfa dfa = compile_prosite("C-x(2)-[DE].");
+  const Sfa rebuilt = build_sfa_transposed(dfa);
+  expect_same_automaton(golden, rebuilt);
+  std::stringstream buf;
+  save_sfa(rebuilt, buf);
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream disk;
+  disk << in.rdbuf();
+  EXPECT_EQ(buf.str(), disk.str()) << "dense serialization drifted from the "
+                                      "seed-era golden fixture";
 }
 
 TEST(Serialize, RejectsCorruptStreams) {

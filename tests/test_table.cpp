@@ -1,0 +1,219 @@
+// TransitionTable layout tests (the δ-table policy seam, core/table/).
+//
+// Every layout must encode the SAME function: conversions are checked
+// cell-for-cell against the dense image, converted SFAs must stay
+// isomorphic to their dense originals, and the d2fa/dedup layouts must
+// actually shrink an r500-class explosive SFA (the ≥3× criterion the seam
+// exists for).  Malformed serialized parts must be rejected, and the
+// fault-injection hook must only work where it is meaningful.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "harness/corpus.hpp"
+#include "harness/oracle.hpp"
+#include "sfa/core/build.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/core/table/dense_builder.hpp"
+#include "sfa/core/table/transition_table.hpp"
+#include "sfa/prosite/patterns.hpp"
+
+namespace sfa {
+namespace {
+
+using table::TableLayout;
+using table::TableStats;
+using table::TransitionTable;
+
+// A small table with deliberate row duplication: 6 states x 4 symbols,
+// states {0,2,5} share one row and {1,4} share another.
+TransitionTable small_dup_table() {
+  const std::vector<std::uint32_t> rows[3] = {
+      {1, 2, 3, 0},  // row A
+      {4, 4, 5, 0},  // row B
+      {0, 1, 2, 3},  // row C
+  };
+  std::vector<std::uint32_t> cells;
+  for (const int r : {0, 1, 2, 0, 1, 0})
+    cells.insert(cells.end(), rows[r].begin(), rows[r].end());
+  return TransitionTable::dense(std::move(cells), 6, 4);
+}
+
+void expect_same_function(const TransitionTable& a, const TransitionTable& b) {
+  ASSERT_EQ(a.num_states(), b.num_states());
+  ASSERT_EQ(a.num_symbols(), b.num_symbols());
+  for (std::uint32_t s = 0; s < a.num_states(); ++s)
+    for (unsigned sym = 0; sym < a.num_symbols(); ++sym)
+      ASSERT_EQ(a.next(s, sym), b.next(s, sym))
+          << "delta(" << s << ", " << sym << ") diverged under layout "
+          << table::layout_name(b.layout());
+}
+
+TEST(TransitionTable, LayoutNamesRoundTrip) {
+  for (const TableLayout l :
+       {TableLayout::kDense, TableLayout::kRowDedup, TableLayout::kD2fa}) {
+    TableLayout parsed;
+    ASSERT_TRUE(table::parse_layout(table::layout_name(l), parsed));
+    EXPECT_EQ(parsed, l);
+  }
+  TableLayout out;
+  EXPECT_FALSE(table::parse_layout("sparse", out));
+  EXPECT_TRUE(table::parse_layout("row-dedup", out));  // documented alias
+  EXPECT_EQ(out, TableLayout::kRowDedup);
+}
+
+TEST(TransitionTable, DedupSharesDuplicateRows) {
+  const TransitionTable dense = small_dup_table();
+  EXPECT_EQ(dense.rows_unique(), 6u);  // dense shares nothing
+
+  const TransitionTable dedup = dense.to_row_dedup();
+  EXPECT_EQ(dedup.layout(), TableLayout::kRowDedup);
+  EXPECT_EQ(dedup.rows_unique(), 3u);
+  EXPECT_LT(dedup.resident_bytes(), dense.resident_bytes());
+  expect_same_function(dense, dedup);
+  EXPECT_EQ(dedup.materialize_dense(), dense.cells());
+}
+
+TEST(TransitionTable, D2faEncodesSameFunction) {
+  const TransitionTable dense = small_dup_table();
+  const TransitionTable d2fa = dense.to_d2fa();
+  EXPECT_EQ(d2fa.layout(), TableLayout::kD2fa);
+  EXPECT_LE(d2fa.max_chase_depth(), TransitionTable::kDefaultMaxChase);
+  expect_same_function(dense, d2fa);
+  EXPECT_EQ(d2fa.materialize_dense(), dense.cells());
+
+  // The chase-depth histogram partitions the states.
+  const TableStats stats = d2fa.stats();
+  const std::uint64_t total = std::accumulate(
+      stats.chase_depth_hist.begin(), stats.chase_depth_hist.end(),
+      std::uint64_t{0});
+  EXPECT_EQ(total, d2fa.num_states());
+}
+
+TEST(TransitionTable, EveryConversionPathAgrees) {
+  // convert() from ANY source layout to ANY target must produce the same
+  // function (conversions route through the materialized dense image).
+  const TransitionTable dense = small_dup_table();
+  const TableLayout layouts[] = {TableLayout::kDense, TableLayout::kRowDedup,
+                                 TableLayout::kD2fa};
+  for (const TableLayout from : layouts) {
+    const TransitionTable src = dense.convert(from);
+    for (const TableLayout to : layouts) {
+      const TransitionTable dst = src.convert(to);
+      EXPECT_EQ(dst.layout(), to);
+      expect_same_function(dense, dst);
+    }
+  }
+}
+
+TEST(TransitionTable, DenseBuilderGrowsGeometrically) {
+  table::DenseTableBuilder b(4);
+  for (std::uint32_t s = 0; s < 100; ++s) {
+    b.ensure_rows(s + 1);
+    for (unsigned sym = 0; sym < 4; ++sym) b.set(s, sym, (s + sym) % 100);
+  }
+  // Geometric doubling: O(log states) reallocations, not O(states).
+  EXPECT_LE(b.reallocations(), 9u);
+  const TransitionTable t = b.finish(100);
+  EXPECT_EQ(t.layout(), TableLayout::kDense);
+  for (std::uint32_t s = 0; s < 100; ++s)
+    for (unsigned sym = 0; sym < 4; ++sym)
+      ASSERT_EQ(t.next(s, sym), (s + sym) % 100);
+}
+
+TEST(TransitionTable, MalformedPartsAreRejected) {
+  // row_of pointing past the unique rows.
+  EXPECT_THROW(TransitionTable::row_dedup_from_parts(
+                   {0, 1, 7}, std::vector<std::uint32_t>(2 * 4, 0), 3, 4),
+               std::runtime_error);
+  // Non-monotone exception CSR.
+  EXPECT_THROW(TransitionTable::d2fa_from_parts({TransitionTable::kNoDefault,
+                                                 0},
+                                                {2, 1, 2}, {0, 1}, {0, 0}, 2,
+                                                4),
+               std::runtime_error);
+  // Default-transition cycle (0 -> 1 -> 0).
+  EXPECT_THROW(TransitionTable::d2fa_from_parts({1, 0}, {0, 0, 0}, {}, {}, 2,
+                                                4),
+               std::runtime_error);
+}
+
+TEST(TransitionTable, CorruptionHookIsD2faOnly) {
+  const TransitionTable dense = small_dup_table();
+  TransitionTable dedup = dense.to_row_dedup();
+  EXPECT_THROW(dedup.inject_corrupt_default_transition(), std::logic_error);
+
+  TransitionTable d2fa = dense.to_d2fa();
+  const std::uint32_t corrupted = d2fa.inject_corrupt_default_transition();
+  EXPECT_LT(corrupted, d2fa.num_states());
+  // The corrupted chase still terminates (kHardChaseLimit) — deterministic
+  // wrong answers, never a hang.
+  for (std::uint32_t s = 0; s < d2fa.num_states(); ++s)
+    for (unsigned sym = 0; sym < d2fa.num_symbols(); ++sym)
+      (void)d2fa.next(s, sym);
+}
+
+// --- Through the Sfa seam ----------------------------------------------------
+
+TEST(SfaTableLayout, ConvertedSfaStaysIsomorphic) {
+  const Dfa dfa = make_r_benchmark_dfa(48, 500);
+  const Sfa dense = build_sfa_transposed(dfa);
+  for (const TableLayout layout :
+       {TableLayout::kRowDedup, TableLayout::kD2fa}) {
+    Sfa converted = dense;
+    converted.convert_table_layout(layout);
+    EXPECT_EQ(converted.table_layout(), layout);
+    const auto mismatch = testing::check_isomorphic(dense, converted);
+    EXPECT_FALSE(mismatch.has_value()) << *mismatch;
+    // Round-trip back to dense restores the exact cell vector.
+    converted.convert_table_layout(TableLayout::kDense);
+    EXPECT_EQ(converted.table().cells(), dense.table().cells());
+  }
+}
+
+TEST(SfaTableLayout, ShrinksExplosiveR500ClassSfa) {
+  // The acceptance criterion of the seam: on an r500-class SFA (exact
+  // random string, sink-dominated — the paper's explosive family) the
+  // compressed layouts must shrink the resident δ-table by ≥ 3× while
+  // remaining match-exact (the oracle's layout columns enforce exactness;
+  // isomorphism is re-checked here).
+  const Dfa dfa = make_r_benchmark_dfa(120, 500);
+  const Sfa dense = build_sfa_transposed(dfa);
+  const std::uint64_t dense_bytes = dense.table_bytes();
+  ASSERT_GT(dense_bytes, 0u);
+
+  Sfa dedup = dense;
+  dedup.convert_table_layout(TableLayout::kRowDedup);
+  Sfa d2fa = dense;
+  d2fa.convert_table_layout(TableLayout::kD2fa);
+
+  const std::uint64_t best =
+      std::min(dedup.table_bytes(), d2fa.table_bytes());
+  EXPECT_LE(best * 3, dense_bytes)
+      << "dense " << dense_bytes << " B, dedup " << dedup.table_bytes()
+      << " B, d2fa " << d2fa.table_bytes() << " B";
+
+  EXPECT_FALSE(testing::check_isomorphic(dense, dedup).has_value());
+  EXPECT_FALSE(testing::check_isomorphic(dense, d2fa).has_value());
+}
+
+TEST(SfaTableLayout, StatsReflectLayout) {
+  const Dfa dfa = make_r_benchmark_dfa(32, 500);
+  Sfa sfa = build_sfa_transposed(dfa);
+  const TableStats dense_stats = sfa.table().stats();
+  EXPECT_EQ(dense_stats.layout, TableLayout::kDense);
+  EXPECT_EQ(dense_stats.rows_unique, sfa.num_states());
+  EXPECT_EQ(dense_stats.max_chase_depth, 0u);
+
+  sfa.convert_table_layout(TableLayout::kD2fa);
+  const TableStats d2fa_stats = sfa.table().stats();
+  EXPECT_EQ(d2fa_stats.layout, TableLayout::kD2fa);
+  EXPECT_LE(d2fa_stats.max_chase_depth, TransitionTable::kDefaultMaxChase);
+  EXPECT_EQ(d2fa_stats.resident_bytes, sfa.table_bytes());
+}
+
+}  // namespace
+}  // namespace sfa

@@ -54,6 +54,15 @@
 //   --peek-k K               narrowed: refine each chunk's feasible set by
 //                            peeking its first K symbols (set-image
 //                            composition; default 0)
+//   --table-layout dense|dedup|d2fa
+//                            build: re-encode the δ-table before saving
+//                            (non-dense layouts save as layout-tagged SFA2
+//                            files).  match: re-encode after loading, so a
+//                            dense .sfa can be matched through any layout.
+//                            dedup shares identical rows; d2fa stores
+//                            per-state exceptions + a default pointer
+//                            (bounded-depth chase).  Default: dense on
+//                            build, the file's own layout on match.
 //
 // Observability (docs/OBSERVABILITY.md):
 //   --trace FILE.json        record a span trace of the run (Perfetto /
@@ -112,6 +121,7 @@ struct Options {
   bool narrowed = false;
   unsigned peek_k = 0;
   std::size_t memory_cap = 0;
+  std::string table_layout;  // empty = keep the default/file layout
   std::string pattern;
   std::string output;
   std::string trace_path;
@@ -183,6 +193,8 @@ Options parse(int argc, char** argv) {
       opt.peek_k = static_cast<unsigned>(std::stoul(next()));
     else if (arg == "--memory-cap")
       opt.memory_cap = std::stoull(next());
+    else if (arg == "--table-layout")
+      opt.table_layout = next();
     else if (arg == "--pattern")
       opt.pattern = next();
     else if (arg == "-o" || arg == "--output")
@@ -206,6 +218,36 @@ Options parse(int argc, char** argv) {
 Dfa compile(const Options& opt, const std::string& pattern) {
   if (opt.prosite) return compile_prosite(pattern);
   return compile_pattern(pattern, alphabet_by_name(opt.alphabet_name));
+}
+
+/// --table-layout value, or kDense when the flag was not given.  Exits with
+/// usage() on an unknown spelling.
+table::TableLayout layout_by_name(const std::string& name) {
+  table::TableLayout layout = table::TableLayout::kDense;
+  if (!name.empty() && !table::parse_layout(name, layout))
+    usage(("unknown table layout '" + name +
+           "' (expected dense, dedup, or d2fa)")
+              .c_str());
+  return layout;
+}
+
+/// Re-encode the δ-table when --table-layout asks for it, and report the
+/// footprint move (resident bytes before → after).
+void apply_table_layout(Sfa& sfa, const Options& opt) {
+  if (opt.table_layout.empty()) return;
+  const table::TableLayout target = layout_by_name(opt.table_layout);
+  if (target == sfa.table_layout()) return;
+  const std::uint64_t before = sfa.table_bytes();
+  const WallTimer timer;
+  sfa.convert_table_layout(target);
+  const table::TableStats t = sfa.table().stats();
+  std::printf("table layout:  %s (%s -> %s, %.3f s, %s unique rows",
+              table::layout_name(t.layout), human_bytes(before).c_str(),
+              human_bytes(t.resident_bytes).c_str(), timer.seconds(),
+              with_commas(t.rows_unique).c_str());
+  if (t.layout == table::TableLayout::kD2fa)
+    std::printf(", max chase %u", t.max_chase_depth);
+  std::printf(")\n");
 }
 
 const Codec* codec_by_name(const std::string& name) {
@@ -262,9 +304,10 @@ int cmd_build(const Options& opt) {
   BuildStats stats;
   TraceSession trace(opt.trace_path);
   obs::PerfCounterScope perf("build");
-  const Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
+  Sfa sfa = build_sfa(dfa, opt.method, build, &stats);
   const obs::PerfCounterValues perf_values = perf.stop();
   trace.stop_and_write();
+  apply_table_layout(sfa, opt);
   std::printf("%s\n", sfa.summary().c_str());
   std::printf("construction: %.3f s, %s method, %u thread(s)%s\n",
               stats.seconds, build_method_name(opt.method), stats.threads,
@@ -275,9 +318,10 @@ int cmd_build(const Options& opt) {
                 with_commas(perf_values.instructions).c_str(),
                 perf_values.ipc());
   if (!opt.stats_json_path.empty()) {
+    const table::TableStats table_stats = sfa.table().stats();
     if (!obs::write_build_stats_json_file(opt.stats_json_path, stats,
                                           build_method_name(opt.method),
-                                          &perf_values))
+                                          &perf_values, &table_stats))
       throw std::runtime_error("cannot write stats: " + opt.stats_json_path);
     std::printf("stats: %s\n", opt.stats_json_path.c_str());
   }
@@ -523,7 +567,8 @@ int cmd_match(const Options& opt) {
           "DFA can be recompiled for the two-pass rescan");
   if (opt.count && opt.stream)
     usage("--count and --stream are mutually exclusive");
-  const Sfa sfa = load_sfa_file(opt.positional[0]);
+  Sfa sfa = load_sfa_file(opt.positional[0]);
+  apply_table_layout(sfa, opt);
   const Alphabet& alphabet = alphabet_by_name(opt.alphabet_name);
   if (alphabet.size() != sfa.num_symbols())
     usage("alphabet size does not match the SFA (pass --alphabet)");
@@ -537,6 +582,8 @@ int cmd_match(const Options& opt) {
   info.command = "match";
   info.input_symbols = input.size();
   info.threads = opt.threads;
+  info.has_table = true;
+  info.table = sfa.table().stats();
 
   bool accepted = false;
   std::printf("input: %s symbols, %u thread(s)\n",
@@ -622,10 +669,17 @@ int cmd_inspect(const Options& opt) {
                   static_cast<double>(sfa.num_states()));
   std::printf("dfa states:    %s\n", with_commas(sfa.dfa_states()).c_str());
   std::printf("cell width:    %u bytes\n", sfa.cell_width());
-  const std::uint64_t table_bytes = static_cast<std::uint64_t>(
+  const table::TableStats t = sfa.table().stats();
+  const std::uint64_t dense_bytes = static_cast<std::uint64_t>(
                                         sfa.num_states()) *
                                     sfa.num_symbols() * sizeof(Sfa::StateId);
-  std::printf("delta table:   %s\n", human_bytes(table_bytes).c_str());
+  std::printf("table layout:  %s\n", table::layout_name(t.layout));
+  std::printf("delta table:   %s resident (%s dense)\n",
+              human_bytes(t.resident_bytes).c_str(),
+              human_bytes(dense_bytes).c_str());
+  std::printf("unique rows:   %s\n", with_commas(t.rows_unique).c_str());
+  if (t.layout == table::TableLayout::kD2fa)
+    std::printf("max chase:     %u\n", t.max_chase_depth);
   if (sfa.has_mappings()) {
     const std::uint64_t stored = sfa.mapping_store_bytes();
     const std::uint64_t raw = static_cast<std::uint64_t>(sfa.num_states()) *
