@@ -1,0 +1,285 @@
+// bench_serve — heavy-traffic service benchmark (ISSUE: service layer).
+//
+// Drives MatchService through the shared open-loop simulator across three
+// sections:
+//
+//   1. engine × input-class matrix: every request engine against the
+//      harness input-class generators (low entropy / high entropy /
+//      adversarial-for-narrowing), closed loop, reporting p50/p99 latency
+//      and throughput per cell;
+//   2. churn: a tight cache budget with more live pattern sets than fit,
+//      so requests continuously rebuild + evict (lazy construction and
+//      LRU under pressure are IN the measured path);
+//   3. dispatch amortization: the same request stream served batched
+//      (max_batch=16) vs one-at-a-time, with pool dispatches per request —
+//      the number the batched-submit design exists to shrink.
+//
+// Emits BENCH_serve.json (schema sfa-serve-bench/1) for sfa_bench_compare;
+// latency fields are *_latency_ms (lower is better), throughput fields are
+// *_per_sec (higher is better).
+//
+//   bench_serve [requests-per-cell] [input-symbols] [open-loop-rate/s]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "harness/input_classes.hpp"
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/serve/match_service.hpp"
+#include "sfa/serve/simulator.hpp"
+
+namespace {
+
+using namespace sfa;
+using serve::EngineChoice;
+using serve::MatchRequest;
+using serve::MatchService;
+using serve::PatternSpec;
+using serve::PatternSyntax;
+using serve::TaskKind;
+
+PatternSpec literal(const std::string& text) {
+  return PatternSpec{"lit:" + text, PatternSyntax::kLiteral, text};
+}
+
+std::vector<std::vector<PatternSpec>> bench_sets() {
+  return {
+      {literal("RGD"), literal("WKY"), literal("HDEL")},
+      {literal("KDEL"), PatternSpec{"re", PatternSyntax::kRegex, "W.{2}K"}},
+      {literal("ACDC"), literal("GHRG")},
+  };
+}
+
+struct Cell {
+  std::string engine;
+  std::string input_class;
+  serve::SimResult result;
+};
+
+constexpr TaskKind kTaskMix[] = {TaskKind::kAccept, TaskKind::kCount,
+                                 TaskKind::kFindFirst, TaskKind::kFindAll};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned requests = bench::arg_or(argc, argv, 1, 96);
+  const unsigned input_symbols = bench::arg_or(argc, argv, 2, 6144);
+  const unsigned open_rate = bench::arg_or(argc, argv, 3, 4000);
+
+  serve::ServiceOptions options;
+  options.default_chunks = 4;
+  options.max_batch_workers = 4;  // fixed fan-out: comparable across hosts
+  MatchService service(options);
+  std::vector<std::uint64_t> handles;
+  for (const auto& set : bench_sets())
+    handles.push_back(service.register_set(set));
+  const auto first_entry = service.resolve(handles.front());
+  if (first_entry == nullptr) {
+    std::fprintf(stderr, "bench_serve: could not resolve the seed set\n");
+    return 1;
+  }
+  const unsigned k = service.registry().alphabet().size();
+
+  bench::JsonReport report("serve");
+  report.schema("sfa-serve-bench/1");
+  report.meta("requests_per_cell", requests)
+      .meta("input_symbols", input_symbols)
+      .meta("pattern_sets", handles.size())
+      .meta("open_loop_rate_per_sec", open_rate);
+
+  // --- Section 1: engine × input-class matrix (closed loop) --------------
+  struct InputClass {
+    const char* name;
+    std::vector<std::vector<Symbol>> inputs;
+  };
+  std::vector<InputClass> classes;
+  {
+    std::vector<std::vector<Symbol>> low, high, adv;
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      low.push_back(testing::low_entropy_input(2017 + i, k, input_symbols));
+      high.push_back(testing::high_entropy_input(4034 + i, k, input_symbols));
+      adv.push_back(
+          testing::adversarial_input(first_entry->dfa, 6051 + i, input_symbols));
+    }
+    classes.push_back({"low_entropy", std::move(low)});
+    classes.push_back({"high_entropy", std::move(high)});
+    classes.push_back({"adversarial", std::move(adv)});
+  }
+
+  const std::pair<const char*, EngineChoice> engines[] = {
+      {"eager", EngineChoice::kEager},
+      {"lazy", EngineChoice::kLazy},
+      {"speculative", EngineChoice::kSpeculative},
+      {"narrowed", EngineChoice::kNarrowed},
+  };
+
+  std::printf("== engine x input-class (closed loop, %u requests/cell) ==\n",
+              requests);
+  std::printf("%-12s %-13s %10s %10s %14s\n", "engine", "input", "p50 ms",
+              "p99 ms", "matches/s");
+  std::vector<Cell> cells;
+  for (const auto& [engine_name, engine] : engines) {
+    for (const InputClass& cls : classes) {
+      serve::SimOptions sim;
+      sim.seed = 2017;
+      sim.requests = requests;
+      sim.max_batch = 16;
+      const auto result = serve::run_simulation(
+          service, sim, [&](std::size_t i) {
+            MatchRequest r;
+            r.set = handles[i % handles.size()];
+            r.engine = engine;
+            r.task = kTaskMix[i % 4];
+            const std::vector<Symbol>& input = cls.inputs[i % cls.inputs.size()];
+            r.data = input.data();
+            r.len = input.size();
+            return r;
+          });
+      std::printf("%-12s %-13s %10.3f %10.3f %14.0f\n", engine_name, cls.name,
+                  result.run.p50_ms, result.run.p99_ms,
+                  result.run.matches_per_sec);
+      cells.push_back({engine_name, cls.name, result});
+    }
+  }
+  for (const Cell& cell : cells) {
+    report.add_row()
+        .set("section", "engine_matrix")
+        .set("engine", cell.engine)
+        .set("input_class", cell.input_class)
+        .set("requests", static_cast<std::uint64_t>(requests))
+        .set("failed", cell.result.failed)
+        .set("p50_latency_ms", cell.result.run.p50_ms)
+        .set("p99_latency_ms", cell.result.run.p99_ms)
+        .set("mean_latency_ms", cell.result.run.mean_ms)
+        .set("requests_per_sec", cell.result.run.requests_per_sec)
+        .set("matches_per_sec", cell.result.run.matches_per_sec)
+        .set("symbols_per_sec", cell.result.run.symbols_per_sec);
+  }
+
+  // --- Section 2: open-loop arrivals -------------------------------------
+  {
+    serve::SimOptions sim;
+    sim.seed = 99;
+    sim.requests = requests;
+    sim.max_batch = 16;
+    sim.arrival_rate_per_sec = open_rate;
+    const auto& inputs = classes[1].inputs;  // high entropy
+    const auto result =
+        serve::run_simulation(service, sim, [&](std::size_t i) {
+          MatchRequest r;
+          r.set = handles[i % handles.size()];
+          r.engine = engines[i % 4].second;
+          r.task = kTaskMix[i % 4];
+          const std::vector<Symbol>& input = inputs[i % inputs.size()];
+          r.data = input.data();
+          r.len = input.size();
+          return r;
+        });
+    std::printf("== open loop @ %u req/s: p50 %.3f ms  p99 %.3f ms ==\n",
+                open_rate, result.run.p50_ms, result.run.p99_ms);
+    report.add_row()
+        .set("section", "open_loop")
+        .set("engine", "mixed")
+        .set("input_class", "high_entropy")
+        .set("requests", static_cast<std::uint64_t>(requests))
+        .set("failed", result.failed)
+        .set("p50_latency_ms", result.run.p50_ms)
+        .set("p99_latency_ms", result.run.p99_ms)
+        .set("matches_per_sec", result.run.matches_per_sec);
+  }
+
+  // --- Section 3: pattern-set churn under a tight cache budget -----------
+  {
+    serve::ServiceOptions churn_options;
+    churn_options.default_chunks = 4;
+    churn_options.max_batch_workers = 4;
+    // Size the budget off one entry so roughly two of the twelve live sets
+    // fit: every set rotation evicts and rebuilds.
+    churn_options.cache.memory_budget_bytes = first_entry->bytes * 5 / 2;
+    MatchService churn_service(churn_options);
+    std::vector<std::uint64_t> churn_handles;
+    const char* words[] = {"RGD", "WKY", "HDEL", "KDEL", "ACDC", "GHRG",
+                           "MAP", "PHD", "CHIP", "DISK", "NET", "GRID"};
+    for (const char* w : words)
+      churn_handles.push_back(churn_service.register_set({literal(w)}));
+
+    serve::SimOptions sim;
+    sim.seed = 7;
+    sim.requests = requests;
+    sim.max_batch = 8;
+    const auto& inputs = classes[0].inputs;
+    const auto result =
+        serve::run_simulation(churn_service, sim, [&](std::size_t i) {
+          MatchRequest r;
+          r.set = churn_handles[i % churn_handles.size()];
+          r.engine = EngineChoice::kEager;
+          r.task = kTaskMix[i % 4];
+          const std::vector<Symbol>& input = inputs[i % inputs.size()];
+          r.data = input.data();
+          r.len = input.size();
+          return r;
+        });
+    const auto stats = churn_service.stats();
+    std::printf(
+        "== churn (%zu sets, %llu-byte budget): %llu misses %llu evictions "
+        "p99 %.3f ms ==\n",
+        churn_handles.size(),
+        static_cast<unsigned long long>(churn_options.cache.memory_budget_bytes),
+        static_cast<unsigned long long>(stats.cache.misses),
+        static_cast<unsigned long long>(stats.cache.evictions),
+        result.run.p99_ms);
+    report.add_row()
+        .set("section", "churn")
+        .set("engine", "eager")
+        .set("input_class", "low_entropy")
+        .set("requests", static_cast<std::uint64_t>(requests))
+        .set("failed", result.failed)
+        .set("cache_hits", stats.cache.hits)
+        .set("cache_misses", stats.cache.misses)
+        .set("cache_evictions", stats.cache.evictions)
+        .set("p50_latency_ms", result.run.p50_ms)
+        .set("p99_latency_ms", result.run.p99_ms)
+        .set("requests_per_sec", result.run.requests_per_sec);
+  }
+
+  // --- Section 4: dispatch amortization, batched vs single submit --------
+  for (const std::size_t max_batch : {std::size_t{16}, std::size_t{1}}) {
+    const std::uint64_t before =
+        scan::default_executor().stats().pool_dispatches;
+    serve::SimOptions sim;
+    sim.seed = 11;
+    sim.requests = requests;
+    sim.max_batch = max_batch;
+    const auto& inputs = classes[1].inputs;
+    const auto result =
+        serve::run_simulation(service, sim, [&](std::size_t i) {
+          MatchRequest r;
+          r.set = handles[i % handles.size()];
+          r.engine = EngineChoice::kEager;
+          r.task = TaskKind::kCount;
+          const std::vector<Symbol>& input = inputs[i % inputs.size()];
+          r.data = input.data();
+          r.len = input.size();
+          return r;
+        });
+    const std::uint64_t dispatches =
+        scan::default_executor().stats().pool_dispatches - before;
+    const double per_request =
+        static_cast<double>(dispatches) / static_cast<double>(requests);
+    const char* mode = max_batch > 1 ? "batched" : "single";
+    std::printf(
+        "== %s submit: %.3f dispatches/request, %.0f requests/s ==\n", mode,
+        per_request, result.run.requests_per_sec);
+    report.add_row()
+        .set("section", "dispatch_amortization")
+        .set("mode", mode)
+        .set("requests", static_cast<std::uint64_t>(requests))
+        .set("pool_dispatches", dispatches)
+        .set("dispatches_per_request", per_request)
+        .set("requests_per_sec", result.run.requests_per_sec);
+  }
+
+  report.write();
+  return 0;
+}

@@ -126,6 +126,14 @@ class JsonReport {
  public:
   explicit JsonReport(std::string name) : name_(std::move(name)) {}
 
+  /// Override the schema tag (default sfa-bench/1).  Benches whose row
+  /// shape is its own contract — e.g. bench_serve's sfa-serve-bench/1 —
+  /// stamp themselves so consumers can dispatch on it.
+  JsonReport& schema(std::string schema_tag) {
+    schema_ = std::move(schema_tag);
+    return *this;
+  }
+
   /// Top-level metadata (args, workload sizes, summary statistics).
   template <typename T>
   JsonReport& meta(const std::string& key, T&& value) {
@@ -153,7 +161,7 @@ class JsonReport {
     }
     obs::JsonWriter w(os);
     w.begin_object();
-    w.kv("schema", "sfa-bench/1");
+    w.kv("schema", schema_);
     w.kv("bench", name_);
     w.kv("cpu", cpu_model_name());
     w.kv("hardware_threads", hardware_threads());
@@ -189,6 +197,7 @@ class JsonReport {
   }
 
   std::string name_;
+  std::string schema_ = "sfa-bench/1";
   Fields meta_;
   std::vector<Fields> rows_;
 };

@@ -1,0 +1,288 @@
+#include "sfa/serve/match_service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <unordered_set>
+#include <utility>
+
+#include "sfa/core/lazy_matcher.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/scan/engine.hpp"
+#include "sfa/core/scan/tasks.hpp"
+#include "sfa/obs/metrics.hpp"
+#include "sfa/obs/trace.hpp"
+#include "sfa/support/cpu.hpp"
+
+namespace sfa::serve {
+
+const char* engine_choice_name(EngineChoice e) {
+  switch (e) {
+    case EngineChoice::kEager: return "eager";
+    case EngineChoice::kLazy: return "lazy";
+    case EngineChoice::kSpeculative: return "speculative";
+    case EngineChoice::kNarrowed: return "narrowed";
+  }
+  return "?";
+}
+
+const char* task_kind_name(TaskKind t) {
+  switch (t) {
+    case TaskKind::kAccept: return "accept";
+    case TaskKind::kCount: return "count";
+    case TaskKind::kFindFirst: return "find_first";
+    case TaskKind::kFindAll: return "find_all";
+  }
+  return "?";
+}
+
+namespace {
+
+scan::EngineId engine_id_of(EngineChoice e) {
+  switch (e) {
+    case EngineChoice::kEager: return scan::EngineId::kEager;
+    case EngineChoice::kLazy: return scan::EngineId::kLazy;
+    case EngineChoice::kSpeculative: return scan::EngineId::kSpeculative;
+    case EngineChoice::kNarrowed: return scan::EngineId::kNarrowed;
+  }
+  return scan::EngineId::kEager;
+}
+
+/// Run one scan-substrate engine through the request's task.  Chunk scans
+/// go through the DEFAULT executor: inside a batch the request already
+/// sits on a pool worker and the pool's nested-inline guard runs them
+/// inline for free, while a width-1 submit (single request, or a
+/// single-core host) still gets real chunk parallelism — one dispatch per
+/// request, which is exactly the cost batching amortizes away.
+void run_task(scan::ScanEngine& engine, const MatchRequest& request,
+              unsigned chunks, MatchResponse& response) {
+  scan::Executor& exec = scan::default_executor();
+  switch (request.task) {
+    case TaskKind::kAccept:
+      response.accepted =
+          scan::run_accept(engine, exec, request.data, request.len, chunks)
+              .accepted;
+      break;
+    case TaskKind::kCount:
+      response.count =
+          scan::run_count(engine, exec, request.data, request.len, chunks);
+      break;
+    case TaskKind::kFindFirst:
+      response.first = scan::run_find_first(engine, exec, request.data,
+                                            request.len, chunks);
+      break;
+    case TaskKind::kFindAll:
+      response.positions = scan::run_find_all(engine, exec, request.data,
+                                              request.len, chunks);
+      break;
+  }
+}
+
+}  // namespace
+
+MatchService::MatchService(ServiceOptions options)
+    : options_(std::move(options)),
+      registry_(options_.alphabet != nullptr ? *options_.alphabet
+                                             : Alphabet::amino()),
+      cache_(options_.cache) {
+  if (options_.max_batch_workers == 0)
+    options_.max_batch_workers = hardware_threads();
+  if (options_.default_chunks == 0) options_.default_chunks = 1;
+  if (options_.build_threads == 0) options_.build_threads = hardware_threads();
+}
+
+std::uint64_t MatchService::register_set(std::vector<PatternSpec> patterns) {
+  const std::uint64_t fp = registry_.fingerprint(patterns);
+  std::lock_guard<std::mutex> lock(sets_mutex_);
+  sets_[fp] = std::move(patterns);
+  return fp;
+}
+
+std::vector<PatternSpec> MatchService::set_patterns(
+    std::uint64_t handle) const {
+  std::lock_guard<std::mutex> lock(sets_mutex_);
+  auto it = sets_.find(handle);
+  return it == sets_.end() ? std::vector<PatternSpec>{} : it->second;
+}
+
+SfaCache::EntryPtr MatchService::resolve(std::uint64_t handle) {
+  const std::vector<PatternSpec> specs = set_patterns(handle);
+  if (specs.empty()) return nullptr;
+  SFA_TRACE_SPAN(span, "serve", "resolve-set");
+  span.arg("fingerprint", handle);
+  return cache_.get_or_build(
+      handle, [&] { return registry_.compile_union(specs); },
+      [&](const Dfa& dfa) -> std::optional<Sfa> {
+        if (dfa.size() > options_.max_eager_dfa_states)
+          return std::nullopt;  // DFA-only entry: over the eager budget
+        BuildOptions build;
+        build.num_threads = options_.build_threads;
+        build.keep_mappings = true;  // narrowed fallback + eager need f_s
+        build.max_states = options_.max_sfa_states;
+        try {
+          return build_sfa(dfa, options_.build_method, build);
+        } catch (const std::exception&) {
+          return std::nullopt;  // SFA blow-up past max_sfa_states
+        }
+      });
+}
+
+MatchResponse MatchService::submit(const MatchRequest& request) {
+  return submit_batch({request}).front();
+}
+
+std::vector<MatchResponse> MatchService::submit_batch(
+    const std::vector<MatchRequest>& batch) {
+  std::vector<MatchResponse> responses(batch.size());
+  if (batch.empty()) return responses;
+
+  SFA_TRACE_SPAN(span, "serve", "batch");
+  span.arg("requests", batch.size());
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  obs::Registry::instance().counter("sfa.serve.batches").inc();
+  obs::Registry::instance().counter("sfa.serve.requests").inc(batch.size());
+
+  // Resolve phase: every distinct pattern set in the batch, on the caller
+  // thread.  Under churn this is where union compilation, SFA construction
+  // and cache eviction happen — deliberately off the pool so the execute
+  // phase dispatches exactly once.
+  std::unordered_map<std::uint64_t, SfaCache::EntryPtr> entries;
+  std::unordered_map<std::uint64_t, std::string> resolve_errors;
+  for (const MatchRequest& r : batch) {
+    if (entries.find(r.set) != entries.end()) continue;
+    SfaCache::EntryPtr entry;
+    try {
+      entry = resolve(r.set);
+    } catch (const std::exception& e) {
+      resolve_errors.emplace(r.set, e.what());  // e.g. a malformed pattern
+    }
+    entries.emplace(r.set, std::move(entry));
+  }
+
+  // Execute phase: one pool dispatch for the whole batch, tasks striped
+  // over requests.  Each request scans with the inline executor on its
+  // worker — N requests cost 1 dispatch, not N (see the pool_dispatches
+  // regression test in test_serve).
+  const unsigned width = static_cast<unsigned>(
+      std::min<std::size_t>(batch.size(), options_.max_batch_workers));
+  auto body = [&](unsigned t) {
+    for (std::size_t i = t; i < batch.size(); i += width) {
+      const MatchRequest& request = batch[i];
+      MatchResponse& response = responses[i];
+      const auto entry_it = entries.find(request.set);
+      try {
+        if (entry_it->second == nullptr) {
+          const auto err_it = resolve_errors.find(request.set);
+          throw std::invalid_argument(err_it != resolve_errors.end()
+                                          ? err_it->second
+                                          : "unknown pattern set handle");
+        }
+        serve_one(request, *entry_it->second, response);
+        response.fingerprint = entry_it->second->fingerprint;
+        response.ok = true;
+      } catch (const std::exception& e) {
+        response.ok = false;
+        response.error = e.what();
+      }
+    }
+  };
+  scan::default_executor().for_chunks(width, body);
+
+  std::uint64_t failed = 0;
+  for (const MatchResponse& r : responses)
+    if (!r.ok) ++failed;
+  failed_requests_.fetch_add(failed, std::memory_order_relaxed);
+  return responses;
+}
+
+void MatchService::serve_one(const MatchRequest& request,
+                             const SfaCache::Entry& entry,
+                             MatchResponse& response) const {
+  // Category "build": lazy construction and per-request engine setup
+  // happen under this span, and — like the builder/lazy-chunk spans — it
+  // marks the thread as a worker track for sfa_trace_check
+  // --expect-workers.
+  SFA_TRACE_SPAN(span, "build", "serve-request");
+  span.arg("engine", static_cast<std::uint64_t>(engine_id_of(request.engine)));
+  span.arg("task", static_cast<std::uint64_t>(request.task));
+
+  unsigned chunks = request.chunks != 0 ? request.chunks : options_.default_chunks;
+  if (chunks == 0) chunks = 1;
+
+  switch (request.engine) {
+    case EngineChoice::kEager: {
+      if (!entry.sfa)
+        throw std::runtime_error(
+            "pattern set exceeds the eager SFA budget; use lazy, "
+            "speculative, or narrowed");
+      scan::EagerEngine engine(*entry.sfa, &entry.dfa);
+      run_task(engine, request, chunks, response);
+      return;
+    }
+    case EngineChoice::kSpeculative: {
+      const std::vector<Symbol> sample(
+          request.data, request.data + std::min<std::size_t>(request.len, 4096));
+      scan::SpeculativeEngine engine(entry.dfa,
+                                     pick_speculation_state(entry.dfa, sample));
+      run_task(engine, request, chunks, response);
+      return;
+    }
+    case EngineChoice::kNarrowed: {
+      scan::NarrowedOptions narrowed;
+      narrowed.peek_k = options_.narrowed_peek_k;
+      scan::NarrowedEngine engine(entry.dfa, narrowed,
+                                  entry.sfa ? &*entry.sfa : nullptr,
+                                  &entry.reach_table());
+      run_task(engine, request, chunks, response);
+      return;
+    }
+    case EngineChoice::kLazy: {
+      // One LazyMatcher per request: concurrent calls on one instance are
+      // unsupported by contract, and the intern table is per-scan state.
+      // Its chunk workers route through the default executor; inside a
+      // batch worker the pool's nested-inline guard runs them inline.
+      if (request.task == TaskKind::kFindAll) {
+        // LazyMatcher has no find-all; serve it as a pure DFA rescan (the
+        // no-prebuilt-SFA policy the lazy path degrades to anyway).
+        scan::DirectEngine engine(entry.dfa);
+        run_task(engine, request, chunks, response);
+        return;
+      }
+      LazyMatchOptions lazy;
+      lazy.num_threads = chunks;
+      LazyMatcher matcher(entry.dfa, lazy);
+      const std::vector<Symbol> input(request.data, request.data + request.len);
+      switch (request.task) {
+        case TaskKind::kAccept:
+          response.accepted = matcher.match(input).accepted;
+          break;
+        case TaskKind::kCount:
+          response.count = matcher.count(input);
+          break;
+        case TaskKind::kFindFirst:
+          response.first = matcher.find_first(input);
+          break;
+        case TaskKind::kFindAll:
+          break;  // handled above
+      }
+      return;
+    }
+  }
+  throw std::invalid_argument("unknown engine choice");
+}
+
+ServiceStats MatchService::stats() const {
+  ServiceStats out;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.failed_requests = failed_requests_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(sets_mutex_);
+    out.registered_sets = sets_.size();
+  }
+  out.cache = cache_.stats();
+  out.pool = scan::default_executor().stats();
+  return out;
+}
+
+}  // namespace sfa::serve

@@ -1,0 +1,152 @@
+// MatchService — the long-lived, many-pattern, many-request front door
+// (docs/ARCHITECTURE.md, service layer).
+//
+// The ROADMAP north star is serving heavy traffic: many concurrent match
+// requests against registered pattern sets, each request picking its
+// question (accept / count / find-first / find-all) and its engine (eager /
+// lazy / speculative / narrowed).  The service composes the PR 5 matching
+// substrate with the registry + cache:
+//
+//   submit_batch(requests)
+//     resolve:  distinct pattern sets -> SfaCache::get_or_build (lazy
+//               construction under churn happens here, off the pool)
+//     execute:  ONE PooledExecutor dispatch for the whole batch — tasks
+//               are striped over requests (task t serves requests t,
+//               t+width, ...).  Per-request chunk scans go through the
+//               default executor too, but on a pool worker the
+//               WorkerPool's nested-inline guard runs them inline: a batch
+//               of N requests costs one pool dispatch, not N (pinned by
+//               the pool_dispatches regression test), while a width-1
+//               submit keeps per-request chunk parallelism.
+//
+// Engines are constructed per request (they are stateful per scan); the
+// heavy shared state — union DFA, SFA, reach table — comes from the cache
+// entry and is immutable, so any number of workers and caller threads can
+// serve one set concurrently.  Requests never throw out of submit_batch:
+// per-request failures come back in MatchResponse::error.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sfa/core/build.hpp"
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/serve/pattern_registry.hpp"
+#include "sfa/serve/sfa_cache.hpp"
+
+namespace sfa::serve {
+
+enum class EngineChoice { kEager, kLazy, kSpeculative, kNarrowed };
+enum class TaskKind { kAccept, kCount, kFindFirst, kFindAll };
+
+const char* engine_choice_name(EngineChoice e);
+const char* task_kind_name(TaskKind t);
+
+struct MatchRequest {
+  /// Pattern-set handle from register_set() (its fingerprint).
+  std::uint64_t set = 0;
+  TaskKind task = TaskKind::kAccept;
+  EngineChoice engine = EngineChoice::kEager;
+  /// Caller-owned input; must outlive submit_batch().
+  const Symbol* data = nullptr;
+  std::size_t len = 0;
+  /// Chunk count for this request's scan; 0 takes the service default.
+  unsigned chunks = 0;
+};
+
+struct MatchResponse {
+  bool ok = false;
+  std::string error;               // set when !ok; other fields undefined
+  std::uint64_t fingerprint = 0;   // pattern set that answered
+  bool accepted = false;           // kAccept
+  std::size_t count = 0;           // kCount
+  std::size_t first = 0;           // kFindFirst (kNoMatch when none)
+  std::vector<std::size_t> positions;  // kFindAll, ascending
+};
+
+struct ServiceOptions {
+  /// Upper bound on the batch fan-out width (pool workers used by one
+  /// batch).  0 means hardware_threads().  The pool is shared with every
+  /// other matcher in the process and sized by the widest dispatch, so the
+  /// cap keeps a 1000-request batch from inflating the team to 1000.
+  unsigned max_batch_workers = 0;
+  /// Default per-request chunk count when MatchRequest::chunks == 0.
+  unsigned default_chunks = 4;
+  /// Peek depth for narrowed-engine requests.
+  unsigned narrowed_peek_k = 2;
+  /// SFA construction for cache misses.
+  BuildMethod build_method = BuildMethod::kParallel;
+  unsigned build_threads = 0;  // 0 = hardware_threads()
+  /// Eager-SFA build budgets.  Pattern-set unions can explode (a handful
+  /// of PROSITE motifs can determinize to 100k+ DFA states, whose eager
+  /// SFA is astronomically large) — a service must degrade, not hang.
+  /// Sets whose union DFA exceeds max_eager_dfa_states, or whose SFA build
+  /// aborts on max_sfa_states, are cached DFA-only: lazy / speculative /
+  /// direct requests still serve them, eager requests fail fast.
+  std::uint32_t max_eager_dfa_states = 2048;
+  std::uint64_t max_sfa_states = 1u << 16;
+  SfaCacheOptions cache;
+  /// Alphabet every registered pattern set compiles over.
+  const Alphabet* alphabet = nullptr;  // null = Alphabet::amino()
+};
+
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t failed_requests = 0;
+  std::uint64_t registered_sets = 0;
+  SfaCacheStats cache;
+  scan::ExecutorStats pool;  // process-wide pooled-executor counters
+};
+
+class MatchService {
+ public:
+  explicit MatchService(ServiceOptions options = {});
+
+  /// Register (or re-register — idempotent) a pattern set; returns the
+  /// handle requests name it by.  Registration only records the specs:
+  /// compilation and SFA construction happen on first use, so churny
+  /// workloads exercise lazy construction + cache eviction.
+  std::uint64_t register_set(std::vector<PatternSpec> patterns);
+
+  /// Specs behind a handle (empty when unknown) — the oracle's reference
+  /// side recompiles members from these.
+  std::vector<PatternSpec> set_patterns(std::uint64_t handle) const;
+
+  /// Serve a whole batch through one pool dispatch.  Responses are
+  /// positional (responses[i] answers batch[i]).
+  std::vector<MatchResponse> submit_batch(
+      const std::vector<MatchRequest>& batch);
+
+  /// Convenience: a batch of one.
+  MatchResponse submit(const MatchRequest& request);
+
+  /// Force-resolve a handle's cache entry (compile + build now).  Returns
+  /// null on unknown handles.  Tests use it to warm the cache.
+  SfaCache::EntryPtr resolve(std::uint64_t handle);
+
+  ServiceStats stats() const;
+  const PatternRegistry& registry() const { return registry_; }
+  SfaCache& cache() { return cache_; }
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void serve_one(const MatchRequest& request, const SfaCache::Entry& entry,
+                 MatchResponse& response) const;
+
+  ServiceOptions options_;
+  PatternRegistry registry_;
+  SfaCache cache_;
+  mutable std::mutex sets_mutex_;
+  std::unordered_map<std::uint64_t, std::vector<PatternSpec>> sets_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> failed_requests_{0};
+};
+
+}  // namespace sfa::serve

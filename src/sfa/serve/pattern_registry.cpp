@@ -1,0 +1,102 @@
+#include "sfa/serve/pattern_registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "sfa/automata/minimize.hpp"
+#include "sfa/automata/ops.hpp"
+#include "sfa/automata/product.hpp"
+#include "sfa/hash/rabin.hpp"
+#include "sfa/prosite/prosite_parser.hpp"
+
+namespace sfa::serve {
+
+const char* pattern_syntax_name(PatternSyntax s) {
+  switch (s) {
+    case PatternSyntax::kProsite: return "prosite";
+    case PatternSyntax::kRegex: return "regex";
+    case PatternSyntax::kLiteral: return "literal";
+  }
+  return "?";
+}
+
+std::uint64_t PatternRegistry::fingerprint(
+    const std::vector<PatternSpec>& set) const {
+  // Canonical form: (syntax, text) pairs sorted and deduplicated, joined
+  // with unit/record separators that cannot appear in pattern text, plus
+  // the alphabet size (the same text means different automata over
+  // different alphabets).
+  std::vector<std::pair<int, std::string>> members;
+  members.reserve(set.size());
+  for (const PatternSpec& p : set)
+    members.emplace_back(static_cast<int>(p.syntax), p.text);
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+
+  std::string canon = "sfa-serve-set/1\x1e";
+  canon += std::to_string(alphabet_->size());
+  canon += '\x1e';
+  for (const auto& [syntax, text] : members) {
+    canon += static_cast<char>('0' + syntax);
+    canon += '\x1f';
+    canon += text;
+    canon += '\x1e';
+  }
+  return rabin_fingerprint(canon.data(), canon.size());
+}
+
+Dfa PatternRegistry::compile_member(const PatternSpec& spec) const {
+  switch (spec.syntax) {
+    case PatternSyntax::kProsite: {
+      Dfa dfa = compile_prosite(spec.text);
+      if (dfa.num_symbols() != alphabet_->size())
+        throw std::invalid_argument(
+            "PatternRegistry: PROSITE member '" + spec.id +
+            "' needs the amino alphabet");
+      return dfa;
+    }
+    case PatternSyntax::kRegex:
+      return compile_pattern(spec.text, *alphabet_);
+    case PatternSyntax::kLiteral: {
+      if (spec.text.empty())
+        throw std::invalid_argument("PatternRegistry: empty literal '" +
+                                    spec.id + "'");
+      // A one-word Aho–Corasick trie is exactly the KMP match-anywhere
+      // automaton of the literal; minimize to keep union products small.
+      AhoCorasick ac({alphabet_->encode(spec.text)}, alphabet_->size());
+      return minimize(ac.to_dfa());
+    }
+  }
+  throw std::invalid_argument("PatternRegistry: unknown syntax");
+}
+
+Dfa PatternRegistry::compile_union(const std::vector<PatternSpec>& set) const {
+  if (set.empty())
+    throw std::invalid_argument("PatternRegistry: empty pattern set");
+  std::vector<Dfa> members;
+  members.reserve(set.size());
+  for (const PatternSpec& p : set) members.push_back(compile_member(p));
+  return dfa_union_all(std::move(members));
+}
+
+bool PatternRegistry::all_literal(const std::vector<PatternSpec>& set) {
+  return std::all_of(set.begin(), set.end(), [](const PatternSpec& p) {
+    return p.syntax == PatternSyntax::kLiteral;
+  });
+}
+
+AhoCorasick PatternRegistry::build_aho_corasick(
+    const std::vector<PatternSpec>& set) const {
+  std::vector<std::vector<Symbol>> words;
+  words.reserve(set.size());
+  for (const PatternSpec& p : set) {
+    if (p.syntax != PatternSyntax::kLiteral)
+      throw std::invalid_argument(
+          "PatternRegistry: Aho-Corasick baseline needs literal-only sets");
+    words.push_back(alphabet_->encode(p.text));
+  }
+  return AhoCorasick(std::move(words), alphabet_->size());
+}
+
+}  // namespace sfa::serve

@@ -1,0 +1,83 @@
+// PatternRegistry — the compilation front end of the matching service
+// (docs/ARCHITECTURE.md, service layer).
+//
+// The paper's headline workload is 1250 PROSITE patterns over protein
+// corpora; a service answering "which of my patterns hit this input"
+// compiles a whole pattern SET into one automaton and matches it once.
+// The registry owns that front end:
+//
+//   * each member pattern compiles to a minimal match-anywhere DFA
+//     (PROSITE via the prosite parser, regex via compile_pattern, literals
+//     via a KMP-style single-word Aho–Corasick export),
+//   * a set compiles to the minimized union of its members
+//     (automata/product.cpp balanced pairwise composition), so the union
+//     DFA accepts at position p iff some member accepts at p,
+//   * literal-only sets additionally get a classic Aho–Corasick automaton
+//     — the multi-literal baseline the fuzz suite differentials against,
+//   * every set has a canonical Rabin fingerprint (order-independent,
+//     syntax-aware) — the SfaCache key, after Jung/Burgstaller/Blieberger's
+//     fingerprint-keyed SDFA caching.
+//
+// The registry is stateless apart from its alphabet: compilation results
+// are owned by the caller (the SfaCache holds the long-lived ones).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfa/automata/alphabet.hpp"
+#include "sfa/automata/dfa.hpp"
+#include "sfa/classic/aho_corasick.hpp"
+
+namespace sfa::serve {
+
+enum class PatternSyntax {
+  kProsite,  // PROSITE motif, amino-acid alphabet semantics
+  kRegex,    // library regex syntax over the registry alphabet
+  kLiteral,  // exact substring (no metacharacters)
+};
+
+const char* pattern_syntax_name(PatternSyntax s);
+
+/// One member of a pattern set.  `id` is caller-chosen (PROSITE accession,
+/// rule name, ...) and is not part of the fingerprint — two sets with the
+/// same patterns under different ids share one cache entry.
+struct PatternSpec {
+  std::string id;
+  PatternSyntax syntax = PatternSyntax::kLiteral;
+  std::string text;
+};
+
+class PatternRegistry {
+ public:
+  explicit PatternRegistry(const Alphabet& alphabet = Alphabet::amino())
+      : alphabet_(&alphabet) {}
+
+  const Alphabet& alphabet() const { return *alphabet_; }
+
+  /// Canonical fingerprint of a pattern set: members are sorted by
+  /// (syntax, text) and hashed with the Rabin fingerprinter, so the key is
+  /// independent of member order and duplicate members collapse.
+  std::uint64_t fingerprint(const std::vector<PatternSpec>& set) const;
+
+  /// Minimal complete match-anywhere DFA of one member.
+  Dfa compile_member(const PatternSpec& spec) const;
+
+  /// Minimized union DFA of the whole set: accepts at a position iff some
+  /// member accepts there.  Throws std::invalid_argument on an empty set.
+  Dfa compile_union(const std::vector<PatternSpec>& set) const;
+
+  /// True when every member is a kLiteral — the sets eligible for the
+  /// Aho–Corasick baseline path.
+  static bool all_literal(const std::vector<PatternSpec>& set);
+
+  /// Classic Aho–Corasick automaton over a literal-only set (throws
+  /// std::invalid_argument when a member is not a literal).
+  AhoCorasick build_aho_corasick(const std::vector<PatternSpec>& set) const;
+
+ private:
+  const Alphabet* alphabet_;
+};
+
+}  // namespace sfa::serve

@@ -1,0 +1,81 @@
+#include "sfa/serve/serve_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+#include "sfa/obs/json.hpp"
+#include "sfa/obs/stats_export.hpp"
+
+namespace sfa::serve {
+
+double LatencyRecorder::percentile_ms(double q) const {
+  if (samples_.empty()) return 0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const std::size_t rank = std::min(
+      samples_.size() - 1,
+      static_cast<std::size_t>(std::ceil(clamped * samples_.size())) == 0
+          ? 0
+          : static_cast<std::size_t>(std::ceil(clamped * samples_.size())) - 1);
+  return samples_[rank];
+}
+
+double LatencyRecorder::mean_ms() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+void write_serve_stats_json(obs::JsonWriter& w, const ServiceStats& stats,
+                            const ServeRunInfo& run) {
+  w.begin_object();
+  w.kv("schema", "sfa-serve-stats/1");
+  w.key("host");
+  obs::write_host_info_json(w);
+  w.kv("requests", stats.requests);
+  w.kv("batches", stats.batches);
+  w.kv("failed_requests", stats.failed_requests);
+  w.kv("registered_sets", stats.registered_sets);
+  w.kv("cache_hits", stats.cache.hits);
+  w.kv("cache_disk_hits", stats.cache.disk_hits);
+  w.kv("cache_misses", stats.cache.misses);
+  w.kv("cache_insertions", stats.cache.insertions);
+  w.kv("cache_evictions", stats.cache.evictions);
+  w.kv("cache_oversize_rejects", stats.cache.oversize_rejects);
+  w.kv("cache_resident_bytes", stats.cache.resident_bytes);
+  w.kv("cache_entries", stats.cache.entries);
+  w.kv("pool_workers", std::uint64_t{stats.pool.pool_workers});
+  w.kv("pool_dispatches", stats.pool.pool_dispatches);
+  w.kv("pool_wakeups", stats.pool.pool_wakeups);
+  if (run.has_latency) {
+    w.kv("p50_latency_ms", run.p50_ms);
+    w.kv("p99_latency_ms", run.p99_ms);
+    w.kv("mean_latency_ms", run.mean_ms);
+    w.kv("requests_per_sec", run.requests_per_sec);
+    w.kv("matches_per_sec", run.matches_per_sec);
+    w.kv("symbols_per_sec", run.symbols_per_sec);
+    w.kv("elapsed_seconds", run.elapsed_seconds);
+    w.kv("total_matches", run.total_matches);
+    w.kv("total_symbols", run.total_symbols);
+  }
+  w.end_object();
+}
+
+void write_serve_stats_json_file(const std::string& path,
+                                 const ServiceStats& stats,
+                                 const ServeRunInfo& run) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("cannot write " + path);
+  obs::JsonWriter w(os);
+  write_serve_stats_json(w, stats, run);
+  os << '\n';
+  if (!os.good()) throw std::runtime_error("short write: " + path);
+}
+
+}  // namespace sfa::serve

@@ -1,0 +1,58 @@
+// Service-layer observability exports (docs/OBSERVABILITY.md).
+//
+// `sfa serve --stats-json` and the traffic simulator both emit the
+// sfa-serve-stats/1 schema: service counters (requests, batches, failures),
+// the cache block (hits / disk_hits / misses / evictions / resident bytes),
+// the process-wide pool counters, and — when a simulation ran — the latency
+// distribution (p50/p99/mean milliseconds) and throughput side
+// (requests/sec, matches/sec, symbols/sec).  All fields are additive like
+// the sfa-match-stats/1 ones: consumers must tolerate new keys.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sfa/serve/match_service.hpp"
+
+namespace sfa::obs {
+class JsonWriter;
+}
+
+namespace sfa::serve {
+
+/// Latency sample sink: record per-request milliseconds, read percentiles.
+class LatencyRecorder {
+ public:
+  void record_ms(double ms) { samples_.push_back(ms); }
+  std::size_t count() const { return samples_.size(); }
+  /// Nearest-rank percentile (q in [0,1]); 0 when no samples.
+  double percentile_ms(double q) const;
+  double mean_ms() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Simulation-side aggregates that ride along with the service counters.
+struct ServeRunInfo {
+  bool has_latency = false;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+  double requests_per_sec = 0;
+  double matches_per_sec = 0;
+  double symbols_per_sec = 0;
+  double elapsed_seconds = 0;
+  std::uint64_t total_matches = 0;
+  std::uint64_t total_symbols = 0;
+};
+
+void write_serve_stats_json(obs::JsonWriter& w, const ServiceStats& stats,
+                            const ServeRunInfo& run);
+void write_serve_stats_json_file(const std::string& path,
+                                 const ServiceStats& stats,
+                                 const ServeRunInfo& run);
+
+}  // namespace sfa::serve

@@ -1,0 +1,175 @@
+#include "sfa/serve/sfa_cache.hpp"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "sfa/core/serialize.hpp"
+#include "sfa/obs/metrics.hpp"
+
+namespace sfa::serve {
+
+namespace {
+
+std::uint64_t dfa_bytes(const Dfa& dfa) {
+  return static_cast<std::uint64_t>(dfa.size()) * dfa.num_symbols() *
+             sizeof(Dfa::StateId) +
+         dfa.size();
+}
+
+std::string fingerprint_hex(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+}  // namespace
+
+SfaCache::Entry::Entry(std::uint64_t fp, Dfa d, std::optional<Sfa> s)
+    : fingerprint(fp), dfa(std::move(d)), sfa(std::move(s)) {
+  bytes = dfa_bytes(dfa);
+  if (sfa) bytes += sfa->table_bytes() + sfa->mapping_store_bytes();
+}
+
+const ReachTable& SfaCache::Entry::reach_table() const {
+  std::call_once(reach_once_, [this] { reach_ = compute_reach_table(dfa); });
+  return reach_;
+}
+
+SfaCache::SfaCache(SfaCacheOptions options) : options_(std::move(options)) {
+  if (!options_.disk_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.disk_dir, ec);
+  }
+}
+
+std::string SfaCache::disk_path(std::uint64_t fingerprint) const {
+  if (options_.disk_dir.empty()) return {};
+  return options_.disk_dir + "/" + fingerprint_hex(fingerprint) + ".sfa";
+}
+
+SfaCache::EntryPtr SfaCache::find(std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = map_.find(fingerprint);
+  if (it == map_.end()) return nullptr;
+  touch_locked(it->second, fingerprint);
+  ++stats_.hits;
+  obs::Registry::instance().counter("sfa.serve.cache_hits").inc();
+  return it->second.entry;
+}
+
+SfaCache::EntryPtr SfaCache::get_or_build(
+    std::uint64_t fingerprint, const std::function<Dfa()>& compile_dfa,
+    const std::function<std::optional<Sfa>(const Dfa&)>& build_sfa) {
+  if (EntryPtr hit = find(fingerprint)) return hit;
+
+  // Memory miss.  Builds run unlocked: concurrent requests for the same
+  // fingerprint may both build, but insert_locked keeps the first publish
+  // and the loser's copy is dropped — correctness over build dedup.
+  std::optional<Sfa> from_disk;
+  const std::string path = disk_path(fingerprint);
+  if (!path.empty()) {
+    std::error_code ec;
+    if (std::filesystem::exists(path, ec)) {
+      try {
+        from_disk = load_sfa_file(path);
+      } catch (const std::exception&) {
+        from_disk.reset();  // stale or truncated image: rebuild below
+      }
+    }
+  }
+
+  Dfa dfa = compile_dfa();
+  if (from_disk && (from_disk->num_symbols() != dfa.num_symbols() ||
+                    from_disk->dfa_states() != dfa.size()))
+    from_disk.reset();  // image does not fit this pattern set: rebuild
+
+  const bool disk_hit = from_disk.has_value();
+  std::optional<Sfa> sfa =
+      disk_hit ? std::move(from_disk) : build_sfa(dfa);
+  if (sfa && sfa->table_layout() != options_.table_layout)
+    sfa->convert_table_layout(options_.table_layout);
+
+  if (sfa && !disk_hit && !path.empty()) {
+    try {
+      save_sfa_file(*sfa, path);
+    } catch (const std::exception&) {
+      // Persistence is best-effort; the in-memory entry still serves.
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disk_hit)
+    ++stats_.disk_hits;
+  else
+    ++stats_.misses;
+  return insert_locked(fingerprint, std::move(dfa), std::move(sfa));
+}
+
+SfaCache::EntryPtr SfaCache::insert_locked(std::uint64_t fingerprint, Dfa dfa,
+                                           std::optional<Sfa> sfa) {
+  auto it = map_.find(fingerprint);
+  if (it != map_.end()) {  // lost a build race: keep the published entry
+    touch_locked(it->second, fingerprint);
+    return it->second.entry;
+  }
+  auto entry =
+      std::make_shared<Entry>(fingerprint, std::move(dfa), std::move(sfa));
+  if (options_.memory_budget_bytes != 0 &&
+      entry->bytes > options_.memory_budget_bytes) {
+    // Larger than the whole budget: serve it, never cache it — the
+    // resident total must not exceed the cap even transiently.
+    ++stats_.oversize_rejects;
+    return entry;
+  }
+  evict_until_fits_locked(entry->bytes);
+  lru_.push_front(fingerprint);
+  stats_.resident_bytes += entry->bytes;
+  ++stats_.insertions;
+  map_.emplace(fingerprint, Slot{entry, lru_.begin()});
+  return entry;
+}
+
+void SfaCache::touch_locked(Slot& slot, std::uint64_t fingerprint) {
+  lru_.erase(slot.lru_pos);
+  lru_.push_front(fingerprint);
+  slot.lru_pos = lru_.begin();
+}
+
+void SfaCache::evict_until_fits_locked(std::uint64_t incoming_bytes) {
+  if (options_.memory_budget_bytes == 0) return;
+  while (!lru_.empty() && stats_.resident_bytes + incoming_bytes >
+                              options_.memory_budget_bytes) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    auto it = map_.find(victim);
+    stats_.resident_bytes -= it->second.entry->bytes;
+    map_.erase(it);
+    ++stats_.evictions;
+    obs::Registry::instance().counter("sfa.serve.cache_evictions").inc();
+  }
+}
+
+SfaCacheStats SfaCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SfaCacheStats out = stats_;
+  out.entries = map_.size();
+  return out;
+}
+
+void SfaCache::corrupt_entry_for_test(std::uint64_t victim_fingerprint,
+                                      std::uint64_t donor_fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto victim = map_.find(victim_fingerprint);
+  auto donor = map_.find(donor_fingerprint);
+  if (victim == map_.end() || donor == map_.end())
+    throw std::invalid_argument("corrupt_entry_for_test: both entries must be resident");
+  stats_.resident_bytes -= victim->second.entry->bytes;
+  stats_.resident_bytes += donor->second.entry->bytes;
+  victim->second.entry = donor->second.entry;
+}
+
+}  // namespace sfa::serve

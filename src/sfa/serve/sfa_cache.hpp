@@ -1,0 +1,133 @@
+// SfaCache — fingerprint-keyed cache of compiled pattern-set automata
+// (docs/ARCHITECTURE.md, service layer).
+//
+// Jung/Burgstaller/Blieberger key compiled SDFAs by Rabin fingerprint so a
+// construction is paid once per distinct automaton; the service applies the
+// same idea at pattern-set granularity.  An entry bundles the minimized
+// union DFA with its pre-built SFA (mappings kept, so every engine — eager,
+// speculative rescan, narrowed fallback — can run from it) plus a lazily
+// computed ReachTable shared by all narrowed requests on the set.
+//
+// Residency policy: strict LRU under a byte budget accounting the SFA
+// δ-table, the mapping store, and the DFA table.  The budget is a hard cap
+// — eviction runs before an insert is published, and an entry that alone
+// exceeds the budget is returned to the caller WITHOUT being cached (the
+// resident total never exceeds the cap; test_serve pins this).
+//
+// Persistence: with a `disk_dir`, every built SFA is saved as
+// `<fingerprint-hex>.sfa` through core/serialize (SFA1 for dense tables,
+// SFA2 for dedup/d2fa), and a memory miss tries the disk image before
+// rebuilding — a disk hit pays DFA compilation but skips SFA construction,
+// which is the expensive side.  All three --table-layout encodings round
+// trip (the serialization matrix of test_serve).
+//
+// Thread safety: all public methods are safe to call concurrently; entries
+// are immutable once published and handed out as shared_ptr<const Entry>,
+// so an evicted entry stays valid for requests already holding it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "sfa/automata/dfa.hpp"
+#include "sfa/core/build/reachable.hpp"
+#include "sfa/core/sfa.hpp"
+#include "sfa/core/table/transition_table.hpp"
+
+namespace sfa::serve {
+
+struct SfaCacheOptions {
+  /// Hard cap on resident entry bytes; 0 means unlimited.
+  std::uint64_t memory_budget_bytes = 256ull << 20;
+  /// Directory for `<fingerprint-hex>.sfa` persistence; empty disables it.
+  std::string disk_dir;
+  /// δ-table layout entries are converted to after construction (and the
+  /// layout persisted images decode back into).
+  table::TableLayout table_layout = table::TableLayout::kDense;
+};
+
+struct SfaCacheStats {
+  std::uint64_t hits = 0;        // served from memory
+  std::uint64_t disk_hits = 0;   // rebuilt from a persisted image
+  std::uint64_t misses = 0;      // full compile + SFA build
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t oversize_rejects = 0;  // entries too big to ever cache
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t entries = 0;
+};
+
+class SfaCache {
+ public:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    Dfa dfa;
+    /// Absent when the set exceeded the service's eager-SFA budget — the
+    /// entry then serves the engines that run from the DFA alone (lazy,
+    /// speculative, direct rescans); eager requests fail fast.
+    std::optional<Sfa> sfa;
+    std::uint64_t bytes = 0;
+
+    Entry(std::uint64_t fp, Dfa d, std::optional<Sfa> s);
+
+    /// Reach table for narrowed requests, computed on first use and shared
+    /// by every engine/thread matching this set.
+    const ReachTable& reach_table() const;
+
+   private:
+    mutable std::once_flag reach_once_;
+    mutable ReachTable reach_;
+  };
+  using EntryPtr = std::shared_ptr<const Entry>;
+
+  explicit SfaCache(SfaCacheOptions options = {});
+
+  /// Look up `fingerprint`; on a memory miss, rebuild from the persisted
+  /// image (if any) or compile + build via the callbacks, then insert under
+  /// the LRU policy.  `compile_dfa` runs on every non-memory path (the DFA
+  /// is not persisted); `build_sfa` only on a full miss, and may return
+  /// nullopt to publish a DFA-only entry (eager budget exceeded).
+  EntryPtr get_or_build(
+      std::uint64_t fingerprint, const std::function<Dfa()>& compile_dfa,
+      const std::function<std::optional<Sfa>(const Dfa&)>& build_sfa);
+
+  /// Memory-only probe (no build, no disk); refreshes LRU order on hit.
+  EntryPtr find(std::uint64_t fingerprint);
+
+  SfaCacheStats stats() const;
+  const SfaCacheOptions& options() const { return options_; }
+
+  /// Fault-injection teeth hook (tests only): rebind victim's fingerprint
+  /// to donor's automaton — the wrong fingerprint→SFA binding the service
+  /// oracle must catch.  Both entries must be resident.
+  void corrupt_entry_for_test(std::uint64_t victim_fingerprint,
+                              std::uint64_t donor_fingerprint);
+
+  /// Path a fingerprint persists under (empty when persistence is off).
+  std::string disk_path(std::uint64_t fingerprint) const;
+
+ private:
+  struct Slot {
+    EntryPtr entry;
+    std::list<std::uint64_t>::iterator lru_pos;
+  };
+
+  EntryPtr insert_locked(std::uint64_t fingerprint, Dfa dfa,
+                         std::optional<Sfa> sfa);
+  void touch_locked(Slot& slot, std::uint64_t fingerprint);
+  void evict_until_fits_locked(std::uint64_t incoming_bytes);
+
+  SfaCacheOptions options_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Slot> map_;
+  std::list<std::uint64_t> lru_;  // front = most recently used
+  SfaCacheStats stats_;
+};
+
+}  // namespace sfa::serve

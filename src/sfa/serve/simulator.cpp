@@ -1,0 +1,112 @@
+#include "sfa/serve/simulator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "sfa/core/match.hpp"
+#include "sfa/support/rng.hpp"
+#include "sfa/support/timer.hpp"
+
+namespace sfa::serve {
+
+SimResult run_simulation(
+    MatchService& service, const SimOptions& options,
+    const std::function<MatchRequest(std::size_t)>& make_request) {
+  SimResult result;
+  if (options.requests == 0) return result;
+
+  // Arrival schedule, drawn up front (open loop): exponential
+  // inter-arrivals at the configured rate.  Closed loop = everything
+  // arrives at t=0 and arrival is re-stamped at batch formation.
+  std::vector<double> arrival(options.requests, 0.0);
+  if (options.arrival_rate_per_sec > 0) {
+    Xoshiro256 rng(options.seed ^ 0xA221CAFEull);
+    double t = 0;
+    for (std::size_t i = 0; i < options.requests; ++i) {
+      // Inverse-CDF exponential; clamp unit() away from 0 for finite logs.
+      const double u = std::max(1e-12, rng.unit());
+      t += -std::log(u) / options.arrival_rate_per_sec;
+      arrival[i] = t;
+    }
+  }
+
+  std::vector<MatchRequest> requests;
+  requests.reserve(options.requests);
+  for (std::size_t i = 0; i < options.requests; ++i)
+    requests.push_back(make_request(i));
+
+  LatencyRecorder latency;
+  WallTimer clock;
+  const std::size_t max_batch = std::max<std::size_t>(1, options.max_batch);
+  std::size_t next = 0;
+  while (next < options.requests) {
+    if (options.arrival_rate_per_sec > 0) {
+      const double wait = arrival[next] - clock.seconds();
+      if (wait > 0)
+        std::this_thread::sleep_for(std::chrono::duration<double>(wait));
+    } else {
+      arrival[next] = clock.seconds();  // closed loop: arrives now
+    }
+    const double now = clock.seconds();
+    std::size_t end = next + 1;
+    if (options.arrival_rate_per_sec > 0) {
+      while (end < options.requests && end - next < max_batch &&
+             arrival[end] <= now)
+        ++end;
+    } else {
+      while (end < options.requests && end - next < max_batch)
+        arrival[end++] = now;
+    }
+
+    const std::vector<MatchRequest> batch(requests.begin() + next,
+                                          requests.begin() + end);
+    const std::vector<MatchResponse> responses = service.submit_batch(batch);
+    const double done = clock.seconds();
+
+    for (std::size_t i = next; i < end; ++i) {
+      latency.record_ms((done - arrival[i]) * 1e3);
+      result.run.total_symbols += requests[i].len;
+      const MatchResponse& r = responses[i - next];
+      if (!r.ok) {
+        ++result.failed;
+        continue;
+      }
+      switch (requests[i].task) {
+        case TaskKind::kAccept:
+          if (r.accepted) { ++result.accepted; ++result.run.total_matches; }
+          break;
+        case TaskKind::kCount:
+          if (r.count > 0) ++result.accepted;
+          result.run.total_matches += r.count;
+          break;
+        case TaskKind::kFindFirst:
+          if (r.first != kNoMatch) { ++result.accepted; ++result.run.total_matches; }
+          break;
+        case TaskKind::kFindAll:
+          if (!r.positions.empty()) ++result.accepted;
+          result.run.total_matches += r.positions.size();
+          break;
+      }
+    }
+    next = end;
+  }
+
+  const double elapsed = std::max(clock.seconds(), 1e-9);
+  result.run.has_latency = true;
+  result.run.p50_ms = latency.percentile_ms(0.50);
+  result.run.p99_ms = latency.percentile_ms(0.99);
+  result.run.mean_ms = latency.mean_ms();
+  result.run.elapsed_seconds = elapsed;
+  result.run.requests_per_sec =
+      static_cast<double>(options.requests) / elapsed;
+  result.run.matches_per_sec =
+      static_cast<double>(result.run.total_matches) / elapsed;
+  result.run.symbols_per_sec =
+      static_cast<double>(result.run.total_symbols) / elapsed;
+  return result;
+}
+
+}  // namespace sfa::serve

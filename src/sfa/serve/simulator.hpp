@@ -1,0 +1,47 @@
+// Heavy-traffic simulator core (bench_serve and `sfa serve` share it).
+//
+// Open-loop load generation: request arrival times are drawn up front from
+// a seeded exponential inter-arrival process (rate λ), so the generator
+// does NOT slow down when the service lags — queueing delay shows up in
+// the measured latency exactly as it would for real users.  The service is
+// driven in batches: all arrived-but-unserved requests (up to max_batch)
+// go into one submit_batch call, and a request's latency is
+// (batch completion − its arrival).  rate 0 degenerates to closed-loop
+// back-to-back batches (latency = pure service time).
+//
+// The simulator owns timing and accounting only; the caller supplies the
+// request stream via make_request(i) — that is where pattern-set churn and
+// input-class choice live (bench_serve plugs in the harness input-class
+// generators; the CLI uses seeded random text).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sfa/serve/match_service.hpp"
+#include "sfa/serve/serve_stats.hpp"
+
+namespace sfa::serve {
+
+struct SimOptions {
+  std::uint64_t seed = 2017;
+  std::size_t requests = 256;
+  std::size_t max_batch = 16;
+  /// Mean arrivals per second of the open-loop process; 0 = closed loop.
+  double arrival_rate_per_sec = 0;
+};
+
+struct SimResult {
+  ServeRunInfo run;
+  std::uint64_t accepted = 0;  // responses that reported a match
+  std::uint64_t failed = 0;    // responses with !ok
+};
+
+/// Drive `service` with options.requests requests from make_request(i).
+/// Inputs referenced by returned requests must stay alive until the call
+/// returns.
+SimResult run_simulation(
+    MatchService& service, const SimOptions& options,
+    const std::function<MatchRequest(std::size_t)>& make_request);
+
+}  // namespace sfa::serve

@@ -1,0 +1,300 @@
+#include "harness/serve_oracle.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "harness/input_classes.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace testing {
+
+namespace {
+
+/// True for the one response failure that is contract, not divergence: the
+/// set exceeded the service's eager budget and the entry is DFA-only.
+bool is_eager_budget_error(const serve::MatchResponse& r) {
+  return r.error.find("eager SFA budget") != std::string::npos;
+}
+
+std::string positions_brief(const std::vector<std::size_t>& v) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < v.size() && i < 8; ++i)
+    os << (i != 0 ? " " : "") << v[i];
+  if (v.size() > 8) os << " ...";
+  os << "] (" << v.size() << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::optional<std::vector<Symbol>> shortest_accepted_word(const Dfa& dfa) {
+  if (dfa.accepting(dfa.start())) return std::vector<Symbol>{};
+  std::vector<std::int64_t> parent(dfa.size(), -1);
+  std::vector<Symbol> via(dfa.size(), 0);
+  std::vector<bool> seen(dfa.size(), false);
+  std::deque<Dfa::StateId> queue{dfa.start()};
+  seen[dfa.start()] = true;
+  while (!queue.empty()) {
+    const Dfa::StateId q = queue.front();
+    queue.pop_front();
+    for (unsigned a = 0; a < dfa.num_symbols(); ++a) {
+      const Dfa::StateId next = dfa.transition(q, static_cast<Symbol>(a));
+      if (seen[next]) continue;
+      seen[next] = true;
+      parent[next] = q;
+      via[next] = static_cast<Symbol>(a);
+      if (dfa.accepting(next)) {
+        std::vector<Symbol> word;
+        for (Dfa::StateId s = next; s != dfa.start();
+             s = static_cast<Dfa::StateId>(parent[s]))
+          word.push_back(via[s]);
+        std::reverse(word.begin(), word.end());
+        return word;
+      }
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+ServeOracle::ServeOracle(ServeOracleOptions options)
+    : options_(std::move(options)) {}
+
+ServeOracle::Reference ServeOracle::reference_for(
+    const std::vector<Dfa>& members, const std::vector<Symbol>& input) {
+  Reference ref;
+  std::set<std::size_t> positions;
+  for (const Dfa& dfa : members) {
+    Dfa::StateId q = dfa.start();
+    for (std::size_t i = 0; i < input.size(); ++i) {
+      q = dfa.transition(q, input[i]);
+      if (dfa.accepting(q)) positions.insert(i + 1);
+    }
+    ref.accepted = ref.accepted || dfa.accepting(q);
+    // The empty prefix: a member accepting the empty word matches "at"
+    // position 0 of the whole-input accept, but find-all reports end
+    // positions >= 1 only — mirror the union DFA's run_accept semantics.
+    if (input.empty()) ref.accepted = ref.accepted || dfa.accepting(dfa.start());
+  }
+  ref.positions.assign(positions.begin(), positions.end());
+  ref.count = ref.positions.size();
+  ref.first = ref.positions.empty() ? kNoMatch : ref.positions.front();
+  return ref;
+}
+
+std::optional<std::string> ServeOracle::divergence_on_input(
+    serve::MatchService& service, std::uint64_t handle,
+    const std::vector<Dfa>& members, const std::vector<Symbol>& input) const {
+  const Reference ref = reference_for(members, input);
+
+  static constexpr serve::TaskKind kTasks[] = {
+      serve::TaskKind::kAccept, serve::TaskKind::kCount,
+      serve::TaskKind::kFindFirst, serve::TaskKind::kFindAll};
+
+  // One batch per probe: every engine×task cell rides the same dispatch,
+  // which is both the API under test and a striping stress in itself.
+  std::vector<serve::MatchRequest> batch;
+  for (const serve::EngineChoice engine : options_.engines) {
+    for (const serve::TaskKind task : kTasks) {
+      serve::MatchRequest r;
+      r.set = handle;
+      r.engine = engine;
+      r.task = task;
+      r.data = input.data();
+      r.len = input.size();
+      r.chunks = options_.chunks;
+      batch.push_back(r);
+    }
+  }
+  const std::vector<serve::MatchResponse> responses =
+      service.submit_batch(batch);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const serve::MatchRequest& req = batch[i];
+    const serve::MatchResponse& resp = responses[i];
+    const std::string cell = std::string(engine_choice_name(req.engine)) +
+                             "/" + task_kind_name(req.task);
+    if (!resp.ok) {
+      if (req.engine == serve::EngineChoice::kEager &&
+          is_eager_budget_error(resp))
+        continue;  // DFA-only entry: the documented degradation, not a bug
+      return cell + " failed: " + resp.error;
+    }
+    std::ostringstream os;
+    switch (req.task) {
+      case serve::TaskKind::kAccept:
+        if (resp.accepted != ref.accepted) {
+          os << cell << ": service=" << resp.accepted
+             << " reference=" << ref.accepted;
+          return os.str();
+        }
+        break;
+      case serve::TaskKind::kCount:
+        if (resp.count != ref.count) {
+          os << cell << ": service=" << resp.count
+             << " reference=" << ref.count;
+          return os.str();
+        }
+        break;
+      case serve::TaskKind::kFindFirst:
+        if (resp.first != ref.first) {
+          os << cell << ": service=" << static_cast<std::int64_t>(resp.first)
+             << " reference=" << static_cast<std::int64_t>(ref.first);
+          return os.str();
+        }
+        break;
+      case serve::TaskKind::kFindAll:
+        if (resp.positions != ref.positions) {
+          os << cell << ": service=" << positions_brief(resp.positions)
+             << " reference=" << positions_brief(ref.positions);
+          return os.str();
+        }
+        break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<std::vector<Symbol>> ServeOracle::make_probes(
+    const std::vector<Dfa>& members, unsigned num_symbols) const {
+  std::vector<std::vector<Symbol>> probes;
+  probes.emplace_back();  // the empty input
+
+  // Witnesses: each member's shortest accepted word, embedded in random
+  // padding so the union must find it mid-stream, plus the bare word.
+  Xoshiro256 rng(options_.probe_seed ^ 0x5EEDF00D);
+  for (const Dfa& dfa : members) {
+    const auto word = shortest_accepted_word(dfa);
+    if (!word || word->empty()) continue;
+    probes.push_back(*word);
+    std::vector<Symbol> padded;
+    const std::size_t lead = rng.below(24);
+    for (std::size_t i = 0; i < lead; ++i)
+      padded.push_back(static_cast<Symbol>(rng.below(num_symbols)));
+    padded.insert(padded.end(), word->begin(), word->end());
+    const std::size_t tail = rng.below(24);
+    for (std::size_t i = 0; i < tail; ++i)
+      padded.push_back(static_cast<Symbol>(rng.below(num_symbols)));
+    probes.push_back(std::move(padded));
+  }
+
+  // Seeded random probes across the input-class spectrum; lengths spread
+  // past chunks*64 so the real multi-chunk composition path runs.
+  for (std::size_t i = 0; i < options_.probe_inputs; ++i) {
+    const std::size_t len =
+        1 + (options_.probe_seed + i * 977) % options_.max_probe_length;
+    const std::uint64_t seed = options_.probe_seed + 0x9E3779B97F4A7C15ull * i;
+    probes.push_back(i % 3 == 0
+                         ? low_entropy_input(seed, num_symbols, len)
+                         : high_entropy_input(seed, num_symbols, len));
+  }
+  return probes;
+}
+
+std::optional<Divergence> ServeOracle::check_serve(
+    serve::MatchService& service, std::uint64_t handle,
+    const std::string& set_name) const {
+  const std::vector<serve::PatternSpec> specs = service.set_patterns(handle);
+  if (specs.empty())
+    throw std::invalid_argument("check_serve: unknown handle");
+
+  std::vector<Dfa> members;
+  members.reserve(specs.size());
+  for (const serve::PatternSpec& spec : specs)
+    members.push_back(service.registry().compile_member(spec));
+
+  const unsigned k = service.registry().alphabet().size();
+  for (const std::vector<Symbol>& probe : make_probes(members, k)) {
+    auto detail = divergence_on_input(service, handle, members, probe);
+    if (!detail) continue;
+    Divergence d;
+    d.variant = "serve";
+    d.entry = set_name;
+    d.kind = "service";
+    d.detail = *detail;
+    d.seed = options_.probe_seed;
+    d.input = probe;
+    d.original_input_length = probe.size();
+    if (options_.shrink) shrink_input(service, handle, members, d);
+    if (options_.shrink_pattern_set) shrink_set(service, specs, members, d);
+    return d;
+  }
+  return std::nullopt;
+}
+
+void ServeOracle::shrink_input(serve::MatchService& service,
+                               std::uint64_t handle,
+                               const std::vector<Dfa>& members,
+                               Divergence& d) const {
+  // Greedy window removal, halving the window until single symbols: same
+  // scheme as the construction oracle's shrinker.  Every candidate re-runs
+  // the full engine×task batch on the SAME handle, so cache-binding bugs
+  // keep reproducing while the input shrinks.
+  std::size_t rounds = 0;
+  for (std::size_t window = std::max<std::size_t>(d.input.size() / 2, 1);
+       window >= 1; window /= 2) {
+    bool removed_any = true;
+    while (removed_any && rounds < options_.max_shrink_rounds) {
+      removed_any = false;
+      for (std::size_t at = 0;
+           at + window <= d.input.size() && rounds < options_.max_shrink_rounds;
+           ++at) {
+        std::vector<Symbol> candidate = d.input;
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(at),
+                        candidate.begin() + static_cast<std::ptrdiff_t>(at + window));
+        ++rounds;
+        if (auto detail = divergence_on_input(service, handle, members, candidate)) {
+          d.input = std::move(candidate);
+          d.detail = *detail;
+          ++d.shrink_steps;
+          removed_any = true;
+        }
+      }
+    }
+    if (window == 1) break;
+  }
+}
+
+void ServeOracle::shrink_set(serve::MatchService& service,
+                             std::vector<serve::PatternSpec> specs,
+                             const std::vector<Dfa>& members, Divergence& d) const {
+  // Drop members one at a time while the divergence persists.  Each subset
+  // re-registers under its own fingerprint (fresh cache entry), so this
+  // minimizes genuine union/compilation bugs but intentionally does NOT
+  // preserve poisoned-cache divergences — those stay attributed to the
+  // full set, whose fingerprint is the corrupted key.
+  std::vector<Dfa> live = members;
+  bool shrunk = true;
+  while (shrunk && specs.size() > 1) {
+    shrunk = false;
+    for (std::size_t drop = 0; drop < specs.size(); ++drop) {
+      std::vector<serve::PatternSpec> subset;
+      std::vector<Dfa> subset_members;
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (i == drop) continue;
+        subset.push_back(specs[i]);
+        subset_members.push_back(live[i]);
+      }
+      const std::uint64_t sub_handle = service.register_set(subset);
+      if (auto detail =
+              divergence_on_input(service, sub_handle, subset_members, d.input)) {
+        specs = std::move(subset);
+        live = std::move(subset_members);
+        d.detail = *detail + " (set shrunk to " +
+                   std::to_string(specs.size()) + " members)";
+        ++d.shrink_steps;
+        shrunk = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace testing
+}  // namespace sfa

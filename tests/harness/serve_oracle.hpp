@@ -1,0 +1,106 @@
+// Differential service oracle (docs/TESTING.md, service layer).
+//
+// The MatchService answers pattern-SET questions with one union automaton
+// per set, batched through one pool dispatch.  The serve oracle re-answers
+// every question the slow, obviously-correct way — each member pattern
+// compiled on its own and walked sequentially — and cross-checks the
+// batched responses against the per-pattern union:
+//
+//   accept     =  OR of member whole-input accepts
+//   find_all   =  positions where SOME member's walk accepts (members use
+//                 the library's absorbing match-anywhere convention, so
+//                 this is every position from the earliest member match on)
+//   count      =  |find_all reference|
+//   find_first =  min over members (kNoMatch when none)
+//
+// Every engine×task cell goes through MatchService::submit_batch, so the
+// check covers the registry's union compilation, the SfaCache binding
+// (fingerprint -> automaton — the corrupt-cache teeth live here), and the
+// batch striping, not just the engines (those have their own oracle).
+//
+// Divergences are minimized twice: the input by the greedy window-removal
+// shrink, and the pattern set by dropping members one at a time.  Set
+// shrinking re-registers the subset (new fingerprint, fresh cache entry),
+// so a divergence caused by a poisoned cache binding survives input
+// shrinking but deliberately NOT set shrinking — the reproducer then names
+// the full set, which is exactly the corrupted key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/oracle.hpp"
+#include "sfa/serve/match_service.hpp"
+
+namespace sfa {
+namespace testing {
+
+struct ServeOracleOptions {
+  /// Seeded random probes per set, on top of the member-witness probes
+  /// (shortest accepted word of each member embedded in random padding)
+  /// and the empty input.
+  std::size_t probe_inputs = 12;
+  std::size_t max_probe_length = 224;
+  std::uint64_t probe_seed = 0x5E12E0AC;
+  /// Chunk count requested for every service-side scan.
+  unsigned chunks = 3;
+  /// Engine column of the engine×task matrix.  Eager cells are skipped
+  /// (not failed) when the set legitimately exceeded the service's eager
+  /// SFA budget — that degradation is contract, not divergence.
+  std::vector<serve::EngineChoice> engines = {
+      serve::EngineChoice::kEager, serve::EngineChoice::kLazy,
+      serve::EngineChoice::kSpeculative, serve::EngineChoice::kNarrowed};
+  bool shrink = true;
+  bool shrink_pattern_set = true;
+  std::size_t max_shrink_rounds = 400;
+};
+
+class ServeOracle {
+ public:
+  explicit ServeOracle(ServeOracleOptions options = {});
+
+  /// Differentially check one registered set: every engine×task cell,
+  /// batched, against the per-pattern sequential reference.  Returns the
+  /// first divergence (input- and set-minimized), or nullopt.
+  std::optional<Divergence> check_serve(serve::MatchService& service,
+                                        std::uint64_t handle,
+                                        const std::string& set_name) const;
+
+ private:
+  /// Per-pattern reference answers on one input.
+  struct Reference {
+    bool accepted = false;
+    std::size_t count = 0;
+    std::size_t first = 0;
+    std::vector<std::size_t> positions;
+  };
+  static Reference reference_for(const std::vector<Dfa>& members,
+                                 const std::vector<Symbol>& input);
+
+  /// First engine×task disagreement on one input (one submit_batch call),
+  /// or nullopt when the service agrees with the reference everywhere.
+  std::optional<std::string> divergence_on_input(
+      serve::MatchService& service, std::uint64_t handle,
+      const std::vector<Dfa>& members, const std::vector<Symbol>& input) const;
+
+  std::vector<std::vector<Symbol>> make_probes(
+      const std::vector<Dfa>& members, unsigned num_symbols) const;
+
+  void shrink_input(serve::MatchService& service, std::uint64_t handle,
+                    const std::vector<Dfa>& members, Divergence& d) const;
+  void shrink_set(serve::MatchService& service,
+                  std::vector<serve::PatternSpec> specs,
+                  const std::vector<Dfa>& members, Divergence& d) const;
+
+  ServeOracleOptions options_;
+};
+
+/// Shortest word accepted by `dfa` (BFS over states), or nullopt when the
+/// accepted language is empty.  The serve oracle embeds these as witness
+/// probes; tests reuse it to build guaranteed-hit inputs.
+std::optional<std::vector<Symbol>> shortest_accepted_word(const Dfa& dfa);
+
+}  // namespace testing
+}  // namespace sfa

@@ -1,0 +1,589 @@
+// Service-layer tests (docs/TESTING.md): registry union semantics, cache
+// residency/persistence, batched submit vs the sequential reference, the
+// pool-dispatch accounting regression, 8-thread submit stress, the
+// Aho–Corasick fuzz differential, and the serve oracle's teeth.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/serve_oracle.hpp"
+#include "harness/stress.hpp"
+#include "sfa/automata/ops.hpp"
+#include "sfa/core/match.hpp"
+#include "sfa/core/scan/executor.hpp"
+#include "sfa/prosite/patterns.hpp"
+#include "sfa/serve/match_service.hpp"
+#include "sfa/support/rng.hpp"
+
+namespace sfa {
+namespace {
+
+using serve::EngineChoice;
+using serve::MatchRequest;
+using serve::MatchResponse;
+using serve::MatchService;
+using serve::PatternRegistry;
+using serve::PatternSpec;
+using serve::PatternSyntax;
+using serve::ServiceOptions;
+using serve::SfaCacheOptions;
+
+PatternSpec literal(const std::string& text) {
+  return PatternSpec{"lit:" + text, PatternSyntax::kLiteral, text};
+}
+PatternSpec regex(const std::string& text) {
+  return PatternSpec{"re:" + text, PatternSyntax::kRegex, text};
+}
+
+/// SFA_FUZZ_ITERS-scaled iteration count (same contract as test_fuzz).
+int fuzz_iters(int dflt) {
+  static const double scale = [] {
+    const char* env = std::getenv("SFA_FUZZ_ITERS");
+    if (env == nullptr || *env == '\0') return 1.0;
+    const double requested = std::strtod(env, nullptr);
+    return requested > 0 ? requested / 3000.0 : 1.0;
+  }();
+  const int scaled = static_cast<int>(dflt * scale);
+  return scaled < 1 ? 1 : scaled;
+}
+
+std::vector<Symbol> random_input(Xoshiro256& rng, unsigned k,
+                                 std::size_t max_len) {
+  std::vector<Symbol> v(1 + rng.below(max_len));
+  for (auto& s : v) s = static_cast<Symbol>(rng.below(k));
+  return v;
+}
+
+/// A scratch directory under the build tree, wiped per use.
+std::string scratch_dir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("sfa_serve_" + tag)).string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------------------
+// PatternRegistry
+
+TEST(ServeRegistry, FingerprintIsOrderAndDuplicateInvariant) {
+  PatternRegistry registry;
+  const std::vector<PatternSpec> a = {literal("RGD"), regex("W.K"),
+                                      literal("ACD")};
+  const std::vector<PatternSpec> shuffled = {regex("W.K"), literal("ACD"),
+                                             literal("RGD")};
+  std::vector<PatternSpec> duplicated = a;
+  duplicated.push_back(literal("RGD"));
+  EXPECT_EQ(registry.fingerprint(a), registry.fingerprint(shuffled));
+  EXPECT_EQ(registry.fingerprint(a), registry.fingerprint(duplicated));
+  EXPECT_NE(registry.fingerprint(a), registry.fingerprint({literal("RGD")}));
+  // Same text under a different syntax is a different set.
+  EXPECT_NE(registry.fingerprint({literal("WAK")}),
+            registry.fingerprint({regex("WAK")}));
+  // Ids are not part of the key.
+  std::vector<PatternSpec> renamed = a;
+  for (auto& spec : renamed) spec.id += "-renamed";
+  EXPECT_EQ(registry.fingerprint(a), registry.fingerprint(renamed));
+}
+
+TEST(ServeRegistry, UnionAcceptsIffSomeMemberAccepts) {
+  PatternRegistry registry;
+  const std::vector<PatternSpec> set = {literal("RGD"), regex("W.{2}K"),
+                                        literal("HH")};
+  const Dfa union_dfa = registry.compile_union(set);
+  std::vector<Dfa> members;
+  for (const auto& spec : set) members.push_back(registry.compile_member(spec));
+
+  Xoshiro256 rng(2017);
+  const unsigned k = registry.alphabet().size();
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Symbol> input = random_input(rng, k, 64);
+    bool any = false;
+    for (const Dfa& m : members) any = any || m.accepts(input);
+    EXPECT_EQ(union_dfa.accepts(input), any) << "probe " << i;
+  }
+  // Member witnesses must be found by the union mid-stream.
+  for (const Dfa& m : members) {
+    const auto word = testing::shortest_accepted_word(m);
+    ASSERT_TRUE(word.has_value());
+    EXPECT_TRUE(union_dfa.accepts(*word));
+  }
+}
+
+TEST(ServeRegistry, LiteralSetMatchesAhoCorasick) {
+  PatternRegistry registry;
+  const std::vector<PatternSpec> set = {literal("RG"), literal("GDH"),
+                                        literal("HRG")};
+  ASSERT_TRUE(PatternRegistry::all_literal(set));
+  const Dfa union_dfa = registry.compile_union(set);
+  const AhoCorasick ac = registry.build_aho_corasick(set);
+
+  Xoshiro256 rng(7);
+  const unsigned k = registry.alphabet().size();
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<Symbol> input = random_input(rng, k, 96);
+    std::set<std::size_t> ac_ends;
+    for (const AcMatch& m : ac.find_all(input.data(), input.size()))
+      ac_ends.insert(m.end_position);
+    std::set<std::size_t> union_ends;
+    Dfa::StateId q = union_dfa.start();
+    for (std::size_t p = 0; p < input.size(); ++p) {
+      q = union_dfa.transition(q, input[p]);
+      if (union_dfa.accepting(q)) union_ends.insert(p + 1);
+    }
+    // Library DFAs use absorbing match-anywhere acceptance: once the first
+    // AC match ends, every later position accepts too.
+    std::set<std::size_t> expected;
+    if (!ac_ends.empty())
+      for (std::size_t p = *ac_ends.begin(); p <= input.size(); ++p)
+        expected.insert(p);
+    EXPECT_EQ(union_ends, expected) << "probe " << i;
+  }
+  EXPECT_THROW(registry.build_aho_corasick({regex("A|B")}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// SfaCache
+
+ServiceOptions small_service_options() {
+  ServiceOptions options;
+  options.max_batch_workers = 4;
+  options.default_chunks = 3;
+  return options;
+}
+
+TEST(SfaCacheTest, SaveLoadRoundTripAcrossLayouts) {
+  const table::TableLayout layouts[] = {table::TableLayout::kDense,
+                                        table::TableLayout::kRowDedup,
+                                        table::TableLayout::kD2fa};
+  for (const auto layout : layouts) {
+    const std::string dir =
+        scratch_dir("layout_" + std::to_string(static_cast<int>(layout)));
+
+    ServiceOptions options = small_service_options();
+    options.cache.disk_dir = dir;
+    options.cache.table_layout = layout;
+
+    const std::vector<PatternSpec> set = {literal("RGD"), regex("W.K")};
+    std::vector<Symbol> probe;
+    std::uint64_t handle = 0;
+
+    {
+      MatchService warm(options);
+      handle = warm.register_set(set);
+      const auto entry = warm.resolve(handle);
+      ASSERT_NE(entry, nullptr);
+      ASSERT_TRUE(entry->sfa.has_value());
+      EXPECT_EQ(entry->sfa->table_layout(), layout);
+      EXPECT_EQ(warm.stats().cache.misses, 1u);
+      EXPECT_TRUE(std::filesystem::exists(warm.cache().disk_path(handle)));
+      const auto word = testing::shortest_accepted_word(entry->dfa);
+      ASSERT_TRUE(word.has_value());
+      probe = *word;
+    }
+
+    // A fresh service over the same directory must hit disk, not rebuild.
+    MatchService cold(options);
+    const std::uint64_t same = cold.register_set(set);
+    EXPECT_EQ(same, handle);
+    const auto entry = cold.resolve(handle);
+    ASSERT_NE(entry, nullptr);
+    ASSERT_TRUE(entry->sfa.has_value());
+    EXPECT_EQ(entry->sfa->table_layout(), layout);
+    EXPECT_EQ(cold.stats().cache.disk_hits, 1u);
+    EXPECT_EQ(cold.stats().cache.misses, 0u);
+
+    // And the reloaded automaton still answers correctly.
+    MatchRequest request;
+    request.set = handle;
+    request.engine = EngineChoice::kEager;
+    request.task = serve::TaskKind::kAccept;
+    request.data = probe.data();
+    request.len = probe.size();
+    const MatchResponse response = cold.submit(request);
+    ASSERT_TRUE(response.ok) << response.error;
+    EXPECT_TRUE(response.accepted);
+
+    std::filesystem::remove_all(dir);
+  }
+}
+
+TEST(SfaCacheTest, EvictionNeverExceedsBudget) {
+  ServiceOptions options = small_service_options();
+  MatchService sizing(options);  // measure one entry to pick a tight budget
+  const std::uint64_t probe_handle = sizing.register_set({literal("ACDA")});
+  const auto probe_entry = sizing.resolve(probe_handle);
+  ASSERT_NE(probe_entry, nullptr);
+
+  // Room for roughly two entries of this shape.
+  options.cache.memory_budget_bytes = probe_entry->bytes * 5 / 2;
+  MatchService service(options);
+  const std::string texts[] = {"ACDA", "CDEF", "GHIK", "LMNP", "QRST"};
+  std::vector<std::uint64_t> handles;
+  for (const std::string& text : texts) {
+    handles.push_back(service.register_set({literal(text)}));
+    ASSERT_NE(service.resolve(handles.back()), nullptr);
+    const auto stats = service.stats().cache;
+    EXPECT_LE(stats.resident_bytes, options.cache.memory_budget_bytes)
+        << "after inserting " << text;
+  }
+  const auto stats = service.stats().cache;
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.resident_bytes, options.cache.memory_budget_bytes);
+  // Strict LRU: the most recently inserted entry must still be resident.
+  EXPECT_NE(service.cache().find(handles.back()), nullptr);
+  // The oldest must be gone.
+  EXPECT_EQ(service.cache().find(handles.front()), nullptr);
+}
+
+TEST(SfaCacheTest, LruTouchProtectsHotEntries) {
+  ServiceOptions options = small_service_options();
+  MatchService sizing(options);
+  const auto probe_entry =
+      sizing.resolve(sizing.register_set({literal("ACDA")}));
+  ASSERT_NE(probe_entry, nullptr);
+
+  options.cache.memory_budget_bytes = probe_entry->bytes * 5 / 2;
+  MatchService service(options);
+  const std::uint64_t a = service.register_set({literal("ACDA")});
+  const std::uint64_t b = service.register_set({literal("CDEF")});
+  ASSERT_NE(service.resolve(a), nullptr);
+  ASSERT_NE(service.resolve(b), nullptr);
+  ASSERT_NE(service.cache().find(a), nullptr);  // touch: a is now hottest
+  const std::uint64_t c = service.register_set({literal("GHIK")});
+  ASSERT_NE(service.resolve(c), nullptr);       // evicts to fit: b must go
+  EXPECT_NE(service.cache().find(a), nullptr);
+  EXPECT_EQ(service.cache().find(b), nullptr);
+}
+
+TEST(SfaCacheTest, OversizeEntriesServeButNeverCache) {
+  ServiceOptions options = small_service_options();
+  options.cache.memory_budget_bytes = 64;  // smaller than any real entry
+  MatchService service(options);
+  const std::uint64_t handle = service.register_set({literal("RGD")});
+  const auto entry = service.resolve(handle);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_GT(entry->bytes, options.cache.memory_budget_bytes);
+  const auto stats = service.stats().cache;
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_GE(stats.oversize_rejects, 1u);
+  EXPECT_EQ(service.cache().find(handle), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// MatchService batched submit
+
+TEST(MatchServiceBatch, BatchAgreesWithSingleSubmit) {
+  MatchService service(small_service_options());
+  const std::uint64_t rgd = service.register_set({literal("RGD"), regex("W.K")});
+  const std::uint64_t hh = service.register_set({literal("HH")});
+
+  Xoshiro256 rng(11);
+  const unsigned k = service.registry().alphabet().size();
+  const std::vector<Symbol> input = random_input(rng, k, 400);
+
+  static constexpr EngineChoice kEngines[] = {
+      EngineChoice::kEager, EngineChoice::kLazy, EngineChoice::kSpeculative,
+      EngineChoice::kNarrowed};
+  static constexpr serve::TaskKind kTasks[] = {
+      serve::TaskKind::kAccept, serve::TaskKind::kCount,
+      serve::TaskKind::kFindFirst, serve::TaskKind::kFindAll};
+
+  std::vector<MatchRequest> batch;
+  for (const auto set : {rgd, hh})
+    for (const auto engine : kEngines)
+      for (const auto task : kTasks) {
+        MatchRequest r;
+        r.set = set;
+        r.engine = engine;
+        r.task = task;
+        r.data = input.data();
+        r.len = input.size();
+        r.chunks = 3;
+        batch.push_back(r);
+      }
+
+  const std::vector<MatchResponse> batched = service.submit_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const MatchResponse single = service.submit(batch[i]);
+    ASSERT_TRUE(batched[i].ok) << batched[i].error;
+    ASSERT_TRUE(single.ok) << single.error;
+    EXPECT_EQ(batched[i].accepted, single.accepted) << "request " << i;
+    EXPECT_EQ(batched[i].count, single.count) << "request " << i;
+    EXPECT_EQ(batched[i].first, single.first) << "request " << i;
+    EXPECT_EQ(batched[i].positions, single.positions) << "request " << i;
+    EXPECT_EQ(batched[i].fingerprint, batch[i].set);
+  }
+}
+
+TEST(MatchServiceBatch, PoolDispatchAccountingStaysAmortized) {
+  MatchService service(small_service_options());
+  const std::uint64_t handle = service.register_set({literal("RGD")});
+  ASSERT_NE(service.resolve(handle), nullptr);  // warm: no build in the batch
+
+  Xoshiro256 rng(13);
+  const unsigned k = service.registry().alphabet().size();
+  const std::vector<Symbol> input = random_input(rng, k, 600);
+
+  static constexpr EngineChoice kEngines[] = {
+      EngineChoice::kEager, EngineChoice::kLazy, EngineChoice::kSpeculative,
+      EngineChoice::kNarrowed};
+  const std::size_t n = 16;
+  std::vector<MatchRequest> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    MatchRequest r;
+    r.set = handle;
+    r.engine = kEngines[i % 4];
+    r.task = serve::TaskKind::kCount;
+    r.data = input.data();
+    r.len = input.size();
+    r.chunks = 4;
+    batch.push_back(r);
+  }
+
+  const std::uint64_t before = scan::default_executor().stats().pool_dispatches;
+  const std::vector<MatchResponse> responses = service.submit_batch(batch);
+  const std::uint64_t after = scan::default_executor().stats().pool_dispatches;
+  for (const MatchResponse& r : responses) ASSERT_TRUE(r.ok) << r.error;
+
+  // The whole point of batched submit: N requests ride ONE pool dispatch
+  // (per-request chunk scans run inline on their worker via the pool's
+  // nested-inline guard), not one dispatch per request.
+  EXPECT_LE(after - before, 2u);
+  EXPECT_LT(after - before, n);
+}
+
+TEST(MatchServiceBatch, ErrorsAreIsolatedPerRequest) {
+  MatchService service(small_service_options());
+  const std::uint64_t good = service.register_set({literal("RGD")});
+  const std::vector<Symbol> input =
+      service.registry().alphabet().encode("AARGDAA");
+
+  std::vector<MatchRequest> batch(3);
+  batch[0].set = good;
+  batch[1].set = 0xDEADBEEF;  // never registered
+  batch[2].set = good;
+  for (auto& r : batch) {
+    r.task = serve::TaskKind::kFindFirst;
+    r.data = input.data();
+    r.len = input.size();
+  }
+  const auto responses = service.submit_batch(batch);
+  ASSERT_TRUE(responses[0].ok) << responses[0].error;
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_NE(responses[1].error.find("unknown pattern set"), std::string::npos);
+  ASSERT_TRUE(responses[2].ok) << responses[2].error;
+  EXPECT_EQ(responses[0].first, 5u);  // "RGD" ends after symbol 5
+  EXPECT_EQ(service.stats().failed_requests, 1u);
+}
+
+TEST(MatchServiceBatch, EagerBudgetDegradesToDfaOnlyEntry) {
+  ServiceOptions options = small_service_options();
+  options.max_eager_dfa_states = 1;  // force every set over the eager budget
+  MatchService service(options);
+  const std::uint64_t handle = service.register_set({literal("RGD")});
+  const auto entry = service.resolve(handle);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->sfa.has_value());
+
+  const std::vector<Symbol> input =
+      service.registry().alphabet().encode("AARGDAAWKY");
+  MatchRequest r;
+  r.set = handle;
+  r.data = input.data();
+  r.len = input.size();
+  r.chunks = 3;
+
+  r.engine = EngineChoice::kEager;
+  const MatchResponse eager = service.submit(r);
+  EXPECT_FALSE(eager.ok);
+  EXPECT_NE(eager.error.find("eager SFA budget"), std::string::npos);
+
+  for (const auto engine : {EngineChoice::kLazy, EngineChoice::kSpeculative,
+                            EngineChoice::kNarrowed}) {
+    r.engine = engine;
+    r.task = serve::TaskKind::kCount;
+    const MatchResponse resp = service.submit(r);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    // "RGD" ends at position 5 of the 10-symbol input; absorbing
+    // acceptance counts every position from there on.
+    EXPECT_EQ(resp.count, 6u) << engine_choice_name(engine);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent submit stress
+
+TEST(ServeStress, ConcurrentBatchedSubmit) {
+  ServiceOptions options;
+  options.max_batch_workers = 4;
+  options.default_chunks = 2;
+  MatchService service(options);
+
+  const std::vector<std::vector<PatternSpec>> sets = {
+      {literal("RGD"), regex("W.K")},
+      {literal("HH")},
+      {literal("ACD"), literal("DCA")},
+  };
+  std::vector<std::uint64_t> handles;
+  for (const auto& set : sets) {
+    handles.push_back(service.register_set(set));
+    ASSERT_NE(service.resolve(handles.back()), nullptr);
+  }
+
+  const unsigned k = service.registry().alphabet().size();
+  std::atomic<std::uint64_t> submitted{0};
+  const std::uint64_t before = service.stats().requests;
+
+  testing::StressOptions stress;
+  stress.threads = 8;
+  stress.phases = 3;
+  stress.ops_per_thread = testing::scaled_ops(96);
+  testing::run_stress(
+      stress,
+      [&](unsigned tid, unsigned phase, Xoshiro256& rng) {
+        (void)tid;
+        (void)phase;
+        for (std::uint64_t op = 0; op < stress.ops_per_thread; ++op) {
+          const std::vector<Symbol> input = random_input(rng, k, 300);
+          std::vector<MatchRequest> batch(1 + rng.below(6));
+          for (auto& r : batch) {
+            r.set = handles[rng.below(handles.size())];
+            r.engine = static_cast<EngineChoice>(rng.below(4));
+            r.task = static_cast<serve::TaskKind>(rng.below(4));
+            r.data = input.data();
+            r.len = input.size();
+            r.chunks = 1 + static_cast<unsigned>(rng.below(4));
+          }
+          submitted.fetch_add(batch.size(), std::memory_order_relaxed);
+          for (const MatchResponse& resp : service.submit_batch(batch))
+            ASSERT_TRUE(resp.ok) << resp.error;
+        }
+      },
+      [&](unsigned phase) {
+        (void)phase;
+        // Quiescent invariants: accounting adds up, nothing failed, and the
+        // cache never grew past its budget.
+        const auto stats = service.stats();
+        EXPECT_EQ(stats.requests - before,
+                  submitted.load(std::memory_order_relaxed));
+        EXPECT_EQ(stats.failed_requests, 0u);
+        if (options.cache.memory_budget_bytes != 0)
+          EXPECT_LE(stats.cache.resident_bytes,
+                    options.cache.memory_budget_bytes);
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz: random literal subsets vs Aho–Corasick
+
+TEST(ServeFuzz, RandomLiteralSetsMatchAhoCorasick) {
+  const Alphabet& dna = Alphabet::dna();
+  ServiceOptions options = small_service_options();
+  options.alphabet = &dna;
+  MatchService service(options);
+  const char bases[] = "ACGT";
+
+  Xoshiro256 rng(0xF0225EED);
+  const int iters = fuzz_iters(120);
+  for (int iter = 0; iter < iters; ++iter) {
+    std::vector<PatternSpec> set(1 + rng.below(4));
+    for (auto& spec : set) {
+      std::string text(1 + rng.below(6), 'A');
+      for (auto& c : text) c = bases[rng.below(4)];
+      spec = literal(text);
+    }
+    const std::uint64_t handle = service.register_set(set);
+    const AhoCorasick ac = service.registry().build_aho_corasick(set);
+
+    const std::vector<Symbol> input = random_input(rng, 4, 320);
+    // Absorbing acceptance: the service reports every position from the
+    // earliest Aho–Corasick match end onward.
+    std::vector<std::size_t> expected;
+    const auto matches = ac.find_all(input.data(), input.size());
+    if (!matches.empty()) {
+      std::size_t first = matches.front().end_position;
+      for (const AcMatch& m : matches) first = std::min(first, m.end_position);
+      for (std::size_t p = first; p <= input.size(); ++p)
+        expected.push_back(p);
+    }
+
+    MatchRequest r;
+    r.set = handle;
+    r.engine = static_cast<EngineChoice>(rng.below(4));
+    r.task = serve::TaskKind::kFindAll;
+    r.data = input.data();
+    r.len = input.size();
+    r.chunks = 1 + static_cast<unsigned>(rng.below(4));
+    const MatchResponse resp = service.submit(r);
+    ASSERT_TRUE(resp.ok) << resp.error;
+    EXPECT_EQ(resp.positions, expected)
+        << "iter " << iter << " engine " << engine_choice_name(r.engine);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Serve oracle
+
+testing::ServeOracleOptions quick_oracle_options() {
+  testing::ServeOracleOptions options;
+  options.probe_inputs = 8;
+  options.max_probe_length = 160;
+  return options;
+}
+
+TEST(OracleServe, AgreesOnSeededSets) {
+  MatchService service(small_service_options());
+  const testing::ServeOracle oracle(quick_oracle_options());
+
+  const std::vector<std::pair<std::string, std::vector<PatternSpec>>> sets = {
+      {"literals", {literal("RGD"), literal("WKY"), literal("HH")}},
+      {"mixed", {literal("ACDC"), regex("W.{2}K|HDEL")}},
+      {"prosite",
+       {PatternSpec{"ps", PatternSyntax::kProsite, "C-x(2)-[DE]"},
+        literal("KDEL")}},
+  };
+  for (const auto& [name, set] : sets) {
+    const std::uint64_t handle = service.register_set(set);
+    const auto divergence = oracle.check_serve(service, handle, name);
+    EXPECT_FALSE(divergence.has_value())
+        << name << ": " << divergence->detail << "\n"
+        << divergence->reproducer();
+  }
+}
+
+TEST(OracleServe, CatchesCorruptCacheEntry) {
+  MatchService service(small_service_options());
+  // Two same-shape single-literal sets: after the corruption, A's
+  // fingerprint answers with B's automaton — exactly the binding bug the
+  // cache column exists to catch.
+  const std::uint64_t a = service.register_set({literal("RGD")});
+  const std::uint64_t b = service.register_set({literal("WKY")});
+  ASSERT_NE(service.resolve(a), nullptr);
+  ASSERT_NE(service.resolve(b), nullptr);
+  service.cache().corrupt_entry_for_test(a, b);
+
+  const testing::ServeOracle oracle(quick_oracle_options());
+  const auto divergence = oracle.check_serve(service, a, "poisoned");
+  ASSERT_TRUE(divergence.has_value())
+      << "oracle missed the poisoned cache binding";
+  EXPECT_EQ(divergence->kind, "service");
+  // Input shrinking ran against the SAME poisoned handle, so the minimized
+  // input still reproduces; the witness probe guarantees it is tiny.
+  EXPECT_LE(divergence->input.size(), 8u);
+  // And the clean set B still checks out — the corruption is A's alone.
+  const auto clean = oracle.check_serve(service, b, "clean");
+  EXPECT_FALSE(clean.has_value()) << clean->detail;
+}
+
+}  // namespace
+}  // namespace sfa

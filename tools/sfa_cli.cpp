@@ -13,6 +13,22 @@
 //                             (the sfa-profile/1 section, when present)
 //     --expect-workers N      exit 1 unless the trace shows >= N worker
 //                             tracks (CI gate)
+//   sfa serve [options]                         drive the multi-pattern
+//                                               matching service with the
+//                                               in-process traffic simulator
+//     --once                 serve exactly one batch and exit (CI smoke)
+//     --requests N           total requests (default 64; --once default 4)
+//     --batch N              max requests per pool dispatch (default 16)
+//     --sets K               registered pattern sets (default 4, PROSITE)
+//     --engine E             eager|lazy|speculative|narrowed|mix
+//     --chunks N             chunks per request scan (default 4)
+//     --cache-budget BYTES   SfaCache LRU budget (default 256 MiB; 0 = off)
+//     --cache-dir DIR        persist compiled SFAs as <fingerprint>.sfa
+//     --rate R               open-loop arrivals/sec (default 0: closed loop)
+//     --input-symbols L      per-request input length (default 4096)
+//     --churn N              register a fresh synthetic set every N requests
+//     --seed S               simulator seed (default 2017)
+//     --stats-json FILE      sfa-serve-stats/1 run statistics
 //
 // Common options:
 //   --prosite | --regex      pattern syntax        (default: --prosite)
@@ -84,6 +100,7 @@
 #include <vector>
 
 #include "sfa/automata/ops.hpp"
+#include "sfa/automata/product.hpp"
 #include "sfa/compress/registry.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/lazy_matcher.hpp"
@@ -97,8 +114,13 @@
 #include "sfa/obs/profile/report.hpp"
 #include "sfa/obs/stats_export.hpp"
 #include "sfa/obs/trace.hpp"
+#include "sfa/prosite/patterns.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
+#include "sfa/serve/match_service.hpp"
+#include "sfa/serve/serve_stats.hpp"
+#include "sfa/serve/simulator.hpp"
 #include "sfa/support/cpu.hpp"
+#include "sfa/support/rng.hpp"
 #include "sfa/support/format.hpp"
 #include "sfa/support/timer.hpp"
 
@@ -127,13 +149,26 @@ struct Options {
   std::string trace_path;
   std::string stats_json_path;
   unsigned expect_workers = 0;  // profile: minimum worker tracks, 0 = off
+  // serve: the in-process traffic driver over the service layer.
+  bool once = false;              // one batch, then exit (CI smoke)
+  std::size_t serve_requests = 64;
+  std::size_t serve_batch = 16;
+  unsigned serve_sets = 4;
+  std::string serve_engine = "eager";  // eager|lazy|speculative|narrowed|mix
+  unsigned serve_chunks = 4;
+  std::uint64_t cache_budget = 256ull << 20;
+  std::string cache_dir;
+  double arrival_rate = 0;        // open-loop arrivals/sec; 0 = closed loop
+  std::size_t input_symbols = 4096;
+  std::size_t churn_every = 0;    // register a fresh synthetic set every N
+  std::uint64_t seed = 2017;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
   if (error) std::fprintf(stderr, "error: %s\n\n", error);
   std::fprintf(stderr,
-               "usage: sfa <build|match|inspect|grail|info|profile> ... (see "
-               "header comment / README)\n");
+               "usage: sfa <build|match|inspect|grail|info|profile|serve> ... "
+               "(see header comment / README)\n");
   std::exit(error ? 2 : 0);
 }
 
@@ -205,6 +240,30 @@ Options parse(int argc, char** argv) {
       opt.stats_json_path = next();
     else if (arg == "--expect-workers")
       opt.expect_workers = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--once")
+      opt.once = true;
+    else if (arg == "--requests")
+      opt.serve_requests = std::stoull(next());
+    else if (arg == "--batch")
+      opt.serve_batch = std::stoull(next());
+    else if (arg == "--sets")
+      opt.serve_sets = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--engine")
+      opt.serve_engine = next();
+    else if (arg == "--chunks")
+      opt.serve_chunks = static_cast<unsigned>(std::stoul(next()));
+    else if (arg == "--cache-budget")
+      opt.cache_budget = std::stoull(next());
+    else if (arg == "--cache-dir")
+      opt.cache_dir = next();
+    else if (arg == "--rate")
+      opt.arrival_rate = std::stod(next());
+    else if (arg == "--input-symbols")
+      opt.input_symbols = std::stoull(next());
+    else if (arg == "--churn")
+      opt.churn_every = std::stoull(next());
+    else if (arg == "--seed")
+      opt.seed = std::stoull(next());
     else if (arg == "--help" || arg == "-h")
       usage();
     else if (!arg.empty() && arg[0] == '-')
@@ -791,6 +850,166 @@ int cmd_grail(const Options& opt) {
 
 }  // namespace
 
+serve::EngineChoice serve_engine_by_name(const std::string& name) {
+  if (name == "eager") return serve::EngineChoice::kEager;
+  if (name == "lazy") return serve::EngineChoice::kLazy;
+  if (name == "speculative") return serve::EngineChoice::kSpeculative;
+  if (name == "narrowed") return serve::EngineChoice::kNarrowed;
+  usage(("unknown engine '" + name +
+         "' (expected eager, lazy, speculative, narrowed, or mix)")
+            .c_str());
+}
+
+/// The service-layer front end: register PROSITE pattern sets, then drive
+/// the MatchService with the open-loop traffic simulator (or a single
+/// batch under --once).  This is an in-process load driver, not a daemon —
+/// the point is measuring the serving substrate, not speaking a wire
+/// protocol.
+int cmd_serve(const Options& opt) {
+  if (!opt.positional.empty()) usage("serve takes no positional arguments");
+  if (opt.serve_engine != "mix") serve_engine_by_name(opt.serve_engine);
+
+  serve::ServiceOptions service_options;
+  service_options.max_batch_workers = opt.threads;
+  service_options.default_chunks = opt.serve_chunks;
+  service_options.cache.memory_budget_bytes = opt.cache_budget;
+  service_options.cache.disk_dir = opt.cache_dir;
+  if (!opt.table_layout.empty())
+    service_options.cache.table_layout = layout_by_name(opt.table_layout);
+  serve::MatchService service(service_options);
+
+  // Pattern sets: K groups of 3 eager-tractable motifs — bundled PROSITE
+  // samples first, seeded synthetic motifs once those run out.  Some
+  // samples union into 100k+-state DFAs (the service would serve them
+  // DFA-only); the default driver filters those out so every engine,
+  // including eager, participates.
+  const auto& samples = prosite_samples();
+  constexpr std::size_t kPatternsPerSet = 3;
+  constexpr std::uint32_t kMaxMemberDfa = 100;
+  constexpr std::uint32_t kMaxUnionDfa = 1024;
+  std::vector<std::uint64_t> handles;
+  std::size_t sample_index = 0;
+  std::vector<serve::PatternSpec> set;
+  std::vector<Dfa> member_dfas;
+  while (handles.size() < std::max(1u, opt.serve_sets)) {
+    serve::PatternSpec spec;
+    spec.syntax = serve::PatternSyntax::kProsite;
+    if (sample_index < samples.size()) {
+      spec.id = samples[sample_index].id;
+      spec.text = samples[sample_index].pattern;
+    } else {
+      spec.id = "SYN-" + std::to_string(sample_index);
+      spec.text = synthetic_prosite_pattern(opt.seed + sample_index);
+    }
+    ++sample_index;
+    try {
+      Dfa member = service.registry().compile_member(spec);
+      if (member.size() > kMaxMemberDfa) continue;
+      member_dfas.push_back(std::move(member));
+    } catch (const std::exception&) {
+      continue;
+    }
+    set.push_back(std::move(spec));
+    if (set.size() == kPatternsPerSet) {
+      if (dfa_union_all(std::move(member_dfas)).size() <= kMaxUnionDfa) {
+        // Warm the cache now and keep the set only when its eager SFA fit
+        // the service budget — the default driver should exercise every
+        // engine, and first-request latency should measure serving, not
+        // construction.  (Churned sets still pay construction in-band.)
+        const std::uint64_t handle = service.register_set(set);
+        const serve::SfaCache::EntryPtr entry = service.resolve(handle);
+        if (entry != nullptr && entry->sfa.has_value())
+          handles.push_back(handle);
+      }
+      set.clear();
+      member_dfas.clear();
+    }
+    if (sample_index > samples.size() + 500)
+      usage("serve: could not assemble eager-tractable pattern sets");
+  }
+
+  // Seeded request inputs, reused round robin.
+  const unsigned k = service.registry().alphabet().size();
+  Xoshiro256 input_rng(opt.seed ^ 0x5EedF00dull);
+  std::vector<std::vector<Symbol>> inputs(8);
+  for (auto& input : inputs) {
+    input.resize(std::max<std::size_t>(1, opt.input_symbols));
+    for (auto& s : input) s = static_cast<Symbol>(input_rng.below(k));
+  }
+
+  const bool mix = opt.serve_engine == "mix";
+  const serve::EngineChoice fixed_engine =
+      mix ? serve::EngineChoice::kEager : serve_engine_by_name(opt.serve_engine);
+  constexpr serve::EngineChoice kMix[] = {
+      serve::EngineChoice::kEager, serve::EngineChoice::kLazy,
+      serve::EngineChoice::kSpeculative, serve::EngineChoice::kNarrowed};
+
+  serve::SimOptions sim;
+  sim.seed = opt.seed;
+  sim.requests = opt.once && opt.serve_requests == 64 ? 4 : opt.serve_requests;
+  sim.max_batch = opt.once ? sim.requests : opt.serve_batch;
+  sim.arrival_rate_per_sec = opt.once ? 0 : opt.arrival_rate;
+
+  std::size_t churned = 0;
+  auto make_request = [&](std::size_t i) {
+    if (opt.churn_every != 0 && i != 0 && i % opt.churn_every == 0) {
+      // Pattern-set churn: a fresh synthetic set enters rotation, forcing
+      // compile + SFA build (+ eviction under a tight cache budget).
+      std::vector<serve::PatternSpec> fresh{
+          {"CHURN-" + std::to_string(churned), serve::PatternSyntax::kProsite,
+           synthetic_prosite_pattern(opt.seed ^ (0xC0FFEEull + churned))}};
+      handles.push_back(service.register_set(std::move(fresh)));
+      ++churned;
+    }
+    serve::MatchRequest r;
+    r.set = handles[i % handles.size()];
+    r.engine = mix ? kMix[i % 4] : fixed_engine;
+    r.task = serve::TaskKind::kCount;
+    const auto& input = inputs[i % inputs.size()];
+    r.data = input.data();
+    r.len = input.size();
+    r.chunks = opt.serve_chunks;
+    return r;
+  };
+
+  TraceSession trace(opt.trace_path);
+  const serve::SimResult sim_result = run_simulation(service, sim, make_request);
+  trace.stop_and_write();
+
+  const serve::ServiceStats stats = service.stats();
+  std::printf(
+      "serve: %llu requests in %llu batches (%llu failed), %u sets "
+      "registered\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.failed_requests),
+      static_cast<unsigned>(stats.registered_sets));
+  std::printf(
+      "cache: %llu hits, %llu disk hits, %llu misses, %llu evictions, "
+      "%llu bytes resident (%llu entries)\n",
+      static_cast<unsigned long long>(stats.cache.hits),
+      static_cast<unsigned long long>(stats.cache.disk_hits),
+      static_cast<unsigned long long>(stats.cache.misses),
+      static_cast<unsigned long long>(stats.cache.evictions),
+      static_cast<unsigned long long>(stats.cache.resident_bytes),
+      static_cast<unsigned long long>(stats.cache.entries));
+  std::printf(
+      "latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms | %.0f requests/s, "
+      "%.0f matches/s\n",
+      sim_result.run.p50_ms, sim_result.run.p99_ms, sim_result.run.mean_ms,
+      sim_result.run.requests_per_sec, sim_result.run.matches_per_sec);
+  std::printf("pool: %u workers, %llu dispatches\n", stats.pool.pool_workers,
+              static_cast<unsigned long long>(stats.pool.pool_dispatches));
+
+  if (!opt.stats_json_path.empty()) {
+    serve::write_serve_stats_json_file(opt.stats_json_path, stats,
+                                       sim_result.run);
+    std::printf("stats: %s\n", opt.stats_json_path.c_str());
+  }
+  if (stats.failed_requests != 0) return 1;
+  return 0;
+}
+
 int main(int argc, char** argv) {
   try {
     const Options opt = parse(argc, argv);
@@ -800,6 +1019,7 @@ int main(int argc, char** argv) {
     if (opt.command == "grail") return cmd_grail(opt);
     if (opt.command == "info") return cmd_info(opt);
     if (opt.command == "profile") return cmd_profile(opt);
+    if (opt.command == "serve") return cmd_serve(opt);
     usage(("unknown command: " + opt.command).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
