@@ -1,0 +1,195 @@
+// Scheduler scaling: static-stripe vs work-stealing vs guided dispatch on
+// the persistent WorkerPool, across thread counts and task-cost shapes.
+//
+// The pool is driven DIRECTLY (not through PooledExecutor) so every
+// configuration dispatches exactly the task vector it claims to: the
+// executor's ensure_workers(chunks) would grow the team past `threads` and
+// oversubscription would blur the comparison.  Each task walks a dependent
+// 64-state transition table over a slice of shared random text — the
+// memory access shape of a real chunk scan without matcher noise.
+//
+// Task-cost classes (per {threads} configuration, tasks = 8 * threads):
+//   uniform      every slice the same length — static-stripe's best case
+//   heavy-tail   ~10% of slices 8x longer, positions shuffled by seed
+//   adversarial  every task with (task % threads == 0) is 8x longer, i.e.
+//                all the heavy work lands on ONE worker's stripe — the
+//                shape where a static binding serializes on worker 0
+//
+// Speedup is against a serial walk of the same task vector, so schedulers
+// are compared on identical work.  Results go to BENCH_scaling.json
+// (schema sfa-scaling-bench/1).
+//
+// Usage: bench_scaling [bytes_per_task] [max_threads] [repeats]
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "sfa/concurrent/scheduler.hpp"
+#include "sfa/concurrent/worker_pool.hpp"
+#include "sfa/support/cpu.hpp"
+#include "sfa/support/format.hpp"
+#include "sfa/support/rng.hpp"
+#include "sfa/support/timer.hpp"
+
+using namespace sfa;
+
+namespace {
+
+constexpr unsigned kStates = 64;
+constexpr unsigned kTasksPerThread = 8;
+
+/// Dense [kStates][256] next-state table plus shared text to walk.
+struct ScanFixture {
+  std::vector<std::uint8_t> table;  // kStates * 256
+  std::vector<std::uint8_t> text;
+
+  explicit ScanFixture(std::size_t text_bytes, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    table.resize(static_cast<std::size_t>(kStates) * 256);
+    for (auto& t : table) t = static_cast<std::uint8_t>(rng.below(kStates));
+    text.resize(text_bytes);
+    for (auto& c : text) c = static_cast<std::uint8_t>(rng.below(256));
+  }
+
+  /// Walk `len` symbols starting at a task-specific offset (wrapping).
+  /// Dependent loads through the table — one chunk scan's memory shape.
+  std::uint8_t scan(unsigned task, std::size_t len) const {
+    std::size_t pos = (static_cast<std::size_t>(task) * 7919) % text.size();
+    std::uint8_t s = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      s = table[static_cast<std::size_t>(s) * 256 + text[pos]];
+      if (++pos == text.size()) pos = 0;
+    }
+    return s;
+  }
+};
+
+/// Per-task slice lengths for one (class, threads) configuration.
+std::vector<std::size_t> task_lengths(const std::string& cls, unsigned threads,
+                                      std::size_t base) {
+  const unsigned tasks = kTasksPerThread * threads;
+  std::vector<std::size_t> len(tasks, base);
+  if (cls == "heavy-tail") {
+    Xoshiro256 rng(99);
+    for (auto& l : len)
+      if (rng.below(10) == 0) l = base * 8;
+  } else if (cls == "adversarial") {
+    for (unsigned t = 0; t < tasks; ++t)
+      if (t % threads == 0) len[t] = base * 8;
+  }
+  return len;
+}
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t steals = 0;
+};
+
+RunResult run_pool(const ScanFixture& fix, const std::vector<std::size_t>& len,
+                   sched::Policy policy, unsigned threads, unsigned repeats) {
+  WorkerPool pool(threads);
+  pool.set_policy(policy);
+  std::atomic<std::uint64_t> sink{0};
+  const auto fn = [&](unsigned task, unsigned) {
+    sink.fetch_add(fix.scan(task, len[task]), std::memory_order_relaxed);
+  };
+  RunResult best;
+  for (unsigned r = 0; r < repeats; ++r) {
+    const WallTimer timer;
+    pool.run(static_cast<unsigned>(len.size()), fn);
+    const double s = timer.seconds();
+    if (r == 0 || s < best.seconds) best.seconds = s;
+  }
+  best.steals = pool.stats().steals;
+  return best;
+}
+
+double run_serial(const ScanFixture& fix, const std::vector<std::size_t>& len,
+                  unsigned repeats) {
+  std::uint64_t sink = 0;
+  double best = 0;
+  for (unsigned r = 0; r < repeats; ++r) {
+    const WallTimer timer;
+    for (unsigned t = 0; t < len.size(); ++t) sink += fix.scan(t, len[t]);
+    const double s = timer.seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  // Keep the compiler honest about the scans.
+  if (sink == ~0ull) std::printf("impossible\n");
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t bytes_per_task = bench::arg_or(argc, argv, 1, 1u << 15);
+  const unsigned max_threads =
+      bench::arg_or(argc, argv, 2, std::min(8u, hardware_threads()));
+  const unsigned repeats = bench::arg_or(argc, argv, 3, 3);
+
+  std::printf("== scheduler scaling: dispatch policies on the worker pool ==\n\n");
+  std::printf("%u tasks/thread, %zu base bytes/task, best of %u runs\n\n",
+              kTasksPerThread, bytes_per_task, repeats);
+
+  const ScanFixture fix(4u << 20, 2017);
+  static const char* kClasses[] = {"uniform", "heavy-tail", "adversarial"};
+
+  bench::JsonReport report("scaling");
+  report.schema("sfa-scaling-bench/1");
+  report.meta("bytes_per_task", bytes_per_task)
+      .meta("tasks_per_thread", std::uint64_t{kTasksPerThread})
+      .meta("repeats", repeats)
+      .meta("max_threads", max_threads);
+
+  // Adversarial speedup of stealing over stripe at the top thread count —
+  // the headline number (printed at the end, checked by the CI smoke).
+  double adversarial_gain = 0;
+
+  for (const char* cls : kClasses) {
+    std::vector<std::vector<std::string>> table;
+    table.push_back({"threads", "serial(s)", "static-stripe", "work-stealing",
+                     "guided", "ws-speedup", "steals"});
+    for (unsigned t = 1; t <= max_threads; t *= 2) {
+      const std::vector<std::size_t> len = task_lengths(cls, t, bytes_per_task);
+      const double serial = run_serial(fix, len, repeats);
+      double policy_seconds[sched::kNumPolicies] = {};
+      std::uint64_t steals = 0;
+      for (unsigned p = 0; p < sched::kNumPolicies; ++p) {
+        const auto policy = static_cast<sched::Policy>(p);
+        const RunResult r = run_pool(fix, len, policy, t, repeats);
+        policy_seconds[p] = r.seconds;
+        if (policy == sched::Policy::kWorkStealing) steals = r.steals;
+        auto& row = report.add_row();
+        row.set("class", cls)
+            .set("scheduler", sched::policy_name(policy))
+            .set("threads", t)
+            .set("tasks", std::uint64_t{kTasksPerThread} * t)
+            .set("seconds", r.seconds)
+            .set("serial_seconds", serial)
+            .set("speedup", r.seconds > 0 ? serial / r.seconds : 0.0)
+            .set("steals", r.steals);
+      }
+      const double ws_speedup =
+          policy_seconds[1] > 0 ? policy_seconds[0] / policy_seconds[1] : 0.0;
+      if (std::string(cls) == "adversarial" && t >= 4 && t == max_threads)
+        adversarial_gain = ws_speedup;
+      table.push_back({std::to_string(t), fixed(serial, 3),
+                       fixed(policy_seconds[0], 3), fixed(policy_seconds[1], 3),
+                       fixed(policy_seconds[2], 3), fixed(ws_speedup, 2) + "x",
+                       with_commas(steals)});
+    }
+    std::printf("-- %s --\n%s\n", cls, render_table(table).c_str());
+  }
+
+  if (adversarial_gain > 0)
+    std::printf("adversarial @ %u threads: work-stealing %.2fx over "
+                "static-stripe\n",
+                max_threads, adversarial_gain);
+  report.meta("adversarial_ws_over_stripe", adversarial_gain);
+  report.write();
+  return 0;
+}

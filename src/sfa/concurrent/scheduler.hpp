@@ -1,0 +1,71 @@
+// Scheduling policy of the persistent WorkerPool — the "which worker runs
+// task t" seam of the dispatch layer.
+//
+// The pool's original dispatch was a hard-coded stripe map (task t of a job
+// enqueued with team size S runs on worker t%S, and only there).  That is
+// the right default — equal-sized chunks give every worker the same scan
+// work by construction, and the binding guarantees N <= S chunks land on N
+// *distinct* threads, which `sfa_trace_check --expect-workers` relies on —
+// but on big multicores with heterogeneous chunk costs (d2fa chase storms,
+// narrowed fallback chunks, lazy interning bursts) a static stripe leaves
+// the imbalance the PR 7 profiler measures sitting on the table.  The
+// policies:
+//
+//   kStaticStripe  bit-for-bit the historical t%S binding (default)
+//   kWorkStealing  per-worker Chase-Lev deques seeded round-robin; a worker
+//                  drains its own deque LIFO and steals FIFO from victims
+//                  when empty (same structure the parallel builder uses for
+//                  SFA states, here applied to chunk indices)
+//   kGuided        guided self-scheduling: workers claim geometrically
+//                  shrinking batches (remaining / 2*team) off a shared
+//                  cursor — large batches early for low overhead, small
+//                  batches late to even out the tail
+//
+// The numeric values are a wire format: they are stamped as the `scheduler`
+// arg on match-chunk trace spans and validated by sfa_trace_check
+// --expect-scheduler, so they must stay stable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sfa::sched {
+
+enum class Policy : std::uint8_t {
+  kStaticStripe = 0,
+  kWorkStealing = 1,
+  kGuided = 2,
+};
+
+/// Number of valid Policy values (exclusive upper bound of the `scheduler`
+/// span arg).
+inline constexpr unsigned kNumPolicies = 3;
+
+inline const char* policy_name(Policy p) {
+  switch (p) {
+    case Policy::kStaticStripe: return "static-stripe";
+    case Policy::kWorkStealing: return "work-stealing";
+    case Policy::kGuided: return "guided";
+  }
+  return "?";
+}
+
+/// Parse a CLI spelling ("static-stripe", "work-stealing", "guided").
+/// Returns false (leaving `out` untouched) on an unknown name.
+inline bool parse_policy(const std::string& name, Policy& out) {
+  if (name == "static-stripe") {
+    out = Policy::kStaticStripe;
+    return true;
+  }
+  if (name == "work-stealing") {
+    out = Policy::kWorkStealing;
+    return true;
+  }
+  if (name == "guided") {
+    out = Policy::kGuided;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace sfa::sched

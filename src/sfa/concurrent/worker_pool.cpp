@@ -1,15 +1,40 @@
 #include "sfa/concurrent/worker_pool.hpp"
 
 #include <exception>
+#include <optional>
+
+#include "sfa/concurrent/ws_queue.hpp"
 
 namespace sfa {
 
 namespace {
-// run() from inside a worker executes inline: a stripe-bound job enqueued
-// by worker w could need worker w itself, which is busy running the
+// run() from inside a worker executes inline: a job enqueued by worker w
+// could need worker w itself (static stripes bind tasks to it; stealing and
+// guided workers all wait for job completion), which is busy running the
 // enqueuing task — the nested call must not wait on the team.
 thread_local bool t_inside_pool_worker = false;
+
+thread_local DispatchContext t_dispatch_context;
+
+/// Scoped assignment of the thread-local dispatch context — restores the
+/// previous value so nested inline runs (a batched serve request scanning
+/// through the pool's inline guard) don't clobber the outer job's context.
+class ScopedDispatchContext {
+ public:
+  ScopedDispatchContext(sched::Policy policy, unsigned stride)
+      : saved_(t_dispatch_context) {
+    t_dispatch_context = {policy, stride};
+  }
+  ~ScopedDispatchContext() { t_dispatch_context = saved_; }
+
+ private:
+  DispatchContext saved_;
+};
 }  // namespace
+
+const DispatchContext& current_dispatch_context() {
+  return t_dispatch_context;
+}
 
 WorkerPool::~WorkerPool() {
   {
@@ -34,16 +59,38 @@ unsigned WorkerPool::num_workers() const {
   return static_cast<unsigned>(team_.size());
 }
 
+void WorkerPool::set_policy(sched::Policy policy) {
+  policy_.store(policy, std::memory_order_relaxed);
+}
+
+sched::Policy WorkerPool::policy() const {
+  return policy_.load(std::memory_order_relaxed);
+}
+
+void WorkerPool::set_pin_mode(PinMode mode) {
+  pin_mode_.store(mode, std::memory_order_relaxed);
+  // Workers compare against this epoch after each claim, so already-parked
+  // threads re-apply the mode on the next job they join.
+  pin_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+PinMode WorkerPool::pin_mode() const {
+  return pin_mode_.load(std::memory_order_relaxed);
+}
+
 WorkerPoolStats WorkerPool::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   WorkerPoolStats s;
   s.dispatches = dispatches_;
   s.wakeups = wakeups_;
+  s.steals = steals_;
   s.workers = static_cast<unsigned>(team_.size());
+  s.pinned_workers = pinned_workers_.load(std::memory_order_relaxed);
   return s;
 }
 
-void WorkerPool::run_inline(unsigned tasks, const ChunkFn& fn) {
+void WorkerPool::run_inline(unsigned tasks, const ChunkFn& fn) const {
+  const ScopedDispatchContext ctx(policy_.load(std::memory_order_relaxed), 1);
   for (unsigned t = 0; t < tasks; ++t) fn(t, ChunkFn::kInlineWorker);
 }
 
@@ -64,14 +111,33 @@ void WorkerPool::run(unsigned tasks, const ChunkFn& fn) {
       return;
     }
     job.stride = static_cast<unsigned>(team_.size());
+    job.policy = policy_.load(std::memory_order_relaxed);
     job.taken.assign(job.stride, 0);
+    if (job.policy == sched::Policy::kWorkStealing) {
+      // Seed the per-worker deques round-robin while still the owner; the
+      // queue_ publication under this mutex is the ownership handoff (the
+      // pops in run_job_stealing happen-after these pushes).
+      job.deques.resize(job.stride);
+      for (unsigned w = 0; w < job.stride; ++w)
+        job.deques[w] = std::make_unique<WorkStealingQueue>();
+      for (unsigned t = 0; t < tasks; ++t)
+        job.deques[t % job.stride]->push(t);
+    }
     queue_.push_back(&job);
     ++dispatches_;
     work_cv_.notify_all();
-    done_cv_.wait(lock, [&job] { return job.done == job.num_tasks; });
+    // Wait for completion AND for every participating worker to have left
+    // the job: a stealing worker may still be scanning victim deques (job
+    // memory) after the last task finished elsewhere.
+    done_cv_.wait(lock, [&job] {
+      return job.done == job.num_tasks && job.active == 0;
+    });
+    for (const auto& deque : job.deques)
+      steals_ += deque->counters.steals.load(std::memory_order_relaxed);
     // Unlink before the stack frame dies; workers only reach the job
-    // through queue_ (under this mutex) or through a stripe they claimed
-    // before done hit num_tasks, so after this erase nothing touches it.
+    // through queue_ (under this mutex) or through a claim they made
+    // before done/active satisfied the predicate, so after this erase
+    // nothing touches it.
     for (std::size_t i = 0; i < queue_.size(); ++i) {
       if (queue_[i] == &job) {
         queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -82,20 +148,90 @@ void WorkerPool::run(unsigned tasks, const ChunkFn& fn) {
   if (job.error) std::rethrow_exception(job.error);
 }
 
+void WorkerPool::run_job_static(Job* job, unsigned id, unsigned& ran,
+                                std::exception_ptr& error) {
+  for (unsigned t = id; t < job->num_tasks; t += job->stride) {
+    try {
+      (*job->fn)(t, id);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+    ++ran;
+  }
+}
+
+void WorkerPool::run_job_stealing(Job* job, unsigned id, unsigned& ran,
+                                  std::exception_ptr& error) {
+  WorkStealingQueue& own = *job->deques[id];
+  for (;;) {
+    std::optional<std::uint64_t> item = own.pop();
+    for (unsigned k = 1; !item && k < job->stride; ++k)
+      item = job->deques[(id + k) % job->stride]->steal();
+    if (!item) {
+      // Every deque observed empty or lost its race.  A lost CAS means the
+      // winner holds that item and re-sweeps after running it, so no task
+      // is orphaned by leaving here.
+      return;
+    }
+    try {
+      (*job->fn)(static_cast<unsigned>(*item), id);
+    } catch (...) {
+      if (!error) error = std::current_exception();
+    }
+    ++ran;
+  }
+}
+
+void WorkerPool::run_job_guided(Job* job, unsigned id, unsigned& ran,
+                                std::exception_ptr& error) {
+  for (;;) {
+    unsigned cur = job->next.load(std::memory_order_relaxed);
+    if (cur >= job->num_tasks) return;
+    // Guided self-scheduling: claim half an even share of what remains —
+    // batches shrink geometrically toward 1, so early claims are cheap and
+    // the tail stays balanced.
+    const unsigned remaining = job->num_tasks - cur;
+    unsigned batch = remaining / (2 * job->stride);
+    if (batch == 0) batch = 1;
+    const unsigned end = cur + batch;  // batch <= remaining, no overflow
+    if (!job->next.compare_exchange_weak(cur, end, std::memory_order_relaxed))
+      continue;
+    for (unsigned t = cur; t < end; ++t) {
+      try {
+        (*job->fn)(t, id);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++ran;
+    }
+  }
+}
+
 void WorkerPool::worker_main(unsigned id) {
   t_inside_pool_worker = true;
+  unsigned pin_epoch_seen = 0;
+  bool pinned = false;
   std::unique_lock<std::mutex> lock(mutex_);
   bool woke_from_wait = false;
   for (;;) {
     Job* job = nullptr;
     for (Job* j : queue_) {
-      if (id < j->stride && id < j->num_tasks && !j->taken[id]) {
+      const bool claimable =
+          j->policy == sched::Policy::kStaticStripe
+              // Stripe binding: worker id serves exactly the tasks
+              // congruent to id mod stride — nothing to claim when the job
+              // has fewer tasks than that.
+              ? (id < j->stride && id < j->num_tasks && !j->taken[id])
+              // Stealing/guided: any team member of the dispatch may join
+              // while undone work remains.
+              : (id < j->stride && !j->taken[id] && j->done < j->num_tasks);
+      if (claimable) {
         job = j;
         break;
       }
     }
     if (job == nullptr) {
-      // Claimable stripes are drained even after stop_ so a run() caller
+      // Claimable work is drained even after stop_ so a run() caller
       // blocked in done_cv_.wait() always completes before the join.
       if (stop_) return;
       work_cv_.wait(lock);
@@ -107,23 +243,44 @@ void WorkerPool::worker_main(unsigned id) {
       woke_from_wait = false;
     }
     job->taken[id] = 1;
+    ++job->active;
     lock.unlock();
+
+    const unsigned epoch = pin_epoch_.load(std::memory_order_acquire);
+    if (epoch != pin_epoch_seen) {
+      pin_epoch_seen = epoch;
+      const bool now_pinned =
+          apply_pin(pin_mode_.load(std::memory_order_relaxed), id);
+      if (now_pinned != pinned) {
+        pinned_workers_.fetch_add(now_pinned ? 1 : -1,
+                                  std::memory_order_relaxed);
+        pinned = now_pinned;
+      }
+    }
 
     unsigned ran = 0;
     std::exception_ptr error;
-    for (unsigned t = id; t < job->num_tasks; t += job->stride) {
-      try {
-        (*job->fn)(t, id);
-      } catch (...) {
-        if (!error) error = std::current_exception();
+    {
+      const ScopedDispatchContext ctx(job->policy, job->stride);
+      switch (job->policy) {
+        case sched::Policy::kStaticStripe:
+          run_job_static(job, id, ran, error);
+          break;
+        case sched::Policy::kWorkStealing:
+          run_job_stealing(job, id, ran, error);
+          break;
+        case sched::Policy::kGuided:
+          run_job_guided(job, id, ran, error);
+          break;
       }
-      ++ran;
     }
 
     lock.lock();
     if (error && !job->error) job->error = error;
     job->done += ran;
-    if (job->done == job->num_tasks) done_cv_.notify_all();
+    --job->active;
+    if (job->done == job->num_tasks && job->active == 0)
+      done_cv_.notify_all();
   }
 }
 

@@ -6,25 +6,36 @@
 // team on a condition variable and hands each call's chunks to it, so a
 // streaming session pays thread creation once, not per block.
 //
-// Dispatch is stripe-bound, not work-stolen: task t of a job enqueued with
-// team size S runs on worker (t mod S), and only there.  Chunk matching
-// gives every worker the same amount of scan work by construction (chunks
-// are equal-sized), so stealing buys nothing — and the binding guarantees
-// that N <= S chunks land on N *distinct* threads even when the OS
-// serializes them onto one core, which the trace validator's worker-track
-// count relies on (`sfa_trace_check --expect-workers N`).
+// How a job's tasks map onto the team is the sched::Policy seam
+// (scheduler.hpp).  The default, static-stripe, is the pool's historical
+// behavior: task t of a job enqueued with team size S runs on worker
+// (t mod S), and only there — equal-sized chunks give every worker the same
+// scan work by construction, and the binding guarantees that N <= S chunks
+// land on N *distinct* threads even when the OS serializes them onto one
+// core, which the trace validator's worker-track count relies on
+// (`sfa_trace_check --expect-workers N`).  Work-stealing and guided
+// dispatch trade that distinctness guarantee for load balance under
+// heterogeneous chunk costs; `sfa_trace_check --expect-scheduler` is how a
+// trace consumer opts into the relaxed invariant.
 //
 // This library must stay free of sfa_obs dependencies (same rule as the
 // queues and the arena); trace/metrics glue lives in the scan Executor.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sfa/concurrent/scheduler.hpp"
+#include "sfa/support/numa.hpp"
+
 namespace sfa {
+
+class WorkStealingQueue;
 
 /// Non-owning callable reference `void(unsigned task, unsigned worker)`.
 /// The referenced callable must outlive the WorkerPool::run() call that
@@ -54,13 +65,26 @@ class ChunkFn {
 struct WorkerPoolStats {
   std::uint64_t dispatches = 0;  // jobs handed to the parked team
   std::uint64_t wakeups = 0;     // CV wakeups that found claimable work
+  std::uint64_t steals = 0;      // successful deque steals (work-stealing)
   unsigned workers = 0;
+  unsigned pinned_workers = 0;   // workers currently bound to a NUMA node
 };
+
+/// How the task currently executing was dispatched — read by the trace
+/// instrumentation in the scan layer to stamp `scheduler`/`stride` args on
+/// chunk spans without widening the ChunkFn signature.  Thread-local:
+/// meaningful only inside a task body (defaults to {static-stripe, 1} on
+/// ordinary threads and for inline execution).
+struct DispatchContext {
+  sched::Policy policy = sched::Policy::kStaticStripe;
+  unsigned stride = 1;
+};
+const DispatchContext& current_dispatch_context();
 
 /// A growable team of parked threads.  run() is the only work entry point;
 /// it blocks until every task of the call completed, so the per-call chunk
 /// buffers callers capture by reference stay valid.  Concurrent run() calls
-/// from different threads are safe and interleave at stripe granularity.
+/// from different threads are safe and interleave at claim granularity.
 /// The pool must outlive every run() call (do not destroy it while another
 /// thread is still dispatching).
 class WorkerPool {
@@ -76,12 +100,23 @@ class WorkerPool {
 
   unsigned num_workers() const;
 
+  /// Scheduling policy for jobs enqueued AFTER the call (in-flight jobs
+  /// keep the policy they were dispatched with).
+  void set_policy(sched::Policy policy);
+  sched::Policy policy() const;
+
+  /// NUMA pin mode; workers (re-)apply it before their next claim, so the
+  /// call affects already-parked threads too.
+  void set_pin_mode(PinMode mode);
+  PinMode pin_mode() const;
+
   /// Execute fn(t, worker) for every t in [0, tasks).  Blocks until all
   /// tasks ran.  Falls back to inline execution on the caller when the
   /// team is empty, stopped, or there is only one task; a run() from
   /// inside a pool worker also executes inline (a worker waiting on its
-  /// own team would deadlock).  The first exception thrown by a task is
-  /// rethrown here after the remaining tasks finished.
+  /// own team would deadlock) — under every policy, including a stolen
+  /// task that recursively dispatches.  The first exception thrown by a
+  /// task is rethrown here after the remaining tasks finished.
   void run(unsigned tasks, const ChunkFn& fn);
 
   WorkerPoolStats stats() const;
@@ -90,14 +125,30 @@ class WorkerPool {
   struct Job {
     const ChunkFn* fn;
     unsigned num_tasks;
-    unsigned stride;           // team size at enqueue; task t -> worker t%stride
-    std::vector<char> taken;   // per-stripe claim flags, indexed by worker
+    unsigned stride;           // team size at enqueue
+    sched::Policy policy = sched::Policy::kStaticStripe;
+    std::vector<char> taken;   // per-worker participation flags
     unsigned done = 0;         // completed tasks
+    unsigned active = 0;       // workers currently inside the job
     std::exception_ptr error;  // first failure, rethrown by run()
+    /// Work-stealing state: one Chase-Lev deque per worker, seeded
+    /// round-robin by the run() caller BEFORE the job is published under
+    /// the mutex (the publication is what hands deque ownership to the
+    /// workers).  No pushes happen afterwards, so emptiness is monotone
+    /// and the drain loops terminate.
+    std::vector<std::unique_ptr<WorkStealingQueue>> deques;
+    /// Guided self-scheduling cursor: next unclaimed task index.
+    std::atomic<unsigned> next{0};
   };
 
   void worker_main(unsigned id);
-  static void run_inline(unsigned tasks, const ChunkFn& fn);
+  void run_inline(unsigned tasks, const ChunkFn& fn) const;
+  static void run_job_static(Job* job, unsigned id, unsigned& ran,
+                             std::exception_ptr& error);
+  static void run_job_stealing(Job* job, unsigned id, unsigned& ran,
+                               std::exception_ptr& error);
+  static void run_job_guided(Job* job, unsigned id, unsigned& ran,
+                             std::exception_ptr& error);
 
   mutable std::mutex mutex_;
   std::condition_variable work_cv_;  // workers park here
@@ -106,6 +157,14 @@ class WorkerPool {
   std::vector<Job*> queue_;  // jobs live on their caller's stack
   std::uint64_t dispatches_ = 0;
   std::uint64_t wakeups_ = 0;
+  std::uint64_t steals_ = 0;  // summed from finished jobs' deque counters
+  std::atomic<sched::Policy> policy_{sched::Policy::kStaticStripe};
+  /// Pin state: workers compare their local epoch against pin_epoch_ before
+  /// each claim and re-apply the mode when it moved, so set_pin_mode()
+  /// reaches threads that were created (and parked) earlier.
+  std::atomic<PinMode> pin_mode_{PinMode::kNone};
+  std::atomic<unsigned> pin_epoch_{0};
+  std::atomic<unsigned> pinned_workers_{0};
   bool stop_ = false;
 };
 

@@ -49,6 +49,7 @@
 #include "sfa/hash/city64.hpp"
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/trace.hpp"
+#include "sfa/support/numa.hpp"
 #include "sfa/support/timer.hpp"
 
 namespace sfa {
@@ -159,6 +160,9 @@ class ParallelBuilder {
     unsigned idle_spins = 0;
 
     SFA_TRACE_THREAD_NAME("builder/worker " + std::to_string(tid));
+    // The builder spawns its own team, so the process-wide `--pin` policy is
+    // applied here (the scan pool carries its own copy of the mode).
+    apply_pin(process_pin_mode(), tid);
     SFA_TRACE_SPAN(worker_span, "build", "worker");
     worker_span.arg("tid", tid);
     // One span per distribution phase: "global-phase" while the worker still

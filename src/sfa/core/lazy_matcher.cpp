@@ -10,6 +10,7 @@
 #include "sfa/core/build/store.hpp"
 #include "sfa/core/build/successor.hpp"
 #include "sfa/core/build_common.hpp"
+#include "sfa/core/scan/chunk_planner.hpp"
 #include "sfa/core/scan/engine.hpp"
 #include "sfa/core/scan/executor.hpp"
 #include "sfa/core/scan/tasks.hpp"
@@ -78,6 +79,13 @@ class Engine final : public EngineBase {
       // (the on-demand slice), and the trace validator's worker-track
       // count keys on build-category spans.
       SFA_TRACE_SPAN(span, "build", "lazy-chunk");
+      // Same dispatch attribution as the match-chunk spans (engine.cpp):
+      // lazy chunks ride the pooled dispatch too, so the validator can
+      // audit stripe congruence / scheduler id on traced lazy runs.
+      const DispatchContext& dc = current_dispatch_context();
+      span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+      span.arg("task", std::uint64_t{t});
+      span.arg("stride", static_cast<std::uint64_t>(dc.stride));
       const auto [b, e] = ranges[t];
       obs::annotate_profile_chunk(
           static_cast<unsigned>(scan::EngineId::kLazy),
@@ -220,6 +228,12 @@ struct LazyMatcher::Impl {
     return t;
   }
 
+  /// Chunk count for `len` symbols on `threads` workers — the thread count
+  /// unless the adaptive planner (`--adaptive-chunks`) is on.
+  static unsigned planned_chunks(std::size_t len, unsigned threads) {
+    return scan::ChunkPlanner::instance().plan(len * sizeof(Symbol), threads);
+  }
+
   /// Run the chunk walks through the executor and fold the outcome counters
   /// into the cumulative stats + the metrics registry.
   std::vector<ChunkOutcome> run(
@@ -311,7 +325,7 @@ MatchResult LazyMatcher::match(const std::vector<Symbol>& input) {
   SFA_TRACE_SCOPE("match", "lazy-match");
   LazyScanEngineT<Impl> engine(*impl_);
   return scan::run_accept(engine, scan::default_executor(), input.data(),
-                          input.size(), t);
+                          input.size(), Impl::planned_chunks(input.size(), t));
 }
 
 std::size_t LazyMatcher::count(const std::vector<Symbol>& input) {
@@ -326,7 +340,7 @@ std::size_t LazyMatcher::count(const std::vector<Symbol>& input) {
   SFA_TRACE_SCOPE("match", "lazy-count");
   LazyScanEngineT<Impl> engine(*impl_);
   return scan::run_count(engine, scan::default_executor(), input.data(),
-                         input.size(), t);
+                         input.size(), Impl::planned_chunks(input.size(), t));
 }
 
 std::size_t LazyMatcher::find_first(const std::vector<Symbol>& input) {
@@ -340,7 +354,8 @@ std::size_t LazyMatcher::find_first(const std::vector<Symbol>& input) {
   SFA_TRACE_SCOPE("match", "lazy-find-first");
   LazyScanEngineT<Impl> engine(*impl_);
   return scan::run_find_first(engine, scan::default_executor(), input.data(),
-                              input.size(), t);
+                              input.size(),
+                              Impl::planned_chunks(input.size(), t));
 }
 
 std::uint32_t LazyMatcher::advance(std::uint32_t dfa_state, const Symbol* data,
@@ -352,8 +367,8 @@ std::uint32_t LazyMatcher::advance(std::uint32_t dfa_state, const Symbol* data,
   // Chunk mappings compose from ANY entry state — this is what the eager
   // stream path cannot do without a full build.
   LazyScanEngineT<Impl> engine(*impl_);
-  return scan::run_advance(engine, scan::default_executor(), data, len, t,
-                           dfa_state);
+  return scan::run_advance(engine, scan::default_executor(), data, len,
+                           Impl::planned_chunks(len, t), dfa_state);
 }
 
 LazyMatchStats LazyMatcher::stats() const { return impl_->stats; }

@@ -7,11 +7,25 @@
 
 #include <stdexcept>
 
+#include "sfa/core/scan/chunk_planner.hpp"
 #include "sfa/core/scan/engine.hpp"
 #include "sfa/core/scan/tasks.hpp"
 #include "sfa/obs/trace.hpp"
 
 namespace sfa {
+
+namespace {
+
+/// Chunk count for a parallel scan — the thread count unless the adaptive
+/// planner (`--adaptive-chunks`) is on, in which case it may oversplit so
+/// the scheduler has surplus tasks to balance.
+unsigned planned_chunks(const std::vector<Symbol>& input,
+                        unsigned num_threads) {
+  return scan::ChunkPlanner::instance().plan(input.size() * sizeof(Symbol),
+                                             num_threads);
+}
+
+}  // namespace
 
 MatchResult match_sequential(const Dfa& dfa, const std::vector<Symbol>& input) {
   const Dfa::StateId q = dfa.run(dfa.start(), input.data(), input.size());
@@ -58,7 +72,7 @@ MatchResult match_sfa_parallel(const Sfa& sfa, const std::vector<Symbol>& input,
   SFA_TRACE_SCOPE("match", "sfa-parallel");
   scan::EagerEngine engine(sfa);
   return scan::run_accept(engine, scan::default_executor(), input.data(),
-                          input.size(), num_threads);
+                          input.size(), planned_chunks(input, num_threads));
 }
 
 std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
@@ -77,7 +91,7 @@ std::size_t count_matches_parallel(const Sfa& sfa, const Dfa& dfa,
   SFA_TRACE_SCOPE("match", "count-parallel");
   scan::EagerEngine engine(sfa, &dfa);
   return scan::run_count(engine, scan::default_executor(), input.data(),
-                         input.size(), num_threads);
+                         input.size(), planned_chunks(input, num_threads));
 }
 
 std::vector<std::size_t> find_all_matches_parallel(
@@ -97,7 +111,7 @@ std::vector<std::size_t> find_all_matches_parallel(
 
   scan::EagerEngine engine(sfa, &dfa);
   return scan::run_find_all(engine, scan::default_executor(), input.data(),
-                            input.size(), num_threads);
+                            input.size(), planned_chunks(input, num_threads));
 }
 
 std::size_t find_first_match_parallel(const Sfa& sfa, const Dfa& dfa,
@@ -117,7 +131,8 @@ std::size_t find_first_match_parallel(const Sfa& sfa, const Dfa& dfa,
 
   scan::EagerEngine engine(sfa, &dfa);
   return scan::run_find_first(engine, scan::default_executor(), input.data(),
-                              input.size(), num_threads);
+                              input.size(),
+                              planned_chunks(input, num_threads));
 }
 
 Dfa::StateId pick_speculation_state(const Dfa& dfa,
@@ -148,11 +163,12 @@ SpeculativeResult match_speculative(const Dfa& dfa,
   SpeculativeResult out;
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;
-  out.chunks = num_threads;
+  const unsigned chunks = planned_chunks(input, num_threads);
+  out.chunks = chunks;
 
   scan::SpeculativeEngine engine(dfa, speculated_state);
   out.result = scan::run_accept(engine, scan::default_executor(), input.data(),
-                                input.size(), num_threads);
+                                input.size(), chunks);
   out.rematched_chunks = engine.rematched();
   return out;
 }
@@ -181,12 +197,13 @@ NarrowedResult match_narrowed(const Dfa& dfa, const std::vector<Symbol>& input,
   NarrowedResult out;
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;  // chunking overhead
-  out.chunks = num_threads;
+  const unsigned chunks = planned_chunks(input, num_threads);
+  out.chunks = chunks;
 
   SFA_TRACE_SCOPE("match", "narrowed");
   scan::NarrowedEngine engine(dfa, to_scan_options(options));
   out.result = scan::run_accept(engine, scan::default_executor(), input.data(),
-                                input.size(), num_threads);
+                                input.size(), chunks);
   out.narrowed_chunks = engine.narrowed_chunks();
   out.fallback_chunks = engine.fallback_chunks();
   out.entry_states = engine.entry_states_simulated();
@@ -200,12 +217,13 @@ NarrowedCountResult count_matches_narrowed(const Dfa& dfa,
   NarrowedCountResult out;
   if (num_threads == 0) num_threads = 1;
   if (input.size() < num_threads * 64) num_threads = 1;
-  out.chunks = num_threads;
+  const unsigned chunks = planned_chunks(input, num_threads);
+  out.chunks = chunks;
 
   SFA_TRACE_SCOPE("match", "narrowed-count");
   scan::NarrowedEngine engine(dfa, to_scan_options(options));
   out.count = scan::run_count(engine, scan::default_executor(), input.data(),
-                              input.size(), num_threads);
+                              input.size(), chunks);
   out.narrowed_chunks = engine.narrowed_chunks();
   out.fallback_chunks = engine.fallback_chunks();
   out.entry_states = engine.entry_states_simulated();

@@ -1,0 +1,85 @@
+#include "sfa/core/scan/chunk_planner.hpp"
+
+#include <algorithm>
+
+#include "sfa/obs/metrics.hpp"
+
+namespace sfa::scan {
+
+ChunkPlanner& ChunkPlanner::instance() {
+  static ChunkPlanner planner;
+  return planner;
+}
+
+void ChunkPlanner::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  enabled_ = enabled;
+}
+
+bool ChunkPlanner::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enabled_;
+}
+
+unsigned ChunkPlanner::plan(std::size_t bytes, unsigned threads) {
+  if (threads <= 1) return threads;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return threads;
+  const std::size_t want = bytes / target_bytes_;
+  const unsigned chunks = static_cast<unsigned>(std::clamp<std::size_t>(
+      want, threads, static_cast<std::size_t>(threads) * kMaxChunksPerThread));
+  ++plans_;
+  const std::size_t chunk_bytes = bytes / chunks;
+  if (chunk_bytes_min_ == 0 || chunk_bytes < chunk_bytes_min_)
+    chunk_bytes_min_ = chunk_bytes;
+  chunk_bytes_max_ = std::max(chunk_bytes_max_, chunk_bytes);
+  chunk_bytes_final_ = chunk_bytes;
+  return chunks;
+}
+
+void ChunkPlanner::observe(unsigned chunks, std::uint64_t total_cycles,
+                           std::uint64_t max_cycles) {
+  if (chunks == 0 || total_cycles == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!enabled_) return;
+  const double mean =
+      static_cast<double>(total_cycles) / static_cast<double>(chunks);
+  if (mean <= 0.0) return;
+  const double imbalance = static_cast<double>(max_cycles) / mean;
+  std::size_t next = target_bytes_;
+  if (imbalance > kSplitImbalance) {
+    next = std::max(kMinTargetBytes, target_bytes_ / 2);
+  } else if (imbalance < kMergeImbalance) {
+    next = std::min(kMaxTargetBytes, target_bytes_ * 2);
+  }
+  if (next != target_bytes_) {
+    target_bytes_ = next;
+    ++replans_;
+    obs::Registry::instance().counter("sfa.pool.sched.replans").inc();
+  }
+}
+
+ChunkPlanner::Snapshot ChunkPlanner::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.enabled = enabled_;
+  s.target_bytes = target_bytes_;
+  s.plans = plans_;
+  s.replans = replans_;
+  s.chunk_bytes_min = chunk_bytes_min_;
+  s.chunk_bytes_max = chunk_bytes_max_;
+  s.chunk_bytes_final = chunk_bytes_final_;
+  return s;
+}
+
+void ChunkPlanner::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  target_bytes_ = kDefaultTargetBytes;
+  plans_ = 0;
+  replans_ = 0;
+  chunk_bytes_min_ = 0;
+  chunk_bytes_max_ = 0;
+  chunk_bytes_final_ = 0;
+}
+
+}  // namespace sfa::scan

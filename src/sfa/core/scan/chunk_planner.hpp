@@ -1,0 +1,87 @@
+// Adaptive chunk sizing for the matching substrate (`--adaptive-chunks`).
+//
+// The wrappers historically split an input into exactly `threads` chunks:
+// optimal when every byte costs the same, but a d2fa chase storm or a
+// narrowed fallback chunk can make one chunk several times slower than its
+// siblings, and with one chunk per worker there is nothing left to balance
+// with — even work-stealing needs surplus tasks to steal.  The planner
+// closes the loop the PR 7 profiler opened: the executor reports observed
+// per-chunk TSC times after every pooled dispatch, and the planner adapts a
+// target chunk byte size that future plan() calls divide inputs by.
+//
+//   - imbalance (max/mean chunk cycles) above kSplitImbalance → halve the
+//     target, creating more, smaller chunks for the scheduler to balance;
+//   - near-perfect balance → double the target back, shedding dispatch
+//     overhead (floor/cap keep the target in [4 KiB, 16 MiB]).
+//
+// Disabled by default: plan() then returns the thread count unchanged, so
+// every existing call path is bit-for-bit the historical behavior.  The
+// planner is process-wide (like default_executor) and thread-safe; stats
+// feed the additive `chunk_size_*` fields of sfa-match-stats/1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace sfa::scan {
+
+class ChunkPlanner {
+ public:
+  static constexpr std::size_t kDefaultTargetBytes = 256 * 1024;
+  static constexpr std::size_t kMinTargetBytes = 4 * 1024;
+  static constexpr std::size_t kMaxTargetBytes = 16 * 1024 * 1024;
+  /// Never plan more than this many chunks per thread — bounds scheduling
+  /// overhead and the trace volume of a single dispatch.
+  static constexpr unsigned kMaxChunksPerThread = 8;
+
+  struct Snapshot {
+    bool enabled = false;
+    std::size_t target_bytes = kDefaultTargetBytes;
+    std::uint64_t plans = 0;
+    std::uint64_t replans = 0;  // observe() calls that moved the target
+    std::size_t chunk_bytes_min = 0;
+    std::size_t chunk_bytes_max = 0;
+    std::size_t chunk_bytes_final = 0;  // from the most recent plan()
+  };
+
+  static ChunkPlanner& instance();
+
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Chunk count for an input of `bytes` scanned by `threads` workers.
+  /// Disabled (or threads <= 1): exactly `threads`.  Enabled: bytes/target,
+  /// clamped to [threads, threads * kMaxChunksPerThread] so there is always
+  /// at least one chunk per worker and never an overhead explosion.
+  unsigned plan(std::size_t bytes, unsigned threads);
+
+  /// Feed back one pooled dispatch: `total_cycles` summed and `max_cycles`
+  /// the worst over its `chunks` chunk bodies (TSC units — only the ratio
+  /// matters, so no calibration needed).  No-op while disabled.
+  void observe(unsigned chunks, std::uint64_t total_cycles,
+               std::uint64_t max_cycles);
+
+  Snapshot snapshot() const;
+
+  /// Restore the default target and clear stats (keeps the enabled flag) —
+  /// called before a timed run so its stats cover only that run.
+  void reset();
+
+ private:
+  ChunkPlanner() = default;
+
+  static constexpr double kSplitImbalance = 1.5;
+  static constexpr double kMergeImbalance = 1.15;
+
+  mutable std::mutex mutex_;
+  bool enabled_ = false;
+  std::size_t target_bytes_ = kDefaultTargetBytes;
+  std::uint64_t plans_ = 0;
+  std::uint64_t replans_ = 0;
+  std::size_t chunk_bytes_min_ = 0;
+  std::size_t chunk_bytes_max_ = 0;
+  std::size_t chunk_bytes_final_ = 0;
+};
+
+}  // namespace sfa::scan

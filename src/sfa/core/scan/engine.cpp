@@ -38,6 +38,10 @@ void EagerEngine::scan_chunks(
   exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
     SFA_TRACE_SPAN(span, "match", "chunk-advance");
     span.arg("engine", static_cast<std::uint64_t>(id()));
+    const DispatchContext& dc = current_dispatch_context();
+    span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+    span.arg("task", static_cast<std::uint64_t>(c));
+    span.arg("stride", static_cast<std::uint64_t>(dc.stride));
     const auto [b, e] = ranges[c];
     span.arg("symbols", e - b);
     obs::annotate_profile_chunk(static_cast<unsigned>(id()),
@@ -66,6 +70,10 @@ void SpeculativeEngine::scan_chunks(
   exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
     SFA_TRACE_SPAN(span, "match", "chunk-advance");
     span.arg("engine", static_cast<std::uint64_t>(id()));
+    const DispatchContext& dc = current_dispatch_context();
+    span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+    span.arg("task", static_cast<std::uint64_t>(c));
+    span.arg("stride", static_cast<std::uint64_t>(dc.stride));
     const auto [b, e] = ranges_[c];
     span.arg("symbols", e - b);
     obs::annotate_profile_chunk(static_cast<unsigned>(id()),
@@ -218,6 +226,10 @@ void NarrowedEngine::scan_chunks(
   exec.for_chunks(static_cast<unsigned>(ranges.size()), [&](unsigned c) {
     SFA_TRACE_SPAN(span, "match", "chunk-advance");
     span.arg("engine", static_cast<std::uint64_t>(id()));
+    const DispatchContext& dc = current_dispatch_context();
+    span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+    span.arg("task", static_cast<std::uint64_t>(c));
+    span.arg("stride", static_cast<std::uint64_t>(dc.stride));
     const auto [b, e] = ranges_[c];
     span.arg("symbols", e - b);
     obs::annotate_profile_chunk(static_cast<unsigned>(id()),

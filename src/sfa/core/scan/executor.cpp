@@ -2,9 +2,11 @@
 
 #include <string>
 
+#include "sfa/core/scan/chunk_planner.hpp"
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/profile/profile.hpp"
 #include "sfa/obs/trace.hpp"
+#include "sfa/support/timer.hpp"
 
 namespace sfa::scan {
 
@@ -23,8 +25,14 @@ PooledExecutor::PooledExecutor(unsigned initial_workers)
           &obs::Registry::instance().counter("sfa.match.pool.dispatches")),
       wakeups_metric_(
           &obs::Registry::instance().counter("sfa.match.pool.wakeups")),
+      steals_metric_(
+          &obs::Registry::instance().counter("sfa.pool.sched.steals")),
       workers_metric_(
-          &obs::Registry::instance().gauge("sfa.match.pool.workers")) {}
+          &obs::Registry::instance().gauge("sfa.match.pool.workers")),
+      policy_metric_(
+          &obs::Registry::instance().gauge("sfa.pool.sched.policy")),
+      pinned_metric_(
+          &obs::Registry::instance().gauge("sfa.pool.sched.pinned_workers")) {}
 
 void PooledExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
   if (chunks <= 1) {
@@ -35,21 +43,49 @@ void PooledExecutor::for_chunks(unsigned chunks, const ChunkBody& body) {
     return;
   }
   pool_.ensure_workers(chunks);
-  pool_.run(chunks, [&body](unsigned task, unsigned worker) {
+  // Per-chunk TSC feedback for the adaptive planner — gated so the default
+  // (planner disabled) path keeps its exact historical instruction stream.
+  const bool adaptive = ChunkPlanner::instance().enabled();
+  std::atomic<std::uint64_t> total_cycles{0};
+  std::atomic<std::uint64_t> max_cycles{0};
+  SFA_TRACE_SPAN(dispatch_span, "match", "dispatch");
+  dispatch_span.arg("scheduler", static_cast<std::uint64_t>(pool_.policy()));
+  dispatch_span.arg("chunks", static_cast<std::uint64_t>(chunks));
+  pool_.run(chunks, [&](unsigned task, unsigned worker) {
     const bool pooled = worker != ChunkFn::kInlineWorker;
     if (pooled)
       SFA_TRACE_THREAD_NAME("scan-pool/worker " + std::to_string(worker));
     obs::ChunkProfileScope prof(task,
                                 pooled ? worker : obs::kProfileInlineSlot);
+    if (!adaptive) {
+      body(task);
+      return;
+    }
+    const std::uint64_t t0 = read_tsc();
     body(task);
+    const std::uint64_t dt = read_tsc() - t0;
+    total_cycles.fetch_add(dt, std::memory_order_relaxed);
+    std::uint64_t prev = max_cycles.load(std::memory_order_relaxed);
+    while (dt > prev &&
+           !max_cycles.compare_exchange_weak(prev, dt,
+                                             std::memory_order_relaxed)) {
+    }
   });
+  if (adaptive)
+    ChunkPlanner::instance().observe(
+        chunks, total_cycles.load(std::memory_order_relaxed),
+        max_cycles.load(std::memory_order_relaxed));
   dispatches_metric_->inc();
   const WorkerPoolStats s = pool_.stats();
   workers_metric_->set(static_cast<std::int64_t>(s.workers));
-  // The pool counter is cumulative; publish only this executor's delta so
-  // the metric stays a plain monotone counter.
-  const std::uint64_t prev = published_wakeups_.exchange(s.wakeups);
-  if (s.wakeups > prev) wakeups_metric_->inc(s.wakeups - prev);
+  policy_metric_->set(static_cast<std::int64_t>(pool_.policy()));
+  pinned_metric_->set(static_cast<std::int64_t>(s.pinned_workers));
+  // The pool counters are cumulative; publish only this executor's deltas
+  // so the metrics stay plain monotone counters.
+  const std::uint64_t prev_w = published_wakeups_.exchange(s.wakeups);
+  if (s.wakeups > prev_w) wakeups_metric_->inc(s.wakeups - prev_w);
+  const std::uint64_t prev_s = published_steals_.exchange(s.steals);
+  if (s.steals > prev_s) steals_metric_->inc(s.steals - prev_s);
 }
 
 ExecutorStats PooledExecutor::stats() const {
@@ -58,17 +94,39 @@ ExecutorStats PooledExecutor::stats() const {
   out.pool_workers = s.workers;
   out.pool_dispatches = s.dispatches;
   out.pool_wakeups = s.wakeups;
+  out.pool_steals = s.steals;
+  out.pinned_workers = s.pinned_workers;
   return out;
 }
 
-Executor& default_executor() {
+namespace {
+PooledExecutor& default_pooled_executor() {
   static PooledExecutor exec;
   return exec;
 }
+}  // namespace
+
+Executor& default_executor() { return default_pooled_executor(); }
 
 Executor& inline_executor() {
   static InlineExecutor exec;
   return exec;
+}
+
+void set_default_scheduler(sched::Policy policy) {
+  default_pooled_executor().set_policy(policy);
+}
+
+sched::Policy default_scheduler() {
+  return default_pooled_executor().policy();
+}
+
+void set_default_pin_mode(PinMode mode) {
+  default_pooled_executor().set_pin_mode(mode);
+}
+
+PinMode default_pin_mode() {
+  return default_pooled_executor().pin_mode();
 }
 
 }  // namespace sfa::scan

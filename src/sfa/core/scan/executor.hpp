@@ -48,6 +48,8 @@ struct ExecutorStats {
   unsigned pool_workers = 0;
   std::uint64_t pool_dispatches = 0;
   std::uint64_t pool_wakeups = 0;
+  std::uint64_t pool_steals = 0;  // deque steals (work-stealing policy only)
+  unsigned pinned_workers = 0;
 };
 
 class Executor {
@@ -75,12 +77,25 @@ class PooledExecutor final : public Executor {
   void for_chunks(unsigned chunks, const ChunkBody& body) override;
   ExecutorStats stats() const override;
 
+  /// Scheduling policy of the underlying pool (scheduler.hpp) — applies to
+  /// dispatches made after the call.
+  void set_policy(sched::Policy policy) { pool_.set_policy(policy); }
+  sched::Policy policy() const { return pool_.policy(); }
+
+  /// NUMA pin mode of the underlying pool (numa.hpp).
+  void set_pin_mode(PinMode mode) { pool_.set_pin_mode(mode); }
+  PinMode pin_mode() const { return pool_.pin_mode(); }
+
  private:
   WorkerPool pool_;
   obs::Counter* dispatches_metric_;
   obs::Counter* wakeups_metric_;
+  obs::Counter* steals_metric_;
   obs::Gauge* workers_metric_;
+  obs::Gauge* policy_metric_;
+  obs::Gauge* pinned_metric_;
   std::atomic<std::uint64_t> published_wakeups_{0};
+  std::atomic<std::uint64_t> published_steals_{0};
 };
 
 /// The process-wide pooled executor every matcher entry point dispatches
@@ -91,5 +106,13 @@ Executor& default_executor();
 /// A shared inline executor (for forcing the sequential policy in tests
 /// and differential checks).
 Executor& inline_executor();
+
+/// Process-wide scheduler/pin knobs applied to default_executor()'s pool —
+/// what `sfa {match,serve} --scheduler/--pin` set.  Matchers constructing
+/// private PooledExecutors are unaffected.
+void set_default_scheduler(sched::Policy policy);
+sched::Policy default_scheduler();
+void set_default_pin_mode(PinMode mode);
+PinMode default_pin_mode();
 
 }  // namespace sfa::scan

@@ -77,6 +77,10 @@ std::size_t run_count(ScanEngine& engine, Executor& exec, const Symbol* data,
     exec.for_chunks(chunks, [&](unsigned c) {
       SFA_TRACE_SPAN(span, "match", "chunk-count");
       span.arg("engine", static_cast<std::uint64_t>(engine.id()));
+      const DispatchContext& dc = current_dispatch_context();
+      span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+      span.arg("task", static_cast<std::uint64_t>(c));
+      span.arg("stride", static_cast<std::uint64_t>(dc.stride));
       const auto [b, e] = ranges[c];
       span.arg("begin", b);
       obs::annotate_profile_chunk(static_cast<unsigned>(engine.id()),
@@ -151,6 +155,10 @@ std::vector<std::size_t> run_find_all(ScanEngine& engine, Executor& exec,
   exec.for_chunks(chunks, [&](unsigned c) {
     SFA_TRACE_SPAN(span, "match", "chunk-collect");
     span.arg("engine", static_cast<std::uint64_t>(engine.id()));
+    const DispatchContext& dc = current_dispatch_context();
+    span.arg("scheduler", static_cast<std::uint64_t>(dc.policy));
+    span.arg("task", static_cast<std::uint64_t>(c));
+    span.arg("stride", static_cast<std::uint64_t>(dc.stride));
     const auto [b, e] = ranges[c];
     span.arg("begin", b);
     obs::annotate_profile_chunk(static_cast<unsigned>(engine.id()),

@@ -8,6 +8,7 @@
 #include "sfa/obs/metrics.hpp"
 #include "sfa/obs/profile/profile.hpp"
 #include "sfa/support/cpu.hpp"
+#include "sfa/support/numa.hpp"
 #include "sfa/support/timer.hpp"
 
 namespace sfa::obs {
@@ -103,6 +104,13 @@ void write_match_stats_json(std::ostream& os, const MatchRunInfo& info,
   w.kv("pool_workers", std::uint64_t{info.pool_workers});
   w.kv("pool_dispatches", info.pool_dispatches);
   w.kv("pool_wakeups", info.pool_wakeups);
+  w.kv("pool_steals", info.pool_steals);
+  if (!info.scheduler.empty()) w.kv("scheduler", info.scheduler);
+  if (info.adaptive) {
+    w.kv("chunk_size_min", info.chunk_size_min);
+    w.kv("chunk_size_max", info.chunk_size_max);
+    w.kv("chunk_size_final", info.chunk_size_final);
+  }
   if (info.profile) {
     w.key("profile");
     write_profile_json(w, ExecutionProfiler::instance().snapshot(),
@@ -143,7 +151,30 @@ void write_host_info_json(JsonWriter& w) {
   w.kv("simd", simd_str);
   const std::string governor = ::sfa::cpu_governor();
   if (!governor.empty()) w.kv("governor", governor);
-  w.end_object();
+  // NUMA topology (PR 10): lets scaling results be read against the
+  // socket layout they ran on.  `available` false means the sysfs probe
+  // failed (non-Linux, restricted container) — no further fields then.
+  const ::sfa::NumaTopology& numa = ::sfa::numa_topology();
+  w.key("numa").begin_object();
+  w.kv("available", numa.available);
+  if (numa.available) {
+    w.kv("nodes", std::uint64_t{numa.nodes.size()});
+    w.key("cpus_per_node").begin_array();
+    for (const ::sfa::NumaNode& n : numa.nodes)
+      w.value(std::uint64_t{n.cpus.size()});
+    w.end_array();
+    if (!numa.distance.empty()) {
+      w.key("distance").begin_array();
+      for (const auto& row : numa.distance) {
+        w.begin_array();
+        for (const unsigned d : row) w.value(std::uint64_t{d});
+        w.end_array();
+      }
+      w.end_array();
+    }
+  }
+  w.end_object();  // numa
+  w.end_object();  // host
 }
 
 bool write_build_stats_json_file(const std::string& path,

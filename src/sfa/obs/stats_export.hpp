@@ -45,6 +45,19 @@ struct MatchRunInfo {
   unsigned pool_workers = 0;
   std::uint64_t pool_dispatches = 0;
   std::uint64_t pool_wakeups = 0;
+  /// Dispatch policy of the run (sched::policy_name spelling) and the
+  /// steal delta over the timed section — additive sfa-match-stats/1
+  /// fields; `scheduler` is emitted whenever non-empty, `pool_steals`
+  /// alongside the other pool_* counters.
+  std::string scheduler;
+  std::uint64_t pool_steals = 0;
+  /// Adaptive chunk sizing (`--adaptive-chunks`): chunk byte sizes the
+  /// planner produced during the run.  Additive fields, emitted only when
+  /// `adaptive` is set.
+  bool adaptive = false;
+  std::uint64_t chunk_size_min = 0;
+  std::uint64_t chunk_size_max = 0;
+  std::uint64_t chunk_size_final = 0;
   /// δ-table layout of the SFA this run matched with (`--table-layout` /
   /// layout-tagged .sfa files): additive sfa-match-stats/1 fields
   /// table_layout, table_bytes, table_rows_unique and — for d2fa — the

@@ -180,26 +180,33 @@ void emit_instant(const char* category, const char* name,
   ev.name = name;
   ev.ts_ns = now_ns();
   ev.type = EventType::kInstant;
-  ev.arg1_name = arg1_name;
-  ev.arg1_value = arg1;
-  ev.arg2_name = arg2_name;
-  ev.arg2_value = arg2;
+  if (arg1_name != nullptr) ev.args[ev.num_args++] = {arg1_name, arg1};
+  if (arg2_name != nullptr) ev.args[ev.num_args++] = {arg2_name, arg2};
   record(ev);
 }
 
 void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
                std::uint64_t dur_ns, const char* arg1_name, std::uint64_t arg1,
                const char* arg2_name, std::uint64_t arg2) {
+  TraceArg args[2];
+  std::size_t n = 0;
+  if (arg1_name != nullptr) args[n++] = {arg1_name, arg1};
+  if (arg2_name != nullptr) args[n++] = {arg2_name, arg2};
+  emit_span(category, name, begin_ns, dur_ns, args, n);
+}
+
+void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
+               std::uint64_t dur_ns, const TraceArg* args,
+               std::size_t num_args) {
   TraceEvent ev;
   ev.category = category;
   ev.name = name;
   ev.ts_ns = begin_ns;
   ev.dur_ns = dur_ns;
   ev.type = EventType::kSpan;
-  ev.arg1_name = arg1_name;
-  ev.arg1_value = arg1;
-  ev.arg2_name = arg2_name;
-  ev.arg2_value = arg2;
+  if (num_args > TraceEvent::kMaxArgs) num_args = TraceEvent::kMaxArgs;
+  for (std::size_t i = 0; i < num_args; ++i) ev.args[i] = args[i];
+  ev.num_args = static_cast<std::uint8_t>(num_args);
   record(ev);
 }
 
@@ -209,19 +216,22 @@ void ScopedSpanImpl::open(const char* category, const char* name) {
   category_ = category;
   name_ = name;
   begin_ns_ = now_ns();
-  arg1_name_ = arg2_name_ = nullptr;
-  arg1_value_ = arg2_value_ = 0;
+  num_args_ = 0;
   open_ = true;
 }
 
 void ScopedSpanImpl::arg(const char* name, std::uint64_t value) {
   if (!open_) return;
-  if (arg1_name_ == nullptr || arg1_name_ == name) {
-    arg1_name_ = name;
-    arg1_value_ = value;
+  for (std::uint8_t i = 0; i < num_args_; ++i) {
+    if (args_[i].name == name) {  // same literal: overwrite in place
+      args_[i].value = value;
+      return;
+    }
+  }
+  if (num_args_ < TraceEvent::kMaxArgs) {
+    args_[num_args_++] = {name, value};
   } else {
-    arg2_name_ = name;
-    arg2_value_ = value;
+    args_[TraceEvent::kMaxArgs - 1] = {name, value};
   }
 }
 
@@ -229,9 +239,8 @@ void ScopedSpanImpl::finish() {
   if (!open_) return;
   open_ = false;
   const std::uint64_t end = now_ns();
-  emit_span(category_, name_, begin_ns_,
-            end > begin_ns_ ? end - begin_ns_ : 0, arg1_name_, arg1_value_,
-            arg2_name_, arg2_value_);
+  emit_span(category_, name_, begin_ns_, end > begin_ns_ ? end - begin_ns_ : 0,
+            args_, num_args_);
 }
 
 }  // namespace sfa::obs

@@ -42,18 +42,25 @@ enum class EventType : std::uint8_t {
   kInstant,  // point in time ("i")
 };
 
+/// One integer key/value attached to an event (name must be a literal).
+struct TraceArg {
+  const char* name = nullptr;
+  std::uint64_t value = 0;
+};
+
 /// One recorded event.  Fixed-size POD so per-thread buffers are flat
-/// arrays; up to two integer args ride along (steal victim ids, state
-/// counts, chunk boundaries).
+/// arrays; up to kMaxArgs integer args ride along (steal victim ids, state
+/// counts, chunk boundaries, dispatch attribution).
 struct TraceEvent {
+  /// Chunk spans carry engine + scheduler/task/stride + symbols (+ one
+  /// spare), which sets the bound.
+  static constexpr std::size_t kMaxArgs = 6;
   const char* category = nullptr;
   const char* name = nullptr;
   std::uint64_t ts_ns = 0;   // begin time, relative to collector start
   std::uint64_t dur_ns = 0;  // kSpan only
-  const char* arg1_name = nullptr;
-  std::uint64_t arg1_value = 0;
-  const char* arg2_name = nullptr;
-  std::uint64_t arg2_value = 0;
+  TraceArg args[kMaxArgs]{};
+  std::uint8_t num_args = 0;
   EventType type = EventType::kInstant;
 };
 
@@ -126,6 +133,12 @@ void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
                std::uint64_t arg1 = 0, const char* arg2_name = nullptr,
                std::uint64_t arg2 = 0);
 
+/// As above with an explicit arg list (at most TraceEvent::kMaxArgs are
+/// recorded).
+void emit_span(const char* category, const char* name, std::uint64_t begin_ns,
+               std::uint64_t dur_ns, const TraceArg* args,
+               std::size_t num_args);
+
 /// RAII span: captures the begin timestamp at construction (or open()) and
 /// emits a complete event at finish()/destruction.  Does nothing when no
 /// session is active.
@@ -140,7 +153,9 @@ class ScopedSpanImpl {
   /// (Re)arm: begin a new span now.  Finishes a still-open previous one.
   void open(const char* category, const char* name);
 
-  /// Attach up to two integer args (later calls overwrite the second slot).
+  /// Attach up to TraceEvent::kMaxArgs integer args.  A repeated name
+  /// (same literal) overwrites its slot; past capacity the LAST slot is
+  /// overwritten.
   void arg(const char* name, std::uint64_t value);
 
   /// Emit the span ending now.  Idempotent.
@@ -150,10 +165,8 @@ class ScopedSpanImpl {
   const char* category_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t begin_ns_ = 0;
-  const char* arg1_name_ = nullptr;
-  std::uint64_t arg1_value_ = 0;
-  const char* arg2_name_ = nullptr;
-  std::uint64_t arg2_value_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs]{};
+  std::uint8_t num_args_ = 0;
   bool open_ = false;
 };
 

@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sfa/obs/json_parse.hpp"
@@ -54,6 +55,8 @@ TraceCheckResult check_trace_json(const std::string& json) {
   std::map<double, double> last_done_by_tid;
   std::map<double, bool> tid_seen;
   std::map<double, bool> tid_has_build_span;
+  // Stripe congruence: first task residue seen per (tid, stride) group.
+  std::map<std::pair<double, double>, double> stripe_residue;
 
   std::size_t index = 0;
   for (const JValue& ev : *events->arr) {
@@ -96,23 +99,77 @@ TraceCheckResult check_trace_json(const std::string& json) {
       // Match-chunk spans must identify their ScanEngine: the `engine` arg
       // is how trace consumers tell eager chunk scans from speculative or
       // rescan passes sharing the same span names.
-      if (cat != nullptr && cat->is_string() && cat->str == "match" &&
-          name->str.rfind("chunk-", 0) == 0) {
-        const JValue* args = ev.get("args");
-        const JValue* engine =
-            args != nullptr && args->kind == JValue::Kind::kObject
-                ? args->get("engine")
+      const bool is_match_chunk = cat != nullptr && cat->is_string() &&
+                                  cat->str == "match" &&
+                                  name->str.rfind("chunk-", 0) == 0;
+      // Lazy chunks are build-category spans (their workers really do
+      // construct SFA states) but ride the same pooled dispatch, so their
+      // scheduler/task/stride args are audited identically.  They carry no
+      // engine arg and do not count as match-chunk spans.
+      const bool is_lazy_chunk = cat != nullptr && cat->is_string() &&
+                                 cat->str == "build" &&
+                                 name->str == "lazy-chunk";
+      if (is_match_chunk || is_lazy_chunk) {
+        const JValue* args_ev = ev.get("args");
+        const JValue* args =
+            args_ev != nullptr && args_ev->kind == JValue::Kind::kObject
+                ? args_ev
                 : nullptr;
-        if (engine == nullptr || !engine->is_number())
-          return fail_result(at + ": match-chunk span '" + name->str +
-                             "' without numeric engine arg");
-        if (engine->num < 0 ||
-            engine->num >= static_cast<double>(TraceCheckResult::kEngineIds))
-          return fail_result(at + ": match-chunk span '" + name->str +
-                             "' with unknown engine id");
-        ++res.match_chunk_spans;
-        ++res.match_chunk_spans_by_engine[static_cast<std::size_t>(
-            engine->num)];
+        if (is_match_chunk) {
+          const JValue* engine = args != nullptr ? args->get("engine")
+                                                 : nullptr;
+          if (engine == nullptr || !engine->is_number())
+            return fail_result(at + ": match-chunk span '" + name->str +
+                               "' without numeric engine arg");
+          if (engine->num < 0 ||
+              engine->num >=
+                  static_cast<double>(TraceCheckResult::kEngineIds))
+            return fail_result(at + ": match-chunk span '" + name->str +
+                               "' with unknown engine id");
+          ++res.match_chunk_spans;
+          ++res.match_chunk_spans_by_engine[static_cast<std::size_t>(
+              engine->num)];
+        }
+        // The `scheduler` arg is optional (pre-PR 10 traces lack it) but
+        // must be a valid sched::Policy id when present.
+        const JValue* scheduler =
+            args != nullptr ? args->get("scheduler") : nullptr;
+        if (scheduler != nullptr) {
+          if (!scheduler->is_number() || scheduler->num < 0 ||
+              scheduler->num >=
+                  static_cast<double>(TraceCheckResult::kSchedulerIds))
+            return fail_result(at + ": chunk span '" + name->str +
+                               "' with unknown scheduler id");
+          ++res.match_chunk_spans_by_scheduler[static_cast<std::size_t>(
+              scheduler->num)];
+        }
+        // Stripe congruence: under static-stripe dispatch a thread only
+        // ever runs tasks of one residue class mod the dispatch stride, so
+        // two different residues on one (tid, stride) betray dynamic
+        // dispatch (or a broken binding).  Counted, not fatal — the CLI's
+        // --expect-scheduler decides whether that is acceptable.
+        const JValue* task = args != nullptr ? args->get("task") : nullptr;
+        const JValue* stride =
+            args != nullptr ? args->get("stride") : nullptr;
+        if (task != nullptr && task->is_number() && stride != nullptr &&
+            stride->is_number() && stride->num >= 1) {
+          const double residue =
+              static_cast<double>(static_cast<std::uint64_t>(task->num) %
+                                  static_cast<std::uint64_t>(stride->num));
+          const auto key = std::make_pair(tid->num, stride->num);
+          const auto [it_r, inserted] = stripe_residue.emplace(key, residue);
+          if (!inserted && it_r->second != residue) {
+            ++res.stripe_violations;
+            if (res.stripe_error.empty()) {
+              std::ostringstream os;
+              os << at << ": tid " << tid->num << " ran task " << task->num
+                 << " (residue " << residue << " mod " << stride->num
+                 << ") after residue " << it_r->second
+                 << " — stripe binding broken";
+              res.stripe_error = os.str();
+            }
+          }
+        }
       }
     }
 

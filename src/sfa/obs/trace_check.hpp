@@ -15,7 +15,18 @@
 //   - match-chunk spans ("match"-category, name "chunk-*") carry a numeric
 //     `engine` arg naming the ScanEngine that produced them (the scan
 //     substrate's EngineId: 0 direct, 1 eager, 2 lazy, 3 speculative,
-//     4 narrowed).
+//     4 narrowed);
+//   - when a match-chunk span carries the (optional, PR 10) `scheduler` arg
+//     it must be a valid sched::Policy id (0 static-stripe, 1 work-stealing,
+//     2 guided);
+//   - match-chunk spans that carry `task` and `stride` args are checked
+//     for stripe congruence: within one (tid, stride) group all task
+//     indices must share the same residue mod stride (under static-stripe
+//     dispatch worker w only ever runs tasks congruent to its id).
+//     Violations are counted, not fatal — work-stealing and guided traces
+//     legitimately break the invariant, and `sfa_trace_check
+//     --expect-scheduler` decides whether that is acceptable for the run
+//     under test.
 #pragma once
 
 #include <array>
@@ -44,6 +55,21 @@ struct TraceCheckResult {
   /// --expect-engine) assert that a trace actually exercised a given
   /// chunk policy.
   std::array<std::size_t, kEngineIds> match_chunk_spans_by_engine{};
+  /// Number of valid sched::Policy values (exclusive upper bound of the
+  /// optional `scheduler` arg on match-chunk and lazy-chunk spans).
+  static constexpr std::size_t kSchedulerIds = 3;
+  /// Pooled chunk spans (match-chunk and build-category lazy-chunk) per
+  /// scheduler id — consumers (and the CLI's --expect-scheduler) assert
+  /// that a trace exercised a given dispatch policy.  Spans without the
+  /// arg (pre-PR 10 traces) count nowhere.
+  std::array<std::size_t, kSchedulerIds> match_chunk_spans_by_scheduler{};
+  /// Pooled chunk spans whose task index broke the per-(tid, stride)
+  /// residue invariant.  Under static-stripe dispatch this means the
+  /// binding is broken; under work-stealing/guided it is the expected
+  /// effect of dynamic dispatch.  Never flips `ok` by itself.
+  std::size_t stripe_violations = 0;
+  /// First stripe violation, for diagnostics (empty when none).
+  std::string stripe_error;
 };
 
 /// Validate a trace document given as a string.

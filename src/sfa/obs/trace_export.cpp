@@ -20,10 +20,10 @@ constexpr int kPid = 1;  // single-process traces
 double to_us(std::uint64_t ns) { return static_cast<double>(ns) / 1000.0; }
 
 void write_args(JsonWriter& w, const TraceEvent& ev) {
-  if (ev.arg1_name == nullptr && ev.arg2_name == nullptr) return;
+  if (ev.num_args == 0) return;
   w.key("args").begin_object();
-  if (ev.arg1_name != nullptr) w.kv(ev.arg1_name, ev.arg1_value);
-  if (ev.arg2_name != nullptr) w.kv(ev.arg2_name, ev.arg2_value);
+  for (std::uint8_t i = 0; i < ev.num_args; ++i)
+    if (ev.args[i].name != nullptr) w.kv(ev.args[i].name, ev.args[i].value);
   w.end_object();
 }
 

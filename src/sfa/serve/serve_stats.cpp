@@ -5,6 +5,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "sfa/core/scan/executor.hpp"
 #include "sfa/obs/json.hpp"
 #include "sfa/obs/stats_export.hpp"
 
@@ -53,6 +54,8 @@ void write_serve_stats_json(obs::JsonWriter& w, const ServiceStats& stats,
   w.kv("pool_workers", std::uint64_t{stats.pool.pool_workers});
   w.kv("pool_dispatches", stats.pool.pool_dispatches);
   w.kv("pool_wakeups", stats.pool.pool_wakeups);
+  w.kv("pool_steals", stats.pool.pool_steals);
+  w.kv("scheduler", sched::policy_name(scan::default_scheduler()));
   if (run.has_latency) {
     w.kv("p50_latency_ms", run.p50_ms);
     w.kv("p99_latency_ms", run.p99_ms);

@@ -1,0 +1,172 @@
+#include "sfa/support/numa.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#define SFA_HAVE_AFFINITY 1
+#endif
+
+namespace sfa {
+
+namespace {
+
+#if defined(__linux__)
+/// Parse a sysfs cpulist ("0-3,8-11") into cpu numbers.
+std::vector<unsigned> parse_cpulist(const std::string& list) {
+  std::vector<unsigned> cpus;
+  std::istringstream is(list);
+  std::string range;
+  while (std::getline(is, range, ',')) {
+    if (range.empty()) continue;
+    const auto dash = range.find('-');
+    const unsigned lo =
+        static_cast<unsigned>(std::strtoul(range.c_str(), nullptr, 10));
+    const unsigned hi =
+        dash == std::string::npos
+            ? lo
+            : static_cast<unsigned>(
+                  std::strtoul(range.c_str() + dash + 1, nullptr, 10));
+    for (unsigned c = lo; c <= hi && c - lo < 4096; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+#endif
+
+NumaTopology probe_topology() {
+  NumaTopology t;
+#if defined(__linux__)
+  std::ifstream online("/sys/devices/system/node/online");
+  if (!online) return t;
+  std::string list;
+  std::getline(online, list);
+  const std::vector<unsigned> ids = parse_cpulist(list);
+  if (ids.empty()) return t;
+  for (const unsigned id : ids) {
+    const std::string base =
+        "/sys/devices/system/node/node" + std::to_string(id);
+    std::ifstream cpulist(base + "/cpulist");
+    if (!cpulist) continue;
+    std::string cpus;
+    std::getline(cpulist, cpus);
+    NumaNode node;
+    node.id = id;
+    node.cpus = parse_cpulist(cpus);
+    if (!node.cpus.empty()) t.nodes.push_back(std::move(node));
+  }
+  if (t.nodes.empty()) return t;
+  t.available = true;
+  // Distance matrix: one whitespace-separated row per node.  All-or-nothing
+  // so consumers never see a ragged matrix.
+  for (const NumaNode& node : t.nodes) {
+    std::ifstream dist("/sys/devices/system/node/node" +
+                       std::to_string(node.id) + "/distance");
+    if (!dist) {
+      t.distance.clear();
+      break;
+    }
+    std::vector<unsigned> row;
+    unsigned d = 0;
+    while (dist >> d) row.push_back(d);
+    if (row.size() != t.nodes.size()) {
+      t.distance.clear();
+      break;
+    }
+    t.distance.push_back(std::move(row));
+  }
+#endif
+  return t;
+}
+
+std::atomic<int> g_process_pin_mode{static_cast<int>(PinMode::kNone)};
+
+}  // namespace
+
+const char* pin_mode_name(PinMode m) {
+  switch (m) {
+    case PinMode::kNone: return "none";
+    case PinMode::kSocket: return "socket";
+  }
+  return "?";
+}
+
+bool parse_pin_mode(const std::string& name, PinMode& out) {
+  if (name == "none") {
+    out = PinMode::kNone;
+    return true;
+  }
+  if (name == "socket") {
+    out = PinMode::kSocket;
+    return true;
+  }
+  return false;
+}
+
+const NumaTopology& numa_topology() {
+  static const NumaTopology t = probe_topology();
+  return t;
+}
+
+bool pin_current_thread_to_node(unsigned node) {
+#ifdef SFA_HAVE_AFFINITY
+  const NumaTopology& t = numa_topology();
+  if (!t.available || node >= t.nodes.size()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (const unsigned cpu : t.nodes[node].cpus)
+    if (cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+bool unpin_current_thread() {
+#ifdef SFA_HAVE_AFFINITY
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  for (long cpu = 0; cpu < n && cpu < CPU_SETSIZE; ++cpu)
+    CPU_SET(static_cast<int>(cpu), &set);
+  return sched_setaffinity(0, sizeof(set), &set) == 0;
+#else
+  return false;
+#endif
+}
+
+bool apply_pin(PinMode mode, unsigned worker_index) {
+  if (mode == PinMode::kNone) {
+    unpin_current_thread();
+    return false;
+  }
+  const NumaTopology& t = numa_topology();
+  if (!t.available || t.nodes.empty()) return false;
+  const unsigned node =
+      worker_index % static_cast<unsigned>(t.nodes.size());
+  if (!pin_current_thread_to_node(node)) return false;
+  // First-touch arena warm-up: with the thread now bound to its socket,
+  // touching fresh pages makes the kernel back them node-local, so the
+  // worker's scratch (and anything it allocates next) stays on-socket.
+  static thread_local std::vector<char> scratch;
+  if (scratch.empty()) {
+    scratch.resize(256 * 1024);
+    for (std::size_t i = 0; i < scratch.size(); i += 4096) scratch[i] = 1;
+  }
+  return true;
+}
+
+void set_process_pin_mode(PinMode mode) {
+  g_process_pin_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+PinMode process_pin_mode() {
+  return static_cast<PinMode>(
+      g_process_pin_mode.load(std::memory_order_relaxed));
+}
+
+}  // namespace sfa

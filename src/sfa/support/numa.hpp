@@ -1,0 +1,76 @@
+// NUMA topology probing and worker pinning.
+//
+// The paper's platform is a 4-socket Westmere-EX — exactly the kind of host
+// where a chunk scanned by a worker on the wrong socket pays remote-memory
+// latency on every delta-table lookup.  This header exposes:
+//
+//   - the host's NUMA topology (nodes, cpus per node, distance matrix),
+//     parsed once from /sys/devices/system/node and cached — also exported
+//     into the bench host-metadata block so scaling results are
+//     interpretable across machines;
+//   - thread pinning primitives over sched_setaffinity, compiled to no-ops
+//     where unavailable (non-Linux);
+//   - the process-wide PinMode policy (`--pin {none,socket}`) consumed by
+//     the WorkerPool and the parallel builder's thread team.
+//
+// Pinning is deliberately coarse: kSocket binds worker w to ALL cpus of
+// node (w mod nodes), letting the OS schedule within the socket while
+// keeping the worker's first-touch allocations node-local.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfa {
+
+enum class PinMode : std::uint8_t {
+  kNone = 0,
+  kSocket = 1,
+};
+
+const char* pin_mode_name(PinMode m);
+
+/// Parse a CLI spelling ("none", "socket").  Returns false on an unknown
+/// name, leaving `out` untouched.
+bool parse_pin_mode(const std::string& name, PinMode& out);
+
+struct NumaNode {
+  unsigned id = 0;
+  std::vector<unsigned> cpus;
+};
+
+struct NumaTopology {
+  /// False when /sys/devices/system/node is unreadable (non-Linux,
+  /// restricted containers) — every pinning call is then a no-op.
+  bool available = false;
+  std::vector<NumaNode> nodes;
+  /// distance[i][j] = ACPI SLIT distance from nodes[i] to nodes[j]
+  /// (10 = local).  Empty when the per-node distance files are unreadable.
+  std::vector<std::vector<unsigned>> distance;
+};
+
+/// Probe once; subsequent calls return the cached result.
+const NumaTopology& numa_topology();
+
+/// Bind the calling thread to every cpu of `node` (an index into
+/// numa_topology().nodes).  Returns false when topology or affinity calls
+/// are unavailable, or the index is out of range.
+bool pin_current_thread_to_node(unsigned node);
+
+/// Clear the calling thread's affinity mask (back to all cpus).
+bool unpin_current_thread();
+
+/// Apply `mode` to the calling thread given its worker index: kSocket pins
+/// to node (worker mod nodes) and touches a small per-thread scratch so the
+/// first-touch pages land node-local; kNone restores the full mask.
+/// Returns true when the thread ended up pinned.
+bool apply_pin(PinMode mode, unsigned worker_index);
+
+/// Process-wide pin policy for subsystems that spawn their own teams (the
+/// parallel SFA builder).  The scan-side WorkerPool carries its own copy so
+/// tests can differ; the CLI sets both from `--pin`.
+void set_process_pin_mode(PinMode mode);
+PinMode process_pin_mode();
+
+}  // namespace sfa

@@ -147,7 +147,7 @@ TEST(Trace, RingModeKeepsNewestAndAccountsDropsCoherently) {
 
   // Newest events survive, reordered oldest-first: args 42..49.
   for (std::size_t i = 0; i < threads[0].events.size(); ++i)
-    EXPECT_EQ(threads[0].events[i].arg1_value, 42u + i) << "slot " << i;
+    EXPECT_EQ(threads[0].events[i].args[0].value, 42u + i) << "slot " << i;
 
   // The exporter output still validates and still flags the loss.
   std::ostringstream os;
@@ -170,7 +170,7 @@ TEST(Trace, RingModeBelowCapacityBehavesLikeDropMode) {
   EXPECT_EQ(threads[0].events.size(), 5u);
   EXPECT_EQ(threads[0].dropped, 0u);
   for (std::size_t i = 0; i < 5; ++i)
-    EXPECT_EQ(threads[0].events[i].arg1_value, i);
+    EXPECT_EQ(threads[0].events[i].args[0].value, i);
 }
 
 // ---- validator rejects malformed documents ---------------------------------
@@ -238,6 +238,76 @@ TEST(TraceCheck, RequiresEngineArgOnMatchChunkSpans) {
   r = obs::check_trace_json(good);
   EXPECT_TRUE(r.ok) << r.error;
   EXPECT_EQ(r.match_chunk_spans, 2u);  // "compose" is not a chunk span
+}
+
+TEST(TraceCheck, ValidatesOptionalSchedulerArg) {
+  // Out-of-range scheduler id is a hard failure (the arg is optional, but
+  // when present it must be a valid sched::Policy value).
+  const char* bogus = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"scheduler":7}}]})";
+  auto r = obs::check_trace_json(bogus);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("scheduler"), std::string::npos) << r.error;
+
+  // Valid ids are tallied per policy; spans without the arg count nowhere.
+  const char* good = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"scheduler":0}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":1,"scheduler":1}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":40,"dur":10,"args":{"engine":1,"scheduler":1}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-count","cat":"match",
+     "ts":60,"dur":10,"args":{"engine":2}}]})";
+  r = obs::check_trace_json(good);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_chunk_spans, 4u);
+  EXPECT_EQ(r.match_chunk_spans_by_scheduler[0], 1u);
+  EXPECT_EQ(r.match_chunk_spans_by_scheduler[1], 2u);
+  EXPECT_EQ(r.match_chunk_spans_by_scheduler[2], 0u);
+}
+
+TEST(TraceCheck, CountsStripeCongruenceViolations) {
+  // Two spans on tid 7 with stride 4 but task residues 1 and 2: under
+  // static-stripe dispatch one worker never runs both.  The violation is
+  // counted but does not flip ok — the CLI decides acceptability.
+  const char* skewed = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"scheduler":1,"task":1,"stride":4}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":1,"scheduler":1,"task":6,"stride":4}}]})";
+  auto r = obs::check_trace_json(skewed);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stripe_violations, 1u);
+  EXPECT_FALSE(r.stripe_error.empty());
+
+  // Congruent tasks on each thread: clean.  tid 7 runs residue 1, tid 8
+  // runs residue 2 — the historical t%S binding.
+  const char* clean = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"scheduler":0,"task":1,"stride":4}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":1,"scheduler":0,"task":5,"stride":4}},
+    {"ph":"X","pid":1,"tid":8,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"scheduler":0,"task":2,"stride":4}},
+    {"ph":"X","pid":1,"tid":8,"name":"chunk-advance","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":1,"scheduler":0,"task":6,"stride":4}}]})";
+  r = obs::check_trace_json(clean);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stripe_violations, 0u);
+  EXPECT_TRUE(r.stripe_error.empty());
+
+  // Different strides on one thread form separate congruence groups (a
+  // worker can serve jobs of different team sizes back to back).
+  const char* two_strides = R"({"traceEvents":[
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":0,"dur":10,"args":{"engine":1,"task":1,"stride":4}},
+    {"ph":"X","pid":1,"tid":7,"name":"chunk-advance","cat":"match",
+     "ts":20,"dur":10,"args":{"engine":1,"task":0,"stride":2}}]})";
+  r = obs::check_trace_json(two_strides);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stripe_violations, 0u);
 }
 
 TEST(TraceCheck, AcceptsNestedAndDisjointSpans) {

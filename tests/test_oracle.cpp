@@ -18,8 +18,10 @@
 
 #include "harness/corpus.hpp"
 #include "harness/oracle.hpp"
+#include "sfa/concurrent/scheduler.hpp"
 #include "sfa/core/build.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/executor.hpp"
 #include "sfa/prosite/prosite_parser.hpp"
 
 namespace sfa {
@@ -460,6 +462,53 @@ TEST(OracleFaultInjection, IntactSfaPassesAllLayers) {
     const Sfa sfa = build_sfa(entry.dfa, v.method, v.options);
     EXPECT_FALSE(Oracle().check_sfa(entry, sfa, v.name).has_value()) << v.name;
   }
+}
+
+// --- scheduler x engine coverage (PR 10 dispatch seam) ----------------------
+
+/// Flips the process-wide dispatch policy for one test and restores it, so
+/// a failure cannot leak work-stealing into unrelated oracle tests.
+class SchedulerGuard {
+ public:
+  explicit SchedulerGuard(sched::Policy policy)
+      : saved_(scan::default_scheduler()) {
+    scan::set_default_scheduler(policy);
+  }
+  ~SchedulerGuard() { scan::set_default_scheduler(saved_); }
+
+ private:
+  sched::Policy saved_;
+};
+
+TEST(OracleScheduler, AllEnginesAgreeUnderEveryDispatchPolicy) {
+  // The oracle's matcher layer drives every scan engine through
+  // scan::default_executor(); re-running a corpus slice under each policy
+  // proves stolen/guided chunk claims feed the combine step in the same
+  // order-insensitive way the stripe binding does.
+  const std::vector<CorpusEntry> entries = {
+      testing::random_dfa_entry(211, 9, 4, {}),
+      testing::random_dfa_entry(223, 6, 3, {}),
+      testing::random_dfa_entry(13, 3, 256, {}),
+  };
+  const Oracle oracle;
+  for (unsigned p = 0; p < sched::kNumPolicies; ++p) {
+    const auto policy = static_cast<sched::Policy>(p);
+    SchedulerGuard guard(policy);
+    for (const CorpusEntry& entry : entries) {
+      const auto d = oracle.check(entry);
+      EXPECT_FALSE(d.has_value())
+          << sched::policy_name(policy) << ": " << d->reproducer();
+    }
+  }
+}
+
+TEST(OracleScheduler, GuardRestoresPolicyOnExit) {
+  const sched::Policy original = scan::default_scheduler();
+  {
+    SchedulerGuard guard(sched::Policy::kGuided);
+    EXPECT_EQ(scan::default_scheduler(), sched::Policy::kGuided);
+  }
+  EXPECT_EQ(scan::default_scheduler(), original);
 }
 
 }  // namespace

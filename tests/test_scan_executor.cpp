@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -13,8 +14,11 @@
 #include <thread>
 #include <vector>
 
+#include "sfa/concurrent/scheduler.hpp"
 #include "sfa/concurrent/worker_pool.hpp"
+#include "sfa/core/scan/chunk_planner.hpp"
 #include "sfa/core/scan/executor.hpp"
+#include "sfa/support/numa.hpp"
 
 namespace sfa {
 namespace {
@@ -125,6 +129,248 @@ TEST(WorkerPool, CountsDispatchesAndWakeups) {
       << "parked workers claimed work without a recorded wakeup";
 }
 
+// ---- scheduler policies (sched::Policy seam) -------------------------------
+
+TEST(SchedulerPolicy, DefaultIsStaticStripe) {
+  WorkerPool pool(2);
+  EXPECT_EQ(pool.policy(), sched::Policy::kStaticStripe);
+  EXPECT_EQ(pool.pin_mode(), PinMode::kNone);
+}
+
+TEST(SchedulerPolicy, NamesRoundTripThroughParse) {
+  for (unsigned i = 0; i < sched::kNumPolicies; ++i) {
+    const auto p = static_cast<sched::Policy>(i);
+    sched::Policy parsed = sched::Policy::kStaticStripe;
+    ASSERT_TRUE(sched::parse_policy(sched::policy_name(p), parsed))
+        << sched::policy_name(p);
+    EXPECT_EQ(parsed, p);
+  }
+  sched::Policy out = sched::Policy::kGuided;
+  EXPECT_FALSE(sched::parse_policy("round-robin", out));
+  EXPECT_EQ(out, sched::Policy::kGuided) << "failed parse clobbered out";
+}
+
+TEST(SchedulerPolicy, WorkStealingRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  pool.set_policy(sched::Policy::kWorkStealing);
+  std::vector<std::atomic<int>> hits(64);
+  const auto fn = [&](unsigned task, unsigned) { hits[task].fetch_add(1); };
+  pool.run(64, fn);
+  for (unsigned t = 0; t < 64; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+}
+
+TEST(SchedulerPolicy, GuidedRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  pool.set_policy(sched::Policy::kGuided);
+  std::vector<std::atomic<int>> hits(64);
+  const auto fn = [&](unsigned task, unsigned) { hits[task].fetch_add(1); };
+  pool.run(64, fn);
+  for (unsigned t = 0; t < 64; ++t) EXPECT_EQ(hits[t].load(), 1) << t;
+}
+
+TEST(SchedulerPolicy, StealingBalancesSkewedTasks) {
+  // Worker 0's deque holds every task with t % 4 == 0; make exactly those
+  // slow and the rest free.  The other workers drain their own deques
+  // immediately and must steal from worker 0 to finish — the steals counter
+  // has to move.
+  WorkerPool pool(4);
+  pool.set_policy(sched::Policy::kWorkStealing);
+  const auto before = pool.stats().steals;
+  std::atomic<int> ran{0};
+  const auto fn = [&](unsigned task, unsigned) {
+    if (task % 4 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    ran.fetch_add(1);
+  };
+  pool.run(32, fn);
+  EXPECT_EQ(ran.load(), 32);
+  EXPECT_GT(pool.stats().steals, before)
+      << "no steals despite an 8-task-deep slow deque";
+}
+
+TEST(SchedulerPolicy, DispatchContextVisibleInsideTasks) {
+  WorkerPool pool(4);
+  for (unsigned i = 0; i < sched::kNumPolicies; ++i) {
+    const auto p = static_cast<sched::Policy>(i);
+    pool.set_policy(p);
+    std::atomic<int> wrong{0};
+    const auto fn = [&](unsigned, unsigned) {
+      const DispatchContext& dc = current_dispatch_context();
+      if (dc.policy != p || dc.stride != 4) wrong.fetch_add(1);
+    };
+    pool.run(8, fn);
+    EXPECT_EQ(wrong.load(), 0) << sched::policy_name(p);
+  }
+  // Outside any task body the context is the inline default.
+  const DispatchContext& dc = current_dispatch_context();
+  EXPECT_EQ(dc.policy, sched::Policy::kStaticStripe);
+  EXPECT_EQ(dc.stride, 1u);
+}
+
+TEST(SchedulerPolicy, InlineRunUsesStrideOne) {
+  WorkerPool pool(4);
+  pool.set_policy(sched::Policy::kGuided);
+  DispatchContext seen;
+  const auto fn = [&](unsigned, unsigned worker) {
+    EXPECT_EQ(worker, ChunkFn::kInlineWorker);
+    seen = current_dispatch_context();
+  };
+  pool.run(1, fn);  // single task → inline on the caller
+  EXPECT_EQ(seen.stride, 1u);
+}
+
+TEST(SchedulerPolicy, NestedRunExecutesInlineUnderEveryPolicy) {
+  // A run() from inside a pool worker must not park on its own team — also
+  // when the outer task was stolen or claimed off the guided cursor.
+  for (unsigned i = 0; i < sched::kNumPolicies; ++i) {
+    const auto p = static_cast<sched::Policy>(i);
+    WorkerPool pool(2);
+    pool.set_policy(p);
+    std::atomic<int> inner_hits{0};
+    const auto inner = [&](unsigned, unsigned worker) {
+      EXPECT_EQ(worker, ChunkFn::kInlineWorker);
+      inner_hits.fetch_add(1);
+    };
+    const auto outer = [&](unsigned, unsigned) { pool.run(4, inner); };
+    pool.run(2, outer);
+    EXPECT_EQ(inner_hits.load(), 8) << sched::policy_name(p);
+  }
+}
+
+TEST(SchedulerPolicy, NestedRunRestoresOuterDispatchContext) {
+  // The inline inner run must not clobber the outer job's thread-local
+  // context: after the nested run returns, the worker is still inside the
+  // outer stealing job and its spans must stamp that policy/stride.
+  WorkerPool pool(2);
+  pool.set_policy(sched::Policy::kWorkStealing);
+  std::atomic<int> wrong{0};
+  const auto inner = [&](unsigned, unsigned) {
+    const DispatchContext& dc = current_dispatch_context();
+    if (dc.stride != 1) wrong.fetch_add(1);
+  };
+  const auto outer = [&](unsigned, unsigned) {
+    pool.run(4, inner);
+    const DispatchContext& dc = current_dispatch_context();
+    if (dc.policy != sched::Policy::kWorkStealing || dc.stride != 2)
+      wrong.fetch_add(1);
+  };
+  pool.run(2, outer);
+  EXPECT_EQ(wrong.load(), 0);
+}
+
+TEST(SchedulerPolicy, ExceptionPropagatesUnderEveryPolicy) {
+  for (unsigned i = 0; i < sched::kNumPolicies; ++i) {
+    const auto p = static_cast<sched::Policy>(i);
+    WorkerPool pool(4);
+    pool.set_policy(p);
+    std::atomic<int> ran{0};
+    const auto fn = [&](unsigned task, unsigned) {
+      ran.fetch_add(1);
+      if (task == 5) throw std::runtime_error("task 5 failed");
+    };
+    EXPECT_THROW(pool.run(16, fn), std::runtime_error) << sched::policy_name(p);
+    EXPECT_EQ(ran.load(), 16) << sched::policy_name(p);
+
+    std::atomic<int> again{0};
+    const auto ok = [&](unsigned, unsigned) { again.fetch_add(1); };
+    pool.run(8, ok);
+    EXPECT_EQ(again.load(), 8) << sched::policy_name(p);
+  }
+}
+
+TEST(SchedulerPolicy, SetPinModeIsSafeWithOrWithoutNuma) {
+  // Pinning is best-effort: on a machine without a NUMA sysfs tree (or a
+  // non-Linux host) apply_pin is a no-op and pinned_workers stays 0.  Either
+  // way the pool keeps dispatching correctly after the mode flips.
+  WorkerPool pool(4);
+  pool.set_pin_mode(PinMode::kSocket);
+  EXPECT_EQ(pool.pin_mode(), PinMode::kSocket);
+  std::atomic<int> ran{0};
+  const auto fn = [&](unsigned, unsigned) { ran.fetch_add(1); };
+  pool.run(16, fn);
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_LE(pool.stats().pinned_workers, pool.num_workers());
+  pool.set_pin_mode(PinMode::kNone);
+  ran.store(0);
+  pool.run(16, fn);
+  EXPECT_EQ(ran.load(), 16);
+}
+
+// ---- adaptive chunk planner ------------------------------------------------
+
+/// Restores the process-wide planner to its pristine disabled state.
+struct PlannerGuard {
+  ~PlannerGuard() {
+    scan::ChunkPlanner::instance().set_enabled(false);
+    scan::ChunkPlanner::instance().reset();
+  }
+};
+
+TEST(ChunkPlanner, DisabledPlansExactlyThreads) {
+  PlannerGuard guard;
+  auto& planner = scan::ChunkPlanner::instance();
+  planner.set_enabled(false);
+  EXPECT_EQ(planner.plan(100u << 20, 8), 8u);
+  EXPECT_EQ(planner.plan(1, 4), 4u);
+  EXPECT_EQ(planner.plan(1u << 20, 1), 1u);
+}
+
+TEST(ChunkPlanner, EnabledClampsToThreadBounds) {
+  PlannerGuard guard;
+  auto& planner = scan::ChunkPlanner::instance();
+  planner.set_enabled(true);
+  planner.reset();  // target back to 256 KiB
+  // Tiny input: bytes/target rounds to 0 → floor of one chunk per thread.
+  EXPECT_EQ(planner.plan(1024, 4), 4u);
+  // Huge input: capped at kMaxChunksPerThread per thread.
+  EXPECT_EQ(planner.plan(1u << 30, 4),
+            4u * scan::ChunkPlanner::kMaxChunksPerThread);
+  // In between: bytes / 256 KiB.
+  EXPECT_EQ(planner.plan(8u * 256 * 1024, 4), 8u);
+  // Single-threaded runs never split.
+  EXPECT_EQ(planner.plan(1u << 30, 1), 1u);
+}
+
+TEST(ChunkPlanner, ObserveAdaptsTargetAndCountsReplans) {
+  PlannerGuard guard;
+  auto& planner = scan::ChunkPlanner::instance();
+  planner.set_enabled(true);
+  planner.reset();
+  const std::size_t initial = planner.snapshot().target_bytes;
+  // One chunk 4x slower than the mean → imbalance 4.0 → halve.
+  planner.observe(4, 4000, 4000);
+  auto snap = planner.snapshot();
+  EXPECT_EQ(snap.target_bytes, initial / 2);
+  EXPECT_EQ(snap.replans, 1u);
+  // Perfect balance → double back.
+  planner.observe(4, 4000, 1000);
+  snap = planner.snapshot();
+  EXPECT_EQ(snap.target_bytes, initial);
+  EXPECT_EQ(snap.replans, 2u);
+  // reset() restores the default target and clears counters.
+  planner.observe(4, 4000, 4000);
+  planner.reset();
+  snap = planner.snapshot();
+  EXPECT_EQ(snap.target_bytes, scan::ChunkPlanner::kDefaultTargetBytes);
+  EXPECT_EQ(snap.replans, 0u);
+  EXPECT_TRUE(snap.enabled) << "reset must keep the enabled flag";
+}
+
+TEST(ChunkPlanner, TargetStaysWithinFloorAndCap) {
+  PlannerGuard guard;
+  auto& planner = scan::ChunkPlanner::instance();
+  planner.set_enabled(true);
+  planner.reset();
+  // Hammer the shrink path far past the floor.
+  for (int i = 0; i < 32; ++i) planner.observe(4, 4000, 4000);
+  EXPECT_GE(planner.snapshot().target_bytes,
+            scan::ChunkPlanner::kMinTargetBytes);
+  // Hammer the grow path far past the cap.
+  for (int i = 0; i < 64; ++i) planner.observe(4, 4000, 1000);
+  EXPECT_LE(planner.snapshot().target_bytes,
+            scan::ChunkPlanner::kMaxTargetBytes);
+}
+
 // ---- stress shapes (CI executor-stress step, all sanitizer lanes) ----------
 
 TEST(ExecutorStress, ConcurrentSessionsOnOneEightThreadPool) {
@@ -171,6 +417,83 @@ TEST(ExecutorStress, ShutdownWhileDispatchingChurn) {
     }
     EXPECT_EQ(total.load(), 4u * 10u * 4u) << round;
   }
+}
+
+TEST(ExecutorStress, StealChurnEightThreads) {
+  // Several caller threads race batches into one 8-thread work-stealing
+  // pool with skewed task costs, so the deques see constant cross-worker
+  // steal traffic — the tsan-lane shape for the Chase-Lev integration.
+  WorkerPool pool(8);
+  pool.set_policy(sched::Policy::kWorkStealing);
+  constexpr int kSessions = 4;
+  constexpr int kBatches = 25;
+  std::vector<std::atomic<std::uint64_t>> sums(kSessions);
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        const auto fn = [&](unsigned task, unsigned) {
+          if (task % 8 == 0) {
+            // Make one worker's deque the hot steal target.
+            volatile std::uint64_t spin = 0;
+            for (int i = 0; i < 20000; ++i) spin = spin + i;
+          }
+          sums[s].fetch_add(task + 1);
+        };
+        pool.run(16, fn);
+      }
+    });
+  }
+  for (auto& th : sessions) th.join();
+  // Each batch adds 1+2+...+16 = 136.
+  for (int s = 0; s < kSessions; ++s)
+    EXPECT_EQ(sums[s].load(), static_cast<std::uint64_t>(kBatches) * 136u) << s;
+}
+
+TEST(ExecutorStress, GuidedChurnWithConcurrentSessions) {
+  WorkerPool pool(8);
+  pool.set_policy(sched::Policy::kGuided);
+  constexpr int kSessions = 4;
+  constexpr int kBatches = 25;
+  std::vector<std::atomic<std::uint64_t>> sums(kSessions);
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      for (int b = 0; b < kBatches; ++b) {
+        const auto fn = [&](unsigned task, unsigned) {
+          sums[s].fetch_add(task + 1);
+        };
+        pool.run(32, fn);
+      }
+    });
+  }
+  for (auto& th : sessions) th.join();
+  // Each batch adds 1+2+...+32 = 528.
+  for (int s = 0; s < kSessions; ++s)
+    EXPECT_EQ(sums[s].load(), static_cast<std::uint64_t>(kBatches) * 528u) << s;
+}
+
+TEST(ExecutorStress, PolicyFlipsWhileDispatching) {
+  // set_policy is documented to affect only jobs enqueued after the call;
+  // flipping it concurrently with dispatch must never lose or duplicate a
+  // task under any interleaving.
+  WorkerPool pool(4);
+  std::atomic<bool> stop{false};
+  std::thread flipper([&] {
+    unsigned i = 0;
+    while (!stop.load()) {
+      pool.set_policy(static_cast<sched::Policy>(i++ % sched::kNumPolicies));
+      std::this_thread::yield();
+    }
+  });
+  for (int b = 0; b < 200; ++b) {
+    std::atomic<int> ran{0};
+    const auto fn = [&](unsigned, unsigned) { ran.fetch_add(1); };
+    pool.run(8, fn);
+    ASSERT_EQ(ran.load(), 8) << "batch " << b;
+  }
+  stop.store(true);
+  flipper.join();
 }
 
 // ---- scan::Executor seam ---------------------------------------------------

@@ -362,6 +362,50 @@ TEST(MatchServiceBatch, PoolDispatchAccountingStaysAmortized) {
   EXPECT_LT(after - before, n);
 }
 
+TEST(MatchServiceBatch, DispatchStaysAmortizedUnderEveryScheduler) {
+  // The nested-inline guard is what keeps batched submit at one dispatch;
+  // it must hold whether the outer batch task was stripe-bound, stolen, or
+  // claimed off the guided cursor.
+  const sched::Policy saved = scan::default_scheduler();
+  MatchService service(small_service_options());
+  const std::uint64_t handle = service.register_set({literal("RGD")});
+  ASSERT_NE(service.resolve(handle), nullptr);
+
+  Xoshiro256 rng(29);
+  const unsigned k = service.registry().alphabet().size();
+  const std::vector<Symbol> input = random_input(rng, k, 600);
+
+  static constexpr EngineChoice kEngines[] = {
+      EngineChoice::kEager, EngineChoice::kLazy, EngineChoice::kSpeculative,
+      EngineChoice::kNarrowed};
+  const std::size_t n = 16;
+  std::vector<MatchRequest> batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    MatchRequest r;
+    r.set = handle;
+    r.engine = kEngines[i % 4];
+    r.task = serve::TaskKind::kCount;
+    r.data = input.data();
+    r.len = input.size();
+    r.chunks = 4;
+    batch.push_back(r);
+  }
+
+  for (unsigned p = 0; p < sched::kNumPolicies; ++p) {
+    const auto policy = static_cast<sched::Policy>(p);
+    scan::set_default_scheduler(policy);
+    const std::uint64_t before =
+        scan::default_executor().stats().pool_dispatches;
+    const std::vector<MatchResponse> responses = service.submit_batch(batch);
+    const std::uint64_t after =
+        scan::default_executor().stats().pool_dispatches;
+    for (const MatchResponse& r : responses)
+      ASSERT_TRUE(r.ok) << sched::policy_name(policy) << ": " << r.error;
+    EXPECT_LE(after - before, 2u) << sched::policy_name(policy);
+  }
+  scan::set_default_scheduler(saved);
+}
+
 TEST(MatchServiceBatch, ErrorsAreIsolatedPerRequest) {
   MatchService service(small_service_options());
   const std::uint64_t good = service.register_set({literal("RGD")});

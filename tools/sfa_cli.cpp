@@ -70,6 +70,23 @@
 //   --peek-k K               narrowed: refine each chunk's feasible set by
 //                            peeking its first K symbols (set-image
 //                            composition; default 0)
+//   --scheduler static-stripe|work-stealing|guided
+//                            dispatch policy of the scan worker pool
+//                            (default static-stripe, the historical t%team
+//                            binding).  work-stealing balances
+//                            heterogeneous chunk costs via per-worker
+//                            deques; guided claims geometrically shrinking
+//                            batches.  Applies to match/serve scans; build
+//                            keeps its own two-regime distribution.
+//   --adaptive-chunks        enable the adaptive chunk planner: chunk
+//                            counts follow a target byte size adapted from
+//                            observed per-chunk TSC imbalance instead of
+//                            being fixed at --threads
+//   --pin none|socket        NUMA pinning (default none).  socket binds
+//                            worker w of the scan pool AND the parallel
+//                            builder's team to NUMA node (w mod nodes) and
+//                            warms first-touch scratch there; a no-op on
+//                            hosts without /sys/devices/system/node.
 //   --table-layout dense|dedup|d2fa
 //                            build: re-encode the δ-table before saving
 //                            (non-dense layouts save as layout-tagged SFA2
@@ -105,6 +122,7 @@
 #include "sfa/core/build.hpp"
 #include "sfa/core/lazy_matcher.hpp"
 #include "sfa/core/match.hpp"
+#include "sfa/core/scan/chunk_planner.hpp"
 #include "sfa/core/scan/executor.hpp"
 #include "sfa/core/serialize.hpp"
 #include "sfa/core/stream_matcher.hpp"
@@ -162,6 +180,11 @@ struct Options {
   std::size_t input_symbols = 4096;
   std::size_t churn_every = 0;    // register a fresh synthetic set every N
   std::uint64_t seed = 2017;
+  // Dispatch seam (PR 10): scheduler policy, adaptive chunk sizing, NUMA
+  // pinning.  Empty/false keep the bit-for-bit historical behavior.
+  std::string scheduler_name;
+  bool adaptive_chunks = false;
+  std::string pin_name;
 };
 
 [[noreturn]] void usage(const char* error = nullptr) {
@@ -264,6 +287,12 @@ Options parse(int argc, char** argv) {
       opt.churn_every = std::stoull(next());
     else if (arg == "--seed")
       opt.seed = std::stoull(next());
+    else if (arg == "--scheduler")
+      opt.scheduler_name = next();
+    else if (arg == "--adaptive-chunks")
+      opt.adaptive_chunks = true;
+    else if (arg == "--pin")
+      opt.pin_name = next();
     else if (arg == "--help" || arg == "-h")
       usage();
     else if (!arg.empty() && arg[0] == '-')
@@ -318,6 +347,33 @@ const Codec* codec_by_name(const std::string& name) {
   return codec;
 }
 
+/// Apply the dispatch-seam flags (--scheduler / --adaptive-chunks / --pin)
+/// to the process-wide knobs: the default executor's pool policy and pin
+/// mode, the chunk planner, and the process pin mode the parallel builder's
+/// team reads.  The planner is reset either way so chunk_size_* stats cover
+/// exactly the run that follows.
+void apply_dispatch_options(const Options& opt) {
+  if (!opt.scheduler_name.empty()) {
+    sched::Policy policy = sched::Policy::kStaticStripe;
+    if (!sched::parse_policy(opt.scheduler_name, policy))
+      usage(("unknown scheduler '" + opt.scheduler_name +
+             "' (expected static-stripe, work-stealing, or guided)")
+                .c_str());
+    scan::set_default_scheduler(policy);
+  }
+  scan::ChunkPlanner::instance().set_enabled(opt.adaptive_chunks);
+  scan::ChunkPlanner::instance().reset();
+  if (!opt.pin_name.empty()) {
+    PinMode pin = PinMode::kNone;
+    if (!parse_pin_mode(opt.pin_name, pin))
+      usage(("unknown pin mode '" + opt.pin_name +
+             "' (expected none or socket)")
+                .c_str());
+    scan::set_default_pin_mode(pin);
+    set_process_pin_mode(pin);
+  }
+}
+
 /// Starts a trace recording session when --trace was given; writes the
 /// Chrome-tracing JSON on stop_and_write().  In a default (SFA_TRACE=OFF)
 /// binary the hot paths carry no instrumentation, so the file would hold an
@@ -351,6 +407,7 @@ class TraceSession {
 
 int cmd_build(const Options& opt) {
   if (opt.positional.size() != 1) usage("build needs exactly one pattern");
+  apply_dispatch_options(opt);
   const WallTimer compile_timer;
   const Dfa dfa = compile(opt, opt.positional[0]);
   std::printf("DFA: %u states over %u symbols (%.3f s)\n", dfa.size(),
@@ -418,6 +475,16 @@ struct PoolStatsDelta {
     info.pool_workers = after.pool_workers;
     info.pool_dispatches = after.pool_dispatches - before.pool_dispatches;
     info.pool_wakeups = after.pool_wakeups - before.pool_wakeups;
+    info.pool_steals = after.pool_steals - before.pool_steals;
+    info.scheduler = sched::policy_name(scan::default_scheduler());
+    const scan::ChunkPlanner::Snapshot plan =
+        scan::ChunkPlanner::instance().snapshot();
+    if (plan.enabled) {
+      info.adaptive = true;
+      info.chunk_size_min = plan.chunk_bytes_min;
+      info.chunk_size_max = plan.chunk_bytes_max;
+      info.chunk_size_final = plan.chunk_bytes_final;
+    }
   }
 };
 
@@ -616,6 +683,7 @@ int cmd_match_narrowed(const Options& opt) {
 int cmd_match(const Options& opt) {
   if (opt.lazy && opt.narrowed)
     usage("--lazy and --narrowed are mutually exclusive chunk policies");
+  apply_dispatch_options(opt);
   if (opt.lazy) return cmd_match_lazy(opt);
   if (opt.narrowed) return cmd_match_narrowed(opt);
   if (opt.positional.size() != 2)
@@ -868,6 +936,7 @@ serve::EngineChoice serve_engine_by_name(const std::string& name) {
 int cmd_serve(const Options& opt) {
   if (!opt.positional.empty()) usage("serve takes no positional arguments");
   if (opt.serve_engine != "mix") serve_engine_by_name(opt.serve_engine);
+  apply_dispatch_options(opt);
 
   serve::ServiceOptions service_options;
   service_options.max_batch_workers = opt.threads;
@@ -998,8 +1067,11 @@ int cmd_serve(const Options& opt) {
       "%.0f matches/s\n",
       sim_result.run.p50_ms, sim_result.run.p99_ms, sim_result.run.mean_ms,
       sim_result.run.requests_per_sec, sim_result.run.matches_per_sec);
-  std::printf("pool: %u workers, %llu dispatches\n", stats.pool.pool_workers,
-              static_cast<unsigned long long>(stats.pool.pool_dispatches));
+  std::printf("pool: %u workers, %llu dispatches, %llu steals (%s)\n",
+              stats.pool.pool_workers,
+              static_cast<unsigned long long>(stats.pool.pool_dispatches),
+              static_cast<unsigned long long>(stats.pool.pool_steals),
+              sched::policy_name(scan::default_scheduler()));
 
   if (!opt.stats_json_path.empty()) {
     serve::write_serve_stats_json_file(opt.stats_json_path, stats,

@@ -2,6 +2,7 @@
 // `sfa ... --trace out.json` (or any tool using sfa::obs::TraceCollector).
 //
 //   sfa_trace_check trace.json [--expect-workers N] [--expect-engine ID]
+//                              [--expect-scheduler ID]
 //
 // Checks: the JSON is well formed, required event fields are present,
 // per-thread completion timestamps are monotone, and spans nest without
@@ -11,6 +12,14 @@
 // requires at least one match-chunk span stamped with that ScanEngine id
 // (0 direct, 1 eager, 2 lazy, 3 speculative, 4 narrowed) — the acceptance
 // criterion for a traced parallel match on a specific chunk policy.
+//
+// Stripe distinctness: by default (and with --expect-scheduler 0) any
+// stripe violation — a thread running two different task residues mod one
+// dispatch stride — fails the check, because static-stripe dispatch never
+// produces one.  --expect-scheduler 1 (work-stealing) or 2 (guided) relaxes
+// exactly that invariant (dynamic dispatch legitimately migrates tasks) and
+// instead requires at least one match-chunk span stamped with the given
+// scheduler id.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,7 +31,8 @@ namespace {
 
 void usage() {
   std::fprintf(stderr, "usage: sfa_trace_check <trace.json> "
-                       "[--expect-workers N] [--expect-engine ID]\n");
+                       "[--expect-workers N] [--expect-engine ID] "
+                       "[--expect-scheduler ID]\n");
 }
 
 }  // namespace
@@ -31,6 +41,7 @@ int main(int argc, char** argv) {
   std::string path;
   unsigned expect_workers = 0;
   long expect_engine = -1;
+  long expect_scheduler = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--expect-workers") == 0) {
       if (i + 1 >= argc) {
@@ -51,6 +62,20 @@ int main(int argc, char** argv) {
                      sfa::obs::TraceCheckResult::kEngineIds - 1);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--expect-scheduler") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --expect-scheduler needs a value\n");
+        return 2;
+      }
+      expect_scheduler = std::strtol(argv[++i], nullptr, 10);
+      if (expect_scheduler < 0 ||
+          expect_scheduler >=
+              static_cast<long>(sfa::obs::TraceCheckResult::kSchedulerIds)) {
+        std::fprintf(stderr,
+                     "error: --expect-scheduler takes an id in [0, %zu]\n",
+                     sfa::obs::TraceCheckResult::kSchedulerIds - 1);
+        return 2;
+      }
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -69,9 +94,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("OK %s: %zu events, %zu spans, %zu threads, %zu worker tracks, "
-              "%zu match-chunk spans\n",
+              "%zu match-chunk spans, %zu stripe violations\n",
               path.c_str(), r.events, r.spans, r.threads, r.worker_tracks,
-              r.match_chunk_spans);
+              r.match_chunk_spans, r.stripe_violations);
   if (expect_workers != 0 && r.worker_tracks < expect_workers) {
     std::fprintf(stderr,
                  "INVALID %s: expected >= %u worker tracks with build spans, "
@@ -86,6 +111,25 @@ int main(int argc, char** argv) {
                  "INVALID %s: expected match-chunk spans with engine id %ld, "
                  "found none\n",
                  path.c_str(), expect_engine);
+    return 1;
+  }
+  // Dynamic schedulers (1 work-stealing, 2 guided) are the only licence for
+  // stripe violations; everything else treats them as a broken binding.
+  const bool dynamic_ok = expect_scheduler == 1 || expect_scheduler == 2;
+  if (!dynamic_ok && r.stripe_violations != 0) {
+    std::fprintf(stderr,
+                 "INVALID %s: %zu stripe violations (%s) — rerun with "
+                 "--expect-scheduler 1|2 if dynamic dispatch was intended\n",
+                 path.c_str(), r.stripe_violations, r.stripe_error.c_str());
+    return 1;
+  }
+  if (expect_scheduler >= 0 &&
+      r.match_chunk_spans_by_scheduler[static_cast<std::size_t>(
+          expect_scheduler)] == 0) {
+    std::fprintf(stderr,
+                 "INVALID %s: expected pooled chunk spans with scheduler id "
+                 "%ld, found none\n",
+                 path.c_str(), expect_scheduler);
     return 1;
   }
   return 0;
